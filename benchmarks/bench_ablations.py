@@ -1,0 +1,125 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Not experiments from the paper — these quantify how much each mechanism
+contributes inside this reproduction:
+
+- how much of click-fastclassifier's win comes from the BPF+-style tree
+  optimization versus from compilation alone;
+- what adjacent-classifier combination buys;
+- how much of the Base router's forwarding cost is branch
+  misprediction (the simple_action shared-dispatch effect);
+- what the devirtualizer's exclusion list costs when the hottest
+  element is excluded.
+"""
+
+import pytest
+
+from paper_targets import emit, table
+from repro.classifier.ipfilter import compile_filter_rules
+from repro.classifier.optimize import optimize
+from repro.configs.firewall import dns5_packet, firewall_rule_strings
+from repro.sim import cost
+from repro.sim.testbed import Testbed
+
+
+def test_tree_optimization_ablation(benchmark):
+    """Raw tree vs BPF+-optimized tree on the §4 firewall."""
+    raw = compile_filter_rules(firewall_rule_strings())
+    optimized = benchmark(lambda: optimize(raw))
+    packet = dns5_packet()
+    rows = [
+        ("nodes", len(raw.exprs), len(optimized.exprs)),
+        ("DNS-5 steps", raw.steps(packet), optimized.steps(packet)),
+    ]
+    emit("ablation_tree_optimization", table(["metric", "raw", "optimized"], rows))
+    assert len(optimized.exprs) < 0.7 * len(raw.exprs)
+    assert optimized.steps(packet) < 0.6 * raw.steps(packet)
+    assert optimized.match(packet) == raw.match(packet)
+
+
+def test_adjacent_combination_ablation(benchmark):
+    """Two chained classifiers: combined vs separate."""
+    from repro.core.fastclassifier import fastclassifier
+    from repro.lang.build import parse_graph
+
+    text = (
+        "f :: Idle; f -> a; a :: Classifier(12/0800, -);"
+        "b :: Classifier(14/45, -);"
+        "a [0] -> b; a [1] -> Discard; b [0] -> Discard; b [1] -> Discard;"
+    )
+    combined = benchmark(lambda: fastclassifier(parse_graph(text), combine=True))
+    separate = fastclassifier(parse_graph(text), combine=False)
+    combined_classifiers = [
+        d for d in combined.elements.values() if "FastClassifier" in d.class_name
+    ]
+    separate_classifiers = [
+        d for d in separate.elements.values() if "FastClassifier" in d.class_name
+    ]
+    rows = [
+        ("classifier elements", len(combined_classifiers), len(separate_classifiers)),
+        ("total elements", len(combined.elements), len(separate.elements)),
+    ]
+    emit("ablation_adjacent_combination", table(["metric", "combined", "separate"], rows))
+    assert len(combined_classifiers) == 1
+    assert len(separate_classifiers) == 2
+
+
+def test_branch_prediction_ablation(benchmark):
+    """Re-measure Base with the misprediction penalty removed: the
+    difference is the predictor's share of the forwarding path."""
+    testbed = Testbed(2)
+    normal = benchmark.pedantic(
+        lambda: testbed.measure_cpu("base", packets=400), rounds=1, iterations=1
+    )
+    saved = cost.CYCLES_VIRTUAL_CALL_MISPREDICTED
+    try:
+        cost.CYCLES_VIRTUAL_CALL_MISPREDICTED = cost.CYCLES_VIRTUAL_CALL_PREDICTED
+        oracle = testbed.measure_cpu("base", packets=400)
+    finally:
+        cost.CYCLES_VIRTUAL_CALL_MISPREDICTED = saved
+    delta = normal.forwarding_ns - oracle.forwarding_ns
+    rows = [
+        ("modelled BTB", "%.0f" % normal.forwarding_ns),
+        ("oracle predictor", "%.0f" % oracle.forwarding_ns),
+        ("misprediction share", "%.0f ns (%.0f%%)" % (delta, 100 * delta / normal.forwarding_ns)),
+    ]
+    emit("ablation_branch_prediction", table(["configuration", "fwd path (ns)"], rows))
+    # §3 argues mispredictions are "significant in percentage terms".
+    assert 0.05 <= delta / normal.forwarding_ns <= 0.20
+
+
+def test_devirtualize_exclusion_ablation(benchmark):
+    """Excluding the per-interface paths' elements from devirtualization
+    gives back part of DV's win — quantify one exclusion."""
+    from repro.core.devirtualize import devirtualize
+    from repro.core.toolchain import load_config, save_config
+
+    testbed = Testbed(2)
+
+    def measure(exclude):
+        graph = load_config(save_config(devirtualize(testbed.base_graph(), exclude=exclude)))
+        meter_report = None
+        from repro.sim.cpu import CycleMeter
+        from repro.elements.devices import PollDevice
+
+        meter = CycleMeter()
+        router, devices = testbed.build_router(graph, meter=meter)
+        frames = testbed.evaluation_frames(400)
+        for device, frame in frames:
+            devices[device].receive_frame(frame)
+        router.run_tasks(400 // PollDevice.BURST + 16)
+        forwarded = sum(len(d.transmitted) for d in devices.values())
+        return meter.report(forwarded, clock_mhz=testbed.platform.clock_mhz)
+
+    full = benchmark.pedantic(lambda: measure(()), rounds=1, iterations=1)
+    # Exclude every element on the input-side chains (Paint/Strip/... are
+    # anonymous; exclude by discovered name).
+    graph = testbed.base_graph()
+    excluded = [d.name for d in graph.elements.values() if d.class_name == "CheckIPHeader"]
+    partial = measure(excluded)
+    rows = [
+        ("full devirtualization", "%.0f" % full.forwarding_ns),
+        ("CheckIPHeader excluded", "%.0f" % partial.forwarding_ns),
+    ]
+    emit("ablation_devirtualize_exclusion", table(["configuration", "fwd path (ns)"], rows))
+    assert partial.forwarding_ns > full.forwarding_ns

@@ -1,0 +1,99 @@
+"""§3's virtual-call / branch-predictor analysis.
+
+Paper: "when correctly predicted, a virtual function call takes about 7
+cycles, comparable to a conventional function call.  Incorrectly
+predicted calls, however, take dozens of cycles" — and Figure 2's
+configuration (two same-class elements transferring to different-class
+targets through one shared call site) defeats the predictor whenever
+packets alternate between them.
+"""
+
+import pytest
+
+from paper_targets import emit, table
+from repro.elements import Router
+from repro.lang.build import parse_graph
+from repro.net.packet import Packet
+from repro.sim import cost
+from repro.sim.cpu import CycleMeter
+
+# Figure 2's shape: two ARPQueriers (same class, one call site) whose
+# packets go to different downstream classes.
+FIGURE2 = """
+f1 :: Idle; f2 :: Idle; g1 :: Idle; g2 :: Idle;
+arpq1 :: ARPQuerier(1.0.0.1, 00:00:C0:AA:00:00);
+arpq2 :: ARPQuerier(2.0.0.1, 00:00:C0:BB:00:01);
+f1 -> arpq1; g1 -> [1] arpq1;
+f2 -> arpq2; g2 -> [1] arpq2;
+arpq1 -> q :: Queue -> u :: Unqueue -> Discard;
+arpq2 -> Counter -> q2 :: Queue -> u2 :: Unqueue -> Discard;
+"""
+
+
+def run_alternating(alternate):
+    """Meter Figure 2 under alternating or batched traffic."""
+    meter = CycleMeter()
+    router = Router(parse_graph(FIGURE2), meter=meter)
+    router["arpq1"].insert("1.0.0.9", "00:20:6F:00:00:01")
+    router["arpq2"].insert("2.0.0.9", "00:20:6F:00:00:02")
+
+    def packet(dst):
+        from repro.net.headers import build_udp_packet
+
+        p = Packet(build_udp_packet("9.9.9.9", dst, payload=b"\x00" * 14))
+        p.set_dest_ip_anno(dst)
+        return p
+
+    n = 200
+    if alternate:
+        order = [("arpq1", "1.0.0.9"), ("arpq2", "2.0.0.9")] * (n // 2)
+    else:
+        order = [("arpq1", "1.0.0.9")] * (n // 2) + [("arpq2", "2.0.0.9")] * (n // 2)
+    for element, dst in order:
+        router.push_packet(element, 0, packet(dst))
+    return meter
+
+
+def test_figure2_alternation_defeats_the_predictor(benchmark):
+    alternating = benchmark.pedantic(lambda: run_alternating(True), rounds=3, iterations=1)
+    batched = run_alternating(False)
+    rows = [
+        ("alternating flows", alternating.btb.misses, alternating.btb.hits),
+        ("batched flows", batched.btb.misses, batched.btb.hits),
+    ]
+    text = table(["traffic", "BTB misses", "BTB hits"], rows)
+    text += (
+        "\n\npredicted call: %d cycles; mispredicted: %d cycles; direct: %d"
+        % (
+            cost.CYCLES_VIRTUAL_CALL_PREDICTED,
+            cost.CYCLES_VIRTUAL_CALL_MISPREDICTED,
+            cost.CYCLES_DIRECT_CALL,
+        )
+    )
+    emit("branch_predictor", text)
+
+    # Alternating packets mispredict the shared ARPQuerier call site on
+    # nearly every transfer; batched traffic only misses at batch turns.
+    assert alternating.btb.misses > 5 * batched.btb.misses
+    assert alternating.totals.forwarding > batched.totals.forwarding
+
+
+def test_call_cost_constants_match_paper(benchmark):
+    benchmark(lambda: cost.CYCLES_VIRTUAL_CALL_PREDICTED)
+    assert cost.CYCLES_VIRTUAL_CALL_PREDICTED == 7
+    assert 24 <= cost.CYCLES_VIRTUAL_CALL_MISPREDICTED <= 48  # "dozens"
+    assert cost.CYCLES_DIRECT_CALL < cost.CYCLES_VIRTUAL_CALL_PREDICTED
+
+
+def test_misprediction_share_of_forwarding_path(benchmark):
+    """§3: at ~7 cycles per transfer, 16 elements put ~9% of the
+    forwarding path in call overhead; mispredictions push it higher."""
+    from repro.sim.testbed import Testbed
+
+    report = benchmark.pedantic(
+        lambda: Testbed(2).measure_cpu("base", packets=300), rounds=1, iterations=1
+    )
+    call_cycles = report.transfers_per_packet * cost.CYCLES_VIRTUAL_CALL_PREDICTED
+    path_cycles = report.forwarding_ns * 0.7  # ns -> cycles at 700 MHz
+    share = call_cycles / path_cycles
+    assert 0.05 <= share <= 0.15  # "9% of this router's forwarding path cost"

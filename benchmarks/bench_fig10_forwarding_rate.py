@@ -1,0 +1,82 @@
+"""Figure 10: forwarding rate versus input rate for 64-byte packets.
+
+Paper: Base's MLFFR is 357,000 packets/s and its curve stays flat under
+overload; All peaks at 446,000 and MR+All at 457,000 but both decline
+to ~400,000 as failed descriptor checks consume PCI bandwidth; Simple
+behaves like the optimized routers, showing the I/O system is the limit.
+"""
+
+import pytest
+
+from paper_targets import MLFFR_P0, ascii_chart, emit, table
+from repro.sim import fluid
+from repro.sim.platforms import P0
+from repro.sim.testbed import VARIANT_LABELS, Testbed
+
+CURVE_VARIANTS = ["base", "fc", "xf", "all", "mr_all", "simple"]
+INPUT_RATES = [50e3 * i for i in range(1, 12)] + [591.6e3]
+
+
+@pytest.fixture(scope="module")
+def cpu_costs():
+    testbed = Testbed(2)
+    return {v: testbed.true_cpu_ns(v, packets=1000) for v in CURVE_VARIANTS}
+
+
+def test_figure10_curves(benchmark, cpu_costs):
+    def curves():
+        return {
+            v: fluid.forwarding_curve(INPUT_RATES, cpu_costs[v], P0)
+            for v in CURVE_VARIANTS
+        }
+
+    data = benchmark(curves)
+    headers = ["input (kpps)"] + [VARIANT_LABELS[v] for v in CURVE_VARIANTS]
+    rows = []
+    for index, rate in enumerate(INPUT_RATES):
+        rows.append(
+            ["%.0f" % (rate / 1e3)]
+            + ["%.0f" % (data[v][index][1] / 1e3) for v in CURVE_VARIANTS]
+        )
+    text = table(headers, rows)
+    mlffrs = {v: fluid.mlffr(cpu_costs[v], P0) for v in CURVE_VARIANTS}
+    text += "\n\nMLFFR (kpps): " + "  ".join(
+        "%s=%.0f" % (VARIANT_LABELS[v], mlffrs[v] / 1e3) for v in CURVE_VARIANTS
+    )
+    text += "\npaper: Base=357  All=446  MR+All=457"
+    text += "\n\n" + ascii_chart(
+        {"base": data["base"], "all": data["all"], "simple": data["simple"]},
+        y_label="forwarded pps",
+        x_label="offered pps",
+    )
+    emit("fig10_forwarding_rate", text)
+
+    for variant, target in MLFFR_P0.items():
+        assert abs(mlffrs[variant] - target) / target < 0.03, variant
+    # An ideal router is y = x below the MLFFR.
+    low = fluid.solve(200e3, cpu_costs["all"], P0)
+    assert low.sent == pytest.approx(200e3, rel=0.01)
+    # Optimized configurations decline toward ~400k under overload.
+    heavy = fluid.solve(591e3, cpu_costs["all"], P0)
+    assert 370e3 < heavy.sent < 430e3
+    # Base stays flat.
+    assert fluid.solve(591e3, cpu_costs["base"], P0).sent == pytest.approx(
+        fluid.solve(400e3, cpu_costs["base"], P0).sent, rel=0.02
+    )
+    # Simple's MLFFR is not much higher than the optimized configs'.
+    assert mlffrs["simple"] < 1.10 * mlffrs["all"]
+
+
+def test_timestep_simulation_confirms_fluid_peaks(benchmark, cpu_costs):
+    """Cross-check one point per config on the hardware-level simulator."""
+    from repro.sim import timestep
+
+    def spot_checks():
+        return {
+            v: timestep.simulate(450e3, cpu_costs[v], P0, duration_s=0.03)
+            for v in ("base", "all")
+        }
+
+    results = benchmark(spot_checks)
+    assert results["base"].sent == pytest.approx(1e9 / cpu_costs["base"], rel=0.1)
+    assert results["all"].sent > results["base"].sent

@@ -1,0 +1,73 @@
+"""Figure 11: cumulative packet-outcome rates versus input rate.
+
+Paper: Base is CPU-limited — every drop is a missed frame.  Simple is
+not CPU-limited — no missed frames; drops are FIFO overflows or Queue
+drops, showing the PCI bus/memory system is the bottleneck.  MR+All
+shows missed frames at moderate overload, then FIFO overflows dominate
+above the point where descriptor checks saturate the bus.
+"""
+
+import pytest
+
+from paper_targets import emit, table
+from repro.sim import fluid
+from repro.sim.platforms import P0
+from repro.sim.testbed import Testbed
+
+VARIANTS = ["simple", "base", "mr_all"]
+INPUT_RATES = [100e3, 200e3, 300e3, 350e3, 400e3, 450e3, 500e3, 550e3, 591.6e3]
+
+
+@pytest.fixture(scope="module")
+def cpu_costs():
+    testbed = Testbed(2)
+    return {v: testbed.true_cpu_ns(v, packets=1000) for v in VARIANTS}
+
+
+def test_figure11_outcomes(benchmark, cpu_costs):
+    def compute():
+        return {
+            v: fluid.outcome_curve(INPUT_RATES, cpu_costs[v], P0) for v in VARIANTS
+        }
+
+    data = benchmark(compute)
+    sections = []
+    for variant in VARIANTS:
+        rows = [
+            (
+                "%.0f" % (o.input_rate / 1e3),
+                "%.0f" % (o.sent / 1e3),
+                "%.0f" % (o.queue_drops / 1e3),
+                "%.0f" % (o.missed_frames / 1e3),
+                "%.0f" % (o.fifo_overflows / 1e3),
+            )
+            for o in data[variant]
+        ]
+        sections.append(
+            "%s\n%s"
+            % (
+                variant.upper(),
+                table(["input", "sent", "Queue drop", "missed frame", "FIFO overflow"], rows),
+            )
+        )
+    emit("fig11_outcomes", "\n\n".join(sections))
+
+    # Base: CPU-limited; drops are missed frames.
+    for outcome in data["base"]:
+        if outcome.input_rate > 400e3:
+            dropped = outcome.input_rate - outcome.sent
+            assert outcome.missed_frames > 0.9 * dropped
+    # Simple: no missed frames; FIFO overflows and Queue drops appear.
+    heavy_simple = data["simple"][-1]
+    assert heavy_simple.missed_frames < 0.05 * (heavy_simple.input_rate - heavy_simple.sent)
+    assert heavy_simple.fifo_overflows > 0
+    assert heavy_simple.queue_drops > 0
+    # MR+All: missed frames first, FIFO overflows at the top end.
+    moderate = data["mr_all"][6]  # 500k
+    heavy = data["mr_all"][-1]
+    assert moderate.missed_frames > moderate.fifo_overflows
+    assert heavy.fifo_overflows > moderate.fifo_overflows
+    # Conservation: outcomes sum to the input rate (the y = x line).
+    for variant in VARIANTS:
+        for outcome in data[variant]:
+            assert outcome.accounted == pytest.approx(outcome.input_rate, rel=0.02)

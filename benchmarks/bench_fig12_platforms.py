@@ -1,0 +1,74 @@
+"""Figure 12: effect of the "All" optimizations on MLFFR per platform.
+
+Paper:
+
+    Platform   All      Base     Ratio
+    P0         446,000  357,000  1.25
+    P1         430,000  350,000  1.23
+    P2         450,000  330,000  1.36
+    P3         740,000  640,000  1.16
+
+P0/P1/P3 reproduce within a few percent.  P2 is a documented deviation:
+the paper's P2 Base (330k) is *slower* than P1 Base (350k) despite an
+identical CPU and a faster bus, which a first-principles model cannot
+produce; our P2 therefore tracks P1 for CPU-bound configurations (see
+EXPERIMENTS.md).
+"""
+
+import pytest
+
+from paper_targets import FIGURE12, emit, table
+from repro.sim import fluid
+from repro.sim.platforms import ALL_PLATFORMS
+from repro.sim.testbed import Testbed
+
+
+@pytest.fixture(scope="module")
+def mlffrs():
+    results = {}
+    for platform in ALL_PLATFORMS:
+        testbed = Testbed(2, platform=platform)
+        results[platform.name] = {
+            "all": fluid.mlffr(testbed.true_cpu_ns("all", 800), platform),
+            "base": fluid.mlffr(testbed.true_cpu_ns("base", 800), platform),
+        }
+    return results
+
+
+def test_figure12_table(benchmark, mlffrs):
+    benchmark.pedantic(
+        lambda: fluid.mlffr(2256.0, ALL_PLATFORMS[0]), rounds=5, iterations=1
+    )
+    rows = []
+    for platform in ALL_PLATFORMS:
+        ours = mlffrs[platform.name]
+        paper = FIGURE12[platform.name]
+        rows.append(
+            (
+                platform.name,
+                "%.0f" % ours["all"],
+                "%.0f" % ours["base"],
+                "%.2f" % (ours["all"] / ours["base"]),
+                "%d" % paper["all"],
+                "%d" % paper["base"],
+                "%.2f" % paper["ratio"],
+            )
+        )
+    text = table(
+        ["Platform", "All", "Base", "Ratio", "paper All", "paper Base", "paper Ratio"], rows
+    )
+    emit("fig12_platforms", text)
+
+    for name, tolerance in (("P0", 0.03), ("P1", 0.05), ("P3", 0.05)):
+        ours = mlffrs[name]
+        paper = FIGURE12[name]
+        assert abs(ours["all"] - paper["all"]) / paper["all"] < tolerance, name
+        assert abs(ours["base"] - paper["base"]) / paper["base"] < tolerance, name
+    # The optimizations help on every platform (§8.5: "Our optimizations
+    # seem effective on all platforms").
+    for name, ours in mlffrs.items():
+        assert ours["all"] > 1.1 * ours["base"], name
+    # The relative benefit shrinks on the fastest CPU (P3's ratio is the
+    # smallest): I/O costs don't scale with the CPU.
+    ratios = {name: ours["all"] / ours["base"] for name, ours in mlffrs.items()}
+    assert ratios["P3"] < ratios["P0"]

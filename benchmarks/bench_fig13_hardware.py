@@ -1,0 +1,70 @@
+"""Figure 13: forwarding rate versus input rate on platforms P1-P3.
+
+The paper's text does not tabulate Figure 13's series, but §8.5 pins the
+shape: P1's Simple is PCI-limited while its other configurations are
+not; P2's faster bus releases Simple; P3 forwards about 1.9x P2 for Base
+and about 1.6x for All.
+"""
+
+import pytest
+
+from paper_targets import emit, table
+from repro.sim import fluid
+from repro.sim.platforms import P1, P2, P3
+from repro.sim.testbed import Testbed
+
+VARIANTS = ["base", "all", "simple"]
+INPUT_RATES = [100e3 * i for i in range(1, 21)]
+
+
+@pytest.fixture(scope="module")
+def costs():
+    results = {}
+    for platform in (P1, P2, P3):
+        testbed = Testbed(2, platform=platform)
+        results[platform.name] = {
+            v: testbed.true_cpu_ns(v, packets=800) for v in VARIANTS
+        }
+    return results
+
+
+def test_figure13_curves(benchmark, costs):
+    def compute():
+        data = {}
+        for platform in (P1, P2, P3):
+            data[platform.name] = {
+                v: fluid.forwarding_curve(INPUT_RATES, costs[platform.name][v], platform)
+                for v in VARIANTS
+            }
+        return data
+
+    data = benchmark(compute)
+    sections = []
+    for platform in (P1, P2, P3):
+        series = data[platform.name]
+        rows = [
+            ["%.0f" % (rate / 1e3)]
+            + ["%.0f" % (series[v][i][1] / 1e3) for v in VARIANTS]
+            for i, rate in enumerate(INPUT_RATES)
+        ]
+        sections.append(
+            "%s (%s)\n%s"
+            % (platform.name, platform.description, table(["input"] + VARIANTS, rows))
+        )
+    emit("fig13_hardware", "\n\n".join(sections))
+
+    mlffr = {
+        p.name: {v: fluid.mlffr(costs[p.name][v], p) for v in VARIANTS}
+        for p in (P1, P2, P3)
+    }
+    # §8.5: Simple was PCI-limited on P1 but not on P2 (where the CPU
+    # becomes its limit again).
+    assert mlffr["P1"]["simple"] < 0.90 * (1e9 / costs["P1"]["simple"])
+    assert mlffr["P2"]["simple"] > mlffr["P1"]["simple"] * 1.08
+    assert mlffr["P2"]["simple"] == pytest.approx(1e9 / costs["P2"]["simple"], rel=0.03)
+    # P3 vs P2 speedups: ~1.9x for Base, ~1.6x for All.
+    base_ratio = mlffr["P3"]["base"] / mlffr["P2"]["base"]
+    all_ratio = mlffr["P3"]["all"] / mlffr["P2"]["all"]
+    assert 1.5 <= base_ratio <= 2.1
+    assert 1.4 <= all_ratio <= 1.9
+    assert base_ratio > all_ratio

@@ -1,0 +1,104 @@
+"""§4's firewall experiment.
+
+"We implemented a 17-rule firewall from Building Internet Firewalls in
+IPFilter, then measured IPFilter's CPU cost for a packet matching the
+next-to-last rule (DNS-5).  Without click-fastclassifier this took 388
+nanoseconds, or 23% of the total time it takes a packet to pass through
+the default Click IP router (excluding devices).  With
+click-fastclassifier, this dropped by more than half, to 188 ns."
+
+Two measurements here: the simulated-cycle cost (paper reproduction) and
+the *wall-clock* cost of the interpreted tree versus the compiled
+classifier in this Python implementation — the compilation is a genuine
+optimization in both worlds.
+"""
+
+import pytest
+
+from paper_targets import FIREWALL_NS, emit, table
+from repro.classifier.compile import CompiledClassifier
+from repro.classifier.ipfilter import compile_filter_rules
+from repro.classifier.optimize import optimize
+from repro.configs.firewall import FIREWALL_RULES, dns5_packet, firewall_rule_strings
+from repro.sim import cost
+
+CLOCK_MHZ = 700.0
+
+
+@pytest.fixture(scope="module")
+def trees():
+    """The IPFilter element's tree (already BPF+-optimized, as §3
+    describes) and the raw unoptimized tree for reference."""
+    raw = compile_filter_rules(firewall_rule_strings())
+    element_tree = optimize(raw)
+    return raw, element_tree
+
+
+def simulated_ns(tree, packet, per_step_cycles, base_cycles):
+    cycles = base_cycles + per_step_cycles * tree.steps(packet)
+    return cycles * 1000.0 / CLOCK_MHZ
+
+
+def test_dns5_cpu_cost(benchmark, trees):
+    raw, element_tree = trees
+    packet = dns5_packet()
+    benchmark(lambda: element_tree.match(packet))
+
+    assert raw.match(packet) == 0  # DNS-5 allows it
+    assert element_tree.match(packet) == 0
+
+    # Interpreted: the IPFilter element walks its (optimized) tree in
+    # memory.  Compiled: click-fastclassifier runs the same decisions as
+    # straight-line code with inlined constants.
+    slow_ns = simulated_ns(
+        element_tree, packet, cost.CYCLES_CLASSIFIER_STEP,
+        cost.ELEMENT_WORK_CYCLES["IPFilter"] + cost.CYCLES_ELEMENT_ENTRY,
+    )
+    fast_ns = simulated_ns(
+        element_tree, packet, cost.CYCLES_FAST_CLASSIFIER_STEP,
+        cost.ELEMENT_WORK_CYCLES["FastClassifier"] + cost.CYCLES_ELEMENT_ENTRY,
+    )
+    rows = [
+        ("17 rules, DNS-5 packet (IPFilter)", "%.0f" % slow_ns, FIREWALL_NS["interpreted"]),
+        ("with click-fastclassifier", "%.0f" % fast_ns, FIREWALL_NS["compiled"]),
+        ("speedup", "%.2fx" % (slow_ns / fast_ns), "2.06x"),
+    ]
+    extra = [
+        "",
+        "tree: %d nodes raw, %d after the element's BPF+-style pass" % (
+            len(raw.exprs), len(element_tree.exprs)),
+        "DNS-5 traversal: %d steps raw, %d in the element's tree" % (
+            raw.steps(packet), element_tree.steps(packet)),
+        "share of the 1657 ns forwarding path: %.0f%% (paper: 23%%)" % (
+            100.0 * slow_ns / 1657.0),
+    ]
+    emit("firewall_dns5", table(["measurement", "ns/packet", "paper"], rows) + "\n".join(extra))
+
+    # Shape: >2x improvement, a large fraction of the forwarding path.
+    assert slow_ns / fast_ns > 2.0
+    assert 0.15 <= slow_ns / 1657.0 <= 0.33
+    # Absolute values in band.
+    assert abs(slow_ns - 388) / 388 < 0.25
+    assert abs(fast_ns - 188) / 188 < 0.45
+
+
+def test_dns5_wallclock_speedup(benchmark, trees):
+    """The Python compiled classifier must genuinely beat the
+    interpreted tree walk on the DNS-5 packet."""
+    import timeit
+
+    _, element_tree = trees
+    compiled = CompiledClassifier(element_tree)
+    packet = dns5_packet()
+
+    benchmark(lambda: compiled(packet))
+    interp_time = timeit.timeit(lambda: element_tree.match(packet), number=3000)
+    compiled_time = timeit.timeit(lambda: compiled(packet), number=3000)
+    assert compiled(packet) == element_tree.match(packet) == 0
+    assert compiled_time < interp_time
+
+
+def test_all_rules_have_names(benchmark):
+    benchmark(lambda: len(FIREWALL_RULES))
+    assert len(FIREWALL_RULES) == 17
+    assert FIREWALL_RULES[-2][0] == "DNS-5"

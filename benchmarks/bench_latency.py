@@ -1,0 +1,59 @@
+"""Per-packet forwarding latency versus load (discrete-event engine).
+
+Not a paper figure — the paper reports rates, not latencies — but the
+operational meaning of its CPU savings: at loads the unoptimized router
+cannot sustain, its latency (and loss) explode while the optimized
+router still forwards at pipeline-minimum latency.  "There are no spare
+cycles; slow software means dropped packets" (§3).
+"""
+
+import pytest
+
+from paper_targets import emit, table
+from repro.sim import des
+from repro.sim.platforms import P0
+from repro.sim.testbed import Testbed
+
+LOADS = [100e3, 200e3, 300e3, 340e3, 370e3, 400e3, 430e3]
+
+
+@pytest.fixture(scope="module")
+def cpu_costs():
+    testbed = Testbed(2)
+    return {
+        "base": testbed.true_cpu_ns("base", packets=600),
+        "all": testbed.true_cpu_ns("all", packets=600),
+    }
+
+
+def test_latency_versus_load(benchmark, cpu_costs):
+    def compute():
+        rows = []
+        for load in LOADS:
+            base = des.latency_percentiles(load, cpu_costs["base"], P0, duration_s=0.04)
+            optimized = des.latency_percentiles(load, cpu_costs["all"], P0, duration_s=0.04)
+            rows.append(
+                (
+                    "%.0f" % (load / 1e3),
+                    "%.1f" % base[0],
+                    "%.1f" % base[2],
+                    "%.1f" % optimized[0],
+                    "%.1f" % optimized[2],
+                )
+            )
+        return rows
+
+    rows = benchmark(compute)
+    emit(
+        "latency_vs_load",
+        table(
+            ["input (kpps)", "Base p50 (us)", "Base p99", "All p50", "All p99"],
+            rows,
+        ),
+    )
+    # Below both MLFFRs: identical pipeline-minimum latency ballpark.
+    assert float(rows[0][2]) < 30
+    # Between the two MLFFRs (~370-430k): Base's tail explodes, All's doesn't.
+    base_p99_at_400 = float(rows[5][2])
+    all_p99_at_400 = float(rows[5][4])
+    assert base_p99_at_400 > 20 * all_p99_at_400

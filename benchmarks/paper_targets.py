@@ -1,0 +1,88 @@
+"""Shared infrastructure for the reproduction benchmarks.
+
+Each ``bench_*`` module regenerates one table or figure from the paper's
+evaluation, prints it, writes it under ``benchmarks/results/``, and
+asserts the reproduction bands (shape and headline numbers).  The
+``benchmark`` fixture times the regeneration itself, so
+``pytest benchmarks/ --benchmark-only`` both reproduces and times every
+experiment.
+"""
+
+from __future__ import annotations
+
+import os
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+# Paper values (ns per packet unless stated).
+FIGURE8 = {"rx": 701, "forwarding": 1657, "tx": 547, "total": 2905}
+FIGURE9_FORWARDING = {"base": 1657, "fc": None, "dv": None, "xf": None,
+                      "all": 1101, "mr_all": 1061}
+MLFFR_P0 = {"base": 357_000, "all": 446_000, "mr_all": 457_000}
+FIGURE12 = {
+    "P0": {"all": 446_000, "base": 357_000, "ratio": 1.25},
+    "P1": {"all": 430_000, "base": 350_000, "ratio": 1.23},
+    "P2": {"all": 450_000, "base": 330_000, "ratio": 1.36},
+    "P3": {"all": 740_000, "base": 640_000, "ratio": 1.16},
+}
+FIREWALL_NS = {"interpreted": 388, "compiled": 188}
+
+
+def emit(name, text):
+    """Print a result table and save it under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    banner = "=" * 72
+    print("\n%s\n%s\n%s\n%s" % (banner, name, banner, text))
+    with open(os.path.join(RESULTS_DIR, name + ".txt"), "w") as handle:
+        handle.write(text + "\n")
+
+
+def ascii_chart(series, width=60, height=16, x_label="input", y_label="fwd"):
+    """A crude terminal scatter chart of [(x, y)] series.
+
+    ``series`` maps label -> [(x, y), ...]; each label plots with its
+    first character.  Good enough to eyeball Figure 10's shapes in the
+    benchmark output.
+    """
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        return "(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = 0.0, max(ys) * 1.05
+    grid = [[" "] * width for _ in range(height)]
+
+    def cell(x, y):
+        col = int((x - x_min) / (x_max - x_min or 1) * (width - 1))
+        row = int((y - y_min) / (y_max - y_min or 1) * (height - 1))
+        return height - 1 - row, col
+
+    for label, pts in series.items():
+        marker = label[0].upper()
+        for x, y in pts:
+            r, c = cell(x, y)
+            grid[r][c] = marker
+    lines = ["%10.0f |%s" % (y_max * (height - 1 - i) / (height - 1), "".join(row))
+             for i, row in enumerate(grid)]
+    lines.append(" " * 11 + "+" + "-" * width)
+    lines.append(" " * 12 + "%-.0f%s%.0f  (%s vs %s)"
+                 % (x_min, " " * (width - 16), x_max, y_label, x_label))
+    legend = "  ".join("%s=%s" % (label[0].upper(), label) for label in series)
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)
+
+
+def table(headers, rows):
+    """Plain-text table formatting."""
+    widths = [len(h) for h in headers]
+    rendered_rows = []
+    for row in rows:
+        rendered = [str(cell) for cell in row]
+        widths = [max(w, len(c)) for w, c in zip(widths, rendered)]
+        rendered_rows.append(rendered)
+    def fmt(cells):
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rendered_rows)
+    return "\n".join(lines)

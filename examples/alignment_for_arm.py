@@ -1,0 +1,72 @@
+"""§7.1: click-align makes a configuration safe for strict-alignment
+architectures.
+
+On x86, unaligned word loads from packet data are legal; on ARM they
+crash.  CheckIPHeader loads IP-header words, and after Strip(14) the
+data pointer sits at offset 2 (mod 4).  This example shows the crash in
+strict mode, runs click-align's data-flow analysis, and shows the fixed
+configuration running strictly.
+
+Run:  python examples/alignment_for_arm.py
+"""
+
+from repro.core.align import align, compute_alignments
+from repro.core.toolchain import load_config, save_config
+from repro.elements import LoopbackDevice, Router
+from repro.net.headers import build_ether_udp_packet
+
+CONFIG = """
+pd :: PollDevice(eth0);
+s :: Strip(14);
+chk :: CheckIPHeader;
+q :: Queue(64);
+td :: ToDevice(eth0);
+pd -> s -> chk -> q -> td;
+"""
+
+
+def run_strict(graph):
+    devices = {"eth0": LoopbackDevice("eth0")}
+    router = Router(graph, devices=devices)
+    router["chk"].strict_alignment = True  # pretend we're on ARM
+    frame = build_ether_udp_packet(
+        "00:20:6F:11:11:11", "00:00:C0:4F:71:00", "1.0.0.2", "2.0.0.2",
+        payload=b"\x00" * 14,
+    )
+    devices["eth0"].receive_frame(frame)
+    router.run_tasks(8)
+    return len(devices["eth0"].transmitted)
+
+
+def main():
+    graph = load_config(CONFIG)
+    print("The data-flow analysis computes packet alignment at each element:")
+    for name, alignment in sorted(compute_alignments(graph).items()):
+        print("  %-6s receives data at offset %d (mod %d)"
+              % (name, alignment.offset, alignment.modulus))
+
+    print("\nOn a strict-alignment machine, the unaligned IP header traps:")
+    try:
+        run_strict(graph)
+    except RuntimeError as error:
+        print("  CRASH: %s" % error)
+
+    print("\nRunning click-align...")
+    fixed = align(graph)
+    aligns = fixed.elements_of_class("Align")
+    infos = fixed.elements_of_class("AlignmentInfo")
+    print("  inserted %s, recorded %s(%s)"
+          % (", ".join("%s(%s)" % (a.class_name, a.config) for a in aligns),
+             infos[0].class_name, infos[0].config))
+
+    print("\nThe fixed configuration:")
+    for line in save_config(fixed).splitlines():
+        if line.strip():
+            print("  " + line)
+
+    sent = run_strict(fixed)
+    print("\nStrict mode now forwards cleanly (%d packet transmitted). Done." % sent)
+
+
+if __name__ == "__main__":
+    main()

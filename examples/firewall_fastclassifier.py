@@ -1,0 +1,79 @@
+"""§4's firewall: click-fastclassifier on a 17-rule IPFilter.
+
+Builds the screened-subnet firewall from *Building Internet Firewalls*,
+shows the decision tree the IPFilter element compiles, runs
+click-fastclassifier over the configuration, prints the generated Python
+(the analogue of Figure 3b's generated C++), and compares the cost of
+classifying a DNS-5 packet before and after — both in simulated
+Pentium III nanoseconds and in actual wall-clock time.
+
+Run:  python examples/firewall_fastclassifier.py
+"""
+
+import timeit
+
+from repro.classifier.compile import CompiledClassifier
+from repro.configs.firewall import FIREWALL_RULES, dns5_packet, firewall_graph
+from repro.core.fastclassifier import fastclassifier
+from repro.core.toolchain import save_config
+from repro.lang.archive import read_archive
+from repro.sim import cost
+
+CLOCK_MHZ = 700.0
+
+
+def main():
+    print("The 17 firewall rules:")
+    for index, (name, rule) in enumerate(FIREWALL_RULES, 1):
+        print("  %2d  %-8s %s" % (index, name, rule))
+
+    graph = firewall_graph()
+    packet = dns5_packet()
+
+    # The element's decision tree (already BPF+-optimized).
+    from repro.elements.classifiers import IPFilter
+
+    element = IPFilter("fw", graph.elements["fw"].config)
+    tree = element.tree
+    steps = tree.steps(packet)
+    print(
+        "\nIPFilter compiled the rules into a %d-node decision tree;"
+        "\nthe DNS-5 packet (next-to-last rule) traverses %d nodes." % (len(tree.exprs), steps)
+    )
+
+    slow_cycles = cost.ELEMENT_WORK_CYCLES["IPFilter"] + cost.CYCLES_ELEMENT_ENTRY \
+        + steps * cost.CYCLES_CLASSIFIER_STEP
+    fast_cycles = cost.ELEMENT_WORK_CYCLES["FastClassifier"] + cost.CYCLES_ELEMENT_ENTRY \
+        + steps * cost.CYCLES_FAST_CLASSIFIER_STEP
+    print(
+        "\nSimulated Pentium III cost for the DNS-5 packet:"
+        "\n  interpreted tree walk: %4.0f ns   (paper: 388 ns)"
+        "\n  compiled:              %4.0f ns   (paper: 188 ns)"
+        % (slow_cycles * 1000 / CLOCK_MHZ, fast_cycles * 1000 / CLOCK_MHZ)
+    )
+
+    print("\nRunning click-fastclassifier over the configuration...")
+    optimized = fastclassifier(graph)
+    members = read_archive(save_config(optimized))
+    (code_member,) = [m for m in members if m.endswith(".py")]
+    lines = members[code_member].splitlines()
+    print("  generated %d lines of Python; the classify function begins:" % len(lines))
+    start = next(i for i, line in enumerate(lines) if line.startswith("def _classify"))
+    for line in lines[start:start + 6]:
+        print("  | " + line)
+
+    compiled = CompiledClassifier(tree)
+    interp_us = timeit.timeit(lambda: tree.match(packet), number=20000) / 20000 * 1e6
+    compiled_us = timeit.timeit(lambda: compiled(packet), number=20000) / 20000 * 1e6
+    print(
+        "\nWall-clock in this Python implementation (DNS-5 packet):"
+        "\n  interpreted: %.2f us/packet"
+        "\n  compiled:    %.2f us/packet   (%.1fx faster)"
+        % (interp_us, compiled_us, interp_us / compiled_us)
+    )
+    assert compiled(packet) == tree.match(packet) == 0
+    print("\nBoth accept the DNS-5 packet on output 0. Done.")
+
+
+if __name__ == "__main__":
+    main()

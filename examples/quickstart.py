@@ -1,0 +1,72 @@
+"""Quickstart: write a configuration, run it, optimize it.
+
+This walks the package's core loop in five minutes:
+
+1. describe a router in the Click language;
+2. build and drive it (packets through real elements);
+3. run the optimizer tool chain, exactly as the paper's Unix filters
+   would (`click-fastclassifier | click-xform | click-devirtualize`);
+4. inspect the emitted archive — configuration plus generated code; and
+5. confirm the optimized router behaves identically.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import chain, devirtualize, fastclassifier, load_config, save_config
+from repro.elements import Router
+from repro.net.packet import Packet
+
+CONFIG = """
+// A tiny packet processor: classify Ethernet frames, count IP traffic,
+// queue it, and discard everything else.
+source :: Idle;                 // stands in for a device in this demo
+c :: Classifier(12/0806, 12/0800, -);   // ARP, IP, other
+source -> c;
+c [0] -> arp_count :: Counter -> Discard;
+c [1] -> ip_count :: Counter -> q :: Queue(64) -> u :: Unqueue -> sink :: Discard;
+c [2] -> Discard;
+"""
+
+IP_FRAME = bytes(12) + b"\x08\x00" + bytes(46)
+ARP_FRAME = bytes(12) + b"\x08\x06" + bytes(46)
+IPV6_FRAME = bytes(12) + b"\x86\xdd" + bytes(46)
+
+
+def drive(router, frames):
+    for frame in frames:
+        router.push_packet("c", 0, Packet(frame))
+    router.run_tasks(8)
+    return router["arp_count"].count, router["ip_count"].count, router["sink"].count
+
+
+def main():
+    print("1. Parsing the configuration...")
+    graph = load_config(CONFIG)
+    print("   %d elements, %d connections" % (len(graph.elements), len(graph.connections)))
+
+    print("\n2. Running packets through the unoptimized router...")
+    router = Router(graph)
+    arp, ip, sunk = drive(router, [IP_FRAME, ARP_FRAME, IP_FRAME, IPV6_FRAME])
+    print("   ARP counted: %d, IP counted: %d, IP delivered: %d" % (arp, ip, sunk))
+
+    print("\n3. Running the optimizer chain (fastclassifier, then devirtualize)...")
+    optimize = chain(fastclassifier, devirtualize)
+    optimized = optimize(graph)
+    text = save_config(optimized)
+    print("   the classifier became: c :: %s" % optimized.elements["c"].class_name)
+    print("   archive members: %s" % ", ".join(["config"] + list(optimized.archive)))
+
+    print("\n4. First lines of the emitted archive:")
+    for line in text.splitlines()[:6]:
+        print("   | " + line)
+
+    print("\n5. Rebuilding the router from the archive text and re-running...")
+    rebuilt = Router(load_config(text))
+    arp2, ip2, sunk2 = drive(rebuilt, [IP_FRAME, ARP_FRAME, IP_FRAME, IPV6_FRAME])
+    assert (arp, ip, sunk) == (arp2, ip2, sunk2)
+    print("   identical behaviour: ARP %d, IP %d, delivered %d" % (arp2, ip2, sunk2))
+    print("\nDone.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""repro: a Python reproduction of "Programming Language Optimizations
+for Modular Router Configurations" (Kohler, Morris, Chen; ASPLOS 2002).
+
+The package contains the Click modular-router substrate (configuration
+language, element library, runtime), the paper's optimization tool chain
+(click-fastclassifier, click-devirtualize, click-xform, click-undead,
+click-align, click-combine/uncombine, and friends), and a calibrated
+hardware simulation that regenerates the paper's evaluation.
+
+Quickstart::
+
+    from repro import core, configs, elements
+
+    graph = core.load_config(configs.ip_router_config())
+    optimized = core.chain(
+        core.fastclassifier,
+        core.make_xform_tool(core.STANDARD_PATTERNS),
+        core.devirtualize,
+    )(graph)
+    print(core.save_config(optimized))
+"""
+
+from . import classifier, configs, core, elements, graph, lang, net
+
+__version__ = "1.0.0"
+
+__all__ = ["classifier", "configs", "core", "elements", "graph", "lang", "net", "__version__"]

@@ -1,0 +1,40 @@
+"""Packet-classification engine: decision trees, the Classifier and
+IPFilter/IPClassifier languages, BPF+-style tree optimization, and the
+tree-to-Python compiler behind click-fastclassifier."""
+
+from .compile import CompiledClassifier, compile_tree, generate_source
+from .ipfilter import (
+    FilterError,
+    compile_expressions,
+    compile_filter_rules,
+    parse_expression,
+)
+from .language import PatternError, compile_patterns, parse_pattern
+from .optimize import deduplicate_nodes, graft, optimize, prune_redundant_tests, remove_unreachable
+from .tree import FAILURE, DecisionTree, Expr, TreeBuilder, TreeError, is_leaf, leaf_output, make_leaf
+
+__all__ = [
+    "CompiledClassifier",
+    "compile_tree",
+    "generate_source",
+    "FilterError",
+    "compile_expressions",
+    "compile_filter_rules",
+    "parse_expression",
+    "PatternError",
+    "compile_patterns",
+    "parse_pattern",
+    "deduplicate_nodes",
+    "graft",
+    "optimize",
+    "prune_redundant_tests",
+    "remove_unreachable",
+    "FAILURE",
+    "DecisionTree",
+    "Expr",
+    "TreeBuilder",
+    "TreeError",
+    "is_leaf",
+    "leaf_output",
+    "make_leaf",
+]

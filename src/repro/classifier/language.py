@@ -1,0 +1,121 @@
+"""The *Classifier* pattern mini-language.
+
+A ``Classifier`` configuration is a comma-separated list of patterns, one
+per output port; packets take the first matching output.  Each pattern is
+a space-separated conjunction of clauses:
+
+    ``offset/value``        bytes at ``offset`` equal hex ``value``
+    ``offset/value%mask``   masked comparison
+    ``-``                   match everything (catch-all port)
+
+Hex values may contain ``?`` wildcard digits ("12/08??" matches any
+low byte).  ``Classifier(12/0800, -)`` — Figure 3's example — sends
+IP-in-Ethernet packets to output 0 and everything else to output 1.
+
+Patterns compile to byte-level (offset, mask, value) constraints, which
+are then packed into the 4-byte-aligned word comparisons of the decision
+tree, exactly as Click lays them out.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .tree import FAILURE, TreeBuilder, make_leaf
+
+_CLAUSE_RE = re.compile(r"^(\d+)/([0-9a-fA-F?]+)(?:%([0-9a-fA-F]+))?$")
+
+
+class PatternError(ValueError):
+    """Raised for malformed Classifier patterns."""
+
+
+def _parse_clause(clause):
+    """One clause → list of (byte_offset, byte_mask, byte_value)."""
+    match = _CLAUSE_RE.match(clause)
+    if not match:
+        raise PatternError("bad Classifier clause %r" % clause)
+    offset = int(match.group(1))
+    value_text = match.group(2)
+    mask_text = match.group(3)
+    if len(value_text) % 2:
+        raise PatternError("odd number of hex digits in %r" % clause)
+    if mask_text is not None:
+        if "?" in value_text:
+            raise PatternError("cannot combine '?' wildcards with %%mask in %r" % clause)
+        if len(mask_text) != len(value_text):
+            raise PatternError("mask and value lengths differ in %r" % clause)
+
+    constraints = []
+    for i in range(0, len(value_text), 2):
+        byte_index = offset + i // 2
+        hi, lo = value_text[i], value_text[i + 1]
+        mask = 0
+        value = 0
+        for shift, digit in ((4, hi), (0, lo)):
+            if digit == "?":
+                continue
+            mask |= 0xF << shift
+            value |= int(digit, 16) << shift
+        if mask_text is not None:
+            byte_mask = int(mask_text[i:i + 2], 16)
+            mask &= byte_mask
+            value &= byte_mask
+        if mask:
+            constraints.append((byte_index, mask, value))
+    return constraints
+
+
+def parse_pattern(pattern):
+    """A full pattern → word-aligned (offset, mask, value) triples, or
+    None for the ``-`` match-everything pattern."""
+    pattern = pattern.strip()
+    if pattern == "-":
+        return None
+    if not pattern:
+        raise PatternError("empty Classifier pattern")
+    byte_constraints = []
+    for clause in pattern.split():
+        byte_constraints.extend(_parse_clause(clause))
+
+    # Merge byte constraints into aligned 32-bit words (big-endian).
+    words = {}
+    for byte_index, mask, value in byte_constraints:
+        word_offset = (byte_index // 4) * 4
+        shift = (3 - (byte_index % 4)) * 8
+        word_mask, word_value = words.get(word_offset, (0, 0))
+        overlap = word_mask & (mask << shift)
+        if overlap and (word_value & overlap) != ((value << shift) & overlap):
+            raise PatternError("contradictory constraints at byte %d" % byte_index)
+        words[word_offset] = (word_mask | (mask << shift), word_value | (value << shift))
+    return sorted((offset, mask, value) for offset, (mask, value) in words.items())
+
+
+def compile_patterns(patterns):
+    """Compile a Classifier configuration (list of pattern strings) into
+    a :class:`~repro.classifier.tree.DecisionTree`.
+
+    First match wins; packets matching nothing are dropped (Click's
+    Classifier semantics).
+    """
+    if not patterns:
+        raise PatternError("Classifier needs at least one pattern")
+    parsed = [parse_pattern(p) for p in patterns]
+    builder = TreeBuilder()
+
+    # Compile back-to-front so each pattern's failure path can point at
+    # the next pattern's entry.
+    entry = FAILURE
+    for output in range(len(parsed) - 1, -1, -1):
+        words = parsed[output]
+        success = make_leaf(output)
+        if words is None:
+            # `-`: everything reaching here matches.
+            entry = success
+            continue
+        fail = entry
+        node = success
+        for offset, mask, value in reversed(words):
+            node = builder.node(offset, mask, value, node, fail)
+        entry = node
+    return builder.finish(entry, noutputs=len(parsed))

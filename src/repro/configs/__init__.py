@@ -1,0 +1,28 @@
+"""Reference configurations: the Figure 1 IP router, the minimal
+"Simple" configuration, and the §4 firewall."""
+
+from .firewall import FIREWALL_RULES, dns5_packet, firewall_config, firewall_graph, firewall_rule_strings
+from .iprouter import (
+    FORWARDING_PATH_CLASSES,
+    Interface,
+    default_interfaces,
+    ip_router_config,
+    ip_router_graph,
+)
+from .simple import crossed_pairs, simple_config, simple_graph
+
+__all__ = [
+    "FIREWALL_RULES",
+    "dns5_packet",
+    "firewall_config",
+    "firewall_graph",
+    "firewall_rule_strings",
+    "FORWARDING_PATH_CLASSES",
+    "Interface",
+    "default_interfaces",
+    "ip_router_config",
+    "ip_router_graph",
+    "crossed_pairs",
+    "simple_config",
+    "simple_graph",
+]

@@ -1,0 +1,94 @@
+"""The 17-rule firewall of §4.
+
+"We implemented a 17-rule firewall from *Building Internet Firewalls*
+[18, pp 691-2] in IPFilter, then measured IPFilter's CPU cost for a
+packet matching the next-to-last rule (DNS-5)."
+
+The book is not redistributable, so this is a faithful reconstruction of
+its screened-subnet example: anti-spoofing rules, then four-rule
+conversation pairs for SMTP, three for NNTP, two for HTTP, five for DNS,
+and a final default deny — 17 rules, with DNS-5 sixteenth (next to
+last).  What matters for the experiment is the *shape*: a matching
+packet for DNS-5 traverses a large fraction of the decision tree, the
+paper's stated best case for click-fastclassifier.
+"""
+
+from __future__ import annotations
+
+from ..lang.build import parse_graph
+
+# The perimeter hosts of the book's example network.
+MAIL_SERVER = "192.168.1.2"
+NEWS_SERVER = "192.168.1.3"
+WEB_SERVER = "192.168.1.4"
+DNS_SERVER = "192.168.1.5"
+NEWS_FEED = "10.5.0.1"
+# The protected internal network: distinct from the 192.168.1.0/24
+# perimeter subnet the bastion hosts live on, so anti-spoofing doesn't
+# swallow their traffic.
+INTERNAL_NET = "172.16.0.0/16"
+
+FIREWALL_RULES = [
+    # Anti-spoofing.
+    ("Spoof-1", "deny src net %s" % INTERNAL_NET),
+    ("Spoof-2", "deny src net 127.0.0.0/8"),
+    # SMTP in/out conversations via the bastion mail host.
+    ("SMTP-1", "allow tcp && dst host %s && dst port 25" % MAIL_SERVER),
+    ("SMTP-2", "allow tcp && src host %s && src port 25 && tcp opt ack" % MAIL_SERVER),
+    ("SMTP-3", "allow tcp && src host %s && dst port 25" % MAIL_SERVER),
+    ("SMTP-4", "allow tcp && dst host %s && src port 25 && tcp opt ack" % MAIL_SERVER),
+    # NNTP with the upstream news feed.
+    ("NNTP-1", "allow tcp && src host %s && dst host %s && dst port 119" % (NEWS_FEED, NEWS_SERVER)),
+    ("NNTP-2", "allow tcp && src host %s && dst host %s && src port 119 && tcp opt ack" % (NEWS_SERVER, NEWS_FEED)),
+    ("NNTP-3", "allow tcp && src host %s && dst host %s && dst port 119" % (NEWS_SERVER, NEWS_FEED)),
+    # HTTP to the public web server.
+    ("HTTP-1", "allow tcp && dst host %s && dst port 80" % WEB_SERVER),
+    ("HTTP-2", "allow tcp && src host %s && src port 80 && tcp opt ack" % WEB_SERVER),
+    # DNS: UDP both ways, zone transfers over TCP.
+    ("DNS-1", "allow udp && dst host %s && dst port 53" % DNS_SERVER),
+    ("DNS-2", "allow udp && src host %s && src port 53" % DNS_SERVER),
+    ("DNS-3", "allow tcp && dst host %s && dst port 53" % DNS_SERVER),
+    ("DNS-4", "allow udp && dst host %s && src port 53" % DNS_SERVER),
+    ("DNS-5", "allow tcp && src host %s && src port 53 && tcp opt ack" % DNS_SERVER),
+    # Default deny.
+    ("Default", "deny all"),
+]
+
+assert len(FIREWALL_RULES) == 17
+assert FIREWALL_RULES[-2][0] == "DNS-5"
+
+
+def firewall_rule_strings():
+    """The 17 rules as bare IPFilter arguments."""
+    return [rule for _, rule in FIREWALL_RULES]
+
+
+def firewall_config(queue_capacity=64):
+    """A filtering bridge: device → IPFilter(17 rules) → device."""
+    rules = ",\n    ".join(firewall_rule_strings())
+    return (
+        "// 17-rule screened-subnet firewall (Building Internet Firewalls).\n"
+        "PollDevice(eth0) -> Strip(14) -> fw :: IPFilter(\n    %s)\n"
+        " -> Unstrip(14) -> Queue(%d) -> ToDevice(eth1);\n" % (rules, queue_capacity)
+    )
+
+
+def firewall_graph(**kwargs):
+    """The firewall configuration, parsed."""
+    return parse_graph(firewall_config(**kwargs), "<firewall>")
+
+
+def dns5_packet():
+    """A packet matching rule DNS-5 (the next-to-last rule): a TCP DNS
+    reply from the DNS server with ACK set — the §4 measurement packet."""
+    from ..net.headers import IP_PROTO_TCP, IPHeader
+
+    ip = IPHeader(src=DNS_SERVER, dst="10.0.0.99", protocol=IP_PROTO_TCP, total_length=40)
+    tcp = (
+        (53).to_bytes(2, "big")
+        + (3456).to_bytes(2, "big")
+        + bytes(8)
+        + b"\x50\x10"  # data offset 5, ACK
+        + bytes(6)
+    )
+    return ip.pack() + tcp

@@ -1,0 +1,159 @@
+"""The standards-compliant Click IP router of Figure 1.
+
+Built as configuration *text*, so the whole language/tool pipeline is
+exercised exactly as in the paper.  Two network interfaces by default;
+:func:`ip_router_config` generalizes to N interfaces (the evaluation's
+P0 testbed has eight).
+
+Per interface *i* the forwarding path is the sixteen elements §3 counts:
+PollDevice → Classifier → Paint → Strip → CheckIPHeader → GetIPAddress →
+LookupIPRoute → DropBroadcasts → CheckPaint → IPGWOptions → FixIPSrc →
+DecIPTTL → IPFragmenter → ARPQuerier → Queue → ToDevice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..lang.build import parse_graph
+
+
+@dataclass(frozen=True)
+class Interface:
+    """One router interface: device name and addresses."""
+
+    device: str
+    ip: str
+    ether: str
+    network: str  # CIDR served by this interface
+
+
+def default_interfaces(count=2):
+    """The evaluation addressing scheme: interface i serves
+    ``(i+1).0.0.0/8`` with router address ``(i+1).0.0.1``."""
+    return [
+        Interface(
+            device="eth%d" % i,
+            ip="%d.0.0.1" % (i + 1),
+            ether="00:00:C0:4F:71:%02X" % i,
+            network="%d.0.0.0/8" % (i + 1),
+        )
+        for i in range(count)
+    ]
+
+
+def ip_router_config(interfaces=None, queue_capacity=64, mtu=1500, extra_routes=(),
+                     answer_pings=False):
+    """Figure 1's IP router as Click-language text.
+
+    ``extra_routes`` are additional LookupIPRoute entries (e.g.
+    ``"3.0.0.0/8 2.0.0.2 2"`` for a next-hop route), appended after the
+    directly-connected routes.  With ``answer_pings``, the host path
+    answers ICMP echo requests addressed to the router instead of
+    discarding everything (the paper's router hands the host path to
+    Linux; this is the closest self-contained equivalent).
+    """
+    if interfaces is None:
+        interfaces = default_interfaces()
+    lines = ["// Standards-compliant IP router (Figure 1)."]
+
+    # Shared routing table: host routes to us, then a network route per
+    # interface.  Output 0 is the host path (the paper's ToLinux; we
+    # discard or answer pings), output i+1 forwards via interface i.
+    routes = []
+    for interface in interfaces:
+        routes.append("%s/32 0" % interface.ip)
+    for index, interface in enumerate(interfaces):
+        routes.append("%s %d" % (interface.network, index + 1))
+    routes.extend(extra_routes)
+    lines.append("rt :: LookupIPRoute(%s);" % ", ".join(routes))
+    if answer_pings:
+        lines.append("rt [0] -> host :: IPClassifier(icmp type echo, -);")
+        lines.append("host [0] -> ICMPPingResponder -> rt;")
+        lines.append("host [1] -> Discard;")
+    else:
+        lines.append("rt [0] -> Discard;  // host path")
+    lines.append("")
+
+    for index, interface in enumerate(interfaces):
+        i = index
+        color = index + 1
+        ip = interface.ip
+        lines.extend(
+            [
+                "// Interface %d: %s (%s)" % (i, interface.device, ip),
+                "c%d :: Classifier(12/0806 20/0001, 12/0806 20/0002, 12/0800, -);" % i,
+                "arpq%d :: ARPQuerier(%s, %s);" % (i, ip, interface.ether),
+                "arpr%d :: ARPResponder(%s %s);" % (i, ip, interface.ether),
+                "out%d :: Queue(%d);" % (i, queue_capacity),
+                "td%d :: ToDevice(%s);" % (i, interface.device),
+                "PollDevice(%s) -> c%d;" % (interface.device, i),
+                "c%d [0] -> arpr%d -> out%d;" % (i, i, i),
+                "c%d [1] -> [1] arpq%d;" % (i, i),
+                "c%d [3] -> Discard;" % i,
+                "c%d [2] -> Paint(%d) -> Strip(14)" % (i, color),
+                "    -> CheckIPHeader(18.26.4.255 2.255.255.255)",
+                "    -> GetIPAddress(16) -> rt;",
+                "rt [%d] -> db%d :: DropBroadcasts" % (i + 1, i),
+                "    -> cp%d :: CheckPaint(%d)" % (i, color),
+                "    -> gio%d :: IPGWOptions(%s)" % (i, ip),
+                "    -> FixIPSrc(%s)" % ip,
+                "    -> dt%d :: DecIPTTL" % i,
+                "    -> fr%d :: IPFragmenter(%d)" % (i, mtu),
+                "    -> [0] arpq%d -> out%d -> td%d;" % (i, i, i),
+                "cp%d [1] -> ICMPError(%s, redirect, host-redirect) -> rt;" % (i, ip),
+                "gio%d [1] -> ICMPError(%s, parameterproblem, 0) -> rt;" % (i, ip),
+                "dt%d [1] -> ICMPError(%s, timeexceeded, transit) -> rt;" % (i, ip),
+                "fr%d [1] -> ICMPError(%s, unreachable, needfrag) -> rt;" % (i, ip),
+                "",
+            ]
+        )
+    return "\n".join(lines) + "\n"
+
+
+def ip_router_graph(interfaces=None, **kwargs):
+    """The same configuration, parsed."""
+    return parse_graph(ip_router_config(interfaces, **kwargs), "<iprouter>")
+
+
+def two_router_network():
+    """Routers A and B joined point-to-point on network 2 (the §7.2
+    topology of Figure 7): A serves network 1, B serves network 3, and
+    each has a next-hop route through the other."""
+    from collections import OrderedDict
+
+    a_interfaces = [
+        Interface("eth0", "1.0.0.1", "00:00:C0:AA:00:00", "1.0.0.0/8"),
+        Interface("eth1", "2.0.0.1", "00:00:C0:AA:00:01", "2.0.0.0/8"),
+    ]
+    b_interfaces = [
+        Interface("eth0", "2.0.0.2", "00:00:C0:BB:00:00", "2.0.0.0/8"),
+        Interface("eth1", "3.0.0.1", "00:00:C0:BB:00:01", "3.0.0.0/8"),
+    ]
+    routers = OrderedDict(
+        [
+            ("A", ip_router_graph(a_interfaces, extra_routes=["3.0.0.0/8 2.0.0.2 2"])),
+            ("B", ip_router_graph(b_interfaces, extra_routes=["1.0.0.0/8 2.0.0.1 1"])),
+        ]
+    )
+    return routers, a_interfaces, b_interfaces
+
+
+FORWARDING_PATH_CLASSES = [
+    "PollDevice",
+    "Classifier",
+    "Paint",
+    "Strip",
+    "CheckIPHeader",
+    "GetIPAddress",
+    "LookupIPRoute",
+    "DropBroadcasts",
+    "CheckPaint",
+    "IPGWOptions",
+    "FixIPSrc",
+    "DecIPTTL",
+    "IPFragmenter",
+    "ARPQuerier",
+    "Queue",
+    "ToDevice",
+]

@@ -1,0 +1,30 @@
+"""The "Simple" configuration (§8.3): "the simplest possible Click
+configuration, consisting only of device handling and a single packet
+queue" per interface pair.  Its MLFFR bounds what the I/O system allows;
+the optimized IP routers approach it."""
+
+from __future__ import annotations
+
+from ..lang.build import parse_graph
+
+
+def simple_config(pairs=((("eth0", "eth1")),), queue_capacity=64):
+    """device → Queue → device for each (in, out) pair."""
+    lines = ["// The minimal configuration: device handling and a queue."]
+    for index, (rx, tx) in enumerate(pairs):
+        lines.append(
+            "PollDevice(%s) -> q%d :: Queue(%d) -> ToDevice(%s);"
+            % (rx, index, queue_capacity, tx)
+        )
+    return "\n".join(lines) + "\n"
+
+
+def simple_graph(pairs=(("eth0", "eth1"),), **kwargs):
+    """The Simple configuration, parsed."""
+    return parse_graph(simple_config(pairs, **kwargs), "<simple>")
+
+
+def crossed_pairs(count=2):
+    """The evaluation wiring: interface i receives, interface
+    (i + 1) mod count transmits."""
+    return [("eth%d" % i, "eth%d" % ((i + 1) % count)) for i in range(count)]

@@ -1,0 +1,279 @@
+"""click-align: packet-data alignment for strict architectures (§7.1).
+
+On x86, unaligned word loads from packet data are legal and fast; "on
+architectures such as ARM, unaligned accesses crash the machine".  Click
+asks the user to ensure elements receive packets with the alignment they
+expect; inserting the fixes by hand "would be tedious and error-prone",
+so this tool automates it:
+
+1. a forward data-flow analysis ("patterned after data-flow analyses in
+   the compiler literature") computes the alignment of packet data at
+   every input port, joining over all paths;
+2. ``Align`` elements are inserted exactly where an element's required
+   alignment conflicts with what arrives (heuristics keep the count
+   minimal: one Align per deficient input, none where alignment already
+   holds);
+3. redundant existing ``Align`` elements are spliced out; and
+4. an ``AlignmentInfo`` element records the resulting guarantees.
+
+As the paper admits (§5.3), per-class alignment behaviour is built into
+the tool itself rather than scraped from element source — with the
+suggested escape hatch: an element class may carry ``align_transfer`` /
+``required_alignment`` attributes (the "specifications embedded in the
+element code as comments"), which override the built-in table.
+"""
+
+from __future__ import annotations
+
+from math import gcd
+
+from ..lang.lexer import split_config_args
+from .flatten import flatten
+
+# ---------------------------------------------------------------------------
+# The alignment lattice: (modulus, offset) with modulus in {1, 2, 4};
+# (1, 0) is "unknown alignment" (bottom).
+
+
+class Alignment:
+    """A (modulus, offset) alignment fact about packet data."""
+
+    __slots__ = ("modulus", "offset")
+
+    def __init__(self, modulus, offset):
+        self.modulus = modulus
+        self.offset = offset % modulus if modulus else 0
+
+    @classmethod
+    def unknown(cls):
+        return cls(1, 0)
+
+    def shift(self, nbytes):
+        """Alignment after the data pointer moves forward ``nbytes``
+        (strip) or backward (negative: push)."""
+        return Alignment(self.modulus, (self.offset + nbytes) % self.modulus)
+
+    def join(self, other):
+        """Coarsest alignment consistent with both (lattice meet over
+        information: moduli are powers of two)."""
+        modulus = gcd(self.modulus, other.modulus)
+        while modulus > 1 and (self.offset % modulus) != (other.offset % modulus):
+            modulus //= 2
+        return Alignment(modulus, self.offset % modulus)
+
+    def satisfies(self, required):
+        """True if data with this alignment meets ``required``."""
+        return (
+            self.modulus % required.modulus == 0
+            and self.offset % required.modulus == required.offset
+        )
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Alignment)
+            and self.modulus == other.modulus
+            and self.offset == other.offset
+        )
+
+    def __hash__(self):
+        return hash((self.modulus, self.offset))
+
+    def __repr__(self):
+        return "Alignment(%d, %d)" % (self.modulus, self.offset)
+
+
+# ---------------------------------------------------------------------------
+# Built-in per-class behaviour (the unsatisfactory-but-practical §5.3
+# reality).  Each transfer maps the input alignment to the output
+# alignment; FRESH means the element emits freshly allocated packets.
+
+FRESH = Alignment(4, 0)  # Packet() buffers are word-aligned with our headroom
+
+
+def _strip_transfer(decl):
+    nbytes = int(split_config_args(decl.config)[0])
+    return lambda alignment: alignment.shift(nbytes)
+
+
+def _unstrip_transfer(decl):
+    nbytes = int(split_config_args(decl.config)[0])
+    return lambda alignment: alignment.shift(-nbytes)
+
+
+def _align_transfer(decl):
+    args = split_config_args(decl.config)
+    fixed = Alignment(int(args[0]), int(args[1]))
+    return lambda alignment: fixed
+
+
+def _ether_push_transfer(decl):
+    return lambda alignment: alignment.shift(-14)
+
+
+def _fresh_transfer(decl):
+    return lambda alignment: FRESH
+
+
+_TRANSFERS = {
+    "Strip": _strip_transfer,
+    "Unstrip": _unstrip_transfer,
+    "Align": _align_transfer,
+    "EtherEncap": _ether_push_transfer,
+    "ARPQuerier": _ether_push_transfer,  # encapsulates on its IP path
+    "ICMPError": _fresh_transfer,
+    "IPInputCombo": lambda decl: (lambda alignment: alignment.shift(14)),
+}
+
+# Alignments produced by source elements (fresh DMA buffers).
+_SOURCE_ALIGNMENT = {
+    "PollDevice": FRESH,
+    "FromDevice": FRESH,
+    "InfiniteSource": FRESH,
+    "RatedSource": FRESH,
+}
+
+# Per-class alignment requirements on input data.
+_REQUIREMENTS = {
+    "CheckIPHeader": Alignment(4, 0),
+    "IPClassifier": Alignment(4, 0),
+    "IPFilter": Alignment(4, 0),
+    "IPGWOptions": Alignment(4, 0),
+    "IPInputCombo": Alignment(4, 2),  # Ethernet header; IP at +14
+}
+
+
+def _transfer_for(decl, classes):
+    cls = classes.get(decl.class_name)
+    if cls is not None and hasattr(cls, "align_transfer"):
+        # The element-embedded escape hatch the paper suggests.
+        return lambda alignment: cls.align_transfer(decl, alignment)
+    factory = _TRANSFERS.get(decl.class_name)
+    if factory is not None:
+        return factory(decl)
+    return lambda alignment: alignment  # identity for everything else
+
+
+def _requirement_for(decl, classes):
+    cls = classes.get(decl.class_name)
+    if cls is not None and getattr(cls, "required_alignment", None) is not None:
+        modulus, offset = cls.required_alignment
+        return Alignment(modulus, offset)
+    return _REQUIREMENTS.get(decl.class_name)
+
+
+def compute_alignments(graph, classes=None):
+    """The forward data-flow: alignment arriving at each element (joined
+    over its input ports and predecessors)."""
+    classes = classes if classes is not None else _runtime_classes(graph)
+    transfers = {name: _transfer_for(decl, classes) for name, decl in graph.elements.items()}
+
+    arriving = {}
+    for name, decl in graph.elements.items():
+        if decl.class_name in _SOURCE_ALIGNMENT:
+            arriving[name] = _SOURCE_ALIGNMENT[decl.class_name]
+
+    changed = True
+    iterations = 0
+    while changed:
+        changed = False
+        iterations += 1
+        if iterations > 4 * (len(graph.elements) + 1):
+            break  # lattice has height <= 3; this is just a guard
+        for conn in graph.connections:
+            upstream = arriving.get(conn.from_element)
+            source_decl = graph.elements[conn.from_element]
+            if source_decl.class_name in _SOURCE_ALIGNMENT:
+                out_alignment = _SOURCE_ALIGNMENT[source_decl.class_name]
+            elif upstream is None:
+                continue
+            else:
+                out_alignment = transfers[conn.from_element](upstream)
+            current = arriving.get(conn.to_element)
+            merged = out_alignment if current is None else current.join(out_alignment)
+            if merged != current:
+                arriving[conn.to_element] = merged
+                changed = True
+    return arriving
+
+
+def _runtime_classes(graph):
+    from ..elements.registry import ELEMENT_CLASSES
+    from ..elements.runtime import compile_archive_classes
+
+    classes = dict(ELEMENT_CLASSES)
+    classes.update(compile_archive_classes(graph.archive))
+    return classes
+
+
+def align(graph):
+    """The tool: insert the minimal Aligns, drop redundant ones, and
+    record an AlignmentInfo."""
+    result = flatten(graph) if graph.element_classes else graph.copy()
+    classes = _runtime_classes(result)
+
+    # Remove existing redundant Aligns first (their effect is recomputed
+    # from scratch below).
+    arriving = compute_alignments(result, classes)
+    for decl in list(result.elements.values()):
+        if decl.class_name != "Align":
+            continue
+        incoming_alignment = arriving.get(decl.name)
+        args = split_config_args(decl.config)
+        wanted = Alignment(int(args[0]), int(args[1]))
+        if incoming_alignment is not None and incoming_alignment.satisfies(wanted):
+            result.splice_out(decl.name)
+
+    # Insert Aligns where requirements are violated — one element at a
+    # time, recomputing the data-flow after each fix, so an Align
+    # inserted early on a path satisfies every later requirement on it
+    # (the heuristic that "minimizes the number of inserted Aligns").
+    from ..graph.visitor import topological_order
+
+    while True:
+        arriving = compute_alignments(result, classes)
+        violation = None
+        for name in topological_order(result):  # fix upstream first
+            decl = result.elements[name]
+            requirement = _requirement_for(decl, classes)
+            if requirement is None:
+                continue
+            incoming_alignment = arriving.get(decl.name)
+            if incoming_alignment is None:
+                continue  # no packets ever arrive (dead input)
+            if not incoming_alignment.satisfies(requirement):
+                violation = (decl, requirement)
+                break
+        if violation is None:
+            break
+        decl, requirement = violation
+        for conn in list(result.connections_to(decl.name)):
+            align_decl = result.add_element(
+                None, "Align", "%d, %d" % (requirement.modulus, requirement.offset)
+            )
+            result.remove_connection(conn)
+            result.add_connection(conn.from_element, conn.from_port, align_decl.name, 0)
+            result.add_connection(align_decl.name, 0, decl.name, conn.to_port)
+
+    # Clean up Aligns made redundant by fixes further upstream.
+    arriving = compute_alignments(result, classes)
+    for decl in list(result.elements.values()):
+        if decl.class_name != "Align":
+            continue
+        incoming_alignment = arriving.get(decl.name)
+        args = split_config_args(decl.config)
+        wanted = Alignment(int(args[0]), int(args[1]))
+        if incoming_alignment is not None and incoming_alignment.satisfies(wanted):
+            result.splice_out(decl.name)
+
+    # Record the guarantees.
+    final = compute_alignments(result, classes)
+    entries = []
+    for name, alignment in sorted(final.items()):
+        if _requirement_for(result.elements[name], classes) is not None:
+            entries.append("%s %d %d" % (name, alignment.modulus, alignment.offset))
+    if entries:
+        existing = [d for d in result.elements.values() if d.class_name == "AlignmentInfo"]
+        for decl in existing:
+            result.remove_element(decl.name)
+        result.add_element(None, "AlignmentInfo", ", ".join(entries))
+    return result

@@ -1,0 +1,231 @@
+"""Command-line entry points: each tool as a Unix filter.
+
+"The optimizers read Click router configurations on standard input,
+analyze and transform them in various ways, and write the optimized
+configurations to standard output.  They are thus easily combined, much
+like compiler optimization passes" (§1) — e.g.::
+
+    click-fastclassifier < ip.click | click-xform | click-devirtualize
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .align import align
+from .check import check
+from .devirtualize import devirtualize
+from .fastclassifier import fastclassifier
+from .flatten import flatten
+from .mkmindriver import mkmindriver
+from .patterns import STANDARD_PATTERNS
+from .pretty import pretty_html
+from .toolchain import load_config, save_config
+from .undead import undead
+from .xform import PatternPair, xform
+
+
+def _filter_main(tool, description, argv=None, extra_args=None, needs_args=False):
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument(
+        "file", nargs="?", default="-", help="configuration file (default: stdin)"
+    )
+    parser.add_argument("-o", "--output", default="-", help="output file (default: stdout)")
+    if extra_args:
+        extra_args(parser)
+    args = parser.parse_args(argv)
+
+    if args.file == "-":
+        text = sys.stdin.read()
+    else:
+        with open(args.file) as handle:
+            text = handle.read()
+    graph = load_config(text, args.file)
+    result = tool(graph, args) if needs_args else tool(graph)
+    output = result if isinstance(result, str) else save_config(result)
+    if args.output == "-":
+        sys.stdout.write(output)
+    else:
+        with open(args.output, "w") as handle:
+            handle.write(output)
+    return 0
+
+
+def fastclassifier_main(argv=None):
+    """click-fastclassifier CLI."""
+    return _filter_main(fastclassifier, "Compile classifiers into specialized code.", argv)
+
+
+def devirtualize_main(argv=None):
+    """click-devirtualize CLI."""
+    def extra(parser):
+        parser.add_argument(
+            "-n",
+            "--no-devirtualize",
+            action="append",
+            default=[],
+            metavar="ELEMENT",
+            help="do not devirtualize this element (repeatable)",
+        )
+
+    def tool(graph, args):
+        return devirtualize(graph, exclude=args.no_devirtualize)
+
+    return _filter_main(
+        tool, "Replace virtual packet transfers with direct calls.", argv,
+        extra_args=extra, needs_args=True,
+    )
+
+
+def xform_main(argv=None):
+    """click-xform CLI."""
+    def extra(parser):
+        parser.add_argument(
+            "-p",
+            "--patterns",
+            action="append",
+            default=[],
+            metavar="FILE",
+            help="pattern file: alternating pattern/replacement compound bodies "
+            "separated by lines of '%%%%' (default: the standard combo patterns)",
+        )
+
+    def tool(graph, args):
+        pairs = list(STANDARD_PATTERNS)
+        for path in args.patterns:
+            with open(path) as handle:
+                pairs.extend(parse_pattern_file(handle.read(), path))
+        return xform(graph, pairs)
+
+    return _filter_main(
+        tool, "Replace element collections with combination elements.", argv,
+        extra_args=extra, needs_args=True,
+    )
+
+
+def parse_pattern_file(text, filename="<patterns>"):
+    """Pattern files: pattern body, '%%' line, replacement body, '%%',
+    next pattern body, ..."""
+    sections = [part.strip() for part in text.split("\n%%\n")]
+    sections = [part for part in sections if part]
+    if len(sections) % 2:
+        raise ValueError("%s: odd number of pattern/replacement sections" % filename)
+    pairs = []
+    for index in range(0, len(sections), 2):
+        pairs.append(
+            PatternPair.from_texts(
+                sections[index], sections[index + 1], name="%s#%d" % (filename, index // 2)
+            )
+        )
+    return pairs
+
+
+def undead_main(argv=None):
+    """click-undead CLI."""
+    return _filter_main(undead, "Remove dead code from the configuration.", argv)
+
+
+def align_main(argv=None):
+    """click-align CLI."""
+    return _filter_main(align, "Insert Align elements for strict-alignment machines.", argv)
+
+
+def flatten_main(argv=None):
+    """click-flatten CLI."""
+    return _filter_main(flatten, "Compile away compound element abstractions.", argv)
+
+
+def mkmindriver_main(argv=None):
+    """click-mkmindriver CLI."""
+    return _filter_main(mkmindriver, "Attach a minimal driver manifest.", argv)
+
+
+def pretty_main(argv=None):
+    """click-pretty CLI."""
+    return _filter_main(
+        lambda graph: pretty_html(graph), "Pretty-print the configuration as HTML.", argv
+    )
+
+
+def check_main(argv=None):
+    """click-check CLI: exit status 1 on errors."""
+    parser = argparse.ArgumentParser(description="Check a configuration for errors.")
+    parser.add_argument("file", nargs="?", default="-")
+    args = parser.parse_args(argv)
+    text = sys.stdin.read() if args.file == "-" else open(args.file).read()
+    collector = check(load_config(text, args.file))
+    report = collector.format()
+    if report:
+        sys.stderr.write(report + "\n")
+    return 0 if collector.ok else 1
+
+
+def combine_main(argv=None):
+    """click-combine CLI."""
+    parser = argparse.ArgumentParser(
+        description="Combine router configurations into one (§7.2)."
+    )
+    parser.add_argument(
+        "-r",
+        "--router",
+        action="append",
+        default=[],
+        metavar="NAME=FILE",
+        help="a router and its configuration file (repeatable)",
+    )
+    parser.add_argument(
+        "-l",
+        "--link",
+        action="append",
+        default=[],
+        metavar="A.dev=B.dev",
+        help="a link: router A's device connects to router B's device",
+    )
+    parser.add_argument("-o", "--output", default="-")
+    args = parser.parse_args(argv)
+
+    from collections import OrderedDict
+
+    from .combine import Link, combine
+
+    routers = OrderedDict()
+    for spec in args.router:
+        name, _, path = spec.partition("=")
+        with open(path) as handle:
+            routers[name] = load_config(handle.read(), path)
+    links = []
+    for spec in args.link:
+        left, _, right = spec.partition("=")
+        from_router, _, from_device = left.partition(".")
+        to_router, _, to_device = right.partition(".")
+        links.append(Link(from_router, from_device, to_router, to_device))
+    output = save_config(combine(routers, links))
+    if args.output == "-":
+        sys.stdout.write(output)
+    else:
+        with open(args.output, "w") as handle:
+            handle.write(output)
+    return 0
+
+
+def uncombine_main(argv=None):
+    """click-uncombine CLI."""
+    parser = argparse.ArgumentParser(
+        description="Extract one router from a combined configuration."
+    )
+    parser.add_argument("router", help="router name to extract")
+    parser.add_argument("file", nargs="?", default="-")
+    parser.add_argument("-o", "--output", default="-")
+    args = parser.parse_args(argv)
+
+    from .combine import uncombine
+
+    text = sys.stdin.read() if args.file == "-" else open(args.file).read()
+    output = save_config(uncombine(load_config(text, args.file), args.router))
+    if args.output == "-":
+        sys.stdout.write(output)
+    else:
+        with open(args.output, "w") as handle:
+            handle.write(output)
+    return 0

@@ -1,0 +1,291 @@
+"""click-combine / click-uncombine: multiple-router configurations (§7.2).
+
+``combine`` encapsulates each router configuration inside a compound
+element, then links the compounds through ``RouterLink`` elements: a
+link specification like ``("A", "eth1", "B", "eth0")`` says router A's
+``ToDevice(eth1)`` connects to router B's ``PollDevice(eth0)``
+(Figure 7).  The RouterLink's configuration records both original
+device bindings, which is exactly what ``uncombine`` needs to split the
+combination apart again.
+
+``eliminate_arp`` implements the paper's sample multiple-router
+optimization: combined configurations expose the point-to-point nature
+of links, so ARP on those links is unnecessary; a generated click-xform
+pattern replaces each link's ARPQuerier with a static EtherEncap using
+the peer's known hardware address.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ClickSemanticError
+from ..graph.router import CompoundClass, RouterGraph
+from ..lang.lexer import split_config_args
+from .flatten import flatten
+from .patterns import arp_elimination_pattern
+from .xform import xform
+
+
+@dataclass(frozen=True)
+class Link:
+    """One inter-router link."""
+
+    from_router: str
+    from_device: str
+    to_router: str
+    to_device: str
+
+
+def _find_device_element(graph, class_names, device):
+    for decl in graph.elements.values():
+        if decl.class_name in class_names:
+            args = split_config_args(decl.config)
+            if args and args[0].strip() == device:
+                return decl.name
+    return None
+
+
+def combine(routers, links):
+    """Build the combined configuration.
+
+    ``routers`` is an ordered mapping router name → RouterGraph;
+    ``links`` is a list of :class:`Link`.  Each router becomes a
+    compound whose linked ToDevice/PollDevice elements are replaced by
+    ``output``/``input`` pseudo ports; instantiations are wired through
+    RouterLinks.
+    """
+    combined = RouterGraph()
+    port_maps = {}  # router -> {"out": {device: port}, "in": {device: port}}
+
+    for router_name, graph in routers.items():
+        body = flatten(graph) if graph.element_classes else graph.copy()
+        out_ports = {}
+        in_ports = {}
+        body.add_element(CompoundClass.INPUT, "__compound_input__")
+        body.add_element(CompoundClass.OUTPUT, "__compound_output__")
+        for link in links:
+            if link.from_router == router_name and link.from_device not in out_ports:
+                element = _find_device_element(body, ("ToDevice",), link.from_device)
+                if element is None:
+                    raise ClickSemanticError(
+                        "router %s has no ToDevice(%s)" % (router_name, link.from_device)
+                    )
+                port = len(out_ports)
+                out_ports[link.from_device] = port
+                for conn in list(body.connections_to(element)):
+                    body.remove_connection(conn)
+                    body.add_connection(
+                        conn.from_element, conn.from_port, CompoundClass.OUTPUT, port
+                    )
+                body.remove_element(element)
+            if link.to_router == router_name and link.to_device not in in_ports:
+                element = _find_device_element(
+                    body, ("PollDevice", "FromDevice"), link.to_device
+                )
+                if element is None:
+                    raise ClickSemanticError(
+                        "router %s has no PollDevice(%s)" % (router_name, link.to_device)
+                    )
+                port = len(in_ports)
+                in_ports[link.to_device] = port
+                for conn in list(body.connections_from(element)):
+                    body.remove_connection(conn)
+                    body.add_connection(
+                        CompoundClass.INPUT, port, conn.to_element, conn.to_port
+                    )
+                body.remove_element(element)
+        port_maps[router_name] = {"out": out_ports, "in": in_ports}
+        compound = CompoundClass(name="Router_%s" % router_name, params=[], body=body)
+        combined.element_classes[compound.name] = compound
+        combined.add_element(router_name, compound.name)
+
+    for link in links:
+        link_decl = combined.add_element(
+            None,
+            "RouterLink",
+            "%s %s, %s %s"
+            % (link.from_router, link.from_device, link.to_router, link.to_device),
+        )
+        combined.add_connection(
+            link.from_router,
+            port_maps[link.from_router]["out"][link.from_device],
+            link_decl.name,
+            0,
+        )
+        combined.add_connection(
+            link_decl.name,
+            0,
+            link.to_router,
+            port_maps[link.to_router]["in"][link.to_device],
+        )
+    return combined
+
+
+def _parse_link_config(config):
+    args = split_config_args(config)
+    if len(args) != 2:
+        raise ClickSemanticError("bad RouterLink configuration %r" % config)
+    from_router, from_device = args[0].split()
+    to_router, to_device = args[1].split()
+    return Link(from_router, from_device, to_router, to_device)
+
+
+def uncombine(combined, router_name):
+    """Extract one router from a combined configuration, restoring its
+    ToDevice/PollDevice elements from the RouterLink records.
+
+    Accepts combined configurations in compound form (fresh from
+    ``combine``) or flattened form (after optimization passes, where the
+    router's elements carry a ``name/`` prefix).
+    """
+    links = [
+        _parse_link_config(decl.config)
+        for decl in combined.elements.values()
+        if decl.class_name == "RouterLink"
+    ]
+    flat = flatten(combined) if combined.element_classes else combined.copy()
+
+    prefix = router_name + "/"
+    extracted = RouterGraph()
+    mine = {
+        name: decl for name, decl in flat.elements.items() if name.startswith(prefix)
+    }
+    if not mine:
+        raise ClickSemanticError("combined configuration has no router %r" % router_name)
+
+    # Optimization passes over the combined graph (e.g. ARP elimination)
+    # may have introduced elements without a router prefix; claim any
+    # whose neighbours all belong to this router.
+    def local_name(name):
+        return name[len(prefix):] if name.startswith(prefix) else name.replace("/", "_")
+
+    unclaimed = [
+        name
+        for name, decl in flat.elements.items()
+        if name not in mine and decl.class_name != "RouterLink" and "/" not in name
+    ]
+    # Claim whole connected components of unprefixed elements whose
+    # external (prefixed) neighbours all belong to this router — a
+    # replacement subgraph may be several elements wired to each other.
+    remaining = set(unclaimed)
+    while remaining:
+        seed = next(iter(remaining))
+        component = {seed}
+        frontier = [seed]
+        externals = set()
+        while frontier:
+            current = frontier.pop()
+            for conn in flat.connections:
+                if current not in (conn.from_element, conn.to_element):
+                    continue
+                other = conn.to_element if conn.from_element == current else conn.from_element
+                if other == current or flat.elements[other].class_name == "RouterLink":
+                    continue
+                if other in remaining and other not in component:
+                    component.add(other)
+                    frontier.append(other)
+                elif other not in remaining:
+                    externals.add(other)
+        remaining -= component
+        owners = {name.split("/", 1)[0] for name in externals if "/" in name}
+        if externals and owners == {router_name} and all(n in mine for n in externals):
+            for name in component:
+                mine[name] = flat.elements[name]
+
+    for name, decl in mine.items():
+        extracted.add_element(local_name(name), decl.class_name, decl.config, decl.location)
+    for conn in flat.connections:
+        if conn.from_element in mine and conn.to_element in mine:
+            extracted.add_connection(
+                local_name(conn.from_element),
+                conn.from_port,
+                local_name(conn.to_element),
+                conn.to_port,
+            )
+
+    # Restore the device elements for this router's ends of each link.
+    for link in links:
+        if link.from_router == router_name:
+            device = extracted.add_element(None, "ToDevice", link.from_device)
+            # Reconnect from the element that fed the link: find the
+            # boundary connection in the flat graph.
+            for conn in flat.connections:
+                if (
+                    conn.from_element in mine
+                    and flat.elements[conn.to_element].class_name == "RouterLink"
+                    and _parse_link_config(flat.elements[conn.to_element].config) == link
+                ):
+                    extracted.add_connection(
+                        local_name(conn.from_element), conn.from_port, device.name, 0
+                    )
+        if link.to_router == router_name:
+            device = extracted.add_element(None, "PollDevice", link.to_device)
+            for conn in flat.connections:
+                if (
+                    conn.to_element in mine
+                    and flat.elements[conn.from_element].class_name == "RouterLink"
+                    and _parse_link_config(flat.elements[conn.from_element].config) == link
+                ):
+                    extracted.add_connection(
+                        device.name, 0, local_name(conn.to_element), conn.to_port
+                    )
+    extracted.requirements = list(flat.requirements)
+    extracted.archive = dict(flat.archive)
+    return extracted
+
+
+def _ether_address_of(graph, link):
+    """The hardware address frames crossing ``link`` should be addressed
+    to: the receiving router's address on the receiving device.  Found
+    by following the link into the receiving router and reading the
+    ARPResponder that answers for that interface (falling back to any of
+    the router's ARPQueriers)."""
+    link_names = [
+        decl.name
+        for decl in graph.elements.values()
+        if decl.class_name == "RouterLink" and _parse_link_config(decl.config) == link
+    ]
+    for link_name in link_names:
+        for conn in graph.connections_from(link_name):
+            entry = conn.to_element  # the receiving router's classifier
+            for downstream in graph.connections_from(entry):
+                target = graph.elements[downstream.to_element]
+                if target.class_name == "ARPResponder":
+                    entry_args = split_config_args(target.config)
+                    fields = entry_args[0].split() if entry_args else []
+                    if len(fields) == 2:
+                        return fields[1].strip()
+    prefix = link.to_router + "/"
+    for decl in graph.elements.values():
+        if decl.class_name == "ARPQuerier" and decl.name.startswith(prefix):
+            args = split_config_args(decl.config)
+            if len(args) == 2:
+                return args[1].strip()
+    return None
+
+
+def eliminate_arp(combined):
+    """The MR optimization: run ARP-elimination xform patterns over the
+    flattened combined configuration, one pattern per link direction,
+    each parameterized by the peer's hardware address."""
+    flat = flatten(combined) if combined.element_classes else combined.copy()
+    links = [
+        _parse_link_config(decl.config)
+        for decl in flat.elements.values()
+        if decl.class_name == "RouterLink"
+    ]
+    pairs = []
+    for link in links:
+        # Packets flowing from from_router toward to_router are
+        # encapsulated by from_router's ARPQuerier; the peer's address
+        # is to_router's on the receiving device.
+        peer = _ether_address_of(flat, link)
+        if peer is not None:
+            link_config = "%s %s, %s %s" % (
+                link.from_router, link.from_device, link.to_router, link.to_device,
+            )
+            pairs.append(arp_elimination_pattern(peer, link_config))
+    if not pairs:
+        return flat
+    return xform(flat, pairs)

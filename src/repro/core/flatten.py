@@ -1,0 +1,165 @@
+"""click-flatten: compile away compound-element abstractions.
+
+Every optimizer flattens before analyzing (§6.2: "click-xform, and the
+other optimizers, compile away compound element abstractions before
+analyzing router configurations.  This gives the optimizers a further
+advantage over manual optimization").
+
+Flattening replaces each instantiation of an ``elementclass`` with a
+copy of its body: inner elements get ``outer/inner`` names (Click's
+convention), ``$parameters`` in configuration strings are substituted
+with the instantiation's arguments, and connections through the
+``input``/``output`` pseudo elements are spliced to the outside.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import ClickSemanticError
+from ..graph.router import CompoundClass
+from ..lang.lexer import split_config_args
+
+_INPUT_CLASS = "__compound_input__"
+_OUTPUT_CLASS = "__compound_output__"
+
+_MAX_DEPTH = 64
+
+
+def substitute_params(config, bindings):
+    """Replace ``$name`` occurrences in a configuration string."""
+    if config is None or not bindings:
+        return config
+
+    def replace(match):
+        name = match.group(0)
+        return bindings.get(name, name)
+
+    return re.sub(r"\$[A-Za-z_][A-Za-z0-9_]*", replace, config)
+
+
+def _expand_one(graph, name, compound, scope):
+    """Expand the compound instantiation ``name`` in place."""
+    decl = graph.elements[name]
+    args = split_config_args(decl.config)
+    if len(args) > len(compound.params):
+        raise ClickSemanticError(
+            "%s: too many arguments for compound %s (%d given, %d parameters)"
+            % (name, compound.name, len(args), len(compound.params))
+        )
+    bindings = {}
+    for index, param in enumerate(compound.params):
+        bindings[param] = args[index] if index < len(args) else ""
+
+    body = compound.body
+    incoming = graph.connections_to(name)
+    outgoing = graph.connections_from(name)
+    graph.remove_element(name)
+
+    # Copy inner elements (except pseudo ports) under prefixed names.
+    name_map = {}
+    for inner in body.elements.values():
+        if inner.class_name in (_INPUT_CLASS, _OUTPUT_CLASS):
+            continue
+        new_name = "%s/%s" % (name, inner.name)
+        name_map[inner.name] = new_name
+        graph.add_element(
+            new_name,
+            inner.class_name,
+            substitute_params(inner.config, bindings),
+            inner.location,
+        )
+
+    # Inner connections not involving the pseudo ports.
+    input_name = CompoundClass.INPUT
+    output_name = CompoundClass.OUTPUT
+    for conn in body.connections:
+        if conn.from_element in (input_name, output_name) or conn.to_element in (
+            input_name,
+            output_name,
+        ):
+            continue
+        graph.add_connection(
+            name_map[conn.from_element], conn.from_port, name_map[conn.to_element], conn.to_port
+        )
+
+    # Splice the boundary: outer packets entering compound port p go to
+    # whatever `input [p]` connects to inside, and vice versa for output.
+    inner_inputs = {}  # port -> [(element, port)]
+    for conn in body.connections:
+        if conn.from_element == input_name and conn.to_element != output_name:
+            inner_inputs.setdefault(conn.from_port, []).append((conn.to_element, conn.to_port))
+    inner_outputs = {}
+    for conn in body.connections:
+        if conn.to_element == output_name and conn.from_element != input_name:
+            inner_outputs.setdefault(conn.to_port, []).append((conn.from_element, conn.from_port))
+
+    # Direct input->output pass-throughs are not representable after
+    # flattening without a placeholder; Click handles them with a Null
+    # element and so do we (class Idle).
+    passthrough = {}
+    for conn in body.connections:
+        if conn.from_element == input_name and conn.to_element == output_name:
+            shim = graph.add_element("%s/passthrough%d" % (name, conn.from_port), "Idle")
+            passthrough[("in", conn.from_port)] = shim.name
+            inner_inputs.setdefault(conn.from_port, []).append((None, None))
+            inner_outputs.setdefault(conn.to_port, []).append((None, None))
+
+    for conn in incoming:
+        targets = inner_inputs.get(conn.to_port)
+        if not targets:
+            raise ClickSemanticError(
+                "compound %s has no input port %d (connection from %s)"
+                % (compound.name, conn.to_port, conn.from_element)
+            )
+        for target_element, target_port in targets:
+            if target_element is None:
+                shim = passthrough[("in", conn.to_port)]
+                graph.add_connection(conn.from_element, conn.from_port, shim, 0)
+            else:
+                graph.add_connection(
+                    conn.from_element, conn.from_port, name_map[target_element], target_port
+                )
+    for conn in outgoing:
+        sources = inner_outputs.get(conn.from_port)
+        if not sources:
+            raise ClickSemanticError(
+                "compound %s has no output port %d (connection to %s)"
+                % (compound.name, conn.from_port, conn.to_element)
+            )
+        for source_element, source_port in sources:
+            if source_element is None:
+                shim = passthrough[("in", conn.from_port)]
+                graph.add_connection(shim, 0, conn.to_element, conn.to_port)
+            else:
+                graph.add_connection(
+                    name_map[source_element], source_port, conn.to_element, conn.to_port
+                )
+
+
+def flatten(graph):
+    """Return a flattened copy of ``graph``: no compound classes remain."""
+    result = graph.copy()
+    depth = 0
+    while True:
+        # Build the scope of compound classes (file scope only; nested
+        # elementclass definitions inside bodies are merged into scope
+        # under their compound-qualified lookup, which the elaborator
+        # stores flat per body).
+        scope = dict(result.element_classes)
+        for compound in list(scope.values()):
+            for inner_name, inner_compound in compound.body.element_classes.items():
+                scope.setdefault(inner_name, inner_compound)
+        targets = [
+            decl.name for decl in result.elements.values() if decl.class_name in scope
+        ]
+        if not targets:
+            break
+        depth += 1
+        if depth > _MAX_DEPTH:
+            raise ClickSemanticError("compound elements nested too deeply (cycle?)")
+        for name in targets:
+            if name in result.elements:  # may have been removed by nesting
+                _expand_one(result, name, scope[result.elements[name].class_name], scope)
+    result.element_classes.clear()
+    return result

@@ -1,0 +1,42 @@
+"""click-mkmindriver: the minimal driver manifest for a configuration.
+
+The real tool builds a Click kernel module containing only the element
+classes a configuration needs.  Here the "driver" is a manifest listing
+exactly those classes (the generated classes bundled in the archive are
+already per-configuration), which :func:`make_minimal_class_table`
+turns into the restricted class table a Router can be built against —
+loading anything else fails, as a minimal driver would.
+"""
+
+from __future__ import annotations
+
+from .flatten import flatten
+
+MANIFEST_MEMBER = "mindriver.manifest"
+
+
+def required_classes(graph):
+    """Element classes the configuration instantiates (after
+    flattening), sorted."""
+    flat = flatten(graph) if graph.element_classes else graph
+    return sorted({decl.class_name for decl in flat.elements.values()})
+
+
+def mkmindriver(graph):
+    """The tool: attach the manifest to the configuration archive."""
+    result = flatten(graph) if graph.element_classes else graph.copy()
+    manifest = "\n".join(required_classes(result)) + "\n"
+    result.archive[MANIFEST_MEMBER] = manifest
+    return result
+
+
+def make_minimal_class_table(graph):
+    """A class table containing only the manifest's classes — the
+    runtime analogue of linking a minimal driver."""
+    from ..elements.registry import ELEMENT_CLASSES
+    from ..elements.runtime import compile_archive_classes
+
+    available = dict(ELEMENT_CLASSES)
+    available.update(compile_archive_classes(graph.archive))
+    needed = required_classes(graph)
+    return {name: available[name] for name in needed if name in available}

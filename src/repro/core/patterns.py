@@ -1,0 +1,145 @@
+"""The standard click-xform pattern library (§6.2, Figures 4-6).
+
+Three pattern-replacement pairs reduce the IP router's per-interface
+forwarding chain from ten general-purpose elements (plus the shared
+LookupIPRoute) to two combination elements:
+
+1. Paint → Strip(14) → CheckIPHeader → GetIPAddress(16)
+       ⇒ IPInputCombo                        (Figure 4's pair, extended
+                                              by GetIPAddress as in
+                                              Click's own combo)
+2. DropBroadcasts → CheckPaint → IPGWOptions → FixIPSrc → DecIPTTL
+       ⇒ IPOutputCombo
+3. IPOutputCombo → IPFragmenter  ⇒  IPOutputCombo with an MTU — a
+   second-stage pattern that matches the *output of pattern 2*, showing
+   how pairs chain.
+"""
+
+from __future__ import annotations
+
+from .xform import PatternPair
+
+IP_INPUT_COMBO = PatternPair.from_texts(
+    """
+    input -> Paint($color)
+          -> Strip(14)
+          -> CheckIPHeader($badsrc)
+          -> GetIPAddress(16)
+          -> output;
+    """,
+    """
+    input -> IPInputCombo($color, $badsrc) -> output;
+    """,
+    name="IPInputCombo",
+)
+
+IP_OUTPUT_COMBO = PatternPair.from_texts(
+    """
+    input -> DropBroadcasts
+          -> cp :: CheckPaint($color)
+          -> gio :: IPGWOptions($ip)
+          -> FixIPSrc($ip)
+          -> dt :: DecIPTTL
+          -> output;
+    cp [1] -> [1] output;
+    gio [1] -> [2] output;
+    dt [1] -> [3] output;
+    """,
+    """
+    input -> oc :: IPOutputCombo($color, $ip) -> output;
+    oc [1] -> [1] output;
+    oc [2] -> [2] output;
+    oc [3] -> [3] output;
+    """,
+    name="IPOutputCombo",
+)
+
+IP_OUTPUT_COMBO_FRAGMENTER = PatternPair.from_texts(
+    """
+    input -> oc :: IPOutputCombo($color, $ip)
+          -> fr :: IPFragmenter($mtu)
+          -> output;
+    oc [1] -> [1] output;
+    oc [2] -> [2] output;
+    oc [3] -> [3] output;
+    fr [1] -> [4] output;
+    """,
+    """
+    input -> oc :: IPOutputCombo($color, $ip, $mtu) -> output;
+    oc [1] -> [1] output;
+    oc [2] -> [2] output;
+    oc [3] -> [3] output;
+    oc [4] -> [4] output;
+    """,
+    name="IPOutputComboFragmenter",
+)
+
+STANDARD_PATTERNS = [IP_INPUT_COMBO, IP_OUTPUT_COMBO, IP_OUTPUT_COMBO_FRAGMENTER]
+
+# -- peephole cleanups --------------------------------------------------------
+#
+# Small always-sound simplifications in the spirit of §5.4's peephole
+# analogy.  They surface after click-flatten exposes compound internals:
+# abstractions often juxtapose inverse or idempotent operations.
+
+STRIP_UNSTRIP = PatternPair.from_texts(
+    """
+    input -> s :: Strip($n) -> u :: Unstrip($n) -> output;
+    """,
+    """
+    input -> Null -> output;
+    """,
+    name="StripUnstrip",
+)
+
+DOUBLE_PAINT = PatternPair.from_texts(
+    """
+    input -> a :: Paint($first) -> b :: Paint($second) -> output;
+    """,
+    """
+    input -> Paint($second) -> output;
+    """,
+    name="DoublePaint",
+)
+
+DOUBLE_NULL = PatternPair.from_texts(
+    """
+    input -> a :: Null -> b :: Null -> output;
+    """,
+    """
+    input -> Null -> output;
+    """,
+    name="DoubleNull",
+)
+
+CLEANUP_PATTERNS = [STRIP_UNSTRIP, DOUBLE_PAINT, DOUBLE_NULL]
+
+
+def arp_elimination_pattern(peer_ether, link_config):
+    """The multiple-router "MR" optimization (§7.2): on a link whose
+    point-to-point nature a combined configuration exposes, "there is
+    therefore no need for an ARP mechanism on that link".  The pattern
+    anchors on the specific RouterLink (so only the link-facing
+    ARPQuerier collapses) and replaces it with a static EtherEncap
+    addressed to the peer's known hardware address; the ARP-response
+    feed is discarded.  Input 2 admits other traffic into the shared
+    output queue (the interface's ARPResponder also feeds it)."""
+    return PatternPair.from_texts(
+        """
+        input -> arpq :: ARPQuerier($ip, $eth)
+              -> q :: Queue($capacity)
+              -> link :: RouterLink(%(link)s) -> output;
+        input [1] -> [1] arpq;
+        input [2] -> q;
+        """
+        % {"link": link_config},
+        """
+        input -> EtherEncap(0x0800, $eth, %(peer)s)
+              -> q :: Queue($capacity)
+              -> link :: RouterLink(%(link)s) -> output;
+        input [1] -> Discard;
+        input [2] -> q;
+        """
+        % {"peer": peer_ether, "link": link_config},
+        name="ARPElimination",
+    )

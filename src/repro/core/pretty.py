@@ -1,0 +1,76 @@
+"""click-pretty: render configurations as HTML or Graphviz dot."""
+
+from __future__ import annotations
+
+import html
+
+from ..lang.unparse import unparse
+
+
+def pretty_dot(graph, title="click"):
+    """A Graphviz digraph of the configuration, elements as record
+    nodes labelled name/class, port numbers on the edges."""
+    lines = ["digraph %s {" % _dot_id(title), "  rankdir=LR;", "  node [shape=record];"]
+    for decl in graph.elements.values():
+        config = (decl.config or "").replace("\\", "\\\\").replace('"', '\\"')
+        if len(config) > 24:
+            config = config[:21] + "..."
+        label = "%s\\n%s" % (decl.name, decl.class_name)
+        if config:
+            label += "(%s)" % config
+        lines.append('  %s [label="%s"];' % (_dot_id(decl.name), label))
+    for conn in graph.connections:
+        attributes = []
+        if conn.from_port:
+            attributes.append('taillabel="%d"' % conn.from_port)
+        if conn.to_port:
+            attributes.append('headlabel="%d"' % conn.to_port)
+        suffix = " [%s]" % ", ".join(attributes) if attributes else ""
+        lines.append(
+            "  %s -> %s%s;" % (_dot_id(conn.from_element), _dot_id(conn.to_element), suffix)
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def _dot_id(name):
+    safe = "".join(ch if ch.isalnum() else "_" for ch in name)
+    return "n_" + safe
+
+
+def pretty_html(graph, title="Click configuration"):
+    """An HTML page: declarations table plus the configuration source,
+    with element names anchored and class names highlighted."""
+    rows = []
+    for decl in graph.elements.values():
+        config = html.escape(decl.config) if decl.config else "&nbsp;"
+        rows.append(
+            '<tr id="e-%s"><td><a href="#e-%s">%s</a></td>'
+            "<td><b>%s</b></td><td><code>%s</code></td>"
+            "<td>%d in / %d out</td></tr>"
+            % (
+                html.escape(decl.name),
+                html.escape(decl.name),
+                html.escape(decl.name),
+                html.escape(decl.class_name),
+                config,
+                graph.input_count(decl.name),
+                graph.output_count(decl.name),
+            )
+        )
+    connections = "\n".join(
+        "<li><code>%s</code></li>" % html.escape(str(conn)) for conn in graph.connections
+    )
+    source = html.escape(unparse(graph))
+    return (
+        "<!DOCTYPE html>\n<html><head><meta charset='utf-8'>"
+        "<title>%s</title></head><body>\n"
+        "<h1>%s</h1>\n"
+        "<h2>Elements</h2>\n"
+        "<table border='1'><tr><th>name</th><th>class</th>"
+        "<th>configuration</th><th>ports</th></tr>\n%s\n</table>\n"
+        "<h2>Connections</h2>\n<ul>\n%s\n</ul>\n"
+        "<h2>Source</h2>\n<pre>%s</pre>\n"
+        "</body></html>\n"
+        % (html.escape(title), html.escape(title), "\n".join(rows), connections, source)
+    )

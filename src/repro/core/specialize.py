@@ -1,0 +1,47 @@
+"""Shared machinery for tools that generate specialized element classes.
+
+click-devirtualize's generated classes are subclasses of the original
+element classes whose packet transfers are direct calls: at the runtime
+level, their ports are marked non-virtual (so the cost model charges a
+direct call instead of a BTB-predicted indirect call), and the port
+lookups that Click resolves at compile time ("``output(0).port()`` was
+changed to ``0``") are frozen into cached attributes.
+"""
+
+from __future__ import annotations
+
+from ..elements.registry import lookup
+
+
+class DevirtualizedMixin:
+    """Mixin for generated devirtualized classes."""
+
+    devirtualized = True
+    generated = True
+
+    def initialize(self):
+        super().initialize()
+        # Direct calls: transfers out of (and pulls into) this element
+        # no longer go through the virtual-function table.
+        for port in range(self.noutputs):
+            self.output(port).virtual = False
+        for port in range(self.ninputs):
+            self.input(port).virtual = False
+
+
+def resolve_base_class(name, generated_classes=None):
+    """Find the class a specialized class derives from: among classes
+    generated earlier in the tool chain first, then the registry."""
+    if generated_classes and name in generated_classes:
+        return generated_classes[name]
+    cls = lookup(name)
+    if cls is None:
+        raise KeyError("cannot specialize unknown element class %r" % name)
+    return cls
+
+
+def make_devirtualized_class(base_name, new_class_name, generated_classes=None):
+    """Create a devirtualized subclass of ``base_name``."""
+    base = resolve_base_class(base_name, generated_classes)
+    python_name = "DV_" + new_class_name.replace("@", "_").replace("/", "_")
+    return type(python_name, (DevirtualizedMixin, base), {"class_name": new_class_name})

@@ -1,0 +1,65 @@
+"""The tool framework: optimizers as composable configuration filters.
+
+"In general, Click optimization tools are programs like
+click-fastclassifier that read router configurations on standard input,
+analyze and transform the configurations, and output the results on
+standard output. ... They are thus easily combined, much like compiler
+optimization passes." (§1, §5)
+
+A *tool* here is any callable ``RouterGraph -> RouterGraph``.
+:func:`chain` composes them; :func:`run_tool_on_text` adapts a tool to
+the textual (archive-aware) stdin/stdout convention the CLI entry points
+use.
+"""
+
+from __future__ import annotations
+
+from ..elements.registry import default_specs
+from ..lang.archive import CONFIG_MEMBER, read_archive
+from ..lang.build import parse_graph
+from ..lang.unparse import unparse_file
+
+
+def chain(*tools):
+    """Compose tools left to right: ``chain(fc, xf, dv)(graph)`` applies
+    fastclassifier, then xform, then devirtualize — devirtualize last,
+    as §6.1 prescribes."""
+
+    def composed(graph):
+        for tool in tools:
+            graph = tool(graph)
+        return graph
+
+    composed.__name__ = "chain(%s)" % ", ".join(getattr(t, "__name__", repr(t)) for t in tools)
+    return composed
+
+
+def load_config(text, filename="<stdin>"):
+    """Parse configuration text (plain or archive) into a RouterGraph,
+    preserving non-config archive members."""
+    members = read_archive(text)
+    graph = parse_graph(members[CONFIG_MEMBER], filename)
+    for name, content in members.items():
+        if name != CONFIG_MEMBER:
+            graph.archive[name] = content
+    return graph
+
+
+def save_config(graph):
+    """Serialize a RouterGraph (with any archive members) to text."""
+    return unparse_file(graph)
+
+
+def run_tool_on_text(tool, text, filename="<stdin>"):
+    """The stdin → stdout convention: text in, transformed text out."""
+    return save_config(tool(load_config(text, filename)))
+
+
+def tool_specs(graph):
+    """The ClassSpec table a tool should use for ``graph``: the exported
+    element specifications plus specs for any generated classes bundled
+    in the configuration's archive."""
+    from ..elements.runtime import compile_archive_classes
+
+    extra = compile_archive_classes(graph.archive).values()
+    return default_specs(extra_classes=extra)

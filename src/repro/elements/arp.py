@@ -1,0 +1,154 @@
+"""ARP elements: ARPQuerier, ARPResponder.
+
+ARPQuerier is the Figure 2 element: the IP router has one per interface,
+each connecting to a different downstream Queue — same class, different
+targets, which is exactly the pattern that defeats the branch predictor.
+It is also the element the "MR" multiple-router optimization removes on
+point-to-point links (§7.2).
+"""
+
+from __future__ import annotations
+
+from ..net.addresses import EtherAddress, IPAddress
+from ..net.headers import (
+    ARP_OP_REPLY,
+    ARP_OP_REQUEST,
+    ETHER_HEADER_LEN,
+    ETHERTYPE_IP,
+    ArpHeader,
+    HeaderError,
+    build_arp_reply,
+    build_arp_request,
+    make_ether_header,
+)
+from ..net.packet import Packet
+from .element import ConfigError, Element
+from .registry import register
+
+
+@register
+class ARPQuerier(Element):
+    """Encapsulates IP packets in Ethernet headers, using ARP to find
+    the destination's hardware address.
+
+    Input 0 takes IP packets annotated with a next-hop address; input 1
+    takes ARP responses from the wire.  Output 0 emits Ethernet frames —
+    either encapsulated IP packets or ARP queries.  Packets for unknown
+    destinations wait in a small per-address holding queue.
+    """
+
+    class_name = "ARPQuerier"
+    processing = "h/h"
+    flow_code = "xy/x"
+    port_counts = "2/1"
+    HOLD_LIMIT = 4
+
+    def configure(self, args):
+        if len(args) != 2:
+            raise ConfigError("ARPQuerier needs IP and Ethernet addresses")
+        self.my_ip = IPAddress(args[0])
+        self.my_ether = EtherAddress(args[1])
+        self.table = {}  # IP value -> EtherAddress
+        self.pending = {}  # IP value -> [Packet]
+        self.queries_sent = 0
+        self.replies_handled = 0
+        self.drops = 0
+
+    def insert(self, ip, ether):
+        """Seed the ARP table (tests and the MR configurations use this)."""
+        self.table[IPAddress(ip).value] = EtherAddress(ether)
+
+    def push(self, port, packet):
+        if port == 0:
+            self._handle_ip(packet)
+        else:
+            self._handle_response(packet)
+
+    def _next_hop(self, packet):
+        if packet.dest_ip_anno is not None:
+            return packet.dest_ip_anno
+        return None
+
+    def _handle_ip(self, packet):
+        next_hop = self._next_hop(packet)
+        if next_hop is None:
+            self.drops += 1
+            return
+        ether = self.table.get(next_hop.value)
+        if ether is not None:
+            header = make_ether_header(ether, self.my_ether, ETHERTYPE_IP)
+            packet.push(header)
+            self.output(0).push(packet)
+            return
+        # Unknown: hold the packet and broadcast a query.
+        queue = self.pending.setdefault(next_hop.value, [])
+        if len(queue) >= self.HOLD_LIMIT:
+            queue.pop(0)
+            self.drops += 1
+        queue.append(packet)
+        query = Packet(build_arp_request(self.my_ether, self.my_ip, next_hop))
+        self.queries_sent += 1
+        self.output(0).push(query)
+
+    def _handle_response(self, packet):
+        try:
+            arp = ArpHeader.unpack(packet.data[ETHER_HEADER_LEN:])
+        except HeaderError:
+            self.drops += 1
+            return
+        if arp.operation != ARP_OP_REPLY:
+            self.drops += 1
+            return
+        self.replies_handled += 1
+        self.table[arp.sender_ip.value] = arp.sender_ether
+        for held in self.pending.pop(arp.sender_ip.value, []):
+            header = make_ether_header(arp.sender_ether, self.my_ether, ETHERTYPE_IP)
+            held.push(header)
+            self.output(0).push(held)
+
+
+@register
+class ARPResponder(Element):
+    """Replies to ARP queries for the configured addresses.  Each
+    configuration argument is ``"IP[/mask] ETHER"``."""
+
+    class_name = "ARPResponder"
+    processing = "a/a"
+    port_counts = "1/1"
+
+    def configure(self, args):
+        if not args:
+            raise ConfigError("ARPResponder needs at least one 'IP ETHER' entry")
+        self.entries = []
+        for arg in args:
+            fields = arg.split()
+            if len(fields) != 2:
+                raise ConfigError("bad ARPResponder entry %r" % arg)
+            from ..net.addresses import parse_ip_prefix
+
+            addr, mask = parse_ip_prefix(fields[0])
+            self.entries.append((addr.value & mask, mask, EtherAddress(fields[1])))
+        self.replies_sent = 0
+
+    def lookup(self, ip):
+        value = IPAddress(ip).value
+        for network, mask, ether in self.entries:
+            if (value & mask) == network:
+                return ether
+        return None
+
+    def simple_action(self, packet):
+        try:
+            arp = ArpHeader.unpack(packet.data[ETHER_HEADER_LEN:])
+        except HeaderError:
+            return None
+        if arp.operation != ARP_OP_REQUEST:
+            return None
+        ether = self.lookup(arp.target_ip)
+        if ether is None:
+            return None
+        self.replies_sent += 1
+        reply = Packet(
+            build_arp_reply(ether, arp.target_ip, arp.sender_ether, arp.sender_ip)
+        )
+        return reply

@@ -1,0 +1,96 @@
+"""Hot-swap support: install a new configuration, preserving state.
+
+§5.1: "To add an element to a Click router, the user must install an
+entirely new configuration, although this can be done in such a way that
+important state is transferred into the new router."  That is the
+mechanism that keeps configurations static (enabling the optimizers)
+without losing queues or ARP tables on every change.
+
+State moves between elements that have the same *name* and compatible
+classes: each element class may implement ``take_state(old_element)``;
+the default transfers nothing.  Compatibility follows the runtime class
+hierarchy, so a ``Devirtualize@@q`` Queue accepts state from a plain
+``Queue`` and vice versa — optimizing a live router preserves its
+queues.
+"""
+
+from __future__ import annotations
+
+from .element import Element
+from .runtime import Router
+
+
+def _compatible(new_element, old_element):
+    """Share state if either is an instance of the other's family —
+    generated subclasses count as their base class."""
+    for new_cls in type(new_element).__mro__:
+        if new_cls is Element:
+            break
+        if isinstance(old_element, new_cls):
+            return True
+    for old_cls in type(old_element).__mro__:
+        if old_cls is Element:
+            break
+        if isinstance(new_element, old_cls):
+            return True
+    return False
+
+
+def hotswap(old_router, new_graph, **router_kwargs):
+    """Build a Router from ``new_graph``, transferring state from
+    ``old_router`` for same-named compatible elements.  Returns the new
+    router (the old one should be discarded)."""
+    router_kwargs.setdefault("devices", old_router.devices)
+    new_router = Router(new_graph, **router_kwargs)
+    transferred = []
+    for name, new_element in new_router.elements.items():
+        old_element = old_router.find(name)
+        if old_element is None or not _compatible(new_element, old_element):
+            continue
+        take = getattr(new_element, "take_state", None)
+        if take is not None and take(old_element):
+            transferred.append(name)
+    new_router.hotswap_transferred = transferred
+    return new_router
+
+
+# -- take_state implementations for the stateful elements ---------------------
+
+
+def _queue_take_state(self, old):
+    capacity_room = self.capacity
+    self._deque = list(old._deque)[:capacity_room]
+    self.drops += max(0, len(old._deque) - capacity_room)
+    return True
+
+
+def _counter_take_state(self, old):
+    self.count = old.count
+    self.byte_count = old.byte_count
+    return True
+
+
+def _arpquerier_take_state(self, old):
+    self.table = dict(old.table)
+    self.pending = {key: list(value) for key, value in old.pending.items()}
+    return True
+
+
+def _discard_take_state(self, old):
+    self.count = old.count
+    return True
+
+
+def install_take_state_handlers():
+    """Attach take_state to the stateful element classes (done at import
+    time; idempotent)."""
+    from .arp import ARPQuerier
+    from .infrastructure import Counter, Discard, Queue
+
+    Queue.take_state = _queue_take_state
+    Counter.take_state = _counter_take_state
+    ARPQuerier.take_state = _arpquerier_take_state
+    Discard.take_state = _discard_take_state
+
+
+install_take_state_handlers()

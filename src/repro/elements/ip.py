@@ -1,0 +1,441 @@
+"""IP-path elements: the per-packet work of Figure 1's forwarding path.
+
+Every element here corresponds to one box on the IP router's forwarding
+path: Paint, CheckIPHeader, GetIPAddress, DropBroadcasts, CheckPaint,
+IPGWOptions, FixIPSrc, DecIPTTL, IPFragmenter.  Their semantics follow
+Click's element documentation; errors leave on secondary outputs (wired
+to ICMPError elements in the IP router) when those outputs exist.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..net.addresses import IPAddress
+from ..net.checksum import update_checksum_u16, verify_checksum
+from ..net.headers import IP_HEADER_LEN, IPHeader
+from .element import ConfigError, Element
+from .registry import register
+
+PACKET_TYPE_HOST = "host"
+PACKET_TYPE_BROADCAST = "broadcast"
+PACKET_TYPE_MULTICAST = "multicast"
+PACKET_TYPE_OTHERHOST = "otherhost"
+
+
+@register
+class Paint(Element):
+    """Sets the paint annotation; the IP router paints each packet with
+    its input interface number to detect same-interface forwarding."""
+
+    class_name = "Paint"
+    processing = "a/a"
+    port_counts = "1/1"
+
+    def configure(self, args):
+        if len(args) != 1:
+            raise ConfigError("Paint needs a color")
+        try:
+            self.color = int(args[0])
+        except ValueError:
+            raise ConfigError("bad Paint color %r" % args[0]) from None
+
+    def simple_action(self, packet):
+        packet.paint = self.color
+        return packet
+
+
+@register
+class PaintTee(Element):
+    """Sends packets whose paint matches the configured color out both
+    output 0 (a copy) and output 1; everything else goes to output 0
+    only.  Figure 1 labels this box CheckPaint."""
+
+    class_name = "PaintTee"
+    processing = "a/ah"
+    port_counts = "1/1-2"
+
+    def configure(self, args):
+        if len(args) != 1:
+            raise ConfigError("PaintTee needs a color")
+        self.color = int(args[0])
+
+    def push(self, port, packet):
+        if packet.paint == self.color and self.noutputs > 1:
+            self.output(1).push(packet.clone())
+        self.output(0).push(packet)
+
+    def pull(self, port):
+        packet = self.input(0).pull()
+        if packet is None:
+            return None
+        if packet.paint == self.color and self.noutputs > 1:
+            self.output(1).push(packet.clone())
+        return packet
+
+
+@register
+class CheckPaint(PaintTee):
+    """Alias matching Figure 1's label for the paint check."""
+
+    class_name = "CheckPaint"
+
+
+@register
+class CheckIPHeader(Element):
+    """Validates the IP header: version, header length, total length,
+    checksum, and source address sanity; sets the destination-IP
+    annotation.  Bad packets go to output 1 if it exists, else are
+    dropped.  (On strict-alignment architectures it also requires
+    word-aligned packet data — the constraint click-align enforces.)"""
+
+    class_name = "CheckIPHeader"
+    processing = "a/ah"
+    port_counts = "1/1-2"
+    # The alignment click-align must guarantee at our input (modulus 4,
+    # offset 0: a word-aligned IP header).
+    required_alignment = (4, 0)
+
+    def configure(self, args):
+        self.bad_src = set()
+        self.offset = 0
+        self.drops = 0
+        self.strict_alignment = False
+        for arg in args:
+            arg = arg.strip()
+            if not arg:
+                continue
+            if arg.upper().startswith("OFFSET"):
+                self.offset = int(arg.split()[1])
+            else:
+                for addr in arg.split():
+                    self.bad_src.add(IPAddress(addr).value)
+
+    def _fail(self, port_packet):
+        self.drops += 1
+        if self.noutputs > 1:
+            self.output(1).push(port_packet)
+        return None
+
+    def push(self, port, packet):
+        result = self._check(packet)
+        if result is not None:
+            self.output(0).push(result)
+
+    def pull(self, port):
+        packet = self.input(0).pull()
+        if packet is None:
+            return None
+        return self._check(packet)
+
+    def _check(self, packet):
+        data = packet.data[self.offset:]
+        if self.strict_alignment and (packet.data_alignment() + self.offset) % 4 != 0:
+            raise RuntimeError(
+                "CheckIPHeader %s: unaligned packet data (alignment %d) — "
+                "on ARM this is a crash; run click-align"
+                % (self.name, packet.data_alignment())
+            )
+        if len(data) < IP_HEADER_LEN:
+            return self._fail(packet)
+        version_ihl = data[0]
+        if version_ihl >> 4 != 4:
+            return self._fail(packet)
+        header_length = (version_ihl & 0xF) * 4
+        if header_length < IP_HEADER_LEN or len(data) < header_length:
+            return self._fail(packet)
+        total_length = struct.unpack_from("!H", data, 2)[0]
+        if total_length < header_length or total_length > len(data):
+            return self._fail(packet)
+        if not verify_checksum(data[:header_length]):
+            return self._fail(packet)
+        src = struct.unpack_from("!I", data, 12)[0]
+        if src in self.bad_src or src == 0xFFFFFFFF:
+            return self._fail(packet)
+        packet.ip_header_offset = self.offset
+        packet.set_dest_ip_anno(struct.unpack_from("!I", data, 16)[0])
+        return packet
+
+
+@register
+class SetIPChecksum(Element):
+    """Recomputes the IP header checksum from scratch (used after
+    header-rewriting elements that don't update incrementally)."""
+
+    class_name = "SetIPChecksum"
+    processing = "a/a"
+    port_counts = "1/1"
+
+    def configure(self, args):
+        if args:
+            raise ConfigError("SetIPChecksum takes no arguments")
+
+    def simple_action(self, packet):
+        from ..net.checksum import internet_checksum
+
+        data = packet.data
+        if len(data) < IP_HEADER_LEN:
+            return None
+        header_length = (data[0] & 0xF) * 4
+        if header_length < IP_HEADER_LEN or len(data) < header_length:
+            return None
+        header = bytearray(data[:header_length])
+        header[10:12] = b"\x00\x00"
+        packet.replace(10, struct.pack("!H", internet_checksum(header)))
+        return packet
+
+
+@register
+class StripToNetworkHeader(Element):
+    """Strips everything before the network header (per the annotation
+    CheckIPHeader/IPInputCombo set)."""
+
+    class_name = "StripToNetworkHeader"
+    processing = "a/a"
+    port_counts = "1/1"
+
+    def configure(self, args):
+        if args:
+            raise ConfigError("StripToNetworkHeader takes no arguments")
+
+    def simple_action(self, packet):
+        offset = packet.ip_header_offset
+        if offset is None or offset <= 0:
+            return packet
+        packet.strip(offset)
+        packet.ip_header_offset = 0
+        return packet
+
+
+@register
+class GetIPAddress(Element):
+    """Copies 4 bytes at the configured offset into the destination-IP
+    annotation (offset 16 = the IP destination field)."""
+
+    class_name = "GetIPAddress"
+    processing = "a/a"
+    port_counts = "1/1"
+
+    def configure(self, args):
+        if len(args) != 1:
+            raise ConfigError("GetIPAddress needs an offset")
+        self.offset = int(args[0])
+
+    def simple_action(self, packet):
+        data = packet.data
+        if len(data) < self.offset + 4:
+            return None
+        packet.set_dest_ip_anno(struct.unpack_from("!I", data, self.offset)[0])
+        return packet
+
+
+@register
+class DropBroadcasts(Element):
+    """Drops packets the device layer marked as link-level broadcasts
+    (routers must not forward those)."""
+
+    class_name = "DropBroadcasts"
+    processing = "a/a"
+    port_counts = "1/1"
+
+    def configure(self, args):
+        self.drops = 0
+
+    def simple_action(self, packet):
+        if packet.user_annos.get("packet_type") == PACKET_TYPE_BROADCAST:
+            self.drops += 1
+            return None
+        return packet
+
+
+@register
+class IPGWOptions(Element):
+    """Processes IP options a gateway must handle.  Headers without
+    options (IHL == 5) pass untouched — the common case the combo
+    elements exploit.  Packets with broken options exit output 1."""
+
+    class_name = "IPGWOptions"
+    processing = "a/ah"
+    port_counts = "1/1-2"
+
+    def configure(self, args):
+        if len(args) > 1:
+            raise ConfigError("IPGWOptions takes at most the router address")
+        self.my_ip = IPAddress(args[0]) if args and args[0] else None
+        self.problems = 0
+
+    def push(self, port, packet):
+        result = self._process(packet)
+        if result is not None:
+            self.output(0).push(result)
+
+    def pull(self, port):
+        packet = self.input(0).pull()
+        if packet is None:
+            return None
+        return self._process(packet)
+
+    def _process(self, packet):
+        data = packet.data
+        header_length = (data[0] & 0xF) * 4
+        if header_length <= IP_HEADER_LEN:
+            return packet
+        # Walk the options; we understand EOL, NOP, and (by validating
+        # lengths) pass RR/TS through.  Anything malformed is a
+        # parameter problem.
+        cursor = IP_HEADER_LEN
+        while cursor < header_length:
+            option = data[cursor]
+            if option == 0:  # end of options
+                break
+            if option == 1:  # no-op
+                cursor += 1
+                continue
+            if cursor + 1 >= header_length:
+                return self._problem(packet)
+            opt_len = data[cursor + 1]
+            if opt_len < 2 or cursor + opt_len > header_length:
+                return self._problem(packet)
+            cursor += opt_len
+        return packet
+
+    def _problem(self, packet):
+        self.problems += 1
+        if self.noutputs > 1:
+            self.output(1).push(packet)
+        return None
+
+
+@register
+class FixIPSrc(Element):
+    """If the Fix-IP-Source annotation is set (by ICMPError for locally
+    generated errors), rewrite the IP source to this router's address on
+    the outgoing interface and repair the checksum."""
+
+    class_name = "FixIPSrc"
+    processing = "a/a"
+    port_counts = "1/1"
+
+    def configure(self, args):
+        if len(args) != 1:
+            raise ConfigError("FixIPSrc needs the interface IP address")
+        self.my_ip = IPAddress(args[0])
+
+    def simple_action(self, packet):
+        if not packet.fix_ip_src_anno:
+            return packet
+        data = packet.data
+        old_checksum = struct.unpack_from("!H", data, 10)[0]
+        checksum = old_checksum
+        new_src = self.my_ip.packed()
+        for word_index in range(2):
+            offset = 12 + word_index * 2
+            old_word = struct.unpack_from("!H", data, offset)[0]
+            new_word = struct.unpack_from("!H", new_src, word_index * 2)[0]
+            checksum = update_checksum_u16(checksum, old_word, new_word)
+        packet.replace(12, new_src)
+        packet.replace(10, struct.pack("!H", checksum))
+        packet.fix_ip_src_anno = False
+        return packet
+
+
+@register
+class DecIPTTL(Element):
+    """Decrements the IP TTL with an incremental checksum update; packets
+    whose TTL has expired leave on output 1 (to an ICMPError in the IP
+    router)."""
+
+    class_name = "DecIPTTL"
+    processing = "a/ah"
+    port_counts = "1/1-2"
+
+    def configure(self, args):
+        self.expired = 0
+
+    def push(self, port, packet):
+        result = self._decrement(packet)
+        if result is not None:
+            self.output(0).push(result)
+
+    def pull(self, port):
+        packet = self.input(0).pull()
+        if packet is None:
+            return None
+        return self._decrement(packet)
+
+    def _decrement(self, packet):
+        data = packet.data
+        ttl = data[8]
+        if ttl <= 1:
+            self.expired += 1
+            if self.noutputs > 1:
+                self.output(1).push(packet)
+            return None
+        old_word = struct.unpack_from("!H", data, 8)[0]
+        new_word = old_word - 0x0100
+        old_checksum = struct.unpack_from("!H", data, 10)[0]
+        new_checksum = update_checksum_u16(old_checksum, old_word, new_word)
+        packet.replace(8, bytes([ttl - 1]))
+        packet.replace(10, struct.pack("!H", new_checksum))
+        return packet
+
+
+@register
+class IPFragmenter(Element):
+    """Fragments IP packets larger than the configured MTU.  Packets
+    with DF set that would need fragmenting leave on output 1 (the
+    ICMP "fragmentation needed" path)."""
+
+    class_name = "IPFragmenter"
+    processing = "h/h"
+    port_counts = "1/1-2"
+
+    def configure(self, args):
+        if not args or len(args) > 1:
+            raise ConfigError("IPFragmenter needs an MTU")
+        self.mtu = int(args[0])
+        if self.mtu < 68:
+            raise ConfigError("MTU must be at least 68")
+        self.fragments_made = 0
+        self.df_drops = 0
+
+    def push(self, port, packet):
+        if len(packet) <= self.mtu:
+            self.output(0).push(packet)
+            return
+        header = IPHeader.unpack(packet.data)
+        if header.dont_fragment:
+            self.df_drops += 1
+            if self.noutputs > 1:
+                self.output(1).push(packet)
+            return
+        for fragment in self._fragment(packet, header):
+            self.output(0).push(fragment)
+
+    def _fragment(self, packet, header):
+        from ..net.checksum import internet_checksum
+
+        data = packet.data
+        header_bytes = data[: header.header_length]
+        payload = data[header.header_length: header.total_length]
+        max_payload = ((self.mtu - header.header_length) // 8) * 8
+        fragments = []
+        cursor = 0
+        while cursor < len(payload):
+            chunk = payload[cursor:cursor + max_payload]
+            more = (cursor + len(chunk)) < len(payload)
+            # Patch the original header bytes (preserving any options)
+            # rather than rebuilding, as Click does.
+            frag_header = bytearray(header_bytes)
+            struct.pack_into("!H", frag_header, 2, header.header_length + len(chunk))
+            flags = header.flags | 0x1 if more else header.flags
+            offset_units = header.fragment_offset + cursor // 8
+            struct.pack_into("!H", frag_header, 6, (flags << 13) | offset_units)
+            frag_header[10:12] = b"\x00\x00"
+            struct.pack_into("!H", frag_header, 10, internet_checksum(frag_header))
+            fragment = packet.clone()
+            fragment.set_data(bytes(frag_header) + chunk)
+            fragments.append(fragment)
+            cursor += len(chunk)
+            self.fragments_made += 1
+        return fragments

@@ -1,0 +1,75 @@
+"""The element-class registry and specification export.
+
+Optimization tools must know element properties — processing codes, flow
+codes, port counts — without linking against element implementations
+(§5.3).  :func:`export_specs` plays the role of the paper's "scripts
+[that] extract these specifications from the source and write them, in
+structured form, into files read by the optimizers": it scrapes the
+class-level attributes into :class:`~repro.graph.ports.ClassSpec`
+objects (or a textual spec file) that the tools consume.
+"""
+
+from __future__ import annotations
+
+from ..graph.ports import ClassSpec
+
+ELEMENT_CLASSES = {}
+
+
+def register(cls):
+    """Class decorator: add an element class to the global registry."""
+    name = cls.class_name
+    if name in ELEMENT_CLASSES and ELEMENT_CLASSES[name] is not cls:
+        raise ValueError("element class %r registered twice" % name)
+    ELEMENT_CLASSES[name] = cls
+    return cls
+
+
+def lookup(class_name):
+    """The element class registered under ``class_name``, or None."""
+    return ELEMENT_CLASSES.get(class_name)
+
+
+def spec_for_class(cls):
+    """The ClassSpec scraped from an element class's attributes."""
+    return ClassSpec(
+        class_name=cls.class_name,
+        processing=cls.processing,
+        flow_code=cls.flow_code,
+        port_counts=cls.port_counts,
+    )
+
+
+def default_specs(extra_classes=()):
+    """ClassSpec table for every registered class (what a tool loads
+    instead of the element code itself)."""
+    specs = {name: spec_for_class(cls) for name, cls in ELEMENT_CLASSES.items()}
+    for cls in extra_classes:
+        specs[cls.class_name] = spec_for_class(cls)
+    return specs
+
+
+def export_specs():
+    """The structured spec file: one line per class,
+    ``name<TAB>processing<TAB>flow<TAB>ports``."""
+    lines = []
+    for name in sorted(ELEMENT_CLASSES):
+        cls = ELEMENT_CLASSES[name]
+        lines.append("%s\t%s\t%s\t%s" % (name, cls.processing, cls.flow_code, cls.port_counts))
+    return "\n".join(lines) + "\n"
+
+
+def parse_spec_file(text):
+    """Parse :func:`export_specs` output back into a ClassSpec table —
+    this is what a tool running in a separate process would load."""
+    specs = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        fields = line.split("\t")
+        if len(fields) != 4:
+            raise ValueError("bad spec line %r" % line)
+        name, processing, flow_code, port_counts = fields
+        specs[name] = ClassSpec(name, processing, flow_code, port_counts)
+    return specs

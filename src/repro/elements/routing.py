@@ -1,0 +1,126 @@
+"""IP routing-table elements.
+
+``LookupIPRoute`` (Click's StaticIPLookup) is the routing step in
+Figure 1: longest-prefix match on the destination-IP annotation, which
+selects an output port and optionally rewrites the annotation to the
+gateway address for ARPQuerier.  ``RadixIPLookup`` provides the same
+interface over a binary trie, for large tables.
+"""
+
+from __future__ import annotations
+
+from ..net.addresses import IPAddress, parse_ip_prefix
+from .element import ConfigError, Element
+from .registry import register
+
+
+def _parse_route(arg):
+    """``"addr/mask [gw] port"`` → (network, mask, gateway|None, port)."""
+    fields = arg.split()
+    if len(fields) == 2:
+        prefix_text, port_text = fields
+        gateway = None
+    elif len(fields) == 3:
+        prefix_text, gw_text, port_text = fields
+        gateway = IPAddress(gw_text)
+        if gateway.value == 0:
+            gateway = None
+    else:
+        raise ConfigError("bad route %r (want 'addr/mask [gw] port')" % arg)
+    addr, mask = parse_ip_prefix(prefix_text)
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ConfigError("bad route port %r" % port_text) from None
+    return (addr.value & mask, mask, gateway, port)
+
+
+class _IPRouteTable(Element):
+    """Shared behaviour: route parsing, annotation handling, dispatch."""
+
+    processing = "h/h"
+    port_counts = "1/-"
+
+    def configure(self, args):
+        if not args:
+            raise ConfigError("%s needs at least one route" % self.class_name)
+        self.routes = [_parse_route(arg) for arg in args]
+        self._build()
+        self.no_route_drops = 0
+
+    def _build(self):
+        raise NotImplementedError
+
+    def lookup_route(self, addr):
+        """(gateway|None, port) for ``addr``, or None when unrouteable."""
+        raise NotImplementedError
+
+    def push(self, port, packet):
+        if packet.dest_ip_anno is None:
+            self.no_route_drops += 1
+            return
+        result = self.lookup_route(packet.dest_ip_anno)
+        if result is None:
+            self.no_route_drops += 1
+            return
+        gateway, out_port = result
+        if gateway is not None:
+            packet.set_dest_ip_anno(gateway)
+        self.checked_push(out_port, packet)
+
+
+@register
+class LookupIPRoute(_IPRouteTable):
+    """Linear longest-prefix-match table (Click's StaticIPLookup), ample
+    for the handful of routes in the evaluation's IP router."""
+
+    class_name = "LookupIPRoute"
+
+    def _build(self):
+        # Sort by decreasing prefix specificity so the first hit is the
+        # longest match.
+        self._ordered = sorted(self.routes, key=lambda r: bin(r[1]).count("1"), reverse=True)
+
+    def lookup_route(self, addr):
+        value = IPAddress(addr).value
+        for network, mask, gateway, port in self._ordered:
+            if (value & mask) == network:
+                return gateway, port
+        return None
+
+
+@register
+class StaticIPLookup(LookupIPRoute):
+    """Click's name for the same element."""
+
+    class_name = "StaticIPLookup"
+
+
+@register
+class RadixIPLookup(_IPRouteTable):
+    """Binary-trie longest-prefix match for large tables."""
+
+    class_name = "RadixIPLookup"
+
+    def _build(self):
+        self._root = {}
+        for network, mask, gateway, port in self.routes:
+            prefix_len = bin(mask).count("1")
+            node = self._root
+            for bit_index in range(prefix_len):
+                bit = (network >> (31 - bit_index)) & 1
+                node = node.setdefault(bit, {})
+            node["route"] = (gateway, port)
+
+    def lookup_route(self, addr):
+        value = IPAddress(addr).value
+        node = self._root
+        best = node.get("route")
+        for bit_index in range(32):
+            bit = (value >> (31 - bit_index)) & 1
+            node = node.get(bit)
+            if node is None:
+                break
+            if "route" in node:
+                best = node["route"]
+        return best

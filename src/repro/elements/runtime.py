@@ -1,0 +1,210 @@
+"""The runtime router: instantiate, wire, and drive a configuration.
+
+A :class:`Router` is built from a *finished* RouterGraph and never
+mutates afterwards (§5.1: configurations are static; to change one, the
+user installs an entirely new configuration).  Compound elements must
+already be flattened (:mod:`repro.core.flatten` does this, as the Click
+kernel parser does automatically).
+
+Archives may carry generated element code (from click-fastclassifier or
+click-devirtualize).  Like Click, which "will first compile the source
+code and dynamically link with the result" (§4), the router execs the
+bundled Python source and adds the classes it exports to the
+configuration's private class table before resolving class names.
+"""
+
+from __future__ import annotations
+
+from ..errors import ClickSemanticError
+from ..graph.ports import PULL, PUSH, resolve_processing
+from .element import Element
+from .registry import ELEMENT_CLASSES, default_specs
+
+GENERATED_MEMBER_SUFFIX = ".py"
+EXPORT_NAME = "ELEMENT_EXPORTS"
+
+
+def compile_archive_classes(archive):
+    """Exec every ``*.py`` archive member; collect the element classes
+    each exports via an ``ELEMENT_EXPORTS`` list.
+
+    Members are compiled in archive order, and each sees the classes
+    earlier members exported (as ``GENERATED_CLASSES``) — so that, e.g.,
+    click-devirtualize's generated code can specialize element classes
+    click-fastclassifier generated earlier in the chain.
+    """
+    classes = {}
+    for member_name, source in archive.items():
+        if not member_name.endswith(GENERATED_MEMBER_SUFFIX):
+            continue
+        namespace = {"Element": Element, "GENERATED_CLASSES": dict(classes)}
+        code = compile(source, "<archive:%s>" % member_name, "exec")
+        exec(code, namespace)  # noqa: S102 - configuration-bundled code
+        for cls in namespace.get(EXPORT_NAME, []):
+            classes[cls.class_name] = cls
+    return classes
+
+
+class Router:
+    """A running router built from a configuration graph."""
+
+    def __init__(self, graph, extra_classes=None, meter=None, devices=None):
+        self.graph = graph
+        self.meter = meter
+        self.devices = devices or {}
+        self._classes = dict(ELEMENT_CLASSES)
+        self._classes.update(compile_archive_classes(graph.archive))
+        if extra_classes:
+            self._classes.update(extra_classes)
+        self.elements = {}
+        self._tasks = []
+        self._build()
+
+    # -- construction ---------------------------------------------------------
+
+    def _build(self):
+        graph = self.graph
+        if graph.element_classes:
+            raise ClickSemanticError(
+                "runtime router requires a flattened configuration "
+                "(compound classes remain: %s)" % ", ".join(graph.element_classes)
+            )
+        # Instantiate.
+        for decl in graph.elements.values():
+            cls = self._classes.get(decl.class_name)
+            if cls is None:
+                raise ClickSemanticError(
+                    "unknown element class %r for element %r" % (decl.class_name, decl.name)
+                )
+            element = cls(decl.name, decl.config)
+            element.router = self
+            self.elements[decl.name] = element
+
+        # Resolve push/pull over the whole configuration.
+        specs = default_specs(extra_classes=self._classes.values())
+        resolved = resolve_processing(graph, specs)
+
+        # Allocate and wire ports.
+        for name, element in self.elements.items():
+            ninputs = graph.input_count(name)
+            noutputs = graph.output_count(name)
+            cls = type(element)
+            counts = specs[cls.class_name].port_counts
+            if not counts.inputs_ok(ninputs):
+                raise ClickSemanticError(
+                    "%s (%s) has %d input(s); %r allowed"
+                    % (name, cls.class_name, ninputs, counts.text)
+                )
+            if not counts.outputs_ok(noutputs):
+                raise ClickSemanticError(
+                    "%s (%s) has %d output(s); %r allowed"
+                    % (name, cls.class_name, noutputs, counts.text)
+                )
+            element.set_nports(ninputs, noutputs)
+
+        for name in self.elements:
+            in_codes, out_codes = resolved[name]
+            for port, code in enumerate(out_codes):
+                conns = graph.connections_from(name, port)
+                if not conns:
+                    raise ClickSemanticError(
+                        "%s output [%d] is unconnected" % (name, port)
+                    )
+                if code == PUSH and len(conns) > 1:
+                    raise ClickSemanticError(
+                        "%s push output [%d] has %d connections; push outputs "
+                        "connect to exactly one input" % (name, port, len(conns))
+                    )
+                if code == PUSH:
+                    conn = conns[0]
+                    self.elements[name].output(port).connect(
+                        self.elements[conn.to_element], conn.to_port
+                    )
+            for port, code in enumerate(in_codes):
+                conns = graph.connections_to(name, port)
+                if not conns:
+                    raise ClickSemanticError("%s input [%d] is unconnected" % (name, port))
+                if code == PULL and len(conns) > 1:
+                    raise ClickSemanticError(
+                        "%s pull input [%d] has %d connections; pull inputs "
+                        "connect to exactly one output" % (name, port, len(conns))
+                    )
+                if code == PULL:
+                    conn = conns[0]
+                    self.elements[name].input(port).connect(
+                        self.elements[conn.from_element], conn.from_port
+                    )
+
+        # Initialize, collect tasks in declaration order.
+        for element in self.elements.values():
+            element.initialize()
+            if element.is_task():
+                self._tasks.append(element)
+
+    # -- access ------------------------------------------------------------------
+
+    def __getitem__(self, name):
+        return self.elements[name]
+
+    def find(self, name):
+        """The element named ``name``, or None."""
+        return self.elements.get(name)
+
+    def elements_of_class(self, class_name):
+        """All element instances of the given class."""
+        return [e for e in self.elements.values() if e.class_name == class_name]
+
+    @property
+    def tasks(self):
+        return list(self._tasks)
+
+    # -- driving --------------------------------------------------------------------
+
+    def run_tasks(self, iterations=1):
+        """Drive the polling scheduler: each iteration gives every task
+        element one run_task call (Click's constantly-active kernel
+        thread, round-robin)."""
+        useful = 0
+        for _ in range(iterations):
+            for task in self._tasks:
+                if self.meter is not None:
+                    self.meter.on_task(task)
+                if task.run_task():
+                    useful += 1
+        return useful
+
+    def push_packet(self, element_name, port, packet):
+        """Inject a packet into a push input (testing convenience)."""
+        element = self.elements[element_name]
+        if self.meter is not None:
+            self.meter.on_element_work(element)
+        element.push(port, packet)
+
+    # -- handlers (Click's /click/<element>/<handler> interface) -----------
+
+    def read_handler(self, path):
+        """Read ``"element.handler"`` (or ``"element/handler"``)."""
+        element_name, handler = self._split_handler_path(path)
+        return self.elements[element_name].read_handler(handler)
+
+    def write_handler(self, path, value):
+        """Write ``value`` to ``"element.handler"``."""
+        element_name, handler = self._split_handler_path(path)
+        self.elements[element_name].write_handler(handler, value)
+
+    @staticmethod
+    def _split_handler_path(path):
+        for separator in (".", "/"):
+            if separator in path:
+                element_name, _, handler = path.rpartition(separator)
+                return element_name, handler
+        raise KeyError("bad handler path %r (want element.handler)" % path)
+
+
+def build_router(graph, **kwargs):
+    """Flatten ``graph`` if needed and build a Router from it."""
+    if graph.element_classes:
+        from ..core.flatten import flatten
+
+        graph = flatten(graph)
+    return Router(graph, **kwargs)

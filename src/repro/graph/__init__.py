@@ -1,0 +1,54 @@
+"""Router-configuration graphs and the manipulations tools share."""
+
+from .flow import FlowCode, FlowError
+from .ports import (
+    AGNOSTIC,
+    PROCESSING_AGNOSTIC,
+    PROCESSING_PULL,
+    PROCESSING_PUSH,
+    PROCESSING_PUSH_TO_PULL,
+    PULL,
+    PUSH,
+    ClassSpec,
+    PortCountSpec,
+    ProcessingCode,
+    ProcessingError,
+    resolve_processing,
+)
+from .router import CompoundClass, Conn, ElementDecl, RouterGraph
+from .subgraph import SubgraphMatcher, find_subgraph
+from .visitor import (
+    backward_reachable,
+    flow_forward_ports,
+    flow_reachable_connections,
+    forward_reachable,
+    topological_order,
+)
+
+__all__ = [
+    "FlowCode",
+    "FlowError",
+    "AGNOSTIC",
+    "PROCESSING_AGNOSTIC",
+    "PROCESSING_PULL",
+    "PROCESSING_PUSH",
+    "PROCESSING_PUSH_TO_PULL",
+    "PULL",
+    "PUSH",
+    "ClassSpec",
+    "PortCountSpec",
+    "ProcessingCode",
+    "ProcessingError",
+    "resolve_processing",
+    "CompoundClass",
+    "Conn",
+    "ElementDecl",
+    "RouterGraph",
+    "SubgraphMatcher",
+    "find_subgraph",
+    "backward_reachable",
+    "flow_forward_ports",
+    "flow_reachable_connections",
+    "forward_reachable",
+    "topological_order",
+]

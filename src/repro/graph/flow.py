@@ -1,0 +1,77 @@
+"""Flow codes: which input ports' packets can emerge from which outputs.
+
+A flow code like ``"xy/x"`` (ARPQuerier) says packets arriving on input 0
+(``x``) may leave output 0 (``x``), while input 1's packets (``y``) never
+reach any output.  ``"#/#"`` ties equal port numbers (a Tee-like element
+where input *i* feeds output *i*).  As with processing codes, the last
+character repeats for extra ports.
+
+``click-devirtualize`` and ``click-align`` both traverse configurations
+along flow edges, so flow codes determine which downstream contexts
+matter for code sharing and which alignment constraints propagate.
+"""
+
+from __future__ import annotations
+
+
+class FlowError(ValueError):
+    """Raised for malformed flow codes."""
+
+_ALLOWED = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ#-")
+
+
+class FlowCode:
+    """A parsed flow code.
+
+    >>> FlowCode("xy/x").flows(0, 0), FlowCode("xy/x").flows(1, 0)
+    (True, False)
+    >>> FlowCode("#/#").flows(2, 2), FlowCode("#/#").flows(2, 3)
+    (True, False)
+    """
+
+    __slots__ = ("text", "_inputs", "_outputs")
+
+    def __init__(self, text):
+        self.text = text
+        if "/" not in text:
+            in_part, out_part = text, text
+        else:
+            in_part, out_part = text.split("/", 1)
+        for part in (in_part, out_part):
+            if not part or any(ch not in _ALLOWED for ch in part):
+                raise FlowError("bad flow code %r" % text)
+        self._inputs = in_part
+        self._outputs = out_part
+
+    def _input_char(self, port):
+        return self._inputs[min(port, len(self._inputs) - 1)]
+
+    def _output_char(self, port):
+        return self._outputs[min(port, len(self._outputs) - 1)]
+
+    def flows(self, in_port, out_port):
+        """True if packets entering ``in_port`` may leave ``out_port``."""
+        in_char = self._input_char(in_port)
+        out_char = self._output_char(out_port)
+        if in_char == "-" or out_char == "-":
+            return False
+        if in_char == "#" or out_char == "#":
+            return in_port == out_port
+        return in_char == out_char
+
+    def forward_ports(self, in_port, n_outputs):
+        """Output ports reachable from ``in_port``."""
+        return [p for p in range(n_outputs) if self.flows(in_port, p)]
+
+    def backward_ports(self, out_port, n_inputs):
+        """Input ports that can reach ``out_port``."""
+        return [p for p in range(n_inputs) if self.flows(p, out_port)]
+
+    def __repr__(self):
+        return "FlowCode(%r)" % self.text
+
+    def __eq__(self, other):
+        return isinstance(other, FlowCode) and self.text == other.text
+
+    def __hash__(self):
+        return hash(("FlowCode", self.text))

@@ -1,0 +1,206 @@
+"""Processing codes and push/pull resolution.
+
+Each element class declares a *processing code* (§5.3), a small textual
+specification like ``"a/ah"``: characters before the slash describe input
+ports, characters after describe outputs; the last character repeats for
+any extra ports.  ``h`` means push, ``l`` means pull, ``a`` means
+agnostic (takes on whatever its context requires).
+
+Push/pull agreement is resolved over a whole configuration: a push output
+must feed a push input, a pull input must draw from a pull output, and an
+element's agnostic ports resolve together (all agnostic ports of one
+element share a binding, as for ``simple_action`` elements in Click).
+"""
+
+from __future__ import annotations
+
+from .flow import FlowCode
+
+PUSH = "h"
+PULL = "l"
+AGNOSTIC = "a"
+
+PROCESSING_PUSH = "h/h"
+PROCESSING_PULL = "l/l"
+PROCESSING_AGNOSTIC = "a/a"
+PROCESSING_PUSH_TO_PULL = "h/l"
+
+
+class ProcessingError(ValueError):
+    """Raised for malformed processing codes or push/pull conflicts."""
+
+
+class ProcessingCode:
+    """A parsed processing code.
+
+    >>> code = ProcessingCode("a/ah")
+    >>> code.input_code(0), code.output_code(0), code.output_code(1), code.output_code(5)
+    ('a', 'a', 'h', 'h')
+    """
+
+    __slots__ = ("text", "_inputs", "_outputs")
+
+    def __init__(self, text):
+        self.text = text
+        if "/" not in text:
+            # A bare code applies to both sides (Click allows "a" for "a/a").
+            in_part, out_part = text, text
+        else:
+            in_part, out_part = text.split("/", 1)
+        for part in (in_part, out_part):
+            if not part or any(ch not in (PUSH, PULL, AGNOSTIC) for ch in part):
+                raise ProcessingError("bad processing code %r" % text)
+        self._inputs = in_part
+        self._outputs = out_part
+
+    def input_code(self, port):
+        return self._inputs[min(port, len(self._inputs) - 1)]
+
+    def output_code(self, port):
+        return self._outputs[min(port, len(self._outputs) - 1)]
+
+    def __repr__(self):
+        return "ProcessingCode(%r)" % self.text
+
+    def __eq__(self, other):
+        return isinstance(other, ProcessingCode) and self.text == other.text
+
+    def __hash__(self):
+        return hash(("ProcessingCode", self.text))
+
+
+class ClassSpec:
+    """What a tool may know about an element class (§5.3): its name, its
+    processing code, its flow code, and its port-count ranges — never its
+    implementation.  Tools receive these from a spec registry; they do not
+    link with element definitions."""
+
+    __slots__ = ("class_name", "processing", "flow_code", "port_counts", "extras")
+
+    def __init__(self, class_name, processing="a/a", flow_code="x/x", port_counts="1/1", extras=None):
+        self.class_name = class_name
+        self.processing = ProcessingCode(processing)
+        self.flow_code = FlowCode(flow_code)
+        self.port_counts = PortCountSpec(port_counts)
+        self.extras = dict(extras or {})
+
+    def __repr__(self):
+        return "ClassSpec(%r, %r, %r, %r)" % (
+            self.class_name,
+            self.processing.text,
+            self.flow_code.text,
+            self.port_counts.text,
+        )
+
+
+class PortCountSpec:
+    """Port-count specification, e.g. ``"1/2"`` (one input, two outputs),
+    ``"1/1-2"`` (one or two outputs), ``"1-/1"``, ``"-/1"`` (any number of
+    inputs), ``"0/0"``."""
+
+    __slots__ = ("text", "_in_range", "_out_range")
+
+    def __init__(self, text):
+        self.text = text
+        if "/" not in text:
+            in_part, out_part = text, text
+        else:
+            in_part, out_part = text.split("/", 1)
+        self._in_range = self._parse_range(in_part)
+        self._out_range = self._parse_range(out_part)
+
+    @staticmethod
+    def _parse_range(part):
+        part = part.strip()
+        if part in ("-", ""):
+            return (0, None)
+        if "-" in part:
+            low_text, high_text = part.split("-", 1)
+            low = int(low_text) if low_text else 0
+            high = int(high_text) if high_text else None
+            return (low, high)
+        count = int(part)
+        return (count, count)
+
+    def inputs_ok(self, count):
+        low, high = self._in_range
+        return count >= low and (high is None or count <= high)
+
+    def outputs_ok(self, count):
+        low, high = self._out_range
+        return count >= low and (high is None or count <= high)
+
+    def __repr__(self):
+        return "PortCountSpec(%r)" % self.text
+
+
+def resolve_processing(graph, specs):
+    """Resolve every port in ``graph`` to push or pull.
+
+    ``specs`` maps class name → :class:`ClassSpec`.  Returns a dict
+    ``{element_name: ("hh...", "hl...")}`` giving the resolved per-port
+    codes, with agnostic ports bound (defaulting to push when nothing
+    constrains them, as in Click).  Raises :class:`ProcessingError` on a
+    push/pull conflict, naming the offending connection.
+    """
+    # Per-element agnostic binding: None (unbound), 'h', or 'l'.
+    agnostic_binding = {}
+
+    def port_code(element, port, is_output):
+        spec = specs.get(graph.elements[element].class_name)
+        if spec is None:
+            return AGNOSTIC  # unknown classes don't constrain
+        code = spec.processing.output_code(port) if is_output else spec.processing.input_code(port)
+        return code
+
+    def effective(element, port, is_output):
+        code = port_code(element, port, is_output)
+        if code == AGNOSTIC:
+            return agnostic_binding.get(element)
+        return code
+
+    changed = True
+    while changed:
+        changed = False
+        for conn in graph.connections:
+            out_code = effective(conn.from_element, conn.from_port, True)
+            in_code = effective(conn.to_element, conn.to_port, False)
+            if out_code and in_code and out_code != in_code:
+                raise ProcessingError(
+                    "push/pull conflict on %s[%d] -> [%d]%s"
+                    % (conn.from_element, conn.from_port, conn.to_port, conn.to_element)
+                )
+            binding = out_code or in_code
+            if binding:
+                for element, port, is_output in (
+                    (conn.from_element, conn.from_port, True),
+                    (conn.to_element, conn.to_port, False),
+                ):
+                    if port_code(element, port, is_output) == AGNOSTIC:
+                        previous = agnostic_binding.get(element)
+                        if previous is None:
+                            agnostic_binding[element] = binding
+                            changed = True
+                        elif previous != binding:
+                            raise ProcessingError(
+                                "agnostic element %s bound both push and pull" % element
+                            )
+
+    resolved = {}
+    for name in graph.elements:
+        n_in = graph.input_count(name)
+        n_out = graph.output_count(name)
+        in_codes = []
+        out_codes = []
+        for port in range(n_in):
+            code = port_code(name, port, False)
+            if code == AGNOSTIC:
+                code = agnostic_binding.get(name) or PUSH
+            in_codes.append(code)
+        for port in range(n_out):
+            code = port_code(name, port, True)
+            if code == AGNOSTIC:
+                code = agnostic_binding.get(name) or PUSH
+            out_codes.append(code)
+        resolved[name] = ("".join(in_codes), "".join(out_codes))
+    return resolved

@@ -1,0 +1,172 @@
+"""Subgraph isomorphism for router configurations.
+
+click-xform's pattern search "is a variant of subgraph [isomorphism], a
+well-known NP-complete problem.  Click-xform implements Ullman's
+subgraph [isomorphism] algorithm, which works well for the patterns and
+configurations seen in practice." (§6.2)
+
+This is Ullman's 1976 algorithm over directed multigraphs whose edges
+carry (from_port, to_port) labels: candidate sets per pattern vertex,
+iterated refinement, then depth-first search with forward checking.
+Edges must match ports exactly; vertex compatibility is a caller-supplied
+predicate (click-xform uses class names plus config-string wildcards).
+"""
+
+from __future__ import annotations
+
+
+class SubgraphMatcher:
+    """Enumerate occurrences of ``pattern`` inside ``host``.
+
+    Both are :class:`~repro.graph.router.RouterGraph` instances.
+    ``node_compatible(pattern_decl, host_decl)`` gates vertex pairings.
+    ``exclude`` is a set of pattern element names not to match (xform's
+    ``input``/``output`` pseudo elements).
+    """
+
+    def __init__(self, pattern, host, node_compatible, exclude=()):
+        self.pattern = pattern
+        self.host = host
+        self.node_compatible = node_compatible
+        self.pattern_nodes = [n for n in pattern.elements if n not in set(exclude)]
+        self.host_nodes = list(host.elements)
+        excluded = set(exclude)
+        # Pattern edges among matched nodes only.
+        self.pattern_edges = [
+            c
+            for c in pattern.connections
+            if c.from_element not in excluded and c.to_element not in excluded
+        ]
+        # Host adjacency indexed for O(1) edge tests.
+        self._host_edge_set = {
+            (c.from_element, c.from_port, c.to_element, c.to_port) for c in host.connections
+        }
+        self._host_out = {}
+        self._host_in = {}
+        for conn in host.connections:
+            self._host_out.setdefault(conn.from_element, []).append(conn)
+            self._host_in.setdefault(conn.to_element, []).append(conn)
+
+    # -- candidate construction and refinement --------------------------------
+
+    def _initial_candidates(self):
+        candidates = {}
+        for p_name in self.pattern_nodes:
+            p_decl = self.pattern.elements[p_name]
+            cands = set()
+            for h_name in self.host_nodes:
+                if self.node_compatible(p_decl, self.host.elements[h_name]):
+                    cands.add(h_name)
+            if not cands:
+                return None
+            candidates[p_name] = cands
+        return candidates
+
+    def _refine(self, candidates):
+        """Ullman refinement: a host node h stays a candidate for pattern
+        node p only if every pattern edge at p can be realized by *some*
+        candidate at the other end."""
+        changed = True
+        while changed:
+            changed = False
+            for edge in self.pattern_edges:
+                pa, pb = edge.from_element, edge.to_element
+                if pa not in candidates or pb not in candidates:
+                    continue
+                # Forward direction: every candidate of pa must have an
+                # out-edge on edge.from_port to some candidate of pb on
+                # edge.to_port.
+                keep = set()
+                for ha in candidates[pa]:
+                    for conn in self._host_out.get(ha, ()):
+                        if (
+                            conn.from_port == edge.from_port
+                            and conn.to_port == edge.to_port
+                            and conn.to_element in candidates[pb]
+                        ):
+                            keep.add(ha)
+                            break
+                if keep != candidates[pa]:
+                    candidates[pa] = keep
+                    changed = True
+                    if not keep:
+                        return False
+                # Backward direction.
+                keep = set()
+                for hb in candidates[pb]:
+                    for conn in self._host_in.get(hb, ()):
+                        if (
+                            conn.from_port == edge.from_port
+                            and conn.to_port == edge.to_port
+                            and conn.from_element in candidates[pa]
+                        ):
+                            keep.add(hb)
+                            break
+                if keep != candidates[pb]:
+                    candidates[pb] = keep
+                    changed = True
+                    if not keep:
+                        return False
+        return True
+
+    # -- search ----------------------------------------------------------------
+
+    def matches(self):
+        """Yield mappings {pattern_name: host_name}."""
+        if not self.pattern_nodes:
+            return
+        candidates = self._initial_candidates()
+        if candidates is None or not self._refine(candidates):
+            return
+        # Order pattern nodes by fewest candidates first (fail fast).
+        order = sorted(self.pattern_nodes, key=lambda n: len(candidates[n]))
+        yield from self._search(order, 0, {}, candidates)
+
+    def _edges_consistent(self, mapping, p_name, h_name):
+        for edge in self.pattern_edges:
+            if edge.from_element == p_name and edge.to_element in mapping:
+                if (
+                    h_name,
+                    edge.from_port,
+                    mapping[edge.to_element],
+                    edge.to_port,
+                ) not in self._host_edge_set:
+                    return False
+            if edge.to_element == p_name and edge.from_element in mapping:
+                if (
+                    mapping[edge.from_element],
+                    edge.from_port,
+                    h_name,
+                    edge.to_port,
+                ) not in self._host_edge_set:
+                    return False
+            # Self-loops in the pattern.
+            if edge.from_element == p_name and edge.to_element == p_name:
+                if (h_name, edge.from_port, h_name, edge.to_port) not in self._host_edge_set:
+                    return False
+        return True
+
+    def _search(self, order, depth, mapping, candidates):
+        if depth == len(order):
+            yield dict(mapping)
+            return
+        p_name = order[depth]
+        used = set(mapping.values())
+        for h_name in sorted(candidates[p_name]):
+            if h_name in used:
+                continue
+            if not self._edges_consistent(mapping, p_name, h_name):
+                continue
+            mapping[p_name] = h_name
+            yield from self._search(order, depth + 1, mapping, candidates)
+            del mapping[p_name]
+
+    def first_match(self):
+        for mapping in self.matches():
+            return mapping
+        return None
+
+
+def find_subgraph(pattern, host, node_compatible, exclude=()):
+    """First occurrence of ``pattern`` in ``host``, or None."""
+    return SubgraphMatcher(pattern, host, node_compatible, exclude).first_match()

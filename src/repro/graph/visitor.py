@@ -1,0 +1,105 @@
+"""Flow-based graph traversal.
+
+Several tools walk configurations *along packet flow*: click-devirtualize
+needs the downstream context of every port; click-align propagates
+alignment facts forward through elements according to their flow codes;
+click-undead asks reachability questions.  This module provides those
+traversals over a RouterGraph plus a class-spec table.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+
+def forward_reachable(graph, roots):
+    """Element names reachable from ``roots`` following connections
+    forward (ignoring flow codes: reachability of the wiring itself)."""
+    seen = set()
+    queue = deque(roots)
+    while queue:
+        name = queue.popleft()
+        if name in seen or name not in graph.elements:
+            continue
+        seen.add(name)
+        for conn in graph.connections_from(name):
+            queue.append(conn.to_element)
+    return seen
+
+
+def backward_reachable(graph, roots):
+    """Element names from which some root can be reached."""
+    seen = set()
+    queue = deque(roots)
+    while queue:
+        name = queue.popleft()
+        if name in seen or name not in graph.elements:
+            continue
+        seen.add(name)
+        for conn in graph.connections_to(name):
+            queue.append(conn.from_element)
+    return seen
+
+
+def flow_forward_ports(graph, specs, element, in_port):
+    """Output ports of ``element`` that packets entering ``in_port`` can
+    leave, per the element's flow code.  Unknown classes are assumed to
+    flow everywhere (the conservative answer for analyses)."""
+    spec = specs.get(graph.elements[element].class_name)
+    n_out = graph.output_count(element)
+    if spec is None:
+        return list(range(n_out))
+    return spec.flow_code.forward_ports(in_port, n_out)
+
+
+def flow_reachable_connections(graph, specs, start_element, start_in_port=None):
+    """Connections a packet entering ``start_element`` (optionally on a
+    specific input port) might traverse, honouring flow codes."""
+    seen_ports = set()
+    result = []
+    if start_in_port is None:
+        initial = [(start_element, p) for p in range(max(1, graph.input_count(start_element)))]
+    else:
+        initial = [(start_element, start_in_port)]
+    queue = deque(initial)
+    while queue:
+        element, in_port = queue.popleft()
+        if (element, in_port) in seen_ports or element not in graph.elements:
+            continue
+        seen_ports.add((element, in_port))
+        for out_port in flow_forward_ports(graph, specs, element, in_port):
+            for conn in graph.connections_from(element, out_port):
+                result.append(conn)
+                queue.append((conn.to_element, conn.to_port))
+    return result
+
+
+def topological_order(graph):
+    """Elements in a topological order where possible; cycles (Click
+    graphs may have them, e.g. via ICMPError feedback) are broken
+    arbitrarily but deterministically."""
+    in_degree = {name: 0 for name in graph.elements}
+    for conn in graph.connections:
+        if conn.from_element != conn.to_element:
+            in_degree[conn.to_element] += 1
+    ready = deque(sorted(name for name, degree in in_degree.items() if degree == 0))
+    order = []
+    remaining = dict(in_degree)
+    visited = set()
+    while len(order) < len(graph.elements):
+        if not ready:
+            # Cycle: pick the unvisited element with the smallest in-degree.
+            candidates = [n for n in graph.elements if n not in visited]
+            candidates.sort(key=lambda n: (remaining[n], n))
+            ready.append(candidates[0])
+        name = ready.popleft()
+        if name in visited:
+            continue
+        visited.add(name)
+        order.append(name)
+        for conn in graph.connections_from(name):
+            if conn.to_element not in visited and conn.from_element != conn.to_element:
+                remaining[conn.to_element] -= 1
+                if remaining[conn.to_element] == 0:
+                    ready.append(conn.to_element)
+    return order

@@ -1,0 +1,37 @@
+"""The Click configuration language: lexing, parsing, elaboration,
+unparsing, and the multi-file archive format."""
+
+from .archive import ARCHIVE_MAGIC, ArchiveError, CONFIG_MEMBER, is_archive, read_archive, write_archive
+from .ast import Connection, Declaration, ElementClassDef, Endpoint, Program, Require
+from .build import build_graph, parse_graph
+from .errors import ClickSemanticError, ClickSyntaxError, ErrorCollector, SourceLocation
+from .lexer import join_config_args, split_config_args, tokenize
+from .parser import parse
+from .unparse import unparse, unparse_file
+
+__all__ = [
+    "ARCHIVE_MAGIC",
+    "ArchiveError",
+    "CONFIG_MEMBER",
+    "is_archive",
+    "read_archive",
+    "write_archive",
+    "Connection",
+    "Declaration",
+    "ElementClassDef",
+    "Endpoint",
+    "Program",
+    "Require",
+    "build_graph",
+    "parse_graph",
+    "ClickSemanticError",
+    "ClickSyntaxError",
+    "ErrorCollector",
+    "SourceLocation",
+    "join_config_args",
+    "split_config_args",
+    "tokenize",
+    "parse",
+    "unparse",
+    "unparse_file",
+]

@@ -1,0 +1,81 @@
+"""Abstract syntax for the Click configuration language.
+
+The parser produces a :class:`Program` — a list of statements.  A
+separate elaboration step (:mod:`repro.lang.build`) turns a program into
+a :class:`repro.graph.router.RouterGraph`, resolving anonymous element
+names and collecting compound-element (``elementclass``) definitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .errors import UNKNOWN_LOCATION, SourceLocation
+
+
+@dataclass
+class Statement:
+    location: SourceLocation = field(default=UNKNOWN_LOCATION, repr=False)
+
+
+@dataclass
+class Declaration(Statement):
+    """``a, b :: Class(config);``"""
+
+    names: List[str] = field(default_factory=list)
+    class_name: str = ""
+    config: Optional[str] = None
+
+
+@dataclass
+class Endpoint:
+    """One stop in a connection chain: ``[in] element [out]``.
+
+    ``element`` is either a plain name reference (``decl is None``) or an
+    inline declaration (possibly anonymous, ``decl.names == []``).
+    """
+
+    name: Optional[str] = None
+    decl: Optional[Declaration] = None
+    in_port: Optional[int] = None
+    out_port: Optional[int] = None
+    location: SourceLocation = field(default=UNKNOWN_LOCATION, repr=False)
+
+
+@dataclass
+class Connection(Statement):
+    """``a [0] -> [1] b -> c;`` — a chain of two or more endpoints."""
+
+    chain: List[Endpoint] = field(default_factory=list)
+
+
+@dataclass
+class ElementClassDef(Statement):
+    """``elementclass Name { $a, $b | body... }``"""
+
+    name: str = ""
+    params: List[str] = field(default_factory=list)
+    body: List[Statement] = field(default_factory=list)
+
+
+@dataclass
+class Require(Statement):
+    """``require(package);`` — carried through transformations verbatim."""
+
+    text: str = ""
+
+
+@dataclass
+class Program:
+    statements: List[Statement] = field(default_factory=list)
+    filename: str = "<config>"
+
+    def declarations(self):
+        return [s for s in self.statements if isinstance(s, Declaration)]
+
+    def connections(self):
+        return [s for s in self.statements if isinstance(s, Connection)]
+
+    def element_classes(self):
+        return [s for s in self.statements if isinstance(s, ElementClassDef)]

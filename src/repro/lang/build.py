@@ -1,0 +1,110 @@
+"""Elaboration: turn a parsed :class:`~repro.lang.ast.Program` into a
+:class:`~repro.graph.router.RouterGraph`.
+
+Elaboration resolves names but does *not* expand compound elements —
+``elementclass`` definitions are stored on the graph and compiled away
+later by :mod:`repro.core.flatten`, because some tools (click-undead, and
+click-combine's output) care about compounds as such.
+
+Name resolution follows Click's file-scoped rule: declarations anywhere
+in the file are visible everywhere, and a bare name that matches no
+declaration is an anonymous instantiation of the class with that name
+(``... -> Discard;``).  Whether such a class actually exists is
+click-check's business, not the parser's — this is what lets tools parse
+configurations "without knowing which names correspond to element
+classes" (§5.2).
+"""
+
+from __future__ import annotations
+
+from ..graph.router import CompoundClass, RouterGraph
+from .ast import Connection, Declaration, ElementClassDef, Program, Require
+from .errors import ClickSemanticError
+from .parser import parse
+
+_PSEUDO_CLASSES = {
+    CompoundClass.INPUT: "__compound_input__",
+    CompoundClass.OUTPUT: "__compound_output__",
+}
+
+
+def build_graph(program, inside_compound=False):
+    """Elaborate ``program`` into a RouterGraph."""
+    graph = RouterGraph()
+
+    # Pass 0: compound definitions (so instantiations can be recognized).
+    for stmt in program.statements:
+        if isinstance(stmt, ElementClassDef):
+            body_program = Program(statements=stmt.body, filename=program.filename)
+            body_graph = build_graph(body_program, inside_compound=True)
+            if stmt.name in graph.element_classes:
+                raise ClickSemanticError(
+                    "redefinition of element class %r" % stmt.name, stmt.location
+                )
+            graph.element_classes[stmt.name] = CompoundClass(
+                name=stmt.name, params=list(stmt.params), body=body_graph
+            )
+
+    # Pass 1: explicit declarations (standalone and inline).
+    def declare(decl):
+        if not decl.names:
+            # A standalone anonymous statement: `AlignmentInfo(...);`.
+            graph.add_element(None, decl.class_name, decl.config, decl.location)
+        for name in decl.names:
+            graph.add_element(name, decl.class_name, decl.config, decl.location)
+
+    for stmt in program.statements:
+        if isinstance(stmt, Declaration):
+            declare(stmt)
+        elif isinstance(stmt, Connection):
+            for endpoint in stmt.chain:
+                if endpoint.decl is not None and endpoint.decl.names:
+                    declare(endpoint.decl)
+        elif isinstance(stmt, Require):
+            graph.requirements.append(stmt.text)
+
+    if inside_compound:
+        for pseudo, pseudo_class in _PSEUDO_CLASSES.items():
+            if pseudo not in graph.elements:
+                graph.add_element(pseudo, pseudo_class)
+
+    # Pass 2: connections, resolving endpoints to element names.
+    def resolve(endpoint):
+        if endpoint.decl is not None and not endpoint.decl.names:
+            # Anonymous inline declaration: Class(config).
+            decl = graph.add_element(
+                None, endpoint.decl.class_name, endpoint.decl.config, endpoint.decl.location
+            )
+            return decl.name
+        name = endpoint.name
+        if name in graph.elements:
+            return name
+        # Bare, undeclared name: anonymous config-less instantiation.
+        decl = graph.add_element(None, name, None, endpoint.location)
+        return decl.name
+
+    for stmt in program.statements:
+        if not isinstance(stmt, Connection):
+            continue
+        resolved = [resolve(endpoint) for endpoint in stmt.chain]
+        for i in range(len(stmt.chain) - 1):
+            src, dst = stmt.chain[i], stmt.chain[i + 1]
+            from_port = src.out_port if src.out_port is not None else 0
+            to_port = dst.in_port if dst.in_port is not None else 0
+            graph.add_connection(resolved[i], from_port, resolved[i + 1], to_port, stmt.location)
+        # A trailing output-port or leading input-port on the chain ends
+        # would dangle; Click rejects that, and so do we.
+        if stmt.chain[0].in_port is not None and resolved[0] not in _PSEUDO_CLASSES.values():
+            pass  # legal: `[0] input ...` inside compounds handles ports itself
+        if stmt.chain[-1].out_port is not None:
+            raise ClickSemanticError(
+                "dangling output port at end of connection", stmt.location
+            )
+
+    graph.check_integrity()
+    return graph
+
+
+def parse_graph(text, filename="<config>"):
+    """Parse configuration text straight to a RouterGraph."""
+    return build_graph(parse(text, filename))

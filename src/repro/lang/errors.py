@@ -1,0 +1,22 @@
+"""Re-export of :mod:`repro.errors` under its historical location.
+
+Diagnostics live at package top level so that :mod:`repro.graph` can use
+them without importing the language package (which itself depends on the
+graph package for elaboration).
+"""
+
+from ..errors import (  # noqa: F401
+    UNKNOWN_LOCATION,
+    ClickSemanticError,
+    ClickSyntaxError,
+    ErrorCollector,
+    SourceLocation,
+)
+
+__all__ = [
+    "UNKNOWN_LOCATION",
+    "ClickSemanticError",
+    "ClickSyntaxError",
+    "ErrorCollector",
+    "SourceLocation",
+]

@@ -1,0 +1,261 @@
+"""Lexer for the Click router-configuration language.
+
+The language is deliberately small and declarative (§5.2 of the paper):
+its sole function is to describe elements and the connections between
+them.  The lexer produces a token stream; parenthesized configuration
+strings are captured *raw* (quotes, nested parentheses and comments
+respected) because element configuration syntax is the element's own
+business — tools must round-trip it byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import ClickSyntaxError, SourceLocation
+
+# Token kinds.
+IDENT = "IDENT"
+NUMBER = "NUMBER"
+VARIABLE = "VARIABLE"  # $name, inside compound-element bodies
+CONFIG = "CONFIG"  # raw text between ( and )
+COLONCOLON = "::"
+ARROW = "->"
+SEMI = ";"
+COMMA = ","
+BAR = "|"
+BARBAR = "||"
+LBRACE = "{"
+RBRACE = "}"
+LBRACKET = "["
+RBRACKET = "]"
+ELEMENTCLASS = "elementclass"
+REQUIRE = "require"
+EOF = "EOF"
+
+_KEYWORDS = {"elementclass": ELEMENTCLASS, "require": REQUIRE}
+
+_IDENT_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_@")
+_IDENT_CONT = _IDENT_START | set("0123456789/")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    value: str
+    location: SourceLocation
+
+    def __repr__(self):
+        return "Token(%s, %r)" % (self.kind, self.value)
+
+
+class Lexer:
+    """Tokenizes one configuration file."""
+
+    def __init__(self, text, filename="<config>"):
+        self.text = text
+        self.filename = filename
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def location(self):
+        return SourceLocation(self.filename, self.line, self.column)
+
+    def _advance(self, count=1):
+        for _ in range(count):
+            if self.pos < len(self.text):
+                if self.text[self.pos] == "\n":
+                    self.line += 1
+                    self.column = 1
+                else:
+                    self.column += 1
+                self.pos += 1
+
+    def _peek(self, offset=0):
+        index = self.pos + offset
+        return self.text[index] if index < len(self.text) else ""
+
+    def _skip_space_and_comments(self):
+        while self.pos < len(self.text):
+            char = self._peek()
+            if char in " \t\r\n":
+                self._advance()
+            elif char == "/" and self._peek(1) == "/":
+                while self.pos < len(self.text) and self._peek() != "\n":
+                    self._advance()
+            elif char == "/" and self._peek(1) == "*":
+                start = self.location()
+                self._advance(2)
+                while self.pos < len(self.text) and not (
+                    self._peek() == "*" and self._peek(1) == "/"
+                ):
+                    self._advance()
+                if self.pos >= len(self.text):
+                    raise ClickSyntaxError("unterminated block comment", start)
+                self._advance(2)
+            else:
+                return
+
+    def _lex_config(self):
+        """Capture raw text between balanced parentheses.  Parentheses
+        inside double-quoted strings or comments don't count."""
+        start = self.location()
+        assert self._peek() == "("
+        self._advance()
+        depth = 1
+        chunk_start = self.pos
+        parts = []
+        while self.pos < len(self.text):
+            char = self._peek()
+            if char == '"':
+                self._advance()
+                while self.pos < len(self.text) and self._peek() != '"':
+                    if self._peek() == "\\":
+                        self._advance()
+                    self._advance()
+                if self.pos >= len(self.text):
+                    raise ClickSyntaxError("unterminated string in configuration", start)
+                self._advance()
+            elif char == "/" and self._peek(1) == "/":
+                while self.pos < len(self.text) and self._peek() != "\n":
+                    self._advance()
+            elif char == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while self.pos < len(self.text) and not (
+                    self._peek() == "*" and self._peek(1) == "/"
+                ):
+                    self._advance()
+                self._advance(2)
+            elif char == "(":
+                depth += 1
+                self._advance()
+            elif char == ")":
+                depth -= 1
+                if depth == 0:
+                    parts.append(self.text[chunk_start:self.pos])
+                    self._advance()
+                    return Token(CONFIG, "".join(parts).strip(), start)
+                self._advance()
+            else:
+                self._advance()
+        raise ClickSyntaxError("unterminated configuration string", start)
+
+    def next_token(self):
+        self._skip_space_and_comments()
+        loc = self.location()
+        if self.pos >= len(self.text):
+            return Token(EOF, "", loc)
+        char = self._peek()
+        if char == "(":
+            return self._lex_config()
+        if char == ":" and self._peek(1) == ":":
+            self._advance(2)
+            return Token(COLONCOLON, "::", loc)
+        if char == "-" and self._peek(1) == ">":
+            self._advance(2)
+            return Token(ARROW, "->", loc)
+        if char == "|" and self._peek(1) == "|":
+            self._advance(2)
+            return Token(BARBAR, "||", loc)
+        if char in ";,|{}[]":
+            self._advance()
+            kind = {
+                ";": SEMI,
+                ",": COMMA,
+                "|": BAR,
+                "{": LBRACE,
+                "}": RBRACE,
+                "[": LBRACKET,
+                "]": RBRACKET,
+            }[char]
+            return Token(kind, char, loc)
+        if char == "$":
+            self._advance()
+            start = self.pos
+            while self.pos < len(self.text) and self._peek() in _IDENT_CONT:
+                self._advance()
+            name = self.text[start:self.pos]
+            if not name:
+                raise ClickSyntaxError("'$' must introduce a variable name", loc)
+            return Token(VARIABLE, "$" + name, loc)
+        if char.isdigit():
+            start = self.pos
+            while self.pos < len(self.text) and self._peek().isdigit():
+                self._advance()
+            return Token(NUMBER, self.text[start:self.pos], loc)
+        if char in _IDENT_START:
+            start = self.pos
+            while self.pos < len(self.text) and self._peek() in _IDENT_CONT:
+                self._advance()
+            word = self.text[start:self.pos]
+            return Token(_KEYWORDS.get(word, IDENT), word, loc)
+        raise ClickSyntaxError("unexpected character %r" % char, loc)
+
+    def tokens(self):
+        """The full token list, ending with EOF."""
+        result = []
+        while True:
+            token = self.next_token()
+            result.append(token)
+            if token.kind == EOF:
+                return result
+
+
+def tokenize(text, filename="<config>"):
+    """The token list for ``text``, ending with EOF."""
+    return Lexer(text, filename).tokens()
+
+
+def split_config_args(config):
+    """Split an element configuration string into top-level comma-separated
+    arguments, respecting quotes, parentheses, brackets, and braces.
+
+    >>> split_config_args("12/0800, -")
+    ['12/0800', '-']
+    >>> split_config_args('"a, b", c')
+    ['"a, b"', 'c']
+    """
+    if config is None:
+        return []
+    args = []
+    depth = 0
+    current = []
+    index = 0
+    while index < len(config):
+        char = config[index]
+        if char == '"':
+            current.append(char)
+            index += 1
+            while index < len(config) and config[index] != '"':
+                if config[index] == "\\" and index + 1 < len(config):
+                    current.append(config[index])
+                    index += 1
+                current.append(config[index])
+                index += 1
+            if index < len(config):
+                current.append('"')
+                index += 1
+            continue
+        if char in "([{":
+            depth += 1
+        elif char in ")]}":
+            depth -= 1
+        if char == "," and depth == 0:
+            args.append("".join(current).strip())
+            current = []
+        else:
+            current.append(char)
+        index += 1
+    tail = "".join(current).strip()
+    if tail or args:
+        args.append(tail)
+    # An entirely empty configuration means zero arguments.
+    if args == [""]:
+        return []
+    return args
+
+
+def join_config_args(args):
+    """Inverse of :func:`split_config_args` for well-behaved arguments."""
+    return ", ".join(args)

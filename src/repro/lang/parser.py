@@ -1,0 +1,211 @@
+"""Recursive-descent parser for the Click configuration language.
+
+Grammar (the subset of Click's language that the paper's tools rely on):
+
+    program      := statement*
+    statement    := declaration ';' | connection ';' | elementclass | require ';'
+    declaration  := name (',' name)* '::' class config?
+    connection   := endpoint ('->' endpoint)+
+    endpoint     := port? element port?
+    element      := name | name '::' class config? | class config?
+    port         := '[' number ']'
+    elementclass := 'elementclass' name '{' params? statement* '}'
+    params       := variable (',' variable)* '|'
+    require      := 'require' config
+
+Crucially (§5.2), the grammar can be parsed *without knowing which names
+are element classes*: in an endpoint, ``Foo`` followed by a config or by
+nothing is only a class reference if ``Foo`` was not previously declared
+— that resolution happens at elaboration time, not parse time.  Here we
+use Click's actual syntactic rule: an endpoint consisting of a bare name
+is a *reference*; a name followed by ``(config)`` is an anonymous
+declaration of that class.
+"""
+
+from __future__ import annotations
+
+from . import lexer as lex
+from .ast import Connection, Declaration, ElementClassDef, Endpoint, Program, Require
+from .errors import ClickSyntaxError
+
+
+class Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, text, filename="<config>"):
+        self.tokens = lex.tokenize(text, filename)
+        self.index = 0
+        self.filename = filename
+
+    # -- token plumbing ------------------------------------------------------
+
+    def _peek(self, offset=0):
+        index = min(self.index + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _next(self):
+        token = self.tokens[self.index]
+        if token.kind != lex.EOF:
+            self.index += 1
+        return token
+
+    def _expect(self, kind):
+        token = self._next()
+        if token.kind != kind:
+            raise ClickSyntaxError(
+                "expected %s, found %r" % (kind, token.value or token.kind), token.location
+            )
+        return token
+
+    def _accept(self, kind):
+        if self._peek().kind == kind:
+            return self._next()
+        return None
+
+    # -- grammar -------------------------------------------------------------
+
+    def parse(self):
+        statements = self._parse_statements(stop_kinds=(lex.EOF,))
+        self._expect(lex.EOF)
+        return Program(statements=statements, filename=self.filename)
+
+    def _parse_statements(self, stop_kinds):
+        statements = []
+        while self._peek().kind not in stop_kinds:
+            if self._accept(lex.SEMI):
+                continue  # stray semicolons are harmless
+            statements.append(self._parse_statement())
+        return statements
+
+    def _parse_statement(self):
+        token = self._peek()
+        if token.kind == lex.ELEMENTCLASS:
+            return self._parse_elementclass()
+        if token.kind == lex.REQUIRE:
+            loc = self._next().location
+            config = self._expect(lex.CONFIG)
+            self._accept(lex.SEMI)
+            return Require(text=config.value, location=loc)
+        return self._parse_declaration_or_connection()
+
+    def _parse_elementclass(self):
+        loc = self._expect(lex.ELEMENTCLASS).location
+        name = self._expect(lex.IDENT).value
+        self._expect(lex.LBRACE)
+        params = []
+        # Optional parameter list: `$a, $b |`
+        if self._peek().kind == lex.VARIABLE:
+            # Look ahead for the closing bar to distinguish a parameter
+            # list from a variable used elsewhere (variables only appear
+            # in parameter lists at statement level, so this is safe).
+            params.append(self._expect(lex.VARIABLE).value)
+            while self._accept(lex.COMMA):
+                params.append(self._expect(lex.VARIABLE).value)
+            self._expect(lex.BAR)
+        body = self._parse_statements(stop_kinds=(lex.RBRACE, lex.EOF))
+        self._expect(lex.RBRACE)
+        self._accept(lex.SEMI)
+        return ElementClassDef(name=name, params=params, body=body, location=loc)
+
+    def _parse_declaration_or_connection(self):
+        """Both start with (port? name ...); disambiguate by scanning."""
+        start = self.index
+        # Try plain declaration: name (',' name)* '::' ...
+        if self._peek().kind == lex.IDENT:
+            names = [self._next().value]
+            while self._peek().kind == lex.COMMA and self._peek(1).kind == lex.IDENT:
+                self._next()
+                names.append(self._next().value)
+            if self._peek().kind == lex.COLONCOLON and (
+                len(names) > 1 or not self._connection_follows()
+            ):
+                loc = self.tokens[start].location
+                self._expect(lex.COLONCOLON)
+                class_name = self._expect(lex.IDENT).value
+                config = None
+                config_token = self._accept(lex.CONFIG)
+                if config_token is not None:
+                    config = config_token.value
+                self._accept(lex.SEMI)
+                return Declaration(names=names, class_name=class_name, config=config, location=loc)
+        # Not a plain declaration: rewind and parse as connection chain.
+        self.index = start
+        return self._parse_connection()
+
+    def _connection_follows(self):
+        """After ``name ::``, scan past ``class config?`` — if an arrow
+        follows, this is an inline declaration inside a connection
+        (``x :: Class -> y``), not a standalone declaration."""
+        offset = 1  # past '::'
+        if self._peek(offset).kind != lex.IDENT:
+            return False
+        offset += 1
+        if self._peek(offset).kind == lex.CONFIG:
+            offset += 1
+        return self._peek(offset).kind == lex.ARROW
+
+    def _parse_connection(self):
+        loc = self._peek().location
+        chain = [self._parse_endpoint()]
+        if self._peek().kind != lex.ARROW:
+            head = chain[0]
+            if head.decl is not None and head.in_port is None and head.out_port is None:
+                # A standalone element statement, possibly anonymous:
+                # `AlignmentInfo(c 4 2);` or `x :: Foo;` parsed this way.
+                self._accept(lex.SEMI)
+                return head.decl
+            token = self._peek()
+            raise ClickSyntaxError(
+                "expected '->' or '::' after element, found %r"
+                % (token.value or token.kind),
+                token.location,
+            )
+        while self._accept(lex.ARROW):
+            chain.append(self._parse_endpoint())
+        self._accept(lex.SEMI)
+        return Connection(chain=chain, location=loc)
+
+    def _parse_endpoint(self):
+        loc = self._peek().location
+        in_port = None
+        if self._accept(lex.LBRACKET):
+            in_port = int(self._expect(lex.NUMBER).value)
+            self._expect(lex.RBRACKET)
+
+        name_token = self._expect(lex.IDENT)
+        endpoint = Endpoint(location=loc, in_port=in_port)
+
+        if self._accept(lex.COLONCOLON):
+            # `name :: Class(config)` inline declaration.
+            class_name = self._expect(lex.IDENT).value
+            config = None
+            config_token = self._accept(lex.CONFIG)
+            if config_token is not None:
+                config = config_token.value
+            endpoint.name = name_token.value
+            endpoint.decl = Declaration(
+                names=[name_token.value],
+                class_name=class_name,
+                config=config,
+                location=name_token.location,
+            )
+        elif self._peek().kind == lex.CONFIG:
+            # `Class(config)` anonymous declaration.
+            config = self._next().value
+            endpoint.decl = Declaration(
+                names=[], class_name=name_token.value, config=config, location=name_token.location
+            )
+        else:
+            # Bare name: reference to a declared element, or (resolved at
+            # elaboration) an anonymous config-less class instantiation.
+            endpoint.name = name_token.value
+
+        if self._accept(lex.LBRACKET):
+            endpoint.out_port = int(self._expect(lex.NUMBER).value)
+            self._expect(lex.RBRACKET)
+        return endpoint
+
+
+def parse(text, filename="<config>"):
+    """Parse configuration text into a :class:`Program`."""
+    return Parser(text, filename).parse()

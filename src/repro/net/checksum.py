@@ -1,0 +1,51 @@
+"""The Internet checksum (RFC 1071) and its incremental update (RFC 1624).
+
+``CheckIPHeader`` verifies full header checksums; ``DecIPTTL`` uses the
+incremental form, exactly as Click's C++ elements do — the incremental
+update is one of the reasons DecIPTTL is cheap relative to a full
+recompute.
+"""
+
+from __future__ import annotations
+
+
+def ones_complement_sum(data, initial=0):
+    """16-bit one's-complement sum over ``data`` (padded with a zero byte
+    if of odd length), folded to 16 bits."""
+    total = initial
+    length = len(data)
+    # Sum 16-bit big-endian words.
+    for i in range(0, length - 1, 2):
+        total += (data[i] << 8) | data[i + 1]
+    if length % 2:
+        total += data[-1] << 8
+    # Fold carries.
+    while total > 0xFFFF:
+        total = (total & 0xFFFF) + (total >> 16)
+    return total
+
+
+def internet_checksum(data):
+    """The Internet checksum of ``data``: one's complement of the
+    one's-complement sum."""
+    return (~ones_complement_sum(data)) & 0xFFFF
+
+
+def verify_checksum(data):
+    """True if ``data`` (with its checksum field in place) sums to the
+    all-ones pattern, i.e. the checksum is valid."""
+    return ones_complement_sum(data) == 0xFFFF
+
+
+def update_checksum_u16(old_checksum, old_word, new_word):
+    """RFC 1624 incremental update: new checksum after a 16-bit field of
+    the covered data changed from ``old_word`` to ``new_word``.
+
+    Uses the HC' = ~(~HC + ~m + m') formulation, which is correct even in
+    the corner cases that tripped up RFC 1141.
+    """
+    hc = (~old_checksum) & 0xFFFF
+    total = hc + ((~old_word) & 0xFFFF) + (new_word & 0xFFFF)
+    while total > 0xFFFF:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF

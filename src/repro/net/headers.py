@@ -1,0 +1,366 @@
+"""Ethernet / ARP / IPv4 / UDP / ICMP header construction and parsing.
+
+The element library operates on raw packet bytes, as Click does; these
+helpers build and decode the specific headers the IP-router configuration
+and the evaluation workloads need.  All multi-byte fields are network
+(big-endian) order.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from .addresses import EtherAddress, IPAddress
+from .checksum import internet_checksum
+
+ETHERTYPE_IP = 0x0800
+ETHERTYPE_ARP = 0x0806
+
+IP_PROTO_ICMP = 1
+IP_PROTO_TCP = 6
+IP_PROTO_UDP = 17
+
+ETHER_HEADER_LEN = 14
+IP_HEADER_LEN = 20  # without options
+UDP_HEADER_LEN = 8
+
+ARP_OP_REQUEST = 1
+ARP_OP_REPLY = 2
+
+ICMP_ECHO_REPLY = 0
+ICMP_DEST_UNREACHABLE = 3
+ICMP_ECHO = 8
+ICMP_TIME_EXCEEDED = 11
+ICMP_PARAMETER_PROBLEM = 12
+
+ICMP_CODE_FRAGMENTATION_NEEDED = 4
+
+
+class HeaderError(ValueError):
+    """Raised when packet bytes cannot be decoded as the expected header."""
+
+
+# ---------------------------------------------------------------------------
+# Ethernet
+
+
+@dataclass
+class EtherHeader:
+    dst: EtherAddress
+    src: EtherAddress
+    ether_type: int
+
+    def pack(self):
+        return self.dst.packed() + self.src.packed() + struct.pack("!H", self.ether_type)
+
+    @classmethod
+    def unpack(cls, data):
+        if len(data) < ETHER_HEADER_LEN:
+            raise HeaderError("short Ethernet header: %d bytes" % len(data))
+        return cls(
+            dst=EtherAddress(bytes(data[0:6])),
+            src=EtherAddress(bytes(data[6:12])),
+            ether_type=struct.unpack("!H", bytes(data[12:14]))[0],
+        )
+
+
+def make_ether_header(dst, src, ether_type):
+    """Packed 14-byte Ethernet header."""
+    return EtherHeader(EtherAddress(dst), EtherAddress(src), ether_type).pack()
+
+
+# ---------------------------------------------------------------------------
+# ARP (Ethernet/IPv4 only, which is all Click's ARPQuerier handles)
+
+
+@dataclass
+class ArpHeader:
+    operation: int
+    sender_ether: EtherAddress
+    sender_ip: IPAddress
+    target_ether: EtherAddress
+    target_ip: IPAddress
+
+    def pack(self):
+        return (
+            struct.pack("!HHBBH", 1, ETHERTYPE_IP, 6, 4, self.operation)
+            + self.sender_ether.packed()
+            + self.sender_ip.packed()
+            + self.target_ether.packed()
+            + self.target_ip.packed()
+        )
+
+    @classmethod
+    def unpack(cls, data):
+        if len(data) < 28:
+            raise HeaderError("short ARP packet: %d bytes" % len(data))
+        hrd, pro, hln, pln, op = struct.unpack("!HHBBH", bytes(data[0:8]))
+        if hrd != 1 or pro != ETHERTYPE_IP or hln != 6 or pln != 4:
+            raise HeaderError("not an Ethernet/IPv4 ARP packet")
+        return cls(
+            operation=op,
+            sender_ether=EtherAddress(bytes(data[8:14])),
+            sender_ip=IPAddress(bytes(data[14:18])),
+            target_ether=EtherAddress(bytes(data[18:24])),
+            target_ip=IPAddress(bytes(data[24:28])),
+        )
+
+
+# ---------------------------------------------------------------------------
+# IPv4
+
+
+@dataclass
+class IPHeader:
+    src: IPAddress
+    dst: IPAddress
+    protocol: int = IP_PROTO_UDP
+    ttl: int = 64
+    total_length: int = IP_HEADER_LEN
+    identification: int = 0
+    flags: int = 0
+    fragment_offset: int = 0
+    tos: int = 0
+    header_length: int = IP_HEADER_LEN
+    checksum: int = 0
+
+    def __post_init__(self):
+        self.src = IPAddress(self.src)
+        self.dst = IPAddress(self.dst)
+
+    @property
+    def more_fragments(self):
+        return bool(self.flags & 0x1)
+
+    @property
+    def dont_fragment(self):
+        return bool(self.flags & 0x2)
+
+    def pack(self, fill_checksum=True):
+        ihl_words = self.header_length // 4
+        header = bytearray(
+            struct.pack(
+                "!BBHHHBBH4s4s",
+                (4 << 4) | ihl_words,
+                self.tos,
+                self.total_length,
+                self.identification,
+                (self.flags << 13) | self.fragment_offset,
+                self.ttl,
+                self.protocol,
+                0,
+                self.src.packed(),
+                self.dst.packed(),
+            )
+        )
+        if self.header_length > IP_HEADER_LEN:
+            header += bytes(self.header_length - IP_HEADER_LEN)  # zero options
+        if fill_checksum:
+            csum = internet_checksum(header)
+            header[10:12] = struct.pack("!H", csum)
+        return bytes(header)
+
+    @classmethod
+    def unpack(cls, data):
+        if len(data) < IP_HEADER_LEN:
+            raise HeaderError("short IP header: %d bytes" % len(data))
+        (version_ihl, tos, total_length, identification, flags_frag, ttl, protocol,
+         checksum, src, dst) = struct.unpack("!BBHHHBBH4s4s", bytes(data[0:IP_HEADER_LEN]))
+        version = version_ihl >> 4
+        header_length = (version_ihl & 0xF) * 4
+        if version != 4:
+            raise HeaderError("IP version %d is not 4" % version)
+        if header_length < IP_HEADER_LEN:
+            raise HeaderError("bad IP header length %d" % header_length)
+        return cls(
+            src=IPAddress(src),
+            dst=IPAddress(dst),
+            protocol=protocol,
+            ttl=ttl,
+            total_length=total_length,
+            identification=identification,
+            flags=flags_frag >> 13,
+            fragment_offset=flags_frag & 0x1FFF,
+            tos=tos,
+            header_length=header_length,
+            checksum=checksum,
+        )
+
+
+# ---------------------------------------------------------------------------
+# TCP
+
+TCP_FIN = 0x01
+TCP_SYN = 0x02
+TCP_RST = 0x04
+TCP_PSH = 0x08
+TCP_ACK = 0x10
+TCP_URG = 0x20
+
+
+@dataclass
+class TCPHeader:
+    """A (no-options) TCP header; the evaluation workloads and the
+    firewall tests only need the fixed 20 bytes."""
+
+    src_port: int
+    dst_port: int
+    seq: int = 0
+    ack: int = 0
+    flags: int = 0
+    window: int = 8192
+    checksum: int = 0
+    urgent: int = 0
+    data_offset: int = 5  # 32-bit words
+
+    def pack(self):
+        return struct.pack(
+            "!HHIIBBHHH",
+            self.src_port,
+            self.dst_port,
+            self.seq,
+            self.ack,
+            self.data_offset << 4,
+            self.flags,
+            self.window,
+            self.checksum,
+            self.urgent,
+        )
+
+    @classmethod
+    def unpack(cls, data):
+        if len(data) < 20:
+            raise HeaderError("short TCP header: %d bytes" % len(data))
+        (src_port, dst_port, seq, ack, offset_byte, flags, window, checksum,
+         urgent) = struct.unpack("!HHIIBBHHH", bytes(data[:20]))
+        return cls(
+            src_port=src_port,
+            dst_port=dst_port,
+            seq=seq,
+            ack=ack,
+            flags=flags,
+            window=window,
+            checksum=checksum,
+            urgent=urgent,
+            data_offset=offset_byte >> 4,
+        )
+
+
+def build_tcp_packet(src_ip, dst_ip, src_port=1234, dst_port=80, flags=TCP_SYN, ttl=64):
+    """An IP datagram carrying a (payload-less) TCP segment."""
+    ip = IPHeader(
+        src=IPAddress(src_ip),
+        dst=IPAddress(dst_ip),
+        protocol=IP_PROTO_TCP,
+        ttl=ttl,
+        total_length=IP_HEADER_LEN + 20,
+    )
+    return ip.pack() + TCPHeader(src_port, dst_port, flags=flags).pack()
+
+
+# ---------------------------------------------------------------------------
+# UDP
+
+
+@dataclass
+class UDPHeader:
+    src_port: int
+    dst_port: int
+    length: int = UDP_HEADER_LEN
+    checksum: int = 0
+
+    def pack(self):
+        return struct.pack("!HHHH", self.src_port, self.dst_port, self.length, self.checksum)
+
+    @classmethod
+    def unpack(cls, data):
+        if len(data) < UDP_HEADER_LEN:
+            raise HeaderError("short UDP header: %d bytes" % len(data))
+        src_port, dst_port, length, checksum = struct.unpack("!HHHH", bytes(data[0:8]))
+        return cls(src_port, dst_port, length, checksum)
+
+
+# ---------------------------------------------------------------------------
+# ICMP (type/code/checksum + rest-of-header)
+
+
+def make_icmp_error(icmp_type, icmp_code, original_ip_packet, rest=0):
+    """Build an ICMP error message body: ICMP header plus the offending
+    packet's IP header and first 8 payload bytes, per RFC 792."""
+    quoted = bytes(original_ip_packet[: IP_HEADER_LEN + 8])
+    body = bytearray(struct.pack("!BBHI", icmp_type, icmp_code, 0, rest) + quoted)
+    body[2:4] = struct.pack("!H", internet_checksum(body))
+    return bytes(body)
+
+
+# ---------------------------------------------------------------------------
+# Whole-packet builders used by workloads and tests
+
+
+def build_udp_packet(
+    src_ip,
+    dst_ip,
+    src_port=1234,
+    dst_port=5678,
+    payload=b"",
+    ttl=64,
+    identification=0,
+):
+    """An IP datagram (no Ethernet header) carrying a UDP payload."""
+    udp_len = UDP_HEADER_LEN + len(payload)
+    ip = IPHeader(
+        src=IPAddress(src_ip),
+        dst=IPAddress(dst_ip),
+        protocol=IP_PROTO_UDP,
+        ttl=ttl,
+        total_length=IP_HEADER_LEN + udp_len,
+        identification=identification,
+    )
+    udp = UDPHeader(src_port, dst_port, length=udp_len)
+    return ip.pack() + udp.pack() + bytes(payload)
+
+
+def build_ether_udp_packet(
+    src_ether,
+    dst_ether,
+    src_ip,
+    dst_ip,
+    src_port=1234,
+    dst_port=5678,
+    payload=b"",
+    ttl=64,
+    identification=0,
+):
+    """A full Ethernet frame carrying UDP-in-IP, as the evaluation's
+    source hosts generate.  A 64-byte frame (excluding CRC) results from a
+    14-byte payload, matching §8.1."""
+    return make_ether_header(dst_ether, src_ether, ETHERTYPE_IP) + build_udp_packet(
+        src_ip, dst_ip, src_port, dst_port, payload, ttl, identification
+    )
+
+
+def build_arp_request(sender_ether, sender_ip, target_ip):
+    """A broadcast ARP who-has frame."""
+    header = make_ether_header(EtherAddress.broadcast(), sender_ether, ETHERTYPE_ARP)
+    arp = ArpHeader(
+        operation=ARP_OP_REQUEST,
+        sender_ether=EtherAddress(sender_ether),
+        sender_ip=IPAddress(sender_ip),
+        target_ether=EtherAddress(0),
+        target_ip=IPAddress(target_ip),
+    )
+    return header + arp.pack()
+
+
+def build_arp_reply(sender_ether, sender_ip, target_ether, target_ip):
+    """A unicast ARP is-at frame."""
+    header = make_ether_header(EtherAddress(target_ether), EtherAddress(sender_ether), ETHERTYPE_ARP)
+    arp = ArpHeader(
+        operation=ARP_OP_REPLY,
+        sender_ether=EtherAddress(sender_ether),
+        sender_ip=IPAddress(sender_ip),
+        target_ether=EtherAddress(target_ether),
+        target_ip=IPAddress(target_ip),
+    )
+    return header + arp.pack()

@@ -1,0 +1,73 @@
+"""Minimal pcap (libpcap classic format) reading and writing.
+
+Backs the ``FromDump``/``ToDump`` elements, so configurations can
+replay captured traffic and record what a router emits — the workflow
+Click users rely on for offline testing.
+"""
+
+from __future__ import annotations
+
+import struct
+
+PCAP_MAGIC = 0xA1B2C3D4
+PCAP_MAGIC_SWAPPED = 0xD4C3B2A1
+LINKTYPE_ETHERNET = 1
+
+_GLOBAL_HEADER = struct.Struct("<IHHiIII")
+_RECORD_HEADER = struct.Struct("<IIII")
+
+
+class PcapError(ValueError):
+    """Raised for malformed pcap data."""
+
+
+def write_pcap(packets, snaplen=65535, linktype=LINKTYPE_ETHERNET):
+    """Serialize ``packets`` — (timestamp_seconds, bytes) pairs or bare
+    bytes — into a pcap byte string."""
+    chunks = [
+        _GLOBAL_HEADER.pack(PCAP_MAGIC, 2, 4, 0, 0, snaplen, linktype)
+    ]
+    fake_clock = 0.0
+    for item in packets:
+        if isinstance(item, tuple):
+            timestamp, data = item
+        else:
+            timestamp, data = fake_clock, item
+            fake_clock += 1e-6
+        data = bytes(data)
+        seconds = int(timestamp)
+        micros = int(round((timestamp - seconds) * 1e6))
+        captured = data[:snaplen]
+        chunks.append(_RECORD_HEADER.pack(seconds, micros, len(captured), len(data)))
+        chunks.append(captured)
+    return b"".join(chunks)
+
+
+def read_pcap(blob):
+    """Parse pcap bytes into [(timestamp, bytes), ...]."""
+    if len(blob) < _GLOBAL_HEADER.size:
+        raise PcapError("truncated pcap header")
+    magic = struct.unpack_from("<I", blob, 0)[0]
+    if magic == PCAP_MAGIC:
+        endian = "<"
+    elif magic == PCAP_MAGIC_SWAPPED:
+        endian = ">"
+    else:
+        raise PcapError("bad pcap magic 0x%08x" % magic)
+    header = struct.Struct(endian + "IHHiIII")
+    record = struct.Struct(endian + "IIII")
+    _, major, minor, _, _, snaplen, linktype = header.unpack_from(blob, 0)
+    if (major, minor) != (2, 4):
+        raise PcapError("unsupported pcap version %d.%d" % (major, minor))
+    packets = []
+    cursor = header.size
+    while cursor < len(blob):
+        if cursor + record.size > len(blob):
+            raise PcapError("truncated record header")
+        seconds, micros, captured_length, _ = record.unpack_from(blob, cursor)
+        cursor += record.size
+        if cursor + captured_length > len(blob):
+            raise PcapError("truncated record body")
+        packets.append((seconds + micros / 1e6, blob[cursor:cursor + captured_length]))
+        cursor += captured_length
+    return packets

@@ -1,0 +1,38 @@
+"""Hardware simulation: the calibrated cycle-cost model, branch-target
+buffer, Tulip NIC and PCI bus models, and three rate engines (fluid
+equilibrium, time-stepped, discrete-event) plus the evaluation testbed."""
+
+from . import cost, des, timestep
+from .cpu import BranchTargetBuffer, CPUReport, CycleMeter, uses_simple_action
+from .fluid import Outcomes, forwarding_curve, mlffr, outcome_curve, solve
+from .nic import TulipNIC
+from .pci import PCIBus
+from .platforms import ALL_PLATFORMS, P0, P1, P2, P3, Platform
+from .testbed import VARIANT_LABELS, VARIANTS, Testbed, figure9_reports
+
+__all__ = [
+    "cost",
+    "des",
+    "timestep",
+    "BranchTargetBuffer",
+    "CPUReport",
+    "CycleMeter",
+    "uses_simple_action",
+    "Outcomes",
+    "forwarding_curve",
+    "mlffr",
+    "outcome_curve",
+    "solve",
+    "TulipNIC",
+    "PCIBus",
+    "ALL_PLATFORMS",
+    "P0",
+    "P1",
+    "P2",
+    "P3",
+    "Platform",
+    "VARIANT_LABELS",
+    "VARIANTS",
+    "Testbed",
+    "figure9_reports",
+]

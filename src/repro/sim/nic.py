@@ -1,0 +1,107 @@
+"""The Tulip NIC model (§8.4).
+
+A DEC 21140 has a small internal receive FIFO and DMA rings in host
+memory.  For each arriving frame the card must fetch a ready receive
+descriptor over PCI and DMA the frame to memory; "it may be dropped on
+the receiving Tulip because the Tulip's internal FIFO is full ('FIFO
+overflow'), or because the Tulip was not able to fetch a ready DMA
+descriptor after two tries ('missed frame')".
+
+The model exposes the device interface the ``PollDevice``/``ToDevice``
+elements use (``rx_dequeue`` / ``tx_room`` / ``tx_enqueue``) plus a
+time-stepped ``advance`` driven by the testbed simulator, with a PCI bus
+object arbitrating byte budgets.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+RX_RING_SIZE = 64
+TX_RING_SIZE = 64
+FIFO_FRAMES = 16  # the 21140's FIFO holds a handful of full-size frames
+
+DESCRIPTOR_BYTES = 16
+FAILED_CHECK_BYTES = 46  # two descriptor-fetch attempts incl. arbitration
+FRAME_OVERHEAD_BYTES = 26  # burst setup/addressing per frame DMA
+
+
+class TulipNIC:
+    """One simulated Tulip: receive path (wire → FIFO → PCI → RX ring)
+    and transmit path (TX ring → PCI → wire)."""
+
+    def __init__(self, name, pci, line_rate_pps, frame_bytes=64):
+        self.name = name
+        self.pci = pci
+        self.line_rate_pps = line_rate_pps
+        self.frame_bytes = frame_bytes
+
+        self.fifo = deque()
+        self.rx_ring = deque()  # frames DMA'd to memory, awaiting the CPU
+        self.tx_ring = deque()  # frames enqueued by the CPU, awaiting wire
+
+        # Outcome counters (§8.4).
+        self.fifo_overflows = 0
+        self.missed_frames = 0
+        self.received = 0
+        self.transmitted = 0
+        self._tx_credit = 0.0
+
+    # -- the element-facing device interface ---------------------------------
+
+    def rx_dequeue(self):
+        if not self.rx_ring:
+            return None
+        return self.rx_ring.popleft()
+
+    def tx_room(self):
+        return TX_RING_SIZE - len(self.tx_ring)
+
+    def tx_enqueue(self, frame):
+        if self.tx_room() <= 0:
+            return False
+        self.tx_ring.append(bytes(frame))
+        return True
+
+    def receive_frame(self, frame):
+        """A frame arrives from the wire into the FIFO."""
+        if len(self.fifo) >= FIFO_FRAMES:
+            self.fifo_overflows += 1
+            return
+        self.fifo.append(bytes(frame))
+
+    # -- time-stepped hardware behaviour ----------------------------------------
+
+    def advance(self, dt):
+        """One simulation step: move FIFO frames across PCI into the RX
+        ring (or drop them), and drain the TX ring onto the wire."""
+        self._advance_rx()
+        self._advance_tx(dt)
+
+    def _advance_rx(self):
+        while self.fifo:
+            if len(self.rx_ring) >= RX_RING_SIZE:
+                # No ready descriptor: the check itself costs PCI
+                # bandwidth (two tries), then the frame is flushed.
+                if self.pci.consume(FAILED_CHECK_BYTES):
+                    self.fifo.popleft()
+                    self.missed_frames += 1
+                    continue
+                break  # not even bus time for the check this step
+            dma_bytes = self.frame_bytes + DESCRIPTOR_BYTES + FRAME_OVERHEAD_BYTES
+            if not self.pci.consume(dma_bytes):
+                break  # bus exhausted; frames wait in the FIFO
+            self.rx_ring.append(self.fifo.popleft())
+            self.received += 1
+
+    def _advance_tx(self, dt):
+        self._tx_credit += self.line_rate_pps * dt
+        while self.tx_ring and self._tx_credit >= 1.0:
+            dma_bytes = self.frame_bytes + DESCRIPTOR_BYTES + FRAME_OVERHEAD_BYTES
+            if not self.pci.consume(dma_bytes):
+                break
+            self.tx_ring.popleft()
+            self._tx_credit -= 1.0
+            self.transmitted += 1
+        # Idle wire credit does not accumulate past one step's worth.
+        self._tx_credit = min(self._tx_credit, self.line_rate_pps * dt)

@@ -1,0 +1,36 @@
+"""The PCI bus: a shared per-step byte budget.
+
+§8.4 attributes the optimized routers' post-peak decline to the bus:
+failed descriptor checks "use up PCI bandwidth that another Tulip could
+have used to receive or send packet data".  The model is a token bucket
+refilled each simulation step; NIC operations consume from it in
+arrival order.
+"""
+
+from __future__ import annotations
+
+
+class PCIBus:
+    """Byte-budget arbiter for one simulation step at a time."""
+
+    def __init__(self, bytes_per_sec):
+        self.bytes_per_sec = bytes_per_sec
+        self._budget = 0.0
+        self.bytes_used = 0.0
+        self.denied = 0
+
+    def refill(self, dt):
+        # Unused bus time does not carry across steps.
+        self._budget = self.bytes_per_sec * dt
+
+    def consume(self, nbytes):
+        if self._budget >= nbytes:
+            self._budget -= nbytes
+            self.bytes_used += nbytes
+            return True
+        self.denied += 1
+        return False
+
+    @property
+    def available(self):
+        return self._budget

@@ -1,0 +1,98 @@
+"""Hardware platform descriptions (§8.1, §8.5).
+
+P0 is the reference testbed: 700 MHz Pentium III, eight DEC 21140 Tulip
+100 Mbit cards on 32-bit/33 MHz PCI, four source hosts and four sinks.
+P1-P3 are the hardware-evolution platforms of Figure 12/13 (Intel
+Pro/1000 gigabit cards; the Pro/1000 "requires the CPU to use programmed
+I/O instructions for each batch of packets", modelled as a per-packet
+overhead).
+
+PCI capacities are *effective* aggregate budgets (bytes/s available for
+packet DMA and descriptor traffic after arbitration and bridge
+overheads), calibrated once against the "Simple" configuration's
+saturation behaviour on P0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Platform:
+    """One hardware platform."""
+
+    name: str
+    clock_mhz: float
+    pci_bytes_per_sec: float
+    nic_ports: int  # router-side ports carrying traffic
+    line_rate_pps: float  # per-port wire limit for 64-byte packets
+    source_rate_pps: float  # per source host
+    source_count: int
+    pio_overhead_ns: float = 0.0  # Pro/1000 programmed-I/O cost per packet
+    description: str = ""
+
+    @property
+    def max_input_pps(self):
+        return self.source_rate_pps * self.source_count
+
+    @property
+    def wire_capacity_pps(self):
+        # Half the ports receive, half transmit in the evaluation setup.
+        return self.line_rate_pps * max(1, self.nic_ports // 2)
+
+
+# 100 Mbit Ethernet carries up to 148,800 64-byte frames/s (preamble and
+# inter-frame gap included, §8.1); the sources manage 147,900.
+_FAST_ETHER_PPS = 148_800.0
+_GIG_ETHER_PPS = 1_488_000.0
+
+P0 = Platform(
+    name="P0",
+    clock_mhz=700.0,
+    pci_bytes_per_sec=99e6,
+    nic_ports=8,
+    line_rate_pps=_FAST_ETHER_PPS,
+    source_rate_pps=147_900.0,
+    source_count=4,
+    pio_overhead_ns=0.0,
+    description="700 MHz Pentium III, 8x Tulip 100 Mbit, 32-bit/33 MHz PCI",
+)
+
+P1 = Platform(
+    name="P1",
+    clock_mhz=800.0,
+    pci_bytes_per_sec=99e6,
+    nic_ports=2,
+    line_rate_pps=_GIG_ETHER_PPS,
+    source_rate_pps=1_000_000.0,
+    source_count=2,
+    pio_overhead_ns=380.0,
+    description="800 MHz Pentium III, 2x Pro/1000, 32-bit/33 MHz PCI",
+)
+
+P2 = Platform(
+    name="P2",
+    clock_mhz=800.0,
+    pci_bytes_per_sec=396e6,
+    nic_ports=2,
+    line_rate_pps=_GIG_ETHER_PPS,
+    source_rate_pps=1_000_000.0,
+    source_count=2,
+    pio_overhead_ns=380.0,
+    description="800 MHz Pentium III, 2x Pro/1000, 64-bit/66 MHz PCI",
+)
+
+P3 = Platform(
+    name="P3",
+    clock_mhz=1600.0,
+    pci_bytes_per_sec=396e6,
+    nic_ports=2,
+    line_rate_pps=_GIG_ETHER_PPS,
+    source_rate_pps=1_000_000.0,
+    source_count=2,
+    pio_overhead_ns=340.0,
+    description="1.6 GHz Athlon MP, 2x Pro/1000, 64-bit/66 MHz PCI",
+)
+
+ALL_PLATFORMS = [P0, P1, P2, P3]

@@ -1,0 +1,244 @@
+"""Unit tests for the IPFilter / IPClassifier expression language."""
+
+import pytest
+
+from repro.classifier.ipfilter import (
+    FilterError,
+    compile_expressions,
+    compile_filter_rules,
+    parse_expression,
+)
+from repro.net.headers import IP_PROTO_ICMP, IP_PROTO_TCP, IP_PROTO_UDP, IPHeader, build_udp_packet
+
+
+def tcp_packet(src="10.0.0.2", dst="18.26.4.9", sport=1234, dport=80, flags=0x02):
+    ip = IPHeader(src=src, dst=dst, protocol=IP_PROTO_TCP, total_length=40)
+    tcp = (
+        sport.to_bytes(2, "big")
+        + dport.to_bytes(2, "big")
+        + bytes(8)
+        + b"\x50"
+        + bytes([flags])
+        + bytes(6)
+    )
+    return ip.pack() + tcp
+
+
+def udp_packet(src="10.0.0.2", dst="18.26.4.9", sport=1234, dport=53):
+    return build_udp_packet(src, dst, src_port=sport, dst_port=dport, payload=b"\x00" * 14)
+
+
+def icmp_packet(icmp_type=8, src="10.0.0.2", dst="18.26.4.9"):
+    ip = IPHeader(src=src, dst=dst, protocol=IP_PROTO_ICMP, total_length=28)
+    return ip.pack() + bytes([icmp_type, 0]) + bytes(6)
+
+
+def fragment(src="10.0.0.2", dst="18.26.4.9", offset_units=10):
+    ip = IPHeader(
+        src=src, dst=dst, protocol=IP_PROTO_UDP, total_length=40, fragment_offset=offset_units
+    )
+    return ip.pack() + bytes(20)
+
+
+def matches(expr, packet):
+    tree = compile_expressions([expr])
+    return tree.match(packet) == 0
+
+
+class TestPrimaries:
+    def test_protocols(self):
+        assert matches("tcp", tcp_packet())
+        assert not matches("tcp", udp_packet())
+        assert matches("udp", udp_packet())
+        assert matches("icmp", icmp_packet())
+
+    def test_ip_proto_number(self):
+        assert matches("ip proto 6", tcp_packet())
+        assert matches("ip proto tcp", tcp_packet())
+
+    def test_src_host(self):
+        assert matches("src host 10.0.0.2", tcp_packet(src="10.0.0.2"))
+        assert not matches("src host 10.0.0.2", tcp_packet(src="10.0.0.3"))
+
+    def test_bare_address(self):
+        assert matches("src 10.0.0.2", tcp_packet(src="10.0.0.2"))
+
+    def test_undirected_host_matches_either_end(self):
+        assert matches("host 10.0.0.2", tcp_packet(src="10.0.0.2", dst="1.1.1.1"))
+        assert matches("host 10.0.0.2", tcp_packet(src="1.1.1.1", dst="10.0.0.2"))
+        assert not matches("host 10.0.0.2", tcp_packet(src="1.1.1.1", dst="2.2.2.2"))
+
+    def test_src_and_dst_host(self):
+        assert matches("src and dst host 10.0.0.2", tcp_packet(src="10.0.0.2", dst="10.0.0.2"))
+        assert not matches("src and dst host 10.0.0.2", tcp_packet(src="10.0.0.2", dst="1.1.1.1"))
+
+    def test_net(self):
+        assert matches("src net 18.26.4.0/24", tcp_packet(src="18.26.4.99"))
+        assert not matches("src net 18.26.4.0/24", tcp_packet(src="18.26.5.1"))
+
+    def test_net_with_mask_keyword(self):
+        assert matches("src net 18.26.4.0 mask 255.255.255.0", tcp_packet(src="18.26.4.99"))
+
+    def test_dst_port(self):
+        assert matches("tcp dst port 80", tcp_packet(dport=80))
+        assert not matches("tcp dst port 80", tcp_packet(dport=81))
+
+    def test_port_names(self):
+        assert matches("udp dst port dns", udp_packet(dport=53))
+        assert matches("tcp dst port smtp", tcp_packet(dport=25))
+
+    def test_undirected_port(self):
+        assert matches("tcp port 80", tcp_packet(sport=80, dport=5))
+        assert matches("tcp port 80", tcp_packet(sport=5, dport=80))
+
+    def test_port_without_proto_matches_tcp_and_udp(self):
+        assert matches("dst port 53", udp_packet(dport=53))
+        assert matches("dst port 53", tcp_packet(dport=53))
+        assert not matches("dst port 53", icmp_packet())
+
+    def test_port_ignores_fragments(self):
+        assert not matches("udp dst port 53", fragment())
+
+    def test_icmp_type(self):
+        assert matches("icmp type echo", icmp_packet(icmp_type=8))
+        assert matches("icmp type 8", icmp_packet(icmp_type=8))
+        assert not matches("icmp type echo", icmp_packet(icmp_type=0))
+
+    def test_tcp_flags(self):
+        assert matches("tcp opt syn", tcp_packet(flags=0x02))
+        assert matches("tcp opt ack", tcp_packet(flags=0x12))
+        assert not matches("tcp opt ack", tcp_packet(flags=0x02))
+
+    def test_ip_frag(self):
+        assert matches("ip frag", fragment())
+        assert not matches("ip frag", udp_packet())
+        assert matches("ip unfrag", udp_packet())
+
+    def test_ip_vers_and_hl(self):
+        assert matches("ip vers 4", udp_packet())
+        assert matches("ip hl 20", udp_packet())
+
+    def test_constants(self):
+        assert matches("any", udp_packet())
+        assert not matches("none", udp_packet())
+
+    def test_port_ranges(self):
+        expr = "tcp dst port 1024-65535"
+        assert matches(expr, tcp_packet(dport=1024))
+        assert matches(expr, tcp_packet(dport=40000))
+        assert matches(expr, tcp_packet(dport=65535))
+        assert not matches(expr, tcp_packet(dport=1023))
+        assert not matches(expr, tcp_packet(dport=80))
+
+    def test_odd_port_range_boundaries(self):
+        expr = "udp src port 1000-1006"
+        for port in (999, 1000, 1003, 1006, 1007):
+            assert matches(expr, udp_packet(sport=port)) == (1000 <= port <= 1006)
+
+    def test_ip_tos_and_ttl(self):
+        from repro.net.headers import IPHeader, IP_PROTO_UDP
+
+        marked = IPHeader(
+            src="1.0.0.2", dst="2.0.0.2", tos=0xB8, ttl=7, protocol=IP_PROTO_UDP,
+            total_length=28,
+        ).pack() + bytes(8)
+        assert matches("ip tos 184", marked)
+        assert matches("ip dscp 46", marked)  # 0xB8 >> 2
+        assert matches("ip ttl 7", marked)
+        assert not matches("ip ttl 8", marked)
+
+
+class TestBooleanStructure:
+    def test_paper_example(self):
+        """§3's example specification: src 10.0.0.2 & tcp src port 25."""
+        expr = "src 10.0.0.2 && tcp src port 25"
+        assert matches(expr, tcp_packet(src="10.0.0.2", sport=25))
+        assert not matches(expr, tcp_packet(src="10.0.0.3", sport=25))
+        assert not matches(expr, tcp_packet(src="10.0.0.2", sport=26))
+        assert not matches(expr, udp_packet(src="10.0.0.2", sport=25))
+
+    def test_or(self):
+        expr = "tcp dst port 80 || tcp dst port 443"
+        assert matches(expr, tcp_packet(dport=80))
+        assert matches(expr, tcp_packet(dport=443))
+        assert not matches(expr, tcp_packet(dport=25))
+
+    def test_not(self):
+        assert matches("! tcp", udp_packet())
+        assert not matches("not tcp", tcp_packet())
+
+    def test_parentheses(self):
+        expr = "src 10.0.0.2 && (tcp dst port 80 || udp dst port 53)"
+        assert matches(expr, tcp_packet(src="10.0.0.2", dport=80))
+        assert matches(expr, udp_packet(src="10.0.0.2", dport=53))
+        assert not matches(expr, udp_packet(src="10.0.0.3", dport=53))
+
+    def test_juxtaposition_is_conjunction(self):
+        assert matches("src 10.0.0.2 tcp", tcp_packet(src="10.0.0.2"))
+        assert not matches("src 10.0.0.2 tcp", udp_packet(src="10.0.0.2"))
+
+    def test_word_operators(self):
+        assert matches("tcp and dst port 80", tcp_packet(dport=80))
+        assert matches("tcp or udp", udp_packet())
+
+    @pytest.mark.parametrize("bad", ["src", "port", "ip bogus 4", "tcp &&", "(tcp", "@@"])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(FilterError):
+            parse_expression(bad)
+
+
+class TestRangeDecomposition:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @settings(max_examples=80)
+    @given(
+        st.integers(min_value=0, max_value=0xFFFF),
+        st.integers(min_value=0, max_value=0xFFFF),
+    )
+    def test_blocks_cover_range_exactly(self, a, b):
+        """The prefix decomposition matches an integer iff it is in the
+        range — for every range."""
+        from repro.classifier.ipfilter import _range_blocks
+
+        low, high = min(a, b), max(a, b)
+        blocks = _range_blocks(low, high)
+        assert len(blocks) <= 30
+
+        def member(value):
+            return any((value & mask) == base for base, mask in blocks)
+
+        probes = {low, high, max(0, low - 1), min(0xFFFF, high + 1), (low + high) // 2, 0, 0xFFFF}
+        for probe in probes:
+            assert member(probe) == (low <= probe <= high), probe
+
+
+class TestIPClassifier:
+    def test_multi_output(self):
+        tree = compile_expressions(["icmp", "tcp dst port 80", "-"])
+        assert tree.match(icmp_packet()) == 0
+        assert tree.match(tcp_packet(dport=80)) == 1
+        assert tree.match(udp_packet()) == 2
+
+    def test_drop_without_catch_all(self):
+        tree = compile_expressions(["icmp"])
+        assert tree.match(udp_packet()) is None
+
+
+class TestIPFilter:
+    def test_allow_deny(self):
+        tree = compile_filter_rules(
+            ["deny src 10.0.0.9", "allow tcp dst port 80", "deny all"]
+        )
+        assert tree.match(tcp_packet(src="10.0.0.9", dport=80)) is None
+        assert tree.match(tcp_packet(src="10.0.0.2", dport=80)) == 0
+        assert tree.match(udp_packet()) is None
+
+    def test_implicit_final_deny(self):
+        tree = compile_filter_rules(["allow icmp"])
+        assert tree.match(udp_packet()) is None
+        assert tree.match(icmp_packet()) == 0
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(FilterError):
+            compile_filter_rules(["permit all"])

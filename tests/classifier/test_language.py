@@ -1,0 +1,98 @@
+"""Unit tests for the Classifier pattern language."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.classifier.language import PatternError, compile_patterns, parse_pattern
+
+IP_FRAME = bytes(12) + b"\x08\x00" + bytes(46)
+ARP_FRAME = bytes(12) + b"\x08\x06" + bytes(46)
+ARP_REPLY = bytes(12) + b"\x08\x06" + bytes(6) + b"\x00\x02" + bytes(38)
+OTHER_FRAME = bytes(12) + b"\x86\xdd" + bytes(46)
+
+
+class TestParsePattern:
+    def test_simple_clause(self):
+        words = parse_pattern("12/0800")
+        assert words == [(12, 0xFFFF0000, 0x08000000)]
+
+    def test_catch_all(self):
+        assert parse_pattern("-") is None
+
+    def test_wildcard_digits(self):
+        words = parse_pattern("12/08??")
+        assert words == [(12, 0xFF000000, 0x08000000)]
+
+    def test_mask_suffix(self):
+        words = parse_pattern("33/02%12")
+        # Byte 33 sits in word 32, byte position 1; the mask is 0x12 and
+        # the value is restricted to the masked bits.
+        assert words == [(32, 0x12 << 16, 0x02 << 16)]
+
+    def test_conjunction_merges_words(self):
+        words = parse_pattern("12/0800 14/45")
+        assert words == [(12, 0xFFFFFF00, 0x08004500)]
+
+    def test_multi_word_clause(self):
+        words = parse_pattern("12/080045000000")
+        assert len(words) == 2
+
+    def test_contradiction_rejected(self):
+        with pytest.raises(PatternError):
+            parse_pattern("12/08 12/09")
+
+    @pytest.mark.parametrize("bad", ["12/080", "xx/08", "12/", "12", "", "12/08%1"])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(PatternError):
+            parse_pattern(bad)
+
+    def test_wildcard_with_mask_rejected(self):
+        with pytest.raises(PatternError):
+            parse_pattern("12/0?%0f")
+
+
+class TestCompilePatterns:
+    def test_figure3_classifier(self):
+        tree = compile_patterns(["12/0800", "-"])
+        assert tree.match(IP_FRAME) == 0
+        assert tree.match(ARP_FRAME) == 1
+        assert tree.match(OTHER_FRAME) == 1
+
+    def test_ip_router_input_classifier(self):
+        """The Figure 1 classifier: ARP queries, ARP responses, IP, other."""
+        tree = compile_patterns(["12/0806 20/0001", "12/0806 20/0002", "12/0800", "-"])
+        assert tree.match(bytes(12) + b"\x08\x06" + bytes(6) + b"\x00\x01" + bytes(40)) == 0
+        assert tree.match(ARP_REPLY) == 1
+        assert tree.match(IP_FRAME) == 2
+        assert tree.match(OTHER_FRAME) == 3
+
+    def test_first_match_wins(self):
+        tree = compile_patterns(["12/08??", "12/0800"])
+        assert tree.match(IP_FRAME) == 0
+
+    def test_no_match_drops(self):
+        tree = compile_patterns(["12/0800"])
+        assert tree.match(ARP_FRAME) is None
+
+    def test_patterns_after_catch_all_unreachable(self):
+        tree = compile_patterns(["-", "12/0800"])
+        assert tree.match(IP_FRAME) == 0
+        assert tree.match(ARP_FRAME) == 0
+
+    def test_empty_config_rejected(self):
+        with pytest.raises(PatternError):
+            compile_patterns([])
+
+    def test_noutputs_matches_pattern_count(self):
+        tree = compile_patterns(["12/0806 20/0001", "12/0806 20/0002", "12/0800", "-"])
+        assert tree.noutputs == 4
+
+    @given(st.integers(min_value=0, max_value=0xFFFF))
+    def test_ethertype_dispatch_property(self, ethertype):
+        """For any ethertype, the compiled Figure 3 classifier agrees with
+        the obvious predicate."""
+        tree = compile_patterns(["12/0800", "-"])
+        frame = bytes(12) + ethertype.to_bytes(2, "big") + bytes(46)
+        expected = 0 if ethertype == 0x0800 else 1
+        assert tree.match(frame) == expected

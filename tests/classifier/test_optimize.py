@@ -1,0 +1,184 @@
+"""Unit tests for decision-tree optimization (the BPF+-style passes)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.classifier.ipfilter import compile_expressions
+from repro.classifier.language import compile_patterns
+from repro.classifier.optimize import (
+    deduplicate_nodes,
+    graft,
+    optimize,
+    prune_redundant_tests,
+    remove_unreachable,
+)
+from repro.classifier.tree import FAILURE, DecisionTree, Expr, make_leaf
+
+
+def behaviour(tree, packets):
+    return [tree.match(p) for p in packets]
+
+
+def random_packets():
+    return [
+        bytes(60),
+        bytes(12) + b"\x08\x00" + b"\x45" + bytes(45),
+        bytes(12) + b"\x08\x06" + bytes(46),
+        b"\x45" + bytes(19) + b"\x00\x35\x00\x35" + bytes(36),
+        bytes(range(60)),
+    ]
+
+
+class TestRemoveUnreachable:
+    def test_drops_orphans(self):
+        tree = DecisionTree(
+            [
+                Expr(12, 0xFFFF, 0x0800, make_leaf(0), make_leaf(1)),
+                Expr(16, 0xFF, 0x45, make_leaf(0), make_leaf(1)),  # orphan
+            ]
+        )
+        slim = remove_unreachable(tree)
+        assert len(slim.exprs) == 1
+        assert behaviour(slim, random_packets()) == behaviour(tree, random_packets())
+
+
+class TestDeduplicate:
+    def test_merges_identical_subtrees(self):
+        # Two identical nodes reached from different branches.
+        tree = DecisionTree(
+            [
+                Expr(12, 0xFFFF, 0x0800, 2, 3),
+                Expr(16, 0xFF000000, 0x45000000, make_leaf(0), FAILURE),
+                Expr(16, 0xFF000000, 0x45000000, make_leaf(0), FAILURE),
+            ]
+        )
+        slim = deduplicate_nodes(tree)
+        assert len(slim.exprs) == 2
+        assert behaviour(slim, random_packets()) == behaviour(tree, random_packets())
+
+
+class TestPruneRedundant:
+    def test_repeated_test_collapses(self):
+        # The same test twice in a row on the yes path.
+        tree = DecisionTree(
+            [
+                Expr(12, 0xFFFF, 0x0800, 2, make_leaf(1)),
+                Expr(12, 0xFFFF, 0x0800, make_leaf(0), make_leaf(1)),
+            ]
+        )
+        slim = prune_redundant_tests(tree)
+        assert len(slim.exprs) == 1
+        assert behaviour(slim, random_packets()) == behaviour(tree, random_packets())
+
+    def test_contradictory_test_resolved(self):
+        # After ethertype 0x0800 succeeds, 0x0806 must fail.
+        tree = DecisionTree(
+            [
+                Expr(12, 0xFFFF0000, 0x08000000, 2, make_leaf(2)),
+                Expr(12, 0xFFFF0000, 0x08060000, make_leaf(0), make_leaf(1)),
+            ]
+        )
+        slim = prune_redundant_tests(tree)
+        assert len(slim.exprs) == 1
+        assert slim.match(bytes(12) + b"\x08\x00" + bytes(40)) == 1
+
+    def test_negative_fact_used(self):
+        # no-branch of a test implies the identical later test also fails.
+        tree = DecisionTree(
+            [
+                Expr(12, 0xFFFF, 0x0800, make_leaf(0), 2),
+                Expr(12, 0xFFFF, 0x0800, make_leaf(1), make_leaf(2)),
+            ]
+        )
+        slim = prune_redundant_tests(tree)
+        assert len(slim.exprs) == 1
+        assert behaviour(slim, random_packets()) == behaviour(tree, random_packets())
+
+
+class TestOptimizePipeline:
+    def test_preserves_behaviour_on_overlapping_filters(self):
+        tree = compile_expressions(
+            ["tcp dst port 80", "tcp dst port 443", "tcp", "udp dst port 53", "-"]
+        )
+        optimized = optimize(tree)
+        packets = random_packets() + [
+            # Real-ish packets exercising each output.
+            _tcp(dport=80), _tcp(dport=443), _tcp(dport=25), _udp(dport=53), _udp(dport=54),
+        ]
+        assert behaviour(optimized, packets) == behaviour(tree, packets)
+
+    def test_shrinks_redundant_proto_checks(self):
+        """Five rules all guard on the same 0x45 byte and proto; the
+        optimizer must collapse most of the repeats."""
+        tree = compile_expressions(
+            ["tcp dst port 80", "tcp dst port 443", "tcp dst port 25", "-"]
+        )
+        optimized = optimize(tree)
+        assert len(optimized.exprs) < len(tree.exprs)
+
+    @settings(max_examples=30)
+    @given(st.lists(st.sampled_from(
+        ["tcp", "udp", "icmp", "tcp dst port 80", "udp src port 53",
+         "src net 18.26.4.0/24", "ip frag", "icmp type echo"]
+    ), min_size=1, max_size=5))
+    def test_optimize_is_semantics_preserving(self, patterns):
+        tree = compile_expressions(patterns + ["-"])
+        optimized = optimize(tree)
+        packets = random_packets() + [
+            _tcp(dport=80), _udp(sport=53), _tcp(src="18.26.4.1"), _icmp(), _frag(),
+        ]
+        assert behaviour(optimized, packets) == behaviour(tree, packets)
+
+
+class TestGraft:
+    def test_adjacent_classifier_combination(self):
+        """Classifier(12/0800, -) feeding Classifier(14/45, -) on port 0
+        behaves like the two in sequence."""
+        first = compile_patterns(["12/0800", "-"])
+        second = compile_patterns(["14/45", "-"])
+        # Combined outputs: second's 0 -> 0, second's 1 -> 1; first's
+        # old output 1 (non-IP) stays 1... map non-overlapping: second 0->0,
+        # second 1->2, first's 1 stays 1.
+        combined = graft(first, 0, second, {0: 0, 1: 2})
+        ip_45 = bytes(12) + b"\x08\x00\x45" + bytes(45)
+        ip_other = bytes(12) + b"\x08\x00\x55" + bytes(45)
+        non_ip = bytes(12) + b"\x08\x06" + bytes(46)
+        assert combined.match(ip_45) == 0
+        assert combined.match(ip_other) == 2
+        assert combined.match(non_ip) == 1
+
+    def test_graft_drop_mapping(self):
+        first = compile_patterns(["12/0800", "-"])
+        second = compile_patterns(["14/45"])  # no catch-all: drops
+        combined = graft(first, 0, second, {0: 0})
+        assert combined.match(bytes(12) + b"\x08\x00\x55" + bytes(45)) is None
+
+
+def _tcp(src="10.0.0.2", dst="18.26.4.9", sport=1234, dport=80):
+    from repro.net.headers import IP_PROTO_TCP, IPHeader
+
+    ip = IPHeader(src=src, dst=dst, protocol=IP_PROTO_TCP, total_length=40)
+    return ip.pack() + sport.to_bytes(2, "big") + dport.to_bytes(2, "big") + bytes(16)
+
+
+def _udp(src="10.0.0.2", dst="18.26.4.9", sport=1234, dport=53):
+    from repro.net.headers import build_udp_packet
+
+    return build_udp_packet(src, dst, src_port=sport, dst_port=dport, payload=bytes(14))
+
+
+def _icmp(icmp_type=8):
+    from repro.net.headers import IP_PROTO_ICMP, IPHeader
+
+    ip = IPHeader(src="10.0.0.2", dst="18.26.4.9", protocol=IP_PROTO_ICMP, total_length=28)
+    return ip.pack() + bytes([icmp_type, 0]) + bytes(6)
+
+
+def _frag():
+    from repro.net.headers import IP_PROTO_UDP, IPHeader
+
+    ip = IPHeader(
+        src="10.0.0.2", dst="18.26.4.9", protocol=IP_PROTO_UDP,
+        total_length=40, fragment_offset=10,
+    )
+    return ip.pack() + bytes(20)

@@ -1,0 +1,102 @@
+"""Tests of the reference configurations."""
+
+import pytest
+
+from repro.configs.firewall import FIREWALL_RULES, dns5_packet, firewall_graph
+from repro.configs.iprouter import (
+    FORWARDING_PATH_CLASSES,
+    default_interfaces,
+    ip_router_config,
+    ip_router_graph,
+    two_router_network,
+)
+from repro.configs.simple import crossed_pairs, simple_graph
+from repro.core.check import check
+
+
+class TestIPRouterConfig:
+    def test_parses_and_checks_clean(self):
+        collector = check(ip_router_graph())
+        assert collector.ok, collector.format()
+
+    def test_sixteen_forwarding_path_classes(self):
+        assert len(FORWARDING_PATH_CLASSES) == 16
+        graph = ip_router_graph()
+        present = {d.class_name for d in graph.elements.values()}
+        assert set(FORWARDING_PATH_CLASSES) <= present
+
+    def test_scales_to_more_interfaces(self):
+        graph = ip_router_graph(default_interfaces(4))
+        assert len(graph.elements_of_class("ARPQuerier")) == 4
+        assert check(graph).ok
+
+    def test_route_table_covers_all_interfaces(self):
+        graph = ip_router_graph(default_interfaces(3))
+        (rt,) = graph.elements_of_class("LookupIPRoute")
+        assert rt.config.count(",") >= 5  # 3 host + 3 net routes
+
+    def test_extra_routes_appended(self):
+        graph = ip_router_graph(extra_routes=["9.0.0.0/8 2.0.0.2 2"])
+        (rt,) = graph.elements_of_class("LookupIPRoute")
+        assert "9.0.0.0/8 2.0.0.2 2" in rt.config
+
+    def test_config_text_is_self_describing(self):
+        text = ip_router_config()
+        assert "Figure 1" in text
+        assert "Classifier(12/0806 20/0001" in text
+
+    def test_two_router_network_checks_clean(self):
+        routers, _, _ = two_router_network()
+        for name, graph in routers.items():
+            assert check(graph).ok, name
+
+
+class TestSimpleConfig:
+    def test_crossed_pairs(self):
+        assert crossed_pairs(2) == [("eth0", "eth1"), ("eth1", "eth0")]
+        assert crossed_pairs(4)[3] == ("eth3", "eth0")
+
+    def test_parses_and_checks_clean(self):
+        assert check(simple_graph(crossed_pairs(2))).ok
+
+    def test_minimal_element_count(self):
+        graph = simple_graph([("eth0", "eth1")])
+        # device, queue, device — nothing else.
+        assert len(graph.elements) == 3
+
+
+class TestFirewallConfig:
+    def test_seventeen_rules(self):
+        assert len(FIREWALL_RULES) == 17
+        names = [name for name, _ in FIREWALL_RULES]
+        assert names[-2] == "DNS-5"
+        assert names[-1] == "Default"
+
+    def test_parses_and_checks_clean(self):
+        assert check(firewall_graph()).ok
+
+    def test_dns5_packet_matches_only_dns5(self):
+        """The measurement packet must traverse most of the rule list:
+        it must NOT match any earlier allow/deny rule."""
+        from repro.classifier.ipfilter import compile_filter_rules, parse_expression
+        from repro.classifier.optimize import optimize
+        from repro.classifier.tree import TreeBuilder, make_leaf
+        from repro.classifier.ipfilter import _compile_node
+
+        packet = dns5_packet()
+        for index, (name, rule) in enumerate(FIREWALL_RULES[:-2]):
+            action, _, expr_text = rule.partition(" ")
+            builder = TreeBuilder()
+            node = parse_expression(expr_text)
+            entry = _compile_node(builder, node, make_leaf(0), None)
+            tree = builder.finish(entry, noutputs=1)
+            assert tree.match(packet) is None, "packet matched %s early" % name
+
+    def test_firewall_passes_dns5_and_blocks_default(self):
+        from repro.classifier.ipfilter import compile_filter_rules
+        from repro.net.headers import build_udp_packet
+
+        tree = compile_filter_rules([rule for _, rule in FIREWALL_RULES])
+        assert tree.match(dns5_packet()) == 0
+        random_traffic = build_udp_packet("8.8.8.8", "9.9.9.9", dst_port=9999)
+        assert tree.match(random_traffic) is None

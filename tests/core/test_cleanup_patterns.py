@@ -1,0 +1,94 @@
+"""Tests for the peephole cleanup pattern library."""
+
+import pytest
+
+from repro.core.patterns import CLEANUP_PATTERNS, DOUBLE_PAINT, STRIP_UNSTRIP
+from repro.core.xform import xform
+from repro.elements import Router
+from repro.lang.build import parse_graph
+from repro.net.packet import Packet
+
+
+class TestStripUnstrip:
+    def test_inverse_pair_removed(self):
+        graph = parse_graph(
+            "f :: Idle; c :: Counter; s :: Strip(14); u :: Unstrip(14); d :: Discard;"
+            "f -> c -> s -> u -> d;"
+        )
+        result = xform(graph, [STRIP_UNSTRIP])
+        assert not result.elements_of_class("Strip")
+        assert not result.elements_of_class("Unstrip")
+        assert result.elements_of_class("Null")
+
+    def test_mismatched_sizes_kept(self):
+        graph = parse_graph(
+            "f :: Idle; s :: Strip(14); u :: Unstrip(10); d :: Discard; f -> s -> u -> d;"
+        )
+        result = xform(graph, [STRIP_UNSTRIP])
+        assert result.elements_of_class("Strip")
+
+    def test_behaviour_preserved(self):
+        def run(graph_text, use_patterns):
+            graph = parse_graph(graph_text)
+            if use_patterns:
+                graph = xform(graph, CLEANUP_PATTERNS)
+            router = Router(graph)
+            entry = [n for n in router.elements if n == "c"][0]
+            router.push_packet(entry, 0, Packet(bytes(range(40))))
+            return router["q"].pull(0).data
+
+        text = (
+            "f :: Idle; c :: Counter; s :: Strip(14); u :: Unstrip(14);"
+            "q :: Queue; uq :: Unqueue; d :: Discard; f -> c -> s -> u -> q -> uq -> d;"
+        )
+        assert run(text, False) == run(text, True)
+
+
+class TestDoublePaint:
+    def test_second_paint_wins(self):
+        graph = parse_graph(
+            "f :: Idle; a :: Paint(1); b :: Paint(2); q :: Queue; u :: Unqueue;"
+            "d :: Discard; f -> a -> b -> q -> u -> d;"
+        )
+        result = xform(graph, [DOUBLE_PAINT])
+        paints = result.elements_of_class("Paint")
+        assert len(paints) == 1
+        assert paints[0].config == "2"
+
+    def test_triple_paint_collapses_to_last(self):
+        graph = parse_graph(
+            "f :: Idle; a :: Paint(1); b :: Paint(2); c :: Paint(3); d :: Discard;"
+            "f -> a -> b -> c -> d;"
+        )
+        result = xform(graph, [DOUBLE_PAINT])
+        paints = result.elements_of_class("Paint")
+        assert len(paints) == 1
+        assert paints[0].config == "3"
+
+
+class TestCleanupOnCompounds:
+    def test_flattened_abstractions_get_cleaned(self):
+        """Compounds that each strip-then-restore compose into inverse
+        pairs only visible after flattening — the §6.2 argument for
+        flattening before optimizing."""
+        graph = parse_graph(
+            """
+            elementclass WithHeader { input -> u :: Unstrip(14) -> output; }
+            elementclass WithoutHeader { input -> s :: Strip(14) -> output; }
+            f :: Idle; c :: Counter;
+            wo :: WithoutHeader; wi :: WithHeader;
+            d :: Discard;
+            f -> c -> wo -> wi -> d;
+            """
+        )
+        result = xform(graph, CLEANUP_PATTERNS)
+        assert not result.elements_of_class("Strip")
+        assert not result.elements_of_class("Unstrip")
+
+    def test_cleanup_is_idempotent(self):
+        graph = parse_graph(
+            "f :: Idle; a :: Paint(1); b :: Paint(2); d :: Discard; f -> a -> b -> d;"
+        )
+        once = xform(graph, CLEANUP_PATTERNS)
+        twice = xform(once, CLEANUP_PATTERNS)
+        assert len(once.elements) == len(twice.elements)

@@ -1,0 +1,167 @@
+"""Unit tests for click-combine / click-uncombine and ARP elimination
+(§7.2, Figure 7)."""
+
+from collections import OrderedDict
+
+import pytest
+
+from repro.configs.iprouter import Interface, ip_router_graph
+from repro.core.combine import Link, combine, eliminate_arp, uncombine
+from repro.core.flatten import flatten
+from repro.errors import ClickSemanticError
+from repro.lang.build import parse_graph
+
+
+def two_routers():
+    """Routers A and B: A's eth1 connects point-to-point to B's eth0."""
+    from repro.configs.iprouter import two_router_network
+
+    routers, _, _ = two_router_network()
+    links = [Link("A", "eth1", "B", "eth0"), Link("B", "eth0", "A", "eth1")]
+    return routers, links
+
+
+class TestCombine:
+    def test_combined_structure(self):
+        routers, links = two_routers()
+        combined = combine(routers, links)
+        assert set(combined.element_classes) == {"Router_A", "Router_B"}
+        assert len(combined.elements_of_class("RouterLink")) == 2
+        assert "A" in combined.elements
+        assert "B" in combined.elements
+
+    def test_linked_devices_replaced_by_ports(self):
+        routers, links = two_routers()
+        combined = combine(routers, links)
+        body_a = combined.element_classes["Router_A"].body
+        # A's eth1 ToDevice and PollDevice are gone; eth0's remain.
+        devices = [
+            d.config for d in body_a.elements.values()
+            if d.class_name in ("ToDevice", "PollDevice")
+        ]
+        assert devices == ["eth0", "eth0"]
+
+    def test_flattened_combination_is_checkable(self):
+        from repro.core.check import check
+
+        routers, links = two_routers()
+        flat = flatten(combine(routers, links))
+        collector = check(flat)
+        assert collector.ok, collector.format()
+
+    def test_missing_device_rejected(self):
+        routers, _ = two_routers()
+        with pytest.raises(ClickSemanticError):
+            combine(routers, [Link("A", "eth9", "B", "eth0")])
+
+    def test_combined_router_forwards_end_to_end(self):
+        """A packet entering A's eth0 for network 3 crosses the link and
+        leaves B's eth1 — two routers in one configuration."""
+        from repro.elements import LoopbackDevice, Router
+        from repro.net.headers import ETHER_HEADER_LEN, IPHeader, build_ether_udp_packet
+
+        routers, links = two_routers()
+        combined = flatten(combine(routers, links))
+        devices = {"eth0": LoopbackDevice("eth0"), "eth1": LoopbackDevice("eth1")}
+        runtime = Router(combined, devices=devices)
+        runtime["A/arpq1"].insert("2.0.0.2", "00:00:C0:BB:00:00")
+        runtime["B/arpq1"].insert("3.0.0.9", "00:20:6F:99:99:99")
+        frame = build_ether_udp_packet(
+            "00:20:6F:11:11:11", "00:00:C0:AA:00:00", "1.0.0.5", "3.0.0.9",
+            payload=b"\x00" * 14, ttl=64,
+        )
+        devices["eth0"].receive_frame(frame)
+        runtime.run_tasks(100)
+        assert len(devices["eth1"].transmitted) == 1
+        out = devices["eth1"].transmitted[0]
+        header = IPHeader.unpack(out[ETHER_HEADER_LEN:])
+        assert str(header.dst) == "3.0.0.9"
+        assert header.ttl == 62  # decremented by BOTH routers
+
+
+class TestUncombine:
+    def test_round_trip_restores_devices(self):
+        routers, links = two_routers()
+        combined = combine(routers, links)
+        extracted = uncombine(combined, "A")
+        to_devices = sorted(d.config for d in extracted.elements_of_class("ToDevice"))
+        poll_devices = sorted(d.config for d in extracted.elements_of_class("PollDevice"))
+        assert to_devices == ["eth0", "eth1"]
+        assert poll_devices == ["eth0", "eth1"]
+
+    def test_round_trip_preserves_element_set(self):
+        routers, links = two_routers()
+        original = flatten(routers["A"])
+        extracted = uncombine(combine(routers, links), "A")
+        original_classes = sorted(d.class_name for d in original.elements.values())
+        extracted_classes = sorted(d.class_name for d in extracted.elements.values())
+        assert original_classes == extracted_classes
+
+    def test_extracted_router_is_valid(self):
+        from repro.core.check import check
+
+        routers, links = two_routers()
+        extracted = uncombine(combine(routers, links), "B")
+        assert check(extracted).ok
+
+    def test_unknown_router_rejected(self):
+        routers, links = two_routers()
+        combined = combine(routers, links)
+        with pytest.raises(ClickSemanticError):
+            uncombine(combined, "C")
+
+
+class TestARPElimination:
+    def test_link_arp_queriers_replaced(self):
+        routers, links = two_routers()
+        combined = combine(routers, links)
+        optimized = eliminate_arp(combined)
+        encaps = optimized.elements_of_class("EtherEncap")
+        assert len(encaps) == 2  # one per link direction
+        # The remaining ARPQueriers are the outward-facing ones.
+        remaining = [d.name for d in optimized.elements_of_class("ARPQuerier")]
+        assert sorted(remaining) == ["A/arpq0", "B/arpq1"]
+
+    def test_encap_addresses_point_at_peer(self):
+        routers, links = two_routers()
+        optimized = eliminate_arp(combine(routers, links))
+        configs = sorted(d.config for d in optimized.elements_of_class("EtherEncap"))
+        # A->B traffic addressed to B's eth0 MAC; B->A to A's eth1 MAC.
+        assert any("00:00:C0:BB:00:00" in c for c in configs)
+        assert any("00:00:C0:AA:00:01" in c for c in configs)
+
+    def test_uncombine_after_elimination(self):
+        """The full tool chain of §7.2: combine | xform | uncombine."""
+        routers, links = two_routers()
+        optimized = eliminate_arp(combine(routers, links))
+        extracted = uncombine(optimized, "A")
+        assert len(extracted.elements_of_class("EtherEncap")) == 1
+        assert len(extracted.elements_of_class("ARPQuerier")) == 1
+        # The restored device elements are intact.
+        assert sorted(d.config for d in extracted.elements_of_class("ToDevice")) == [
+            "eth0", "eth1",
+        ]
+
+    def test_mr_router_still_forwards(self):
+        """The ARP-free extracted router forwards identically (it just
+        skips the ARP machinery on the point-to-point interface)."""
+        from repro.core.check import check
+        from repro.elements import LoopbackDevice, Router
+        from repro.net.headers import ETHER_HEADER_LEN, EtherHeader, build_ether_udp_packet
+
+        routers, links = two_routers()
+        extracted = uncombine(eliminate_arp(combine(routers, links)), "A")
+        assert check(extracted).ok, check(extracted).format()
+        devices = {"eth0": LoopbackDevice("eth0"), "eth1": LoopbackDevice("eth1")}
+        runtime = Router(extracted, devices=devices)
+        frame = build_ether_udp_packet(
+            "00:20:6F:11:11:11", "00:00:C0:AA:00:00", "1.0.0.5", "2.0.0.7",
+            payload=b"\x00" * 14,
+        )
+        devices["eth0"].receive_frame(frame)
+        runtime.run_tasks(50)
+        # No ARP dance needed: the frame leaves immediately, addressed
+        # to the peer's hardware address.
+        assert len(devices["eth1"].transmitted) == 1
+        ether = EtherHeader.unpack(devices["eth1"].transmitted[0])
+        assert str(ether.dst) == "00:00:C0:BB:00:00"

@@ -1,0 +1,198 @@
+"""Unit tests for click-devirtualize (§6.1)."""
+
+from repro.configs.iprouter import ip_router_graph
+from repro.core.devirtualize import devirtualize, devirtualized_class_name, sharing_classes
+from repro.core.toolchain import load_config, save_config, tool_specs
+from repro.elements import LoopbackDevice, Router
+from repro.lang.build import parse_graph
+from repro.net.packet import Packet
+
+
+def partitions_of(text, exclude=()):
+    graph = parse_graph(text)
+    return sharing_classes(graph, tool_specs(graph), exclude)
+
+
+def partition_map(partitions):
+    """element name -> representative."""
+    result = {}
+    for representative, members in partitions.items():
+        for member in members:
+            result[member] = representative
+    return result
+
+
+class TestSharingRules:
+    def test_rule1_different_classes_never_share(self):
+        mapping = partition_map(
+            partitions_of("f :: Idle; c :: Counter; s :: Strip(14); f -> c; c -> Discard; s -> Discard; f2 :: Idle; f2 -> s;")
+        )
+        assert mapping["c"] != mapping["s"]
+
+    def test_discards_share(self):
+        """All (push) Discards share code — the paper's base case."""
+        mapping = partition_map(
+            partitions_of(
+                "f1 :: Idle; f2 :: Idle; d1 :: Discard; d2 :: Discard;"
+                "f1 -> d1; f2 -> d2;"
+            )
+        )
+        assert mapping["d1"] == mapping["d2"]
+
+    def test_counters_to_shared_discards_share(self):
+        """The paper's induction: two Counters each feeding a Discard
+        share code because the Discards share code."""
+        mapping = partition_map(
+            partitions_of(
+                "f1 :: Idle; f2 :: Idle; c1 :: Counter; c2 :: Counter;"
+                "f1 -> c1 -> Discard; f2 -> c2 -> Discard;"
+            )
+        )
+        assert mapping["c1"] == mapping["c2"]
+
+    def test_rule4_different_downstream_classes_split(self):
+        """Figure 2's situation: same class, different targets — no
+        sharing."""
+        mapping = partition_map(
+            partitions_of(
+                "f1 :: Idle; f2 :: Idle; c1 :: Counter; c2 :: Counter;"
+                "f1 -> c1 -> Discard; f2 -> c2 -> Idle;"
+            )
+        )
+        assert mapping["c1"] != mapping["c2"]
+
+    def test_rule4_port_numbers_matter(self):
+        mapping = partition_map(
+            partitions_of(
+                "f1 :: Idle; f2 :: Idle; c1 :: Counter; c2 :: Counter;"
+                "s :: StaticSwitch(0); s2 :: StaticSwitch(0);"
+                "x1 :: Idle; x2 :: Idle;"
+                "f1 -> c1; f2 -> c2;"
+                "c1 -> [0] m :: Merge2; c2 -> [1] m2 :: Merge2;"
+                "m -> Discard; m2 -> Discard; x1 -> [1] m; x2 -> [0] m2;"
+            )
+        )
+        # c1 pushes into port 0 of a Merge2, c2 into port 1: no sharing.
+        assert mapping["c1"] != mapping["c2"]
+
+    def test_rule2_port_counts_matter(self):
+        mapping = partition_map(
+            partitions_of(
+                "f1 :: Idle; f2 :: Idle; t1 :: Tee(1); t2 :: Tee(2);"
+                "f1 -> t1 -> Discard; f2 -> t2;"
+                "t2 [0] -> Discard; t2 [1] -> Discard;"
+            )
+        )
+        assert mapping["t1"] != mapping["t2"]
+
+    def test_exclusion_forces_singleton(self):
+        mapping = partition_map(
+            partitions_of(
+                "f1 :: Idle; f2 :: Idle; c1 :: Counter; c2 :: Counter;"
+                "f1 -> c1 -> Discard; f2 -> c2 -> Discard;",
+                exclude=["c1"],
+            )
+        )
+        assert mapping["c1"] != mapping["c2"]
+
+    def test_ip_router_interface_paths_share(self):
+        """§6.1: 'In our IP router configurations, analogous elements in
+        different interface paths can always share code.'"""
+        graph = ip_router_graph()
+        partitions = sharing_classes(graph, tool_specs(graph))
+        mapping = partition_map(partitions)
+        analogous = [
+            ("c0", "c1"),
+            ("arpq0", "arpq1"),
+            ("arpr0", "arpr1"),
+            ("out0", "out1"),
+            ("td0", "td1"),
+            ("db0", "db1"),
+            ("cp0", "cp1"),
+            ("gio0", "gio1"),
+            ("dt0", "dt1"),
+            ("fr0", "fr1"),
+        ]
+        for left, right in analogous:
+            assert mapping[left] == mapping[right], (left, right)
+
+
+class TestTransformation:
+    TEXT = (
+        "f :: Idle; c :: Counter; q :: Queue(8); u :: Unqueue; d :: Discard;"
+        "f -> c -> q -> u -> d;"
+    )
+
+    def test_classes_rewritten_and_archive_attached(self):
+        graph = parse_graph(self.TEXT)
+        result = devirtualize(graph)
+        assert result.elements["c"].class_name.startswith("Devirtualize@@")
+        assert any(m.startswith("devirtualize") for m in result.archive)
+        assert "devirtualize" in result.requirements
+
+    def test_configs_preserved(self):
+        graph = parse_graph(self.TEXT)
+        result = devirtualize(graph)
+        assert result.elements["q"].config == "8"
+
+    def test_exclusion_leaves_original_class(self):
+        graph = parse_graph(self.TEXT)
+        result = devirtualize(graph, exclude=["q"])
+        assert result.elements["q"].class_name == "Queue"
+        assert result.elements["c"].class_name.startswith("Devirtualize@@")
+
+    def test_runtime_ports_become_direct(self):
+        graph = parse_graph(self.TEXT)
+        rebuilt = load_config(save_config(devirtualize(graph)))
+        router = Router(rebuilt)
+        assert router["c"].devirtualized
+        assert router["c"].output(0).virtual is False
+        router.push_packet("c", 0, Packet(b"x"))
+        router.run_tasks(1)
+        assert router["d"].count == 1
+
+    def test_behaviour_preserved_on_ip_router(self):
+        """Devirtualized IP router forwards byte-identical frames."""
+        from repro.configs.iprouter import default_interfaces
+        from repro.net.headers import build_ether_udp_packet
+
+        interfaces = default_interfaces(2)
+
+        def run(graph):
+            devices = {
+                "eth0": LoopbackDevice("eth0", tx_capacity=256),
+                "eth1": LoopbackDevice("eth1", tx_capacity=256),
+            }
+            router = Router(graph, devices=devices)
+            router["arpq1"].insert("2.0.0.2", "00:20:6F:0A:0B:0C")
+            devices["eth0"].receive_frame(
+                build_ether_udp_packet(
+                    "00:20:6F:03:04:05", interfaces[0].ether,
+                    "1.0.0.2", "2.0.0.2", payload=b"\x00" * 14,
+                )
+            )
+            router.run_tasks(50)
+            return devices["eth1"].transmitted
+
+        base = run(ip_router_graph(interfaces))
+        optimized_graph = load_config(save_config(devirtualize(ip_router_graph(interfaces))))
+        optimized = run(optimized_graph)
+        assert base == optimized
+        assert len(base) == 1
+
+    def test_devirtualize_after_fastclassifier(self):
+        """The chain order the paper prescribes: devirtualize last, over
+        classes fastclassifier generated."""
+        from repro.core.fastclassifier import fastclassifier
+
+        text = (
+            "f :: Idle; f -> c; c :: Classifier(12/0800, -);"
+            "c [0] -> d0 :: Discard; c [1] -> d1 :: Discard;"
+        )
+        graph = parse_graph(text)
+        chained = devirtualize(fastclassifier(graph))
+        rebuilt = load_config(save_config(chained))
+        router = Router(rebuilt)
+        assert router["c"].devirtualized
+        router.push_packet("c", 0, Packet(bytes(12) + b"\x08\x00" + bytes(46)))
+        assert router["d0"].count == 1

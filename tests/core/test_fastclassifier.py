@@ -1,0 +1,188 @@
+"""Unit tests for click-fastclassifier (§4)."""
+
+from repro.core.fastclassifier import (
+    extract_tree,
+    fastclassifier,
+    find_classifiers,
+    generate_module,
+)
+from repro.core.toolchain import load_config, save_config
+from repro.elements import Router
+from repro.lang.archive import read_archive
+from repro.lang.build import parse_graph
+from repro.net.headers import build_arp_request, build_udp_packet
+from repro.net.packet import Packet
+
+ROUTER_TEXT = """
+feeder :: Idle; feeder -> c;
+c :: Classifier(12/0806 20/0001, 12/0806 20/0002, 12/0800, -);
+c [0] -> d0 :: Discard; c [1] -> d1 :: Discard;
+c [2] -> d2 :: Discard; c [3] -> d3 :: Discard;
+"""
+
+
+def frames():
+    return [
+        Packet(build_arp_request("00:20:6F:14:54:C2", "1.0.0.1", "1.0.0.2")),
+        Packet(bytes(12) + b"\x08\x06" + bytes(6) + b"\x00\x02" + bytes(40)),
+        Packet(bytes(12) + b"\x08\x00" + bytes(46)),
+        Packet(bytes(12) + b"\x86\xdd" + bytes(46)),
+    ]
+
+
+def run_and_count(graph, packets):
+    router = Router(graph)
+    entry = find_entry(router)
+    for packet in packets:
+        router.push_packet(entry, 0, packet.clone())
+    return {name: e.count for name, e in router.elements.items() if hasattr(e, "count")}
+
+
+def find_entry(router):
+    for name, element in router.elements.items():
+        if element.class_name.startswith(("Classifier", "FastClassifier", "IPFilter")):
+            return name
+    raise AssertionError("no classifier entry")
+
+
+class TestDiscovery:
+    def test_finds_all_classifier_kinds(self):
+        graph = parse_graph(
+            "feeder :: Idle; c :: Classifier(12/0800); i :: IPClassifier(tcp);"
+            "f :: IPFilter(allow all); feeder -> c -> i -> f -> Discard;"
+        )
+        assert find_classifiers(graph) == ["c", "i", "f"]
+
+    def test_extract_tree_via_harness(self):
+        graph = parse_graph(ROUTER_TEXT)
+        tree = extract_tree(graph.elements["c"])
+        assert tree.match(bytes(12) + b"\x08\x00" + bytes(46)) == 2
+
+
+class TestTransformation:
+    def test_rewrites_class_and_attaches_archive(self):
+        graph = parse_graph(ROUTER_TEXT)
+        result = fastclassifier(graph)
+        decl = result.elements["c"]
+        assert decl.class_name == "FastClassifier@@c"
+        assert decl.config is None
+        assert any(m.endswith(".py") for m in result.archive)
+        assert "fastclassifier" in result.requirements
+
+    def test_original_untouched(self):
+        graph = parse_graph(ROUTER_TEXT)
+        fastclassifier(graph)
+        assert graph.elements["c"].class_name == "Classifier"
+
+    def test_identical_trees_share_generated_class(self):
+        graph = parse_graph(
+            "feeder :: Idle; t :: Tee(2); a :: Classifier(12/0800, -);"
+            "b :: Classifier(12/0800, -); feeder -> t;"
+            "t [0] -> a; t [1] -> b;"
+            "a [0] -> Discard; a [1] -> Discard; b [0] -> Discard; b [1] -> Discard;"
+        )
+        result = fastclassifier(graph)
+        assert result.elements["a"].class_name == result.elements["b"].class_name
+
+    def test_generated_module_counts_unique_trees(self):
+        from repro.classifier.language import compile_patterns
+
+        trees = {
+            "a": compile_patterns(["12/0800", "-"]),
+            "b": compile_patterns(["12/0800", "-"]),
+            "c": compile_patterns(["12/0806", "-"]),
+        }
+        source, assignment = generate_module(trees)
+        assert assignment["a"] == assignment["b"]
+        assert assignment["c"] != assignment["a"]
+        assert source.count("class FastClassifier_") == 2
+
+
+class TestBehaviourPreserved:
+    def test_transformed_router_classifies_identically(self):
+        graph = parse_graph(ROUTER_TEXT)
+        before = run_and_count(graph, frames())
+        after_graph = load_config(save_config(fastclassifier(graph)))
+        after = run_and_count(after_graph, frames())
+        assert before == after
+        assert sum(before.values()) == len(frames())
+
+    def test_round_trip_through_archive_text(self):
+        """The tool's output must survive the stdout/stdin convention:
+        serialize to archive text, parse back, run."""
+        graph = parse_graph(ROUTER_TEXT)
+        text = save_config(fastclassifier(graph))
+        assert text.startswith("!<archive>")
+        members = read_archive(text)
+        assert "config" in members
+        assert any(name.endswith(".py") for name in members)
+        rebuilt = load_config(text)
+        router = Router(rebuilt)
+        router.push_packet("c", 0, Packet(bytes(12) + b"\x08\x00" + bytes(46)))
+        assert router["d2"].count == 1
+
+    def test_ipfilter_firewall_transforms(self):
+        from repro.configs.firewall import dns5_packet, firewall_graph
+
+        graph = firewall_graph()
+        result = fastclassifier(graph)
+        fast_names = [
+            d.name for d in result.elements.values()
+            if d.class_name.startswith("FastClassifier@@")
+        ]
+        assert fast_names == ["fw"]
+        # The compiled firewall still accepts the DNS-5 packet.
+        from repro.elements import LoopbackDevice
+
+        rebuilt = load_config(save_config(result))
+        router = Router(
+            rebuilt,
+            devices={"eth0": LoopbackDevice("eth0"), "eth1": LoopbackDevice("eth1")},
+        )
+        packet = Packet(dns5_packet())
+        router.push_packet("fw", 0, packet)
+        queues = router.elements_of_class("Queue")
+        assert sum(len(q) for q in queues) == 1
+
+
+class TestAdjacentCombination:
+    TEXT = """
+    feeder :: Idle; feeder -> a;
+    a :: Classifier(12/0800, -);
+    b :: Classifier(14/45, -);
+    a [0] -> b; a [1] -> dx :: Discard;
+    b [0] -> d0 :: Discard; b [1] -> d1 :: Discard;
+    """
+
+    def test_adjacent_classifiers_merged(self):
+        graph = parse_graph(self.TEXT)
+        result = fastclassifier(graph)
+        # b is gone; a handles all three outcomes.
+        assert "b" not in result.elements
+        assert result.elements["a"].class_name == "FastClassifier@@a"
+
+    def test_merged_behaviour(self):
+        graph = parse_graph(self.TEXT)
+        packets = [
+            Packet(bytes(12) + b"\x08\x00\x45" + bytes(45)),  # IP, 0x45 -> d0
+            Packet(bytes(12) + b"\x08\x00\x55" + bytes(45)),  # IP, other -> d1
+            Packet(bytes(12) + b"\x08\x06" + bytes(46)),      # non-IP -> dx
+        ]
+        before = run_and_count(graph, packets)
+        after = run_and_count(load_config(save_config(fastclassifier(graph))), packets)
+        assert before == after
+
+    def test_no_merge_when_port_shared(self):
+        """If another element also reads the intermediate connection's
+        source port... classifiers stay separate when the downstream has
+        more than one incoming connection."""
+        text = """
+        feeder :: Idle; feeder -> a; feeder2 :: Idle;
+        a :: Classifier(12/0800, -);
+        b :: Classifier(14/45, -);
+        a [0] -> b; a [1] -> Discard; feeder2 -> b;
+        b [0] -> Discard; b [1] -> Discard;
+        """
+        graph = parse_graph(text)
+        result = fastclassifier(graph)
+        assert "b" in result.elements

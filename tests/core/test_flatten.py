@@ -1,0 +1,138 @@
+"""Unit tests for click-flatten (compound-element expansion)."""
+
+import pytest
+
+from repro.core.flatten import flatten, substitute_params
+from repro.errors import ClickSemanticError
+from repro.lang.build import parse_graph
+
+
+class TestSubstitution:
+    def test_basic(self):
+        assert substitute_params("$a, $b", {"$a": "1", "$b": "2"}) == "1, 2"
+
+    def test_unbound_variables_left_alone(self):
+        assert substitute_params("$a, $zz", {"$a": "1"}) == "1, $zz"
+
+    def test_none_config(self):
+        assert substitute_params(None, {"$a": "1"}) is None
+
+
+class TestFlatten:
+    def test_simple_compound(self):
+        graph = parse_graph(
+            """
+            elementclass Gate { input -> q :: Queue(16) -> u :: Unqueue -> output; }
+            c :: Counter; g :: Gate; d :: Discard;
+            c -> g -> d;
+            """
+        )
+        flat = flatten(graph)
+        assert not flat.element_classes
+        assert "g/q" in flat.elements
+        assert "g/u" in flat.elements
+        assert flat.elements["g/q"].class_name == "Queue"
+        # Wiring: c -> g/q -> g/u -> d.
+        conns = {(c.from_element, c.to_element) for c in flat.connections}
+        assert ("c", "g/q") in conns
+        assert ("g/u", "d") in conns
+
+    def test_parameter_binding(self):
+        graph = parse_graph(
+            """
+            elementclass Gate { $cap | input -> q :: Queue($cap) -> u :: Unqueue -> output; }
+            c :: Counter; g :: Gate(117); d :: Discard; c -> g -> d;
+            """
+        )
+        flat = flatten(graph)
+        assert flat.elements["g/q"].config == "117"
+
+    def test_missing_arguments_bind_empty(self):
+        graph = parse_graph(
+            """
+            elementclass Gate { $cap | input -> q :: Queue($cap) -> u :: Unqueue -> output; }
+            c :: Counter; g :: Gate; d :: Discard; c -> g -> d;
+            """
+        )
+        flat = flatten(graph)
+        assert flat.elements["g/q"].config == ""
+
+    def test_too_many_arguments_rejected(self):
+        graph = parse_graph(
+            """
+            elementclass Gate { input -> output; }
+            c :: Counter; g :: Gate(1, 2); d :: Discard; c -> g -> d;
+            """
+        )
+        with pytest.raises(ClickSemanticError):
+            flatten(graph)
+
+    def test_multi_port_compound(self):
+        graph = parse_graph(
+            """
+            elementclass Split {
+              input -> s :: StaticSwitch(0);
+              s [0] -> [0] output; s [1] -> [1] output;
+            }
+            c :: Counter; sp :: Split; d0 :: Discard; d1 :: Discard;
+            c -> sp; sp [0] -> d0; sp [1] -> d1;
+            """
+        )
+        flat = flatten(graph)
+        conns = {(c.from_element, c.from_port, c.to_element, c.to_port) for c in flat.connections}
+        assert ("sp/s", 0, "d0", 0) in conns
+        assert ("sp/s", 1, "d1", 0) in conns
+
+    def test_nested_compounds(self):
+        graph = parse_graph(
+            """
+            elementclass Inner { input -> ic :: Counter -> output; }
+            elementclass Outer { input -> i :: Inner -> output; }
+            c :: Counter; o :: Outer; d :: Discard; c -> o -> d;
+            """
+        )
+        flat = flatten(graph)
+        assert "o/i/ic" in flat.elements
+
+    def test_passthrough_compound(self):
+        graph = parse_graph(
+            """
+            elementclass Wire { input -> output; }
+            c :: Counter; w :: Wire; d :: Discard; c -> w -> d;
+            """
+        )
+        flat = flatten(graph)
+        # A shim Idle carries the pass-through.
+        idles = flat.elements_of_class("Idle")
+        assert len(idles) == 1
+        conns = {(c.from_element, c.to_element) for c in flat.connections}
+        assert ("c", idles[0].name) in conns
+        assert ((idles[0].name), "d") in conns
+
+    def test_two_instances_are_independent(self):
+        graph = parse_graph(
+            """
+            elementclass Gate { $cap | input -> q :: Queue($cap) -> u :: Unqueue -> output; }
+            c1 :: Counter; c2 :: Counter; g1 :: Gate(1); g2 :: Gate(2);
+            c1 -> g1 -> Discard; c2 -> g2 -> Discard;
+            """
+        )
+        flat = flatten(graph)
+        assert flat.elements["g1/q"].config == "1"
+        assert flat.elements["g2/q"].config == "2"
+
+    def test_compound_runs_correctly(self):
+        """Flattened compounds must behave like their bodies."""
+        from repro.elements import Router
+        from repro.net.packet import Packet
+
+        graph = parse_graph(
+            """
+            elementclass Pipeline { input -> s :: Strip(4) -> output; }
+            feeder :: Idle; p :: Pipeline; d :: Discard;
+            feeder -> entry :: Counter -> p -> d;
+            """
+        )
+        router = Router(flatten(graph))
+        router.push_packet("entry", 0, Packet(b"hdr!payload"))
+        assert router["d"].count == 1

@@ -1,0 +1,284 @@
+"""Unit tests for click-undead, click-align, click-check,
+click-mkmindriver, and click-pretty."""
+
+import pytest
+
+from repro.core.align import Alignment, align, compute_alignments
+from repro.core.check import check
+from repro.core.mkmindriver import make_minimal_class_table, mkmindriver, required_classes
+from repro.core.pretty import pretty_html
+from repro.core.undead import undead
+from repro.lang.build import parse_graph
+
+
+class TestUndead:
+    def test_static_switch_collapsed(self):
+        graph = parse_graph(
+            """
+            s :: InfiniteSource; sw :: StaticSwitch(1);
+            live :: Counter; dead :: Counter;
+            s -> sw; sw [0] -> dead -> Discard; sw [1] -> live -> Discard;
+            """
+        )
+        result = undead(graph)
+        assert not result.elements_of_class("StaticSwitch")
+        assert "live" in result.elements
+        assert "dead" not in result.elements
+        conns = {(c.from_element, c.to_element) for c in result.connections}
+        assert ("s", "live") in conns
+
+    def test_negative_switch_drops_everything_downstream(self):
+        graph = parse_graph(
+            """
+            s :: InfiniteSource; sw :: StaticSwitch(-1);
+            dead :: Counter; s -> sw; sw [0] -> dead -> Discard;
+            """
+        )
+        result = undead(graph)
+        assert "dead" not in result.elements
+        assert not result.elements_of_class("StaticSwitch")
+
+    def test_unreachable_elements_removed(self):
+        graph = parse_graph(
+            """
+            s :: InfiniteSource; live :: Counter;
+            orphan :: Strip(14); orphan2 :: Counter;
+            s -> live -> Discard; orphan -> orphan2 -> Discard;
+            """
+        )
+        result = undead(graph)
+        assert "live" in result.elements
+        assert "orphan" not in result.elements
+        assert "orphan2" not in result.elements
+
+    def test_writable_switch_kept(self):
+        graph = parse_graph(
+            """
+            s :: InfiniteSource; sw :: Switch(0);
+            a :: Counter; b :: Counter;
+            s -> sw; sw [0] -> a -> Discard; sw [1] -> b -> Discard;
+            """
+        )
+        result = undead(graph)
+        assert result.elements_of_class("Switch")
+        assert "b" in result.elements
+
+    def test_info_elements_survive(self):
+        graph = parse_graph(
+            "AlignmentInfo(x 4 0); s :: InfiniteSource; s -> Discard;"
+        )
+        result = undead(graph)
+        assert result.elements_of_class("AlignmentInfo")
+
+    def test_compound_dead_branch(self):
+        """§6.3: dead code usually comes from compound abstractions —
+        a compound whose StaticSwitch argument disables one branch."""
+        graph = parse_graph(
+            """
+            elementclass MaybeCount {
+              $on | input -> sw :: StaticSwitch($on);
+              sw [0] -> output; sw [1] -> c :: Counter -> output;
+            }
+            s :: InfiniteSource; m :: MaybeCount(0); s -> m -> Discard;
+            """
+        )
+        result = undead(graph)
+        assert not result.elements_of_class("Counter")
+        assert not result.elements_of_class("StaticSwitch")
+
+    def test_live_graph_unchanged(self):
+        from repro.configs.iprouter import ip_router_graph
+
+        graph = ip_router_graph()
+        result = undead(graph)
+        # "None of the elements in our IP router are dead code."
+        assert set(result.elements) == set(graph.elements)
+
+
+class TestAlignmentLattice:
+    def test_join_same(self):
+        assert Alignment(4, 2).join(Alignment(4, 2)) == Alignment(4, 2)
+
+    def test_join_conflicting_offsets(self):
+        joined = Alignment(4, 0).join(Alignment(4, 2))
+        assert joined == Alignment(2, 0)
+
+    def test_join_odd(self):
+        joined = Alignment(4, 0).join(Alignment(4, 1))
+        assert joined.modulus == 1
+
+    def test_satisfies(self):
+        assert Alignment(4, 0).satisfies(Alignment(2, 0))
+        assert Alignment(4, 2).satisfies(Alignment(2, 0))
+        assert not Alignment(4, 2).satisfies(Alignment(4, 0))
+        assert not Alignment(2, 0).satisfies(Alignment(4, 0))
+
+    def test_shift(self):
+        assert Alignment(4, 0).shift(14) == Alignment(4, 2)
+        assert Alignment(4, 2).shift(-14) == Alignment(4, 0)
+
+
+class TestClickAlign:
+    TEXT = (
+        "pd :: PollDevice(eth0); s :: Strip(14); chk :: CheckIPHeader;"
+        "q :: Queue; td :: ToDevice(eth0); pd -> s -> chk -> q -> td;"
+    )
+
+    def test_flow_computes_expected_alignments(self):
+        graph = parse_graph(self.TEXT)
+        arriving = compute_alignments(graph)
+        assert arriving["s"] == Alignment(4, 0)
+        assert arriving["chk"] == Alignment(4, 2)  # after Strip(14)
+
+    def test_inserts_align_before_requirement(self):
+        graph = parse_graph(self.TEXT)
+        result = align(graph)
+        aligns = result.elements_of_class("Align")
+        assert len(aligns) == 1
+        assert aligns[0].config == "4, 0"
+        conns = {(c.from_element, c.to_element) for c in result.connections}
+        assert ("s", aligns[0].name) in conns
+        assert (aligns[0].name, "chk") in conns
+
+    def test_adds_alignment_info(self):
+        graph = parse_graph(self.TEXT)
+        result = align(graph)
+        assert result.elements_of_class("AlignmentInfo")
+
+    def test_no_align_when_already_satisfied(self):
+        text = (
+            "pd :: PollDevice(eth0); chk :: CheckIPHeader;"
+            "q :: Queue; td :: ToDevice(eth0); pd -> chk -> q -> td;"
+        )
+        result = align(parse_graph(text))
+        assert not result.elements_of_class("Align")
+
+    def test_redundant_align_removed(self):
+        text = (
+            "pd :: PollDevice(eth0); a :: Align(4, 0); q :: Queue;"
+            "td :: ToDevice(eth0); pd -> a -> q -> td;"
+        )
+        result = align(parse_graph(text))
+        assert not result.elements_of_class("Align")
+
+    def test_aligned_router_runs_strict(self):
+        """After click-align, CheckIPHeader can run in strict-alignment
+        (ARM) mode without crashing."""
+        from repro.elements import LoopbackDevice, Router
+        from repro.net.headers import build_ether_udp_packet
+        from repro.net.packet import Packet
+
+        graph = align(parse_graph(self.TEXT))
+        devices = {"eth0": LoopbackDevice("eth0")}
+        router = Router(graph, devices=devices)
+        router["chk"].strict_alignment = True
+        frame = build_ether_udp_packet(
+            "00:20:6F:03:04:05", "00:00:C0:4F:71:00", "1.0.0.2", "2.0.0.2",
+            payload=b"\x00" * 14,
+        )
+        devices["eth0"].receive_frame(frame)
+        router.run_tasks(20)
+        assert devices["eth0"].transmitted  # forwarded, no crash
+
+    def test_unaligned_strict_router_crashes(self):
+        """Without click-align, strict mode hits the ARM-style trap —
+        demonstrating the problem the tool solves."""
+        from repro.elements import LoopbackDevice, Router
+        from repro.net.headers import build_ether_udp_packet
+
+        graph = parse_graph(self.TEXT)
+        devices = {"eth0": LoopbackDevice("eth0")}
+        router = Router(graph, devices=devices)
+        router["chk"].strict_alignment = True
+        frame = build_ether_udp_packet(
+            "00:20:6F:03:04:05", "00:00:C0:4F:71:00", "1.0.0.2", "2.0.0.2",
+            payload=b"\x00" * 14,
+        )
+        devices["eth0"].receive_frame(frame)
+        with pytest.raises(RuntimeError):
+            router.run_tasks(20)
+
+    def test_ip_router_gets_aligns_for_each_interface(self):
+        from repro.configs.iprouter import ip_router_graph
+
+        result = align(ip_router_graph())
+        aligns = result.elements_of_class("Align")
+        assert len(aligns) == 2  # one per CheckIPHeader
+
+
+class TestClickCheck:
+    def test_clean_config_passes(self):
+        from repro.configs.iprouter import ip_router_graph
+
+        collector = check(ip_router_graph())
+        assert collector.ok, collector.format()
+
+    def test_unknown_class_reported(self):
+        collector = check(parse_graph("f :: Idle; x :: NoSuchThing; f -> x;"))
+        assert not collector.ok
+        assert "NoSuchThing" in collector.format()
+
+    def test_unconnected_port_reported(self):
+        collector = check(parse_graph("f :: Idle; c :: Classifier(12/0800, -); f -> c; c [0] -> Discard;"))
+        assert not collector.ok
+        assert "unconnected" in collector.format()
+
+    def test_push_pull_conflict_reported(self):
+        # Source pushes straight into ToDevice's pull input.
+        collector = check(
+            parse_graph("s :: InfiniteSource; td :: ToDevice(eth0); s -> td;")
+        )
+        assert not collector.ok
+        assert "conflict" in collector.format()
+
+    def test_bad_config_string_reported(self):
+        collector = check(parse_graph("f :: Idle; s :: Strip(nonsense); f -> s -> Discard;"))
+        assert not collector.ok
+        assert "bad configuration" in collector.format()
+
+    def test_multiple_errors_accumulated(self):
+        collector = check(
+            parse_graph("f :: Idle; x :: Nope; y :: AlsoNope; f -> x; x -> y;")
+        )
+        assert len(collector.errors) >= 2
+
+
+class TestMkMinDriver:
+    def test_required_classes(self):
+        graph = parse_graph("f :: Idle; c :: Counter; f -> c -> Discard;")
+        assert required_classes(graph) == ["Counter", "Discard", "Idle"]
+
+    def test_manifest_attached(self):
+        graph = parse_graph("f :: Idle; c :: Counter; f -> c -> Discard;")
+        result = mkmindriver(graph)
+        assert "mindriver.manifest" in result.archive
+        assert "Counter" in result.archive["mindriver.manifest"]
+
+    def test_minimal_class_table_excludes_unused(self):
+        graph = parse_graph("f :: Idle; c :: Counter; f -> c -> Discard;")
+        table = make_minimal_class_table(graph)
+        assert set(table) == {"Counter", "Discard", "Idle"}
+
+    def test_minimal_router_runs(self):
+        from repro.elements import Router
+        from repro.net.packet import Packet
+
+        graph = parse_graph("f :: Idle; c :: Counter; f -> c -> Discard;")
+        router = Router(graph, extra_classes=make_minimal_class_table(graph))
+        router.push_packet("c", 0, Packet(b"x"))
+        assert router["c"].count == 1
+
+
+class TestPretty:
+    def test_html_contains_elements_and_connections(self):
+        graph = parse_graph("f :: Idle; c :: Counter; f -> c -> Discard;")
+        page = pretty_html(graph, title="test config")
+        assert "<html>" in page
+        assert "Counter" in page
+        assert "test config" in page
+        assert "c [0] -&gt; [0] Discard@" in page.replace("\n", " ") or "-&gt;" in page
+
+    def test_config_strings_escaped(self):
+        graph = parse_graph('f :: Idle; c :: Classifier(12/0800, -); f -> c; c [0] -> Discard; c [1] -> Discard;')
+        page = pretty_html(graph)
+        assert "12/0800" in page

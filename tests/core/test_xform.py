@@ -1,0 +1,188 @@
+"""Unit tests for click-xform (§6.2) and the standard pattern library."""
+
+import pytest
+
+from repro.configs.iprouter import default_interfaces, ip_router_graph
+from repro.core.patterns import IP_INPUT_COMBO, IP_OUTPUT_COMBO, STANDARD_PATTERNS
+from repro.core.xform import PatternPair, _match_config, xform
+from repro.elements import LoopbackDevice, Router
+from repro.lang.build import parse_graph
+from repro.net.headers import build_ether_udp_packet
+
+
+class TestConfigMatching:
+    def test_literal_match(self):
+        assert _match_config("14", "14", {}) == {}
+
+    def test_literal_mismatch(self):
+        assert _match_config("14", "15", {}) is None
+
+    def test_variable_binds(self):
+        assert _match_config("$n", "14", {}) == {"$n": "14"}
+
+    def test_variable_consistency(self):
+        assert _match_config("$n, $n", "14, 14", {}) == {"$n": "14"}
+        assert _match_config("$n, $n", "14, 15", {}) is None
+
+    def test_arity_must_match(self):
+        assert _match_config("$a", "1, 2", {}) is None
+        assert _match_config(None, None, {}) == {}
+
+
+SWAP = PatternPair.from_texts(
+    "input -> a :: Strip(14) -> b :: Unstrip(14) -> output;",
+    "input -> w :: Counter -> output;",
+    name="strip-unstrip",
+)
+
+
+class TestBasicXform:
+    def test_simple_replacement(self):
+        graph = parse_graph(
+            "f :: Idle; s :: Strip(14); u :: Unstrip(14); d :: Discard; f -> s -> u -> d;"
+        )
+        result = xform(graph, [SWAP])
+        classes = [decl.class_name for decl in result.elements.values()]
+        assert "Strip" not in classes
+        assert "Unstrip" not in classes
+        assert "Counter" in classes
+
+    def test_no_match_no_change(self):
+        graph = parse_graph("f :: Idle; s :: Strip(10); d :: Discard; f -> s -> d;")
+        result = xform(graph, [SWAP])
+        assert [d.class_name for d in result.elements.values()] == ["Idle", "Strip", "Discard"]
+
+    def test_boundary_violation_blocks_match(self):
+        """An extra connection into the middle of the matched chain is
+        not allowed by the pattern, so no replacement happens."""
+        graph = parse_graph(
+            "f :: Idle; f2 :: Idle; s :: Strip(14); u :: Unstrip(14); d :: Discard;"
+            "f -> s -> u -> d; f2 -> u;"
+        )
+        result = xform(graph, [SWAP])
+        assert any(decl.class_name == "Strip" for decl in result.elements.values())
+
+    def test_wildcard_carries_into_replacement(self):
+        pair = PatternPair.from_texts(
+            "input -> c :: Counter -> q :: Queue($cap) -> output;",
+            "input -> q :: Queue($cap) -> output;",
+            name="drop-counter",
+        )
+        graph = parse_graph(
+            "f :: Idle; c0 :: Counter; q :: Queue(99); u :: Unqueue; d :: Discard;"
+            "f -> c0 -> q -> u -> d;"
+        )
+        result = xform(graph, [pair])
+        assert not result.elements_of_class("Counter")
+        (queue,) = result.elements_of_class("Queue")
+        assert queue.config == "99"
+
+    def test_divergence_guard_raises_on_self_recreating_pattern(self):
+        from repro.errors import ClickSemanticError
+
+        pair = PatternPair.from_texts(
+            "input -> c :: Counter -> output;",
+            "input -> c :: Counter -> c2 :: Counter -> output;",
+            name="loop",
+        )
+        graph = parse_graph("f :: Idle; c :: Counter; d :: Discard; f -> c -> d;")
+        with pytest.raises(ClickSemanticError):
+            xform(graph, [pair])
+
+    def test_multiple_occurrences_all_replaced(self):
+        graph = parse_graph(
+            "f1 :: Idle; f2 :: Idle; s1 :: Strip(14); u1 :: Unstrip(14);"
+            "s2 :: Strip(14); u2 :: Unstrip(14); d1 :: Discard; d2 :: Discard;"
+            "f1 -> s1 -> u1 -> d1; f2 -> s2 -> u2 -> d2;"
+        )
+        result = xform(graph, [SWAP])
+        assert len(result.elements_of_class("Counter")) == 2
+
+
+class TestStandardPatterns:
+    def test_input_combo_applies_to_ip_router(self):
+        graph = ip_router_graph()
+        result = xform(graph, [IP_INPUT_COMBO])
+        assert len(result.elements_of_class("IPInputCombo")) == 2
+        assert not result.elements_of_class("Paint")
+        assert not result.elements_of_class("CheckIPHeader")
+
+    def test_output_combo_applies_to_ip_router(self):
+        graph = ip_router_graph()
+        result = xform(graph, [IP_OUTPUT_COMBO])
+        assert len(result.elements_of_class("IPOutputCombo")) == 2
+        assert not result.elements_of_class("DecIPTTL")
+
+    def test_full_pattern_set_reduces_path_to_three(self):
+        """§6.2: the three pattern pairs reduce the per-interface
+        forwarding chain to IPInputCombo → LookupIPRoute → IPOutputCombo."""
+        graph = ip_router_graph()
+        before_classes = {d.class_name for d in graph.elements.values()}
+        result = xform(graph, STANDARD_PATTERNS)
+        combos_in = result.elements_of_class("IPInputCombo")
+        combos_out = result.elements_of_class("IPOutputCombo")
+        assert len(combos_in) == 2
+        assert len(combos_out) == 2
+        # The fragmenter was absorbed by the second-stage pattern.
+        assert not result.elements_of_class("IPFragmenter")
+        for gone in ("Paint", "Strip", "CheckIPHeader", "GetIPAddress",
+                     "DropBroadcasts", "CheckPaint", "IPGWOptions", "FixIPSrc", "DecIPTTL"):
+            assert gone in before_classes
+            assert not result.elements_of_class(gone), gone
+        # Each combo carries the full argument set.
+        assert combos_out[0].config.count(",") == 2  # color, ip, mtu
+
+    def test_element_count_drops_by_sixteen(self):
+        # Ten chain elements per interface (4 input-side + 6 output-side
+        # including the fragmenter) become two combos: 8 fewer per
+        # interface, 16 fewer total.
+        graph = ip_router_graph()
+        before = len(graph.elements)
+        after = len(xform(graph, STANDARD_PATTERNS).elements)
+        assert before - after == 16
+
+
+class TestComboEquivalence:
+    """The xform'd router must forward byte-identical traffic."""
+
+    HOST1 = "00:20:6F:03:04:05"
+    HOST2 = "00:20:6F:0A:0B:0C"
+
+    def run(self, graph, frames, interfaces):
+        devices = {
+            "eth0": LoopbackDevice("eth0", tx_capacity=512),
+            "eth1": LoopbackDevice("eth1", tx_capacity=512),
+        }
+        router = Router(graph, devices=devices)
+        router["arpq0"].insert("1.0.0.2", self.HOST1)
+        router["arpq1"].insert("2.0.0.2", self.HOST2)
+        for frame in frames:
+            devices["eth0"].receive_frame(frame)
+        router.run_tasks(100)
+        return devices["eth0"].transmitted, devices["eth1"].transmitted
+
+    def traffic(self, interfaces):
+        frames = [
+            build_ether_udp_packet(
+                self.HOST1, interfaces[0].ether, "1.0.0.2", "2.0.0.2",
+                payload=b"\x00" * 14, ttl=ttl,
+            )
+            for ttl in (64, 2, 1)  # normal, near-expiry, expired
+        ]
+        frames.append(
+            build_ether_udp_packet(
+                self.HOST1, interfaces[0].ether, "1.0.0.2", "1.0.0.9",
+                payload=b"\x00" * 14,
+            )  # same-interface: triggers the redirect path
+        )
+        return frames
+
+    def test_xform_preserves_behaviour(self):
+        interfaces = default_interfaces(2)
+        base = self.run(ip_router_graph(interfaces), self.traffic(interfaces), interfaces)
+        optimized = self.run(
+            xform(ip_router_graph(interfaces), STANDARD_PATTERNS),
+            self.traffic(interfaces),
+            interfaces,
+        )
+        assert base == optimized

@@ -1,0 +1,75 @@
+"""Tests for Click's read/write handler interface."""
+
+import pytest
+
+from repro.elements import ElementError, Router
+from repro.lang.build import parse_graph
+from repro.net.packet import Packet
+
+
+@pytest.fixture
+def router():
+    return Router(
+        parse_graph(
+            "f :: Idle; c :: Counter; s :: Switch(0); q :: Queue(8);"
+            "u :: Unqueue; d0 :: Discard; d1 :: Discard;"
+            "f -> c -> s; s [0] -> q -> u -> d0; s [1] -> d1;"
+        )
+    )
+
+
+class TestReadHandlers:
+    def test_universal_handlers(self, router):
+        assert router.read_handler("c.class") == "Counter"
+        assert router.read_handler("c.name") == "c"
+        assert router.read_handler("q.config") == "8"
+        assert router.read_handler("s.ports") == "1/2"
+
+    def test_state_handlers(self, router):
+        router.push_packet("c", 0, Packet(b"12345"))
+        assert router.read_handler("c.count") == "1"
+        assert router.read_handler("c.byte_count") == "5"
+        assert router.read_handler("q.length") == "1"
+        assert router.read_handler("q.drops") == "0"
+
+    def test_slash_separator(self, router):
+        assert router.read_handler("c/class") == "Counter"
+
+    def test_unknown_handler_raises(self, router):
+        with pytest.raises(ElementError):
+            router.read_handler("c.nonsense")
+
+    def test_unknown_element_raises(self, router):
+        with pytest.raises(KeyError):
+            router.read_handler("zz.count")
+
+
+class TestWriteHandlers:
+    def test_switch_is_writable(self, router):
+        assert router.read_handler("s.switch") == "0"
+        router.write_handler("s.switch", "1")
+        router.push_packet("c", 0, Packet(b"x"))
+        assert router["d1"].count == 1
+
+    def test_read_only_elements_reject_writes(self, router):
+        with pytest.raises(ElementError):
+            router.write_handler("c.count", "0")
+
+
+class TestPrettyDot:
+    def test_dot_output(self, router):
+        from repro.core.pretty import pretty_dot
+
+        dot = pretty_dot(router.graph)
+        assert dot.startswith("digraph")
+        assert "Counter" in dot
+        assert "->" in dot
+        assert 'taillabel="1"' in dot  # the switch's second output port
+
+    def test_dot_escapes_configs(self):
+        from repro.core.pretty import pretty_dot
+        from repro.lang.build import parse_graph as pg
+
+        graph = pg('f :: Idle; c :: Classifier(12/0800, -); f -> c; c[0] -> Discard; c[1] -> Discard;')
+        dot = pretty_dot(graph)
+        assert "digraph" in dot

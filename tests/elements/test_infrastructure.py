@@ -1,0 +1,160 @@
+"""Unit tests for infrastructure elements, driven through real routers."""
+
+import pytest
+
+from repro.elements import ConfigError, Router
+from repro.lang.build import parse_graph
+from repro.net.packet import Packet
+
+
+def make_router(text, entry="c", **kwargs):
+    """Build a router; ``entry`` names the element test packets are
+    injected into, which gets an Idle feeder so its input port exists
+    (the runtime enforces Click's port-count rules strictly)."""
+    if entry is not None:
+        text += " feeder :: Idle; feeder -> %s;" % entry
+    return Router(parse_graph(text), **kwargs)
+
+
+class TestQueue:
+    def test_fifo_order(self):
+        router = make_router("c :: Counter; q :: Queue(8); u :: Unqueue; d :: Discard; c -> q; q -> u -> d;")
+        for tag in (b"a", b"b", b"c"):
+            router.push_packet("c", 0, Packet(tag))
+        pulled = [router["q"].pull(0).data for _ in range(3)]
+        assert pulled == [b"a", b"b", b"c"]
+
+    def test_overflow_drops_arrivals(self):
+        router = make_router("c :: Counter; q :: Queue(2); u :: Unqueue; d :: Discard; c -> q; q -> u -> d;")
+        for i in range(5):
+            router.push_packet("c", 0, Packet(bytes([i])))
+        queue = router["q"]
+        assert len(queue) == 2
+        assert queue.drops == 3
+        assert queue.pull(0).data == b"\x00"  # oldest survives (drop-tail)
+
+    def test_empty_pull_returns_none(self):
+        router = make_router("c :: Counter; q :: Queue; u :: Unqueue; d :: Discard; c -> q; q -> u -> d;")
+        assert router["q"].pull(0) is None
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ConfigError):
+            make_router("c :: Counter; q :: Queue(0); u :: Unqueue; d :: Discard; c -> q; q -> u -> d;")
+
+    def test_highwater_tracked(self):
+        router = make_router("c :: Counter; q :: Queue(8); u :: Unqueue; d :: Discard; c -> q; q -> u -> d;")
+        for i in range(3):
+            router.push_packet("c", 0, Packet(b"x"))
+        assert router["q"].highwater == 3
+
+
+class TestUnqueueAndScheduling:
+    def test_unqueue_moves_packets(self):
+        router = make_router(
+            "c :: Counter; q :: Queue; u :: Unqueue(4); d :: Discard; c -> q -> u -> d;"
+        )
+        for _ in range(6):
+            router.push_packet("c", 0, Packet(b"x"))
+        router.run_tasks(1)  # one task pass: burst of 4
+        assert router["d"].count == 4
+        router.run_tasks(1)
+        assert router["d"].count == 6
+
+    def test_infinite_source_limit(self):
+        router = make_router('s :: InfiniteSource("xy", 5, 2); d :: Discard; s -> d;', entry=None)
+        for _ in range(10):
+            router.run_tasks(1)
+        assert router["d"].count == 5
+        assert router["d"].push is not None
+
+
+class TestTee:
+    def test_copies_to_all_outputs(self):
+        router = make_router(
+            "c :: Counter; t :: Tee(2); d1 :: Discard; d2 :: Discard;"
+            "c -> t; t [0] -> d1; t [1] -> d2;"
+        )
+        router.push_packet("c", 0, Packet(b"payload"))
+        assert router["d1"].count == 1
+        assert router["d2"].count == 1
+
+    def test_copies_are_independent(self):
+        captured = []
+
+        class Grabber:
+            pass
+
+        router = make_router(
+            "c :: Counter; t :: Tee(2); q1 :: Queue; q2 :: Queue;"
+            "u1 :: Unqueue; u2 :: Unqueue; d1 :: Discard; d2 :: Discard;"
+            "c -> t; t [0] -> q1 -> u1 -> d1; t [1] -> q2 -> u2 -> d2;"
+        )
+        router.push_packet("c", 0, Packet(b"shared"))
+        first = router["q1"].pull(0)
+        second = router["q2"].pull(0)
+        first.strip(2)
+        assert second.data == b"shared"
+
+
+class TestSwitches:
+    def test_static_switch_routes_one_way(self):
+        router = make_router(
+            "c :: Counter; s :: StaticSwitch(1); d0 :: Discard; d1 :: Discard;"
+            "c -> s; s [0] -> d0; s [1] -> d1;"
+        )
+        router.push_packet("c", 0, Packet(b"x"))
+        assert router["d0"].count == 0
+        assert router["d1"].count == 1
+
+    def test_static_switch_negative_drops(self):
+        router = make_router(
+            "c :: Counter; s :: StaticSwitch(-1); d0 :: Discard; c -> s; s -> d0;"
+        )
+        router.push_packet("c", 0, Packet(b"x"))
+        assert router["d0"].count == 0
+
+    def test_switch_is_writable(self):
+        router = make_router(
+            "c :: Counter; s :: Switch(0); d0 :: Discard; d1 :: Discard;"
+            "c -> s; s [0] -> d0; s [1] -> d1;"
+        )
+        router.push_packet("c", 0, Packet(b"x"))
+        router["s"].set_output(1)
+        router.push_packet("c", 0, Packet(b"y"))
+        assert router["d0"].count == 1
+        assert router["d1"].count == 1
+
+
+class TestStrip:
+    def test_strip_and_unstrip(self):
+        router = make_router(
+            "c :: Counter; s :: Strip(14); u :: Unstrip(14); q :: Queue;"
+            "uq :: Unqueue; d :: Discard; c -> s -> u -> q -> uq -> d;"
+        )
+        frame = bytes(range(34))
+        router.push_packet("c", 0, Packet(frame))
+        assert router["q"].pull(0).data == frame
+
+    def test_strip_short_packet_drops(self):
+        router = make_router("c :: Counter; s :: Strip(14); d :: Discard; c -> s -> d;")
+        router.push_packet("c", 0, Packet(b"short"))
+        assert router["d"].count == 0
+
+
+class TestCounterAndSample:
+    def test_counter_counts_bytes(self):
+        router = make_router("c :: Counter; d :: Discard; c -> d;")
+        router.push_packet("c", 0, Packet(b"12345"))
+        router.push_packet("c", 0, Packet(b"678"))
+        assert router["c"].count == 2
+        assert router["c"].byte_count == 8
+
+    def test_random_sample_extremes(self):
+        keep_all = make_router("c :: Counter; r :: RandomSample(1.0); d :: Discard; c -> r -> d;")
+        drop_all = make_router("c :: Counter; r :: RandomSample(0.0); d :: Discard; c -> r -> d;")
+        for _ in range(20):
+            keep_all.push_packet("c", 0, Packet(b"x"))
+            drop_all.push_packet("c", 0, Packet(b"x"))
+        assert keep_all["d"].count == 20
+        assert drop_all["d"].count == 0
+        assert drop_all["r"].drops == 20

@@ -1,0 +1,245 @@
+"""Unit tests for IP-path elements."""
+
+import struct
+
+import pytest
+
+from repro.elements import ConfigError, Router
+from repro.lang.build import parse_graph
+from repro.net.checksum import verify_checksum
+from repro.net.headers import IP_PROTO_UDP, IPHeader, build_udp_packet
+from repro.net.packet import Packet, make_packet
+
+
+def make_router(text, entry="first"):
+    if entry is not None:
+        text += " feeder :: Idle; feeder -> %s;" % entry
+    return Router(parse_graph(text))
+
+
+def capture_router(element_decl, noutputs=1):
+    """``feeder -> first :: <decl> -> q0, [1]-> q1 ...`` capture queues."""
+    parts = ["first :: %s;" % element_decl, "feeder :: Idle; feeder -> first;"]
+    for port in range(noutputs):
+        parts.append("q%d :: Queue(16); u%d :: Unqueue; d%d :: Discard;" % (port, port, port))
+        parts.append("first [%d] -> q%d; q%d -> u%d -> d%d;" % (port, port, port, port, port))
+    return Router(parse_graph(" ".join(parts)))
+
+
+def good_packet(ttl=64, src="1.0.0.2", dst="2.0.0.2"):
+    return Packet(build_udp_packet(src, dst, payload=b"\x00" * 14, ttl=ttl))
+
+
+class TestPaint:
+    def test_sets_annotation(self):
+        router = capture_router("Paint(2)")
+        router.push_packet("first", 0, good_packet())
+        assert router["q0"].pull(0).paint == 2
+
+    def test_needs_color(self):
+        with pytest.raises(ConfigError):
+            capture_router("Paint()")
+
+
+class TestPaintTee:
+    def test_matching_paint_copied_to_port_1(self):
+        router = capture_router("CheckPaint(1)", noutputs=2)
+        packet = good_packet()
+        packet.paint = 1
+        router.push_packet("first", 0, packet)
+        assert len(router["q0"]) == 1
+        assert len(router["q1"]) == 1
+
+    def test_non_matching_paint_goes_straight_through(self):
+        router = capture_router("CheckPaint(1)", noutputs=2)
+        packet = good_packet()
+        packet.paint = 2
+        router.push_packet("first", 0, packet)
+        assert len(router["q0"]) == 1
+        assert len(router["q1"]) == 0
+
+
+class TestCheckIPHeader:
+    def test_valid_packet_passes_and_annotates(self):
+        router = capture_router("CheckIPHeader()")
+        router.push_packet("first", 0, good_packet(dst="2.0.0.2"))
+        out = router["q0"].pull(0)
+        assert out is not None
+        assert str(out.dest_ip_anno) == "2.0.0.2"
+        assert out.ip_header_offset == 0
+
+    @pytest.mark.parametrize(
+        "corrupt",
+        [
+            lambda d: b"\x55" + d[1:],  # wrong version
+            lambda d: b"\x44" + d[1:],  # IHL 4 < 5
+            lambda d: d[:2] + b"\xff\xff" + d[4:],  # total length too big
+            lambda d: d[:10] + b"\x00\x00" + d[12:],  # broken checksum
+        ],
+    )
+    def test_bad_headers_dropped(self, corrupt):
+        router = capture_router("CheckIPHeader()")
+        data = good_packet().data
+        router.push_packet("first", 0, Packet(corrupt(data)))
+        assert len(router["q0"]) == 0
+        assert router["first"].drops == 1
+
+    def test_bad_src_list(self):
+        router = capture_router("CheckIPHeader(1.0.0.2 7.7.7.7)")
+        router.push_packet("first", 0, good_packet(src="1.0.0.2"))
+        assert len(router["q0"]) == 0
+
+    def test_broadcast_src_always_bad(self):
+        packet = good_packet()
+        data = bytearray(packet.data)
+        data[12:16] = b"\xff\xff\xff\xff"
+        # Fix the checksum for the new source.
+        data[10:12] = b"\x00\x00"
+        from repro.net.checksum import internet_checksum
+
+        struct.pack_into("!H", data, 10, internet_checksum(data[:20]))
+        router = capture_router("CheckIPHeader()")
+        router.push_packet("first", 0, Packet(bytes(data)))
+        assert len(router["q0"]) == 0
+
+    def test_second_output_gets_bad_packets(self):
+        router = capture_router("CheckIPHeader()", noutputs=2)
+        router.push_packet("first", 0, Packet(b"\x00" * 20))
+        assert len(router["q0"]) == 0
+        assert len(router["q1"]) == 1
+
+
+class TestGetIPAddress:
+    def test_reads_destination(self):
+        router = capture_router("GetIPAddress(16)")
+        router.push_packet("first", 0, good_packet(dst="9.8.7.6"))
+        assert str(router["q0"].pull(0).dest_ip_anno) == "9.8.7.6"
+
+    def test_short_packet_dropped(self):
+        router = capture_router("GetIPAddress(16)")
+        router.push_packet("first", 0, Packet(b"\x00" * 10))
+        assert len(router["q0"]) == 0
+
+
+class TestDropBroadcasts:
+    def test_broadcast_annotation_dropped(self):
+        router = capture_router("DropBroadcasts")
+        packet = make_packet(good_packet().data, packet_type="broadcast")
+        router.push_packet("first", 0, packet)
+        assert len(router["q0"]) == 0
+        assert router["first"].drops == 1
+
+    def test_host_packets_pass(self):
+        router = capture_router("DropBroadcasts")
+        packet = make_packet(good_packet().data, packet_type="host")
+        router.push_packet("first", 0, packet)
+        assert len(router["q0"]) == 1
+
+
+class TestDecIPTTL:
+    def test_decrements_and_fixes_checksum(self):
+        router = capture_router("DecIPTTL", noutputs=2)
+        router.push_packet("first", 0, good_packet(ttl=64))
+        out = router["q0"].pull(0)
+        header = IPHeader.unpack(out.data)
+        assert header.ttl == 63
+        assert verify_checksum(out.data[:20])
+
+    @pytest.mark.parametrize("ttl", [0, 1])
+    def test_expired_ttl_to_error_output(self, ttl):
+        router = capture_router("DecIPTTL", noutputs=2)
+        router.push_packet("first", 0, good_packet(ttl=ttl))
+        assert len(router["q0"]) == 0
+        assert len(router["q1"]) == 1
+        assert router["first"].expired == 1
+
+
+class TestFixIPSrc:
+    def test_rewrites_when_annotated(self):
+        router = capture_router("FixIPSrc(2.0.0.1)")
+        packet = good_packet(src="9.9.9.9")
+        packet.fix_ip_src_anno = True
+        router.push_packet("first", 0, packet)
+        out = router["q0"].pull(0)
+        header = IPHeader.unpack(out.data)
+        assert str(header.src) == "2.0.0.1"
+        assert verify_checksum(out.data[:20])
+        assert not out.fix_ip_src_anno
+
+    def test_leaves_unannotated_packets(self):
+        router = capture_router("FixIPSrc(2.0.0.1)")
+        router.push_packet("first", 0, good_packet(src="9.9.9.9"))
+        assert str(IPHeader.unpack(router["q0"].pull(0).data).src) == "9.9.9.9"
+
+
+class TestIPGWOptions:
+    def test_no_options_pass(self):
+        router = capture_router("IPGWOptions(1.0.0.1)", noutputs=2)
+        router.push_packet("first", 0, good_packet())
+        assert len(router["q0"]) == 1
+
+    def test_valid_options_pass(self):
+        # IHL 6, one NOP-padded option block.
+        header = IPHeader(
+            src="1.0.0.2", dst="2.0.0.2", header_length=24, total_length=24,
+            protocol=IP_PROTO_UDP,
+        )
+        raw = bytearray(header.pack())
+        raw[20:24] = bytes([1, 1, 1, 0])  # NOP NOP NOP EOL
+        from repro.net.checksum import internet_checksum
+
+        raw[10:12] = b"\x00\x00"
+        struct.pack_into("!H", raw, 10, internet_checksum(raw))
+        router = capture_router("IPGWOptions(1.0.0.1)", noutputs=2)
+        router.push_packet("first", 0, Packet(bytes(raw)))
+        assert len(router["q0"]) == 1
+
+    def test_malformed_option_to_error_output(self):
+        header = IPHeader(
+            src="1.0.0.2", dst="2.0.0.2", header_length=24, total_length=24,
+        )
+        raw = bytearray(header.pack())
+        raw[20:24] = bytes([7, 1, 0, 0])  # RR option with absurd length 1
+        router = capture_router("IPGWOptions(1.0.0.1)", noutputs=2)
+        router.push_packet("first", 0, Packet(bytes(raw)))
+        assert len(router["q0"]) == 0
+        assert len(router["q1"]) == 1
+
+
+class TestIPFragmenter:
+    def test_small_packets_untouched(self):
+        router = capture_router("IPFragmenter(1500)", noutputs=2)
+        router.push_packet("first", 0, good_packet())
+        assert len(router["q0"]) == 1
+
+    def test_fragments_large_packet(self):
+        router = capture_router("IPFragmenter(576)", noutputs=2)
+        payload = bytes(range(256)) * 4  # 1024 payload bytes
+        packet = Packet(build_udp_packet("1.0.0.2", "2.0.0.2", payload=payload))
+        router.push_packet("first", 0, packet)
+        fragments = []
+        while True:
+            fragment = router["q0"].pull(0)
+            if fragment is None:
+                break
+            fragments.append(fragment)
+        assert len(fragments) >= 2
+        # Every fragment fits the MTU and has a valid checksum.
+        reassembled = b""
+        for index, fragment in enumerate(fragments):
+            assert len(fragment) <= 576
+            header = IPHeader.unpack(fragment.data)
+            assert verify_checksum(fragment.data[: header.header_length])
+            assert header.more_fragments == (index < len(fragments) - 1)
+            reassembled += fragment.data[header.header_length:]
+        original = build_udp_packet("1.0.0.2", "2.0.0.2", payload=payload)
+        assert reassembled == original[20:]
+
+    def test_df_packets_to_error_output(self):
+        router = capture_router("IPFragmenter(576)", noutputs=2)
+        header = IPHeader(
+            src="1.0.0.2", dst="2.0.0.2", flags=0x2, total_length=1020,
+        )
+        router.push_packet("first", 0, Packet(header.pack() + bytes(1000)))
+        assert len(router["q0"]) == 0
+        assert len(router["q1"]) == 1

@@ -1,0 +1,157 @@
+"""Pull-path coverage for agnostic elements.
+
+Agnostic elements (processing ``a/a`` or ``a/ah``) must behave
+identically whether they sit on a push path or a pull path (downstream
+of a Queue).  These tests drive the pull implementations the IP router
+never exercises.
+"""
+
+import pytest
+
+from repro.elements import Router
+from repro.lang.build import parse_graph
+from repro.net.headers import IPHeader, build_udp_packet
+from repro.net.packet import Packet
+
+
+def pull_router(middle_decl, extra=""):
+    """feeder -> Queue -> <middle> -> Unqueue -> Discard, pulled."""
+    return Router(
+        parse_graph(
+            "feeder :: Idle; q :: Queue(16); mid :: %s; u :: Unqueue(4);"
+            "d :: Discard; feeder -> q -> mid -> u -> d; %s" % (middle_decl, extra)
+        )
+    )
+
+
+def good_packet(ttl=64):
+    return Packet(build_udp_packet("1.0.0.2", "2.0.0.2", payload=b"\x00" * 14, ttl=ttl))
+
+
+class TestPullPaths:
+    def test_counter_counts_on_pull(self):
+        router = pull_router("Counter")
+        router["q"].push(0, good_packet())
+        router.run_tasks(2)
+        assert router["mid"].count == 1
+        assert router["d"].count == 1
+
+    def test_strip_strips_on_pull(self):
+        router = pull_router("Strip(20)")
+        router["q"].push(0, good_packet())
+        router.run_tasks(2)
+        assert router["d"].count == 1
+
+    def test_decipttl_decrements_on_pull(self):
+        captured = []
+        router = pull_router("DecIPTTL")
+        router["q"].push(0, good_packet(ttl=5))
+        packet = router["u"].input(0).pull()
+        assert IPHeader.unpack(packet.data).ttl == 4
+
+    def test_decipttl_expired_consumed_on_pull(self):
+        # With one output, expired packets vanish (pull returns None).
+        router = pull_router("DecIPTTL")
+        router["q"].push(0, good_packet(ttl=1))
+        assert router["u"].input(0).pull() is None
+        assert router["mid"].expired == 1
+
+    def test_checkipheader_validates_on_pull(self):
+        router = pull_router("CheckIPHeader()")
+        router["q"].push(0, good_packet())
+        router["q"].push(0, Packet(b"garbage"))
+        first = router["u"].input(0).pull()
+        assert first is not None and str(first.dest_ip_anno) == "2.0.0.2"
+        assert router["u"].input(0).pull() is None
+        assert router["mid"].drops == 1
+
+    def test_painttee_copies_on_pull(self):
+        router = pull_router(
+            "CheckPaint(3)",
+            extra="mid [1] -> side :: Queue(8); side -> u2 :: Unqueue -> Discard;",
+        )
+        packet = good_packet()
+        packet.paint = 3
+        router["q"].push(0, packet)
+        pulled = router["u"].input(0).pull()
+        assert pulled is not None
+        assert len(router["side"]) == 1  # the redirect copy
+
+    def test_random_sample_drop_on_pull(self):
+        router = pull_router("RandomSample(0.0)")
+        router["q"].push(0, good_packet())
+        assert router["u"].input(0).pull() is None
+        assert router["mid"].drops == 1
+
+    def test_ipgwoptions_passes_on_pull(self):
+        router = pull_router("IPGWOptions(1.0.0.1)")
+        router["q"].push(0, good_packet())
+        assert router["u"].input(0).pull() is not None
+
+    def test_checklength_filters_on_pull(self):
+        router = pull_router("CheckLength(10)")
+        router["q"].push(0, Packet(b"tiny"))
+        router["q"].push(0, Packet(b"x" * 50))
+        assert router["u"].input(0).pull().data == b"tiny"
+        assert router["u"].input(0).pull() is None
+        assert router["mid"].drops == 1
+
+    def test_hostetherfilter_on_pull(self):
+        from repro.net.headers import make_ether_header
+
+        router = pull_router("HostEtherFilter(00:00:C0:AA:00:00)")
+        mine = make_ether_header("00:00:C0:AA:00:00", "00:20:6F:00:00:01", 0x0800)
+        router["q"].push(0, Packet(mine + bytes(46)))
+        pulled = router["u"].input(0).pull()
+        assert pulled.user_annos["packet_type"] == "host"
+
+
+class TestEnsureEther:
+    def test_passes_existing_ether(self):
+        from repro.net.headers import make_ether_header
+
+        router = pull_router("EnsureEther(0x0800, 00:00:C0:AA:00:00, 00:00:C0:BB:00:00)")
+        frame = make_ether_header("00:11:22:33:44:55", "66:77:88:99:AA:BB", 0x0800) + bytes(20)
+        router["q"].push(0, Packet(frame))
+        pulled = router["u"].input(0).pull()
+        assert pulled.data == frame  # untouched
+
+    def test_wraps_bare_ip(self):
+        from repro.net.headers import ETHER_HEADER_LEN, EtherHeader
+
+        router = pull_router("EnsureEther(0x0800, 00:00:C0:AA:00:00, 00:00:C0:BB:00:00)")
+        router["q"].push(0, good_packet())
+        pulled = router["u"].input(0).pull()
+        header = EtherHeader.unpack(pulled.data)
+        assert header.ether_type == 0x0800
+        assert header.dst == "00:00:C0:BB:00:00"
+        assert pulled.data[ETHER_HEADER_LEN] >> 4 == 4
+
+
+class TestErrorCollector:
+    def test_format_and_ok(self):
+        from repro.errors import ErrorCollector, SourceLocation
+
+        collector = ErrorCollector()
+        assert collector.ok
+        collector.warning("heads up", SourceLocation("f.click", 2, 1))
+        assert collector.ok  # warnings don't fail
+        collector.error("broken", SourceLocation("f.click", 3, 7))
+        assert not collector.ok
+        report = collector.format()
+        assert "f.click:3:7: error: broken" in report
+        assert "f.click:2:1: warning: heads up" in report
+
+    def test_raise_if_errors_summarizes(self):
+        from repro.errors import ClickSemanticError, ErrorCollector
+
+        collector = ErrorCollector()
+        collector.error("first problem")
+        collector.error("second problem")
+        with pytest.raises(ClickSemanticError, match="1 more error"):
+            collector.raise_if_errors()
+
+    def test_raise_if_clean_is_noop(self):
+        from repro.errors import ErrorCollector
+
+        ErrorCollector().raise_if_errors()

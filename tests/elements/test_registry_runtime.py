@@ -1,0 +1,128 @@
+"""Tests for the element registry, the specification export (§5.3), and
+the runtime Router's error handling."""
+
+import pytest
+
+from repro.elements import (
+    ELEMENT_CLASSES,
+    ConfigError,
+    Element,
+    Router,
+    default_specs,
+    export_specs,
+    parse_spec_file,
+)
+from repro.errors import ClickSemanticError
+from repro.lang.build import parse_graph
+
+
+class TestRegistry:
+    def test_core_classes_registered(self):
+        for name in ("Queue", "Classifier", "ARPQuerier", "PollDevice", "IPInputCombo"):
+            assert name in ELEMENT_CLASSES
+
+    def test_default_specs_cover_registry(self):
+        specs = default_specs()
+        assert set(specs) >= set(ELEMENT_CLASSES)
+
+    def test_spec_export_round_trips(self):
+        """The structured spec file — what a separate-process tool loads
+        instead of linking element code — must round-trip faithfully."""
+        text = export_specs()
+        parsed = parse_spec_file(text)
+        for name, cls in ELEMENT_CLASSES.items():
+            assert parsed[name].processing.text == cls.processing
+            assert parsed[name].flow_code.text == cls.flow_code
+            assert parsed[name].port_counts.text == cls.port_counts
+
+    def test_spec_file_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_spec_file("Queue only-two-fields\n")
+
+    def test_duplicate_registration_rejected(self):
+        from repro.elements.registry import register
+
+        class Fake(Element):
+            class_name = "Queue"
+
+        with pytest.raises(ValueError):
+            register(Fake)
+
+    def test_specs_match_click_conventions(self):
+        """Spot-check the processing codes the paper mentions."""
+        specs = default_specs()
+        assert specs["Queue"].processing.text == "h/l"
+        assert specs["ARPQuerier"].flow_code.text == "xy/x"
+        assert specs["Discard"].port_counts.inputs_ok(1)
+        assert not specs["Discard"].port_counts.outputs_ok(1)
+
+
+class TestRuntimeErrors:
+    def test_unknown_class_rejected(self):
+        with pytest.raises(ClickSemanticError, match="unknown element class"):
+            Router(parse_graph("f :: Idle; x :: Mystery; f -> x;"))
+
+    def test_unflattened_compound_rejected(self):
+        graph = parse_graph(
+            "elementclass W { input -> output; } f :: Idle; w :: W; f -> w -> Discard;"
+        )
+        with pytest.raises(ClickSemanticError, match="flattened"):
+            Router(graph)
+
+    def test_push_output_fanout_rejected(self):
+        graph = parse_graph(
+            "f :: Idle; c :: Counter; d1 :: Discard; d2 :: Discard;"
+            "f -> c; c -> d1; c -> d2;"
+        )
+        with pytest.raises(ClickSemanticError, match="push output"):
+            Router(graph)
+
+    def test_pull_input_fanin_rejected(self):
+        graph = parse_graph(
+            "q1 :: Queue; q2 :: Queue; u :: Unqueue; f1 :: Idle; f2 :: Idle;"
+            "f1 -> q1; f2 -> q2; q1 -> u; q2 -> u; u -> Discard;"
+        )
+        with pytest.raises(ClickSemanticError, match="pull input"):
+            Router(graph)
+
+    def test_unconnected_output_rejected(self):
+        graph = parse_graph(
+            "f :: Idle; c :: Classifier(12/0800, -); f -> c; c [1] -> Discard;"
+        )
+        with pytest.raises(ClickSemanticError, match="unconnected"):
+            Router(graph)
+
+    def test_config_error_carries_element_name(self):
+        with pytest.raises(ConfigError):
+            Router(parse_graph("f :: Idle; s :: Strip(bogus); f -> s -> Discard;"))
+
+    def test_missing_device_rejected(self):
+        graph = parse_graph("pd :: PollDevice(eth9); pd -> Discard;")
+        with pytest.raises(ConfigError, match="no such device"):
+            Router(graph, devices={})
+
+
+class TestRouterQueries:
+    def test_find_and_indexing(self):
+        router = Router(parse_graph("f :: Idle; c :: Counter; f -> c -> Discard;"))
+        assert router["c"].class_name == "Counter"
+        assert router.find("c") is router["c"]
+        assert router.find("nope") is None
+        assert [e.name for e in router.elements_of_class("Counter")] == ["c"]
+
+    def test_tasks_collected_in_order(self):
+        router = Router(
+            parse_graph(
+                "s1 :: InfiniteSource(x, 1); s2 :: InfiniteSource(y, 1);"
+                "s1 -> Discard; s2 -> Discard;"
+            )
+        )
+        assert [t.name for t in router.tasks] == ["s1", "s2"]
+
+    def test_meter_optional(self):
+        router = Router(parse_graph("f :: Idle; c :: Counter; f -> c -> Discard;"))
+        assert router.meter is None
+        from repro.net.packet import Packet
+
+        router.push_packet("c", 0, Packet(b"x"))  # no meter: still works
+        assert router["c"].count == 1

@@ -1,0 +1,141 @@
+"""Unit tests for schedulers and the extra utility elements."""
+
+import pytest
+
+from repro.elements import ConfigError, Router
+from repro.lang.build import parse_graph
+from repro.net.checksum import verify_checksum
+from repro.net.headers import build_udp_packet
+from repro.net.packet import Packet, make_packet
+
+
+def sched_router(sched_decl, inputs=2):
+    parts = ["s :: %s;" % sched_decl, "u :: Unqueue(1); d :: Discard; s -> u -> d;"]
+    for i in range(inputs):
+        parts.append("f%d :: Idle; q%d :: Queue(16); f%d -> q%d -> [%d] s;" % (i, i, i, i, i))
+    return Router(parse_graph(" ".join(parts)))
+
+
+class TestRoundRobinSched:
+    def test_alternates_between_inputs(self):
+        router = sched_router("RoundRobinSched")
+        for tag in (b"a0", b"a1"):
+            router["q0"].push(0, Packet(tag))
+        for tag in (b"b0", b"b1"):
+            router["q1"].push(0, Packet(tag))
+        order = [router["s"].pull(0).data for _ in range(4)]
+        assert order == [b"a0", b"b0", b"a1", b"b1"]
+
+    def test_skips_empty_inputs(self):
+        router = sched_router("RoundRobinSched")
+        router["q1"].push(0, Packet(b"only"))
+        assert router["s"].pull(0).data == b"only"
+        assert router["s"].pull(0) is None
+
+
+class TestPrioSched:
+    def test_input_zero_first(self):
+        router = sched_router("PrioSched")
+        router["q1"].push(0, Packet(b"low"))
+        router["q0"].push(0, Packet(b"high"))
+        assert router["s"].pull(0).data == b"high"
+        assert router["s"].pull(0).data == b"low"
+
+    def test_falls_through_when_high_empty(self):
+        router = sched_router("PrioSched")
+        router["q1"].push(0, Packet(b"low"))
+        assert router["s"].pull(0).data == b"low"
+
+
+class TestRatedSource:
+    def test_respects_limit(self):
+        router = Router(parse_graph('r :: RatedSource("x", 100000, 7); d :: Discard; r -> d;'))
+        for _ in range(100):
+            router.run_tasks(1)
+        assert router["d"].count == 7
+
+    def test_rate_bounds_emission(self):
+        # 1000 packets/s at 1 ms per tick = ~1 packet per tick.
+        router = Router(parse_graph('r :: RatedSource("x", 1000, -1); d :: Discard; r -> d;'))
+        router.run_tasks(50)
+        assert 40 <= router["d"].count <= 60
+
+
+class TestPaintSwitch:
+    def test_routes_by_paint(self):
+        router = Router(
+            parse_graph(
+                "f :: Idle; ps :: PaintSwitch; d0 :: Discard; d1 :: Discard;"
+                "f -> ps; ps [0] -> d0; ps [1] -> d1;"
+            )
+        )
+        router.push_packet("ps", 0, make_packet(b"x", paint=1))
+        router.push_packet("ps", 0, make_packet(b"x", paint=0))
+        router.push_packet("ps", 0, make_packet(b"x", paint=9))
+        assert router["d0"].count == 1
+        assert router["d1"].count == 1
+        assert router["ps"].drops == 1
+
+
+class TestCheckLength:
+    def test_splits_by_length(self):
+        router = Router(
+            parse_graph(
+                "f :: Idle; cl :: CheckLength(10); ok :: Discard; big :: Discard;"
+                "f -> cl; cl [0] -> ok; cl [1] -> big;"
+            )
+        )
+        router.push_packet("cl", 0, Packet(b"short"))
+        router.push_packet("cl", 0, Packet(b"much much too long"))
+        assert router["ok"].count == 1
+        assert router["big"].count == 1
+
+    def test_drops_without_second_output(self):
+        router = Router(
+            parse_graph("f :: Idle; cl :: CheckLength(4); d :: Discard; f -> cl -> d;")
+        )
+        router.push_packet("cl", 0, Packet(b"toolong"))
+        assert router["d"].count == 0
+        assert router["cl"].drops == 1
+
+
+class TestSetIPChecksum:
+    def test_repairs_broken_checksum(self):
+        router = Router(
+            parse_graph("f :: Idle; s :: SetIPChecksum; q :: Queue; u :: Unqueue;"
+                        "d :: Discard; f -> s -> q -> u -> d;")
+        )
+        packet = bytearray(build_udp_packet("1.0.0.2", "2.0.0.2", payload=b"\x00" * 14))
+        packet[10:12] = b"\xde\xad"  # corrupt
+        router.push_packet("s", 0, Packet(bytes(packet)))
+        out = router["q"].pull(0)
+        assert verify_checksum(out.data[:20])
+
+    def test_short_packet_dropped(self):
+        router = Router(
+            parse_graph("f :: Idle; s :: SetIPChecksum; d :: Discard; f -> s -> d;")
+        )
+        router.push_packet("s", 0, Packet(b"tiny"))
+        assert router["d"].count == 0
+
+
+class TestStripToNetworkHeader:
+    def test_strips_recorded_offset(self):
+        router = Router(
+            parse_graph("f :: Idle; s :: StripToNetworkHeader; q :: Queue; u :: Unqueue;"
+                        "d :: Discard; f -> s -> q -> u -> d;")
+        )
+        packet = Packet(b"EEEEEEEEEEEEEE" + build_udp_packet("1.0.0.2", "2.0.0.2"))
+        packet.ip_header_offset = 14
+        router.push_packet("s", 0, packet)
+        out = router["q"].pull(0)
+        assert out.data[0] >> 4 == 4  # now starts at the IP header
+        assert out.ip_header_offset == 0
+
+    def test_no_offset_is_identity(self):
+        router = Router(
+            parse_graph("f :: Idle; s :: StripToNetworkHeader; q :: Queue; u :: Unqueue;"
+                        "d :: Discard; f -> s -> q -> u -> d;")
+        )
+        router.push_packet("s", 0, Packet(b"payload"))
+        assert router["q"].pull(0).data == b"payload"

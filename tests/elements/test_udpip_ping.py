@@ -1,0 +1,167 @@
+"""Tests for UDPIPEncap, SetUDPChecksum, ICMPPingResponder, Shaper,
+TimedSource, and FrontDropQueue."""
+
+import struct
+
+import pytest
+
+from repro.elements import Router
+from repro.lang.build import parse_graph
+from repro.net.checksum import internet_checksum, verify_checksum
+from repro.net.headers import (
+    IP_HEADER_LEN,
+    IP_PROTO_ICMP,
+    IP_PROTO_UDP,
+    IPHeader,
+    UDPHeader,
+)
+from repro.net.packet import Packet
+
+
+def capture_router(decl):
+    return Router(
+        parse_graph(
+            "feeder :: Idle; first :: %s; q :: Queue(16); u :: Unqueue; d :: Discard;"
+            "feeder -> first -> q -> u -> d;" % decl
+        )
+    )
+
+
+class TestUDPIPEncap:
+    def test_encapsulates_payload(self):
+        router = capture_router("UDPIPEncap(1.0.0.1, 1234, 2.0.0.2, 53)")
+        router.push_packet("first", 0, Packet(b"query!"))
+        out = router["q"].pull(0)
+        ip = IPHeader.unpack(out.data)
+        assert ip.protocol == IP_PROTO_UDP
+        assert str(ip.dst) == "2.0.0.2"
+        assert verify_checksum(out.data[:20])
+        udp = UDPHeader.unpack(out.data[IP_HEADER_LEN:])
+        assert (udp.src_port, udp.dst_port) == (1234, 53)
+        assert out.data[IP_HEADER_LEN + 8:] == b"query!"
+        assert str(out.dest_ip_anno) == "2.0.0.2"
+
+    def test_identification_increments(self):
+        router = capture_router("UDPIPEncap(1.0.0.1, 1, 2.0.0.2, 2)")
+        router.push_packet("first", 0, Packet(b"a"))
+        router.push_packet("first", 0, Packet(b"b"))
+        first = IPHeader.unpack(router["q"].pull(0).data).identification
+        second = IPHeader.unpack(router["q"].pull(0).data).identification
+        assert second == first + 1
+
+
+class TestSetUDPChecksum:
+    def test_checksum_verifies_with_pseudo_header(self):
+        from repro.net.headers import build_udp_packet
+
+        router = capture_router("SetUDPChecksum")
+        packet = build_udp_packet("1.0.0.1", "2.0.0.2", payload=b"data")
+        router.push_packet("first", 0, Packet(packet))
+        out = router["q"].pull(0).data
+        udp_length = struct.unpack_from("!H", out, IP_HEADER_LEN + 4)[0]
+        pseudo = out[12:20] + bytes([0, IP_PROTO_UDP]) + struct.pack("!H", udp_length)
+        assert internet_checksum(pseudo + out[IP_HEADER_LEN:]) in (0, 0xFFFF)
+        assert struct.unpack_from("!H", out, IP_HEADER_LEN + 6)[0] != 0
+
+
+class TestICMPPingResponder:
+    def ping(self, src="1.0.0.2", dst="1.0.0.1"):
+        ip = IPHeader(src=src, dst=dst, protocol=IP_PROTO_ICMP, total_length=28, ttl=9)
+        icmp = bytearray(struct.pack("!BBHHH", 8, 0, 0, 0x1234, 1))
+        icmp[2:4] = struct.pack("!H", internet_checksum(icmp))
+        return ip.pack() + bytes(icmp)
+
+    def test_echo_becomes_reply(self):
+        router = capture_router("ICMPPingResponder")
+        router.push_packet("first", 0, Packet(self.ping()))
+        out = router["q"].pull(0)
+        ip = IPHeader.unpack(out.data)
+        assert str(ip.dst) == "1.0.0.2"  # back to the pinger
+        assert str(ip.src) == "1.0.0.1"
+        assert verify_checksum(out.data[:20])
+        assert out.data[20] == 0  # echo reply
+        assert verify_checksum(out.data[20:])
+        assert str(out.dest_ip_anno) == "1.0.0.2"
+        # The identifier/sequence survive (same echo payload).
+        assert out.data[24:28] == struct.pack("!HH", 0x1234, 1)
+
+    def test_non_echo_dropped(self):
+        router = capture_router("ICMPPingResponder")
+        from repro.net.headers import build_udp_packet
+
+        router.push_packet("first", 0, Packet(build_udp_packet("1.0.0.2", "1.0.0.1")))
+        assert len(router["q"]) == 0
+
+
+class TestPingableRouter:
+    def test_router_answers_ping_end_to_end(self):
+        from repro.configs.iprouter import default_interfaces, ip_router_config
+        from repro.core.toolchain import load_config
+        from repro.elements import LoopbackDevice
+        from repro.net.headers import ETHER_HEADER_LEN, EtherHeader, make_ether_header
+
+        interfaces = default_interfaces(2)
+        graph = load_config(ip_router_config(interfaces, answer_pings=True))
+        devices = {"eth0": LoopbackDevice("eth0"), "eth1": LoopbackDevice("eth1")}
+        router = Router(graph, devices=devices)
+        router["arpq0"].insert("1.0.0.2", "00:20:6F:03:04:05")
+
+        echo = TestICMPPingResponder().ping(src="1.0.0.2", dst="1.0.0.1")
+        frame = make_ether_header(interfaces[0].ether, "00:20:6F:03:04:05", 0x0800) + echo
+        devices["eth0"].receive_frame(frame)
+        router.run_tasks(30)
+        (reply,) = devices["eth0"].transmitted
+        assert EtherHeader.unpack(reply).dst == "00:20:6F:03:04:05"
+        assert reply[ETHER_HEADER_LEN + 20] == 0  # echo reply
+
+    def test_pingable_router_still_optimizes(self):
+        """The full optimizer chain handles the extended configuration."""
+        from repro.configs.iprouter import ip_router_config
+        from repro.core import devirtualize, fastclassifier, xform
+        from repro.core.check import check
+        from repro.core.patterns import STANDARD_PATTERNS
+        from repro.core.toolchain import load_config
+
+        graph = load_config(ip_router_config(answer_pings=True))
+        transformed = xform(fastclassifier(graph), STANDARD_PATTERNS)
+        assert transformed.elements_of_class("IPInputCombo")
+        optimized = devirtualize(transformed)
+        assert check(optimized).ok, check(optimized).format()
+        # After devirtualization every combo is a specialized subclass.
+        assert any(
+            d.class_name.startswith("Devirtualize@@") for d in optimized.elements.values()
+        )
+
+
+class TestShaping:
+    def test_shaper_limits_rate(self):
+        router = Router(
+            parse_graph(
+                "f :: Idle; q :: Queue(1000); sh :: Shaper(2000); u :: Unqueue(100);"
+                "d :: Discard; f -> q -> sh -> u -> d;"
+            )
+        )
+        for _ in range(500):
+            router["q"].push(0, Packet(b"x"))
+        router.run_tasks(50)  # 50 ms simulated; 2000 pps -> ~100 packets
+        assert 80 <= router["d"].count <= 120
+
+    def test_timed_source_interval(self):
+        router = Router(
+            parse_graph('t :: TimedSource(0.01, "tick"); d :: Discard; t -> d;')
+        )
+        router.run_tasks(100)  # 100 ms at 10 ms intervals
+        assert 9 <= router["d"].count <= 11
+
+    def test_front_drop_queue_keeps_newest(self):
+        router = Router(
+            parse_graph(
+                "f :: Idle; q :: FrontDropQueue(3); u :: Unqueue; d :: Discard;"
+                "f -> q -> u -> d;"
+            )
+        )
+        for index in range(6):
+            router["q"].push(0, Packet(bytes([index])))
+        kept = [router["q"].pull(0).data[0] for _ in range(3)]
+        assert kept == [3, 4, 5]  # oldest were dropped
+        assert router["q"].drops == 3

@@ -1,0 +1,63 @@
+"""Unit tests for flow codes."""
+
+import pytest
+
+from repro.graph.flow import FlowCode, FlowError
+
+
+class TestFlowCode:
+    def test_full_flow(self):
+        code = FlowCode("x/x")
+        assert code.flows(0, 0)
+        assert code.flows(3, 5)  # last char repeats
+
+    def test_arp_querier_style(self):
+        # ARPQuerier: IP packets (input 0) flow to output 0; ARP replies
+        # (input 1) are consumed.
+        code = FlowCode("xy/x")
+        assert code.flows(0, 0)
+        assert not code.flows(1, 0)
+
+    def test_hash_matches_same_port(self):
+        code = FlowCode("#/#")
+        assert code.flows(2, 2)
+        assert not code.flows(2, 3)
+
+    def test_dash_never_flows(self):
+        code = FlowCode("x/-")
+        assert not code.flows(0, 0)
+
+    def test_forward_and_backward_ports(self):
+        code = FlowCode("xy/xxy")
+        assert code.forward_ports(0, 3) == [0, 1]
+        assert code.forward_ports(1, 3) == [2]
+        assert code.backward_ports(2, 2) == [1]
+
+    @pytest.mark.parametrize("bad", ["", "/", "x/!"])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(FlowError):
+            FlowCode(bad)
+
+
+class TestFlowTraversal:
+    def test_flow_reachable_respects_flow_codes(self):
+        from repro.graph.ports import ClassSpec
+        from repro.graph.visitor import flow_reachable_connections
+        from repro.lang.build import parse_graph
+
+        specs = {
+            "ARPQuerier": ClassSpec("ARPQuerier", flow_code="xy/x"),
+            "Counter": ClassSpec("Counter"),
+            "Discard": ClassSpec("Discard", port_counts="1/0"),
+        }
+        graph = parse_graph(
+            """
+            arpq :: ARPQuerier; c :: Counter; d :: Discard;
+            c -> [1] arpq; arpq -> d;
+            """
+        )
+        # Packets entering ARPQuerier input 1 never reach output 0.
+        conns = flow_reachable_connections(graph, specs, "c")
+        touched = {conn.to_element for conn in conns}
+        assert "arpq" in touched
+        assert "d" not in touched

@@ -1,0 +1,104 @@
+"""Unit tests for processing codes and push/pull resolution."""
+
+import pytest
+
+from repro.graph.ports import (
+    ClassSpec,
+    PortCountSpec,
+    ProcessingCode,
+    ProcessingError,
+    resolve_processing,
+)
+from repro.lang.build import parse_graph
+
+
+class TestProcessingCode:
+    def test_basic_split(self):
+        code = ProcessingCode("h/l")
+        assert code.input_code(0) == "h"
+        assert code.output_code(0) == "l"
+
+    def test_last_character_repeats(self):
+        code = ProcessingCode("a/ah")
+        assert code.output_code(0) == "a"
+        assert code.output_code(1) == "h"
+        assert code.output_code(7) == "h"
+
+    def test_bare_code_applies_both_sides(self):
+        code = ProcessingCode("a")
+        assert code.input_code(0) == "a"
+        assert code.output_code(0) == "a"
+
+    @pytest.mark.parametrize("bad", ["", "/", "x/h", "h/", "h/q"])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ProcessingError):
+            ProcessingCode(bad)
+
+
+class TestPortCountSpec:
+    def test_exact(self):
+        spec = PortCountSpec("1/2")
+        assert spec.inputs_ok(1) and not spec.inputs_ok(2)
+        assert spec.outputs_ok(2) and not spec.outputs_ok(1)
+
+    def test_range(self):
+        spec = PortCountSpec("1/1-2")
+        assert spec.outputs_ok(1) and spec.outputs_ok(2) and not spec.outputs_ok(3)
+
+    def test_unbounded(self):
+        spec = PortCountSpec("-/1")
+        assert spec.inputs_ok(0) and spec.inputs_ok(100)
+
+    def test_open_upper(self):
+        spec = PortCountSpec("1-/1")
+        assert not spec.inputs_ok(0)
+        assert spec.inputs_ok(5)
+
+
+SPECS = {
+    "Source": ClassSpec("Source", processing="h/h", port_counts="0/1"),
+    "Counter": ClassSpec("Counter", processing="a/a"),
+    "Queue": ClassSpec("Queue", processing="h/l"),
+    "Sink": ClassSpec("Sink", processing="l/l", port_counts="1/0"),
+    "PushSink": ClassSpec("PushSink", processing="h/h", port_counts="1/0"),
+}
+
+
+class TestResolution:
+    def test_push_propagates_through_agnostic(self):
+        graph = parse_graph("s :: Source; c :: Counter; k :: PushSink; s -> c -> k;")
+        resolved = resolve_processing(graph, SPECS)
+        assert resolved["c"] == ("h", "h")
+
+    def test_pull_propagates_through_agnostic(self):
+        graph = parse_graph("q :: Queue; c :: Counter; k :: Sink; q -> c -> k;")
+        resolved = resolve_processing(graph, SPECS)
+        assert resolved["c"] == ("l", "l")
+
+    def test_queue_boundary(self):
+        graph = parse_graph("s :: Source; q :: Queue; k :: Sink; s -> q -> k;")
+        resolved = resolve_processing(graph, SPECS)
+        assert resolved["q"] == ("h", "l")
+
+    def test_push_into_pull_conflict(self):
+        graph = parse_graph("s :: Source; k :: Sink; s -> k;")
+        with pytest.raises(ProcessingError):
+            resolve_processing(graph, SPECS)
+
+    def test_agnostic_cannot_bind_both_ways(self):
+        # Counter would need a push input (from Source) and a pull
+        # output (to Sink) — agnostic elements bind all-or-nothing.
+        graph = parse_graph("s :: Source; c :: Counter; k :: Sink; s -> c -> k;")
+        with pytest.raises(ProcessingError):
+            resolve_processing(graph, SPECS)
+
+    def test_unconstrained_agnostic_defaults_to_push(self):
+        graph = parse_graph("a :: Counter; b :: Counter; a -> b;")
+        resolved = resolve_processing(graph, SPECS)
+        assert resolved["a"] == ("", "h")  # no input connections
+        assert resolved["b"] == ("h", "")
+
+    def test_unknown_class_does_not_constrain(self):
+        graph = parse_graph("s :: Source; m :: Mystery; k :: PushSink; s -> m -> k;")
+        resolved = resolve_processing(graph, SPECS)
+        assert resolved["s"] == ("", "h")

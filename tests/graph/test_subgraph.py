@@ -1,0 +1,96 @@
+"""Unit tests for Ullman subgraph isomorphism."""
+
+from repro.graph.subgraph import SubgraphMatcher, find_subgraph
+from repro.lang.build import parse_graph
+
+
+def class_match(pattern_decl, host_decl):
+    return pattern_decl.class_name == host_decl.class_name
+
+
+class TestBasicMatching:
+    def test_linear_chain_found(self):
+        host = parse_graph(
+            "a :: Paint(1); b :: Strip(14); c :: CheckIPHeader; d :: Discard;"
+            "a -> b -> c -> d;"
+        )
+        pattern = parse_graph("p :: Paint(1); s :: Strip(14); p -> s;")
+        mapping = find_subgraph(pattern, host, class_match)
+        assert mapping == {"p": "a", "s": "b"}
+
+    def test_no_match_when_class_differs(self):
+        host = parse_graph("a :: Paint(1); b :: Discard; a -> b;")
+        pattern = parse_graph("p :: Paint(1); s :: Strip(14); p -> s;")
+        assert find_subgraph(pattern, host, class_match) is None
+
+    def test_no_match_when_connection_missing(self):
+        host = parse_graph("a :: Paint(1); b :: Strip(14); a -> Discard; b -> Discard;")
+        pattern = parse_graph("p :: Paint(1); s :: Strip(14); p -> s;")
+        assert find_subgraph(pattern, host, class_match) is None
+
+    def test_ports_must_match(self):
+        host = parse_graph(
+            "c :: Classifier(a, b); d :: Discard; e :: Discard; c [1] -> d; c [0] -> e;"
+        )
+        pattern = parse_graph("pc :: Classifier(a, b); pd :: Discard; pc [1] -> pd;")
+        mapping = find_subgraph(pattern, host, class_match)
+        assert mapping == {"pc": "c", "pd": "d"}
+
+    def test_all_matches_enumerated(self):
+        host = parse_graph(
+            "a1 :: Counter; q1 :: Queue; a2 :: Counter; q2 :: Queue;"
+            "a1 -> q1 -> Discard; a2 -> q2 -> Discard;"
+        )
+        pattern = parse_graph("c :: Counter; q :: Queue; c -> q;")
+        matcher = SubgraphMatcher(pattern, host, class_match)
+        matches = list(matcher.matches())
+        assert {frozenset(m.items()) for m in matches} == {
+            frozenset({("c", "a1"), ("q", "q1")}),
+            frozenset({("c", "a2"), ("q", "q2")}),
+        }
+
+    def test_injective_mapping(self):
+        # Pattern with two Counters cannot map both onto one host Counter.
+        host = parse_graph("a :: Counter; a -> a;")  # self loop
+        pattern = parse_graph("x :: Counter; y :: Counter; x -> y;")
+        assert find_subgraph(pattern, host, class_match) is None
+
+    def test_self_loop_pattern(self):
+        host = parse_graph("a :: Counter; a -> a;")
+        pattern = parse_graph("x :: Counter; x -> x;")
+        assert find_subgraph(pattern, host, class_match) == {"x": "a"}
+
+    def test_exclusion_list(self):
+        host = parse_graph("a :: Paint(1); b :: Strip(14); a -> b;")
+        pattern = parse_graph(
+            "inp :: Dummy; p :: Paint(1); s :: Strip(14); inp -> p -> s;"
+        )
+        matcher = SubgraphMatcher(pattern, host, class_match, exclude=["inp"])
+        assert matcher.first_match() == {"p": "a", "s": "b"}
+
+
+class TestBranchingPatterns:
+    def test_diamond(self):
+        host = parse_graph(
+            """
+            src :: Tee(2); l :: Counter; r :: Counter; join :: Merge;
+            src [0] -> l -> [0] join; src [1] -> r -> [1] join;
+            """
+        )
+        pattern = parse_graph(
+            """
+            t :: Tee(2); x :: Counter; y :: Counter; m :: Merge;
+            t [0] -> x -> [0] m; t [1] -> y -> [1] m;
+            """
+        )
+        mapping = find_subgraph(pattern, host, class_match)
+        assert mapping is not None
+        assert mapping["t"] == "src"
+        assert mapping["m"] == "join"
+        assert {mapping["x"], mapping["y"]} == {"l", "r"}
+
+    def test_refinement_prunes_impossible(self):
+        # A long chain pattern can't match a shorter host chain.
+        host = parse_graph("a :: C; b :: C; a -> b;")
+        pattern = parse_graph("x :: C; y :: C; z :: C; x -> y -> z;")
+        assert find_subgraph(pattern, host, class_match) is None

@@ -1,0 +1,102 @@
+"""Unit tests for the Click-language lexer."""
+
+import pytest
+
+from repro.lang import lexer as lex
+from repro.lang.errors import ClickSyntaxError
+from repro.lang.lexer import join_config_args, split_config_args, tokenize
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)]
+
+
+def values(text):
+    return [t.value for t in tokenize(text)]
+
+
+class TestTokens:
+    def test_declaration(self):
+        assert kinds("c :: Classifier(12/0800, -);") == [
+            lex.IDENT, lex.COLONCOLON, lex.IDENT, lex.CONFIG, lex.SEMI, lex.EOF,
+        ]
+
+    def test_config_is_raw(self):
+        tokens = tokenize("c :: Classifier(12/0800, -);")
+        config = [t for t in tokens if t.kind == lex.CONFIG][0]
+        assert config.value == "12/0800, -"
+
+    def test_arrow_and_ports(self):
+        assert kinds("a [0] -> [1] b;") == [
+            lex.IDENT, lex.LBRACKET, lex.NUMBER, lex.RBRACKET, lex.ARROW,
+            lex.LBRACKET, lex.NUMBER, lex.RBRACKET, lex.IDENT, lex.SEMI, lex.EOF,
+        ]
+
+    def test_line_comments_skipped(self):
+        assert values("a // comment -> b\n-> c;")[:3] == ["a", "->", "c"]
+
+    def test_block_comments_skipped(self):
+        assert values("a /* x -> y */ -> c;")[:3] == ["a", "->", "c"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(ClickSyntaxError):
+            tokenize("a /* never closed")
+
+    def test_nested_parens_in_config(self):
+        tokens = tokenize("f :: IPFilter(allow (src 1.0.0.1), deny all)")
+        config = [t for t in tokens if t.kind == lex.CONFIG][0]
+        assert config.value == "allow (src 1.0.0.1), deny all"
+
+    def test_quotes_protect_parens_in_config(self):
+        tokens = tokenize('e :: Error(")")')
+        config = [t for t in tokens if t.kind == lex.CONFIG][0]
+        assert config.value == '")"'
+
+    def test_unterminated_config(self):
+        with pytest.raises(ClickSyntaxError):
+            tokenize("c :: Classifier(12/0800")
+
+    def test_elementclass_keyword(self):
+        assert kinds("elementclass Foo { }")[0] == lex.ELEMENTCLASS
+
+    def test_variable(self):
+        tokens = tokenize("$color")
+        assert tokens[0].kind == lex.VARIABLE
+        assert tokens[0].value == "$color"
+
+    def test_identifiers_may_contain_at_and_slash(self):
+        tokens = tokenize("FastClassifier@@c")
+        assert tokens[0].kind == lex.IDENT
+        assert tokens[0].value == "FastClassifier@@c"
+
+    def test_location_tracking(self):
+        tokens = tokenize("a ->\n  b;")
+        b_token = [t for t in tokens if t.value == "b"][0]
+        assert b_token.location.line == 2
+        assert b_token.location.column == 3
+
+    def test_unexpected_character(self):
+        with pytest.raises(ClickSyntaxError):
+            tokenize("a ~ b")
+
+
+class TestConfigSplitting:
+    def test_simple(self):
+        assert split_config_args("12/0800, -") == ["12/0800", "-"]
+
+    def test_empty(self):
+        assert split_config_args("") == []
+        assert split_config_args(None) == []
+
+    def test_quoted_commas(self):
+        assert split_config_args('"a, b", c') == ['"a, b"', "c"]
+
+    def test_nested_parens(self):
+        assert split_config_args("f(a, b), c") == ["f(a, b)", "c"]
+
+    def test_trailing_empty_arg_preserved(self):
+        assert split_config_args("a, ") == ["a", ""]
+
+    def test_join_round_trip(self):
+        args = ["12/0800", "-", "src 1.0.0.1"]
+        assert split_config_args(join_config_args(args)) == args

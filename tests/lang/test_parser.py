@@ -1,0 +1,152 @@
+"""Unit tests for the Click-language parser and elaborator."""
+
+import pytest
+
+from repro.lang.ast import Connection, Declaration, ElementClassDef
+from repro.lang.build import parse_graph
+from repro.lang.errors import ClickSemanticError, ClickSyntaxError
+from repro.lang.parser import parse
+
+
+class TestParser:
+    def test_declaration(self):
+        program = parse("c :: Classifier(12/0800, -);")
+        (decl,) = program.declarations()
+        assert decl.names == ["c"]
+        assert decl.class_name == "Classifier"
+        assert decl.config == "12/0800, -"
+
+    def test_multi_name_declaration(self):
+        program = parse("q1, q2 :: Queue(1024);")
+        (decl,) = program.declarations()
+        assert decl.names == ["q1", "q2"]
+
+    def test_config_less_declaration(self):
+        program = parse("d :: Discard;")
+        (decl,) = program.declarations()
+        assert decl.config is None
+
+    def test_connection_chain(self):
+        program = parse("a -> b -> c;")
+        (conn,) = program.connections()
+        assert [e.name for e in conn.chain] == ["a", "b", "c"]
+
+    def test_connection_with_ports(self):
+        program = parse("a [1] -> [2] b;")
+        (conn,) = program.connections()
+        assert conn.chain[0].out_port == 1
+        assert conn.chain[1].in_port == 2
+
+    def test_inline_declaration_in_connection(self):
+        program = parse("a -> q :: Queue(117) -> b;")
+        (conn,) = program.connections()
+        middle = conn.chain[1]
+        assert middle.name == "q"
+        assert middle.decl.class_name == "Queue"
+        assert middle.decl.config == "117"
+
+    def test_anonymous_element_in_connection(self):
+        program = parse("a -> Counter() -> b;")
+        (conn,) = program.connections()
+        middle = conn.chain[1]
+        assert middle.decl is not None
+        assert middle.decl.names == []
+        assert middle.decl.class_name == "Counter"
+
+    def test_elementclass(self):
+        program = parse(
+            """
+            elementclass MyQueue {
+              $capacity |
+              input -> Queue($capacity) -> output;
+            }
+            """
+        )
+        (cls,) = program.element_classes()
+        assert cls.name == "MyQueue"
+        assert cls.params == ["$capacity"]
+        assert len(cls.body) == 1
+        assert isinstance(cls.body[0], Connection)
+
+    def test_elementclass_without_params(self):
+        program = parse("elementclass E { input -> output; }")
+        (cls,) = program.element_classes()
+        assert cls.params == []
+
+    def test_bad_syntax_reports_location(self):
+        with pytest.raises(ClickSyntaxError) as info:
+            parse("a -> -> b;")
+        assert info.value.location.line == 1
+
+    def test_dangling_arrow(self):
+        with pytest.raises(ClickSyntaxError):
+            parse("a ->;")
+
+    def test_bare_name_statement_is_error(self):
+        with pytest.raises(ClickSyntaxError):
+            parse("justaname;")
+
+
+class TestElaboration:
+    def test_declarations_become_elements(self):
+        graph = parse_graph("c :: Counter; d :: Discard; c -> d;")
+        assert set(graph.element_names()) == {"c", "d"}
+        assert len(graph.connections) == 1
+
+    def test_declaration_after_use(self):
+        """Click declarations are file-scoped: use before declare is fine."""
+        graph = parse_graph("c -> d; c :: Counter; d :: Discard;")
+        assert set(graph.element_names()) == {"c", "d"}
+
+    def test_anonymous_elements_get_click_style_names(self):
+        graph = parse_graph("c :: Counter; c -> Discard;")
+        names = graph.element_names()
+        assert "c" in names
+        anon = [n for n in names if n != "c"]
+        assert len(anon) == 1
+        assert anon[0].startswith("Discard@")
+
+    def test_each_bare_class_mention_is_a_new_element(self):
+        graph = parse_graph("a :: Counter; b :: Counter; a -> Discard; b -> Discard;")
+        discards = graph.elements_of_class("Discard")
+        assert len(discards) == 2
+
+    def test_redeclaration_rejected(self):
+        with pytest.raises(ClickSemanticError):
+            parse_graph("c :: Counter; c :: Discard;")
+
+    def test_chain_with_inline_decl(self):
+        graph = parse_graph("src :: Counter; src -> q :: Queue(64) -> Discard;")
+        assert graph.elements["q"].class_name == "Queue"
+        assert graph.elements["q"].config == "64"
+        assert len(graph.connections) == 2
+
+    def test_ports_recorded(self):
+        graph = parse_graph(
+            "c :: Classifier(12/0806, 12/0800, -); c [2] -> Discard;"
+        )
+        (conn,) = graph.connections
+        assert conn.from_port == 2
+        assert conn.to_port == 0
+
+    def test_compound_definition_stored(self):
+        graph = parse_graph(
+            """
+            elementclass Gate { input -> q :: Queue -> output; }
+            g :: Gate; c :: Counter; c -> g -> Discard;
+            """
+        )
+        assert "Gate" in graph.element_classes
+        body = graph.element_classes["Gate"].body
+        assert "input" in body.elements
+        assert "output" in body.elements
+        assert body.elements["q"].class_name == "Queue"
+
+    def test_requirements_collected(self):
+        graph = parse_graph('require(fastclassifier);\na :: Counter; a -> Discard;')
+        assert graph.requirements == ["fastclassifier"]
+
+    def test_multi_name_declaration_elaborates(self):
+        graph = parse_graph("q1, q2 :: Queue(64); q1 -> Discard; q2 -> Discard;")
+        assert graph.elements["q1"].config == "64"
+        assert graph.elements["q2"].config == "64"

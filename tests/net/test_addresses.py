@@ -1,0 +1,116 @@
+"""Unit tests for IP/Ethernet address value types."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.addresses import (
+    AddressError,
+    EtherAddress,
+    IPAddress,
+    ip_mask_from_prefix_len,
+    parse_ip_prefix,
+)
+
+
+class TestIPAddress:
+    def test_parse_and_format_round_trip(self):
+        assert str(IPAddress("1.0.0.1")) == "1.0.0.1"
+        assert str(IPAddress("255.255.255.255")) == "255.255.255.255"
+        assert str(IPAddress("0.0.0.0")) == "0.0.0.0"
+
+    def test_integer_value(self):
+        assert IPAddress("1.0.0.1").value == (1 << 24) | 1
+        assert IPAddress("10.0.0.2").value == 0x0A000002
+
+    def test_from_bytes(self):
+        assert IPAddress(b"\x0a\x00\x00\x02") == IPAddress("10.0.0.2")
+
+    def test_packed(self):
+        assert IPAddress("10.0.0.2").packed() == b"\x0a\x00\x00\x02"
+
+    def test_equality_across_representations(self):
+        assert IPAddress("10.0.0.2") == "10.0.0.2"
+        assert IPAddress("10.0.0.2") == 0x0A000002
+        assert IPAddress("10.0.0.2") != IPAddress("10.0.0.3")
+
+    def test_hashable(self):
+        assert len({IPAddress("1.2.3.4"), IPAddress("1.2.3.4")}) == 1
+
+    @pytest.mark.parametrize("bad", ["256.0.0.1", "1.2.3", "a.b.c.d", "1.2.3.4.5", ""])
+    def test_rejects_bad_strings(self, bad):
+        with pytest.raises(AddressError):
+            IPAddress(bad)
+
+    def test_rejects_out_of_range_int(self):
+        with pytest.raises(AddressError):
+            IPAddress(1 << 32)
+        with pytest.raises(AddressError):
+            IPAddress(-1)
+
+    def test_broadcast_and_multicast_predicates(self):
+        assert IPAddress("255.255.255.255").is_broadcast()
+        assert not IPAddress("255.255.255.254").is_broadcast()
+        assert IPAddress("224.0.0.1").is_multicast()
+        assert IPAddress("239.255.255.255").is_multicast()
+        assert not IPAddress("240.0.0.0").is_multicast()
+
+    def test_matches_prefix(self):
+        addr = IPAddress("18.26.4.99")
+        assert addr.matches_prefix("18.26.4.0", "255.255.255.0")
+        assert not addr.matches_prefix("18.26.7.0", "255.255.255.0")
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_round_trip_any_value(self, value):
+        assert IPAddress(str(IPAddress(value))).value == value
+
+
+class TestPrefixParsing:
+    def test_mask_from_prefix_len(self):
+        assert ip_mask_from_prefix_len(0) == 0
+        assert ip_mask_from_prefix_len(24) == 0xFFFFFF00
+        assert ip_mask_from_prefix_len(32) == 0xFFFFFFFF
+
+    def test_mask_rejects_out_of_range(self):
+        with pytest.raises(AddressError):
+            ip_mask_from_prefix_len(33)
+
+    def test_parse_cidr(self):
+        addr, mask = parse_ip_prefix("18.26.4.0/24")
+        assert addr == IPAddress("18.26.4.0")
+        assert mask == 0xFFFFFF00
+
+    def test_parse_dotted_mask(self):
+        addr, mask = parse_ip_prefix("18.26.4.0/255.255.252.0")
+        assert mask == 0xFFFFFC00
+
+    def test_bare_address_is_host_route(self):
+        addr, mask = parse_ip_prefix("1.0.0.1")
+        assert mask == 0xFFFFFFFF
+
+
+class TestEtherAddress:
+    def test_parse_and_format(self):
+        assert str(EtherAddress("0:20:6f:14:54:c2")) == "00:20:6F:14:54:C2"
+
+    def test_packed(self):
+        assert EtherAddress("00:20:6F:14:54:C2").packed() == bytes(
+            [0x00, 0x20, 0x6F, 0x14, 0x54, 0xC2]
+        )
+
+    def test_broadcast(self):
+        assert EtherAddress.broadcast().is_broadcast()
+        assert str(EtherAddress.broadcast()) == "FF:FF:FF:FF:FF:FF"
+
+    def test_group_bit(self):
+        assert EtherAddress("01:00:5E:00:00:01").is_group()
+        assert not EtherAddress("00:20:6F:14:54:C2").is_group()
+
+    @pytest.mark.parametrize("bad", ["00:20:6F:14:54", "00:20:6F:14:54:C2:FF", "zz:20:6F:14:54:C2", ""])
+    def test_rejects_bad_strings(self, bad):
+        with pytest.raises(AddressError):
+            EtherAddress(bad)
+
+    @given(st.integers(min_value=0, max_value=(1 << 48) - 1))
+    def test_round_trip_any_value(self, value):
+        assert EtherAddress(str(EtherAddress(value))).value == value

@@ -1,0 +1,138 @@
+"""Unit tests for header construction and parsing."""
+
+import pytest
+
+from repro.net.addresses import EtherAddress, IPAddress
+from repro.net.checksum import verify_checksum
+from repro.net.headers import (
+    ARP_OP_REPLY,
+    ARP_OP_REQUEST,
+    ETHER_HEADER_LEN,
+    ETHERTYPE_ARP,
+    ETHERTYPE_IP,
+    ICMP_TIME_EXCEEDED,
+    IP_HEADER_LEN,
+    IP_PROTO_UDP,
+    ArpHeader,
+    EtherHeader,
+    HeaderError,
+    IPHeader,
+    UDPHeader,
+    build_arp_reply,
+    build_arp_request,
+    build_ether_udp_packet,
+    build_udp_packet,
+    make_icmp_error,
+)
+
+
+class TestEtherHeader:
+    def test_round_trip(self):
+        packed = EtherHeader(
+            EtherAddress("00:00:c0:ae:67:ef"),
+            EtherAddress("00:20:6f:14:54:c2"),
+            ETHERTYPE_IP,
+        ).pack()
+        assert len(packed) == ETHER_HEADER_LEN
+        header = EtherHeader.unpack(packed)
+        assert header.dst == "00:00:c0:ae:67:ef"
+        assert header.src == "00:20:6f:14:54:c2"
+        assert header.ether_type == ETHERTYPE_IP
+
+    def test_short_data_rejected(self):
+        with pytest.raises(HeaderError):
+            EtherHeader.unpack(b"\x00" * 10)
+
+
+class TestIPHeader:
+    def test_round_trip(self):
+        packed = IPHeader(
+            src=IPAddress("1.0.0.2"), dst=IPAddress("2.0.0.2"), ttl=64, total_length=42,
+            identification=7, protocol=IP_PROTO_UDP,
+        ).pack()
+        assert len(packed) == IP_HEADER_LEN
+        header = IPHeader.unpack(packed)
+        assert header.src == "1.0.0.2"
+        assert header.dst == "2.0.0.2"
+        assert header.ttl == 64
+        assert header.total_length == 42
+        assert header.identification == 7
+
+    def test_checksum_valid(self):
+        packed = IPHeader(src=IPAddress("1.0.0.2"), dst=IPAddress("2.0.0.2")).pack()
+        assert verify_checksum(packed)
+
+    def test_options_lengthen_header(self):
+        packed = IPHeader(
+            src=IPAddress("1.0.0.2"), dst=IPAddress("2.0.0.2"), header_length=24
+        ).pack()
+        assert len(packed) == 24
+        assert IPHeader.unpack(packed).header_length == 24
+
+    def test_rejects_non_ipv4(self):
+        packed = bytearray(IPHeader(src=IPAddress("1.0.0.2"), dst=IPAddress("2.0.0.2")).pack())
+        packed[0] = (6 << 4) | 5
+        with pytest.raises(HeaderError):
+            IPHeader.unpack(bytes(packed))
+
+    def test_fragment_flags(self):
+        header = IPHeader.unpack(
+            IPHeader(src=IPAddress("1.0.0.2"), dst=IPAddress("2.0.0.2"), flags=0x2).pack()
+        )
+        assert header.dont_fragment
+        assert not header.more_fragments
+
+
+class TestArp:
+    def test_request_round_trip(self):
+        frame = build_arp_request("00:20:6f:14:54:c2", "1.0.0.1", "1.0.0.2")
+        ether = EtherHeader.unpack(frame)
+        assert ether.ether_type == ETHERTYPE_ARP
+        assert ether.dst.is_broadcast()
+        arp = ArpHeader.unpack(frame[ETHER_HEADER_LEN:])
+        assert arp.operation == ARP_OP_REQUEST
+        assert arp.sender_ip == "1.0.0.1"
+        assert arp.target_ip == "1.0.0.2"
+
+    def test_reply_round_trip(self):
+        frame = build_arp_reply(
+            "00:00:c0:4f:71:ef", "1.0.0.2", "00:20:6f:14:54:c2", "1.0.0.1"
+        )
+        arp = ArpHeader.unpack(frame[ETHER_HEADER_LEN:])
+        assert arp.operation == ARP_OP_REPLY
+        assert arp.sender_ether == "00:00:c0:4f:71:ef"
+        assert arp.target_ether == "00:20:6f:14:54:c2"
+
+    def test_rejects_non_ethernet_arp(self):
+        frame = bytearray(build_arp_request("00:20:6f:14:54:c2", "1.0.0.1", "1.0.0.2"))
+        frame[ETHER_HEADER_LEN] = 0xFF  # corrupt hardware type
+        with pytest.raises(HeaderError):
+            ArpHeader.unpack(bytes(frame[ETHER_HEADER_LEN:]))
+
+
+class TestPacketBuilders:
+    def test_evaluation_packet_matches_section_8_1(self):
+        """§8.1: each 64-byte UDP packet includes Ethernet, IP, and UDP
+        headers, 14 bytes of data, and the 4-byte CRC — so the frame we
+        build (which excludes the CRC) is 14 + 20 + 8 + 14 = 56 bytes."""
+        frame = build_ether_udp_packet(
+            "00:20:6f:14:54:c2", "00:00:c0:4f:71:ef", "1.0.0.2", "2.0.0.2",
+            payload=b"\x00" * 14,
+        )
+        assert len(frame) == 56
+
+    def test_udp_packet_lengths_consistent(self):
+        packet = build_udp_packet("1.0.0.2", "2.0.0.2", payload=b"hello")
+        ip = IPHeader.unpack(packet)
+        assert ip.total_length == len(packet)
+        udp = UDPHeader.unpack(packet[IP_HEADER_LEN:])
+        assert udp.length == len(packet) - IP_HEADER_LEN
+
+    def test_icmp_error_quotes_original(self):
+        original = build_udp_packet("1.0.0.2", "2.0.0.2", payload=b"\x00" * 14)
+        icmp = make_icmp_error(ICMP_TIME_EXCEEDED, 0, original)
+        assert icmp[0] == ICMP_TIME_EXCEEDED
+        assert verify_checksum(icmp)
+        # ICMP header (8) + quoted IP header (20) + 8 payload bytes.
+        assert len(icmp) == 8 + IP_HEADER_LEN + 8
+        assert icmp[8:] == original[: IP_HEADER_LEN + 8]

@@ -1,0 +1,118 @@
+"""Unit tests for the Packet abstraction."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.packet import DEFAULT_HEADROOM, Packet, PacketError, make_packet
+
+
+class TestPacketData:
+    def test_basic_contents(self):
+        packet = Packet(b"abcdef")
+        assert packet.data == b"abcdef"
+        assert len(packet) == 6
+
+    def test_strip_removes_front(self):
+        packet = Packet(b"headerpayload")
+        packet.strip(6)
+        assert packet.data == b"payload"
+
+    def test_strip_past_end_raises(self):
+        packet = Packet(b"abc")
+        with pytest.raises(PacketError):
+            packet.strip(4)
+
+    def test_push_uses_headroom(self):
+        packet = Packet(b"payload")
+        packet.push(b"hd")
+        assert packet.data == b"hdpayload"
+        assert packet.headroom == DEFAULT_HEADROOM - 2
+
+    def test_push_beyond_headroom_reallocates(self):
+        packet = Packet(b"x", headroom=2)
+        packet.push(b"longheader")
+        assert packet.data == b"longheaderx"
+        assert packet.headroom == DEFAULT_HEADROOM
+
+    def test_strip_then_push_round_trip(self):
+        packet = Packet(b"ethernetIPdata")
+        packet.strip(8)
+        packet.push(b"ethernet")
+        assert packet.data == b"ethernetIPdata"
+
+    def test_take_and_put(self):
+        packet = Packet(b"abcdef")
+        packet.take(2)
+        assert packet.data == b"abcd"
+        packet.put(b"XY")
+        assert packet.data == b"abcdXY"
+
+    def test_replace(self):
+        packet = Packet(b"abcdef")
+        packet.replace(2, b"XY")
+        assert packet.data == b"abXYef"
+
+    def test_replace_out_of_range(self):
+        packet = Packet(b"abc")
+        with pytest.raises(PacketError):
+            packet.replace(2, b"XY")
+
+
+class TestAlignment:
+    def test_fresh_packet_alignment(self):
+        packet = Packet(b"data")
+        assert packet.data_alignment() == DEFAULT_HEADROOM % 4
+
+    def test_strip_changes_alignment(self):
+        packet = Packet(b"0123456789abcdef")
+        before = packet.data_alignment()
+        packet.strip(14)  # Ethernet header: 14 mod 4 == 2
+        assert packet.data_alignment() == (before + 2) % 4
+
+    def test_realign(self):
+        packet = Packet(b"0123456789abcdef")
+        packet.strip(14)
+        contents = packet.data
+        packet.realign(4, 0)
+        assert packet.data_alignment() == 0
+        assert packet.data == contents
+
+    def test_realign_preserves_contents(self):
+        packet = Packet(b"0123456789abcdef", buffer_alignment=2)
+        packet.strip(3)
+        contents = packet.data
+        packet.realign(4, 2)
+        assert packet.data == contents
+        assert packet.data_alignment() == 2
+
+
+class TestAnnotations:
+    def test_defaults(self):
+        packet = Packet(b"x")
+        assert packet.paint == 0
+        assert packet.dest_ip_anno is None
+
+    def test_make_packet_sets_annotations(self):
+        packet = make_packet(b"x", paint=2, dest_ip_anno="1.0.0.1", custom=42)
+        assert packet.paint == 2
+        assert str(packet.dest_ip_anno) == "1.0.0.1"
+        assert packet.user_annos["custom"] == 42
+
+    def test_clone_is_independent(self):
+        packet = make_packet(b"abcdef", paint=3)
+        dup = packet.clone()
+        dup.strip(2)
+        dup.paint = 9
+        dup.user_annos["k"] = 1
+        assert packet.data == b"abcdef"
+        assert packet.paint == 3
+        assert "k" not in packet.user_annos
+
+    @given(st.binary(max_size=64), st.integers(min_value=0, max_value=255))
+    def test_clone_equals_original(self, data, paint):
+        packet = make_packet(data, paint=paint)
+        dup = packet.clone()
+        assert dup.data == packet.data
+        assert dup.paint == packet.paint
+        assert dup.data_alignment() == packet.data_alignment()

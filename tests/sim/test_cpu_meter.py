@@ -1,0 +1,145 @@
+"""Unit tests for the cycle meter, BTB, and cost attribution."""
+
+from repro.elements import Router
+from repro.lang.build import parse_graph
+from repro.net.packet import Packet
+from repro.sim import cost
+from repro.sim.cpu import BranchTargetBuffer, CycleMeter, uses_simple_action
+
+
+class TestBranchTargetBuffer:
+    def test_first_access_misses(self):
+        btb = BranchTargetBuffer()
+        assert not btb.access("site", "A")
+        assert btb.misses == 1
+
+    def test_repeated_target_predicts(self):
+        btb = BranchTargetBuffer()
+        btb.access("site", "A")
+        assert btb.access("site", "A")
+        assert btb.hits == 1
+
+    def test_alternating_targets_always_mispredict(self):
+        """Figure 2's pathology: one call site, two targets."""
+        btb = BranchTargetBuffer()
+        for _ in range(10):
+            btb.access("site", "Queue")
+            btb.access("site", "Discard")
+        assert btb.hits == 0
+        assert btb.misses == 20
+
+    def test_sites_are_independent(self):
+        btb = BranchTargetBuffer()
+        btb.access("s1", "A")
+        btb.access("s2", "B")
+        assert btb.access("s1", "A")
+        assert btb.access("s2", "B")
+
+
+class TestSimpleActionDetection:
+    def test_simple_action_elements_flagged(self):
+        router = Router(parse_graph("f :: Idle; p :: Paint(1); d :: Discard; f -> p -> d;"))
+        assert uses_simple_action(router["p"])  # Paint relies on simple_action
+
+    def test_overriding_elements_not_flagged(self):
+        router = Router(parse_graph(
+            "f :: Idle; c :: Classifier(12/0800, -); f -> c;"
+            "c [0] -> Discard; c [1] -> Discard;"
+        ))
+        assert not uses_simple_action(router["c"])
+
+
+def metered_router(text):
+    meter = CycleMeter()
+    router = Router(parse_graph(text), meter=meter)
+    return router, meter
+
+
+class TestAttribution:
+    def test_forwarding_cycles_accumulate(self):
+        router, meter = metered_router(
+            "f :: Idle; c :: Counter; d :: Discard; f -> c -> d;"
+        )
+        router.push_packet("c", 0, Packet(b"x"))
+        assert meter.totals.forwarding > 0
+        assert meter.totals.rx_device == 0
+
+    def test_transfer_costs_virtual_vs_direct(self):
+        router, meter = metered_router(
+            "f :: Idle; c :: Counter; d :: Discard; f -> c -> d;"
+        )
+        router.push_packet("c", 0, Packet(b"x"))
+        virtual_total = meter.totals.forwarding
+        # Mark the port direct and push again: the delta shrinks by the
+        # virtual-direct difference.
+        router["c"].output(0).virtual = False
+        before = meter.totals.forwarding
+        router.push_packet("c", 0, Packet(b"x"))
+        direct_delta = meter.totals.forwarding - before
+        assert direct_delta < virtual_total
+
+    def test_alternating_classes_cost_more_than_uniform(self):
+        """The simple_action shared dispatch: a chain of distinct small
+        elements mispredicts; a chain of same-class elements predicts."""
+        alternating, meter_a = metered_router(
+            "f :: Idle; p :: Paint(1); s :: Strip(0); g :: Paint(2); u :: Strip(0);"
+            "d :: Discard; f -> p -> s -> g -> u -> d;"
+        )
+        uniform, meter_u = metered_router(
+            "f :: Idle; p :: Paint(1); s :: Paint(2); g :: Paint(3); u :: Paint(4);"
+            "d :: Discard; f -> p -> s -> g -> u -> d;"
+        )
+        for _ in range(50):
+            alternating.push_packet("p", 0, Packet(b"x"))
+            uniform.push_packet("p", 0, Packet(b"x"))
+        assert meter_a.btb.misses > meter_u.btb.misses
+
+    def test_dynamic_charges_recorded(self):
+        router, meter = metered_router(
+            "f :: Idle; c :: Classifier(12/0800, -); f -> c;"
+            "c [0] -> Discard; c [1] -> Discard;"
+        )
+        router.push_packet("c", 0, Packet(bytes(12) + b"\x08\x00" + bytes(46)))
+        assert meter.dynamic.get("classifier_step", 0) >= 1
+
+    def test_report_scales_by_clock(self):
+        router, meter = metered_router(
+            "f :: Idle; c :: Counter; d :: Discard; f -> c -> d;"
+        )
+        router.push_packet("c", 0, Packet(b"x"))
+        # Fake one packet "forwarded" for scaling purposes.
+        slow = meter.report(1, clock_mhz=700.0)
+        fast = meter.report(1, clock_mhz=1400.0)
+        assert abs(slow.forwarding_ns - 2 * fast.forwarding_ns) < 1e-6
+
+
+class TestCostTables:
+    def test_every_registered_class_has_a_cost(self):
+        from repro.elements.registry import ELEMENT_CLASSES
+
+        for name in ELEMENT_CLASSES:
+            assert cost.work_cycles(name) is not None, name
+
+    def test_generated_class_names_resolve(self):
+        assert cost.work_cycles("FastClassifier@@c0") == cost.ELEMENT_WORK_CYCLES["FastClassifier"]
+        assert cost.work_cycles("Devirtualize@@arpq0") is None  # resolved via MRO
+
+    def test_combo_cheaper_than_chain(self):
+        """The combos must beat the summed work of the chains they
+        replace — otherwise click-xform's benefit is an artifact."""
+        w = cost.ELEMENT_WORK_CYCLES
+        input_chain = w["Paint"] + w["Strip"] + w["CheckIPHeader"] + w["GetIPAddress"]
+        assert w["IPInputCombo"] < input_chain
+        output_chain = (
+            w["DropBroadcasts"] + w["CheckPaint"] + w["IPGWOptions"]
+            + w["FixIPSrc"] + w["DecIPTTL"] + w["IPFragmenter"]
+        )
+        assert w["IPOutputCombo"] < output_chain
+
+    def test_mispredict_is_dozens_of_cycles(self):
+        assert 20 <= cost.CYCLES_VIRTUAL_CALL_MISPREDICTED <= 60
+        assert cost.CYCLES_VIRTUAL_CALL_PREDICTED == 7
+
+    def test_memory_fetch_matches_paper(self):
+        # 112 ns at 700 MHz.
+        assert abs(cost.CYCLES_MEMORY_FETCH / 0.7 - 112) < 2

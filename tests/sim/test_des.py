@@ -1,0 +1,76 @@
+"""Tests for the discrete-event simulator, including three-way
+agreement with the fluid and time-stepped engines."""
+
+import pytest
+
+from repro.sim import des, fluid, timestep
+from repro.sim.platforms import P0
+
+BASE_CPU_NS = 2820.0
+ALL_CPU_NS = 2257.0
+SIMPLE_CPU_NS = 1693.0
+
+
+class TestOutcomes:
+    def test_underload_loss_free(self):
+        outcome = des.simulate(200_000, BASE_CPU_NS, P0)
+        assert outcome.sent == pytest.approx(200_000, rel=0.01)
+        assert outcome.missed_frames == 0
+        assert outcome.fifo_overflows == 0
+
+    def test_cpu_overload_produces_missed_frames(self):
+        outcome = des.simulate(500_000, BASE_CPU_NS, P0)
+        assert outcome.sent == pytest.approx(1e9 / BASE_CPU_NS, rel=0.02)
+        dropped = 500_000 - outcome.sent
+        assert outcome.missed_frames == pytest.approx(dropped, rel=0.05)
+
+    def test_conservation(self):
+        for rate in (150_000, 400_000, 591_000):
+            outcome = des.simulate(rate, ALL_CPU_NS, P0, duration_s=0.03)
+            assert outcome.accounted == pytest.approx(rate, rel=0.03)
+
+    def test_deterministic(self):
+        first = des.simulate(450_000, BASE_CPU_NS, P0, duration_s=0.02)
+        second = des.simulate(450_000, BASE_CPU_NS, P0, duration_s=0.02)
+        assert first.sent == second.sent
+        assert first.missed_frames == second.missed_frames
+
+
+class TestThreeWayAgreement:
+    @pytest.mark.parametrize("cpu_ns", [BASE_CPU_NS, ALL_CPU_NS, SIMPLE_CPU_NS])
+    @pytest.mark.parametrize("rate", [250_000, 450_000])
+    def test_engines_agree_on_forwarding_rate(self, cpu_ns, rate):
+        d = des.simulate(rate, cpu_ns, P0, duration_s=0.04)
+        f = fluid.solve(rate, cpu_ns, P0)
+        t = timestep.simulate(rate, cpu_ns, P0, duration_s=0.04)
+        assert d.sent == pytest.approx(f.sent, rel=0.12)
+        assert d.sent == pytest.approx(t.sent, rel=0.15)
+
+    def test_base_drop_mechanism_agrees(self):
+        d = des.simulate(550_000, BASE_CPU_NS, P0, duration_s=0.04)
+        f = fluid.solve(550_000, BASE_CPU_NS, P0)
+        for outcome in (d, f):
+            assert outcome.missed_frames > 10 * max(1.0, outcome.fifo_overflows)
+
+
+class TestLatency:
+    def test_underload_latency_is_pipeline_minimum(self):
+        """Below saturation the D/D/1 pipeline adds no queueing: the
+        per-packet latency is the raw pipeline traversal time."""
+        p50, p95, p99 = des.latency_percentiles(100_000, BASE_CPU_NS, P0)
+        # ~2.8 us CPU + two DMA crossings + a wire slot.
+        assert 5 <= p50 <= 25
+        assert p99 <= p50 * 1.5
+
+    def test_latency_explodes_at_saturation(self):
+        below = des.latency_percentiles(340_000, BASE_CPU_NS, P0, duration_s=0.05)
+        above = des.latency_percentiles(370_000, BASE_CPU_NS, P0, duration_s=0.05)
+        assert above[2] > 10 * below[2]  # p99 blows up past the MLFFR
+
+    def test_optimization_lowers_saturation_latency(self):
+        """At a load Base cannot sustain but All can, All's tail latency
+        is orders of magnitude lower — the operational meaning of the
+        paper's CPU savings."""
+        base_tail = des.latency_percentiles(400_000, BASE_CPU_NS, P0, duration_s=0.04)[2]
+        all_tail = des.latency_percentiles(400_000, ALL_CPU_NS, P0, duration_s=0.04)[2]
+        assert all_tail < base_tail / 5

@@ -1,0 +1,148 @@
+"""Unit tests for the NIC/PCI models, the fluid solver, and
+fluid-vs-timestep cross-validation."""
+
+import pytest
+
+from repro.sim import fluid, timestep
+from repro.sim.nic import FIFO_FRAMES, RX_RING_SIZE, TulipNIC
+from repro.sim.pci import PCIBus
+from repro.sim.platforms import P0
+
+BASE_CPU_NS = 2820.0
+ALL_CPU_NS = 2257.0
+SIMPLE_CPU_NS = 1693.0
+
+
+class TestPCIBus:
+    def test_budget_refills_per_step(self):
+        bus = PCIBus(1000.0)
+        bus.refill(1.0)
+        assert bus.consume(600)
+        assert bus.consume(400)
+        assert not bus.consume(1)
+        bus.refill(1.0)
+        assert bus.consume(1000)
+
+    def test_unused_budget_does_not_accumulate(self):
+        bus = PCIBus(1000.0)
+        bus.refill(1.0)
+        bus.refill(1.0)
+        assert not bus.consume(1001)
+
+    def test_denials_counted(self):
+        bus = PCIBus(10.0)
+        bus.refill(1.0)
+        bus.consume(100)
+        assert bus.denied == 1
+
+
+class TestTulipNIC:
+    def make_nic(self, bus_rate=1e9):
+        bus = PCIBus(bus_rate)
+        bus.refill(1.0)
+        return TulipNIC("eth0", bus, line_rate_pps=148_800.0), bus
+
+    def test_receive_path(self):
+        nic, bus = self.make_nic()
+        nic.receive_frame(b"\x00" * 64)
+        nic.advance(0.001)
+        assert nic.rx_dequeue() == b"\x00" * 64
+        assert nic.received == 1
+
+    def test_fifo_overflow_when_full(self):
+        nic, bus = self.make_nic(bus_rate=1.0)  # bus too slow to drain
+        bus.refill(1e-9)
+        for _ in range(FIFO_FRAMES + 5):
+            nic.receive_frame(b"\x00" * 64)
+        assert nic.fifo_overflows == 5
+
+    def test_missed_frames_when_ring_full(self):
+        nic, bus = self.make_nic()
+        for _ in range(RX_RING_SIZE + 3):
+            nic.receive_frame(b"\x00" * 64)
+            nic.advance(0.0001)
+        # Ring fills (nobody dequeues); subsequent frames are missed.
+        assert nic.missed_frames == 3
+        assert len(nic.rx_ring) == RX_RING_SIZE
+
+    def test_missed_frames_cost_bus_bandwidth(self):
+        nic, bus = self.make_nic()
+        # Fill the RX ring (the FIFO only holds a few frames, so feed
+        # and drain incrementally).
+        for _ in range(RX_RING_SIZE):
+            nic.receive_frame(b"\x00" * 64)
+            nic.advance(0.0001)
+        used_before = bus.bytes_used
+        nic.receive_frame(b"\x00" * 64)
+        nic.advance(0.001)
+        assert nic.missed_frames == 1
+        assert bus.bytes_used > used_before  # the failed check cost bytes
+
+    def test_transmit_path_rate_limited(self):
+        nic, bus = self.make_nic()
+        for _ in range(20):
+            assert nic.tx_enqueue(b"\x00" * 64)
+        nic.advance(1.0 / 148_800.0 * 5)  # wire time for ~5 frames
+        assert 4 <= nic.transmitted <= 6
+
+
+class TestFluidSolver:
+    def test_underload_is_loss_free(self):
+        outcome = fluid.solve(200_000, BASE_CPU_NS, P0)
+        assert outcome.sent == pytest.approx(200_000, rel=0.01)
+        assert outcome.missed_frames == pytest.approx(0, abs=500)
+
+    def test_input_capped_at_source_capacity(self):
+        outcome = fluid.solve(10_000_000, BASE_CPU_NS, P0)
+        assert outcome.input_rate == P0.max_input_pps
+
+    def test_cpu_limit_binds_for_base(self):
+        outcome = fluid.solve(550_000, BASE_CPU_NS, P0)
+        assert outcome.sent == pytest.approx(1e9 / BASE_CPU_NS, rel=0.02)
+
+    def test_conservation(self):
+        for cpu in (BASE_CPU_NS, ALL_CPU_NS, SIMPLE_CPU_NS):
+            for rate in (100_000, 400_000, 591_000):
+                outcome = fluid.solve(rate, cpu, P0)
+                assert outcome.accounted == pytest.approx(outcome.input_rate, rel=0.02)
+
+    def test_mlffr_monotone_in_cpu_cost(self):
+        fast = fluid.mlffr(2000.0, P0)
+        slow = fluid.mlffr(3000.0, P0)
+        assert fast > slow
+
+    def test_mlffr_of_infinitely_fast_cpu_is_pci_bound(self):
+        rate = fluid.mlffr(1.0, P0)
+        assert rate < P0.max_input_pps  # something other than input binds
+
+    def test_forwarding_curve_shape(self):
+        rates = [100e3, 300e3, 446e3, 550e3]
+        curve = fluid.forwarding_curve(rates, ALL_CPU_NS, P0)
+        assert [point[0] for point in curve] == rates
+        assert curve[0][1] < curve[1][1] <= curve[2][1]
+
+
+class TestCrossValidation:
+    """Fluid equilibria and the time-stepped hardware simulation must
+    agree on forwarding rates and on which drop mechanisms dominate."""
+
+    @pytest.mark.parametrize("cpu_ns", [BASE_CPU_NS, SIMPLE_CPU_NS])
+    @pytest.mark.parametrize("rate", [300_000, 591_000])
+    def test_forwarding_rates_agree(self, cpu_ns, rate):
+        ts = timestep.simulate(rate, cpu_ns, P0, duration_s=0.04)
+        fl = fluid.solve(rate, cpu_ns, P0)
+        assert ts.sent == pytest.approx(fl.sent, rel=0.12)
+
+    def test_base_overload_drops_are_missed_frames_in_both(self):
+        ts = timestep.simulate(550_000, BASE_CPU_NS, P0, duration_s=0.04)
+        fl = fluid.solve(550_000, BASE_CPU_NS, P0)
+        for outcome in (ts, fl):
+            assert outcome.missed_frames > 10 * max(1.0, outcome.fifo_overflows)
+
+    def test_simple_overload_has_no_missed_frames_in_both(self):
+        ts = timestep.simulate(591_000, SIMPLE_CPU_NS, P0, duration_s=0.04)
+        fl = fluid.solve(591_000, SIMPLE_CPU_NS, P0)
+        for outcome in (ts, fl):
+            dropped = outcome.input_rate - outcome.sent
+            assert dropped > 0
+            assert outcome.missed_frames < 0.1 * dropped
