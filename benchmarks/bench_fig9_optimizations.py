@@ -15,6 +15,38 @@ from repro.sim.testbed import VARIANT_LABELS, VARIANTS, Testbed
 PAPER_FWD = {"base": 1657, "all": 1101, "mr_all": 1061}
 
 
+def test_figure9_tool_pass_timings(benchmark):
+    """The optimizer chain behind the All and MR+All bars, timed per
+    pass by the pass manager (PipelineReport) rather than an ad-hoc
+    stopwatch around the whole build."""
+    testbed = Testbed(2)
+    benchmark.pedantic(lambda: testbed.variant_graph("mr_all"), rounds=3, iterations=1)
+    report = testbed.last_report
+    rows = [
+        (
+            record.name,
+            "%.2f" % (record.seconds * 1e3),
+            "%d -> %d" % (record.elements_before, record.elements_after),
+            "%+d" % len(record.classes_added),
+            ", ".join(record.archive_members_added) or "-",
+        )
+        for record in report
+    ]
+    rows.append(("total", "%.2f" % (report.total_seconds * 1e3), "", "", ""))
+    emit(
+        "fig9_tool_pass_timings",
+        table(["pass", "tool time (ms)", "elements", "classes added", "archive"], rows),
+    )
+    assert [record.name for record in report] == [
+        "xform", "fastclassifier", "xform", "devirtualize",
+    ]
+    assert all(record.seconds > 0 for record in report)
+    # xform (combos) is the pass that shrinks the graph; devirtualize
+    # only repoints classes.
+    assert report.records[2].elements_delta < 0
+    assert report.records[3].elements_delta == 0
+
+
 @pytest.fixture(scope="module")
 def reports():
     testbed = Testbed(2)

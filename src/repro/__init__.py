@@ -12,12 +12,9 @@ Quickstart::
     from repro import core, configs, elements
 
     graph = core.load_config(configs.ip_router_config())
-    optimized = core.chain(
-        core.fastclassifier,
-        core.make_xform_tool(core.STANDARD_PATTERNS),
-        core.devirtualize,
-    )(graph)
-    print(core.save_config(optimized))
+    graph, report = core.named_pipeline("paper").run(graph)
+    print(report.to_table())
+    print(core.save_config(graph))
 """
 
 from . import classifier, configs, core, elements, graph, lang, net

@@ -10,6 +10,12 @@ configurations, composable like compiler passes.
   multiple-router tools (§7.2)
 - :func:`check`, :func:`flatten`, :func:`mkmindriver`,
   :func:`pretty_html` — supporting tools (§7)
+
+Every optimizer follows one calling convention — ``tool(graph,
+**options) -> RouterGraph`` — and carries an ``as_pass(**options)``
+factory producing a :class:`Pass` for the :class:`Pipeline` pass
+manager (per-pass timing, graph deltas, inter-pass validation; see
+:mod:`repro.core.pipeline` and docs/PIPELINE.md).
 """
 
 from .align import align, compute_alignments
@@ -20,6 +26,18 @@ from .fastclassifier import fastclassifier
 from .flatten import flatten
 from .mkmindriver import make_minimal_class_table, mkmindriver, required_classes
 from .patterns import CLEANUP_PATTERNS, STANDARD_PATTERNS, arp_elimination_pattern
+from .pipeline import (
+    NAMED_PIPELINES,
+    Pass,
+    PassError,
+    PassRecord,
+    Pipeline,
+    PipelineReport,
+    PipelineResult,
+    PipelineWarning,
+    named_pipeline,
+    tool_api,
+)
 from .pretty import pretty_html
 from .specialize import DevirtualizedMixin, make_devirtualized_class
 from .toolchain import chain, load_config, run_tool_on_text, save_config, tool_specs
@@ -58,4 +76,14 @@ __all__ = [
     "xform",
     "PatternPair",
     "make_xform_tool",
+    "NAMED_PIPELINES",
+    "Pass",
+    "PassError",
+    "PassRecord",
+    "Pipeline",
+    "PipelineReport",
+    "PipelineResult",
+    "PipelineWarning",
+    "named_pipeline",
+    "tool_api",
 ]

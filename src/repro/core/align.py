@@ -29,6 +29,7 @@ from math import gcd
 
 from ..lang.lexer import split_config_args
 from .flatten import flatten
+from .pipeline import tool_api
 
 # ---------------------------------------------------------------------------
 # The alignment lattice: (modulus, offset) with modulus in {1, 2, 4};
@@ -205,6 +206,7 @@ def _runtime_classes(graph):
     return classes
 
 
+@tool_api()
 def align(graph):
     """The tool: insert the minimal Aligns, drop redundant ones, and
     record an AlignmentInfo."""

@@ -6,6 +6,14 @@ configurations to standard output.  They are thus easily combined, much
 like compiler optimization passes" (§1) — e.g.::
 
     click-fastclassifier < ip.click | click-xform | click-devirtualize
+
+Every entry point shares one option-parsing and IO path: a positional
+``file`` (default stdin), ``-o/--output`` (default stdout), and
+``--report FILE`` writing the JSON :class:`~repro.core.pipeline.
+PipelineReport` of the run (``-`` sends it to stderr, keeping stdout
+clean for the configuration).  ``click-optimize`` runs a whole named
+pipeline — ``click-optimize --pipeline paper --report -`` replaces the
+four-stage shell pipe above with one command.
 """
 
 from __future__ import annotations
@@ -19,42 +27,105 @@ from .devirtualize import devirtualize
 from .fastclassifier import fastclassifier
 from .flatten import flatten
 from .mkmindriver import mkmindriver
-from .patterns import STANDARD_PATTERNS
+from .pipeline import NAMED_PIPELINES, Pass, Pipeline, named_pipeline
 from .pretty import pretty_html
 from .toolchain import load_config, save_config
 from .undead import undead
 from .xform import PatternPair, xform
 
 
-def _filter_main(tool, description, argv=None, extra_args=None, needs_args=False):
+# ---------------------------------------------------------------------------
+# The shared option-parsing / IO path.
+
+
+def _base_parser(description, extra_args=None, pre_args=None):
+    """The parser every filter entry point shares: ``file``, ``-o``,
+    ``--report``; ``pre_args`` adds positionals before ``file``."""
     parser = argparse.ArgumentParser(description=description)
+    if pre_args:
+        pre_args(parser)
     parser.add_argument(
         "file", nargs="?", default="-", help="configuration file (default: stdin)"
     )
     parser.add_argument("-o", "--output", default="-", help="output file (default: stdout)")
+    parser.add_argument(
+        "--report",
+        default=None,
+        metavar="FILE",
+        help="write the JSON pass report here (- for stderr)",
+    )
     if extra_args:
         extra_args(parser)
-    args = parser.parse_args(argv)
+    return parser
 
-    if args.file == "-":
-        text = sys.stdin.read()
+
+def _read_input(path):
+    """Read a configuration file, ``-`` meaning stdin."""
+    if path == "-":
+        return sys.stdin.read()
+    with open(path) as handle:
+        return handle.read()
+
+
+def _write_output(path, text):
+    """Write output text, ``-`` meaning stdout."""
+    if path == "-":
+        sys.stdout.write(text)
     else:
-        with open(args.file) as handle:
-            text = handle.read()
-    graph = load_config(text, args.file)
-    result = tool(graph, args) if needs_args else tool(graph)
-    output = result if isinstance(result, str) else save_config(result)
-    if args.output == "-":
-        sys.stdout.write(output)
+        with open(path, "w") as handle:
+            handle.write(text)
+
+
+def _write_report(dest, report):
+    """Write the JSON pass report; ``-`` means stderr (stdout carries
+    the configuration)."""
+    text = report.to_json() + "\n"
+    if dest == "-":
+        sys.stderr.write(text)
     else:
-        with open(args.output, "w") as handle:
-            handle.write(output)
+        with open(dest, "w") as handle:
+            handle.write(text)
+
+
+def _filter_main(make_pipeline, description, argv=None, extra_args=None,
+                 pre_args=None, render=save_config, preflight=None):
+    """Run one filter entry point: parse options, read, run the
+    pipeline ``make_pipeline(args)`` builds, render, write, report."""
+    parser = _base_parser(description, extra_args, pre_args)
+    args = parser.parse_args(argv)
+    if preflight is not None:
+        status = preflight(args)
+        if status is not None:
+            return status
+    graph = load_config(_read_input(args.file), args.file)
+    pipeline = make_pipeline(args) if make_pipeline else Pipeline([])
+    result = pipeline.run(graph)
+    _write_output(args.output, render(result.graph))
+    if args.report:
+        _write_report(args.report, result.report)
     return 0
+
+
+def _single_pass(make_pass):
+    """A pipeline factory wrapping one tool pass."""
+
+    def make_pipeline(args):
+        return Pipeline([make_pass(args)])
+
+    return make_pipeline
+
+
+# ---------------------------------------------------------------------------
+# The per-tool filters.
 
 
 def fastclassifier_main(argv=None):
     """click-fastclassifier CLI."""
-    return _filter_main(fastclassifier, "Compile classifiers into specialized code.", argv)
+    return _filter_main(
+        _single_pass(lambda args: fastclassifier.as_pass()),
+        "Compile classifiers into specialized code.",
+        argv,
+    )
 
 
 def devirtualize_main(argv=None):
@@ -69,12 +140,11 @@ def devirtualize_main(argv=None):
             help="do not devirtualize this element (repeatable)",
         )
 
-    def tool(graph, args):
-        return devirtualize(graph, exclude=args.no_devirtualize)
-
     return _filter_main(
-        tool, "Replace virtual packet transfers with direct calls.", argv,
-        extra_args=extra, needs_args=True,
+        _single_pass(lambda args: devirtualize.as_pass(exclude=args.no_devirtualize)),
+        "Replace virtual packet transfers with direct calls.",
+        argv,
+        extra_args=extra,
     )
 
 
@@ -91,16 +161,22 @@ def xform_main(argv=None):
             "separated by lines of '%%%%' (default: the standard combo patterns)",
         )
 
-    def tool(graph, args):
+    def make_pass(args):
+        if not args.patterns:
+            return xform.as_pass()
+        from .patterns import STANDARD_PATTERNS
+
         pairs = list(STANDARD_PATTERNS)
         for path in args.patterns:
             with open(path) as handle:
                 pairs.extend(parse_pattern_file(handle.read(), path))
-        return xform(graph, pairs)
+        return xform.as_pass(patterns=pairs)
 
     return _filter_main(
-        tool, "Replace element collections with combination elements.", argv,
-        extra_args=extra, needs_args=True,
+        _single_pass(make_pass),
+        "Replace element collections with combination elements.",
+        argv,
+        extra_args=extra,
     )
 
 
@@ -123,29 +199,95 @@ def parse_pattern_file(text, filename="<patterns>"):
 
 def undead_main(argv=None):
     """click-undead CLI."""
-    return _filter_main(undead, "Remove dead code from the configuration.", argv)
+    return _filter_main(
+        _single_pass(lambda args: undead.as_pass()),
+        "Remove dead code from the configuration.",
+        argv,
+    )
 
 
 def align_main(argv=None):
     """click-align CLI."""
-    return _filter_main(align, "Insert Align elements for strict-alignment machines.", argv)
+    return _filter_main(
+        _single_pass(lambda args: align.as_pass()),
+        "Insert Align elements for strict-alignment machines.",
+        argv,
+    )
 
 
 def flatten_main(argv=None):
     """click-flatten CLI."""
-    return _filter_main(flatten, "Compile away compound element abstractions.", argv)
+    return _filter_main(
+        _single_pass(lambda args: flatten.as_pass()),
+        "Compile away compound element abstractions.",
+        argv,
+    )
 
 
 def mkmindriver_main(argv=None):
     """click-mkmindriver CLI."""
-    return _filter_main(mkmindriver, "Attach a minimal driver manifest.", argv)
+    return _filter_main(
+        _single_pass(lambda args: mkmindriver.as_pass()),
+        "Attach a minimal driver manifest.",
+        argv,
+    )
 
 
 def pretty_main(argv=None):
     """click-pretty CLI."""
     return _filter_main(
-        lambda graph: pretty_html(graph), "Pretty-print the configuration as HTML.", argv
+        None, "Pretty-print the configuration as HTML.", argv, render=pretty_html
     )
+
+
+# ---------------------------------------------------------------------------
+# The pipeline driver.
+
+
+def optimize_main(argv=None):
+    """click-optimize CLI: run a whole named pass pipeline in one
+    command — ``click-optimize --pipeline paper --report -``."""
+    def extra(parser):
+        parser.add_argument(
+            "--pipeline",
+            default="paper",
+            metavar="NAME",
+            help="named pipeline to run (default: paper; see --list-pipelines)",
+        )
+        parser.add_argument(
+            "--validate",
+            action="store_true",
+            help="run click-check between passes; fail naming the offending pass",
+        )
+        parser.add_argument(
+            "--list-pipelines",
+            action="store_true",
+            help="list the named pipelines and exit",
+        )
+
+    def preflight(args):
+        if args.list_pipelines:
+            for name in sorted(NAMED_PIPELINES):
+                passes = NAMED_PIPELINES[name]()
+                sys.stdout.write(
+                    "%-12s %s\n" % (name, " -> ".join(p.name for p in passes))
+                )
+            return 0
+        return None
+
+    return _filter_main(
+        lambda args: named_pipeline(
+            args.pipeline, validate="check" if args.validate else None
+        ),
+        "Run a named optimization pipeline over the configuration.",
+        argv,
+        extra_args=extra,
+        preflight=preflight,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Entry points outside the single-filter mould.
 
 
 def check_main(argv=None):
@@ -153,8 +295,7 @@ def check_main(argv=None):
     parser = argparse.ArgumentParser(description="Check a configuration for errors.")
     parser.add_argument("file", nargs="?", default="-")
     args = parser.parse_args(argv)
-    text = sys.stdin.read() if args.file == "-" else open(args.file).read()
-    collector = check(load_config(text, args.file))
+    collector = check(load_config(_read_input(args.file), args.file))
     report = collector.format()
     if report:
         sys.stderr.write(report + "\n")
@@ -192,40 +333,31 @@ def combine_main(argv=None):
     routers = OrderedDict()
     for spec in args.router:
         name, _, path = spec.partition("=")
-        with open(path) as handle:
-            routers[name] = load_config(handle.read(), path)
+        routers[name] = load_config(_read_input(path), path)
     links = []
     for spec in args.link:
         left, _, right = spec.partition("=")
         from_router, _, from_device = left.partition(".")
         to_router, _, to_device = right.partition(".")
         links.append(Link(from_router, from_device, to_router, to_device))
-    output = save_config(combine(routers, links))
-    if args.output == "-":
-        sys.stdout.write(output)
-    else:
-        with open(args.output, "w") as handle:
-            handle.write(output)
+    _write_output(args.output, save_config(combine(routers, links)))
     return 0
 
 
 def uncombine_main(argv=None):
     """click-uncombine CLI."""
-    parser = argparse.ArgumentParser(
-        description="Extract one router from a combined configuration."
-    )
-    parser.add_argument("router", help="router name to extract")
-    parser.add_argument("file", nargs="?", default="-")
-    parser.add_argument("-o", "--output", default="-")
-    args = parser.parse_args(argv)
-
     from .combine import uncombine
 
-    text = sys.stdin.read() if args.file == "-" else open(args.file).read()
-    output = save_config(uncombine(load_config(text, args.file), args.router))
-    if args.output == "-":
-        sys.stdout.write(output)
-    else:
-        with open(args.output, "w") as handle:
-            handle.write(output)
-    return 0
+    def pre(parser):
+        parser.add_argument("router", help="router name to extract")
+
+    return _filter_main(
+        _single_pass(
+            lambda args: Pass(
+                uncombine, name="uncombine", options={"router_name": args.router}
+            )
+        ),
+        "Extract one router from a combined configuration.",
+        argv,
+        pre_args=pre,
+    )

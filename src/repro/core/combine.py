@@ -288,4 +288,4 @@ def eliminate_arp(combined):
             pairs.append(arp_elimination_pattern(peer, link_config))
     if not pairs:
         return flat
-    return xform(flat, pairs)
+    return xform(flat, patterns=pairs)

@@ -19,6 +19,7 @@ import re
 from ..errors import ClickSemanticError
 from ..graph.router import CompoundClass
 from ..lang.lexer import split_config_args
+from .pipeline import tool_api
 
 _INPUT_CLASS = "__compound_input__"
 _OUTPUT_CLASS = "__compound_output__"
@@ -137,6 +138,7 @@ def _expand_one(graph, name, compound, scope):
                 )
 
 
+@tool_api()
 def flatten(graph):
     """Return a flattened copy of ``graph``: no compound classes remain."""
     result = graph.copy()

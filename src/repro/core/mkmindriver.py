@@ -11,6 +11,7 @@ loading anything else fails, as a minimal driver would.
 from __future__ import annotations
 
 from .flatten import flatten
+from .pipeline import tool_api
 
 MANIFEST_MEMBER = "mindriver.manifest"
 
@@ -22,6 +23,7 @@ def required_classes(graph):
     return sorted({decl.class_name for decl in flat.elements.values()})
 
 
+@tool_api()
 def mkmindriver(graph):
     """The tool: attach the manifest to the configuration archive."""
     result = flatten(graph) if graph.element_classes else graph.copy()

@@ -9,7 +9,10 @@ optimization passes." (§1, §5)
 A *tool* here is any callable ``RouterGraph -> RouterGraph``.
 :func:`chain` composes them; :func:`run_tool_on_text` adapts a tool to
 the textual (archive-aware) stdin/stdout convention the CLI entry points
-use.
+use.  :mod:`repro.core.pipeline` builds on this convention: a
+:class:`~repro.core.pipeline.Pass` is a tool, and a
+:class:`~repro.core.pipeline.Pipeline` is a chain that additionally
+observes, validates, and reports on every stage.
 """
 
 from __future__ import annotations
@@ -23,7 +26,8 @@ from ..lang.unparse import unparse_file
 def chain(*tools):
     """Compose tools left to right: ``chain(fc, xf, dv)(graph)`` applies
     fastclassifier, then xform, then devirtualize — devirtualize last,
-    as §6.1 prescribes."""
+    as §6.1 prescribes.  ``Pass`` objects compose too; for per-stage
+    timing and validation use :class:`repro.core.pipeline.Pipeline`."""
 
     def composed(graph):
         for tool in tools:

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from ..graph.visitor import forward_reachable
 from .flatten import flatten
+from .pipeline import tool_api
 from .toolchain import tool_specs
 
 # Classes whose elements originate packets (roots for liveness).
@@ -142,6 +143,7 @@ def _remove_dead_sinks(graph, specs):
     return removed
 
 
+@tool_api()
 def undead(graph):
     """The tool."""
     result = flatten(graph) if graph.element_classes else graph.copy()

@@ -18,6 +18,7 @@ Patterns are applied until no occurrence of any pattern remains.
 from __future__ import annotations
 
 import re
+import warnings
 from dataclasses import dataclass
 
 from ..errors import ClickSemanticError
@@ -27,6 +28,7 @@ from ..lang.build import build_graph
 from ..lang.lexer import split_config_args
 from ..lang.parser import parse
 from .flatten import flatten, substitute_params
+from .pipeline import tool_api
 
 _VAR_RE = re.compile(r"^\$[A-Za-z_][A-Za-z0-9_]*$")
 _MAX_APPLICATIONS = 10000
@@ -219,14 +221,22 @@ class _Matcher:
         self.host.replace_subgraph(set(mapping.values()), body, boundary)
 
 
-def xform(graph, pairs):
+@tool_api(legacy=("patterns",))
+def xform(graph, patterns=None):
     """The tool: apply every pattern pair until fixpoint.
 
-    Two guards catch replacements that re-create their own pattern (the
-    one way the fixpoint diverges): a hard application count, and a
-    growth limit — a legitimate pattern set never inflates the graph
-    past a few times its original size.
+    ``patterns`` defaults to the standard combo set
+    (:data:`~repro.core.patterns.STANDARD_PATTERNS`).  Two guards catch
+    replacements that re-create their own pattern (the one way the
+    fixpoint diverges): a hard application count, and a growth limit — a
+    legitimate pattern set never inflates the graph past a few times its
+    original size.
     """
+    if patterns is None:
+        from .patterns import STANDARD_PATTERNS
+
+        patterns = STANDARD_PATTERNS
+    pairs = patterns
     result = flatten(graph) if graph.element_classes else graph.copy()
     growth_limit = 4 * len(result.elements) + 64
     applications = 0
@@ -252,10 +262,10 @@ def xform(graph, pairs):
 
 
 def make_xform_tool(pairs):
-    """A chainable tool closure applying ``pairs``."""
-
-    def tool(graph):
-        return xform(graph, pairs)
-
-    tool.__name__ = "click-xform"
-    return tool
+    """Deprecated alias for ``xform.as_pass(patterns=...)``."""
+    warnings.warn(
+        "make_xform_tool() is deprecated; use xform.as_pass(patterns=...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return xform.as_pass(patterns=pairs)

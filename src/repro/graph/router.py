@@ -97,6 +97,14 @@ class RouterGraph:
         self.elements[name] = decl
         return decl
 
+    def reset_anon_names(self):
+        """Restart anonymous-name numbering (``Class@N``) from 1, as a
+        fresh parse of the serialized configuration would — the pass
+        manager calls this between passes so an in-memory pipeline
+        numbers new elements exactly like tools handing text across a
+        stdin/stdout boundary (collision checks keep names unique)."""
+        self._anon_counter = 0
+
     def generate_anon_name(self, class_name):
         """A fresh Click-style anonymous name (``Class@N``)."""
         base = class_name.split("/")[-1]

@@ -19,6 +19,7 @@ from ..configs.simple import crossed_pairs, simple_config
 from ..core.devirtualize import devirtualize
 from ..core.fastclassifier import fastclassifier
 from ..core.patterns import STANDARD_PATTERNS
+from ..core.pipeline import Pipeline
 from ..core.toolchain import load_config, save_config
 from ..core.xform import PatternPair, xform
 from ..elements.devices import LoopbackDevice
@@ -86,6 +87,7 @@ class Testbed:
     def __init__(self, interface_count=2, platform=P0):
         self.platform = platform
         self.interfaces = default_interfaces(interface_count)
+        self.last_report = None  # PipelineReport of the latest variant build
 
     # -- configurations ----------------------------------------------------------
 
@@ -96,24 +98,38 @@ class Testbed:
         pairs = crossed_pairs(len(self.interfaces))
         return load_config(simple_config(pairs), "<simple>")
 
-    def variant_graph(self, variant):
-        """Build a Figure 9 configuration through the tool chain."""
-        if variant == "simple":
-            return self.simple_graph()
-        graph = self.base_graph()
-        if variant in ("mr", "mr_all"):
-            graph = xform(graph, arp_elimination_patterns_for_hosts(self.interfaces))
-        if variant in ("fc", "all", "mr_all"):
-            graph = fastclassifier(graph)
-        if variant in ("xf", "all", "mr_all"):
-            graph = xform(graph, STANDARD_PATTERNS)
-        if variant in ("dv", "all", "mr_all"):
-            graph = devirtualize(graph)
+    def variant_passes(self, variant):
+        """The optimizer passes behind a Figure 9 variant, in tool-chain
+        order (devirtualize last, §6.1)."""
         if variant not in VARIANTS:
             raise ValueError("unknown variant %r" % variant)
+        passes = []
+        if variant in ("mr", "mr_all"):
+            passes.append(
+                xform.as_pass(
+                    patterns=arp_elimination_patterns_for_hosts(self.interfaces)
+                )
+            )
+        if variant in ("fc", "all", "mr_all"):
+            passes.append(fastclassifier.as_pass())
+        if variant in ("xf", "all", "mr_all"):
+            passes.append(xform.as_pass(patterns=STANDARD_PATTERNS))
+        if variant in ("dv", "all", "mr_all"):
+            passes.append(devirtualize.as_pass())
+        return passes
+
+    def variant_graph(self, variant):
+        """Build a Figure 9 configuration through the tool chain; the
+        run's per-pass PipelineReport lands in ``self.last_report``."""
+        if variant == "simple":
+            self.last_report = None
+            return self.simple_graph()
+        pipeline = Pipeline(self.variant_passes(variant), name=variant)
+        result = pipeline.run(self.base_graph())
+        self.last_report = result.report
         # Round-trip through text: the variant is exactly what the tool
         # chain would emit on stdout.
-        return load_config(save_config(graph), "<%s>" % variant)
+        return load_config(save_config(result.graph), "<%s>" % variant)
 
     # -- workload -----------------------------------------------------------------
 

@@ -117,6 +117,97 @@ class TestFilters:
         assert "Classifier" in output
 
 
+class TestOptimizeMain:
+    """click-optimize: one command for the whole pass pipeline."""
+
+    def test_paper_pipeline_matches_chained_clis(self, tmp_path):
+        """`click-optimize --pipeline paper` output is byte-identical to
+        the four-stage shell pipe of the individual tools."""
+        from repro.configs.iprouter import ip_router_config
+
+        path = tmp_path / "ip.click"
+        path.write_text(ip_router_config())
+        stage = str(path)
+        for index, main in enumerate(
+            (cli.fastclassifier_main, cli.xform_main, cli.undead_main,
+             cli.align_main, cli.devirtualize_main)
+        ):
+            out = str(tmp_path / ("stage%d.click" % index))
+            assert main([stage, "-o", out]) == 0
+            stage = out
+        chained = open(stage).read()
+
+        optimized_path = str(tmp_path / "optimized.click")
+        assert cli.optimize_main(
+            [str(path), "--pipeline", "paper", "-o", optimized_path]
+        ) == 0
+        assert open(optimized_path).read() == chained
+
+    def test_report_json_covers_all_five_passes(self, tmp_path):
+        import json
+
+        from repro.configs.iprouter import ip_router_config
+
+        path = tmp_path / "ip.click"
+        path.write_text(ip_router_config())
+        report_path = str(tmp_path / "report.json")
+        code = cli.optimize_main(
+            [str(path), "-o", str(tmp_path / "out.click"), "--report", report_path]
+        )
+        assert code == 0
+        report = json.load(open(report_path))
+        assert report["pipeline"] == "paper"
+        assert [entry["name"] for entry in report["passes"]] == [
+            "fastclassifier", "xform", "undead", "align", "devirtualize",
+        ]
+        for entry in report["passes"]:
+            assert entry["seconds"] > 0
+            assert entry["elements_delta"] == (
+                entry["elements_after"] - entry["elements_before"]
+            )
+
+    def test_report_dash_goes_to_stderr(self, config_file, capsys):
+        assert cli.optimize_main([config_file, "-o", os.devnull, "--report", "-"]) == 0
+        captured = capsys.readouterr()
+        assert '"pipeline": "paper"' in captured.err
+
+    def test_validate_flag(self, config_file):
+        assert cli.optimize_main([config_file, "-o", os.devnull, "--validate"]) == 0
+
+    def test_list_pipelines(self, capsys):
+        assert cli.optimize_main(["--list-pipelines"]) == 0
+        out = capsys.readouterr().out
+        assert "paper" in out and "fastclassifier -> xform" in out
+
+    def test_unknown_pipeline_errors(self, config_file):
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError, match="unknown pipeline"):
+            cli.optimize_main([config_file, "--pipeline", "turbo"])
+
+    def test_every_filter_accepts_report(self, config_file, tmp_path):
+        """--report FILE works on the single-tool CLIs too."""
+        import json
+
+        for main, name in (
+            (cli.fastclassifier_main, "fastclassifier"),
+            (cli.devirtualize_main, "devirtualize"),
+            (cli.xform_main, "xform"),
+            (cli.undead_main, "undead"),
+            (cli.align_main, "align"),
+            (cli.flatten_main, "flatten"),
+            (cli.mkmindriver_main, "mkmindriver"),
+        ):
+            report_path = str(tmp_path / (name + ".json"))
+            code = main(
+                [config_file, "-o", str(tmp_path / (name + ".click")),
+                 "--report", report_path]
+            )
+            assert code == 0
+            report = json.load(open(report_path))
+            assert [entry["name"] for entry in report["passes"]] == [name]
+
+
 class TestCheckMain:
     def test_clean_config_exits_zero(self, config_file):
         assert cli.check_main([config_file]) == 0
