@@ -1,0 +1,185 @@
+"""Wall-clock benchmark: reference interpreter vs. the compiled fast path.
+
+Measures packets-per-second through real routers — the standards-
+compliant IP router (the Figure 10 configuration) and the §4 screened-
+subnet firewall — in three modes:
+
+- ``reference``: the per-port interpreter, the semantic oracle;
+- ``fast``: precompiled push/pull chains (``Router.set_mode("fast")``);
+- ``fast_batched``: the same chains with burst batching.
+
+Results go to ``BENCH_fastpath.json`` so the perf trajectory has a
+tracked baseline.  Runs standalone (no pytest):
+
+    python benchmarks/bench_fastpath.py              # full run
+    python benchmarks/bench_fastpath.py --quick      # CI smoke
+    python benchmarks/bench_fastpath.py --check      # validate output
+
+Methodology: each (config, mode) is run ``--reps`` times on a fresh
+router with a warmup burst, and the best wall time is kept — the runs
+are long enough to amortize scheduling noise but the machines this runs
+on have frequency scaling, so best-of-N is the stable statistic.
+Before timing, each fast mode is checked byte-for-byte against the
+reference output on a short run.
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
+
+from repro.configs.firewall import dns5_packet, firewall_graph  # noqa: E402
+from repro.elements.devices import LoopbackDevice, PollDevice  # noqa: E402
+from repro.elements.runtime import Router  # noqa: E402
+from repro.sim.testbed import Testbed  # noqa: E402
+
+MODES = [("reference", False), ("fast", False), ("fast", True)]
+
+
+def mode_key(mode, batch):
+    return "fast_batched" if batch else mode
+
+
+def build_iprouter(mode, batch):
+    testbed = Testbed(2)
+    router, devices = testbed.build_router(
+        testbed.variant_graph("base"), mode=mode, batch=batch
+    )
+    return router, devices, testbed.evaluation_frames
+
+
+def build_firewall(mode, batch):
+    devices = {
+        "eth0": LoopbackDevice("eth0", tx_capacity=1 << 30),
+        "eth1": LoopbackDevice("eth1", tx_capacity=1 << 30),
+    }
+    router = Router(firewall_graph(), devices=devices, mode=mode, batch=batch)
+    frame = b"\x00\x50\x56\x00\x00\x01" + b"\x00\x50\x56\x00\x00\x02" + b"\x08\x00" + dns5_packet()
+
+    def frames(count):
+        return [("eth0", frame)] * count
+
+    return router, devices, frames
+
+
+CONFIGS = {"iprouter": build_iprouter, "firewall": build_firewall}
+
+
+def drive(router, devices, frames, count):
+    for device_name, frame in frames(count):
+        devices[device_name].receive_frame(frame)
+    router.run_tasks(count // PollDevice.BURST + 16)
+
+
+def transmitted(devices):
+    return {name: list(device.transmitted) for name, device in devices.items()}
+
+
+def measure(build, mode, batch, packets, reps, warmup=256):
+    best = None
+    for _ in range(reps):
+        router, devices, frames = build(mode, batch)
+        drive(router, devices, frames, warmup)
+        for device_name, frame in frames(packets):
+            devices[device_name].receive_frame(frame)
+        start = time.perf_counter()
+        router.run_tasks(packets // PollDevice.BURST + 16)
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return packets / best
+
+
+def check_equivalence(build, packets=256):
+    """Every fast mode must forward byte-identical traffic."""
+    reference = None
+    for mode, batch in MODES:
+        router, devices, frames = build(mode, batch)
+        drive(router, devices, frames, packets)
+        output = transmitted(devices)
+        if reference is None:
+            reference = output
+        elif output != reference:
+            raise AssertionError(
+                "%s/batch=%s output differs from reference" % (mode, batch)
+            )
+
+
+def run(packets, reps, quick):
+    results = {"quick": quick, "packets": packets, "reps": reps, "configs": {}}
+    for config_name, build in CONFIGS.items():
+        check_equivalence(build)
+        entry = {}
+        for mode, batch in MODES:
+            pps = measure(build, mode, batch, packets, reps)
+            entry[mode_key(mode, batch)] = {
+                "pps": round(pps, 1),
+                "ns_per_packet": round(1e9 / pps, 1),
+            }
+        baseline = entry["reference"]["pps"]
+        for key, stats in entry.items():
+            stats["speedup"] = round(stats["pps"] / baseline, 3)
+        results["configs"][config_name] = entry
+        for key, stats in entry.items():
+            print(
+                "%-10s %-13s %10.0f pps  %8.0f ns/pkt  %5.2fx"
+                % (config_name, key, stats["pps"], stats["ns_per_packet"], stats["speedup"])
+            )
+    return results
+
+
+def check_file(path):
+    """Validate an existing results file: well-formed, and fast mode is
+    not slower than the reference (the CI smoke criterion)."""
+    with open(path) as fh:
+        results = json.load(fh)
+    configs = results["configs"]
+    if not configs:
+        raise SystemExit("%s: no configs measured" % path)
+    for config_name, entry in configs.items():
+        for key in ("reference", "fast", "fast_batched"):
+            stats = entry[key]
+            if not (stats["pps"] > 0 and stats["ns_per_packet"] > 0):
+                raise SystemExit("%s: %s/%s has bogus numbers" % (path, config_name, key))
+        for key in ("fast", "fast_batched"):
+            if entry[key]["speedup"] < 1.0:
+                raise SystemExit(
+                    "%s: %s %s is slower than the reference interpreter (%.2fx)"
+                    % (path, config_name, key, entry[key]["speedup"])
+                )
+    print("%s: ok (%s)" % (path, ", ".join(sorted(configs))))
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="small run for CI smoke")
+    parser.add_argument("--reps", type=int, default=None, help="repetitions per mode")
+    parser.add_argument("--packets", type=int, default=None, help="timed packets per rep")
+    parser.add_argument(
+        "--out",
+        default=os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_fastpath.json"),
+        help="result file (default: repo-root BENCH_fastpath.json)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="validate an existing --out file instead of measuring",
+    )
+    args = parser.parse_args(argv)
+    if args.check:
+        check_file(args.out)
+        return
+    packets = args.packets or (2000 if args.quick else 20000)
+    reps = args.reps or (2 if args.quick else 3)
+    results = run(packets, reps, args.quick)
+    with open(args.out, "w") as fh:
+        json.dump(results, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print("wrote %s" % os.path.abspath(args.out))
+
+
+if __name__ == "__main__":
+    main()

@@ -264,6 +264,12 @@ def optimize_main(argv=None):
             action="store_true",
             help="list the named pipelines and exit",
         )
+        parser.add_argument(
+            "--fast",
+            action="store_true",
+            help="after the pipeline, compile the optimized router's "
+            "runtime fast path and print its report to stderr",
+        )
 
     def preflight(args):
         if args.list_pipelines:
@@ -275,15 +281,42 @@ def optimize_main(argv=None):
             return 0
         return None
 
-    return _filter_main(
-        lambda args: named_pipeline(
-            args.pipeline, validate="check" if args.validate else None
-        ),
-        "Run a named optimization pipeline over the configuration.",
-        argv,
-        extra_args=extra,
-        preflight=preflight,
+    parser = _base_parser(
+        "Run a named optimization pipeline over the configuration.", extra
     )
+    args = parser.parse_args(argv)
+    status = preflight(args)
+    if status is not None:
+        return status
+    graph = load_config(_read_input(args.file), args.file)
+    pipeline = named_pipeline(args.pipeline, validate="check" if args.validate else None)
+    result = pipeline.run(graph)
+    _write_output(args.output, save_config(result.graph))
+    if args.report:
+        _write_report(args.report, result.report)
+    if args.fast:
+        sys.stderr.write(_fastpath_report(result.graph) + "\n")
+    return 0
+
+
+def _fastpath_report(graph):
+    """Instantiate the optimized graph (loopback devices stand in for
+    whatever hardware the config names) and compile — but do not run —
+    its fast path; returns the compile report text."""
+    from ..elements.devices import LoopbackDevice
+    from ..elements.runtime import Router
+
+    class AutoDevices(dict):
+        # The optimized config can name any hardware; every lookup
+        # conjures a loopback stand-in so compilation never depends on
+        # the machine this runs on.
+        def get(self, name, default=None):
+            if name not in self:
+                self[name] = LoopbackDevice(name)
+            return self[name]
+
+    router = Router(graph, devices=AutoDevices())
+    return router.compile_fastpath().report.format()
 
 
 # ---------------------------------------------------------------------------

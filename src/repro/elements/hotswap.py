@@ -59,7 +59,10 @@ def hotswap(old_router, new_graph, **router_kwargs):
 
 def _queue_take_state(self, old):
     capacity_room = self.capacity
-    self._deque = list(old._deque)[:capacity_room]
+    # Mutate the deque in place: the fast-path compiler binds the deque
+    # object itself into generated code, so its identity must be stable.
+    self._deque.clear()
+    self._deque.extend(list(old._deque)[:capacity_room])
     self.drops += max(0, len(old._deque) - capacity_room)
     return True
 

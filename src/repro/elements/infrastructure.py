@@ -8,6 +8,7 @@ evaluation.
 from __future__ import annotations
 
 import random
+from collections import deque
 
 from ..net.packet import Packet
 from .element import ConfigError, Element
@@ -36,7 +37,7 @@ class Queue(Element):
                 raise ConfigError("bad Queue capacity %r" % args[0]) from None
             if self.capacity < 1:
                 raise ConfigError("Queue capacity must be positive")
-        self._deque = []
+        self._deque = deque()
         self.drops = 0
         self.highwater = 0
 
@@ -55,7 +56,7 @@ class Queue(Element):
     def pull(self, port):
         if not self._deque:
             return None
-        return self._deque.pop(0)
+        return self._deque.popleft()
 
 
 @register
@@ -68,7 +69,7 @@ class FrontDropQueue(Queue):
 
     def push(self, port, packet):
         if len(self._deque) >= self.capacity:
-            self._deque.pop(0)
+            self._deque.popleft()
             self.drops += 1
         self._deque.append(packet)
         if len(self._deque) > self.highwater:

@@ -12,7 +12,8 @@ from __future__ import annotations
 import struct
 
 from ..net.addresses import IPAddress
-from ..net.checksum import update_checksum_u16, verify_checksum
+from ..net.checksum import update_checksum_u16
+from ..net.packet import _DEST_IP_CACHE
 from ..net.headers import IP_HEADER_LEN, IPHeader
 from .element import ConfigError, Element
 from .registry import register
@@ -54,24 +55,28 @@ class PaintTee(Element):
     class_name = "PaintTee"
     processing = "a/ah"
     port_counts = "1/1-2"
+    fast_action = "_tee"
 
     def configure(self, args):
         if len(args) != 1:
             raise ConfigError("PaintTee needs a color")
         self.color = int(args[0])
 
-    def push(self, port, packet):
+    def _tee(self, packet):
         if packet.paint == self.color and self.noutputs > 1:
             self.output(1).push(packet.clone())
-        self.output(0).push(packet)
+        return packet
+
+    def push(self, port, packet):
+        result = self._tee(packet)
+        if result is not None:
+            self.output(0).push(result)
 
     def pull(self, port):
         packet = self.input(0).pull()
         if packet is None:
             return None
-        if packet.paint == self.color and self.noutputs > 1:
-            self.output(1).push(packet.clone())
-        return packet
+        return self._tee(packet)
 
 
 @register
@@ -92,6 +97,7 @@ class CheckIPHeader(Element):
     class_name = "CheckIPHeader"
     processing = "a/ah"
     port_counts = "1/1-2"
+    fast_action = "_check"
     # The alignment click-align must guarantee at our input (modulus 4,
     # offset 0: a word-aligned IP header).
     required_alignment = (4, 0)
@@ -129,31 +135,49 @@ class CheckIPHeader(Element):
         return self._check(packet)
 
     def _check(self, packet):
-        data = packet.data[self.offset:]
+        data = packet._data_cache
+        if data is None:
+            data = packet.data
+        if self.offset:
+            data = data[self.offset:]
         if self.strict_alignment and (packet.data_alignment() + self.offset) % 4 != 0:
             raise RuntimeError(
                 "CheckIPHeader %s: unaligned packet data (alignment %d) — "
                 "on ARM this is a crash; run click-align"
                 % (self.name, packet.data_alignment())
             )
-        if len(data) < IP_HEADER_LEN:
+        length = len(data)
+        if length < IP_HEADER_LEN:
             return self._fail(packet)
         version_ihl = data[0]
         if version_ihl >> 4 != 4:
             return self._fail(packet)
         header_length = (version_ihl & 0xF) * 4
-        if header_length < IP_HEADER_LEN or len(data) < header_length:
+        if header_length < IP_HEADER_LEN or length < header_length:
             return self._fail(packet)
-        total_length = struct.unpack_from("!H", data, 2)[0]
-        if total_length < header_length or total_length > len(data):
+        # One big-int conversion serves every remaining test: RFC 1071
+        # verification (the header is valid iff its one's-complement sum
+        # folds to 0xFFFF, i.e. the big-endian value is a nonzero
+        # multiple of 0xFFFF — the all-zero header cannot reach here, it
+        # fails the version test), and the length/source/destination
+        # fields, extracted by shifting instead of re-slicing the bytes.
+        header = int.from_bytes(data[:header_length], "big")
+        shift = header_length * 8
+        total_length = (header >> (shift - 32)) & 0xFFFF
+        if total_length < header_length or total_length > length:
             return self._fail(packet)
-        if not verify_checksum(data[:header_length]):
+        if header % 0xFFFF:
             return self._fail(packet)
-        src = struct.unpack_from("!I", data, 12)[0]
-        if src in self.bad_src or src == 0xFFFFFFFF:
+        src = (header >> (shift - 128)) & 0xFFFFFFFF
+        if src == 0xFFFFFFFF or src in self.bad_src:
             return self._fail(packet)
         packet.ip_header_offset = self.offset
-        packet.set_dest_ip_anno(struct.unpack_from("!I", data, 16)[0])
+        dst = (header >> (shift - 160)) & 0xFFFFFFFF
+        anno = _DEST_IP_CACHE.get(dst)
+        if anno is None:
+            packet.set_dest_ip_anno(dst)
+        else:
+            packet.dest_ip_anno = anno
         return packet
 
 
@@ -257,6 +281,7 @@ class IPGWOptions(Element):
     class_name = "IPGWOptions"
     processing = "a/ah"
     port_counts = "1/1-2"
+    fast_action = "_process"
 
     def configure(self, args):
         if len(args) > 1:
@@ -348,6 +373,7 @@ class DecIPTTL(Element):
     class_name = "DecIPTTL"
     processing = "a/ah"
     port_counts = "1/1-2"
+    fast_action = "_decrement"
 
     def configure(self, args):
         self.expired = 0
@@ -371,12 +397,22 @@ class DecIPTTL(Element):
             if self.noutputs > 1:
                 self.output(1).push(packet)
             return None
-        old_word = struct.unpack_from("!H", data, 8)[0]
-        new_word = old_word - 0x0100
-        old_checksum = struct.unpack_from("!H", data, 10)[0]
-        new_checksum = update_checksum_u16(old_checksum, old_word, new_word)
-        packet.replace(8, bytes([ttl - 1]))
-        packet.replace(10, struct.pack("!H", new_checksum))
+        old_word = (ttl << 8) | data[9]
+        old_checksum = (data[10] << 8) | data[11]
+        # RFC 1624 incremental update, inlined: HC' = ~(~HC + ~m + m')
+        # where m' = m - 0x0100 (the TTL byte dropping by one).
+        total = ((~old_checksum) & 0xFFFF) + ((~old_word) & 0xFFFF) + (old_word - 0x0100)
+        while total > 0xFFFF:
+            total = (total & 0xFFFF) + (total >> 16)
+        new_checksum = (~total) & 0xFFFF
+        # Poke the three changed bytes directly; reading data[11] above
+        # already guaranteed they are inside the buffer.
+        buf = packet._buf
+        base = packet._data_offset + 8
+        buf[base] = ttl - 1
+        buf[base + 2] = new_checksum >> 8
+        buf[base + 3] = new_checksum & 0xFF
+        packet._data_cache = None
         return packet
 
 
@@ -389,6 +425,10 @@ class IPFragmenter(Element):
     class_name = "IPFragmenter"
     processing = "h/h"
     port_counts = "1/1-2"
+    # The common case (packet fits the MTU) returns the packet untouched;
+    # fragments and DF rejects are pushed from inside the method, so the
+    # fast path can inline the MTU test into its chains.
+    fast_action = "_maybe_fragment"
 
     def configure(self, args):
         if not args or len(args) > 1:
@@ -400,17 +440,22 @@ class IPFragmenter(Element):
         self.df_drops = 0
 
     def push(self, port, packet):
-        if len(packet) <= self.mtu:
+        packet = self._maybe_fragment(packet)
+        if packet is not None:
             self.output(0).push(packet)
-            return
+
+    def _maybe_fragment(self, packet):
+        if len(packet) <= self.mtu:
+            return packet
         header = IPHeader.unpack(packet.data)
         if header.dont_fragment:
             self.df_drops += 1
             if self.noutputs > 1:
                 self.output(1).push(packet)
-            return
+            return None
         for fragment in self._fragment(packet, header):
             self.output(0).push(fragment)
+        return None
 
     def _fragment(self, packet, header):
         from ..net.checksum import internet_checksum

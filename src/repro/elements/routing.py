@@ -80,13 +80,24 @@ class LookupIPRoute(_IPRouteTable):
         # Sort by decreasing prefix specificity so the first hit is the
         # longest match.
         self._ordered = sorted(self.routes, key=lambda r: bin(r[1]).count("1"), reverse=True)
+        # The table is immutable after configure, so results can be
+        # memoized per destination (bounded; traffic reuses few).
+        self._memo = {}
 
     def lookup_route(self, addr):
-        value = IPAddress(addr).value
+        value = addr.value if type(addr) is IPAddress else IPAddress(addr).value
+        try:
+            return self._memo[value]
+        except KeyError:
+            pass
+        result = None
         for network, mask, gateway, port in self._ordered:
             if (value & mask) == network:
-                return gateway, port
-        return None
+                result = (gateway, port)
+                break
+        if len(self._memo) < 65536:
+            self._memo[value] = result
+        return result
 
 
 @register

@@ -15,6 +15,8 @@ configuration's private class table before resolving class names.
 
 from __future__ import annotations
 
+from collections import ChainMap
+
 from ..errors import ClickSemanticError
 from ..graph.ports import PULL, PUSH, resolve_processing
 from .element import Element
@@ -48,17 +50,29 @@ def compile_archive_classes(archive):
 class Router:
     """A running router built from a configuration graph."""
 
-    def __init__(self, graph, extra_classes=None, meter=None, devices=None):
+    def __init__(
+        self, graph, extra_classes=None, meter=None, devices=None, mode="reference", batch=False
+    ):
         self.graph = graph
         self.meter = meter
-        self.devices = devices or {}
-        self._classes = dict(ELEMENT_CLASSES)
-        self._classes.update(compile_archive_classes(graph.archive))
+        # Keep the caller's mapping object (even when empty): device
+        # lookups go through its .get, so callers may pass lazy or
+        # auto-populating mappings.
+        self.devices = {} if devices is None else devices
+        # Layer per-configuration classes over the global registry
+        # instead of copying it: building a router stops being
+        # O(registry size), and the registry stays shared and read-only.
+        overlay = dict(compile_archive_classes(graph.archive))
         if extra_classes:
-            self._classes.update(extra_classes)
+            overlay.update(extra_classes)
+        self._classes = ChainMap(overlay, ELEMENT_CLASSES)
         self.elements = {}
         self._tasks = []
+        self.fastpath = None
+        self._mode = "reference"
         self._build()
+        if mode != "reference":
+            self.set_mode(mode, batch=batch)
 
     # -- construction ---------------------------------------------------------
 
@@ -140,6 +154,38 @@ class Router:
             element.initialize()
             if element.is_task():
                 self._tasks.append(element)
+
+    # -- execution mode --------------------------------------------------------
+
+    @property
+    def mode(self):
+        """``"reference"`` (the interpreting oracle) or ``"fast"``."""
+        return self._mode
+
+    def compile_fastpath(self, batch=False):
+        """Compile this router's fast path (without installing it) and
+        return the :class:`~repro.runtime.fastpath.FastPath`."""
+        from ..runtime.fastpath import FastPath
+
+        if self.fastpath is not None and self.fastpath.installed:
+            self.fastpath.uninstall()
+        self.fastpath = FastPath(self, batch=batch)
+        return self.fastpath
+
+    def set_mode(self, mode, batch=False):
+        """Switch between the reference interpreter and the compiled
+        fast path; compiles on first use (and on batch-flavor change)."""
+        if mode not in ("reference", "fast"):
+            raise ValueError("mode must be 'reference' or 'fast', not %r" % (mode,))
+        if mode == "reference":
+            if self.fastpath is not None and self.fastpath.installed:
+                self.fastpath.uninstall()
+        else:
+            if self.fastpath is None or self.fastpath.batch != bool(batch):
+                self.compile_fastpath(batch=batch)
+            self.fastpath.install()
+        self._mode = mode
+        return self
 
     # -- access ------------------------------------------------------------------
 

@@ -11,18 +11,22 @@ from __future__ import annotations
 
 def ones_complement_sum(data, initial=0):
     """16-bit one's-complement sum over ``data`` (padded with a zero byte
-    if of odd length), folded to 16 bits."""
-    total = initial
-    length = len(data)
-    # Sum 16-bit big-endian words.
-    for i in range(0, length - 1, 2):
-        total += (data[i] << 8) | data[i + 1]
-    if length % 2:
-        total += data[-1] << 8
-    # Fold carries.
-    while total > 0xFFFF:
-        total = (total & 0xFFFF) + (total >> 16)
-    return total
+    if of odd length), folded to 16 bits.
+
+    Computed without a per-word Python loop: reading ``data`` as one
+    big-endian integer makes the words base-65536 digits, and since
+    2**16 ≡ 1 (mod 65535) their end-around-carry sum is the integer
+    reduced mod 0xFFFF — with the one wrinkle that folding yields
+    0xFFFF (not 0) whenever the sum is a positive multiple of 0xFFFF.
+    """
+    value = int.from_bytes(data, "big")
+    if len(data) & 1:
+        value <<= 8
+    total = initial + value
+    if total == 0:
+        return 0
+    folded = total % 0xFFFF
+    return folded if folded else 0xFFFF
 
 
 def internet_checksum(data):

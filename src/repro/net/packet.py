@@ -22,6 +22,11 @@ class PacketError(RuntimeError):
     """Raised on misuse of the packet buffer (e.g. stripping past the end)."""
 
 
+_DEST_IP_CACHE = {}
+"""Interned IPAddress annotations, keyed by the raw value handed to
+:meth:`Packet.set_dest_ip_anno` (bounded; see there)."""
+
+
 class Packet:
     """A network packet: bytes plus annotations.
 
@@ -35,6 +40,7 @@ class Packet:
     __slots__ = (
         "_buf",
         "_data_offset",
+        "_data_cache",
         "buffer_alignment",
         "paint",
         "dest_ip_anno",
@@ -46,8 +52,13 @@ class Packet:
     )
 
     def __init__(self, data=b"", headroom=DEFAULT_HEADROOM, buffer_alignment=0):
-        self._buf = bytearray(headroom) + bytearray(data)
+        buf = bytearray(headroom + len(data))
+        buf[headroom:] = data
+        self._buf = buf
         self._data_offset = headroom
+        # The constructor argument IS the initial contents: seed the
+        # cache with it and the first .data read costs nothing.
+        self._data_cache = data if type(data) is bytes else None
         self.buffer_alignment = buffer_alignment % 4
         self.paint = 0
         self.dest_ip_anno = None
@@ -62,8 +73,13 @@ class Packet:
     @property
     def data(self):
         """The packet contents as ``bytes`` (copy-free views are not worth
-        the aliasing hazards at this scale)."""
-        return bytes(self._buf[self._data_offset:])
+        the aliasing hazards at this scale).  The copy is cached until the
+        next mutation — a forwarding path reads ``data`` many times per
+        hop, so this turns O(hops) buffer copies into one per rewrite."""
+        cached = self._data_cache
+        if cached is None:
+            cached = self._data_cache = bytes(self._buf[self._data_offset:])
+        return cached
 
     def __len__(self):
         return len(self._buf) - self._data_offset
@@ -82,11 +98,13 @@ class Packet:
         if nbytes < 0 or nbytes > len(self):
             raise PacketError("cannot strip %d bytes from %d-byte packet" % (nbytes, len(self)))
         self._data_offset += nbytes
+        self._data_cache = None
 
     def push(self, data):
         """Prepend ``data``, using headroom when available (cheap) and
         reallocating when not (expensive, like skb reallocation)."""
-        data = bytes(data)
+        if type(data) is not bytes:
+            data = bytes(data)
         if len(data) <= self._data_offset:
             start = self._data_offset - len(data)
             self._buf[start:self._data_offset] = data
@@ -97,6 +115,7 @@ class Packet:
             self._buf = bytearray(DEFAULT_HEADROOM) + bytearray(contents)
             self._data_offset = DEFAULT_HEADROOM
             self.buffer_alignment = 0
+        self._data_cache = None
 
     def pull(self, nbytes):
         """Alias for :meth:`strip` (Click calls this ``pull``)."""
@@ -107,29 +126,53 @@ class Packet:
         if nbytes < 0 or nbytes > len(self):
             raise PacketError("cannot take %d bytes from %d-byte packet" % (nbytes, len(self)))
         del self._buf[len(self._buf) - nbytes:]
+        self._data_cache = None
 
     def put(self, data):
         """Append ``data`` at the tail."""
         self._buf += bytes(data)
+        self._data_cache = None
 
     def replace(self, offset, data):
         """Overwrite packet bytes at ``offset`` (relative to the data
         pointer) with ``data``."""
-        data = bytes(data)
-        end = offset + len(data)
-        if offset < 0 or end > len(self):
-            raise PacketError("replace [%d:%d) outside %d-byte packet" % (offset, end, len(self)))
+        if type(data) is not bytes:
+            data = bytes(data)
         start = self._data_offset + offset
-        self._buf[start:start + len(data)] = data
+        end = start + len(data)
+        if offset < 0 or end > len(self._buf):
+            raise PacketError(
+                "replace [%d:%d) outside %d-byte packet"
+                % (offset, offset + len(data), len(self))
+            )
+        self._buf[start:end] = data
+        self._data_cache = None
 
     def set_data(self, data):
         """Replace the whole contents, keeping annotations and headroom."""
         self._buf = self._buf[: self._data_offset] + bytearray(data)
+        self._data_cache = None
 
     # -- annotations ---------------------------------------------------------
 
     def set_dest_ip_anno(self, addr):
-        self.dest_ip_anno = IPAddress(addr) if addr is not None else None
+        if addr is None:
+            self.dest_ip_anno = None
+        elif type(addr) is IPAddress:
+            self.dest_ip_anno = addr
+        else:
+            # IPAddress is immutable, and forwarding traffic reuses few
+            # destinations: intern instead of constructing per packet.
+            try:
+                cached = _DEST_IP_CACHE.get(addr)
+            except TypeError:  # unhashable (e.g. bytearray)
+                self.dest_ip_anno = IPAddress(addr)
+                return
+            if cached is None:
+                cached = IPAddress(addr)
+                if len(_DEST_IP_CACHE) < 65536:
+                    _DEST_IP_CACHE[addr] = cached
+            self.dest_ip_anno = cached
 
     def copy_annotations_from(self, other):
         self.paint = other.paint
@@ -146,6 +189,7 @@ class Packet:
         dup = Packet.__new__(Packet)
         dup._buf = bytearray(self._buf)
         dup._data_offset = self._data_offset
+        dup._data_cache = self._data_cache
         dup.buffer_alignment = self.buffer_alignment
         dup.copy_annotations_from(self)
         return dup
@@ -159,6 +203,7 @@ class Packet:
         # Choose a buffer alignment that yields the requested data alignment.
         self._buf = bytearray(headroom) + bytearray(contents)
         self._data_offset = headroom
+        self._data_cache = None
         self.buffer_alignment = (offset - headroom) % modulus % 4
         return self
 

@@ -1,0 +1,11 @@
+"""Runtime acceleration: compile a wired router into a fast path.
+
+The paper's optimizers rewrite *configurations*; this package applies
+the same whole-configuration knowledge to the *runtime* — walking the
+instantiated graph once and generating specialized dispatch code, the
+move Morpheus and the NetKAT compiler make at runtime scale.
+"""
+
+from .fastpath import FastPath, FastPathError, FastPathReport
+
+__all__ = ["FastPath", "FastPathError", "FastPathReport"]

@@ -1,0 +1,1171 @@
+"""The runtime fast path: precompiled push/pull chain dispatch.
+
+The reference interpreter pays modular indirection on every hop: each
+transfer crosses ``OutputPort.push`` → ``Element.receive_push`` →
+``Element.push`` → ``simple_action``, five Python calls and several
+attribute lookups per element.  The paper's whole argument is that a
+compiler holding the *entire* configuration can collapse that
+indirection into straight-line code (§6.1's devirtualization); this
+module is the same move applied to the Python runtime itself.
+
+:class:`FastPath` walks a wired :class:`~repro.elements.runtime.Router`
+once, resolves every push and pull edge to a bound method, and emits
+per-source *chains*: generated Python functions (``compile``/``exec``,
+the mechanism :func:`~repro.elements.runtime.compile_archive_classes`
+already uses for archive code) that
+
+- inline linear runs of one-in/one-out elements as a sequence of bound
+  ``simple_action`` calls (or a declared :attr:`Element.fast_action`
+  equivalent) with early drop exits, and
+- replace every branching element's :class:`OutputPort` with a
+  :class:`FastOutputPort` whose ``push`` slot *is* the compiled chain
+  for that edge — the list of fast ports is a precomputed jump table,
+  so ``self.output(i).push(p)`` dispatches straight into generated code
+  with no port logic, no meter test, and no ``receive_push`` hop.
+
+With ``batch=True`` the device elements hand whole bursts to
+``push_batch``/``pull_batch`` entry points whose generated bodies loop
+internally, amortizing the per-packet call overhead (Click's polling
+burst, applied to dispatch).
+
+Cycle accounting still works in fast mode: when the router carries a
+meter at compile time, chains are generated in a *metered* flavor that
+counts how far each packet gets and reconciles the aggregate charge
+once per batch through ``meter.on_chain`` (see
+:meth:`repro.sim.cpu.CycleMeter.on_chain`).  For unbatched fast mode
+the charge sequence is identical to the reference interpreter's, so
+the meter's totals match exactly; batching changes branch-predictor
+behavior exactly the way real batching does.
+
+Debugging: the full generated module is ``router.fastpath.source``
+(or ``FastPath.dump(fh)``); each chain is annotated with the edge it
+compiles.
+"""
+
+from __future__ import annotations
+
+from ..elements.element import Element
+
+__all__ = ["FastPath", "FastPathError", "FastPathReport", "FastOutputPort", "FastInputPort"]
+
+
+class FastPathError(RuntimeError):
+    """Raised when a router cannot be compiled into a fast path."""
+
+
+_MISS = object()
+"""Sentinel distinguishing a route-memo miss from a memoized no-route."""
+
+
+class FastOutputPort:
+    """A push port whose ``push`` slot is a compiled chain function.
+
+    Keeps the reference :class:`~repro.elements.element.OutputPort`
+    surface (``element``, ``port``, ``target``, ``target_port``,
+    ``virtual``) so graph-walking code and handlers see no difference.
+    ``push_batch`` is the batched entry point, or None outside batch
+    mode.
+    """
+
+    __slots__ = ("element", "port", "target", "target_port", "virtual", "push", "push_batch")
+
+    def __init__(self, original, push, push_batch=None):
+        self.element = original.element
+        self.port = original.port
+        self.target = original.target
+        self.target_port = original.target_port
+        self.virtual = original.virtual
+        self.push = push
+        self.push_batch = push_batch
+
+
+class FastInputPort:
+    """A pull port whose ``pull`` slot is a compiled chain function."""
+
+    __slots__ = ("element", "port", "source", "source_port", "virtual", "pull", "pull_batch")
+
+    def __init__(self, original, pull, pull_batch=None):
+        self.element = original.element
+        self.port = original.port
+        self.source = original.source
+        self.source_port = original.source_port
+        self.virtual = original.virtual
+        self.pull = pull
+        self.pull_batch = pull_batch
+
+
+class ChainStage:
+    """One hop of a compiled chain, as the cost meter sees it: the
+    transfer into ``to_element`` plus that element's handler entry.
+    Mirrors what :meth:`CycleMeter.on_transfer` and
+    :meth:`CycleMeter.on_element_work` would have charged."""
+
+    __slots__ = ("from_element", "to_element", "site", "target_name", "virtual", "uses_simple_action")
+
+    def __init__(self, from_element, to_element, site, target_name, virtual, uses_simple_action):
+        self.from_element = from_element
+        self.to_element = to_element
+        self.site = site
+        self.target_name = target_name
+        self.virtual = virtual
+        self.uses_simple_action = uses_simple_action
+
+    def __repr__(self):
+        return "ChainStage(%s -> %s via %r)" % (
+            self.from_element.name,
+            self.to_element.name,
+            self.site,
+        )
+
+
+class ChainInfo:
+    """What one chain compiles: its source edge, the elements inlined
+    into straight-line code, and the terminal dispatch."""
+
+    __slots__ = ("kind", "element", "port", "inlined", "terminal", "terminal_port", "function_name")
+
+    def __init__(self, kind, element, port, inlined, terminal, terminal_port, function_name):
+        self.kind = kind
+        self.element = element
+        self.port = port
+        self.inlined = inlined
+        self.terminal = terminal
+        self.terminal_port = terminal_port
+        self.function_name = function_name
+
+    def describe(self):
+        hops = [name for name in self.inlined] + ["%s.%s(%d)" % (self.terminal, self.kind, self.terminal_port)]
+        return "%s %s [%d] -> %s" % (self.kind, self.element, self.port, " -> ".join(hops))
+
+
+class FastPathReport:
+    """The compile report: what the fast path did to the configuration."""
+
+    def __init__(self):
+        self.push_chains = 0
+        self.pull_chains = 0
+        self.inlined_calls = 0
+        self.inlined_elements = set()
+        self.longest_chain = 0
+        self.branch_elements = 0
+        self.branch_ports = 0
+        self.specialized_terminals = 0
+        self.specialized_actions = 0
+        self.elided_elements = 0
+        self.batch = False
+        self.metered = False
+        self.source_lines = 0
+
+    def as_dict(self):
+        return {
+            "push_chains": self.push_chains,
+            "pull_chains": self.pull_chains,
+            "inlined_calls": self.inlined_calls,
+            "inlined_elements": sorted(self.inlined_elements),
+            "longest_chain": self.longest_chain,
+            "branch_elements": self.branch_elements,
+            "branch_ports": self.branch_ports,
+            "specialized_terminals": self.specialized_terminals,
+            "specialized_actions": self.specialized_actions,
+            "elided_elements": self.elided_elements,
+            "batch": self.batch,
+            "metered": self.metered,
+            "source_lines": self.source_lines,
+        }
+
+    def to_json(self):
+        import json
+
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True)
+
+    def format(self):
+        """Human-readable summary (what ``click-optimize --fast`` prints)."""
+        lines = [
+            "fast path: %d push chains, %d pull chains (%d generated lines%s%s)"
+            % (
+                self.push_chains,
+                self.pull_chains,
+                self.source_lines,
+                ", batched" if self.batch else "",
+                ", metered" if self.metered else "",
+            ),
+            "  inlined: %d element handlers across %d elements (longest chain: %d)"
+            % (self.inlined_calls, len(self.inlined_elements), self.longest_chain),
+            "  branches: %d elements dispatch %d ports through the jump table"
+            % (self.branch_elements, self.branch_ports),
+            "  specialized: %d terminals and %d actions compiled in place, "
+            "%d redundant elements elided"
+            % (self.specialized_terminals, self.specialized_actions, self.elided_elements),
+        ]
+        return "\n".join(lines)
+
+
+def inline_action_name(cls):
+    """The per-packet handler the fast path may inline for ``cls``, or
+    None when the element must be dispatched through its own ``push`` /
+    ``pull``.
+
+    A class qualifies when it leaves the default ``Element.push`` and
+    ``Element.pull`` in place (the ``simple_action`` sugar) or when it
+    declares :attr:`Element.fast_action` — the name of a method
+    ``f(packet) -> packet | None`` that its push/pull handlers wrap in
+    exactly the simple_action pattern (side outputs, e.g. error ports,
+    are pushed from inside the method and so keep working inlined).
+    """
+    name = getattr(cls, "fast_action", None)
+    if name:
+        return name
+    if cls.push is Element.push and cls.pull is Element.pull:
+        return "simple_action"
+    return None
+
+
+def _uses_shared_dispatch(element):
+    """Mirror of :func:`repro.sim.cpu.uses_simple_action` without the
+    sim dependency: does this element ride the shared simple_action
+    call site the BTB model penalizes?"""
+    cls = type(element)
+    return cls.push is Element.push and cls.pull is Element.pull
+
+
+class FastPath:
+    """A compiled fast path over one wired router.
+
+    Construction compiles; :meth:`install` swaps the compiled ports in;
+    :meth:`uninstall` restores the reference interpreter untouched.
+    """
+
+    def __init__(self, router, batch=False):
+        self.router = router
+        self.batch = bool(batch)
+        self.metered = router.meter is not None
+        if self.metered and not hasattr(router.meter, "on_chain"):
+            raise FastPathError(
+                "meter %r does not support fast mode (no on_chain); "
+                "use the reference interpreter or a CycleMeter" % (router.meter,)
+            )
+        self.chains = {}  # (kind, element_name, port) -> ChainInfo
+        self._compiled = {}  # same key -> (fn, batch_fn_or_None)
+        self._jump_tables = []  # (list to fill, terminal element, dispatch mode)
+        self._saved_ports = None
+        self.installed = False
+        self.source = ""
+        self._namespace = {}
+        self.report = FastPathReport()
+        self.report.batch = self.batch
+        self.report.metered = self.metered
+        self._compile()
+
+    # -- tracing ---------------------------------------------------------------
+
+    def _trace_push(self, element, port_index):
+        """Follow the push edge out of ``element[port_index]`` through
+        every inlineable one-in/one-out element; returns (stages,
+        bound inlined actions, terminal element, terminal input port)."""
+        via = element._output_ports[port_index]
+        stages, actions = [], []
+        seen = {id(element)}
+        prev, prev_port = element, port_index
+        current, in_port = via.target, via.target_port
+        while True:
+            stages.append(
+                ChainStage(
+                    prev,
+                    current,
+                    (type(prev).__name__, "push", prev_port),
+                    type(current).__name__,
+                    via.virtual,
+                    _uses_shared_dispatch(current),
+                )
+            )
+            # Entering port 0 of an inlineable element always forwards on
+            # output 0 (the simple_action/fast_action contract), whatever
+            # its other input ports do — chains entering those ports are
+            # compiled separately, so ninputs does not matter here.
+            action = inline_action_name(type(current))
+            if (
+                action is None
+                or in_port != 0
+                or id(current) in seen
+                or not current._output_ports
+            ):
+                break
+            next_port = current._output_ports[0]
+            if next_port.target is None:
+                break
+            seen.add(id(current))
+            actions.append(getattr(current, action))
+            prev, prev_port, via = current, 0, next_port
+            current, in_port = next_port.target, next_port.target_port
+        return stages, actions, current, in_port
+
+    def _trace_pull(self, element, port_index):
+        """Follow the pull edge into ``element[port_index]`` upstream
+        through every inlineable element; returns (stages, bound
+        inlined actions in walk order, terminal element, terminal
+        output port).  Actions apply to the pulled packet in *reverse*
+        walk order (nearest the terminal first)."""
+        via = element._input_ports[port_index]
+        stages, actions = [], []
+        seen = {id(element)}
+        prev, prev_port = element, port_index
+        current, out_port = via.source, via.source_port
+        while True:
+            stages.append(
+                ChainStage(
+                    prev,
+                    current,
+                    (type(prev).__name__, "pull", prev_port),
+                    type(current).__name__,
+                    via.virtual,
+                    _uses_shared_dispatch(current),
+                )
+            )
+            action = inline_action_name(type(current))
+            if (
+                action is None
+                or out_port != 0
+                or id(current) in seen
+                or not current._input_ports
+            ):
+                break
+            next_port = current._input_ports[0]
+            if next_port.source is None:
+                break
+            seen.add(id(current))
+            actions.append(getattr(current, action))
+            prev, prev_port, via = current, 0, next_port
+            current, out_port = next_port.source, next_port.source_port
+        return stages, actions, current, out_port
+
+    # -- code generation ---------------------------------------------------------
+
+    def _bind(self, value):
+        """Park a runtime object in the generated module's globals and
+        return its name; generated defs capture it via default args."""
+        name = "_b%d" % len(self._namespace)
+        self._namespace[name] = value
+        return name
+
+    def _terminal_spec(self, terminal, terminal_port, new_arg, stack=None, depth=0):
+        """Specialized dispatch for well-known terminal elements
+        (unmetered chains only): a classifier terminal becomes its
+        compiled matcher plus a jump table straight into the per-output
+        chains; a route-table terminal inlines the lookup / gateway
+        annotation / bounds-checked dispatch; a Queue terminal becomes a
+        bounds-checked deque append.  Returns a line emitter or None
+        when the terminal must be called through its own bound ``push``.
+        All three pushes ignore their input-port argument, so any entry
+        port may specialize.
+
+        The jump tables are bound now as empty lists and filled after
+        ``exec`` (the per-output chain functions do not exist yet while
+        this chain is being emitted).
+
+        ``stack`` (expanded terminal ids) and ``depth`` drive *dispatch
+        fusion*: each branch target whose chain can itself be compiled
+        in line is emitted as an ``if out == i:`` body instead of a
+        jump-table call, so the common forwarding path runs from device
+        to Queue in a single stack frame.  Targets that cannot be fused
+        (cycles, depth limit, unknown terminals) still dispatch through
+        the table.
+        """
+        if self.metered:
+            return None
+        if stack is None:
+            stack = frozenset()
+        from ..elements.classifiers import FastClassifierBase, _TreeClassifier
+        from ..elements.infrastructure import Queue
+        from ..elements.routing import _IPRouteTable
+
+        cls = type(terminal)
+        if cls.push is _TreeClassifier.push or cls.push is FastClassifierBase.push:
+            if cls.push is FastClassifierBase.push:
+                matcher = terminal.compiled
+            else:
+                # Compile the decision tree with the classifier
+                # optimizer's own code generator — the same move
+                # click-fastclassifier makes at tool time, applied at
+                # router runtime.
+                from ..classifier.compile import CompiledClassifier
+
+                matcher = CompiledClassifier(terminal.tree)
+            # Bind the raw generated function, not the CompiledClassifier
+            # wrapper — __call__ would add a frame per packet.
+            matcher = getattr(matcher, "_function", matcher)
+            table = []
+            self._jump_tables.append((table, terminal, "plain"))
+            m = new_arg(matcher)
+            c = new_arg(terminal)
+            jt = new_arg(table)
+            noutputs = terminal.noutputs
+            bodies = [
+                self._inline_push_body(terminal, i, new_arg, stack, depth + 1)
+                for i in range(len(terminal._output_ports))
+            ]
+
+            def emit(var, pad, exitstmt):
+                lines = [
+                    pad + "data = %s._data_cache" % var,
+                    pad + "if data is None:",
+                    pad + "    data = %s.data" % var,
+                    pad + "out = %s(data)" % m,
+                ]
+                kw = "if"
+                for i, body in enumerate(bodies):
+                    if body is None:
+                        continue
+                    lines.append(pad + "%s out == %d:" % (kw, i))
+                    lines.extend(body(var, pad + "    ", exitstmt))
+                    kw = "elif"
+                lines += [
+                    pad + "%s out is None or out >= %d:" % (kw, noutputs),
+                    pad + "    %s.drops += 1" % c,
+                    pad + "else:",
+                    pad + "    %s[out](%s)" % (jt, var),
+                ]
+                return lines
+
+            return emit
+        if cls.push is _IPRouteTable.push:
+            from ..elements.routing import LookupIPRoute
+
+            table = []
+            self._jump_tables.append((table, terminal, "checked"))
+            lk = new_arg(terminal.lookup_route)
+            e = new_arg(terminal)
+            jt = new_arg(table)
+            nports = len(terminal._output_ports)
+            rm = ms = None
+            if cls.lookup_route is LookupIPRoute.lookup_route:
+                # The memo dict is created once at configure time and the
+                # route table never changes afterwards, so its .get can
+                # be bound directly: the common case becomes one dict
+                # probe, and only misses take the memoizing full lookup.
+                rm = new_arg(terminal._memo.get)
+                ms = new_arg(_MISS)
+            bodies = [
+                self._inline_push_body(terminal, i, new_arg, stack, depth + 1)
+                for i in range(nports)
+            ]
+
+            def emit(var, pad, exitstmt):
+                body = [
+                    pad + "dst = %s.dest_ip_anno" % var,
+                    pad + "if dst is None:",
+                    pad + "    %s.no_route_drops += 1" % e,
+                    pad + "else:",
+                ]
+                if rm is not None:
+                    body += [
+                        pad + "    route = %s(dst.value, %s)" % (rm, ms),
+                        pad + "    if route is %s:" % ms,
+                        pad + "        route = %s(dst)" % lk,
+                    ]
+                else:
+                    body += [pad + "    route = %s(dst)" % lk]
+                body += [
+                    pad + "    if route is None:",
+                    pad + "        %s.no_route_drops += 1" % e,
+                    pad + "    else:",
+                    pad + "        gateway = route[0]",
+                    pad + "        if gateway is not None:",
+                    pad + "            %s.set_dest_ip_anno(gateway)" % var,
+                    pad + "        out = route[1]",
+                ]
+                p2 = pad + "        "
+                kw = "if"
+                for i, inline_body in enumerate(bodies):
+                    if inline_body is None:
+                        continue
+                    body.append(p2 + "%s out == %d:" % (kw, i))
+                    body.extend(inline_body(var, p2 + "    ", exitstmt))
+                    kw = "elif"
+                if kw == "if":
+                    body += [
+                        p2 + "hop = %s[out] if 0 <= out < %d else None" % (jt, nports),
+                        p2 + "if hop is not None:",
+                        p2 + "    hop(%s)" % var,
+                    ]
+                else:
+                    body += [
+                        p2 + "else:",
+                        p2 + "    hop = %s[out] if 0 <= out < %d else None" % (jt, nports),
+                        p2 + "    if hop is not None:",
+                        p2 + "        hop(%s)" % var,
+                    ]
+                return body
+
+            return emit
+        if cls.push is Queue.push:
+            # The deque is bound directly: Queue never reassigns it
+            # (hot-swap state transfer mutates it in place for exactly
+            # this reason).  charge("queue_drop") is a no-op without a
+            # meter, which is the only time this specialization runs.
+            q = new_arg(terminal)
+            dq = new_arg(terminal._deque)
+            cap = terminal.capacity
+
+            def emit(var, pad, exitstmt):
+                return [
+                    pad + "qlen = len(%s)" % dq,
+                    pad + "if qlen >= %d:" % cap,
+                    pad + "    %s.drops += 1" % q,
+                    pad + "else:",
+                    pad + "    %s.append(%s)" % (dq, var),
+                    pad + "    qlen += 1",
+                    pad + "    if qlen > %s.highwater:" % q,
+                    pad + "        %s.highwater = qlen" % q,
+                ]
+
+            return emit
+        return None
+
+    def _inline_push_body(self, element, port_index, new_arg, stack, depth):
+        """Emitter for the full body of the push chain leaving
+        ``element[port_index]``, for fusing into a dispatch site, or
+        None when that chain must stay a function call (metered mode,
+        unwired port, a terminal cycle, or past the depth limit).
+
+        The body is the same segments + terminal dispatch the chain's
+        standalone function gets, so fusing only removes the call frame;
+        bound objects (counters, deques, tables) are shared either way.
+        """
+        if self.metered or depth > 4 or stack is None:
+            return None
+        port = element._output_ports[port_index]
+        if port.target is None:
+            return None
+        stages, actions, terminal, terminal_port = self._trace_push(element, port_index)
+        if id(terminal) in stack:
+            return None
+        pairs = [(stages[i].to_element, action) for i, action in enumerate(actions)]
+        segments = self._compose_segments(pairs, new_arg)
+        emit_terminal = self._terminal_spec(
+            terminal, terminal_port, new_arg, stack | {id(terminal)}, depth
+        )
+        if emit_terminal is None:
+            t = new_arg(terminal.push)
+
+            def emit_terminal(var, pad, exitstmt, _t=t, _p=terminal_port):
+                return [pad + "%s(%d, %s)" % (_t, _p, var)]
+
+        def emit(var, pad, exitstmt):
+            lines = []
+            for seg in segments:
+                lines.extend(seg(var, pad, exitstmt))
+            lines.extend(emit_terminal(var, pad, exitstmt))
+            return lines
+
+        return emit
+
+    def _terminal_pull_spec(self, terminal, new_arg):
+        """Specialized pull for well-known terminal elements (unmetered
+        chains only): a Queue terminal becomes a direct deque popleft.
+        Returns a line emitter taking (var, pad, exitstmt) or None."""
+        if self.metered:
+            return None
+        from ..elements.infrastructure import Queue
+
+        if type(terminal).pull is Queue.pull:
+            dq = new_arg(terminal._deque)
+            pop = new_arg(terminal._deque.popleft)
+
+            def emit(var, pad, exitstmt):
+                return [
+                    pad + "if not %s:" % dq,
+                    pad + "    " + exitstmt,
+                    pad + "%s = %s()" % (var, pop),
+                ]
+
+            return emit
+        return None
+
+    def _action_segment(self, element, action, new_arg):
+        """An inline code segment for one traced element, or None when
+        its action must stay a bound call.  Segments write the element's
+        per-packet work as raw statements with configuration constants
+        baked in — the runtime analogue of click-xform's combo elements.
+        Rare paths (errors, side outputs, cache misses) still call the
+        bound method, which keeps counters and side effects exact.
+        Identity checks are on the underlying function, so a subclass
+        that overrides the handler falls back to the generic call."""
+        from ..elements.arp import ARPQuerier
+        from ..elements.ethernet import EtherEncap
+        from ..elements.infrastructure import Strip
+        from ..elements.ip import (
+            PACKET_TYPE_BROADCAST,
+            CheckIPHeader,
+            DecIPTTL,
+            DropBroadcasts,
+            FixIPSrc,
+            IPFragmenter,
+            IPGWOptions,
+            Paint,
+            PaintTee,
+        )
+
+        from ..net.packet import _DEST_IP_CACHE
+
+        fn = getattr(action, "__func__", None)
+        if (
+            fn is CheckIPHeader._check
+            and not element.offset
+            and not element.strict_alignment
+        ):
+            # The whole header check in line, with the configuration
+            # (offset 0, no strict alignment, the bad-source set) baked
+            # in.  Any failure funnels through the bound _fail, which
+            # counts the drop and feeds the error output.  The set and
+            # the intern cache are bound directly; neither is ever
+            # reassigned after configuration.
+            f = new_arg(element._fail)
+            bs = new_arg(element.bad_src) if element.bad_src else None
+            dc = new_arg(_DEST_IP_CACHE.get)
+            src_test = "s != 0xFFFFFFFF" + (" and s not in %s" % bs if bs else "")
+
+            def seg(var, pad, exitstmt):
+                return [
+                    pad + "c = %s._data_cache" % var,
+                    pad + "if c is None:",
+                    pad + "    c = %s.data" % var,
+                    pad + "good = False",
+                    pad + "ln = len(c)",
+                    pad + "if ln >= 20:",
+                    pad + "    vi = c[0]",
+                    pad + "    hl = (vi & 15) * 4",
+                    pad + "    if vi >> 4 == 4 and hl >= 20 and ln >= hl:",
+                    pad + "        hdr = int.from_bytes(c[:hl], 'big')",
+                    pad + "        sh = hl * 8",
+                    pad + "        if hl <= (hdr >> (sh - 32)) & 0xFFFF <= ln and not hdr % 0xFFFF:",
+                    pad + "            s = (hdr >> (sh - 128)) & 0xFFFFFFFF",
+                    pad + "            if %s:" % src_test,
+                    pad + "                good = True",
+                    pad + "if not good:",
+                    pad + "    %s(%s)" % (f, var),
+                    pad + "    " + exitstmt,
+                    pad + "%s.ip_header_offset = 0" % var,
+                    pad + "d = (hdr >> (sh - 160)) & 0xFFFFFFFF",
+                    pad + "anno = %s(d)" % dc,
+                    pad + "if anno is None:",
+                    pad + "    %s.set_dest_ip_anno(d)" % var,
+                    pad + "else:",
+                    pad + "    %s.dest_ip_anno = anno" % var,
+                ]
+
+            return seg
+        if fn is Paint.simple_action:
+            color = element.color
+
+            def seg(var, pad, exitstmt):
+                return [pad + "%s.paint = %d" % (var, color)]
+
+            return seg
+        if fn is Strip.simple_action:
+            n = element.nbytes
+
+            def seg(var, pad, exitstmt):
+                # Stripping the front of a cached contents bytes is a
+                # slice — keep the cache warm instead of forcing the
+                # next .data reader to rebuild from the buffer.
+                return [
+                    pad + "if len(%s._buf) - %s._data_offset < %d:" % (var, var, n),
+                    pad + "    " + exitstmt,
+                    pad + "%s._data_offset += %d" % (var, n),
+                    pad + "c = %s._data_cache" % var,
+                    pad + "%s._data_cache = c[%d:] if c is not None else None" % (var, n),
+                ]
+
+            return seg
+        if fn is DropBroadcasts.simple_action:
+            e = new_arg(element)
+
+            def seg(var, pad, exitstmt):
+                return [
+                    pad
+                    + "if %s.user_annos.get('packet_type') == %r:"
+                    % (var, PACKET_TYPE_BROADCAST),
+                    pad + "    %s.drops += 1" % e,
+                    pad + "    " + exitstmt,
+                ]
+
+            return seg
+        if fn is EtherEncap.simple_action:
+            h = new_arg(element._header)
+            hlen = len(element._header)
+
+            def seg(var, pad, exitstmt):
+                # Packet.push with the headroom test unrolled: prepend
+                # into existing headroom in place, falling back to the
+                # method (which reallocates) only when there is none.
+                return [
+                    pad + "off = %s._data_offset" % var,
+                    pad + "if off >= %d:" % hlen,
+                    pad + "    off -= %d" % hlen,
+                    pad + "    %s._buf[off:off + %d] = %s" % (var, hlen, h),
+                    pad + "    %s._data_offset = off" % var,
+                    pad + "    %s._data_cache = None" % var,
+                    pad + "else:",
+                    pad + "    %s.push(%s)" % (var, h),
+                ]
+
+            return seg
+        if fn is FixIPSrc.simple_action:
+            a = new_arg(action)
+
+            def seg(var, pad, exitstmt):
+                return [
+                    pad + "if %s.fix_ip_src_anno:" % var,
+                    pad + "    %s = %s(%s)" % (var, a, var),
+                    pad + "    if %s is None:" % var,
+                    pad + "        " + exitstmt,
+                ]
+
+            return seg
+        if fn is IPGWOptions._process:
+            a = new_arg(action)
+
+            def seg(var, pad, exitstmt):
+                return [
+                    pad + "c = %s._data_cache" % var,
+                    pad + "if ((c[0] if c is not None else %s.data[0]) & 15) != 5:" % var,
+                    pad + "    %s = %s(%s)" % (var, a, var),
+                    pad + "    if %s is None:" % var,
+                    pad + "        " + exitstmt,
+                ]
+
+            return seg
+        if fn is DecIPTTL._decrement:
+            a = new_arg(action)
+
+            def seg(var, pad, exitstmt):
+                # The live-TTL case fully in line: read the header words
+                # from the cached contents, fold the RFC 1624 update
+                # twice (the three-term sum fits in 18 bits, so two
+                # folds always suffice), and poke the changed bytes.
+                # TTL <= 1 takes the bound method, which counts, pushes
+                # the error output, and returns None.
+                return [
+                    pad + "c = %s._data_cache" % var,
+                    pad + "if c is None:",
+                    pad + "    c = %s.data" % var,
+                    pad + "ttl = c[8]",
+                    pad + "if ttl <= 1:",
+                    pad + "    %s = %s(%s)" % (var, a, var),
+                    pad + "    if %s is None:" % var,
+                    pad + "        " + exitstmt,
+                    pad + "else:",
+                    pad + "    w = (ttl << 8) | c[9]",
+                    pad + "    t = (((c[10] << 8) | c[11]) ^ 0xFFFF) + (w ^ 0xFFFF) + (w - 0x100)",
+                    pad + "    t = (t & 0xFFFF) + (t >> 16)",
+                    pad + "    t = ((t & 0xFFFF) + (t >> 16)) ^ 0xFFFF",
+                    pad + "    base = %s._data_offset + 8" % var,
+                    pad + "    buf = %s._buf" % var,
+                    pad + "    buf[base] = ttl - 1",
+                    pad + "    buf[base + 2] = t >> 8",
+                    pad + "    buf[base + 3] = t & 0xFF",
+                    pad + "    %s._data_cache = None" % var,
+                ]
+
+            return seg
+        if fn is IPFragmenter._maybe_fragment:
+            a = new_arg(action)
+            mtu = element.mtu
+
+            def seg(var, pad, exitstmt):
+                return [
+                    pad + "if len(%s._buf) - %s._data_offset > %d:" % (var, var, mtu),
+                    pad + "    %s = %s(%s)" % (var, a, var),
+                    pad + "    if %s is None:" % var,
+                    pad + "        " + exitstmt,
+                ]
+
+            return seg
+        if fn is PaintTee._tee:
+            a = new_arg(action)
+            color = element.color
+
+            def seg(var, pad, exitstmt):
+                return [
+                    pad + "if %s.paint == %d:" % (var, color),
+                    pad + "    %s = %s(%s)" % (var, a, var),
+                    pad + "    if %s is None:" % var,
+                    pad + "        " + exitstmt,
+                ]
+
+            return seg
+        if fn is ARPQuerier._handle_ip:
+            # Common case: a resolved next hop whose Ethernet header is
+            # already built — encapsulate and keep going inline.  Every
+            # other case (unresolved, unannotated, header not yet
+            # cached) takes the full method, which drops/queues/queries
+            # and pushes through the output port itself.
+            g = new_arg(element._headers.get)
+            a = new_arg(action)
+
+            def seg(var, pad, exitstmt):
+                # The cached headers are 14-byte Ethernet headers; push
+                # them straight into headroom when there is room (the
+                # Packet.push fast case, without the call).
+                return [
+                    pad + "dst = %s.dest_ip_anno" % var,
+                    pad + "hdr = %s(dst.value) if dst is not None else None" % g,
+                    pad + "if hdr is None:",
+                    pad + "    %s(%s)" % (a, var),
+                    pad + "    " + exitstmt,
+                    pad + "off = %s._data_offset" % var,
+                    pad + "hl = len(hdr)",
+                    pad + "if off >= hl:",
+                    pad + "    off -= hl",
+                    pad + "    %s._buf[off:off + hl] = hdr" % var,
+                    pad + "    %s._data_offset = off" % var,
+                    pad + "    %s._data_cache = None" % var,
+                    pad + "else:",
+                    pad + "    %s.push(hdr)" % var,
+                ]
+
+            return seg
+        return None
+
+    def _compose_segments(self, pairs, new_arg):
+        """The inline body of an unmetered chain: one code segment per
+        traced (element, bound action) pair — in the order the actions
+        apply to the packet — with redundant elements elided and known
+        cheap elements specialized to raw statements."""
+        from ..elements.ip import CheckIPHeader, GetIPAddress
+
+        segments = []
+        prev = None
+        for element, action in pairs:
+            if (
+                type(element) is GetIPAddress
+                and element.offset == 16
+                and type(prev) is CheckIPHeader
+                and prev.offset == 0
+            ):
+                # CheckIPHeader just set the destination annotation from
+                # these same bytes and guaranteed len(data) >= 20, so
+                # GetIPAddress(16) cannot observe anything different:
+                # classic redundant-code elimination, safe only because
+                # the chain compiler sees both elements at once.
+                self.report.elided_elements += 1
+                prev = element
+                continue
+            seg = self._action_segment(element, action, new_arg)
+            if seg is not None:
+                self.report.specialized_actions += 1
+            else:
+                a = new_arg(action)
+
+                def seg(var, pad, exitstmt, _a=a):
+                    return [
+                        pad + "%s = %s(%s)" % (var, _a, var),
+                        pad + "if %s is None:" % var,
+                        pad + "    " + exitstmt,
+                    ]
+
+            segments.append(seg)
+            prev = element
+        return segments
+
+    def _emit_push(self, lines, index, element, port_index):
+        stages, actions, terminal, terminal_port = self._trace_push(element, port_index)
+        fn = "_push_%d" % index
+        info = ChainInfo(
+            "push",
+            element.name,
+            port_index,
+            [stage.to_element.name for stage in stages[:-1]],
+            terminal.name,
+            terminal_port,
+            fn,
+        )
+        lines.append("")
+        lines.append("# %s" % info.describe())
+        batch_fn = None
+        if self.metered:
+            action_names = [self._bind(action) for action in actions]
+            term_name = self._bind(terminal.push)
+            meter_name = self._bind(self.router.meter.on_chain)
+            prof_name = self._bind(tuple(stages))
+            impl = fn + "_impl"
+            args = ", ".join(
+                ["packets"]
+                + ["_a%d=%s" % (i, name) for i, name in enumerate(action_names)]
+                + ["_t=%s" % term_name, "_mc=%s" % meter_name, "_prof=%s" % prof_name]
+            )
+            lines.append("def %s(%s):" % (impl, args))
+            lines.append("    counts = [0] * %d" % len(stages))
+            lines.append("    survivors = []")
+            lines.append("    for packet in packets:")
+            for i in range(len(actions)):
+                lines.append("        counts[%d] += 1" % i)
+                lines.append("        packet = _a%d(packet)" % i)
+                lines.append("        if packet is None:")
+                lines.append("            continue")
+            lines.append("        counts[%d] += 1" % (len(stages) - 1))
+            lines.append("        survivors.append(packet)")
+            lines.append("    _mc(_prof, counts)")
+            lines.append("    for packet in survivors:")
+            lines.append("        _t(%d, packet)" % terminal_port)
+            lines.append("def %s(packet, _impl=%s):" % (fn, impl))
+            lines.append("    _impl((packet,))")
+            batch_fn = impl
+        else:
+            extra_args = []
+
+            def new_arg(value):
+                name = "_x%d" % len(extra_args)
+                extra_args.append("%s=%s" % (name, self._bind(value)))
+                return name
+
+            pairs = [(stages[i].to_element, action) for i, action in enumerate(actions)]
+            segments = self._compose_segments(pairs, new_arg)
+            emit_terminal = self._terminal_spec(
+                terminal, terminal_port, new_arg, frozenset({id(terminal)}), 0
+            )
+            if emit_terminal is not None:
+                self.report.specialized_terminals += 1
+            else:
+                t = new_arg(terminal.push)
+
+                def emit_terminal(var, pad, exitstmt, _t=t, _p=terminal_port):
+                    return [pad + "%s(%d, %s)" % (_t, _p, var)]
+
+            lines.append("def %s(%s):" % (fn, ", ".join(["packet"] + extra_args)))
+            for seg in segments:
+                lines.extend(seg("packet", "    ", "return"))
+            lines.extend(emit_terminal("packet", "    ", "return"))
+            if self.batch:
+                batch_fn = fn + "_batch"
+                lines.append(
+                    "def %s(%s):" % (batch_fn, ", ".join(["packets"] + extra_args))
+                )
+                lines.append("    for packet in packets:")
+                for seg in segments:
+                    lines.extend(seg("packet", "        ", "continue"))
+                lines.extend(emit_terminal("packet", "        ", "continue"))
+        self.chains[("push", element.name, port_index)] = info
+        self._note_chain(info, stages)
+        return fn, batch_fn
+
+    def _emit_pull(self, lines, index, element, port_index):
+        stages, actions, terminal, terminal_port = self._trace_pull(element, port_index)
+        fn = "_pull_%d" % index
+        info = ChainInfo(
+            "pull",
+            element.name,
+            port_index,
+            [stage.to_element.name for stage in stages[:-1]],
+            terminal.name,
+            terminal_port,
+            fn,
+        )
+        # Applied nearest-the-terminal first: reverse of the walk order.
+        ordered = list(reversed(actions))
+        lines.append("")
+        lines.append("# %s" % info.describe())
+        batch_fn = None
+        if self.metered:
+            action_names = [self._bind(action) for action in ordered]
+            term_name = self._bind(terminal.pull)
+            header = ["_t=%s" % term_name] + [
+                "_a%d=%s" % (i, name) for i, name in enumerate(action_names)
+            ]
+            meter_name = self._bind(self.router.meter.on_chain)
+            prof_name = self._bind(tuple(stages))
+            ones_name = self._bind([1] * len(stages))
+            header += ["_mc=%s" % meter_name, "_prof=%s" % prof_name, "_ones=%s" % ones_name]
+            lines.append("def %s(%s):" % (fn, ", ".join(header)))
+            lines.append("    _mc(_prof, _ones)")
+            lines.append("    packet = _t(%d)" % terminal_port)
+            lines.append("    if packet is None:")
+            lines.append("        return None")
+            for i in range(len(ordered)):
+                lines.append("    packet = _a%d(packet)" % i)
+                lines.append("    if packet is None:")
+                lines.append("        return None")
+            lines.append("    return packet")
+            if self.batch:
+                # Delegate per packet so each pull charges its own
+                # profile, exactly as the reference interpreter would.
+                batch_fn = fn + "_batch"
+                lines.append("def %s(limit, _one=%s):" % (batch_fn, fn))
+                lines.append("    packets = []")
+                lines.append("    while limit > 0:")
+                lines.append("        limit -= 1")
+                lines.append("        packet = _one()")
+                lines.append("        if packet is None:")
+                lines.append("            break")
+                lines.append("        packets.append(packet)")
+                lines.append("    return packets")
+        else:
+            extra_args = []
+
+            def new_arg(value):
+                name = "_x%d" % len(extra_args)
+                extra_args.append("%s=%s" % (name, self._bind(value)))
+                return name
+
+            # stages[i] corresponds to walk-order actions[i]; pair the
+            # reversed (application-order) actions with their elements.
+            pairs = [
+                (stages[len(actions) - 1 - i].to_element, action)
+                for i, action in enumerate(ordered)
+            ]
+            segments = self._compose_segments(pairs, new_arg)
+            emit_terminal = self._terminal_pull_spec(terminal, new_arg)
+            if emit_terminal is not None:
+                self.report.specialized_terminals += 1
+            else:
+                t = new_arg(terminal.pull)
+
+                def emit_terminal(var, pad, exitstmt, _t=t, _p=terminal_port):
+                    return [
+                        pad + "%s = %s(%d)" % (var, _t, _p),
+                        pad + "if %s is None:" % var,
+                        pad + "    " + exitstmt,
+                    ]
+
+            lines.append("def %s(%s):" % (fn, ", ".join(extra_args)))
+            lines.extend(emit_terminal("packet", "    ", "return None"))
+            for seg in segments:
+                lines.extend(seg("packet", "    ", "return None"))
+            lines.append("    return packet")
+            if self.batch:
+                # A pull that comes back None ends the burst (the
+                # reference device loop breaks on None whether the
+                # queue ran dry or an inlined action dropped).
+                batch_fn = fn + "_batch"
+                lines.append(
+                    "def %s(%s):" % (batch_fn, ", ".join(["limit"] + extra_args))
+                )
+                lines.append("    packets = []")
+                lines.append("    append = packets.append")
+                lines.append("    while limit > 0:")
+                lines.append("        limit -= 1")
+                lines.extend(emit_terminal("packet", "        ", "break"))
+                for seg in segments:
+                    lines.extend(seg("packet", "        ", "break"))
+                lines.append("        append(packet)")
+                lines.append("    return packets")
+        self.chains[("pull", element.name, port_index)] = info
+        self._note_chain(info, stages)
+        return fn, batch_fn
+
+    def _note_chain(self, info, stages):
+        report = self.report
+        if info.kind == "push":
+            report.push_chains += 1
+        else:
+            report.pull_chains += 1
+        report.inlined_calls += len(info.inlined)
+        report.inlined_elements.update(info.inlined)
+        report.longest_chain = max(report.longest_chain, len(stages))
+
+    def _compile(self):
+        lines = [
+            '"""Generated by repro.runtime.fastpath: one function per wired',
+            "push/pull edge of the router.  Do not edit; regenerate with",
+            'Router.compile_fastpath().  Dump via router.fastpath.source."""',
+        ]
+        names = {}  # chain key -> (fn name, batch fn name)
+        index = 0
+        for element in self.router.elements.values():
+            for port_index, port in enumerate(element._output_ports):
+                if port.target is None:
+                    continue
+                names[("push", element.name, port_index)] = self._emit_push(
+                    lines, index, element, port_index
+                )
+                index += 1
+            for port_index, port in enumerate(element._input_ports):
+                if port.source is None:
+                    continue
+                names[("pull", element.name, port_index)] = self._emit_pull(
+                    lines, index, element, port_index
+                )
+                index += 1
+            wired_outputs = sum(1 for p in element._output_ports if p.target is not None)
+            if wired_outputs > 1:
+                self.report.branch_elements += 1
+                self.report.branch_ports += wired_outputs
+        self.source = "\n".join(lines) + "\n"
+        self.report.source_lines = self.source.count("\n")
+        code = compile(self.source, "<fastpath>", "exec")
+        exec(code, self._namespace)  # noqa: S102 - code generated above
+        for key, (fn, batch_fn) in names.items():
+            self._compiled[key] = (
+                self._namespace[fn],
+                self._namespace[batch_fn] if batch_fn else None,
+            )
+        # Fill the terminal jump tables: entry i is the compiled chain
+        # for the terminal's output i.  "checked" tables (route tables)
+        # drop silently on unwired ports, like Element.checked_push;
+        # "plain" tables fall back to the reference port so misbehavior
+        # (pushing an unwired port) fails the same way it would have.
+        for table, element, mode in self._jump_tables:
+            for port_index, port in enumerate(element._output_ports):
+                compiled = names.get(("push", element.name, port_index))
+                if compiled is not None:
+                    table.append(self._namespace[compiled[0]])
+                elif mode == "checked":
+                    table.append(None)
+                else:
+                    table.append(port.push)
+
+    # -- installation -------------------------------------------------------------
+
+    def install(self):
+        """Swap every wired port for its compiled fast port.  The
+        reference ports are kept aside for :meth:`uninstall`."""
+        if self.installed:
+            return
+        batching = self.batch
+        saved = {}
+        for name, element in self.router.elements.items():
+            saved[name] = (element._output_ports, element._input_ports)
+            new_outputs = []
+            for port_index, port in enumerate(element._output_ports):
+                compiled = self._compiled.get(("push", name, port_index))
+                if compiled is None:
+                    new_outputs.append(port)
+                else:
+                    new_outputs.append(
+                        FastOutputPort(port, compiled[0], compiled[1] if batching else None)
+                    )
+            new_inputs = []
+            for port_index, port in enumerate(element._input_ports):
+                compiled = self._compiled.get(("pull", name, port_index))
+                if compiled is None:
+                    new_inputs.append(port)
+                else:
+                    new_inputs.append(
+                        FastInputPort(port, compiled[0], compiled[1] if batching else None)
+                    )
+            element._output_ports = new_outputs
+            element._input_ports = new_inputs
+        self._saved_ports = saved
+        self.installed = True
+
+    def uninstall(self):
+        """Restore the reference interpreter's ports."""
+        if not self.installed:
+            return
+        for name, (outputs, inputs) in self._saved_ports.items():
+            element = self.router.elements.get(name)
+            if element is not None:
+                element._output_ports = outputs
+                element._input_ports = inputs
+        self._saved_ports = None
+        self.installed = False
+
+    # -- debugging ----------------------------------------------------------------
+
+    def dump(self, fh):
+        """Write the generated module source to a file object."""
+        fh.write(self.source)
+
+    def chain_for(self, kind, element_name, port):
+        """The ChainInfo compiled for one edge (debugging aid)."""
+        return self.chains.get((kind, element_name, port))

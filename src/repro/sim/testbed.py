@@ -163,12 +163,12 @@ class Testbed:
 
     # -- CPU measurement (Figures 8 and 9) ------------------------------------------
 
-    def build_router(self, graph, meter=None):
+    def build_router(self, graph, meter=None, mode="reference", batch=False):
         devices = {
             interface.device: LoopbackDevice(interface.device, tx_capacity=1 << 30)
             for interface in self.interfaces
         }
-        router = Router(graph, meter=meter, devices=devices)
+        router = Router(graph, meter=meter, devices=devices, mode=mode, batch=batch)
         self._seed_arp(router)
         return router, devices
 
@@ -178,12 +178,17 @@ class Testbed:
             if arpq is not None and hasattr(arpq, "insert"):
                 arpq.insert(host_ip(index), HOST_ETHERS[index])
 
-    def measure_cpu(self, variant, packets=2000, warmup=64):
+    def measure_cpu(self, variant, packets=2000, warmup=64, mode="reference", batch=False):
         """Run the evaluation workload through the real router under the
-        cycle meter; returns a CPUReport of ns/packet by category."""
+        cycle meter; returns a CPUReport of ns/packet by category.
+
+        ``mode="fast"`` measures under the compiled fast path — for a
+        single packet the charges are identical to the reference
+        interpreter's; ``batch=True`` additionally models how bursts
+        ride the branch predictor."""
         graph = self.variant_graph(variant)
         meter = CycleMeter()
-        router, devices = self.build_router(graph, meter=meter)
+        router, devices = self.build_router(graph, meter=meter, mode=mode, batch=batch)
 
         # Warm the caches/predictors outside the measurement, as the
         # paper's 10-second runs amortize cold starts.

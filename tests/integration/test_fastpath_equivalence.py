@@ -1,0 +1,138 @@
+"""The fast path's contract: behaviourally indistinguishable from the
+reference interpreter.
+
+Every tool-chain variant of the Figure 9 IP router, plus the shipped
+example configurations, is driven with the same traffic in reference
+mode, fast mode, and fast+batched mode; the transmitted bytes, every
+element's read handlers, and (for the metered runs) the cycle meter's
+per-category report must match exactly.
+"""
+
+import pytest
+
+from repro.configs.firewall import dns5_packet, firewall_graph
+from repro.elements.devices import LoopbackDevice
+from repro.elements.runtime import Router
+from repro.sim.testbed import VARIANTS, Testbed
+
+MODES = [("reference", False), ("fast", False), ("fast", True)]
+
+
+def mode_label(mode, batch):
+    return "fast_batched" if batch else mode
+
+
+def observe(router, devices):
+    """Everything externally visible: transmitted frames and every
+    element's read handlers."""
+    handlers = {}
+    for name, element in router.elements.items():
+        for handler_name, fn in sorted(element.read_handlers().items()):
+            handlers[(name, handler_name)] = fn()
+    return (
+        {name: list(device.transmitted) for name, device in devices.items()},
+        handlers,
+    )
+
+
+def drive_testbed(variant, mode, batch, frames):
+    testbed = Testbed(2)
+    router, devices = testbed.build_router(
+        testbed.variant_graph(variant), mode=mode, batch=batch
+    )
+    for device_name, frame in frames(testbed):
+        devices[device_name].receive_frame(frame)
+    router.run_tasks(len(frames(testbed)))
+    return observe(router, devices)
+
+
+def evaluation_traffic(testbed, count=256):
+    return testbed.evaluation_frames(count)
+
+
+def hostile_traffic(testbed, count=96):
+    """Error paths: every kind of packet the checks must reject, mixed
+    with good traffic so the drops land mid-burst."""
+    frames = []
+    for index, (device_name, frame) in enumerate(testbed.evaluation_frames(count)):
+        frame = bytearray(frame)
+        kind = index % 6
+        if kind == 1:  # corrupt IP checksum
+            frame[14 + 10] ^= 0xFF
+        elif kind == 2:  # TTL about to expire
+            frame[14 + 8] = 1
+            frame[14 + 10] ^= 0  # checksum now wrong too: both paths drop
+        elif kind == 3:  # not IPv4
+            frame[14] = (6 << 4) | (frame[14] & 0x0F)
+        elif kind == 4:  # truncated mid-header
+            frame = frame[: 14 + 12]
+        elif kind == 5:  # bad source (broadcast)
+            frame[14 + 12 : 14 + 16] = b"\xff\xff\xff\xff"
+        frames.append((device_name, bytes(frame)))
+    return frames
+
+
+@pytest.mark.parametrize("variant", VARIANTS)
+def test_variant_equivalence(variant):
+    reference = drive_testbed(variant, "reference", False, evaluation_traffic)
+    for mode, batch in MODES[1:]:
+        output, handlers = drive_testbed(variant, mode, batch, evaluation_traffic)
+        label = "%s/%s" % (variant, mode_label(mode, batch))
+        assert output == reference[0], "%s: transmitted frames differ" % label
+        assert handlers == reference[1], "%s: handler values differ" % label
+
+
+@pytest.mark.parametrize("variant", ["base", "all", "simple"])
+def test_error_path_equivalence(variant):
+    reference = drive_testbed(variant, "reference", False, hostile_traffic)
+    # The hostile mix must actually exercise drop paths somewhere.
+    assert any(
+        value for (_, handler), value in reference[1].items() if handler == "drops"
+    ) or variant == "simple"
+    for mode, batch in MODES[1:]:
+        output, handlers = drive_testbed(variant, mode, batch, hostile_traffic)
+        label = "%s/%s" % (variant, mode_label(mode, batch))
+        assert output == reference[0], "%s: transmitted frames differ" % label
+        assert handlers == reference[1], "%s: handler values differ" % label
+
+
+def drive_firewall(mode, batch, count=256):
+    devices = {
+        "eth0": LoopbackDevice("eth0", tx_capacity=1 << 30),
+        "eth1": LoopbackDevice("eth1", tx_capacity=1 << 30),
+    }
+    router = Router(firewall_graph(), devices=devices, mode=mode, batch=batch)
+    frame = (
+        b"\x00\x50\x56\x00\x00\x01"
+        + b"\x00\x50\x56\x00\x00\x02"
+        + b"\x08\x00"
+        + dns5_packet()
+    )
+    for _ in range(count):
+        devices["eth0"].receive_frame(frame)
+    router.run_tasks(count)
+    return observe(router, devices)
+
+
+def test_firewall_equivalence():
+    reference = drive_firewall("reference", False)
+    assert any(reference[0].values()), "firewall forwarded nothing"
+    for mode, batch in MODES[1:]:
+        output, handlers = drive_firewall(mode, batch)
+        label = "firewall/%s" % mode_label(mode, batch)
+        assert output == reference[0], "%s: transmitted frames differ" % label
+        assert handlers == reference[1], "%s: handler values differ" % label
+
+
+@pytest.mark.parametrize("variant", ["base", "all"])
+def test_meter_reports_identical(variant):
+    """Under the cycle meter the fast path must charge exactly what the
+    reference interpreter charges — same categories, same totals."""
+    testbed = Testbed(2)
+    reference = testbed.measure_cpu(variant, packets=400, warmup=32)
+    fast = testbed.measure_cpu(variant, packets=400, warmup=32, mode="fast")
+    assert fast.__dict__ == reference.__dict__
+    # Batched metering reconciles per-segment charges; it must at least
+    # run to completion and preserve the category set.
+    batched = testbed.measure_cpu(variant, packets=400, warmup=32, mode="fast", batch=True)
+    assert set(batched.__dict__) == set(reference.__dict__)
