@@ -1,0 +1,278 @@
+"""Wall-clock benchmark: the tiered adaptive engine vs. the static fast path.
+
+The adaptive engine's bet is that real traffic is skewed — a router
+mostly forwards to a few destinations, a firewall mostly passes one
+flow — so recompiling the hot chains around the observed profile
+(hot-arm-first classifiers, constant-folded route and ARP results
+behind guards) beats the profile-blind static fast path.  This
+benchmark measures that bet on 90/10 skewed traffic:
+
+- ``iprouter``: the Figure 10 IP router; 90% of packets arrive on eth0
+  for the host behind eth1, 10% flow the other way — one hot route arm.
+- ``firewall``: the §4 screened-subnet firewall; 90% of packets match
+  rule DNS-5, 10% are UDP queries taking a different filter path.
+
+Modes:
+
+- ``reference``: the per-port interpreter, the semantic oracle;
+- ``fast``: the static compiled chains (``Router.set_mode("fast")``);
+- ``adaptive_cold``: the tiered engine from packet zero — profiling
+  overhead and the tier-2 recompile land inside the measurement;
+- ``adaptive_warm``: the same engine after the hot chains promoted.
+
+Results go to ``BENCH_adaptive.json``; ``adaptive_warm_over_fast`` is
+the headline number (the warmed engine must beat the static fast path).
+Runs standalone (no pytest):
+
+    python benchmarks/bench_adaptive.py              # full run
+    python benchmarks/bench_adaptive.py --quick      # CI smoke
+    python benchmarks/bench_adaptive.py --check      # validate output
+
+Methodology matches bench_fastpath.py: best-of-N fresh-router runs,
+each fast mode checked byte-for-byte against the reference first.
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
+
+from repro.configs.firewall import dns5_packet, firewall_graph  # noqa: E402
+from repro.elements.devices import LoopbackDevice, PollDevice  # noqa: E402
+from repro.elements.runtime import Router  # noqa: E402
+from repro.net.headers import IP_PROTO_UDP, IPHeader, build_ether_udp_packet  # noqa: E402
+from repro.runtime.adaptive import AdaptiveConfig  # noqa: E402
+from repro.sim.testbed import HOST_ETHERS, Testbed, host_ip  # noqa: E402
+
+MODES = ["reference", "fast", "adaptive_cold", "adaptive_warm"]
+SKEW = 10  # 1 in SKEW packets takes the cold path
+
+# Promotion thresholds low enough that the warmup burst (and most of a
+# cold run) reaches tier 2, but high enough to exercise real profiling.
+ADAPTIVE = dict(threshold=512, sample=16, min_samples=64)
+
+
+def build_iprouter(mode, adaptive_config=None):
+    testbed = Testbed(2)
+    router, devices = testbed.build_router(
+        testbed.variant_graph("base"), mode=mode, adaptive_config=adaptive_config
+    )
+
+    def frames(count):
+        # 90% of the traffic flows eth0 -> host 1: one route arm and one
+        # ARP entry dominate, which is what tier 2 speculates on.
+        result = []
+        for seq in range(count):
+            rx = 1 if seq % SKEW == SKEW - 1 else 0
+            tx = (rx + 1) % 2
+            result.append(
+                (
+                    testbed.interfaces[rx].device,
+                    build_ether_udp_packet(
+                        HOST_ETHERS[rx],
+                        testbed.interfaces[rx].ether,
+                        host_ip(rx),
+                        host_ip(tx),
+                        src_port=1000 + seq % 7,
+                        dst_port=2000,
+                        payload=b"\x00" * 14,
+                        identification=seq & 0xFFFF,
+                    ),
+                )
+            )
+        return result
+
+    return router, devices, frames
+
+
+def _dns_query_packet():
+    """A UDP DNS query — matches a different firewall rule than the
+    DNS-5 reply, so 10% of the traffic leaves the speculated hot arm."""
+    ip = IPHeader(src="10.0.0.99", dst="170.0.0.2", protocol=IP_PROTO_UDP, total_length=36)
+    udp = (
+        (3456).to_bytes(2, "big")
+        + (53).to_bytes(2, "big")
+        + (16).to_bytes(2, "big")
+        + bytes(2)
+        + bytes(8)
+    )
+    return ip.pack() + udp
+
+
+def build_firewall(mode, adaptive_config=None):
+    devices = {
+        "eth0": LoopbackDevice("eth0", tx_capacity=1 << 30),
+        "eth1": LoopbackDevice("eth1", tx_capacity=1 << 30),
+    }
+    router = Router(
+        firewall_graph(),
+        devices=devices,
+        mode=mode,
+        adaptive_config=adaptive_config,
+    )
+    ether = b"\x00\x50\x56\x00\x00\x01" + b"\x00\x50\x56\x00\x00\x02" + b"\x08\x00"
+    hot = ether + dns5_packet()
+    cold = ether + _dns_query_packet()
+
+    def frames(count):
+        return [
+            ("eth0", cold if seq % SKEW == SKEW - 1 else hot) for seq in range(count)
+        ]
+
+    return router, devices, frames
+
+
+CONFIGS = {"iprouter": build_iprouter, "firewall": build_firewall}
+
+
+def build(builder, mode):
+    if mode.startswith("adaptive"):
+        return builder("adaptive", adaptive_config=AdaptiveConfig(**ADAPTIVE))
+    return builder(mode)
+
+
+def drive(router, devices, frames, count):
+    for device_name, frame in frames(count):
+        devices[device_name].receive_frame(frame)
+    router.run_tasks(count // PollDevice.BURST + 16)
+
+
+def transmitted(devices):
+    return {name: list(device.transmitted) for name, device in devices.items()}
+
+
+def measure(builder, mode, packets, reps, warmup=256):
+    """Best-of-``reps`` pps on fresh routers.  ``adaptive_cold`` keeps
+    the warmup tiny so profiling and the tier-2 recompile are inside the
+    timed window; ``adaptive_warm`` warms until the hot chains promote."""
+    if mode == "adaptive_warm":
+        warmup = max(warmup, 4096)
+    best = None
+    promoted = None
+    for _ in range(reps):
+        router, devices, frames = build(builder, mode)
+        drive(router, devices, frames, warmup)
+        for device_name, frame in frames(packets):
+            devices[device_name].receive_frame(frame)
+        start = time.perf_counter()
+        router.run_tasks(packets // PollDevice.BURST + 16)
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+        if router.adaptive is not None:
+            chains = router.adaptive.profile_report().as_dict()["chains"]
+            promoted = sum(1 for chain in chains.values() if chain["tier"] == 2)
+    return packets / best, promoted
+
+
+def check_equivalence(builder, packets=512):
+    """Every mode must forward byte-identical traffic.  The adaptive
+    run uses eager promotion thresholds so the check crosses the tier-1
+    -> tier-2 transition, not just tier 1."""
+    router, devices, frames = builder("reference")
+    drive(router, devices, frames, packets)
+    reference = transmitted(devices)
+    for mode in ("fast", "adaptive"):
+        if mode == "adaptive":
+            router, devices, frames = builder(
+                "adaptive",
+                adaptive_config=AdaptiveConfig(threshold=64, sample=4, min_samples=16),
+            )
+        else:
+            router, devices, frames = builder(mode)
+        drive(router, devices, frames, packets)
+        if transmitted(devices) != reference:
+            raise AssertionError("%s output differs from reference" % mode)
+
+
+def run(packets, reps, quick):
+    results = {"quick": quick, "packets": packets, "reps": reps, "skew": SKEW,
+               "adaptive_config": dict(ADAPTIVE), "configs": {}}
+    for config_name, builder in CONFIGS.items():
+        check_equivalence(builder)
+        entry = {}
+        for mode in MODES:
+            pps, promoted = measure(builder, mode, packets, reps)
+            entry[mode] = {
+                "pps": round(pps, 1),
+                "ns_per_packet": round(1e9 / pps, 1),
+            }
+            if promoted is not None:
+                entry[mode]["promoted_chains"] = promoted
+        baseline = entry["reference"]["pps"]
+        for stats in entry.values():
+            stats["speedup"] = round(stats["pps"] / baseline, 3)
+        entry["adaptive_warm_over_fast"] = round(
+            entry["adaptive_warm"]["pps"] / entry["fast"]["pps"], 3
+        )
+        results["configs"][config_name] = entry
+        for mode in MODES:
+            stats = entry[mode]
+            print(
+                "%-10s %-14s %10.0f pps  %8.0f ns/pkt  %5.2fx"
+                % (config_name, mode, stats["pps"], stats["ns_per_packet"], stats["speedup"])
+            )
+        print(
+            "%-10s warm adaptive over static fast: %.2fx"
+            % (config_name, entry["adaptive_warm_over_fast"])
+        )
+    return results
+
+
+def check_file(path):
+    """Validate an existing results file: well-formed, adaptive chains
+    promoted, and the warmed engine not slower than the static fast
+    path (the CI smoke criterion)."""
+    with open(path) as fh:
+        results = json.load(fh)
+    configs = results["configs"]
+    if not configs:
+        raise SystemExit("%s: no configs measured" % path)
+    for config_name, entry in configs.items():
+        for mode in MODES:
+            stats = entry[mode]
+            if not (stats["pps"] > 0 and stats["ns_per_packet"] > 0):
+                raise SystemExit("%s: %s/%s has bogus numbers" % (path, config_name, mode))
+        if entry["adaptive_warm"].get("promoted_chains", 0) < 1:
+            raise SystemExit("%s: %s warmed without promoting any chain" % (path, config_name))
+        if entry["adaptive_warm_over_fast"] < 1.0:
+            raise SystemExit(
+                "%s: %s warmed adaptive is slower than the static fast path (%.2fx)"
+                % (path, config_name, entry["adaptive_warm_over_fast"])
+            )
+    print("%s: ok (%s)" % (path, ", ".join(sorted(configs))))
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="small run for CI smoke")
+    parser.add_argument("--reps", type=int, default=None, help="repetitions per mode")
+    parser.add_argument("--packets", type=int, default=None, help="timed packets per rep")
+    parser.add_argument(
+        "--out",
+        default=os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_adaptive.json"),
+        help="result file (default: repo-root BENCH_adaptive.json)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="validate an existing --out file instead of measuring",
+    )
+    args = parser.parse_args(argv)
+    if args.check:
+        check_file(args.out)
+        return
+    packets = args.packets or (2000 if args.quick else 20000)
+    reps = args.reps or (2 if args.quick else 3)
+    results = run(packets, reps, args.quick)
+    with open(args.out, "w") as fh:
+        json.dump(results, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print("wrote %s" % os.path.abspath(args.out))
+
+
+if __name__ == "__main__":
+    main()

@@ -131,6 +131,45 @@ def run(packets, reps, quick):
     return results
 
 
+def compare_to_baseline(path, baseline_path, tolerance=0.25):
+    """Compare a fresh results file against a checked-in baseline.
+
+    Absolute pps moves with the machine, so the comparison is on the
+    *speedup ratios* (each mode vs. that run's own reference): a fast
+    mode whose speedup fell more than ``tolerance`` below the baseline's
+    is a real fast-path regression, not a slow runner."""
+    with open(path) as fh:
+        fresh = json.load(fh)
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    failures = []
+    for config_name, base_entry in baseline["configs"].items():
+        fresh_entry = fresh["configs"].get(config_name)
+        if fresh_entry is None:
+            failures.append("%s: missing from %s" % (config_name, path))
+            continue
+        for key, base_stats in base_entry.items():
+            if not isinstance(base_stats, dict) or "speedup" not in base_stats:
+                continue
+            if base_stats["speedup"] <= 1.0:
+                continue  # the reference row, or a mode with no headroom
+            fresh_speedup = fresh_entry.get(key, {}).get("speedup", 0.0)
+            floor = base_stats["speedup"] * (1.0 - tolerance)
+            status = "ok" if fresh_speedup >= floor else "REGRESSION"
+            print(
+                "%-10s %-13s baseline %5.2fx  fresh %5.2fx  floor %5.2fx  %s"
+                % (config_name, key, base_stats["speedup"], fresh_speedup, floor, status)
+            )
+            if fresh_speedup < floor:
+                failures.append(
+                    "%s %s: %.2fx is more than %d%% below the baseline %.2fx"
+                    % (config_name, key, fresh_speedup, tolerance * 100, base_stats["speedup"])
+                )
+    if failures:
+        raise SystemExit("fast-path regression vs %s:\n  %s" % (baseline_path, "\n  ".join(failures)))
+    print("%s: within %d%% of %s" % (path, tolerance * 100, baseline_path))
+
+
 def check_file(path):
     """Validate an existing results file: well-formed, and fast mode is
     not slower than the reference (the CI smoke criterion)."""
@@ -168,9 +207,19 @@ def main(argv=None):
         action="store_true",
         help="validate an existing --out file instead of measuring",
     )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="after measuring (or on an existing --out file with --check), "
+        "fail if any mode's speedup fell more than 25%% below this "
+        "checked-in baseline's",
+    )
     args = parser.parse_args(argv)
     if args.check:
         check_file(args.out)
+        if args.baseline:
+            compare_to_baseline(args.out, args.baseline)
         return
     packets = args.packets or (2000 if args.quick else 20000)
     reps = args.reps or (2 if args.quick else 3)
@@ -179,6 +228,8 @@ def main(argv=None):
         json.dump(results, fh, indent=2, sort_keys=True)
         fh.write("\n")
     print("wrote %s" % os.path.abspath(args.out))
+    if args.baseline:
+        compare_to_baseline(args.out, args.baseline)
 
 
 if __name__ == "__main__":

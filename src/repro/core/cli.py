@@ -270,6 +270,18 @@ def optimize_main(argv=None):
             help="after the pipeline, compile the optimized router's "
             "runtime fast path and print its report to stderr",
         )
+        parser.add_argument(
+            "--adaptive",
+            action="store_true",
+            help="compile the optimized router under the tiered adaptive "
+            "engine instead of the static fast path (implies --fast)",
+        )
+        parser.add_argument(
+            "--profile-report",
+            action="store_true",
+            help="with --adaptive: also print the engine's per-chain "
+            "tier/profile report to stderr",
+        )
 
     def preflight(args):
         if args.list_pipelines:
@@ -292,17 +304,45 @@ def optimize_main(argv=None):
     pipeline = named_pipeline(args.pipeline, validate="check" if args.validate else None)
     result = pipeline.run(graph)
     _write_output(args.output, save_config(result.graph))
+    fastpath_section = None
+    if args.fast or args.adaptive or args.profile_report:
+        text, fastpath_section = _fastpath_report(
+            result.graph,
+            adaptive=args.adaptive or args.profile_report,
+            profile=args.profile_report,
+        )
+        sys.stderr.write(text + "\n")
     if args.report:
-        _write_report(args.report, result.report)
-    if args.fast:
-        sys.stderr.write(_fastpath_report(result.graph) + "\n")
+        _write_report_with_fastpath(args.report, result.report, fastpath_section)
     return 0
 
 
-def _fastpath_report(graph):
+def _write_report_with_fastpath(dest, report, fastpath_section):
+    """The pipeline's JSON report, extended with a ``fastpath`` section
+    (compile time, codegen-cache hit, per-chain generated-code size)
+    when the run also compiled one — cache hits show up as a near-zero
+    compile time with ``cache_hit: true``."""
+    if fastpath_section is None:
+        _write_report(dest, report)
+        return
+    import json
+
+    payload = report.to_dict()
+    payload["fastpath"] = fastpath_section
+    text = json.dumps(payload, indent=2) + "\n"
+    if dest == "-":
+        sys.stderr.write(text)
+    else:
+        with open(dest, "w") as handle:
+            handle.write(text)
+
+
+def _fastpath_report(graph, adaptive=False, profile=False):
     """Instantiate the optimized graph (loopback devices stand in for
     whatever hardware the config names) and compile — but do not run —
-    its fast path; returns the compile report text."""
+    its fast path; returns ``(report text, report dict)``.  With
+    ``adaptive`` the router comes up under the tiered engine instead,
+    and ``profile`` appends its per-chain tier report."""
     from ..elements.devices import LoopbackDevice
     from ..elements.runtime import Router
 
@@ -315,8 +355,17 @@ def _fastpath_report(graph):
                 self[name] = LoopbackDevice(name)
             return self[name]
 
-    router = Router(graph, devices=AutoDevices())
-    return router.compile_fastpath().report.format()
+    router = Router(graph, devices=AutoDevices(), mode="adaptive" if adaptive else "reference")
+    if adaptive:
+        compile_report = router.adaptive.tier1.report
+        text = compile_report.format()
+        if profile:
+            text += "\n" + router.adaptive.profile_report().format()
+        section = compile_report.as_dict()
+        section["adaptive"] = router.adaptive.profile_report().as_dict()
+        return text, section
+    compile_report = router.compile_fastpath().report
+    return compile_report.format(), compile_report.as_dict()
 
 
 # ---------------------------------------------------------------------------

@@ -55,6 +55,12 @@ class ARPQuerier(Element):
         self.my_ether = EtherAddress(args[1])
         self.table = {}  # IP value -> EtherAddress
         self._headers = {}  # IP value -> ready-made Ethernet header bytes
+        # Bumped whenever the table (and so a cached header) may change;
+        # the adaptive fast path bakes a header behind an epoch guard,
+        # so any bump sends speculated packets back to the live dicts.
+        # The lazy header build in _handle_ip does not bump: it only
+        # materializes what the current table already implies.
+        self._arp_epoch = 0
         self.pending = {}  # IP value -> [Packet]
         self.queries_sent = 0
         self.replies_handled = 0
@@ -65,6 +71,7 @@ class ARPQuerier(Element):
         value = IPAddress(ip).value
         self.table[value] = EtherAddress(ether)
         self._headers.pop(value, None)
+        self._arp_epoch += 1
 
     def push(self, port, packet):
         if port == 0:
@@ -116,6 +123,7 @@ class ARPQuerier(Element):
         self.replies_handled += 1
         self.table[arp.sender_ip.value] = arp.sender_ether
         self._headers.pop(arp.sender_ip.value, None)
+        self._arp_epoch += 1
         for held in self.pending.pop(arp.sender_ip.value, []):
             header = make_ether_header(arp.sender_ether, self.my_ether, ETHERTYPE_IP)
             held.push(header)

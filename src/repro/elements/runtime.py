@@ -51,10 +51,19 @@ class Router:
     """A running router built from a configuration graph."""
 
     def __init__(
-        self, graph, extra_classes=None, meter=None, devices=None, mode="reference", batch=False
+        self,
+        graph,
+        extra_classes=None,
+        meter=None,
+        devices=None,
+        mode="reference",
+        batch=False,
+        adaptive_config=None,
     ):
         self.graph = graph
         self.meter = meter
+        self.adaptive = None
+        self._adaptive_config = adaptive_config
         # Keep the caller's mapping object (even when empty): device
         # lookups go through its .get, so callers may pass lazy or
         # auto-populating mappings.
@@ -159,27 +168,45 @@ class Router:
 
     @property
     def mode(self):
-        """``"reference"`` (the interpreting oracle) or ``"fast"``."""
+        """``"reference"`` (the interpreting oracle), ``"fast"``, or
+        ``"adaptive"`` (tiered profile-guided recompilation)."""
         return self._mode
 
     def compile_fastpath(self, batch=False):
         """Compile this router's fast path (without installing it) and
         return the :class:`~repro.runtime.fastpath.FastPath`."""
+        from ..runtime.codegen_cache import default_cache
         from ..runtime.fastpath import FastPath
 
         if self.fastpath is not None and self.fastpath.installed:
             self.fastpath.uninstall()
-        self.fastpath = FastPath(self, batch=batch)
+        self.fastpath = FastPath(self, batch=batch, cache=default_cache())
         return self.fastpath
 
     def set_mode(self, mode, batch=False):
-        """Switch between the reference interpreter and the compiled
-        fast path; compiles on first use (and on batch-flavor change)."""
-        if mode not in ("reference", "fast"):
-            raise ValueError("mode must be 'reference' or 'fast', not %r" % (mode,))
+        """Switch between the reference interpreter, the compiled fast
+        path, and the adaptive tiered engine; compiles on first use
+        (and on batch-flavor change)."""
+        if mode not in ("reference", "fast", "adaptive"):
+            raise ValueError(
+                "mode must be 'reference', 'fast', or 'adaptive', not %r" % (mode,)
+            )
+        if self.adaptive is not None and mode != "adaptive":
+            self.adaptive.uninstall()
+            self.adaptive = None
         if mode == "reference":
             if self.fastpath is not None and self.fastpath.installed:
                 self.fastpath.uninstall()
+        elif mode == "adaptive":
+            from ..runtime.adaptive import AdaptiveEngine
+
+            if self.adaptive is None:
+                if self.fastpath is not None and self.fastpath.installed:
+                    self.fastpath.uninstall()
+                self.adaptive = AdaptiveEngine(
+                    self, config=self._adaptive_config, batch=batch
+                )
+                self.adaptive.install()
         else:
             if self.fastpath is None or self.fastpath.batch != bool(batch):
                 self.compile_fastpath(batch=batch)
@@ -211,12 +238,20 @@ class Router:
         element one run_task call (Click's constantly-active kernel
         thread, round-robin)."""
         useful = 0
+        adaptive = self.adaptive
         for _ in range(iterations):
+            worked = 0
             for task in self._tasks:
                 if self.meter is not None:
                     self.meter.on_task(task)
                 if task.run_task():
-                    useful += 1
+                    worked += 1
+            useful += worked
+            if adaptive is not None and not worked:
+                # An idle scheduler pass is when Click would do
+                # housekeeping; the adaptive engine uses it to promote
+                # chains whose profiles matured off the packet path.
+                adaptive.on_idle()
         return useful
 
     def push_packet(self, element_name, port, packet):

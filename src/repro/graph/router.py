@@ -303,6 +303,19 @@ class RouterGraph:
                 return candidate
             counter += 1
 
+    def fingerprint(self):
+        """A content hash of the full configuration — declarations,
+        connections, compound classes, requirements, and any archive
+        members — via the canonical unparsed text.  Two graphs with
+        equal fingerprints instantiate behaviourally identical routers,
+        which is what lets the runtime codegen cache key compiled fast
+        paths on it (:mod:`repro.runtime.codegen_cache`)."""
+        import hashlib
+
+        from ..lang.unparse import unparse_file
+
+        return hashlib.sha256(unparse_file(self).encode("utf-8")).hexdigest()
+
     def merge_requirements(self, other):
         """Union another graph's requirements into this one."""
         for requirement in other.requirements:

@@ -84,6 +84,11 @@ class Packet:
     def __len__(self):
         return len(self._buf) - self._data_offset
 
+    def __bytes__(self):
+        """``bytes(packet)`` is the packet contents — the same bytes
+        ``data`` returns, through the same cache discipline."""
+        return self.data
+
     @property
     def headroom(self):
         return self._data_offset

@@ -6,6 +6,18 @@ instantiated graph once and generating specialized dispatch code, the
 move Morpheus and the NetKAT compiler make at runtime scale.
 """
 
-from .fastpath import FastPath, FastPathError, FastPathReport
+from .adaptive import AdaptiveConfig, AdaptiveEngine, ProfileReport
+from .codegen_cache import CodegenCache, default_cache
+from .fastpath import ChainPolicy, FastPath, FastPathError, FastPathReport
 
-__all__ = ["FastPath", "FastPathError", "FastPathReport"]
+__all__ = [
+    "AdaptiveConfig",
+    "AdaptiveEngine",
+    "ChainPolicy",
+    "CodegenCache",
+    "default_cache",
+    "FastPath",
+    "FastPathError",
+    "FastPathReport",
+    "ProfileReport",
+]

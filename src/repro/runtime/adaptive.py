@@ -1,0 +1,900 @@
+"""Profile-guided adaptive recompilation: the tiered fast path.
+
+The static fast path (:mod:`repro.runtime.fastpath`) compiles the
+configuration once, before any packet flows, emitting branch arms in
+port order and speculating nothing.  Morpheus's observation — and this
+module's job — is that the *traffic* decides which code should be fast:
+with runtime profiles, classifier and route dispatch can put the
+hottest arm on the fall-through path, single-entry route and ARP
+results can be inlined as guarded constants, and cold specializations
+can be pruned.
+
+Three tiers:
+
+- **tier 0** — the reference interpreter (always available through
+  ``router.set_mode("reference")``): the semantic oracle.
+- **tier 1** — the statically compiled chains, entered through a cheap
+  *sampling dispatcher*: 1 packet in ``sample`` runs the profiled
+  flavor of the same chain (identical code plus per-classifier
+  ``note(out)`` and per-route ``note(dst)`` hooks).  The other
+  ``sample - 1`` packets pay one counter increment and one extra call
+  frame — and once a chain is promoted or settled the dispatcher is
+  removed entirely, so steady-state overhead is zero.
+- **tier 2** — after ``threshold`` packets on a chain, the engine
+  builds one profile-guided :class:`FastPath` for the router (shared
+  by every promoted chain) and swaps each hot entry port's ``push``
+  slot to the recompiled function.
+
+Every speculation is guarded and every guard fails *safe*: the cold
+side of each guard is the full generic code, so a wrong guess costs
+time, never correctness.  Guard misses increment engine-owned counters;
+sustained pressure (``guard_miss_limit`` misses on one site) means the
+traffic changed shape, and the engine *deoptimizes* the chains that
+reach the offending element back to tier 1, resets the profile, and
+lets them climb again against fresh counters.
+
+The recompile itself is usually free: tier-2 code is content-addressed
+in the codegen cache by (graph fingerprint, profile-decision digest),
+so a router re-learning a previously seen traffic shape replays the
+cached module instead of paying ``compile``/``exec``
+(:mod:`repro.runtime.codegen_cache`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from .codegen_cache import default_cache
+from .fastpath import ChainPolicy, FastOutputPort, FastPath
+
+__all__ = [
+    "AdaptiveConfig",
+    "AdaptiveEngine",
+    "Decisions",
+    "OptimizedPolicy",
+    "ProfileReport",
+    "ProfileStore",
+    "ProfilingPolicy",
+    "build_decisions",
+]
+
+
+class AdaptiveConfig:
+    """Tuning knobs for the tiered engine.
+
+    ``sample`` must be a power of two (the dispatcher uses a mask);
+    ``threshold`` is the per-chain packet count that triggers
+    promotion; ``min_samples`` is the least profile weight a decision
+    may rest on; ``hot_fraction`` is how dominant an arm must be before
+    it is guarded; ``guard_miss_limit`` misses on one guard site
+    deoptimize; ``max_recompiles`` bounds tier-2 rebuilds per engine.
+    """
+
+    __slots__ = (
+        "threshold",
+        "sample",
+        "guard_miss_limit",
+        "min_samples",
+        "hot_fraction",
+        "prune_cold",
+        "max_recompiles",
+    )
+
+    def __init__(
+        self,
+        threshold=512,
+        sample=16,
+        guard_miss_limit=8192,
+        min_samples=32,
+        hot_fraction=0.5,
+        prune_cold=True,
+        max_recompiles=16,
+    ):
+        if sample < 1 or (sample & (sample - 1)):
+            raise ValueError("sample must be a power of two, not %r" % (sample,))
+        if threshold < 1:
+            raise ValueError("threshold must be positive")
+        self.threshold = threshold
+        self.sample = sample
+        self.guard_miss_limit = guard_miss_limit
+        self.min_samples = min_samples
+        self.hot_fraction = hot_fraction
+        self.prune_cold = prune_cold
+        self.max_recompiles = max_recompiles
+
+    def as_dict(self):
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class ProfileStore:
+    """Per-router hit counters, filled by the profiled tier-1 chains.
+
+    ``classifier[name]`` maps matcher output -> packets; ``route[name]``
+    maps raw destination value -> packets.  The note closures mutate
+    the inner dicts in place, and :meth:`reset` clears them in place
+    too — the profiled chains keep their bound references across
+    deoptimization, so a reset must not replace the dicts.
+    """
+
+    def __init__(self):
+        self.classifier = {}
+        self.route = {}
+        # First data sample seen per (classifier, output): the guard
+        # builder walks the decision tree along this exemplar's actual
+        # path, so the speculated conditions describe the traffic that
+        # was profiled — not just any leaf with the same output.
+        self.classifier_exemplar = {}
+
+    def classifier_note(self, name):
+        counts = self.classifier.setdefault(name, {})
+        exemplars = self.classifier_exemplar.setdefault(name, {})
+
+        def note(out, data, _c=counts, _e=exemplars):
+            _c[out] = _c.get(out, 0) + 1
+            if out not in _e:
+                _e[out] = bytes(data)
+
+        return note
+
+    def route_note(self, name):
+        counts = self.route.setdefault(name, {})
+
+        def note(raw, _c=counts):
+            _c[raw] = _c.get(raw, 0) + 1
+
+        return note
+
+    def reset(self):
+        for counts in self.classifier.values():
+            counts.clear()
+        for counts in self.route.values():
+            counts.clear()
+        for exemplars in self.classifier_exemplar.values():
+            exemplars.clear()
+
+    def snapshot(self):
+        return {
+            "classifier": {name: dict(c) for name, c in self.classifier.items()},
+            "route": {name: dict(c) for name, c in self.route.items()},
+        }
+
+
+class ProfilingPolicy(ChainPolicy):
+    """Tier 1's instrumented flavor: identical emission to the static
+    policy plus note hooks at every classifier and route dispatch."""
+
+    profiling = True
+    tag = "profiling"
+
+    def __init__(self, store):
+        self.store = store
+
+    def cache_key(self):
+        return ("profiling",)
+
+    def classifier_note(self, element):
+        return ("cls", element.name)
+
+    def route_note(self, element):
+        return ("route", element.name)
+
+    def resolve(self, token, router):
+        kind, name = token
+        if kind == "cls":
+            return self.store.classifier_note(name)
+        if kind == "route":
+            return self.store.route_note(name)
+        raise KeyError(token)
+
+
+# -- profile -> emission decisions ----------------------------------------------
+
+
+def _slice_or_masked(offset, mask, value, equal):
+    """Render one tree test as the cheapest guard condition: a bytes
+    slice compare when the mask covers whole contiguous bytes, else a
+    masked-word compare."""
+    mask_bytes = mask.to_bytes(4, "big")
+    set_bytes = [i for i in range(4) if mask_bytes[i]]
+    if set_bytes and all(mask_bytes[i] == 0xFF for i in set_bytes):
+        first, last = set_bytes[0], set_bytes[-1]
+        if set_bytes == list(range(first, last + 1)):
+            value_bytes = value.to_bytes(4, "big")[first : last + 1]
+            return ("slice", offset + first, offset + last + 1, value_bytes, equal)
+    return ("masked", offset, 4, mask, value, equal)
+
+
+def _guard_conds(tree, hot_out, exemplar=None):
+    """Guard conditions whose conjunction implies ``tree`` classifies to
+    ``hot_out``, with implied negative tests eliminated — or None.
+
+    With an ``exemplar`` (a data sample from the profiled hot flow) the
+    path is the one the exemplar actually takes — several leaves can
+    share an output, and guarding the wrong one means the hot traffic
+    never hits the guard.  Without one, fall back to the shortest
+    root-to-leaf path ending in the hot output.
+
+    A ``("len", n)`` condition covering every tested word is prepended:
+    the tree's interpreted traversal zero-pads short data, so the guard
+    must only claim a match when the slices it compares are exact.  A
+    packet short enough to have matched via padding simply misses the
+    guard and takes the compiled matcher, which pads identically.
+    """
+    from collections import deque
+
+    from ..classifier.tree import is_leaf, leaf_output
+
+    if tree is None or not tree.exprs:
+        return None
+    found = None
+    if exemplar is not None:
+        path = []
+        target = 1
+        for _ in range(len(tree.exprs) + 1):
+            expr = tree.exprs[target - 1]
+            taken = expr.test(exemplar)
+            path.append((expr.offset, expr.mask, expr.value, taken))
+            target = expr.yes if taken else expr.no
+            if is_leaf(target):
+                if leaf_output(target) == hot_out:
+                    found = tuple(path)
+                break
+    if found is None:
+        queue = deque([(1, ())])
+        seen = {1}
+        while queue and found is None:
+            pos, path = queue.popleft()
+            expr = tree.exprs[pos - 1]
+            for taken, target in ((True, expr.yes), (False, expr.no)):
+                step = (expr.offset, expr.mask, expr.value, taken)
+                if is_leaf(target):
+                    if leaf_output(target) == hot_out:
+                        found = path + (step,)
+                        break
+                elif target not in seen:
+                    seen.add(target)
+                    queue.append((target, path + (step,)))
+    if found is None:
+        return None
+    # Implied-test elimination: a positive (mask m, value v) at the same
+    # offset settles any negative (m2, v2) with m2 ⊆ m and (v & m2) != v2.
+    positives = [s for s in found if s[3]]
+    kept = []
+    for step in found:
+        offset, mask, value, taken = step
+        if not taken:
+            implied = any(
+                p[0] == offset and (mask & p[1]) == mask and (p[2] & mask) != value
+                for p in positives
+            )
+            if implied:
+                continue
+        if step not in kept:
+            kept.append(step)
+    conds = [("len", max(s[0] for s in kept) + 4)] if kept else []
+    for offset, mask, value, taken in sorted(kept, key=lambda s: (s[0], not s[3])):
+        conds.append(_slice_or_masked(offset, mask, value, taken))
+    return tuple(conds) if conds else None
+
+
+def _classifier_decision(element, counts, config, exemplars=None):
+    total = sum(counts.values())
+    if total < config.min_samples:
+        return None
+    nports = len(element._output_ports)
+    port_counts = {i: counts.get(i, 0) for i in range(nports)}
+    order = sorted(range(nports), key=lambda i: (-port_counts[i], i))
+    hot_out = order[0]
+    guard = None
+    if port_counts[hot_out] >= config.hot_fraction * total:
+        conds = _guard_conds(
+            getattr(element, "tree", None),
+            hot_out,
+            (exemplars or {}).get(hot_out),
+        )
+        if conds:
+            guard = (conds, hot_out)
+    prune = set()
+    if config.prune_cold:
+        prune = frozenset(i for i in range(nports) if port_counts[i] == 0)
+    if order == list(range(nports)) and guard is None and not prune:
+        return None
+    return {"order": tuple(order), "guard": guard, "prune": prune, "total": total}
+
+
+def _route_decision(element, counts, config):
+    total = sum(counts.values())
+    if total < config.min_samples:
+        return None
+    nports = len(element._output_ports)
+    top = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))[:64]
+    port_counts = {}
+    routes = {}
+    for raw, count in top:
+        result = element.lookup_route(raw)
+        if result is None:
+            continue
+        routes[raw] = result
+        port_counts[result[1]] = port_counts.get(result[1], 0) + count
+    order = sorted(range(nports), key=lambda i: (-port_counts.get(i, 0), i))
+    constant = None
+    hot_raw, hot_count = top[0]
+    if hot_count >= config.hot_fraction * total and hot_raw in routes:
+        gateway, port = routes[hot_raw]
+        if 0 <= port < nports:
+            constant = (
+                hot_raw,
+                gateway.value if gateway is not None else None,
+                port,
+            )
+    prune = set()
+    if config.prune_cold:
+        prune = frozenset(i for i in range(nports) if not port_counts.get(i, 0))
+    if order == list(range(nports)) and constant is None and not prune:
+        return None
+    return {"order": tuple(order), "constant": constant, "prune": prune, "total": total}
+
+
+def _arp_downstream(element, port_index):
+    """The ARPQuerier a route arm feeds (following output 0 through the
+    linear run after the route table), or None."""
+    from ..elements.arp import ARPQuerier
+
+    ports = element._output_ports
+    if not 0 <= port_index < len(ports):
+        return None
+    current = ports[port_index].target
+    for _ in range(16):
+        if current is None:
+            return None
+        if isinstance(current, ARPQuerier):
+            return current
+        if not current._output_ports:
+            return None
+        current = current._output_ports[0].target
+    return None
+
+
+def _arp_entry(element, raw):
+    """The ``(raw, header, epoch)`` constant for speculating ``raw``
+    through ``element``, from its live table — or None when the next
+    hop is unresolved.  Reads only; the lazy header fill stays the
+    generic path's business."""
+    from ..net.headers import ETHERTYPE_IP, make_ether_header
+
+    header = element._headers.get(raw)
+    if header is None:
+        ether = element.table.get(raw)
+        if ether is None:
+            return None
+        header = make_ether_header(ether, element.my_ether, ETHERTYPE_IP)
+    return (raw, bytes(header), element._arp_epoch)
+
+
+class Decisions:
+    """One profile bucket: everything the optimized policy bakes in."""
+
+    __slots__ = ("classifier", "route", "arp", "check_ip_hot", "digest")
+
+    def __init__(self, classifier, route, arp, check_ip_hot):
+        self.classifier = classifier
+        self.route = route
+        self.arp = arp
+        self.check_ip_hot = check_ip_hot
+        canonical = (
+            sorted(
+                (name, d["order"], d["guard"], tuple(sorted(d["prune"])))
+                for name, d in classifier.items()
+            ),
+            sorted(
+                (name, d["order"], d["constant"], tuple(sorted(d["prune"])))
+                for name, d in route.items()
+            ),
+            sorted(arp.items()),
+            check_ip_hot,
+        )
+        self.digest = hashlib.sha256(repr(canonical).encode("utf-8")).hexdigest()[:16]
+
+    def empty(self):
+        return not (self.classifier or self.route or self.arp)
+
+    def as_dict(self):
+        return {
+            "digest": self.digest,
+            "classifier": {
+                name: {
+                    "order": list(d["order"]),
+                    "guard_out": d["guard"][1] if d["guard"] else None,
+                    "pruned": sorted(d["prune"]),
+                    "total": d["total"],
+                }
+                for name, d in self.classifier.items()
+            },
+            "route": {
+                name: {
+                    "order": list(d["order"]),
+                    "constant": list(d["constant"]) if d["constant"] else None,
+                    "pruned": sorted(d["prune"]),
+                    "total": d["total"],
+                }
+                for name, d in self.route.items()
+            },
+            "arp": {
+                name: {"raw": entry[0], "epoch": entry[2]}
+                for name, entry in self.arp.items()
+            },
+            "check_ip_hot": self.check_ip_hot,
+        }
+
+
+def build_decisions(router, store, config):
+    """Turn the profile store's counters into a :class:`Decisions`
+    bucket against the router's *live* state (route tables, ARP caches
+    — read at decision time, guarded in the generated code)."""
+    classifier = {}
+    for name, counts in store.classifier.items():
+        element = router.elements.get(name)
+        if element is None or not counts:
+            continue
+        decision = _classifier_decision(
+            element, counts, config, store.classifier_exemplar.get(name)
+        )
+        if decision is not None:
+            classifier[name] = decision
+    route = {}
+    busiest = (0, None)
+    for name, counts in store.route.items():
+        element = router.elements.get(name)
+        if element is None or not counts:
+            continue
+        decision = _route_decision(element, counts, config)
+        if decision is not None:
+            route[name] = decision
+            if decision["constant"] is not None and decision["total"] > busiest[0]:
+                busiest = (decision["total"], decision["constant"][0])
+    arp = {}
+    for name, decision in route.items():
+        constant = decision["constant"]
+        if constant is None:
+            continue
+        raw, gateway_value, port = constant
+        querier = _arp_downstream(router.elements[name], port)
+        if querier is None:
+            continue
+        entry = _arp_entry(querier, gateway_value if gateway_value is not None else raw)
+        if entry is not None:
+            arp[querier.name] = entry
+    return Decisions(classifier, route, arp, busiest[1])
+
+
+class OptimizedPolicy(ChainPolicy):
+    """Tier 2's emission policy: hottest arms first, cold arms pruned,
+    hot route/ARP results speculated behind engine-owned guards."""
+
+    profiling = False
+    tag = "optimized"
+
+    def __init__(self, decisions, engine=None):
+        self.decisions = decisions
+        self.engine = engine
+
+    def cache_key(self):
+        return ("optimized", self.decisions.digest)
+
+    def _decision_for(self, element):
+        return self.decisions.classifier.get(element.name) or self.decisions.route.get(
+            element.name
+        )
+
+    def branch_order(self, element, nports):
+        decision = self._decision_for(element)
+        if decision is None:
+            return range(nports)
+        order = [i for i in decision["order"] if 0 <= i < nports]
+        order.extend(i for i in range(nports) if i not in order)
+        return order
+
+    def should_fuse(self, element, port_index):
+        decision = self._decision_for(element)
+        return decision is None or port_index not in decision["prune"]
+
+    def classifier_guard(self, element):
+        decision = self.decisions.classifier.get(element.name)
+        return decision["guard"] if decision else None
+
+    def route_constant(self, element):
+        decision = self.decisions.route.get(element.name)
+        return decision["constant"] if decision else None
+
+    def arp_constant(self, element):
+        return self.decisions.arp.get(element.name)
+
+    def check_ip_hot(self, element):
+        return self.decisions.check_ip_hot
+
+    def guard_counter(self, element, site):
+        if self.engine is None:
+            return None
+        return ("guard", element.name, site)
+
+    def resolve(self, token, router):
+        if token[0] == "guard":
+            if self.engine is None:
+                raise KeyError(token)
+            return self.engine.guard_counter_for(token)
+        raise KeyError(token)
+
+
+class _GuardCounter:
+    """An engine-owned miss counter emitted on the cold side of one
+    speculation site.  Hitting the limit reports sustained pressure —
+    the traffic no longer matches the profile the code was built for."""
+
+    __slots__ = ("engine", "element", "site", "limit", "count")
+
+    def __init__(self, engine, element, site, limit):
+        self.engine = engine
+        self.element = element
+        self.site = site
+        self.limit = limit
+        self.count = 0
+
+    def __call__(self):
+        count = self.count + 1
+        self.count = count
+        if count >= self.limit:
+            self.count = 0
+            self.engine._on_guard_pressure(self)
+
+
+class _ChainState:
+    """Per-entry-chain tier state.  ``tier`` is 1 while the sampling
+    dispatcher runs, 2 once promoted, 0 once settled back to the plain
+    static chain (nothing worth speculating)."""
+
+    __slots__ = (
+        "key",
+        "port",
+        "plain",
+        "prof",
+        "plain_batch",
+        "prof_batch",
+        "seen",
+        "bursts",
+        "tier",
+    )
+
+    def __init__(self, key, port):
+        self.key = key
+        self.port = port
+        self.plain = None
+        self.prof = None
+        self.plain_batch = None
+        self.prof_batch = None
+        self.seen = 0
+        self.bursts = 0
+        self.tier = 1
+
+
+class ProfileReport:
+    """Observability snapshot: per-chain tiers and counters, recompile
+    and deopt history, and the codegen cache's hit rate."""
+
+    def __init__(self, engine):
+        self.mode = "adaptive"
+        self.metered = engine.metered
+        self.config = engine.config.as_dict()
+        self.chains = {
+            "%s %s[%d]" % key: {"tier": state.tier, "seen": state.seen}
+            for key, state in sorted(engine.states.items())
+        }
+        self.counters = engine.store.snapshot() if engine.store else {}
+        self.recompiles = engine.recompiles
+        self.deopts = list(engine.deopts)
+        self.guard_misses = {
+            "%s/%s" % (c.element, c.site): c.count for c in engine._guard_counters
+        }
+        self.decisions = (
+            engine.tier2_fp.policy.decisions.as_dict()
+            if engine.tier2_fp is not None
+            else None
+        )
+        self.tier2_report = (
+            engine.tier2_fp.report.as_dict() if engine.tier2_fp is not None else None
+        )
+        self.cache = default_cache().stats()
+
+    def as_dict(self):
+        return {
+            "mode": self.mode,
+            "metered": self.metered,
+            "config": self.config,
+            "chains": self.chains,
+            "counters": {
+                "classifier": self.counters.get("classifier", {}),
+                "route": {
+                    name: {"%d.%d.%d.%d" % tuple((raw >> s) & 0xFF for s in (24, 16, 8, 0)): n
+                           for raw, n in counts.items()}
+                    for name, counts in self.counters.get("route", {}).items()
+                },
+            },
+            "recompiles": self.recompiles,
+            "deopts": self.deopts,
+            "guard_misses": self.guard_misses,
+            "decisions": self.decisions,
+            "tier2": self.tier2_report,
+            "codegen_cache": self.cache,
+        }
+
+    def to_json(self):
+        import json
+
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True, default=str)
+
+    def format(self):
+        tiers = {}
+        for info in self.chains.values():
+            tiers[info["tier"]] = tiers.get(info["tier"], 0) + 1
+        lines = [
+            "adaptive: %d chains (%d promoted to tier 2, %d profiling, %d settled)"
+            % (
+                len(self.chains),
+                tiers.get(2, 0),
+                tiers.get(1, 0),
+                tiers.get(0, 0),
+            ),
+            "  recompiles: %d, deopts: %d%s"
+            % (
+                self.recompiles,
+                len(self.deopts),
+                " (%s)" % "; ".join(self.deopts) if self.deopts else "",
+            ),
+            "  codegen cache: %(entries)d entries, %(hits)d hits, %(misses)d misses"
+            % self.cache,
+        ]
+        if self.decisions:
+            lines.append("  profile bucket: %s" % self.decisions["digest"])
+        for key, info in self.chains.items():
+            lines.append("  %-40s tier %d after %d packets" % (key, info["tier"], info["seen"]))
+        return "\n".join(lines)
+
+
+class AdaptiveEngine:
+    """The tiered execution engine over one router.
+
+    Construction compiles tier 1 twice (plain + profiled flavor, both
+    through the codegen cache); :meth:`install` installs the plain fast
+    path and wraps every compiled push entry in a sampling dispatcher.
+    Metered routers degrade gracefully: the meter needs every charge at
+    its reference site, so the engine runs the metered static fast path
+    and never instruments or promotes.
+    """
+
+    def __init__(self, router, config=None, batch=False):
+        self.router = router
+        self.config = config if config is not None else AdaptiveConfig()
+        self.batch = bool(batch)
+        self.metered = router.meter is not None
+        self.store = ProfileStore()
+        self.tier1 = FastPath(router, batch=self.batch, cache=default_cache())
+        self.profiled = None
+        if not self.metered:
+            self.profiled = FastPath(
+                router,
+                batch=self.batch,
+                policy=ProfilingPolicy(self.store),
+                cache=default_cache(),
+            )
+        self.tier2_fp = None
+        self.states = {}
+        self.recompiles = 0
+        self.deopts = []
+        self._guard_counters = []
+        self._decisions_cache = None
+        self._reach_cache = {}
+        self.installed = False
+
+    # -- installation ------------------------------------------------------
+
+    def install(self):
+        if self.installed:
+            return
+        self.tier1.install()
+        self.installed = True
+        if self.metered:
+            return
+        for name, element in self.router.elements.items():
+            for port_index, port in enumerate(element._output_ports):
+                if not isinstance(port, FastOutputPort):
+                    continue
+                key = ("push", name, port_index)
+                prof = self.profiled.function_for(key)
+                if prof is None:
+                    continue
+                state = _ChainState(key, port)
+                state.plain = port.push
+                state.prof = prof
+                if self.batch and port.push_batch is not None:
+                    state.plain_batch = port.push_batch
+                    state.prof_batch = self.profiled.function_for(key, batch=True)
+                self.states[key] = state
+                self._arm(state)
+
+    def uninstall(self):
+        if not self.installed:
+            return
+        # tier1 saved the reference ports; restoring them discards every
+        # dispatcher/promotion slot mutation along with the fast ports.
+        self.tier1.uninstall()
+        self.installed = False
+
+    # -- tier transitions --------------------------------------------------
+
+    def _arm(self, state):
+        """(Re)install the tier-1 sampling dispatcher on a chain."""
+        state.tier = 1
+        mask = self.config.sample - 1
+        threshold = self.config.threshold
+        consider = self._consider
+
+        def push(packet, _s=state):
+            n = _s.seen + 1
+            _s.seen = n
+            if n & mask:
+                _s.plain(packet)
+            else:
+                _s.prof(packet)
+            if n >= threshold:
+                consider(_s)
+
+        state.port.push = push
+        if state.plain_batch is not None:
+
+            def push_batch(packets, _s=state):
+                b = _s.bursts + 1
+                _s.bursts = b
+                _s.seen += len(packets)
+                if b & mask:
+                    _s.plain_batch(packets)
+                else:
+                    _s.prof_batch(packets)
+                if _s.seen >= threshold:
+                    consider(_s)
+
+            state.port.push_batch = push_batch
+
+    def _consider(self, state):
+        if state.tier == 1:
+            self._promote(state)
+
+    def _promote(self, state):
+        """Move one matured chain to tier 2 — or settle it on the plain
+        static chain when the profile offers nothing to speculate."""
+        tier2 = self._ensure_tier2()
+        if tier2 is None and self._decisions_cache is None:
+            # The profile is still too thin to decide anything (the
+            # sampling rate can make a chain cross its packet threshold
+            # well before min_samples profiled events accumulate).
+            # Keep the chain sampling and revisit a threshold from now.
+            state.seen = 0
+            return
+        fn = tier2.function_for(state.key) if tier2 is not None else None
+        if fn is None:
+            state.tier = 0
+            state.port.push = state.plain
+            if state.plain_batch is not None:
+                state.port.push_batch = state.plain_batch
+            return
+        state.tier = 2
+        state.port.push = fn
+        if state.plain_batch is not None:
+            state.port.push_batch = tier2.function_for(state.key, batch=True)
+
+    def _profile_weight(self):
+        """The fattest single profile site — the maturity test for
+        declaring a workload unspeculatable.  Per-site, not summed:
+        every decision builder thresholds its own site's total, so only
+        a site that crossed min_samples and still yielded nothing is
+        evidence the traffic has no exploitable skew."""
+        best = 0
+        for counts in self.store.classifier.values():
+            best = max(best, sum(counts.values()))
+        for counts in self.store.route.values():
+            best = max(best, sum(counts.values()))
+        return best
+
+    def _ensure_tier2(self):
+        if self.tier2_fp is not None:
+            return self.tier2_fp
+        if self.recompiles >= self.config.max_recompiles:
+            return None
+        if self._decisions_cache is None:
+            decisions = build_decisions(self.router, self.store, self.config)
+            if decisions.empty() and self._profile_weight() < self.config.min_samples:
+                # Not a verdict yet — too few profiled events to tell a
+                # skewed workload from an unprofiled one.  Leave the
+                # cache unset so the next promotion attempt rebuilds
+                # from a fatter profile.
+                return None
+            self._decisions_cache = decisions
+        decisions = self._decisions_cache
+        if decisions.empty():
+            return None
+        self.tier2_fp = FastPath(
+            self.router,
+            batch=self.batch,
+            policy=OptimizedPolicy(decisions, self),
+            cache=default_cache(),
+        )
+        self.recompiles += 1
+        return self.tier2_fp
+
+    def on_idle(self):
+        """Housekeeping between bursts: promote chains whose profiles
+        matured without crossing the in-band threshold."""
+        if self.metered:
+            return
+        minimum = self.config.min_samples
+        for state in self.states.values():
+            if state.tier == 1 and state.seen >= minimum:
+                self._promote(state)
+
+    # -- deoptimization ----------------------------------------------------
+
+    def guard_counter_for(self, token):
+        counter = _GuardCounter(
+            self, token[1], token[2], self.config.guard_miss_limit
+        )
+        self._guard_counters.append(counter)
+        return counter
+
+    def _on_guard_pressure(self, counter):
+        self.deopt(
+            "guard pressure at %s/%s" % (counter.element, counter.site),
+            element_name=counter.element,
+        )
+
+    def _reaches(self, entry_name, element_name):
+        """Can the push chain entered at ``entry_name`` reach
+        ``element_name``?  (BFS over the live wiring, memoized.)"""
+        reach = self._reach_cache.get(entry_name)
+        if reach is None:
+            reach = {entry_name}
+            queue = [self.router.elements[entry_name]]
+            while queue:
+                element = queue.pop()
+                for port in element._output_ports:
+                    target = port.target
+                    if target is not None and target.name not in reach:
+                        reach.add(target.name)
+                        queue.append(target)
+            self._reach_cache[entry_name] = reach
+        return element_name in reach
+
+    def deopt(self, reason, element_name=None):
+        """Send chains back to tier 1 and reprofile.  With
+        ``element_name`` only the chains that can reach the offending
+        element demote (their guards are the ones missing); without it
+        (a forced deopt) every chain demotes."""
+        if self.metered or not self.installed:
+            return
+        self.deopts.append(reason)
+        self.store.reset()
+        self._decisions_cache = None
+        self.tier2_fp = None
+        self._guard_counters = [
+            c for c in self._guard_counters if c.element != element_name
+        ]
+        for state in self.states.values():
+            if element_name is not None and not self._reaches(
+                state.key[1], element_name
+            ):
+                continue
+            state.seen = 0
+            state.bursts = 0
+            self._arm(state)
+
+    # -- observability -----------------------------------------------------
+
+    def profile_report(self):
+        return ProfileReport(self)

@@ -1,0 +1,235 @@
+"""A content-addressed cache for compiled fast-path modules.
+
+``FastPath._compile`` pays ``compile``/``exec`` per router build even
+when the configuration is identical — the common case in benchmarks,
+test suites, and hot-swap, where the same graph is instantiated over
+and over.  This module caches the *generated artifact* (source + code
+object + the replay recipes for every bound runtime object) keyed by
+
+    (graph fingerprint, element-class identity, batch flag, policy key)
+
+so a repeat build skips generation and compilation entirely: the entry
+re-binds each ``_bN`` slot against the fresh router from its recipe and
+re-executes the already-compiled code object in a fresh namespace.
+
+Recipes (recorded by :meth:`FastPath._bind`) are small tuples:
+
+``("elem", name)``
+    the element itself
+``("attr", name, (a, b, ...))``
+    a ``getattr`` chain off the element (bound methods, deques, sets)
+``("value", v)``
+    an immutable literal carried in the recipe
+``("const", key)``
+    a module-level singleton (the route-miss sentinel, the dest-IP
+    intern cache probe)
+``("matcher", name)``
+    the compiled classifier match function for the element's tree
+``("ip", raw)``
+    the interned :class:`IPAddress` for a raw destination value
+``("table", index)``
+    the ``index``-th terminal jump table, refilled after exec
+``("policy", token)``
+    ``policy.resolve(token, router)`` — profiling counters and guard
+    callbacks, resolved against the *new* policy instance so cached
+    profiled code gets fresh counters
+
+A compile that binds anything without a recipe marks itself
+uncacheable and is simply never stored.  Metered compiles bypass the
+cache at the :class:`FastPath` level.  The cache holds code objects and
+recipes only — never live router state — so entries are safe to replay
+against any router whose key matches.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+__all__ = ["CacheEntry", "CodegenCache", "default_cache"]
+
+
+def _resolve_spec(spec, fastpath, tables):
+    from .fastpath import _MISS, _classifier_matcher, _intern_dest_ip
+
+    router = fastpath.router
+    kind = spec[0]
+    if kind == "elem":
+        return router.elements[spec[1]]
+    if kind == "attr":
+        value = router.elements[spec[1]]
+        for attr in spec[2]:
+            value = getattr(value, attr)
+        return value
+    if kind == "value":
+        return spec[1]
+    if kind == "const":
+        if spec[1] == "MISS":
+            return _MISS
+        if spec[1] == "DEST_IP_GET":
+            from ..net.packet import _DEST_IP_CACHE
+
+            return _DEST_IP_CACHE.get
+        raise KeyError("unknown const recipe %r" % (spec[1],))
+    if kind == "matcher":
+        return _classifier_matcher(router.elements[spec[1]])
+    if kind == "ip":
+        return _intern_dest_ip(spec[1])
+    if kind == "table":
+        return tables[spec[1]][0]
+    if kind == "policy":
+        return fastpath.policy.resolve(spec[1], router)
+    raise KeyError("unknown bind recipe %r" % (spec,))
+
+
+_REPORT_FIELDS = (
+    "push_chains",
+    "pull_chains",
+    "inlined_calls",
+    "longest_chain",
+    "branch_elements",
+    "branch_ports",
+    "specialized_terminals",
+    "specialized_actions",
+    "elided_elements",
+    "source_lines",
+    "guarded_branches",
+    "pruned_arms",
+)
+
+
+class CacheEntry:
+    """One cached compile: everything needed to rebuild a live
+    :class:`FastPath` against a fresh router without regenerating or
+    recompiling source."""
+
+    __slots__ = (
+        "source",
+        "code",
+        "names",
+        "specs",
+        "chains",
+        "jump_specs",
+        "report_fields",
+        "inlined_elements",
+        "chain_lines",
+    )
+
+    @classmethod
+    def from_fastpath(cls, fastpath):
+        entry = cls()
+        entry.source = fastpath.source
+        entry.code = fastpath._code
+        entry.names = dict(fastpath._names)
+        entry.specs = dict(fastpath._bind_specs)
+        entry.chains = dict(fastpath.chains)
+        entry.jump_specs = [
+            (element.name, mode) for (_table, element, mode) in fastpath._jump_tables
+        ]
+        report = fastpath.report
+        entry.report_fields = {name: getattr(report, name) for name in _REPORT_FIELDS}
+        entry.inlined_elements = set(report.inlined_elements)
+        entry.chain_lines = dict(report.chain_lines)
+        return entry
+
+    def replay(self, fastpath):
+        """Rebuild ``fastpath`` from this entry: resolve every bind
+        recipe against its router, exec the cached code object, refill
+        the jump tables, and restore the compile report."""
+        router = fastpath.router
+        tables = [
+            ([], router.elements[name], mode) for (name, mode) in self.jump_specs
+        ]
+        fastpath._jump_tables = tables
+        namespace = fastpath._namespace
+        for name, spec in self.specs.items():
+            namespace[name] = _resolve_spec(spec, fastpath, tables)
+        exec(self.code, namespace)  # noqa: S102 - cached generated code
+        fastpath.source = self.source
+        fastpath._code = self.code
+        fastpath._names = dict(self.names)
+        fastpath._bind_specs = dict(self.specs)
+        fastpath.chains = dict(self.chains)
+        for key, (fn, batch_fn) in self.names.items():
+            fastpath._compiled[key] = (
+                namespace[fn],
+                namespace[batch_fn] if batch_fn else None,
+            )
+        for table, element, mode in tables:
+            for port_index, port in enumerate(element._output_ports):
+                compiled = self.names.get(("push", element.name, port_index))
+                if compiled is not None:
+                    table.append(namespace[compiled[0]])
+                elif mode == "checked":
+                    table.append(None)
+                else:
+                    table.append(port.push)
+        report = fastpath.report
+        for name, value in self.report_fields.items():
+            setattr(report, name, value)
+        report.inlined_elements = set(self.inlined_elements)
+        report.chain_lines = dict(self.chain_lines)
+
+
+class CodegenCache:
+    """An LRU of :class:`CacheEntry` keyed by configuration content."""
+
+    def __init__(self, capacity=64):
+        self.capacity = capacity
+        self._entries = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def key_for(self, router, batch, policy):
+        """The cache key for compiling ``router`` under ``policy``, or
+        None when the build is not addressable (no graph attached, or a
+        policy that declines caching).  Element-class identities are
+        part of the key: the same configuration text instantiated with
+        different class overlays generates different specializations."""
+        graph = getattr(router, "graph", None)
+        if graph is None:
+            return None
+        policy_key = policy.cache_key()
+        if policy_key is None:
+            return None
+        class_sig = tuple(
+            (name, id(type(element))) for name, element in router.elements.items()
+        )
+        return (graph.fingerprint(), class_sig, bool(batch), policy_key)
+
+    def lookup(self, key):
+        if key is None:
+            return None
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def store(self, key, fastpath):
+        if key is None or fastpath._code is None:
+            return
+        self._entries[key] = CacheEntry.from_fastpath(fastpath)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def clear(self):
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self):
+        return len(self._entries)
+
+    def stats(self):
+        return {"entries": len(self._entries), "hits": self.hits, "misses": self.misses}
+
+
+_DEFAULT = CodegenCache()
+
+
+def default_cache():
+    """The process-wide cache :meth:`Router.compile_fastpath` uses."""
+    return _DEFAULT

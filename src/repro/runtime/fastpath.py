@@ -44,13 +44,98 @@ compiles.
 
 from __future__ import annotations
 
+import time
+
 from ..elements.element import Element
 
-__all__ = ["FastPath", "FastPathError", "FastPathReport", "FastOutputPort", "FastInputPort"]
+__all__ = [
+    "ChainPolicy",
+    "FastPath",
+    "FastPathError",
+    "FastPathReport",
+    "FastOutputPort",
+    "FastInputPort",
+]
 
 
 class FastPathError(RuntimeError):
     """Raised when a router cannot be compiled into a fast path."""
+
+
+class ChainPolicy:
+    """The emitter's decision hooks: branch order, fusion pruning, and
+    profile-guided specialization.
+
+    The base class is the *static* policy — the PR 2 fast path exactly:
+    branches emit in port order, every fusable arm fuses, and nothing is
+    speculated.  :mod:`repro.runtime.adaptive` subclasses it twice: a
+    profiling policy that asks for counter hooks, and an optimized
+    policy that reorders branches by observed hit counts and inlines
+    single-entry route/ARP results behind guards.
+
+    Policies hand the emitter *tokens* for any runtime object they want
+    bound into generated code (counters, guard callbacks); the emitter
+    binds ``policy.resolve(token, router)`` under a ``("policy", token)``
+    recipe, so cached code replays against a fresh policy instance.
+    """
+
+    profiling = False
+    tag = "static"
+
+    def cache_key(self):
+        """Hashable component of the codegen-cache key.  Two policies
+        with equal keys must emit identical source for the same graph."""
+        return ("static",)
+
+    def branch_order(self, element, nports):
+        """The order branch arms are emitted in (hottest first pays in
+        the if/elif dispatch chain)."""
+        return range(nports)
+
+    def should_fuse(self, element, port_index):
+        """False prunes this branch arm from dispatch fusion — it stays
+        reachable through the jump table, the generated code shrinks."""
+        return True
+
+    def classifier_guard(self, element):
+        """``(conds, hot_out)`` to guard-test the hottest leaf before
+        running the matcher, or None.  ``conds`` are rendering tuples:
+        ``("len", n)``, ``("slice", start, end, bytes, equal)``, or
+        ``("masked", offset, width, mask, value, equal)`` — their
+        conjunction must *imply* the matcher returns ``hot_out``."""
+        return None
+
+    def route_constant(self, element):
+        """``(raw_dst, gateway_value_or_None, out_port)`` to speculate
+        the hottest destination through an identity guard, or None."""
+        return None
+
+    def arp_constant(self, element):
+        """``(raw_dst, header_bytes, epoch)`` to inline a resolved ARP
+        encapsulation behind an epoch guard, or None."""
+        return None
+
+    def check_ip_hot(self, element):
+        """The hottest raw destination value, to skip the intern-cache
+        probe in the CheckIPHeader segment, or None."""
+        return None
+
+    def classifier_note(self, element):
+        """Token for a per-packet ``note(out)`` profiling hook, or None."""
+        return None
+
+    def route_note(self, element):
+        """Token for a per-packet ``note(raw_dst)`` hook, or None."""
+        return None
+
+    def guard_counter(self, element, site):
+        """Token for a zero-argument guard-miss callback emitted on the
+        cold side of a speculation, or None."""
+        return None
+
+    def resolve(self, token, router):
+        """The live object behind a token this policy issued."""
+        raise KeyError(token)
 
 
 _MISS = object()
@@ -122,9 +207,19 @@ class ChainInfo:
     """What one chain compiles: its source edge, the elements inlined
     into straight-line code, and the terminal dispatch."""
 
-    __slots__ = ("kind", "element", "port", "inlined", "terminal", "terminal_port", "function_name")
+    __slots__ = (
+        "kind",
+        "element",
+        "port",
+        "inlined",
+        "terminal",
+        "terminal_port",
+        "function_name",
+        "lines",
+    )
 
-    def __init__(self, kind, element, port, inlined, terminal, terminal_port, function_name):
+    def __init__(self, kind, element, port, inlined, terminal, terminal_port, function_name,
+                 lines=0):
         self.kind = kind
         self.element = element
         self.port = port
@@ -132,6 +227,7 @@ class ChainInfo:
         self.terminal = terminal
         self.terminal_port = terminal_port
         self.function_name = function_name
+        self.lines = lines
 
     def describe(self):
         hops = [name for name in self.inlined] + ["%s.%s(%d)" % (self.terminal, self.kind, self.terminal_port)]
@@ -155,6 +251,12 @@ class FastPathReport:
         self.batch = False
         self.metered = False
         self.source_lines = 0
+        self.policy = "static"
+        self.cache_hit = False
+        self.compile_seconds = 0.0
+        self.chain_lines = {}  # "push name[port]" chain label -> generated lines
+        self.guarded_branches = 0
+        self.pruned_arms = 0
 
     def as_dict(self):
         return {
@@ -171,6 +273,12 @@ class FastPathReport:
             "batch": self.batch,
             "metered": self.metered,
             "source_lines": self.source_lines,
+            "policy": self.policy,
+            "cache_hit": self.cache_hit,
+            "compile_seconds": round(self.compile_seconds, 6),
+            "chain_lines": dict(sorted(self.chain_lines.items())),
+            "guarded_branches": self.guarded_branches,
+            "pruned_arms": self.pruned_arms,
         }
 
     def to_json(self):
@@ -196,7 +304,25 @@ class FastPathReport:
             "  specialized: %d terminals and %d actions compiled in place, "
             "%d redundant elements elided"
             % (self.specialized_terminals, self.specialized_actions, self.elided_elements),
+            "  compile: %.1f ms%s (policy: %s%s)"
+            % (
+                self.compile_seconds * 1e3,
+                ", codegen-cache hit" if self.cache_hit else "",
+                self.policy,
+                ", %d guarded branches, %d pruned arms"
+                % (self.guarded_branches, self.pruned_arms)
+                if self.guarded_branches or self.pruned_arms
+                else "",
+            ),
         ]
+        if self.chain_lines:
+            largest = sorted(
+                self.chain_lines.items(), key=lambda item: -item[1]
+            )[:4]
+            lines.append(
+                "  code size: %s"
+                % ", ".join("%s=%d lines" % pair for pair in largest)
+            )
         return "\n".join(lines)
 
 
@@ -228,6 +354,76 @@ def _uses_shared_dispatch(element):
     return cls.push is Element.push and cls.pull is Element.pull
 
 
+def _classifier_matcher(element):
+    """The raw compiled match function for a classifier terminal — the
+    archive class's prebuilt one, or the decision tree compiled with the
+    classifier optimizer's own generator (memoized by tree signature)."""
+    from ..elements.classifiers import FastClassifierBase
+
+    if isinstance(element, FastClassifierBase):
+        matcher = element.compiled
+    else:
+        from ..classifier.compile import compiled_function_for
+
+        return compiled_function_for(element.tree)
+    # Bind the raw generated function, not the CompiledClassifier
+    # wrapper — __call__ would add a frame per packet.
+    return getattr(matcher, "_function", matcher)
+
+
+def _intern_dest_ip(raw):
+    """The interned IPAddress for a raw value — the same object
+    :meth:`Packet.set_dest_ip_anno` hands out, which is what makes the
+    route guard's identity test hit for speculated flows."""
+    from ..net.addresses import IPAddress
+    from ..net.packet import _DEST_IP_CACHE
+
+    cached = _DEST_IP_CACHE.get(raw)
+    if cached is None:
+        cached = IPAddress(raw)
+        if len(_DEST_IP_CACHE) < 65536:
+            _DEST_IP_CACHE[raw] = cached
+    return cached
+
+
+def _method_spec(bound):
+    """A replayable recipe for a bound element method, or None when the
+    callable cannot be re-resolved by name against a fresh router."""
+    owner = getattr(bound, "__self__", None)
+    fn = getattr(bound, "__func__", None)
+    name = getattr(owner, "name", None)
+    if fn is None or name is None:
+        return None
+    if getattr(owner, "router", None) is None:
+        return None
+    return ("attr", name, (fn.__name__,))
+
+
+def _render_guard(conds, data_var):
+    """Render classifier-guard condition tuples (see
+    :meth:`ChainPolicy.classifier_guard`) into one boolean expression
+    over the local holding the packet contents."""
+    parts = []
+    for cond in conds:
+        kind = cond[0]
+        if kind == "len":
+            parts.append("len(%s) >= %d" % (data_var, cond[1]))
+        elif kind == "slice":
+            _, start, end, value, equal = cond
+            parts.append(
+                "%s[%d:%d] %s %r" % (data_var, start, end, "==" if equal else "!=", value)
+            )
+        elif kind == "masked":
+            _, offset, width, mask, value, equal = cond
+            parts.append(
+                "(int.from_bytes(%s[%d:%d], 'big') & 0x%x) %s 0x%x"
+                % (data_var, offset, offset + width, mask, "==" if equal else "!=", value)
+            )
+        else:
+            raise FastPathError("unknown guard condition %r" % (cond,))
+    return " and ".join(parts)
+
+
 class FastPath:
     """A compiled fast path over one wired router.
 
@@ -235,9 +431,10 @@ class FastPath:
     :meth:`uninstall` restores the reference interpreter untouched.
     """
 
-    def __init__(self, router, batch=False):
+    def __init__(self, router, batch=False, policy=None, cache=None):
         self.router = router
         self.batch = bool(batch)
+        self.policy = policy if policy is not None else ChainPolicy()
         self.metered = router.meter is not None
         if self.metered and not hasattr(router.meter, "on_chain"):
             raise FastPathError(
@@ -251,10 +448,38 @@ class FastPath:
         self.installed = False
         self.source = ""
         self._namespace = {}
+        self._bind_specs = {}  # _bN name -> replay recipe
+        self._cacheable = True
+        self._ctx_counter = 0
+        self._code = None  # compiled module code object (for the cache)
+        self._names = None  # chain key -> (fn name, batch fn name)
         self.report = FastPathReport()
         self.report.batch = self.batch
         self.report.metered = self.metered
-        self._compile()
+        self.report.policy = self.policy.tag
+        started = time.perf_counter()
+        entry = None
+        key = None
+        if cache is not None and not self.metered:
+            key = cache.key_for(router, self.batch, self.policy)
+            entry = cache.lookup(key)
+        if entry is not None:
+            entry.replay(self)
+            self.report.cache_hit = True
+        else:
+            self._compile()
+            if key is not None and self._cacheable:
+                cache.store(key, self)
+        self.report.compile_seconds = time.perf_counter() - started
+
+    def function_for(self, key, batch=False):
+        """The compiled chain entry point for one edge key
+        ``(kind, element_name, port)`` — what the adaptive engine swaps
+        into a port's ``push`` slot on tier promotion."""
+        compiled = self._compiled.get(key)
+        if compiled is None:
+            return None
+        return compiled[1] if batch else compiled[0]
 
     # -- tracing ---------------------------------------------------------------
 
@@ -340,12 +565,24 @@ class FastPath:
 
     # -- code generation ---------------------------------------------------------
 
-    def _bind(self, value):
+    def _bind(self, value, spec=None):
         """Park a runtime object in the generated module's globals and
-        return its name; generated defs capture it via default args."""
-        name = "_b%d" % len(self._namespace)
+        return its name; generated defs capture it via default args.
+
+        ``spec`` is the replay recipe the codegen cache uses to re-bind
+        the same slot against a fresh router (see
+        :mod:`repro.runtime.codegen_cache`); binding anything without a
+        recipe makes this compile uncacheable."""
+        name = "_b%d" % len(self._bind_specs)
         self._namespace[name] = value
+        self._bind_specs[name] = spec
+        if spec is None:
+            self._cacheable = False
         return name
+
+    def _bind_policy(self, token):
+        """Bind the live object behind a policy token."""
+        return self.policy.resolve(token, self.router), ("policy", token)
 
     def _terminal_spec(self, terminal, terminal_port, new_arg, stack=None, depth=0):
         """Specialized dispatch for well-known terminal elements
@@ -378,51 +615,85 @@ class FastPath:
         from ..elements.infrastructure import Queue
         from ..elements.routing import _IPRouteTable
 
+        policy = self.policy
         cls = type(terminal)
         if cls.push is _TreeClassifier.push or cls.push is FastClassifierBase.push:
-            if cls.push is FastClassifierBase.push:
-                matcher = terminal.compiled
-            else:
-                # Compile the decision tree with the classifier
-                # optimizer's own code generator — the same move
-                # click-fastclassifier makes at tool time, applied at
-                # router runtime.
-                from ..classifier.compile import CompiledClassifier
-
-                matcher = CompiledClassifier(terminal.tree)
-            # Bind the raw generated function, not the CompiledClassifier
-            # wrapper — __call__ would add a frame per packet.
-            matcher = getattr(matcher, "_function", matcher)
+            matcher = _classifier_matcher(terminal)
             table = []
             self._jump_tables.append((table, terminal, "plain"))
-            m = new_arg(matcher)
-            c = new_arg(terminal)
-            jt = new_arg(table)
+            m = new_arg(matcher, ("matcher", terminal.name))
+            c = new_arg(terminal, ("elem", terminal.name))
+            jt = new_arg(table, ("table", len(self._jump_tables) - 1))
             noutputs = terminal.noutputs
-            bodies = [
-                self._inline_push_body(terminal, i, new_arg, stack, depth + 1)
-                for i in range(len(terminal._output_ports))
-            ]
+            nports = len(terminal._output_ports)
+            order = [i for i in policy.branch_order(terminal, nports)]
+            bodies = {}
+            for i in order:
+                if policy.should_fuse(terminal, i):
+                    bodies[i] = self._inline_push_body(
+                        terminal, i, new_arg, stack, depth + 1
+                    )
+                else:
+                    bodies[i] = None
+                    self.report.pruned_arms += 1
+            guard = policy.classifier_guard(terminal)
+            hot_body = None
+            if guard is not None:
+                conds, hot_out = guard
+                # The guard pays only when the hot arm runs in line; its
+                # length condition also lets the arm's segments assume a
+                # minimum contents length (bounds checks drop out).
+                min_len = max([c[1] for c in conds if c[0] == "len"] or [0])
+                hot_body = self._inline_push_body(
+                    terminal,
+                    hot_out,
+                    new_arg,
+                    stack,
+                    depth + 1,
+                    ctx={"data": "data", "min_len": min_len},
+                )
+                if hot_body is None:
+                    guard = None
+                else:
+                    self.report.guarded_branches += 1
+            note = policy.classifier_note(terminal)
+            note_name = new_arg(*self._bind_policy(note)) if note is not None else None
+            miss = None
+            if guard is not None:
+                miss_token = policy.guard_counter(terminal, "classifier")
+                if miss_token is not None:
+                    miss = new_arg(*self._bind_policy(miss_token))
 
             def emit(var, pad, exitstmt):
                 lines = [
                     pad + "data = %s._data_cache" % var,
                     pad + "if data is None:",
                     pad + "    data = %s.data" % var,
-                    pad + "out = %s(data)" % m,
                 ]
+                inner = pad
+                if guard is not None:
+                    lines.append(pad + "if %s:" % _render_guard(guard[0], "data"))
+                    lines.extend(hot_body(var, pad + "    ", exitstmt))
+                    lines.append(pad + "else:")
+                    inner = pad + "    "
+                    if miss is not None:
+                        lines.append(inner + "%s()" % miss)
+                lines.append(inner + "out = %s(data)" % m)
+                if note_name is not None:
+                    lines.append(inner + "%s(out, data)" % note_name)
                 kw = "if"
-                for i, body in enumerate(bodies):
+                for i in order:
+                    body = bodies[i]
                     if body is None:
                         continue
-                    lines.append(pad + "%s out == %d:" % (kw, i))
-                    lines.extend(body(var, pad + "    ", exitstmt))
+                    lines.append(inner + "%s out == %d:" % (kw, i))
+                    lines.extend(body(var, inner + "    ", exitstmt))
                     kw = "elif"
                 lines += [
-                    pad + "%s out is None or out >= %d:" % (kw, noutputs),
-                    pad + "    %s.drops += 1" % c,
-                    pad + "else:",
-                    pad + "    %s[out](%s)" % (jt, var),
+                    inner + "%s out is None or out >= %d:" % (kw, noutputs),
+                    inner + "    %s.drops += 1" % c,
+                    inner + "else:",
+                    inner + "    %s[out](%s)" % (jt, var),
                 ]
                 return lines
 
@@ -432,9 +703,9 @@ class FastPath:
 
             table = []
             self._jump_tables.append((table, terminal, "checked"))
-            lk = new_arg(terminal.lookup_route)
-            e = new_arg(terminal)
-            jt = new_arg(table)
+            lk = new_arg(terminal.lookup_route, ("attr", terminal.name, ("lookup_route",)))
+            e = new_arg(terminal, ("elem", terminal.name))
+            jt = new_arg(table, ("table", len(self._jump_tables) - 1))
             nports = len(terminal._output_ports)
             rm = ms = None
             if cls.lookup_route is LookupIPRoute.lookup_route:
@@ -442,20 +713,65 @@ class FastPath:
                 # route table never changes afterwards, so its .get can
                 # be bound directly: the common case becomes one dict
                 # probe, and only misses take the memoizing full lookup.
-                rm = new_arg(terminal._memo.get)
-                ms = new_arg(_MISS)
-            bodies = [
-                self._inline_push_body(terminal, i, new_arg, stack, depth + 1)
-                for i in range(nports)
-            ]
+                rm = new_arg(terminal._memo.get, ("attr", terminal.name, ("_memo", "get")))
+                ms = new_arg(_MISS, ("const", "MISS"))
+            order = [i for i in policy.branch_order(terminal, nports)]
+            bodies = {}
+            for i in order:
+                if policy.should_fuse(terminal, i):
+                    bodies[i] = self._inline_push_body(
+                        terminal, i, new_arg, stack, depth + 1
+                    )
+                else:
+                    bodies[i] = None
+                    self.report.pruned_arms += 1
+            constant = policy.route_constant(terminal)
+            hot = None
+            if constant is not None:
+                raw, gw_value, hot_port = constant
+                # The speculated destination is compared by identity:
+                # CheckIPHeader interns annotations through the shared
+                # dest-IP cache, so the hot flow's packets all carry this
+                # object.  A different object (same value or not) simply
+                # takes the generic lookup below — never wrong, only slow.
+                hot_body = self._inline_push_body(
+                    terminal, hot_port, new_arg, stack, depth + 1
+                )
+                if hot_body is not None and 0 <= hot_port < nports:
+                    hot = (
+                        new_arg(_intern_dest_ip(raw), ("ip", raw)),
+                        new_arg(_intern_dest_ip(gw_value), ("ip", gw_value))
+                        if gw_value is not None
+                        else None,
+                        hot_body,
+                    )
+                    self.report.guarded_branches += 1
+            note = policy.route_note(terminal)
+            note_name = new_arg(*self._bind_policy(note)) if note is not None else None
+            miss = None
+            if hot is not None:
+                miss_token = policy.guard_counter(terminal, "route")
+                if miss_token is not None:
+                    miss = new_arg(*self._bind_policy(miss_token))
 
             def emit(var, pad, exitstmt):
-                body = [
-                    pad + "dst = %s.dest_ip_anno" % var,
-                    pad + "if dst is None:",
-                    pad + "    %s.no_route_drops += 1" % e,
-                    pad + "else:",
-                ]
+                body = [pad + "dst = %s.dest_ip_anno" % var]
+                inner = pad
+                if hot is not None:
+                    hot_name, gw_name, hot_body = hot
+                    body.append(pad + "if dst is %s:" % hot_name)
+                    if gw_name is not None:
+                        body.append(pad + "    %s.dest_ip_anno = %s" % (var, gw_name))
+                    body.extend(hot_body(var, pad + "    ", exitstmt))
+                    body.append(pad + "elif dst is None:")
+                else:
+                    body.append(pad + "if dst is None:")
+                body.append(pad + "    %s.no_route_drops += 1" % e)
+                body.append(pad + "else:")
+                if miss is not None:
+                    body.append(pad + "    %s()" % miss)
+                if note_name is not None:
+                    body.append(pad + "    %s(dst.value)" % note_name)
                 if rm is not None:
                     body += [
                         pad + "    route = %s(dst.value, %s)" % (rm, ms),
@@ -475,7 +791,8 @@ class FastPath:
                 ]
                 p2 = pad + "        "
                 kw = "if"
-                for i, inline_body in enumerate(bodies):
+                for i in order:
+                    inline_body = bodies[i]
                     if inline_body is None:
                         continue
                     body.append(p2 + "%s out == %d:" % (kw, i))
@@ -502,8 +819,8 @@ class FastPath:
             # (hot-swap state transfer mutates it in place for exactly
             # this reason).  charge("queue_drop") is a no-op without a
             # meter, which is the only time this specialization runs.
-            q = new_arg(terminal)
-            dq = new_arg(terminal._deque)
+            q = new_arg(terminal, ("elem", terminal.name))
+            dq = new_arg(terminal._deque, ("attr", terminal.name, ("_deque",)))
             cap = terminal.capacity
 
             def emit(var, pad, exitstmt):
@@ -521,7 +838,7 @@ class FastPath:
             return emit
         return None
 
-    def _inline_push_body(self, element, port_index, new_arg, stack, depth):
+    def _inline_push_body(self, element, port_index, new_arg, stack, depth, ctx=None):
         """Emitter for the full body of the push chain leaving
         ``element[port_index]``, for fusing into a dispatch site, or
         None when that chain must stay a function call (metered mode,
@@ -530,6 +847,11 @@ class FastPath:
         The body is the same segments + terminal dispatch the chain's
         standalone function gets, so fusing only removes the call frame;
         bound objects (counters, deques, tables) are shared either way.
+
+        ``ctx`` carries guard-established facts into the segments (a
+        local already holding the packet contents and their minimum
+        length), letting a guarded hot arm drop loads and bounds checks
+        the generic body must keep.
         """
         if self.metered or depth > 4 or stack is None:
             return None
@@ -540,12 +862,12 @@ class FastPath:
         if id(terminal) in stack:
             return None
         pairs = [(stages[i].to_element, action) for i, action in enumerate(actions)]
-        segments = self._compose_segments(pairs, new_arg)
+        segments = self._compose_segments(pairs, new_arg, ctx=ctx)
         emit_terminal = self._terminal_spec(
             terminal, terminal_port, new_arg, stack | {id(terminal)}, depth
         )
         if emit_terminal is None:
-            t = new_arg(terminal.push)
+            t = new_arg(terminal.push, ("attr", terminal.name, ("push",)))
 
             def emit_terminal(var, pad, exitstmt, _t=t, _p=terminal_port):
                 return [pad + "%s(%d, %s)" % (_t, _p, var)]
@@ -568,8 +890,10 @@ class FastPath:
         from ..elements.infrastructure import Queue
 
         if type(terminal).pull is Queue.pull:
-            dq = new_arg(terminal._deque)
-            pop = new_arg(terminal._deque.popleft)
+            dq = new_arg(terminal._deque, ("attr", terminal.name, ("_deque",)))
+            pop = new_arg(
+                terminal._deque.popleft, ("attr", terminal.name, ("_deque", "popleft"))
+            )
 
             def emit(var, pad, exitstmt):
                 return [
@@ -581,7 +905,7 @@ class FastPath:
             return emit
         return None
 
-    def _action_segment(self, element, action, new_arg):
+    def _action_segment(self, element, action, new_arg, ctx=None):
         """An inline code segment for one traced element, or None when
         its action must stay a bound call.  Segments write the element's
         per-packet work as raw statements with configuration constants
@@ -589,7 +913,14 @@ class FastPath:
         Rare paths (errors, side outputs, cache misses) still call the
         bound method, which keeps counters and side effects exact.
         Identity checks are on the underlying function, so a subclass
-        that overrides the handler falls back to the generic call."""
+        that overrides the handler falls back to the generic call.
+
+        ``ctx`` (from a classifier guard, see ``_inline_push_body``) is
+        a dict ``{"data": local_name, "min_len": n}`` asserting that the
+        named local holds ``packet._data_cache`` (non-None) with at
+        least ``min_len`` bytes.  Segments that keep the invariant use
+        it to drop loads and bounds checks; segments that may break it
+        clear the dict, turning it off for the rest of the chain."""
         from ..elements.arp import ARPQuerier
         from ..elements.ethernet import EtherEncap
         from ..elements.infrastructure import Strip
@@ -619,16 +950,33 @@ class FastPath:
             # counts the drop and feeds the error output.  The set and
             # the intern cache are bound directly; neither is ever
             # reassigned after configuration.
-            f = new_arg(element._fail)
-            bs = new_arg(element.bad_src) if element.bad_src else None
-            dc = new_arg(_DEST_IP_CACHE.get)
+            f = new_arg(element._fail, ("attr", element.name, ("_fail",)))
+            bs = (
+                new_arg(element.bad_src, ("attr", element.name, ("bad_src",)))
+                if element.bad_src
+                else None
+            )
+            dc = new_arg(_DEST_IP_CACHE.get, ("const", "DEST_IP_GET"))
             src_test = "s != 0xFFFFFFFF" + (" and s not in %s" % bs if bs else "")
+            cvar = ctx.get("data") if ctx else None
+            hot_raw = self.policy.check_ip_hot(element)
+            hot_ip = (
+                new_arg(_intern_dest_ip(hot_raw), ("ip", hot_raw))
+                if hot_raw is not None
+                else None
+            )
 
             def seg(var, pad, exitstmt):
-                return [
-                    pad + "c = %s._data_cache" % var,
-                    pad + "if c is None:",
-                    pad + "    c = %s.data" % var,
+                if cvar:
+                    # A guard already loaded the contents into a local.
+                    lines = [pad + "c = %s" % cvar]
+                else:
+                    lines = [
+                        pad + "c = %s._data_cache" % var,
+                        pad + "if c is None:",
+                        pad + "    c = %s.data" % var,
+                    ]
+                lines += [
                     pad + "good = False",
                     pad + "ln = len(c)",
                     pad + "if ln >= 20:",
@@ -646,12 +994,31 @@ class FastPath:
                     pad + "    " + exitstmt,
                     pad + "%s.ip_header_offset = 0" % var,
                     pad + "d = (hdr >> (sh - 160)) & 0xFFFFFFFF",
-                    pad + "anno = %s(d)" % dc,
-                    pad + "if anno is None:",
-                    pad + "    %s.set_dest_ip_anno(d)" % var,
-                    pad + "else:",
-                    pad + "    %s.dest_ip_anno = anno" % var,
                 ]
+                if hot_ip is not None:
+                    # The profiled hot destination skips the intern-cache
+                    # probe: an equal raw value gets the same interned
+                    # object the cache would have produced, so downstream
+                    # identity guards behave identically.
+                    lines += [
+                        pad + "if d == %d:" % hot_raw,
+                        pad + "    %s.dest_ip_anno = %s" % (var, hot_ip),
+                        pad + "else:",
+                        pad + "    anno = %s(d)" % dc,
+                        pad + "    if anno is None:",
+                        pad + "        %s.set_dest_ip_anno(d)" % var,
+                        pad + "    else:",
+                        pad + "        %s.dest_ip_anno = anno" % var,
+                    ]
+                else:
+                    lines += [
+                        pad + "anno = %s(d)" % dc,
+                        pad + "if anno is None:",
+                        pad + "    %s.set_dest_ip_anno(d)" % var,
+                        pad + "else:",
+                        pad + "    %s.dest_ip_anno = anno" % var,
+                    ]
+                return lines
 
             return seg
         if fn is Paint.simple_action:
@@ -663,6 +1030,26 @@ class FastPath:
             return seg
         if fn is Strip.simple_action:
             n = element.nbytes
+            if ctx and ctx.get("data") and ctx.get("min_len", 0) >= n:
+                # The guard's length condition already proves the strip
+                # is in bounds, and the contents local is live: slice it
+                # into a fresh local and keep the invariant going.
+                src = ctx["data"]
+                self._ctx_counter += 1
+                dst = "_d%d" % self._ctx_counter
+                ctx["data"] = dst
+                ctx["min_len"] = ctx["min_len"] - n
+
+                def seg(var, pad, exitstmt, _src=src, _dst=dst):
+                    return [
+                        pad + "%s._data_offset += %d" % (var, n),
+                        pad + "%s = %s[%d:]" % (_dst, _src, n),
+                        pad + "%s._data_cache = %s" % (var, _dst),
+                    ]
+
+                return seg
+            if ctx:
+                ctx.clear()
 
             def seg(var, pad, exitstmt):
                 # Stripping the front of a cached contents bytes is a
@@ -678,7 +1065,7 @@ class FastPath:
 
             return seg
         if fn is DropBroadcasts.simple_action:
-            e = new_arg(element)
+            e = new_arg(element, ("elem", element.name))
 
             def seg(var, pad, exitstmt):
                 return [
@@ -691,7 +1078,9 @@ class FastPath:
 
             return seg
         if fn is EtherEncap.simple_action:
-            h = new_arg(element._header)
+            if ctx:
+                ctx.clear()
+            h = new_arg(element._header, ("attr", element.name, ("_header",)))
             hlen = len(element._header)
 
             def seg(var, pad, exitstmt):
@@ -711,7 +1100,9 @@ class FastPath:
 
             return seg
         if fn is FixIPSrc.simple_action:
-            a = new_arg(action)
+            if ctx:
+                ctx.clear()
+            a = new_arg(action, _method_spec(action))
 
             def seg(var, pad, exitstmt):
                 return [
@@ -723,7 +1114,9 @@ class FastPath:
 
             return seg
         if fn is IPGWOptions._process:
-            a = new_arg(action)
+            if ctx:
+                ctx.clear()
+            a = new_arg(action, _method_spec(action))
 
             def seg(var, pad, exitstmt):
                 return [
@@ -736,7 +1129,9 @@ class FastPath:
 
             return seg
         if fn is DecIPTTL._decrement:
-            a = new_arg(action)
+            if ctx:
+                ctx.clear()
+            a = new_arg(action, _method_spec(action))
 
             def seg(var, pad, exitstmt):
                 # The live-TTL case fully in line: read the header words
@@ -769,7 +1164,9 @@ class FastPath:
 
             return seg
         if fn is IPFragmenter._maybe_fragment:
-            a = new_arg(action)
+            if ctx:
+                ctx.clear()
+            a = new_arg(action, _method_spec(action))
             mtu = element.mtu
 
             def seg(var, pad, exitstmt):
@@ -782,7 +1179,7 @@ class FastPath:
 
             return seg
         if fn is PaintTee._tee:
-            a = new_arg(action)
+            a = new_arg(action, _method_spec(action))
             color = element.color
 
             def seg(var, pad, exitstmt):
@@ -795,43 +1192,88 @@ class FastPath:
 
             return seg
         if fn is ARPQuerier._handle_ip:
+            if ctx:
+                ctx.clear()
             # Common case: a resolved next hop whose Ethernet header is
             # already built — encapsulate and keep going inline.  Every
             # other case (unresolved, unannotated, header not yet
             # cached) takes the full method, which drops/queues/queries
             # and pushes through the output port itself.
-            g = new_arg(element._headers.get)
-            a = new_arg(action)
+            g = new_arg(element._headers.get, ("attr", element.name, ("_headers", "get")))
+            a = new_arg(action, _method_spec(action))
+            constant = self.policy.arp_constant(element)
+            hot = None
+            if constant is not None:
+                raw, hdr_bytes, epoch = constant
+                # Speculate the profiled hot next hop's header: identity
+                # on the interned destination plus the querier's table
+                # epoch prove the cached bytes are still current.  Any
+                # table change bumps the epoch, so the guard fails safe
+                # into the generic probe.
+                hot = (
+                    new_arg(_intern_dest_ip(raw), ("ip", raw)),
+                    new_arg(bytes(hdr_bytes), ("value", bytes(hdr_bytes))),
+                    new_arg(element, ("elem", element.name)),
+                    int(epoch),
+                    len(hdr_bytes),
+                )
+                self.report.guarded_branches += 1
+            miss = None
+            if hot is not None:
+                miss_token = self.policy.guard_counter(element, "arp")
+                if miss_token is not None:
+                    miss = new_arg(*self._bind_policy(miss_token))
 
             def seg(var, pad, exitstmt):
                 # The cached headers are 14-byte Ethernet headers; push
                 # them straight into headroom when there is room (the
                 # Packet.push fast case, without the call).
-                return [
-                    pad + "dst = %s.dest_ip_anno" % var,
-                    pad + "hdr = %s(dst.value) if dst is not None else None" % g,
-                    pad + "if hdr is None:",
-                    pad + "    %s(%s)" % (a, var),
-                    pad + "    " + exitstmt,
-                    pad + "off = %s._data_offset" % var,
-                    pad + "hl = len(hdr)",
-                    pad + "if off >= hl:",
-                    pad + "    off -= hl",
-                    pad + "    %s._buf[off:off + hl] = hdr" % var,
-                    pad + "    %s._data_offset = off" % var,
-                    pad + "    %s._data_cache = None" % var,
-                    pad + "else:",
-                    pad + "    %s.push(hdr)" % var,
+                lines = [pad + "dst = %s.dest_ip_anno" % var]
+                inner = pad
+                if hot is not None:
+                    hot_ip, hot_hdr, e, epoch, hl = hot
+                    lines += [
+                        pad + "if dst is %s and %s._arp_epoch == %d:" % (hot_ip, e, epoch),
+                        pad + "    off = %s._data_offset" % var,
+                        pad + "    if off >= %d:" % hl,
+                        pad + "        off -= %d" % hl,
+                        pad + "        %s._buf[off:off + %d] = %s" % (var, hl, hot_hdr),
+                        pad + "        %s._data_offset = off" % var,
+                        pad + "        %s._data_cache = None" % var,
+                        pad + "    else:",
+                        pad + "        %s.push(%s)" % (var, hot_hdr),
+                        pad + "else:",
+                    ]
+                    inner = pad + "    "
+                    if miss is not None:
+                        lines.append(inner + "%s()" % miss)
+                lines += [
+                    inner + "hdr = %s(dst.value) if dst is not None else None" % g,
+                    inner + "if hdr is None:",
+                    inner + "    %s(%s)" % (a, var),
+                    inner + "    " + exitstmt,
+                    inner + "off = %s._data_offset" % var,
+                    inner + "hl = len(hdr)",
+                    inner + "if off >= hl:",
+                    inner + "    off -= hl",
+                    inner + "    %s._buf[off:off + hl] = hdr" % var,
+                    inner + "    %s._data_offset = off" % var,
+                    inner + "    %s._data_cache = None" % var,
+                    inner + "else:",
+                    inner + "    %s.push(hdr)" % var,
                 ]
+                return lines
 
             return seg
         return None
 
-    def _compose_segments(self, pairs, new_arg):
+    def _compose_segments(self, pairs, new_arg, ctx=None):
         """The inline body of an unmetered chain: one code segment per
         traced (element, bound action) pair — in the order the actions
         apply to the packet — with redundant elements elided and known
-        cheap elements specialized to raw statements."""
+        cheap elements specialized to raw statements.  ``ctx`` (mutated
+        in place) carries a guard-established contents local through the
+        segments; any segment that may invalidate it clears it."""
         from ..elements.ip import CheckIPHeader, GetIPAddress
 
         segments = []
@@ -851,11 +1293,13 @@ class FastPath:
                 self.report.elided_elements += 1
                 prev = element
                 continue
-            seg = self._action_segment(element, action, new_arg)
+            seg = self._action_segment(element, action, new_arg, ctx=ctx)
             if seg is not None:
                 self.report.specialized_actions += 1
             else:
-                a = new_arg(action)
+                if ctx:
+                    ctx.clear()
+                a = new_arg(action, _method_spec(action))
 
                 def seg(var, pad, exitstmt, _a=a):
                     return [
@@ -882,6 +1326,7 @@ class FastPath:
         )
         lines.append("")
         lines.append("# %s" % info.describe())
+        start = len(lines)
         batch_fn = None
         if self.metered:
             action_names = [self._bind(action) for action in actions]
@@ -914,9 +1359,9 @@ class FastPath:
         else:
             extra_args = []
 
-            def new_arg(value):
+            def new_arg(value, spec=None):
                 name = "_x%d" % len(extra_args)
-                extra_args.append("%s=%s" % (name, self._bind(value)))
+                extra_args.append("%s=%s" % (name, self._bind(value, spec)))
                 return name
 
             pairs = [(stages[i].to_element, action) for i, action in enumerate(actions)]
@@ -927,7 +1372,7 @@ class FastPath:
             if emit_terminal is not None:
                 self.report.specialized_terminals += 1
             else:
-                t = new_arg(terminal.push)
+                t = new_arg(terminal.push, ("attr", terminal.name, ("push",)))
 
                 def emit_terminal(var, pad, exitstmt, _t=t, _p=terminal_port):
                     return [pad + "%s(%d, %s)" % (_t, _p, var)]
@@ -945,6 +1390,8 @@ class FastPath:
                 for seg in segments:
                     lines.extend(seg("packet", "        ", "continue"))
                 lines.extend(emit_terminal("packet", "        ", "continue"))
+        info.lines = len(lines) - start
+        self.report.chain_lines["push %s[%d]" % (element.name, port_index)] = info.lines
         self.chains[("push", element.name, port_index)] = info
         self._note_chain(info, stages)
         return fn, batch_fn
@@ -965,6 +1412,7 @@ class FastPath:
         ordered = list(reversed(actions))
         lines.append("")
         lines.append("# %s" % info.describe())
+        start = len(lines)
         batch_fn = None
         if self.metered:
             action_names = [self._bind(action) for action in ordered]
@@ -1002,9 +1450,9 @@ class FastPath:
         else:
             extra_args = []
 
-            def new_arg(value):
+            def new_arg(value, spec=None):
                 name = "_x%d" % len(extra_args)
-                extra_args.append("%s=%s" % (name, self._bind(value)))
+                extra_args.append("%s=%s" % (name, self._bind(value, spec)))
                 return name
 
             # stages[i] corresponds to walk-order actions[i]; pair the
@@ -1018,7 +1466,7 @@ class FastPath:
             if emit_terminal is not None:
                 self.report.specialized_terminals += 1
             else:
-                t = new_arg(terminal.pull)
+                t = new_arg(terminal.pull, ("attr", terminal.name, ("pull",)))
 
                 def emit_terminal(var, pad, exitstmt, _t=t, _p=terminal_port):
                     return [
@@ -1049,6 +1497,8 @@ class FastPath:
                     lines.extend(seg("packet", "        ", "break"))
                 lines.append("        append(packet)")
                 lines.append("    return packets")
+        info.lines = len(lines) - start
+        self.report.chain_lines["pull %s[%d]" % (element.name, port_index)] = info.lines
         self.chains[("pull", element.name, port_index)] = info
         self._note_chain(info, stages)
         return fn, batch_fn
@@ -1094,6 +1544,8 @@ class FastPath:
         self.report.source_lines = self.source.count("\n")
         code = compile(self.source, "<fastpath>", "exec")
         exec(code, self._namespace)  # noqa: S102 - code generated above
+        self._code = code
+        self._names = names
         for key, (fn, batch_fn) in names.items():
             self._compiled[key] = (
                 self._namespace[fn],

@@ -163,12 +163,21 @@ class Testbed:
 
     # -- CPU measurement (Figures 8 and 9) ------------------------------------------
 
-    def build_router(self, graph, meter=None, mode="reference", batch=False):
+    def build_router(
+        self, graph, meter=None, mode="reference", batch=False, adaptive_config=None
+    ):
         devices = {
             interface.device: LoopbackDevice(interface.device, tx_capacity=1 << 30)
             for interface in self.interfaces
         }
-        router = Router(graph, meter=meter, devices=devices, mode=mode, batch=batch)
+        router = Router(
+            graph,
+            meter=meter,
+            devices=devices,
+            mode=mode,
+            batch=batch,
+            adaptive_config=adaptive_config,
+        )
         self._seed_arp(router)
         return router, devices
 

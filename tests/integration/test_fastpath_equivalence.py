@@ -13,9 +13,14 @@ import pytest
 from repro.configs.firewall import dns5_packet, firewall_graph
 from repro.elements.devices import LoopbackDevice
 from repro.elements.runtime import Router
+from repro.runtime.adaptive import AdaptiveConfig
 from repro.sim.testbed import VARIANTS, Testbed
 
-MODES = [("reference", False), ("fast", False), ("fast", True)]
+MODES = [("reference", False), ("fast", False), ("fast", True), ("adaptive", False)]
+
+# Eager promotion: the 256-packet equivalence traffic must cross the
+# tier-1 -> tier-2 transition, not just exercise tier 1.
+EAGER = dict(threshold=48, sample=4, min_samples=12)
 
 
 def mode_label(mode, batch):
@@ -35,14 +40,26 @@ def observe(router, devices):
     )
 
 
-def drive_testbed(variant, mode, batch, frames):
+def drive_testbed(variant, mode, batch, frames, deopt_after=None):
     testbed = Testbed(2)
+    adaptive_config = AdaptiveConfig(**EAGER) if mode == "adaptive" else None
     router, devices = testbed.build_router(
-        testbed.variant_graph(variant), mode=mode, batch=batch
+        testbed.variant_graph(variant),
+        mode=mode,
+        batch=batch,
+        adaptive_config=adaptive_config,
     )
-    for device_name, frame in frames(testbed):
-        devices[device_name].receive_frame(frame)
-    router.run_tasks(len(frames(testbed)))
+    traffic = frames(testbed)
+    if deopt_after is None:
+        batches = [traffic]
+    else:
+        batches = [traffic[:deopt_after], traffic[deopt_after:]]
+    for index, chunk in enumerate(batches):
+        if index and router.adaptive is not None:
+            router.adaptive.deopt("forced")
+        for device_name, frame in chunk:
+            devices[device_name].receive_frame(frame)
+        router.run_tasks(len(chunk))
     return observe(router, devices)
 
 
@@ -122,6 +139,35 @@ def test_firewall_equivalence():
         label = "firewall/%s" % mode_label(mode, batch)
         assert output == reference[0], "%s: transmitted frames differ" % label
         assert handlers == reference[1], "%s: handler values differ" % label
+
+
+def test_adaptive_promotion_reaches_tier2():
+    """With eager thresholds the evaluation traffic must carry the hot
+    source chains through profiling into a tier-2 recompile."""
+    testbed = Testbed(2)
+    router, devices = testbed.build_router(
+        testbed.variant_graph("base"),
+        mode="adaptive",
+        adaptive_config=AdaptiveConfig(**EAGER),
+    )
+    for device_name, frame in testbed.evaluation_frames(256):
+        devices[device_name].receive_frame(frame)
+    router.run_tasks(256)
+    report = router.adaptive.profile_report().as_dict()
+    assert report["recompiles"] >= 1
+    assert any(chain["tier"] == 2 for chain in report["chains"].values())
+
+
+@pytest.mark.parametrize("variant", ["base", "all"])
+def test_adaptive_forced_deopt_equivalence(variant):
+    """A forced mid-run deoptimization (tier 2 -> tier 1, profiles
+    reset) must not change a single transmitted byte or handler."""
+    reference = drive_testbed(variant, "reference", False, evaluation_traffic)
+    output, handlers = drive_testbed(
+        variant, "adaptive", False, evaluation_traffic, deopt_after=128
+    )
+    assert output == reference[0], "%s: transmitted frames differ" % variant
+    assert handlers == reference[1], "%s: handler values differ" % variant
 
 
 @pytest.mark.parametrize("variant", ["base", "all"])

@@ -1,0 +1,108 @@
+"""Audit of ``Packet._data_cache`` invalidation: the generated fast
+paths read and write the cache directly, so every public mutator must
+leave ``bytes(packet)`` (and ``.data``) exactly equal to a cache-free
+reconstruction of the buffer.  A missed invalidation here would show up
+as silently stale forwarded bytes — the worst kind of fast-path bug."""
+
+import pytest
+
+from repro.net.packet import Packet
+
+
+def fresh(data=b"ABCDEFGHIJ", headroom=6):
+    return Packet(data, headroom=headroom)
+
+
+def ground_truth(packet):
+    """The contents recomputed from the raw buffer, bypassing the cache."""
+    return bytes(packet._buf[packet._data_offset :])
+
+
+def assert_coherent(packet):
+    assert packet.data == ground_truth(packet)
+    assert bytes(packet) == ground_truth(packet)
+    assert len(packet) == len(ground_truth(packet))
+
+
+MUTATORS = [
+    ("strip", lambda p: p.strip(3)),
+    ("pull", lambda p: p.pull(2)),
+    ("push_within_headroom", lambda p: p.push(b"xy")),
+    ("push_reallocating", lambda p: p.push(b"z" * 64)),
+    ("take", lambda p: p.take(4)),
+    ("put", lambda p: p.put(b"tail")),
+    ("replace", lambda p: p.replace(2, b"??")),
+    ("set_data", lambda p: p.set_data(b"fresh contents")),
+    ("realign", lambda p: p.realign(4, 2)),
+]
+
+
+@pytest.mark.parametrize("name,mutate", MUTATORS, ids=[m[0] for m in MUTATORS])
+def test_mutator_invalidates_cache(name, mutate):
+    packet = fresh()
+    assert_coherent(packet)  # constructor seeds the cache
+    mutate(packet)
+    assert_coherent(packet)
+
+
+@pytest.mark.parametrize("name,mutate", MUTATORS, ids=[m[0] for m in MUTATORS])
+def test_mutator_invalidates_warm_cache(name, mutate):
+    """Same audit with the cache warmed by a read first — the case the
+    fast path hits, where a stale cache would actually be served."""
+    packet = fresh()
+    before = packet.data  # warm the cache
+    mutate(packet)
+    assert_coherent(packet)
+    # And a second mutation over a re-warmed cache.
+    packet.data
+    packet.replace(0, b"!")
+    assert_coherent(packet)
+    assert before == b"ABCDEFGHIJ"  # the old bytes object is unchanged
+
+
+def test_bytes_protocol_matches_data():
+    packet = fresh()
+    assert bytes(packet) == packet.data
+    packet.strip(1)
+    assert bytes(packet) == packet.data == b"BCDEFGHIJ"
+    # bytes() itself must not desync the cache.
+    assert bytes(packet) is packet.data
+
+
+def test_clone_shares_no_mutable_state():
+    packet = fresh()
+    packet.data
+    dup = packet.clone()
+    dup.replace(0, b"Z")
+    assert_coherent(packet)
+    assert_coherent(dup)
+    assert packet.data == b"ABCDEFGHIJ"
+    assert dup.data == b"ZBCDEFGHIJ"
+
+
+def test_mutation_chain_never_stale():
+    """A forwarding-path-shaped sequence: strip the Ethernet header,
+    rewrite a field, push a new header — coherent at every step."""
+    packet = fresh(b"\x00" * 14 + b"E" + b"\x00" * 19, headroom=20)
+    for step in (
+        lambda p: p.strip(14),
+        lambda p: p.replace(8, b"\x3f"),
+        lambda p: p.push(b"\xaa" * 14),
+        lambda p: p.take(2),
+        lambda p: p.put(b"\x00\x00"),
+    ):
+        step(packet)
+        assert_coherent(packet)
+
+
+def test_direct_cache_discipline_matches_fast_path():
+    """The generated code's inline idiom: read ``_data_cache`` or fall
+    back to ``.data``, mutate via the documented slots, null the cache.
+    The invariant the emitters rely on — a non-None ``_data_cache`` IS
+    the current contents — must hold after every public mutator."""
+    packet = fresh()
+    for _, mutate in MUTATORS:
+        p = fresh()
+        mutate(p)
+        cached = p._data_cache
+        assert cached is None or cached == ground_truth(p)

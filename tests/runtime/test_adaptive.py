@@ -1,0 +1,266 @@
+"""The adaptive engine's machinery, piece by piece: configuration
+validation, the profile store, guard-condition construction, decision
+building, the tier lifecycle (profile -> promote -> deopt -> reprofile),
+and the content-addressed codegen cache."""
+
+import pytest
+
+from repro.classifier.language import compile_patterns
+from repro.classifier.optimize import optimize
+from repro.elements.runtime import Router
+from repro.lang.build import parse_graph
+from repro.net.packet import Packet
+from repro.runtime.adaptive import (
+    AdaptiveConfig,
+    ProfileStore,
+    _guard_conds,
+    build_decisions,
+)
+from repro.runtime.codegen_cache import CodegenCache
+from repro.runtime.fastpath import FastPath
+from repro.sim.testbed import Testbed
+
+EAGER = dict(threshold=48, sample=4, min_samples=12)
+
+
+# -- configuration -----------------------------------------------------------
+
+
+def test_config_rejects_non_power_of_two_sample():
+    with pytest.raises(ValueError):
+        AdaptiveConfig(sample=3)
+
+
+def test_config_round_trips_as_dict():
+    config = AdaptiveConfig(threshold=100, sample=8)
+    assert config.as_dict()["threshold"] == 100
+    assert config.as_dict()["sample"] == 8
+
+
+# -- profile store -----------------------------------------------------------
+
+
+def test_profile_store_counts_and_exemplars():
+    store = ProfileStore()
+    note = store.classifier_note("c0")
+    note(1, b"\x45\x00")
+    note(1, b"\x45\x11")
+    note(0, b"\x60\x00")
+    assert store.classifier["c0"] == {1: 2, 0: 1}
+    # The exemplar is the first sample per output, not the last.
+    assert store.classifier_exemplar["c0"] == {1: b"\x45\x00", 0: b"\x60\x00"}
+
+
+def test_profile_store_reset_clears_in_place():
+    """Profiled chains close over the inner dicts; reset must clear
+    those same objects, not swap in fresh ones."""
+    store = ProfileStore()
+    note = store.classifier_note("c0")
+    inner = store.classifier["c0"]
+    note(0, b"")
+    store.reset()
+    assert inner == {} and store.classifier["c0"] is inner
+    note(2, b"x")
+    assert store.classifier["c0"] == {2: 1}
+
+
+# -- guard conditions --------------------------------------------------------
+
+
+def _ip_tree():
+    return optimize(compile_patterns(["12/0800", "12/0806", "-"]))
+
+
+def test_guard_conds_imply_the_hot_output():
+    tree = _ip_tree()
+    ip_frame = b"\x00" * 12 + b"\x08\x00" + b"\x00" * 6
+    assert tree.match(ip_frame) == 0
+    conds = _guard_conds(tree, 0, exemplar=ip_frame)
+    assert conds is not None
+    assert conds[0][0] == "len"
+    # The conjunction must accept the exemplar's own class...
+    assert _eval_conds(conds, ip_frame)
+    # ...and reject traffic the tree classifies elsewhere.
+    arp_frame = b"\x00" * 12 + b"\x08\x06" + b"\x00" * 6
+    assert tree.match(arp_frame) != 0
+    assert not _eval_conds(conds, arp_frame)
+
+
+def test_guard_conds_follow_the_exemplar_path():
+    """Several leaves can share an output; the guard must describe the
+    profiled flow's leaf, so the exemplar itself always passes."""
+    rules = ["12/0800 23/11", "12/0800 23/06", "12/0806", "-"]
+    tree = optimize(compile_patterns(rules))
+    tcp_like = b"\x00" * 12 + b"\x08\x00" + b"\x00" * 9 + b"\x06" + b"\x00" * 4
+    out = tree.match(tcp_like)
+    conds = _guard_conds(tree, out, exemplar=tcp_like)
+    if conds is not None:
+        assert _eval_conds(conds, tcp_like)
+
+
+def test_guard_conds_short_data_fails_len():
+    tree = _ip_tree()
+    conds = _guard_conds(tree, 0, exemplar=b"\x00" * 12 + b"\x08\x00" + b"\x00" * 6)
+    min_len = max(c[1] for c in conds if c[0] == "len")
+    assert not _eval_conds(conds, b"\x00" * (min_len - 1))
+
+
+def _eval_conds(conds, data):
+    for cond in conds:
+        if cond[0] == "len":
+            if len(data) < cond[1]:
+                return False
+        elif cond[0] == "slice":
+            _, start, end, expected, equal = cond
+            if (data[start:end] == expected) != equal:
+                return False
+        else:
+            _, offset, width, mask, value, equal = cond
+            word = int.from_bytes(data[offset : offset + width], "big")
+            if ((word & mask) == value) != equal:
+                return False
+    return True
+
+
+# -- decisions ---------------------------------------------------------------
+
+
+def _profiled_testbed(packets=256, config=None):
+    testbed = Testbed(2)
+    router, devices = testbed.build_router(
+        testbed.variant_graph("base"),
+        mode="adaptive",
+        adaptive_config=config or AdaptiveConfig(**EAGER),
+    )
+    for device_name, frame in testbed.evaluation_frames(packets):
+        devices[device_name].receive_frame(frame)
+    router.run_tasks(packets)
+    return testbed, router, devices
+
+
+def test_build_decisions_from_live_profile():
+    _, router, _ = _profiled_testbed()
+    engine = router.adaptive
+    decisions = build_decisions(router, engine.store, engine.config)
+    assert not decisions.empty()
+    # The route table saw both destinations; its decision records them.
+    assert decisions.route or decisions.classifier
+    assert len(decisions.digest) == 16
+
+
+def test_decisions_digest_is_stable():
+    _, router, _ = _profiled_testbed()
+    engine = router.adaptive
+    first = build_decisions(router, engine.store, engine.config)
+    second = build_decisions(router, engine.store, engine.config)
+    assert first.digest == second.digest
+
+
+# -- tier lifecycle ----------------------------------------------------------
+
+
+def test_lifecycle_promote_deopt_reprofile():
+    _, router, devices = _profiled_testbed()
+    engine = router.adaptive
+    report = engine.profile_report().as_dict()
+    promoted = [k for k, c in report["chains"].items() if c["tier"] == 2]
+    assert promoted, "no chain promoted under eager thresholds"
+
+    engine.deopt("unit-test")
+    report = engine.profile_report().as_dict()
+    assert all(c["tier"] != 2 for c in report["chains"].values())
+    assert "unit-test" in report["deopts"]
+
+    # Fresh traffic re-profiles and re-promotes through a new recompile.
+    testbed = Testbed(2)
+    for device_name, frame in testbed.evaluation_frames(256):
+        devices[device_name].receive_frame(frame)
+    router.run_tasks(256)
+    report = engine.profile_report().as_dict()
+    assert any(c["tier"] == 2 for c in report["chains"].values())
+    assert report["recompiles"] >= 2
+
+
+def test_thin_profile_does_not_settle():
+    """A chain crossing its packet threshold before min_samples profiled
+    events must keep profiling, not settle on tier 1 forever."""
+    config = AdaptiveConfig(threshold=32, sample=16, min_samples=24)
+    _, router, _ = _profiled_testbed(packets=1024, config=config)
+    report = router.adaptive.profile_report().as_dict()
+    assert any(c["tier"] == 2 for c in report["chains"].values())
+
+
+def test_metered_router_degrades_to_tier1():
+    from repro.sim.cpu import CycleMeter
+
+    testbed = Testbed(2)
+    router, devices = testbed.build_router(
+        testbed.variant_graph("base"),
+        meter=CycleMeter(),
+        mode="adaptive",
+        adaptive_config=AdaptiveConfig(**EAGER),
+    )
+    for device_name, frame in testbed.evaluation_frames(128):
+        devices[device_name].receive_frame(frame)
+    router.run_tasks(128)
+    report = router.adaptive.profile_report().as_dict()
+    assert report["metered"] is True
+    assert all(c["tier"] == 1 for c in report["chains"].values())
+
+
+# -- codegen cache -----------------------------------------------------------
+
+SIMPLE = """
+src :: PollDevice(eth0) -> ctr :: Counter -> q :: Queue(8) -> sink :: ToDevice(eth0);
+"""
+
+
+def _simple_router():
+    from repro.elements.devices import LoopbackDevice
+
+    devices = {"eth0": LoopbackDevice("eth0")}
+    return Router(parse_graph(SIMPLE, "<cache-test>"), devices=devices), devices
+
+
+def test_codegen_cache_replay_matches_fresh_compile():
+    cache = CodegenCache()
+    router_a, _ = _simple_router()
+    fresh = FastPath(router_a, cache=cache)
+    assert fresh.report.cache_hit is False
+
+    router_b, devices = _simple_router()
+    replayed = FastPath(router_b, cache=cache)
+    assert replayed.report.cache_hit is True
+    assert cache.hits == 1
+
+    # The replayed fast path must run against the *new* router.
+    replayed.install()
+    packet = Packet(b"\x00" * 64)
+    router_b.elements["ctr"].output(0).push(packet)
+    assert router_b.elements["ctr"].count in (0, 1)  # counter precedes the port
+    router_b.elements["src"].output(0).push(Packet(b"\x00" * 64))
+    assert router_b.elements["ctr"].count >= 1
+
+
+def test_codegen_cache_distinguishes_policies():
+    from repro.runtime.adaptive import ProfilingPolicy
+
+    cache = CodegenCache()
+    router_a, _ = _simple_router()
+    FastPath(router_a, cache=cache)
+    router_b, _ = _simple_router()
+    FastPath(router_b, policy=ProfilingPolicy(ProfileStore()), cache=cache)
+    assert cache.hits == 0 and cache.misses == 2
+
+
+def test_codegen_cache_capacity_evicts():
+    cache = CodegenCache(capacity=1)
+    router_a, _ = _simple_router()
+    FastPath(router_a, cache=cache)
+    from repro.runtime.adaptive import ProfilingPolicy
+
+    router_b, _ = _simple_router()
+    FastPath(router_b, policy=ProfilingPolicy(ProfileStore()), cache=cache)
+    router_c, _ = _simple_router()
+    FastPath(router_c, cache=cache)  # static entry was evicted
+    assert cache.misses == 3
