@@ -329,7 +329,10 @@ def _write_report_with_fastpath(dest, report, fastpath_section):
 
     payload = report.to_dict()
     payload["fastpath"] = fastpath_section
-    text = json.dumps(payload, indent=2) + "\n"
+    # Stable key order: fuzz/CI artifacts from repeated runs must diff
+    # cleanly, so every dict (pass records, per-chain fastpath entries,
+    # adaptive counters) serializes sorted.
+    text = json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n"
     if dest == "-":
         sys.stderr.write(text)
     else:
@@ -443,3 +446,11 @@ def uncombine_main(argv=None):
         argv,
         pre_args=pre,
     )
+
+
+def fuzz_main(argv=None):
+    """click-fuzz CLI (lazy: the differential fuzzer pulls in the whole
+    runtime, which the pure config filters never need)."""
+    from ..verify.cli import main
+
+    return main(argv)

@@ -204,8 +204,9 @@ class PipelineReport:
         }
 
     def to_json(self, indent=2):
-        """The report as a JSON document."""
-        return json.dumps(self.to_dict(), indent=indent)
+        """The report as a JSON document (stable key order, so repeated
+        runs diff cleanly)."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
     def to_table(self):
         """The report as an aligned plain-text table."""

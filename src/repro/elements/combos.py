@@ -22,7 +22,7 @@ from ..net.addresses import IPAddress
 from ..net.checksum import update_checksum_u16, verify_checksum
 from ..net.headers import IP_HEADER_LEN
 from .element import ConfigError, Element
-from .ip import PACKET_TYPE_BROADCAST
+from .ip import PACKET_TYPE_BROADCAST, fragment_ip_packet
 from .registry import register
 
 
@@ -102,6 +102,7 @@ class IPOutputCombo(Element):
         self.my_ip = IPAddress(args[1])
         self.mtu = int(args[2]) if len(args) == 3 else None
         self.drops = 0
+        self.fragments_made = 0
 
     def push(self, port, packet):
         # DropBroadcasts.
@@ -155,12 +156,18 @@ class IPOutputCombo(Element):
         )
         # Fragmentation check (absorbed IPFragmenter MTU test).
         if self.mtu is not None and len(packet) > self.mtu:
-            flags = struct.unpack_from("!H", packet.data, 6)[0] >> 13
-            if flags & 0x2:  # DF: fragmentation needed
+            from ..net.headers import IPHeader
+
+            header = IPHeader.unpack(packet.data)
+            if header.dont_fragment:
                 self.checked_push(4, packet)
                 return
-            # Fragmentable oversize packets still need real fragmentation;
-            # defer to a downstream IPFragmenter when one exists, else drop.
-            self.drops += 1
+            # Fragment exactly as the IPFragmenter this pattern absorbed
+            # would have, so optimized and unoptimized graphs emit
+            # identical bytes.
+            fragments = fragment_ip_packet(packet, header, self.mtu)
+            self.fragments_made += len(fragments)
+            for fragment in fragments:
+                self.output(0).push(fragment)
             return
         self.output(0).push(packet)

@@ -520,6 +520,9 @@ class Unstrip(Element):
     def simple_action(self, packet):
         if packet.headroom < self.nbytes:
             return None
-        # Expose previously-stripped bytes without rewriting them.
+        # Expose previously-stripped bytes without rewriting them.  The
+        # cached data view (if any) reflects the old offset and must be
+        # dropped, or downstream readers see the stripped payload.
         packet._data_offset -= self.nbytes
+        packet._data_cache = None
         return packet

@@ -458,29 +458,37 @@ class IPFragmenter(Element):
         return None
 
     def _fragment(self, packet, header):
-        from ..net.checksum import internet_checksum
-
-        data = packet.data
-        header_bytes = data[: header.header_length]
-        payload = data[header.header_length: header.total_length]
-        max_payload = ((self.mtu - header.header_length) // 8) * 8
-        fragments = []
-        cursor = 0
-        while cursor < len(payload):
-            chunk = payload[cursor:cursor + max_payload]
-            more = (cursor + len(chunk)) < len(payload)
-            # Patch the original header bytes (preserving any options)
-            # rather than rebuilding, as Click does.
-            frag_header = bytearray(header_bytes)
-            struct.pack_into("!H", frag_header, 2, header.header_length + len(chunk))
-            flags = header.flags | 0x1 if more else header.flags
-            offset_units = header.fragment_offset + cursor // 8
-            struct.pack_into("!H", frag_header, 6, (flags << 13) | offset_units)
-            frag_header[10:12] = b"\x00\x00"
-            struct.pack_into("!H", frag_header, 10, internet_checksum(frag_header))
-            fragment = packet.clone()
-            fragment.set_data(bytes(frag_header) + chunk)
-            fragments.append(fragment)
-            cursor += len(chunk)
-            self.fragments_made += 1
+        fragments = fragment_ip_packet(packet, header, self.mtu)
+        self.fragments_made += len(fragments)
         return fragments
+
+
+def fragment_ip_packet(packet, header, mtu):
+    """Split ``packet`` into MTU-sized IP fragments, preserving header
+    options; shared by IPFragmenter and the IPOutputCombo pattern so the
+    optimized and unoptimized graphs emit identical bytes."""
+    from ..net.checksum import internet_checksum
+
+    data = packet.data
+    header_bytes = data[: header.header_length]
+    payload = data[header.header_length: header.total_length]
+    max_payload = ((mtu - header.header_length) // 8) * 8
+    fragments = []
+    cursor = 0
+    while cursor < len(payload):
+        chunk = payload[cursor:cursor + max_payload]
+        more = (cursor + len(chunk)) < len(payload)
+        # Patch the original header bytes (preserving any options)
+        # rather than rebuilding, as Click does.
+        frag_header = bytearray(header_bytes)
+        struct.pack_into("!H", frag_header, 2, header.header_length + len(chunk))
+        flags = header.flags | 0x1 if more else header.flags
+        offset_units = header.fragment_offset + cursor // 8
+        struct.pack_into("!H", frag_header, 6, (flags << 13) | offset_units)
+        frag_header[10:12] = b"\x00\x00"
+        struct.pack_into("!H", frag_header, 10, internet_checksum(frag_header))
+        fragment = packet.clone()
+        fragment.set_data(bytes(frag_header) + chunk)
+        fragments.append(fragment)
+        cursor += len(chunk)
+    return fragments

@@ -59,6 +59,51 @@ def export_specs():
     return "\n".join(lines) + "\n"
 
 
+# -- legal-composition introspection (for repro.verify's generator) -------
+
+# Port counts are declared as ranges ("1/1-2", "-/1"); probing a small
+# window is enough because no stock element wants more ports than this.
+_PROBE_LIMIT = 8
+
+
+def composition_info(cls):
+    """Everything a config *generator* needs to wire an element of this
+    class legally: the concrete port counts its spec allows (probed
+    through :class:`~repro.graph.ports.PortCountSpec` so range syntax
+    need not be re-parsed), and the per-port push/pull codes.
+
+    Returns a dict with keys ``class_name``, ``input_counts``,
+    ``output_counts`` (sorted lists of legal counts within the probe
+    window), ``input_code(port)``/``output_code(port)`` results exposed
+    as ``input_codes``/``output_codes`` strings over that window, and
+    ``flow_code``."""
+    spec = spec_for_class(cls)
+    input_counts = [n for n in range(_PROBE_LIMIT + 1) if spec.port_counts.inputs_ok(n)]
+    output_counts = [n for n in range(_PROBE_LIMIT + 1) if spec.port_counts.outputs_ok(n)]
+    max_in = max(input_counts) if input_counts else 0
+    max_out = max(output_counts) if output_counts else 0
+    return {
+        "class_name": cls.class_name,
+        "input_counts": input_counts,
+        "output_counts": output_counts,
+        "input_codes": "".join(spec.processing.input_code(p) for p in range(max(max_in, 1))),
+        "output_codes": "".join(spec.processing.output_code(p) for p in range(max(max_out, 1))),
+        "flow_code": spec.flow_code.text,
+    }
+
+
+def composition_table(class_names=None):
+    """``{class_name: composition_info(cls)}`` for the requested classes
+    (default: every registered class)."""
+    names = sorted(ELEMENT_CLASSES) if class_names is None else list(class_names)
+    table = {}
+    for name in names:
+        cls = ELEMENT_CLASSES.get(name)
+        if cls is not None:
+            table[name] = composition_info(cls)
+    return table
+
+
 def parse_spec_file(text):
     """Parse :func:`export_specs` output back into a ClassSpec table —
     this is what a tool running in a separate process would load."""

@@ -214,6 +214,28 @@ class Router:
         self._mode = mode
         return self
 
+    def force_deopt(self, reason="forced"):
+        """Deterministic harness hook: force the adaptive engine back to
+        tier 1 (profiles reset, specialized code discarded).  A no-op in
+        the other modes — which is what makes a forced deopt a valid
+        differential-testing event: it must never change behaviour,
+        only which tier executes it.  Returns True if a deopt happened."""
+        if self.adaptive is None:
+            return False
+        self.adaptive.deopt(reason)
+        return True
+
+    def bump_arp_epochs(self):
+        """Deterministic harness hook: invalidate every ARPQuerier's
+        baked-header guard (as a table change would) without altering
+        table contents.  Returns the number of elements bumped."""
+        bumped = 0
+        for element in self.elements.values():
+            if hasattr(element, "_arp_epoch"):
+                element._arp_epoch += 1
+                bumped += 1
+        return bumped
+
     # -- access ------------------------------------------------------------------
 
     def __getitem__(self, name):

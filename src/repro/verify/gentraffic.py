@@ -1,0 +1,182 @@
+"""Adversarial traffic generation for the differential oracle.
+
+Extends the equivalence tests' hostile corpus (corrupt checksums, TTL
+edges, wrong IP versions, truncations, broadcast sources) with the cases
+the fuzzer exists to catch: oversize datagrams with and without DF (the
+fragmentation paths), runt frames shorter than an Ethernet header, ARP
+requests, traffic addressed to the router itself, and deterministic
+mid-run control events — ARP-table churn (epoch bumps), baked-guard
+invalidation, and forced adaptive deoptimization.
+
+Everything is driven by a seeded ``random.Random``; the same seed always
+produces the same event list, so every case is replayable.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..net.checksum import internet_checksum
+from ..net.headers import build_arp_request, build_ether_udp_packet
+from ..sim.testbed import HOST_ETHERS, host_ip
+
+# A deterministic "moved host": re-inserting an ARP entry with this
+# address mid-run forces an epoch bump while traffic is in flight.
+MOVED_ETHER = "00:20:6F:00:00:77"
+
+
+def set_dont_fragment(frame):
+    """Set DF in the IP header of an Ethernet/IP frame and fix the
+    header checksum (full recompute over the patched header)."""
+    frame = bytearray(frame)
+    header_length = (frame[14] & 0xF) * 4
+    flags_field = struct.unpack_from("!H", frame, 14 + 6)[0]
+    struct.pack_into("!H", frame, 14 + 6, flags_field | (0x2 << 13))
+    frame[14 + 10: 14 + 12] = b"\x00\x00"
+    checksum = internet_checksum(frame[14: 14 + header_length])
+    struct.pack_into("!H", frame, 14 + 10, checksum)
+    return bytes(frame)
+
+
+def _hostile_frame(rng, frame, kind):
+    """One mutation from the equivalence tests' hostile mix."""
+    frame = bytearray(frame)
+    if kind == 1:  # corrupt IP checksum
+        frame[14 + 10] ^= 0xFF
+    elif kind == 2:  # wrong IP version
+        frame[14] = (6 << 4) | (frame[14] & 0x0F)
+    elif kind == 3:  # truncated mid-header
+        frame = frame[: 14 + 12]
+    elif kind == 4:  # broadcast source address
+        frame[14 + 12: 14 + 16] = b"\xff\xff\xff\xff"
+    elif kind == 5:  # runt: shorter than an Ethernet header
+        frame = frame[: rng.randrange(0, 14)]
+    return bytes(frame)
+
+
+def iprouter_events(rng, interfaces, count=96, mtu=1500):
+    """The event trace for an IP-router-shaped configuration: seeded ARP
+    tables, good and hostile traffic on every interface, fragmentation
+    triggers sized against ``mtu``, and mid-run churn."""
+    events = []
+    n = len(interfaces)
+    for index in range(n):
+        events.append(["insert", "arpq%d" % index, host_ip(index), HOST_ETHERS[index]])
+
+    pending = 0
+    for sequence in range(count):
+        rx = sequence % n
+        tx = (rx + 1) % n
+        device = interfaces[rx].device
+        kind = rng.randrange(12)
+        ttl = 1 if kind == 6 else 64
+        payload_length = 14
+        if kind in (7, 8):  # oversize: forces the fragmentation paths
+            payload_length = mtu - 28 + rng.choice([8, 200, 701])
+        frame = build_ether_udp_packet(
+            HOST_ETHERS[rx],
+            interfaces[rx].ether,
+            host_ip(rx),
+            # kind 9 targets the router itself (the host path).
+            interfaces[rx].ip if kind == 9 else host_ip(tx),
+            src_port=1000 + sequence % 7,
+            dst_port=2000,
+            payload=b"\xa5" * payload_length,
+            ttl=ttl,
+            identification=sequence & 0xFFFF,
+        )
+        if kind in (1, 2, 3, 4, 5):
+            frame = _hostile_frame(rng, frame, kind)
+        elif kind == 8:  # oversize with DF: ICMP "fragmentation needed"
+            frame = set_dont_fragment(frame)
+        elif kind == 10:  # ARP request for the router's address
+            frame = build_arp_request(HOST_ETHERS[rx], host_ip(rx), interfaces[rx].ip)
+        events.append(["frame", device, bytes(frame).hex()])
+        pending += 1
+        if pending >= 8:
+            events.append(["run", 4])
+            pending = 0
+        if sequence == count // 3:
+            events.append(["deopt"])
+        if sequence == count // 2:
+            # The host behind interface 0 "moves": same IP, new Ethernet
+            # address.  insert() bumps the querier's epoch, so any baked
+            # tier-2 header guard must fail safe into the generic probe.
+            events.append(["insert", "arpq0", host_ip(0), MOVED_ETHER])
+            events.append(["bump_epochs"])
+    events.append(["run", 64])
+    events.append(["run", 64])
+    return events
+
+
+def firewall_events(rng, count=64):
+    """Traffic for the stock firewall: the DNS exemplar plus mutations
+    that walk other IPFilter rules and the hostile corpus."""
+    from ..configs.firewall import dns5_packet
+
+    base = (
+        b"\x00\x50\x56\x00\x00\x01"
+        + b"\x00\x50\x56\x00\x00\x02"
+        + b"\x08\x00"
+        + dns5_packet()
+    )
+    events = []
+    pending = 0
+    for sequence in range(count):
+        kind = rng.randrange(8)
+        frame = bytearray(base)
+        if kind in (1, 2, 3, 4, 5):
+            frame = bytearray(_hostile_frame(rng, frame, kind))
+        elif kind == 6:  # different ports: other filter rules fire
+            struct.pack_into("!H", frame, 14 + 20, rng.choice([25, 53, 80, 6000]))
+            struct.pack_into("!H", frame, 14 + 22, rng.choice([53, 123, 2049, 8080]))
+            # The UDP checksum is not verified by the firewall path, but
+            # the IP header is untouched, so no fixup is needed.
+        events.append(["frame", "eth0", bytes(frame).hex()])
+        pending += 1
+        if pending >= 8:
+            events.append(["run", 4])
+            pending = 0
+        if sequence == count // 2:
+            events.append(["deopt"])
+    events.append(["run", 48])
+    return events
+
+
+def pipeline_events(rng, input_devices, count=64):
+    """Traffic for generated pipeline configurations: valid UDP frames
+    of varied sizes, foreign ethertypes, broadcasts, and runts."""
+    ethers = ["00:20:6F:00:00:%02X" % i for i in range(4)] + ["ff:ff:ff:ff:ff:ff"]
+    events = []
+    pending = 0
+    for sequence in range(count):
+        device = input_devices[sequence % len(input_devices)]
+        kind = rng.randrange(8)
+        frame = build_ether_udp_packet(
+            rng.choice(ethers[:-1]),
+            rng.choice(ethers),
+            "10.0.0.%d" % rng.randrange(1, 255),
+            "10.0.1.%d" % rng.randrange(1, 255),
+            src_port=rng.randrange(1024, 65535),
+            dst_port=rng.choice([53, 80, 2000]),
+            payload=bytes(rng.randrange(256) for _ in range(rng.choice([0, 14, 64, 400]))),
+            identification=sequence & 0xFFFF,
+        )
+        if kind == 1:  # foreign ethertype
+            frame = bytearray(frame)
+            struct.pack_into("!H", frame, 12, rng.choice([0x0806, 0x86DD, 0x9999]))
+            frame = bytes(frame)
+        elif kind == 2:  # runt
+            frame = frame[: rng.randrange(0, 14)]
+        elif kind == 3:  # truncated payload
+            frame = frame[: 14 + rng.randrange(0, 28)]
+        events.append(["frame", device, bytes(frame).hex()])
+        pending += 1
+        if pending >= 8:
+            events.append(["run", 4])
+            pending = 0
+        if sequence == count // 2:
+            events.append(["deopt"])
+            events.append(["bump_epochs"])
+    events.append(["run", 48])
+    return events

@@ -1,0 +1,274 @@
+"""The differential oracle: run one case under every execution mode and
+optimization axis, and compare everything externally observable.
+
+A *case* is a JSON-serializable dict::
+
+    {"name": str,           # label for reports
+     "config": str,         # Click-language configuration text
+     "events": [event...],  # the traffic/control trace (below)
+     "optimize": bool}      # also run the `paper`-pipeline-optimized graph
+
+Events are small lists so cases round-trip through JSON repro files:
+
+- ``["frame", DEVICE, HEX]``     — frame arrives on DEVICE's receive ring
+- ``["run", N]``                 — N scheduler passes (``Router.run_tasks``)
+- ``["insert", ELEMENT, IP, ETH]`` — ARP-table insert (epoch bump included,
+  exactly as a real ARP reply would); a no-op when ELEMENT is missing, so
+  config shrinking never invalidates a trace
+- ``["bump_epochs"]``            — invalidate every baked ARP header guard
+- ``["deopt"]``                  — force the adaptive engine back to tier 1
+  (a no-op in the other modes, which is what makes it a valid
+  differential event: it may change *which tier* runs, never behaviour)
+
+Within one graph the comparison is strict: transmitted bytes per device
+plus every element's read handlers (counters, drop reasons).  Across the
+optimized/unoptimized axis only transmitted bytes compare — the rewrites
+rename and merge elements, so handler sets legitimately differ.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..core.pipeline import named_pipeline
+from ..core.toolchain import load_config, save_config
+from ..elements.devices import LoopbackDevice
+from ..elements.runtime import build_router
+from ..runtime.adaptive import AdaptiveConfig
+
+#: Mode label -> (Router mode, batch flavor).  ``batch`` is the batched
+#: fast path; a forced mid-run deopt rides in as a ``["deopt"]`` event.
+MODES = OrderedDict(
+    [
+        ("reference", ("reference", False)),
+        ("fast", ("fast", False)),
+        ("batch", ("fast", True)),
+        ("adaptive", ("adaptive", False)),
+    ]
+)
+
+#: Eager promotion thresholds so small fuzz traces still cross the
+#: tier-1 -> tier-2 transition (mirrors the equivalence tests).
+EAGER = dict(threshold=48, sample=4, min_samples=12)
+
+_DEVICE_CLASSES = ("PollDevice", "ToDevice")
+
+
+def device_names(config_text):
+    """Every device name the configuration references, scanned from the
+    *unoptimized* parse (optimizers may rename element classes, but they
+    never change which devices a configuration talks to)."""
+    graph = load_config(config_text, "<fuzz>")
+    if graph.element_classes:
+        from ..core.flatten import flatten
+
+        graph = flatten(graph)
+    names = []
+    for decl in graph.elements.values():
+        if decl.class_name in _DEVICE_CLASSES:
+            name = decl.config.split(",")[0].strip()
+            if name and name not in names:
+                names.append(name)
+    return names
+
+
+def optimize_config(config_text):
+    """The case's configuration after the `paper` pipeline, round-tripped
+    through text exactly as the tool chain would emit it."""
+    result = named_pipeline("paper").run(load_config(config_text, "<fuzz>"))
+    return save_config(result.graph)
+
+
+def _execute(router, devices, events):
+    for event in events:
+        kind = event[0]
+        if kind == "frame":
+            device = devices.get(event[1])
+            if device is not None:
+                device.receive_frame(bytes.fromhex(event[2]))
+        elif kind == "run":
+            router.run_tasks(int(event[1]))
+        elif kind == "insert":
+            element = router.find(event[1])
+            if element is not None and hasattr(element, "insert"):
+                element.insert(event[2], event[3])
+        elif kind == "bump_epochs":
+            router.bump_arp_epochs()
+        elif kind == "deopt":
+            router.force_deopt()
+        else:
+            raise ValueError("unknown fuzz event %r" % (kind,))
+
+
+def observe(router, devices):
+    """The externally visible state, as JSON-safe data: transmitted
+    frames (hex) per device and every element read handler."""
+    transmitted = {
+        name: [bytes(frame).hex() for frame in device.transmitted]
+        for name, device in sorted(devices.items())
+    }
+    counters = {}
+    for name, element in sorted(router.elements.items()):
+        for handler_name, fn in sorted(element.read_handlers().items()):
+            value = fn()
+            if not isinstance(value, (int, float, str, bool, type(None))):
+                value = repr(value)
+            counters["%s.%s" % (name, handler_name)] = value
+    return {"transmitted": transmitted, "counters": counters}
+
+
+def run_case(case, mode, config_text=None):
+    """Run one case under one mode; returns ``("ok", observation)`` or
+    ``("error", [exception type name, message])``.  ``config_text``
+    overrides the case's config (the optimized-axis text)."""
+    text = case["config"] if config_text is None else config_text
+    router_mode, batch = MODES[mode]
+    adaptive_config = AdaptiveConfig(**EAGER) if router_mode == "adaptive" else None
+    try:
+        devices = {
+            name: LoopbackDevice(name, tx_capacity=1 << 30)
+            for name in device_names(case["config"])
+        }
+        router = build_router(
+            load_config(text, "<fuzz>"),
+            devices=devices,
+            mode=router_mode,
+            batch=batch,
+            adaptive_config=adaptive_config,
+        )
+        _execute(router, devices, case["events"])
+    except Exception as exc:  # noqa: BLE001 - the comparison IS the handling
+        return ("error", [type(exc).__name__, str(exc)])
+    return ("ok", observe(router, devices))
+
+
+def first_transmit_difference(a, b):
+    """A compact human-readable description of the first difference
+    between two transmitted-frames observations."""
+    for device in sorted(set(a) | set(b)):
+        frames_a, frames_b = a.get(device, []), b.get(device, [])
+        if frames_a == frames_b:
+            continue
+        for index, (x, y) in enumerate(zip(frames_a, frames_b)):
+            if x != y:
+                return "%s[%d]: %s... != %s..." % (device, index, x[:48], y[:48])
+        return "%s: %d vs %d frames" % (device, len(frames_a), len(frames_b))
+    return None
+
+
+def _first_counter_difference(a, b):
+    for key in sorted(set(a) | set(b)):
+        if a.get(key) != b.get(key):
+            return "%s: %r != %r" % (key, a.get(key), b.get(key))
+    return None
+
+
+def compare_case(case, modes=None):
+    """Run the full matrix for one case and diff it.
+
+    Returns a JSON-safe dict: ``status`` is ``"ok"`` (matrix agrees),
+    ``"divergence"`` (with a ``divergences`` list), or ``"error"``
+    (every run failed identically — the case itself is bad)."""
+    modes = [m for m in (modes or list(MODES)) if m in MODES]
+    if "reference" not in modes:
+        modes = ["reference"] + modes
+    axes = [("plain", None)]
+    if case.get("optimize", True):
+        try:
+            axes.append(("optimized", optimize_config(case["config"])))
+        except Exception as exc:  # noqa: BLE001 - reported, not raised
+            return {
+                "status": "error",
+                "detail": "optimizer failed: %s: %s" % (type(exc).__name__, exc),
+                "divergences": [],
+            }
+
+    divergences = []
+    references = {}
+    for axis, text in axes:
+        reference = run_case(case, "reference", config_text=text)
+        references[axis] = reference
+        for mode in modes:
+            if mode == "reference":
+                continue
+            result = run_case(case, mode, config_text=text)
+            if result[0] != reference[0]:
+                divergences.append(
+                    {
+                        "axis": axis,
+                        "mode": mode,
+                        "kind": "exception",
+                        "detail": "reference=%r %s=%r" % (reference, mode, result),
+                    }
+                )
+                continue
+            if result[0] == "error":
+                if result[1][0] != reference[1][0]:
+                    divergences.append(
+                        {
+                            "axis": axis,
+                            "mode": mode,
+                            "kind": "exception",
+                            "detail": "%s vs %s" % (reference[1][0], result[1][0]),
+                        }
+                    )
+                continue
+            diff = first_transmit_difference(
+                reference[1]["transmitted"], result[1]["transmitted"]
+            )
+            if diff is not None:
+                divergences.append(
+                    {"axis": axis, "mode": mode, "kind": "transmitted", "detail": diff}
+                )
+                continue
+            diff = _first_counter_difference(
+                reference[1]["counters"], result[1]["counters"]
+            )
+            if diff is not None:
+                divergences.append(
+                    {"axis": axis, "mode": mode, "kind": "counters", "detail": diff}
+                )
+
+    # Across the optimization axis: transmitted bytes only.
+    if len(axes) == 2:
+        plain, optimized = references["plain"], references["optimized"]
+        if plain[0] != optimized[0] or (
+            plain[0] == "error" and plain[1][0] != optimized[1][0]
+        ):
+            divergences.append(
+                {
+                    "axis": "optimized-vs-plain",
+                    "mode": "reference",
+                    "kind": "exception",
+                    "detail": "plain=%r optimized=%r" % (plain, optimized),
+                }
+            )
+        elif plain[0] == "ok":
+            diff = first_transmit_difference(
+                plain[1]["transmitted"], optimized[1]["transmitted"]
+            )
+            if diff is not None:
+                divergences.append(
+                    {
+                        "axis": "optimized-vs-plain",
+                        "mode": "reference",
+                        "kind": "transmitted",
+                        "detail": diff,
+                    }
+                )
+
+    if divergences:
+        return {"status": "divergence", "divergences": divergences}
+    if all(reference[0] == "error" for reference in references.values()):
+        detail = references["plain"][1]
+        return {
+            "status": "error",
+            "detail": "%s: %s" % (detail[0], detail[1]),
+            "divergences": [],
+        }
+    return {"status": "ok", "divergences": []}
+
+
+def case_fails(case, modes=None):
+    """True when the matrix disagrees — the shrinker's predicate."""
+    return compare_case(case, modes=modes)["status"] == "divergence"

@@ -1,0 +1,183 @@
+"""Delta-debugging shrinker: minimize a failing case's event trace and
+configuration, and write a self-contained repro file.
+
+Trace minimization is classic ddmin over the event list (a case with
+fewer events that still diverges is strictly better).  Config
+minimization walks the graph splicing out every one-in/one-out element
+whose removal keeps ``click-check`` happy and the divergence alive, to a
+fixpoint.  The result round-trips through a JSON repro file that
+``click-fuzz --repro FILE`` replays.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..core.check import check
+from ..core.toolchain import load_config, save_config
+from .oracle import case_fails, compare_case
+
+REPRO_VERSION = 1
+
+
+def _with_events(case, events):
+    shrunk = dict(case)
+    shrunk["events"] = list(events)
+    return shrunk
+
+
+def ddmin_events(case, fails, max_rounds=12):
+    """Minimize ``case['events']`` with ddmin: returns the smallest
+    event list found that still satisfies ``fails``."""
+    events = list(case["events"])
+    granularity = 2
+    rounds = 0
+    while len(events) >= 2 and rounds < max_rounds:
+        rounds += 1
+        chunk = max(1, len(events) // granularity)
+        reduced = False
+        start = 0
+        while start < len(events):
+            candidate = events[:start] + events[start + chunk:]
+            if candidate and fails(_with_events(case, candidate)):
+                events = candidate
+                granularity = max(granularity - 1, 2)
+                reduced = True
+            else:
+                start += chunk
+        if not reduced:
+            if granularity >= len(events):
+                break
+            granularity = min(len(events), granularity * 2)
+    return events
+
+
+def _splice_candidates(graph):
+    """Elements that are structurally removable: exactly one incoming
+    and one outgoing connection, single ports on both sides."""
+    names = []
+    for name in graph.elements:
+        incoming = graph.connections_to(name)
+        outgoing = graph.connections_from(name)
+        if len(incoming) == 1 and len(outgoing) == 1:
+            names.append(name)
+    return names
+
+
+def _prune_disconnected(graph):
+    """Drop elements no connection touches (branch removal strands its
+    sinks; click-check would reject their dangling ports anyway)."""
+    changed = True
+    while changed:
+        changed = False
+        for name in list(graph.elements):
+            if not graph.connections_to(name) and not graph.connections_from(name):
+                graph.remove_element(name)
+                changed = True
+
+
+def _bypass_attempts(graph):
+    """Candidate (element, incoming, outgoing) bypasses for elements the
+    splice pass cannot touch — branch points like Tee or Classifier get
+    routed around one output at a time, abandoning the other branches."""
+    for name in graph.elements:
+        incoming = graph.connections_to(name)
+        outgoing = graph.connections_from(name)
+        if len(incoming) == 1 and len(outgoing) >= 2:
+            for out in outgoing:
+                yield name, incoming[0], out
+
+
+def _reductions(graph):
+    """Every one-step smaller graph worth trying, best candidates first."""
+    for name in _splice_candidates(graph):
+        candidate = graph.copy()
+        try:
+            candidate.splice_out(name)
+        except Exception:  # noqa: BLE001 - not removable, move on
+            continue
+        yield candidate
+    for name, before, after in _bypass_attempts(graph):
+        candidate = graph.copy()
+        candidate.remove_element(name)
+        candidate.add_connection(
+            before.from_element, before.from_port, after.to_element, after.to_port
+        )
+        _prune_disconnected(candidate)
+        yield candidate
+
+
+def shrink_config(case, fails):
+    """Remove every element the divergence does not need — splicing out
+    pass-throughs and routing around branch points — to a fixpoint;
+    returns the minimized config text."""
+    text = case["config"]
+    changed = True
+    while changed:
+        changed = False
+        graph = load_config(text, "<shrink>")
+        for candidate in _reductions(graph):
+            if check(candidate).errors:
+                continue
+            candidate_text = save_config(candidate)
+            shrunk = dict(case)
+            shrunk["config"] = candidate_text
+            try:
+                still_fails = fails(shrunk)
+            except Exception:  # noqa: BLE001 - invalid shrink, move on
+                continue
+            if still_fails:
+                text = candidate_text
+                changed = True
+                break
+    return text
+
+
+def shrink_case(case, modes=None, fails=None):
+    """Minimize events then config (then events once more, since a
+    smaller config often needs even fewer events).  Returns the
+    minimized case; the original is untouched."""
+    fails = fails or (lambda c: case_fails(c, modes=modes))
+    if not fails(case):
+        return case
+    shrunk = _with_events(case, ddmin_events(case, fails))
+    shrunk["config"] = shrink_config(shrunk, fails)
+    shrunk = _with_events(shrunk, ddmin_events(shrunk, fails))
+    return shrunk
+
+
+def element_count(case):
+    """How many elements the case's configuration declares (the size the
+    acceptance bar for shrunken repros is measured in)."""
+    return len(load_config(case["config"], "<count>").elements)
+
+
+def write_repro(path, case, result=None, seed=None):
+    """Write a self-contained JSON repro file for ``click-fuzz --repro``."""
+    payload = {
+        "version": REPRO_VERSION,
+        "name": case.get("name", "repro"),
+        "seed": seed,
+        "config": case["config"],
+        "events": case["events"],
+        "optimize": case.get("optimize", True),
+        "result": result if result is not None else compare_case(case),
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_repro(path):
+    """Load a repro file back into a runnable case."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    if payload.get("version") != REPRO_VERSION:
+        raise ValueError("unsupported repro version %r" % payload.get("version"))
+    return {
+        "name": payload.get("name", "repro"),
+        "config": payload["config"],
+        "events": [list(event) for event in payload["events"]],
+        "optimize": payload.get("optimize", True),
+    }

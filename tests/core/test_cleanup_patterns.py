@@ -15,7 +15,7 @@ class TestStripUnstrip:
             "f :: Idle; c :: Counter; s :: Strip(14); u :: Unstrip(14); d :: Discard;"
             "f -> c -> s -> u -> d;"
         )
-        result = xform(graph, [STRIP_UNSTRIP])
+        result = xform(graph, patterns=[STRIP_UNSTRIP])
         assert not result.elements_of_class("Strip")
         assert not result.elements_of_class("Unstrip")
         assert result.elements_of_class("Null")
@@ -24,14 +24,14 @@ class TestStripUnstrip:
         graph = parse_graph(
             "f :: Idle; s :: Strip(14); u :: Unstrip(10); d :: Discard; f -> s -> u -> d;"
         )
-        result = xform(graph, [STRIP_UNSTRIP])
+        result = xform(graph, patterns=[STRIP_UNSTRIP])
         assert result.elements_of_class("Strip")
 
     def test_behaviour_preserved(self):
         def run(graph_text, use_patterns):
             graph = parse_graph(graph_text)
             if use_patterns:
-                graph = xform(graph, CLEANUP_PATTERNS)
+                graph = xform(graph, patterns=CLEANUP_PATTERNS)
             router = Router(graph)
             entry = [n for n in router.elements if n == "c"][0]
             router.push_packet(entry, 0, Packet(bytes(range(40))))
@@ -50,7 +50,7 @@ class TestDoublePaint:
             "f :: Idle; a :: Paint(1); b :: Paint(2); q :: Queue; u :: Unqueue;"
             "d :: Discard; f -> a -> b -> q -> u -> d;"
         )
-        result = xform(graph, [DOUBLE_PAINT])
+        result = xform(graph, patterns=[DOUBLE_PAINT])
         paints = result.elements_of_class("Paint")
         assert len(paints) == 1
         assert paints[0].config == "2"
@@ -60,7 +60,7 @@ class TestDoublePaint:
             "f :: Idle; a :: Paint(1); b :: Paint(2); c :: Paint(3); d :: Discard;"
             "f -> a -> b -> c -> d;"
         )
-        result = xform(graph, [DOUBLE_PAINT])
+        result = xform(graph, patterns=[DOUBLE_PAINT])
         paints = result.elements_of_class("Paint")
         assert len(paints) == 1
         assert paints[0].config == "3"
@@ -81,7 +81,7 @@ class TestCleanupOnCompounds:
             f -> c -> wo -> wi -> d;
             """
         )
-        result = xform(graph, CLEANUP_PATTERNS)
+        result = xform(graph, patterns=CLEANUP_PATTERNS)
         assert not result.elements_of_class("Strip")
         assert not result.elements_of_class("Unstrip")
 
@@ -89,6 +89,6 @@ class TestCleanupOnCompounds:
         graph = parse_graph(
             "f :: Idle; a :: Paint(1); b :: Paint(2); d :: Discard; f -> a -> b -> d;"
         )
-        once = xform(graph, CLEANUP_PATTERNS)
-        twice = xform(once, CLEANUP_PATTERNS)
+        once = xform(graph, patterns=CLEANUP_PATTERNS)
+        twice = xform(once, patterns=CLEANUP_PATTERNS)
         assert len(once.elements) == len(twice.elements)

@@ -41,7 +41,7 @@ class TestBasicXform:
         graph = parse_graph(
             "f :: Idle; s :: Strip(14); u :: Unstrip(14); d :: Discard; f -> s -> u -> d;"
         )
-        result = xform(graph, [SWAP])
+        result = xform(graph, patterns=[SWAP])
         classes = [decl.class_name for decl in result.elements.values()]
         assert "Strip" not in classes
         assert "Unstrip" not in classes
@@ -49,7 +49,7 @@ class TestBasicXform:
 
     def test_no_match_no_change(self):
         graph = parse_graph("f :: Idle; s :: Strip(10); d :: Discard; f -> s -> d;")
-        result = xform(graph, [SWAP])
+        result = xform(graph, patterns=[SWAP])
         assert [d.class_name for d in result.elements.values()] == ["Idle", "Strip", "Discard"]
 
     def test_boundary_violation_blocks_match(self):
@@ -59,7 +59,7 @@ class TestBasicXform:
             "f :: Idle; f2 :: Idle; s :: Strip(14); u :: Unstrip(14); d :: Discard;"
             "f -> s -> u -> d; f2 -> u;"
         )
-        result = xform(graph, [SWAP])
+        result = xform(graph, patterns=[SWAP])
         assert any(decl.class_name == "Strip" for decl in result.elements.values())
 
     def test_wildcard_carries_into_replacement(self):
@@ -72,7 +72,7 @@ class TestBasicXform:
             "f :: Idle; c0 :: Counter; q :: Queue(99); u :: Unqueue; d :: Discard;"
             "f -> c0 -> q -> u -> d;"
         )
-        result = xform(graph, [pair])
+        result = xform(graph, patterns=[pair])
         assert not result.elements_of_class("Counter")
         (queue,) = result.elements_of_class("Queue")
         assert queue.config == "99"
@@ -87,7 +87,7 @@ class TestBasicXform:
         )
         graph = parse_graph("f :: Idle; c :: Counter; d :: Discard; f -> c -> d;")
         with pytest.raises(ClickSemanticError):
-            xform(graph, [pair])
+            xform(graph, patterns=[pair])
 
     def test_multiple_occurrences_all_replaced(self):
         graph = parse_graph(
@@ -95,21 +95,21 @@ class TestBasicXform:
             "s2 :: Strip(14); u2 :: Unstrip(14); d1 :: Discard; d2 :: Discard;"
             "f1 -> s1 -> u1 -> d1; f2 -> s2 -> u2 -> d2;"
         )
-        result = xform(graph, [SWAP])
+        result = xform(graph, patterns=[SWAP])
         assert len(result.elements_of_class("Counter")) == 2
 
 
 class TestStandardPatterns:
     def test_input_combo_applies_to_ip_router(self):
         graph = ip_router_graph()
-        result = xform(graph, [IP_INPUT_COMBO])
+        result = xform(graph, patterns=[IP_INPUT_COMBO])
         assert len(result.elements_of_class("IPInputCombo")) == 2
         assert not result.elements_of_class("Paint")
         assert not result.elements_of_class("CheckIPHeader")
 
     def test_output_combo_applies_to_ip_router(self):
         graph = ip_router_graph()
-        result = xform(graph, [IP_OUTPUT_COMBO])
+        result = xform(graph, patterns=[IP_OUTPUT_COMBO])
         assert len(result.elements_of_class("IPOutputCombo")) == 2
         assert not result.elements_of_class("DecIPTTL")
 
@@ -118,7 +118,7 @@ class TestStandardPatterns:
         forwarding chain to IPInputCombo → LookupIPRoute → IPOutputCombo."""
         graph = ip_router_graph()
         before_classes = {d.class_name for d in graph.elements.values()}
-        result = xform(graph, STANDARD_PATTERNS)
+        result = xform(graph, patterns=STANDARD_PATTERNS)
         combos_in = result.elements_of_class("IPInputCombo")
         combos_out = result.elements_of_class("IPOutputCombo")
         assert len(combos_in) == 2
@@ -138,7 +138,7 @@ class TestStandardPatterns:
         # interface, 16 fewer total.
         graph = ip_router_graph()
         before = len(graph.elements)
-        after = len(xform(graph, STANDARD_PATTERNS).elements)
+        after = len(xform(graph, patterns=STANDARD_PATTERNS).elements)
         assert before - after == 16
 
 
@@ -181,7 +181,7 @@ class TestComboEquivalence:
         interfaces = default_interfaces(2)
         base = self.run(ip_router_graph(interfaces), self.traffic(interfaces), interfaces)
         optimized = self.run(
-            xform(ip_router_graph(interfaces), STANDARD_PATTERNS),
+            xform(ip_router_graph(interfaces), patterns=STANDARD_PATTERNS),
             self.traffic(interfaces),
             interfaces,
         )

@@ -123,7 +123,7 @@ class TestPingableRouter:
         from repro.core.toolchain import load_config
 
         graph = load_config(ip_router_config(answer_pings=True))
-        transformed = xform(fastclassifier(graph), STANDARD_PATTERNS)
+        transformed = xform(fastclassifier(graph), patterns=STANDARD_PATTERNS)
         assert transformed.elements_of_class("IPInputCombo")
         optimized = devirtualize(transformed)
         assert check(optimized).ok, check(optimized).format()

@@ -33,7 +33,7 @@ class TestChainStages:
         graph = testbed.base_graph()
         stages = [graph]
         stages.append(fastclassifier(stages[-1]))
-        stages.append(xform(stages[-1], STANDARD_PATTERNS))
+        stages.append(xform(stages[-1], patterns=STANDARD_PATTERNS))
         stages.append(devirtualize(stages[-1]))
         for index, stage in enumerate(stages):
             collector = check(stage)
@@ -45,7 +45,7 @@ class TestChainStages:
         stage = graph
         for tool in (
             fastclassifier,
-            lambda g: xform(g, STANDARD_PATTERNS),
+            lambda g: xform(g, patterns=STANDARD_PATTERNS),
             devirtualize,
         ):
             stage = load_config(save_config(tool(stage)))
@@ -56,8 +56,8 @@ class TestChainStages:
         compose (like compiler passes, §5.4)."""
         graph = testbed.base_graph()
         reference = forward_all(testbed, graph)
-        canonical = devirtualize(xform(fastclassifier(graph), STANDARD_PATTERNS))
-        swapped = devirtualize(fastclassifier(xform(graph, STANDARD_PATTERNS)))
+        canonical = devirtualize(xform(fastclassifier(graph), patterns=STANDARD_PATTERNS))
+        swapped = devirtualize(fastclassifier(xform(graph, patterns=STANDARD_PATTERNS)))
         assert forward_all(testbed, canonical) == reference
         assert forward_all(testbed, swapped) == reference
 
@@ -67,8 +67,8 @@ class TestChainStages:
         assert set(undead(graph).elements) == set(graph.elements)
 
     def test_xform_is_idempotent(self, testbed):
-        once = xform(testbed.base_graph(), STANDARD_PATTERNS)
-        twice = xform(once, STANDARD_PATTERNS)
+        once = xform(testbed.base_graph(), patterns=STANDARD_PATTERNS)
+        twice = xform(once, patterns=STANDARD_PATTERNS)
         assert {d.class_name for d in twice.elements.values()} == {
             d.class_name for d in once.elements.values()
         }

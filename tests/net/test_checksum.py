@@ -88,3 +88,99 @@ class TestIncrementalUpdate:
         header[8] = 63
         header[10:12] = b"\x00\x00"
         assert new_checksum == internet_checksum(header)
+
+
+class TestIncrementalUpdateEdgeCases:
+    """RFC 1624's reason to exist: the 0x0000/0xFFFF corner cases where
+    the older RFC 1141 formulation produced the wrong alias of zero."""
+
+    def _header_with_word(self, word_value, offset=4):
+        header = bytearray(20)
+        header[0] = 0x45
+        header[8] = 64  # TTL: keep the header nondegenerate
+        struct.pack_into("!H", header, offset, word_value)
+        checksum = internet_checksum(header)
+        return header, checksum
+
+    def _recompute_after(self, header, offset, new_word):
+        patched = bytearray(header)
+        struct.pack_into("!H", patched, offset, new_word)
+        patched[10:12] = b"\x00\x00"
+        return internet_checksum(patched)
+
+    def test_old_field_zero(self):
+        header, checksum = self._header_with_word(0x0000)
+        for new_word in (0x0001, 0x1234, 0xFFFF):
+            assert update_checksum_u16(checksum, 0x0000, new_word) == (
+                self._recompute_after(header, 4, new_word)
+            )
+
+    def test_new_field_zero(self):
+        for old_word in (0x0001, 0x1234, 0xFFFF):
+            header, checksum = self._header_with_word(old_word)
+            assert update_checksum_u16(checksum, old_word, 0x0000) == (
+                self._recompute_after(header, 4, 0x0000)
+            )
+
+    def test_all_ones_to_all_ones(self):
+        header, checksum = self._header_with_word(0xFFFF)
+        assert update_checksum_u16(checksum, 0xFFFF, 0xFFFF) == checksum
+
+    def test_zero_to_zero_is_identity(self):
+        header, checksum = self._header_with_word(0x0000)
+        assert update_checksum_u16(checksum, 0x0000, 0x0000) == checksum
+
+    def test_rfc1624_famous_corner(self):
+        """The RFC 1624 §5 example: a checksum of 0xDD2F whose covered
+        word changes 0x5555 -> 0x3285 must yield 0x0000, not 0xFFFF."""
+        assert update_checksum_u16(0xDD2F, 0x5555, 0x3285) == 0x0000
+
+
+class TestOddLengthChecksum:
+    def test_trailing_byte_is_high_half_of_final_word(self):
+        # RFC 1071: odd data is padded on the right with zero.
+        assert internet_checksum(b"\x12\x34\xab") == internet_checksum(
+            b"\x12\x34\xab\x00"
+        )
+
+    def test_single_byte(self):
+        assert internet_checksum(b"\xff") == internet_checksum(b"\xff\x00")
+
+    def test_odd_length_differs_from_left_pad(self):
+        # Padding on the wrong side would swap the byte into the low
+        # half and give a different sum.
+        assert internet_checksum(b"\x01\x02\x03") != internet_checksum(
+            b"\x01\x02\x00\x03"
+        )
+
+    @given(st.binary(min_size=1, max_size=63).filter(lambda d: len(d) % 2 == 1))
+    def test_odd_always_equals_zero_padded_even(self, data):
+        assert internet_checksum(data) == internet_checksum(data + b"\x00")
+
+
+class TestSeededIncrementalCrossCheck:
+    def test_seeded_sweep_matches_full_recompute(self):
+        """Seeded (non-hypothesis) property sweep: for 500 random
+        header/field/value triples — biased toward the 0x0000/0xFFFF
+        corners — the incremental update equals a full recompute."""
+        import random
+
+        rng = random.Random(0x1624)
+        corners = [0x0000, 0x0001, 0x7FFF, 0x8000, 0xFFFE, 0xFFFF]
+        for _ in range(500):
+            header = bytearray(rng.getrandbits(8) for _ in range(20))
+            header[0] = 0x45
+            header[10:12] = b"\x00\x00"
+            checksum = internet_checksum(header)
+            struct.pack_into("!H", header, 10, checksum)
+
+            offset = rng.choice([2, 4, 6, 8, 12, 14, 16, 18])
+            old_word = struct.unpack_from("!H", header, offset)[0]
+            new_word = rng.choice(corners) if rng.random() < 0.5 else rng.getrandbits(16)
+
+            updated = update_checksum_u16(checksum, old_word, new_word)
+            struct.pack_into("!H", header, offset, new_word)
+            header[10:12] = b"\x00\x00"
+            assert updated == internet_checksum(header), (
+                header.hex(), offset, old_word, new_word
+            )

@@ -1,0 +1,89 @@
+"""Smoke tests for the fuzzing subsystem: generators produce legal
+cases, traces are deterministic, repro files round-trip, and the
+``click-fuzz`` CLI runs the full matrix clean on a fixed seed.
+"""
+
+import json
+import random
+
+from repro.core.check import check
+from repro.core.toolchain import load_config
+from repro.verify import cli
+from repro.verify.genconfig import generate_case, random_pipeline, stock_cases
+from repro.verify.gentraffic import iprouter_events
+from repro.verify.oracle import MODES, compare_case
+from repro.verify.shrink import load_repro, write_repro
+
+
+class TestGenerators:
+    def test_random_pipelines_are_legal(self):
+        rng = random.Random(42)
+        for _ in range(12):
+            graph = random_pipeline(rng)
+            collector = check(graph)
+            assert not collector.errors, collector.format()
+
+    def test_generated_cases_parse_and_check(self):
+        for index in range(8):
+            case = generate_case(3, index)
+            graph = load_config(case["config"], case["name"])
+            assert graph.elements
+            assert case["events"]
+
+    def test_traces_are_deterministic(self):
+        from repro.configs.iprouter import default_interfaces
+
+        interfaces = default_interfaces(2)
+        a = iprouter_events(random.Random(9), interfaces, count=24)
+        b = iprouter_events(random.Random(9), interfaces, count=24)
+        assert a == b
+
+    def test_same_seed_same_cases(self):
+        assert generate_case(5, 2) == generate_case(5, 2)
+
+    def test_stock_cases_cover_both_mtus_and_firewall(self):
+        names = [case["name"] for case in stock_cases(events_count=16)]
+        assert names == ["iprouter-mtu1500", "iprouter-mtu576", "firewall"]
+
+
+class TestReproFiles:
+    def test_round_trip(self, tmp_path):
+        case = generate_case(11, 0, events_count=8)
+        path = tmp_path / "case.repro.json"
+        write_repro(str(path), case, result={"status": "ok", "divergences": []}, seed=11)
+        loaded = load_repro(str(path))
+        assert loaded["config"] == case["config"]
+        assert loaded["events"] == [list(event) for event in case["events"]]
+        assert loaded["optimize"] == case["optimize"]
+
+
+class TestCli:
+    def test_clean_fuzz_run_exits_zero(self, tmp_path):
+        report = tmp_path / "report.json"
+        status = cli.main(
+            [
+                "--seed", "3",
+                "--budget", "4",
+                "--events", "24",
+                "--repro-dir", str(tmp_path / "repros"),
+                "--report", str(report),
+            ]
+        )
+        assert status == 0
+        payload = json.loads(report.read_text())
+        assert payload["summary"]["cases"] == 4
+        assert payload["summary"]["divergence"] == 0
+        assert payload["mode_matrix"] == list(MODES)
+
+    def test_replay_of_clean_repro_exits_zero(self, tmp_path):
+        case = stock_cases(events_count=16)[2]  # the firewall: fastest
+        path = tmp_path / "firewall.repro.json"
+        write_repro(str(path), case, result=compare_case(case), seed=0)
+        status = cli.main(["--repro", str(path), "--report", str(tmp_path / "r.json")])
+        assert status == 0
+
+    def test_unknown_mode_rejected(self):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            cli.main(["--modes", "reference,warp"])
