@@ -282,6 +282,12 @@ def optimize_main(argv=None):
             help="with --adaptive: also print the engine's per-chain "
             "tier/profile report to stderr",
         )
+        parser.add_argument(
+            "--supervised",
+            action="store_true",
+            help="attach the resilient supervisor to the compiled router "
+            "(implies --fast) and include its resilience report",
+        )
 
     def preflight(args):
         if args.list_pipelines:
@@ -305,11 +311,12 @@ def optimize_main(argv=None):
     result = pipeline.run(graph)
     _write_output(args.output, save_config(result.graph))
     fastpath_section = None
-    if args.fast or args.adaptive or args.profile_report:
+    if args.fast or args.adaptive or args.profile_report or args.supervised:
         text, fastpath_section = _fastpath_report(
             result.graph,
             adaptive=args.adaptive or args.profile_report,
             profile=args.profile_report,
+            supervised=args.supervised,
         )
         sys.stderr.write(text + "\n")
     if args.report:
@@ -340,12 +347,15 @@ def _write_report_with_fastpath(dest, report, fastpath_section):
             handle.write(text)
 
 
-def _fastpath_report(graph, adaptive=False, profile=False):
+def _fastpath_report(graph, adaptive=False, profile=False, supervised=False):
     """Instantiate the optimized graph (loopback devices stand in for
     whatever hardware the config names) and compile — but do not run —
     its fast path; returns ``(report text, report dict)``.  With
     ``adaptive`` the router comes up under the tiered engine instead,
-    and ``profile`` appends its per-chain tier report."""
+    and ``profile`` appends its per-chain tier report.  ``supervised``
+    attaches the resilient supervisor to the compiled router and appends
+    its resilience report (all chains healthy at compile time — the
+    section documents the installed boundaries and tier stacks)."""
     from ..elements.devices import LoopbackDevice
     from ..elements.runtime import Router
 
@@ -358,7 +368,13 @@ def _fastpath_report(graph, adaptive=False, profile=False):
                 self[name] = LoopbackDevice(name)
             return self[name]
 
-    router = Router(graph, devices=AutoDevices(), mode="adaptive" if adaptive else "reference")
+    if adaptive:
+        mode = "adaptive"
+    elif supervised:
+        mode = "fast"  # --supervised implies --fast
+    else:
+        mode = "reference"
+    router = Router(graph, devices=AutoDevices(), mode=mode)
     if adaptive:
         compile_report = router.adaptive.tier1.report
         text = compile_report.format()
@@ -366,9 +382,17 @@ def _fastpath_report(graph, adaptive=False, profile=False):
             text += "\n" + router.adaptive.profile_report().format()
         section = compile_report.as_dict()
         section["adaptive"] = router.adaptive.profile_report().as_dict()
-        return text, section
-    compile_report = router.compile_fastpath().report
-    return compile_report.format(), compile_report.as_dict()
+    else:
+        if router.fastpath is None:
+            router.compile_fastpath()
+        compile_report = router.fastpath.report
+        text = compile_report.format()
+        section = compile_report.as_dict()
+    if supervised:
+        resilience = router.attach_supervisor().report()
+        text += "\n" + resilience.format()
+        section["resilience"] = resilience.as_dict()
+    return text, section
 
 
 # ---------------------------------------------------------------------------
@@ -452,5 +476,12 @@ def fuzz_main(argv=None):
     """click-fuzz CLI (lazy: the differential fuzzer pulls in the whole
     runtime, which the pure config filters never need)."""
     from ..verify.cli import main
+
+    return main(argv)
+
+
+def chaos_main(argv=None):
+    """click-chaos CLI (lazy, like click-fuzz)."""
+    from ..verify.chaos import main
 
     return main(argv)

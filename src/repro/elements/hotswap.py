@@ -12,12 +12,28 @@ the default transfers nothing.  Compatibility follows the runtime class
 hierarchy, so a ``Devirtualize@@q`` Queue accepts state from a plain
 ``Queue`` and vice versa — optimizing a live router preserves its
 queues.
+
+The swap is a **two-phase commit**.  Phase one prepares everything that
+can fail while the old router keeps serving: the new graph runs the
+``check`` pass, a new router is built in reference mode, state is
+transferred (``take_state`` handlers must treat the old element as
+read-only — every stock handler copies), and the old router's execution
+mode — fast/adaptive, batch flavor, adaptive config, supervision — is
+recompiled onto the new router.  Only after all of that succeeds does
+phase two commit: the old router is retired.  Any failure raises
+:class:`HotswapError` and leaves the old router exactly as it was, still
+serving, queues and ARP tables intact.
 """
 
 from __future__ import annotations
 
 from .element import Element
 from .runtime import Router
+
+
+class HotswapError(RuntimeError):
+    """A hot-swap aborted before commit; the old router is untouched
+    and still serving."""
 
 
 def _compatible(new_element, old_element):
@@ -36,21 +52,94 @@ def _compatible(new_element, old_element):
     return False
 
 
-def hotswap(old_router, new_graph, **router_kwargs):
-    """Build a Router from ``new_graph``, transferring state from
-    ``old_router`` for same-named compatible elements.  Returns the new
-    router (the old one should be discarded)."""
+def hotswap(old_router, new_graph, mode=None, batch=None, validate=True, **router_kwargs):
+    """Two-phase-commit hot-swap: build a Router from ``new_graph``,
+    transferring state from ``old_router`` for same-named compatible
+    elements and carrying the old router's execution mode (and adaptive
+    config, batch flavor, and supervision) unless overridden by ``mode``
+    / ``batch``.  On success the old router is retired and the new
+    router returned; on any failure a :class:`HotswapError` is raised
+    and the old router keeps serving, untouched."""
+    if new_graph.element_classes:
+        from ..core.flatten import flatten
+
+        new_graph = flatten(new_graph)
+
+    # Phase 1a: validate.  Everything check would reject, the kernel
+    # installer would have rejected before touching the live router.
+    if validate:
+        from ..core.check import check as check_config
+
+        collector = check_config(new_graph)
+        if not collector.ok:
+            raise HotswapError(
+                "new configuration failed check; old router still serving:\n%s"
+                % collector.format()
+            )
+
+    if mode is None:
+        mode = old_router.mode
+    if batch is None:
+        batch = getattr(old_router, "_batch", False)
     router_kwargs.setdefault("devices", old_router.devices)
-    new_router = Router(new_graph, **router_kwargs)
+    router_kwargs.setdefault("meter", old_router.meter)
+    router_kwargs.setdefault("adaptive_config", old_router._adaptive_config)
+
+    # Phase 1b: build (reference mode first — state transfer happens on
+    # plain wiring; the carried mode compiles afterwards, over the
+    # transferred state).
+    try:
+        new_router = Router(new_graph, **router_kwargs)
+    except Exception as exc:
+        raise HotswapError(
+            "building the new router failed; old router still serving: %s: %s"
+            % (type(exc).__name__, exc)
+        ) from exc
+
+    # Phase 1b': carry fault injection (chaos harness).  Wrappers must be
+    # installed before the carried mode compiles so the compiler sees
+    # them; injector counters are keyed by element name, so fault
+    # schedules continue across the swap.
+    injector = getattr(old_router, "fault_injector", None)
+    if injector is not None:
+        injector.prepare_router(new_router)
+
+    # Phase 1c: transfer state.  Handlers read the old element and
+    # mutate only the new one, so a failure here abandons the half-built
+    # new router without having disturbed the old.
     transferred = []
     for name, new_element in new_router.elements.items():
         old_element = old_router.find(name)
         if old_element is None or not _compatible(new_element, old_element):
             continue
         take = getattr(new_element, "take_state", None)
-        if take is not None and take(old_element):
+        if take is None:
+            continue
+        try:
+            took = take(old_element)
+        except Exception as exc:
+            raise HotswapError(
+                "state transfer for %r failed; old router still serving: %s: %s"
+                % (name, type(exc).__name__, exc)
+            ) from exc
+        if took:
             transferred.append(name)
+
+    # Phase 1d: recompile the carried execution mode.
+    try:
+        if mode != "reference":
+            new_router.set_mode(mode, batch=batch)
+        if old_router.supervisor is not None:
+            new_router.attach_supervisor(old_router.supervisor.config)
+    except Exception as exc:
+        raise HotswapError(
+            "compiling the new router (mode=%r) failed; old router still "
+            "serving: %s: %s" % (mode, type(exc).__name__, exc)
+        ) from exc
+
+    # Phase 2: commit.
     new_router.hotswap_transferred = transferred
+    old_router.retire()
     return new_router
 
 

@@ -59,11 +59,16 @@ class Router:
         mode="reference",
         batch=False,
         adaptive_config=None,
+        supervised=False,
+        supervisor_config=None,
     ):
         self.graph = graph
         self.meter = meter
         self.adaptive = None
         self._adaptive_config = adaptive_config
+        self.supervisor = None
+        self.fault_injector = None
+        self.retired = False
         # Keep the caller's mapping object (even when empty): device
         # lookups go through its .get, so callers may pass lazy or
         # auto-populating mappings.
@@ -79,9 +84,12 @@ class Router:
         self._tasks = []
         self.fastpath = None
         self._mode = "reference"
+        self._batch = False
         self._build()
         if mode != "reference":
             self.set_mode(mode, batch=batch)
+        if supervised:
+            self.attach_supervisor(supervisor_config)
 
     # -- construction ---------------------------------------------------------
 
@@ -191,6 +199,12 @@ class Router:
             raise ValueError(
                 "mode must be 'reference', 'fast', or 'adaptive', not %r" % (mode,)
             )
+        # Mode changes swap port lists wholesale; supervision wraps the
+        # current ports, so it must come off first and back on after.
+        supervisor = self.supervisor
+        if supervisor is not None:
+            supervisor_config = supervisor.config
+            supervisor.detach()
         if self.adaptive is not None and mode != "adaptive":
             self.adaptive.uninstall()
             self.adaptive = None
@@ -212,7 +226,43 @@ class Router:
                 self.compile_fastpath(batch=batch)
             self.fastpath.install()
         self._mode = mode
+        self._batch = bool(batch) if mode != "reference" else False
+        if supervisor is not None:
+            self.attach_supervisor(supervisor_config)
         return self
+
+    def attach_supervisor(self, config=None):
+        """Attach (or re-attach) supervised execution: error boundaries
+        around every compiled chain entry, tiered demotion, circuit
+        breakers, and the task watchdog.  Returns the supervisor."""
+        from ..runtime.supervisor import Supervisor
+
+        if self.supervisor is not None:
+            self.supervisor.detach()
+        supervisor = Supervisor(self, config=config)
+        supervisor.attach()
+        return supervisor
+
+    def detach_supervisor(self):
+        """Remove supervision, restoring the unwrapped ports."""
+        if self.supervisor is not None:
+            self.supervisor.detach()
+
+    def retire(self):
+        """Decommission this router after a hot-swap: supervision and
+        compiled state come off, and the scheduler goes inert.  The
+        wiring and element state stay readable (the new router's
+        ``take_state`` handlers already copied what they needed)."""
+        if self.retired:
+            return
+        self.detach_supervisor()
+        if self.adaptive is not None:
+            self.adaptive.uninstall()
+            self.adaptive = None
+        if self.fastpath is not None and self.fastpath.installed:
+            self.fastpath.uninstall()
+        self._mode = "reference"
+        self.retired = True
 
     def force_deopt(self, reason="forced"):
         """Deterministic harness hook: force the adaptive engine back to
@@ -258,7 +308,13 @@ class Router:
     def run_tasks(self, iterations=1):
         """Drive the polling scheduler: each iteration gives every task
         element one run_task call (Click's constantly-active kernel
-        thread, round-robin)."""
+        thread, round-robin).  A retired router (after a hot-swap) is
+        inert.  Under supervision each task call gets a containing
+        boundary and watchdog bookkeeping."""
+        if self.retired:
+            return 0
+        if self.supervisor is not None:
+            return self._run_tasks_supervised(iterations)
         useful = 0
         adaptive = self.adaptive
         for _ in range(iterations):
@@ -273,6 +329,34 @@ class Router:
                 # An idle scheduler pass is when Click would do
                 # housekeeping; the adaptive engine uses it to promote
                 # chains whose profiles matured off the packet path.
+                adaptive.on_idle()
+        return useful
+
+    def _run_tasks_supervised(self, iterations):
+        """The supervised scheduler loop: the port boundaries drop the
+        exact packet that raised; this task-level backstop catches
+        anything that escapes them (and counts the pass as worked — the
+        task did consume input before failing), so a supervised router
+        never lets a task kill the driver."""
+        useful = 0
+        adaptive = self.adaptive
+        supervisor = self.supervisor
+        for _ in range(iterations):
+            worked = 0
+            for task in self._tasks:
+                if supervisor.task_benched(task):
+                    continue
+                try:
+                    did = task.run_task()
+                except Exception as exc:  # noqa: BLE001 - supervised backstop
+                    supervisor.on_task_error(task, exc)
+                    did = True
+                else:
+                    supervisor.note_task(task, did)
+                if did:
+                    worked += 1
+            useful += worked
+            if adaptive is not None and not worked:
                 adaptive.on_idle()
         return useful
 

@@ -9,6 +9,7 @@ move Morpheus and the NetKAT compiler make at runtime scale.
 from .adaptive import AdaptiveConfig, AdaptiveEngine, ProfileReport
 from .codegen_cache import CodegenCache, default_cache
 from .fastpath import ChainPolicy, FastPath, FastPathError, FastPathReport
+from .supervisor import ResilienceReport, Supervisor, SupervisorConfig, SupervisorError
 
 __all__ = [
     "AdaptiveConfig",
@@ -20,4 +21,8 @@ __all__ = [
     "FastPathError",
     "FastPathReport",
     "ProfileReport",
+    "ResilienceReport",
+    "Supervisor",
+    "SupervisorConfig",
+    "SupervisorError",
 ]

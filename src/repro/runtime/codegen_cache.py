@@ -36,16 +36,41 @@ Recipes (recorded by :meth:`FastPath._bind`) are small tuples:
 
 A compile that binds anything without a recipe marks itself
 uncacheable and is simply never stored.  Metered compiles bypass the
-cache at the :class:`FastPath` level.  The cache holds code objects and
-recipes only — never live router state — so entries are safe to replay
-against any router whose key matches.
+cache at the :class:`FastPath` level, and a router carrying
+fault-injection wrappers (``router._fault_uncacheable``, see
+:mod:`repro.sim.faults`) bypasses keying entirely — a clean specialized
+entry must never replay onto a faulted router, nor a faulted compile be
+stored for clean ones.
+
+Corruption is survivable by design: a replay that raises for any reason
+makes :class:`~repro.runtime.fastpath.FastPath` evict the entry and
+fall back to a fresh compile (``corrupt`` counts them).  The same
+contract covers the optional disk layer: :meth:`CodegenCache.save`
+writes entries (source + recipes, *not* code objects) under
+process-stable keys — element classes identified by qualified name
+instead of ``id()`` — and :meth:`CodegenCache.load` validates each
+record individually, skipping truncated or mangled ones instead of
+raising.
 """
 
 from __future__ import annotations
 
+import pickle
 from collections import OrderedDict
 
 __all__ = ["CacheEntry", "CodegenCache", "default_cache"]
+
+_DISK_MAGIC = "repro-codegen-cache-v1"
+_ENTRY_FIELDS = (
+    "source",
+    "names",
+    "specs",
+    "chains",
+    "jump_specs",
+    "report_fields",
+    "inlined_elements",
+    "chain_lines",
+)
 
 
 def _resolve_spec(spec, fastpath, tables):
@@ -170,23 +195,44 @@ class CacheEntry:
         report.chain_lines = dict(self.chain_lines)
 
 
+def _stable_class_sig(router):
+    """The process-stable twin of the ``id(type)`` class signature:
+    element classes identified by qualified name.  Safe as a disk key
+    because the graph fingerprint already covers the archive sources
+    that *define* generated classes — two routers agreeing on both can
+    only disagree on class identity within one process (which the
+    in-memory id-based key still distinguishes)."""
+    return tuple(
+        (name, "%s.%s" % (type(element).__module__, type(element).__qualname__))
+        for name, element in router.elements.items()
+    )
+
+
 class CodegenCache:
-    """An LRU of :class:`CacheEntry` keyed by configuration content."""
+    """An LRU of :class:`CacheEntry` keyed by configuration content,
+    with an optional validated disk layer behind it."""
 
     def __init__(self, capacity=64):
         self.capacity = capacity
         self._entries = OrderedDict()
+        self._disk = {}  # stable key -> CacheEntry (loaded, pre-validated)
         self.hits = 0
         self.misses = 0
+        self.disk_hits = 0
+        self.corrupt = 0
+        self.invalidations = 0
 
     def key_for(self, router, batch, policy):
         """The cache key for compiling ``router`` under ``policy``, or
-        None when the build is not addressable (no graph attached, or a
-        policy that declines caching).  Element-class identities are
-        part of the key: the same configuration text instantiated with
-        different class overlays generates different specializations."""
+        None when the build is not addressable (no graph attached, a
+        policy that declines caching, or a fault-wrapped router).
+        Element-class identities are part of the key: the same
+        configuration text instantiated with different class overlays
+        generates different specializations."""
         graph = getattr(router, "graph", None)
         if graph is None:
+            return None
+        if getattr(router, "_fault_uncacheable", False):
             return None
         policy_key = policy.cache_key()
         if policy_key is None:
@@ -194,18 +240,39 @@ class CodegenCache:
         class_sig = tuple(
             (name, id(type(element))) for name, element in router.elements.items()
         )
-        return (graph.fingerprint(), class_sig, bool(batch), policy_key)
+        return (
+            graph.fingerprint(),
+            class_sig,
+            bool(batch),
+            policy_key,
+            _stable_class_sig(router),
+        )
+
+    @staticmethod
+    def _disk_key(key):
+        fingerprint, _class_sig, batch, policy_key, stable_sig = key
+        return (fingerprint, stable_sig, batch, policy_key)
 
     def lookup(self, key):
         if key is None:
             return None
         entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return entry
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+        if self._disk:
+            entry = self._disk.pop(self._disk_key(key), None)
+            if entry is not None:
+                # Promote (moving, so an eviction counts it once): later
+                # lookups go through the ordinary in-memory path.
+                self._entries[key] = entry
+                self._entries.move_to_end(key)
+                self.hits += 1
+                self.disk_hits += 1
+                return entry
+        self.misses += 1
+        return None
 
     def store(self, key, fastpath):
         if key is None or fastpath._code is None:
@@ -215,16 +282,117 @@ class CodegenCache:
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
 
+    def evict(self, key):
+        """Drop one corrupt entry (after a failed replay): the bad
+        artifact must not be offered again, in memory or from disk."""
+        if key is None:
+            return
+        if self._entries.pop(key, None) is not None:
+            self.corrupt += 1
+        if self._disk.pop(self._disk_key(key), None) is not None:
+            self.corrupt += 1
+
+    def invalidate(self):
+        """Drop every entry but keep the hit/miss/corruption history
+        (unlike :meth:`clear`) — the fault injector's cache fault."""
+        self._entries.clear()
+        self._disk.clear()
+        self.invalidations += 1
+
+    def corrupt_entries(self):
+        """Deterministically mangle every cached entry's bind recipes
+        (the fault injector's ``cache_corrupt`` fault): the next replay
+        raises, exercising the evict-and-recompile fallback."""
+        corrupted = 0
+        for entry in list(self._entries.values()) + list(self._disk.values()):
+            entry.specs = {
+                name: ("injected-corruption",) for name in entry.specs
+            }
+            corrupted += 1
+        return corrupted
+
     def clear(self):
         self._entries.clear()
+        self._disk.clear()
         self.hits = 0
         self.misses = 0
+        self.disk_hits = 0
+        self.corrupt = 0
+        self.invalidations = 0
 
     def __len__(self):
         return len(self._entries)
 
     def stats(self):
-        return {"entries": len(self._entries), "hits": self.hits, "misses": self.misses}
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "disk_entries": len(self._disk),
+            "disk_hits": self.disk_hits,
+            "corrupt": self.corrupt,
+            "invalidations": self.invalidations,
+        }
+
+    # -- disk layer --------------------------------------------------------
+
+    def save(self, path):
+        """Persist every in-memory entry under its process-stable key.
+        Code objects are not written — :meth:`load` recompiles from
+        source, which is what lets it validate entries one by one."""
+        records = []
+        for key, entry in self._entries.items():
+            record = {"key": self._disk_key(key)}
+            for field in _ENTRY_FIELDS:
+                record[field] = getattr(entry, field)
+            records.append(record)
+        with open(path, "wb") as handle:
+            pickle.dump({"magic": _DISK_MAGIC, "records": records}, handle)
+        return len(records)
+
+    def load(self, path):
+        """Load a cache file, validating each record independently: a
+        truncated file, a wrong-format file, or any individually
+        mangled record is counted in ``corrupt`` and skipped — never
+        raised.  Returns the number of entries loaded."""
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+        except Exception:  # noqa: BLE001 - any unreadable file is "corrupt"
+            self.corrupt += 1
+            return 0
+        if not isinstance(payload, dict) or payload.get("magic") != _DISK_MAGIC:
+            self.corrupt += 1
+            return 0
+        loaded = 0
+        for record in payload.get("records", ()):
+            entry = self._validate_record(record)
+            if entry is None:
+                self.corrupt += 1
+                continue
+            self._disk[record["key"]] = entry
+            loaded += 1
+        return loaded
+
+    @staticmethod
+    def _validate_record(record):
+        """A CacheEntry from one disk record, or None if the record is
+        structurally bad or its source no longer compiles."""
+        if not isinstance(record, dict):
+            return None
+        if any(field not in record for field in _ENTRY_FIELDS) or "key" not in record:
+            return None
+        if not isinstance(record["source"], str) or not isinstance(record["key"], tuple):
+            return None
+        try:
+            code = compile(record["source"], "<codegen-cache>", "exec")
+        except (SyntaxError, ValueError):
+            return None
+        entry = CacheEntry()
+        entry.code = code
+        for field in _ENTRY_FIELDS:
+            setattr(entry, field, record[field])
+        return entry
 
 
 _DEFAULT = CodegenCache()

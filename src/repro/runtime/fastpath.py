@@ -464,13 +464,40 @@ class FastPath:
             key = cache.key_for(router, self.batch, self.policy)
             entry = cache.lookup(key)
         if entry is not None:
-            entry.replay(self)
-            self.report.cache_hit = True
-        else:
+            try:
+                entry.replay(self)
+                self.report.cache_hit = True
+            except Exception:  # noqa: BLE001 - any corrupt entry falls back
+                # A truncated/corrupt entry (bad recipe, stale names,
+                # mangled code) must cost a recompile, not the router:
+                # evict it and compile fresh from clean state.
+                cache.evict(key)
+                self._reset_compile_state()
+                entry = None
+        if entry is None:
             self._compile()
             if key is not None and self._cacheable:
                 cache.store(key, self)
         self.report.compile_seconds = time.perf_counter() - started
+
+    def _reset_compile_state(self):
+        """Discard everything a failed cache replay may have half-built
+        so :meth:`_compile` starts from scratch."""
+        self.chains = {}
+        self._compiled = {}
+        self._jump_tables = []
+        self.source = ""
+        self._namespace = {}
+        self._bind_specs = {}
+        self._cacheable = True
+        self._ctx_counter = 0
+        self._code = None
+        self._names = None
+        report = FastPathReport()
+        report.batch = self.batch
+        report.metered = self.metered
+        report.policy = self.policy.tag
+        self.report = report
 
     def function_for(self, key, batch=False):
         """The compiled chain entry point for one edge key
@@ -608,6 +635,11 @@ class FastPath:
         the table.
         """
         if self.metered:
+            return None
+        if getattr(terminal, "_fault_wrapped", False):
+            # A fault-injection wrapper lives on the *instance*; the
+            # class-identity specializations below would bypass it.
+            # Fall back to the bound push, which binds the wrapper.
             return None
         if stack is None:
             stack = frozenset()
@@ -886,6 +918,8 @@ class FastPath:
         chains only): a Queue terminal becomes a direct deque popleft.
         Returns a line emitter taking (var, pad, exitstmt) or None."""
         if self.metered:
+            return None
+        if getattr(terminal, "_fault_wrapped", False):
             return None
         from ..elements.infrastructure import Queue
 
@@ -1284,6 +1318,8 @@ class FastPath:
                 and element.offset == 16
                 and type(prev) is CheckIPHeader
                 and prev.offset == 0
+                and not getattr(element, "_fault_wrapped", False)
+                and not getattr(prev, "_fault_wrapped", False)
             ):
                 # CheckIPHeader just set the destination annotation from
                 # these same bytes and guaranteed len(data) >= 20, so

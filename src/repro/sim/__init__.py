@@ -2,8 +2,9 @@
 buffer, Tulip NIC and PCI bus models, and three rate engines (fluid
 equilibrium, time-stepped, discrete-event) plus the evaluation testbed."""
 
-from . import cost, des, timestep
+from . import cost, des, faults, timestep
 from .cpu import BranchTargetBuffer, CPUReport, CycleMeter, uses_simple_action
+from .faults import FaultError, FaultInjector, FaultPlan, FaultyDevice, InjectedFault
 from .fluid import Outcomes, forwarding_curve, mlffr, outcome_curve, solve
 from .nic import TulipNIC
 from .pci import PCIBus
@@ -13,7 +14,13 @@ from .testbed import VARIANT_LABELS, VARIANTS, Testbed, figure9_reports
 __all__ = [
     "cost",
     "des",
+    "faults",
     "timestep",
+    "FaultError",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultyDevice",
+    "InjectedFault",
     "BranchTargetBuffer",
     "CPUReport",
     "CycleMeter",

@@ -1,0 +1,434 @@
+"""Deterministic, seeded fault injection for chaos testing the runtime.
+
+A :class:`FaultPlan` is a JSON-serializable schedule of faults; a
+:class:`FaultInjector` applies one plan to a live router and its
+devices.  Fault *time* comes in two deterministic clocks so that a plan
+replays identically under every execution mode:
+
+- **ticks** — the injector's :meth:`FaultInjector.tick` counter, which
+  the chaos harness advances once per ``["run", N]`` trace event.
+  Device flaps/failures and codegen-cache faults are tick-based: the
+  same scheduler passes see the same hardware state in every mode.
+- **counts** — per-object event counters (frames dequeued from one
+  device, packets entering one element).  Frame corruption and injected
+  element exceptions are count-based because every execution mode
+  processes the same packets in the same per-chain order, so "the 12th
+  packet through ``chk``" names the same packet whether the chain is
+  interpreted, compiled, batched, or adaptively recompiled.
+
+The element fault is installed as an *instance-attribute* wrapper around
+the element's processing entry point (``fast_action``, ``simple_action``
+or ``push``) before the fast path compiles, so both the reference
+interpreter and generated code call through it.  Wrapped elements are
+flagged ``_fault_wrapped`` (the chain compiler skips specializations
+that would bypass an instance attribute) and the router is flagged
+``_fault_uncacheable`` (the codegen cache must not replay a clean
+specialized entry onto a faulted router, nor store a faulted compile).
+
+Faults never break the differential contract on their own: a supervised
+router drops exactly the packets whose processing raised, in every
+mode.  Pair the injector with :class:`repro.runtime.supervisor` (see
+``repro.verify.chaos``) for the crash-free guarantee.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+__all__ = ["FAULT_KINDS", "FaultError", "FaultInjector", "FaultPlan", "FaultyDevice", "InjectedFault"]
+
+#: kind -> (required fields, optional fields with defaults)
+FAULT_KINDS = {
+    "device_flap": (("device", "at", "ticks"), {}),
+    "device_fail": (("device", "at"), {}),
+    "corrupt_frame": (("device", "after"), {"count": 1, "offset": 0, "xor": 0xFF}),
+    "element_error": (("element", "after"), {"count": 1, "message": None}),
+    "cache_corrupt": (("at",), {}),
+    "cache_invalidate": (("at",), {}),
+}
+
+
+class FaultError(ValueError):
+    """A malformed fault plan."""
+
+
+class InjectedFault(RuntimeError):
+    """The exception an ``element_error`` fault raises inside an
+    element's packet handler."""
+
+    def __init__(self, element_name, sequence, message=None):
+        self.element_name = element_name
+        self.sequence = sequence
+        text = message or "injected fault #%d in %s" % (sequence, element_name)
+        super().__init__(text)
+
+
+class FaultPlan:
+    """An ordered, JSON-round-trippable list of fault dicts."""
+
+    def __init__(self, faults=(), seed=None, name="fault-plan"):
+        self.faults = [dict(fault) for fault in faults]
+        self.seed = seed
+        self.name = name
+        self.validate()
+
+    def validate(self):
+        for index, fault in enumerate(self.faults):
+            kind = fault.get("kind")
+            if kind not in FAULT_KINDS:
+                raise FaultError(
+                    "fault %d: unknown kind %r (choose from %s)"
+                    % (index, kind, ", ".join(sorted(FAULT_KINDS)))
+                )
+            required, optional = FAULT_KINDS[kind]
+            for field in required:
+                if field not in fault:
+                    raise FaultError("fault %d (%s): missing field %r" % (index, kind, field))
+            for field, value in fault.items():
+                if field == "kind":
+                    continue
+                if field not in required and field not in optional:
+                    raise FaultError("fault %d (%s): unknown field %r" % (index, kind, field))
+                if field in ("at", "ticks", "after", "count", "offset", "xor"):
+                    if not isinstance(value, int) or value < 0:
+                        raise FaultError(
+                            "fault %d (%s): field %r must be a non-negative "
+                            "integer, not %r" % (index, kind, field, value)
+                        )
+        return self
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self):
+        return {"name": self.name, "seed": self.seed, "faults": [dict(f) for f in self.faults]}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(
+            faults=data.get("faults", ()),
+            seed=data.get("seed"),
+            name=data.get("name", "fault-plan"),
+        )
+
+    def to_json(self):
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_json(cls, text):
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path):
+        with open(path, "w") as handle:
+            handle.write(self.to_json())
+
+    @classmethod
+    def load(cls, path):
+        with open(path) as handle:
+            return cls.from_json(handle.read())
+
+    # -- generation --------------------------------------------------------
+
+    @classmethod
+    def seeded(cls, seed, devices=(), elements=(), ticks=16, events=64):
+        """A deterministic plan drawn from ``seed``: one device flap,
+        maybe a frame-corruption window, one or two element faults, and
+        a cache invalidation + corruption — scaled to a trace of about
+        ``ticks`` run events carrying about ``events`` packets."""
+        rng = random.Random(seed)
+        devices = list(devices)
+        elements = list(elements)
+        faults = []
+        if devices:
+            device = rng.choice(devices)
+            at = rng.randrange(max(1, ticks // 2))
+            faults.append(
+                {"kind": "device_flap", "device": device, "at": at, "ticks": 1 + rng.randrange(3)}
+            )
+            if rng.random() < 0.75:
+                faults.append(
+                    {
+                        "kind": "corrupt_frame",
+                        "device": rng.choice(devices),
+                        "after": rng.randrange(max(1, events // 4)),
+                        "count": 1 + rng.randrange(3),
+                        "offset": rng.choice((0, 14, 30)),
+                        "xor": 1 + rng.randrange(255),
+                    }
+                )
+        for element in rng.sample(elements, min(len(elements), 1 + rng.randrange(2))):
+            faults.append(
+                {
+                    "kind": "element_error",
+                    "element": element,
+                    "after": rng.randrange(max(1, events // 2)),
+                    "count": 1 + rng.randrange(4),
+                }
+            )
+        faults.append({"kind": "cache_invalidate", "at": rng.randrange(max(1, ticks))})
+        faults.append({"kind": "cache_corrupt", "at": rng.randrange(max(1, ticks))})
+        return cls(faults=faults, seed=seed, name="seeded-%s" % seed)
+
+    def device_names(self):
+        return sorted({f["device"] for f in self.faults if "device" in f})
+
+    def element_names(self):
+        return sorted({f["element"] for f in self.faults if "element" in f})
+
+    def __len__(self):
+        return len(self.faults)
+
+
+class _DeviceFaultState:
+    """Per-device schedule: flap windows, permanent failure, and
+    count-based corruption windows over dequeued frames."""
+
+    __slots__ = ("name", "flaps", "fail_at", "corruptions", "down", "rx_count", "down_polls", "corrupted")
+
+    def __init__(self, name):
+        self.name = name
+        self.flaps = []  # (at, ticks)
+        self.fail_at = None
+        self.corruptions = []  # (after, count, offset, xor)
+        self.down = False
+        self.rx_count = 0
+        self.down_polls = 0
+        self.corrupted = 0
+
+    def update(self, tick):
+        down = any(at <= tick < at + ticks for (at, ticks) in self.flaps)
+        if self.fail_at is not None and tick >= self.fail_at:
+            down = True
+        self.down = down
+
+    def corrupt(self, frame):
+        """Apply any active corruption window to a dequeued frame."""
+        n = self.rx_count
+        for after, count, offset, xor in self.corruptions:
+            if after < n <= after + count:
+                frame = bytearray(frame)
+                if offset < len(frame):
+                    frame[offset] ^= xor
+                self.corrupted += 1
+                return bytes(frame)
+        return frame
+
+
+class FaultyDevice:
+    """A device proxy applying one :class:`_DeviceFaultState`.
+
+    Deliberately *not* a LoopbackDevice subclass: the runtime's
+    ``type(device) is LoopbackDevice`` fast paths must fall back to the
+    generic calls so faults are actually observed.  While down, received
+    frames stay queued on the underlying device (a flap delays, a
+    permanent failure strands them) and the transmit ring reports no
+    room.
+    """
+
+    def __init__(self, device, state):
+        self.device = device
+        self.state = state
+        self.name = getattr(device, "name", state.name)
+
+    def receive_frame(self, frame):
+        self.device.receive_frame(frame)
+
+    def rx_dequeue(self):
+        state = self.state
+        if state.down:
+            state.down_polls += 1
+            return None
+        frame = self.device.rx_dequeue()
+        if frame is None:
+            return None
+        state.rx_count += 1
+        return state.corrupt(frame)
+
+    def tx_room(self):
+        if self.state.down:
+            return 0
+        return self.device.tx_room()
+
+    def tx_enqueue(self, frame):
+        if self.state.down:
+            return False
+        return self.device.tx_enqueue(frame)
+
+    @property
+    def transmitted(self):
+        return self.device.transmitted
+
+    @property
+    def rx(self):
+        return self.device.rx
+
+
+class _ElementFaultState:
+    __slots__ = ("name", "windows", "calls", "fired")
+
+    def __init__(self, name):
+        self.name = name
+        self.windows = []  # (after, count, message)
+        self.calls = 0
+        self.fired = 0
+
+    def note_call(self):
+        """Count one handler entry; raise if a window covers it."""
+        self.calls = n = self.calls + 1
+        for after, count, message in self.windows:
+            if after < n <= after + count:
+                self.fired += 1
+                raise InjectedFault(self.name, n, message)
+
+
+def _entry_attr(element):
+    """The attribute name that is ``element``'s per-packet entry point:
+    the declared fast_action, simple_action for default-dispatch
+    elements, else the push handler itself."""
+    from ..elements.element import Element
+
+    cls = type(element)
+    action = getattr(cls, "fast_action", None)
+    if action:
+        return action
+    if cls.push is Element.push:
+        return "simple_action"
+    return "push"
+
+
+class FaultInjector:
+    """Applies one :class:`FaultPlan` to routers and devices.
+
+    Usage order matters: wrap the devices, build the router over the
+    wrapped devices, :meth:`prepare_router` *before* compiling (before
+    ``set_mode``), then :meth:`tick` once per scheduler batch.  The
+    injector may prepare several routers in sequence (hot-swap installs
+    a new one); element fault counters are injector-owned and keyed by
+    element name, so counting continues across a swap.
+    """
+
+    def __init__(self, plan):
+        self.plan = plan if isinstance(plan, FaultPlan) else FaultPlan.from_dict(plan)
+        self.plan.validate()
+        self.tick_count = 0
+        self.cache_invalidations = 0
+        self.cache_corruptions = 0
+        self._devices = {}
+        self._elements = {}
+        self._cache_events = []  # (at, kind), unfired
+        for fault in self.plan.faults:
+            kind = fault["kind"]
+            if kind in ("device_flap", "device_fail", "corrupt_frame"):
+                state = self._devices.setdefault(
+                    fault["device"], _DeviceFaultState(fault["device"])
+                )
+                if kind == "device_flap":
+                    state.flaps.append((fault["at"], fault["ticks"]))
+                elif kind == "device_fail":
+                    at = fault["at"]
+                    state.fail_at = at if state.fail_at is None else min(state.fail_at, at)
+                else:
+                    state.corruptions.append(
+                        (
+                            fault["after"],
+                            fault.get("count", 1),
+                            fault.get("offset", 0),
+                            fault.get("xor", 0xFF),
+                        )
+                    )
+            elif kind == "element_error":
+                state = self._elements.setdefault(
+                    fault["element"], _ElementFaultState(fault["element"])
+                )
+                state.windows.append(
+                    (fault["after"], fault.get("count", 1), fault.get("message"))
+                )
+            else:
+                self._cache_events.append((fault["at"], kind))
+        for state in self._devices.values():
+            state.update(0)
+
+    # -- device side -------------------------------------------------------
+
+    def wrap_devices(self, devices):
+        """A new mapping where every device named by a device fault is
+        wrapped in a :class:`FaultyDevice`; other devices pass through
+        untouched (keeping their type-specialized runtime paths)."""
+        wrapped = {}
+        for name, device in devices.items():
+            state = self._devices.get(name)
+            wrapped[name] = device if state is None else FaultyDevice(device, state)
+        return wrapped
+
+    # -- element side ------------------------------------------------------
+
+    def prepare_router(self, router):
+        """Install element-fault wrappers on ``router`` (idempotent per
+        router) and mark it uncacheable for the codegen cache.  Must run
+        before the router compiles a fast path."""
+        touched = []
+        for name, state in self._elements.items():
+            element = router.find(name)
+            if element is None:
+                continue
+            attr = _entry_attr(element)
+            original = getattr(element, attr)
+            if getattr(original, "_fault_wrapper", False):
+                continue
+
+            def wrapper(*args, _original=original, _state=state):
+                _state.note_call()
+                return _original(*args)
+
+            wrapper._fault_wrapper = True
+            setattr(element, attr, wrapper)
+            element._fault_wrapped = True
+            touched.append(name)
+        if self._elements:
+            router._fault_uncacheable = True
+        router.fault_injector = self
+        return touched
+
+    # -- clocks ------------------------------------------------------------
+
+    def tick(self, count=1):
+        """Advance the fault clock ``count`` ticks, updating device
+        up/down state and firing due cache faults."""
+        from ..runtime.codegen_cache import default_cache
+
+        for _ in range(count):
+            now = self.tick_count
+            self.tick_count = now + 1
+            for state in self._devices.values():
+                state.update(now)
+            for at, kind in list(self._cache_events):
+                if at == now:
+                    self._cache_events.remove((at, kind))
+                    cache = default_cache()
+                    if kind == "cache_invalidate":
+                        cache.invalidate()
+                        self.cache_invalidations += 1
+                    else:
+                        self.cache_corruptions += cache.corrupt_entries()
+
+    # -- observability -----------------------------------------------------
+
+    def fault_counts(self):
+        """JSON-safe injection counters for the resilience report."""
+        return {
+            "ticks": self.tick_count,
+            "cache_invalidations": self.cache_invalidations,
+            "cache_corruptions": self.cache_corruptions,
+            "devices": {
+                name: {
+                    "down_polls": state.down_polls,
+                    "corrupted_frames": state.corrupted,
+                    "frames_seen": state.rx_count,
+                }
+                for name, state in sorted(self._devices.items())
+            },
+            "elements": {
+                name: {"calls": state.calls, "errors_fired": state.fired}
+                for name, state in sorted(self._elements.items())
+            },
+        }

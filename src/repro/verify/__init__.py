@@ -12,6 +12,7 @@ divergence to a minimal self-contained repro file.
 See docs/VERIFY.md for the architecture and the replay workflow.
 """
 
+from .chaos import compare_chaos, seeded_plan
 from .genconfig import generate_case, stock_cases
 from .oracle import MODES, compare_case, run_case
 from .shrink import load_repro, shrink_case, write_repro
@@ -19,9 +20,11 @@ from .shrink import load_repro, shrink_case, write_repro
 __all__ = [
     "MODES",
     "compare_case",
+    "compare_chaos",
     "generate_case",
     "load_repro",
     "run_case",
+    "seeded_plan",
     "shrink_case",
     "stock_cases",
     "write_repro",

@@ -1,0 +1,297 @@
+"""``click-chaos``: seeded chaos testing of the supervised runtime.
+
+The differential fuzzer (:mod:`repro.verify.cli`) hunts divergence on
+*healthy* runs.  This harness hunts it on *faulted* runs: a seeded
+:class:`repro.sim.faults.FaultPlan` flaps devices, corrupts frames,
+raises injected exceptions inside elements and attacks the codegen
+cache while a stock trace plays — under every execution mode, each
+supervised by :class:`repro.runtime.supervisor.Supervisor`.
+
+The contract being checked is the resilience guarantee:
+
+- **no crash** — a supervised router survives any plan; an escaped
+  exception in any mode is a harness failure (kind ``crash``);
+- **byte equivalence** — every mode transmits byte-identical frames.
+  Only transmitted bytes compare (unlike click-fuzz, counters do not:
+  the supervisor's drop points add per-mode bookkeeping, and fault
+  wrappers perturb handler call counts in mode-specific places — the
+  wire is the contract).
+
+Chaos runs skip the optimized axis on purpose: the optimizers rename
+and merge elements, so a plan's element names would silently stop
+matching.
+
+Everything is deterministic: plans derive from ``--seed``, fault ticks
+advance once per ``["run"]`` trace event, and count-based faults hit
+the same packet in every mode.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from ..sim.faults import FaultPlan
+from .genconfig import stock_cases
+from .oracle import MODES, device_names, first_transmit_difference, run_case
+
+#: Element classes seeded plans never target: device drivers (their
+#: faults come from the device side of the plan) and sinks too trivial
+#: to fail interestingly.
+_PLAN_SKIP_CLASSES = ("PollDevice", "ToDevice")
+
+
+def element_candidates(config_text):
+    """Element names a seeded plan may inject errors into, from the
+    flattened graph (stable across modes; excludes device drivers)."""
+    from ..core.toolchain import load_config
+
+    graph = load_config(config_text, "<chaos>")
+    if graph.element_classes:
+        from ..core.flatten import flatten
+
+        graph = flatten(graph)
+    return sorted(
+        name
+        for name, decl in graph.elements.items()
+        if decl.class_name not in _PLAN_SKIP_CLASSES
+    )
+
+
+def seeded_plan(case, seed):
+    """The deterministic fault plan for one case: drawn from ``seed``
+    and the case's own devices, elements, and trace shape."""
+    events = case["events"]
+    ticks = sum(1 for event in events if event[0] == "run")
+    frames = sum(1 for event in events if event[0] == "frame")
+    return FaultPlan.seeded(
+        seed,
+        devices=device_names(case["config"]),
+        elements=element_candidates(case["config"]),
+        ticks=max(1, ticks),
+        events=max(1, frames),
+    )
+
+
+def compare_chaos(case, plan, modes=None):
+    """Run one case under ``plan`` in every mode, supervised, and check
+    the resilience contract.
+
+    Returns a JSON-safe dict: ``status`` is ``"ok"``, ``"divergence"``
+    (transmitted bytes differ), or ``"crash"`` (an exception escaped the
+    supervisor in some mode); ``failures`` lists each violation;
+    ``reports`` carries every mode's resilience report."""
+    modes = [m for m in (modes or list(MODES)) if m in MODES]
+    if "reference" not in modes:
+        modes = ["reference"] + modes
+    failures = []
+    reports = {}
+    reference = None
+    for mode in modes:
+        routers = []
+        status, payload = run_case(
+            case, mode, plan=plan, supervised=True, collect=routers.append
+        )
+        if routers and getattr(routers[-1], "supervisor", None) is not None:
+            reports[mode] = routers[-1].supervisor.report().as_dict()
+        if status == "error":
+            failures.append(
+                {
+                    "mode": mode,
+                    "kind": "crash",
+                    "detail": "%s: %s" % (payload[0], payload[1]),
+                }
+            )
+            continue
+        if mode == "reference":
+            reference = payload
+            continue
+        if reference is None:
+            continue  # reference crashed; already recorded
+        diff = first_transmit_difference(
+            reference["transmitted"], payload["transmitted"]
+        )
+        if diff is not None:
+            failures.append({"mode": mode, "kind": "transmitted", "detail": diff})
+    if any(f["kind"] == "crash" for f in failures):
+        status = "crash"
+    elif failures:
+        status = "divergence"
+    else:
+        status = "ok"
+    return {
+        "status": status,
+        "failures": failures,
+        "reports": reports,
+        "plan": plan.to_dict(),
+    }
+
+
+# -- CLI -----------------------------------------------------------------------
+
+_CONFIG_CHOICES = ("iprouter", "firewall", "both")
+
+
+def _parser():
+    parser = argparse.ArgumentParser(
+        description="Chaos harness: replay seeded fault plans (device "
+        "flaps, frame corruption, injected element errors, cache "
+        "attacks) against the supervised router under every execution "
+        "mode and verify it neither crashes nor diverges on the wire."
+    )
+    parser.add_argument(
+        "--seed", type=int, default=1, help="seed for fault-plan generation"
+    )
+    parser.add_argument(
+        "--config",
+        default="both",
+        choices=_CONFIG_CHOICES,
+        help="which stock configuration(s) to torture (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--modes",
+        default=",".join(MODES),
+        metavar="LIST",
+        help="comma-separated mode matrix (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--events",
+        type=int,
+        default=96,
+        metavar="N",
+        help="traffic events per case trace",
+    )
+    parser.add_argument(
+        "--plan",
+        default=None,
+        metavar="FILE",
+        help="replay this fault-plan JSON instead of seeding one "
+        "(a single plan, or a click-chaos --plan-out mapping)",
+    )
+    parser.add_argument(
+        "--plan-out",
+        default=None,
+        metavar="FILE",
+        help="write the per-case fault plans here (replayable via --plan)",
+    )
+    parser.add_argument(
+        "--report",
+        default=None,
+        metavar="FILE",
+        help="write the JSON run report here (- for stderr)",
+    )
+    return parser
+
+
+def _parse_modes(spec):
+    modes = [m.strip() for m in spec.split(",") if m.strip()]
+    unknown = [m for m in modes if m not in MODES]
+    if unknown:
+        raise SystemExit(
+            "click-chaos: unknown mode(s) %s (choose from %s)"
+            % (", ".join(unknown), ", ".join(MODES))
+        )
+    return modes
+
+
+def _cases(args):
+    wanted = {
+        "iprouter": ("iprouter-mtu1500",),
+        "firewall": ("firewall",),
+        "both": ("iprouter-mtu1500", "firewall"),
+    }[args.config]
+    stock = {case["name"]: case for case in stock_cases(events_count=args.events)}
+    return [stock[name] for name in wanted]
+
+
+def _load_plans(path, cases):
+    """A --plan file is either one FaultPlan (applied to every case) or
+    a --plan-out mapping ``{"plans": {case name: plan}}``."""
+    with open(path) as handle:
+        data = json.load(handle)
+    if "plans" in data:
+        by_name = data["plans"]
+        return {
+            case["name"]: FaultPlan.from_dict(by_name[case["name"]])
+            for case in cases
+            if case["name"] in by_name
+        }
+    plan = FaultPlan.from_dict(data)
+    return {case["name"]: plan for case in cases}
+
+
+def _write_json(dest, payload):
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    if dest == "-":
+        sys.stderr.write(text)
+    else:
+        with open(dest, "w") as handle:
+            handle.write(text)
+
+
+def main(argv=None):
+    """The ``click-chaos`` entry point; returns the process exit status
+    (0 resilient, 1 crash or divergence, 2 usage error via argparse)."""
+    args = _parser().parse_args(argv)
+    modes = _parse_modes(args.modes)
+    cases = _cases(args)
+    if args.plan:
+        plans = _load_plans(args.plan, cases)
+    else:
+        plans = {case["name"]: seeded_plan(case, args.seed) for case in cases}
+
+    started = time.time()
+    records = []
+    counts = {"ok": 0, "divergence": 0, "crash": 0}
+    for case in cases:
+        plan = plans.get(case["name"])
+        if plan is None:
+            continue
+        result = compare_chaos(case, plan, modes=modes)
+        counts[result["status"]] += 1
+        records.append({"name": case["name"], **result})
+        if result["status"] == "ok":
+            print(
+                "click-chaos: %s survived %d fault(s) across %d mode(s)"
+                % (case["name"], len(plan), len(modes))
+            )
+        else:
+            print(
+                "click-chaos: %s %s: %s"
+                % (
+                    case["name"],
+                    result["status"].upper(),
+                    result["failures"][0]["detail"],
+                )
+            )
+
+    summary = dict(counts)
+    summary["cases"] = len(records)
+    summary["seconds"] = round(time.time() - started, 3)
+    print(
+        "click-chaos: %(cases)d case(s): %(ok)d resilient, "
+        "%(divergence)d divergent, %(crash)d crashed in %(seconds).1fs" % summary
+    )
+    if args.plan_out:
+        _write_json(
+            args.plan_out,
+            {"seed": args.seed, "plans": {name: plan.to_dict() for name, plan in plans.items()}},
+        )
+    if args.report:
+        _write_json(
+            args.report,
+            {
+                "seed": args.seed,
+                "config": args.config,
+                "mode_matrix": modes,
+                "summary": summary,
+                "cases": records,
+            },
+        )
+    return 0 if not (counts["divergence"] or counts["crash"]) else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,6 +19,16 @@ Events are small lists so cases round-trip through JSON repro files:
 - ``["deopt"]``                  — force the adaptive engine back to tier 1
   (a no-op in the other modes, which is what makes it a valid
   differential event: it may change *which tier* runs, never behaviour)
+- ``["hotswap"]`` / ``["hotswap", CONFIG]`` — transactionally hot-swap the
+  live router mid-trace (to the same configuration text, or to CONFIG),
+  transferring queue/ARP/counter state and carrying the execution mode;
+  a valid differential event because the swap preserves observable state
+  in every mode
+
+Cases may also carry a fault plan (see :mod:`repro.sim.faults` and
+:mod:`repro.verify.chaos`): ``run_case(..., plan=..., supervised=True)``
+wires a :class:`FaultInjector` under the router (ticked once per
+``["run"]`` event) and supervises it.
 
 Within one graph the comparison is strict: transmitted bytes per device
 plus every element's read handlers (counters, drop reasons).  Across the
@@ -79,7 +89,11 @@ def optimize_config(config_text):
     return save_config(result.graph)
 
 
-def _execute(router, devices, events):
+def _execute(router, devices, events, config_text=None, injector=None):
+    """Drive one event trace; returns the live router (which changes
+    identity across ``hotswap`` events).  ``injector`` is ticked once
+    per ``run`` event so device faults land at the same scheduler pass
+    in every mode."""
     for event in events:
         kind = event[0]
         if kind == "frame":
@@ -87,17 +101,36 @@ def _execute(router, devices, events):
             if device is not None:
                 device.receive_frame(bytes.fromhex(event[2]))
         elif kind == "run":
+            if injector is not None:
+                injector.tick()
             router.run_tasks(int(event[1]))
         elif kind == "insert":
             element = router.find(event[1])
             if element is not None and hasattr(element, "insert"):
-                element.insert(event[2], event[3])
+                if injector is None:
+                    element.insert(event[2], event[3])
+                else:
+                    # Chaos runs: an injected fault firing inside the
+                    # ARP-reply flush is contained at this control-plane
+                    # boundary.  The abort point is count-based, so every
+                    # mode flushes the same prefix of held packets.
+                    try:
+                        element.insert(event[2], event[3])
+                    except Exception:  # noqa: BLE001
+                        pass
         elif kind == "bump_epochs":
             router.bump_arp_epochs()
         elif kind == "deopt":
             router.force_deopt()
+        elif kind == "hotswap":
+            from ..elements.hotswap import hotswap
+
+            text = event[1] if len(event) > 1 else config_text
+            if text is not None:
+                router = hotswap(router, load_config(text, "<hotswap>"))
         else:
             raise ValueError("unknown fuzz event %r" % (kind,))
+    return router
 
 
 def observe(router, devices):
@@ -117,10 +150,13 @@ def observe(router, devices):
     return {"transmitted": transmitted, "counters": counters}
 
 
-def run_case(case, mode, config_text=None):
+def run_case(case, mode, config_text=None, plan=None, supervised=False, collect=None):
     """Run one case under one mode; returns ``("ok", observation)`` or
     ``("error", [exception type name, message])``.  ``config_text``
-    overrides the case's config (the optimized-axis text)."""
+    overrides the case's config (the optimized-axis text).  ``plan`` is
+    an optional :class:`repro.sim.faults.FaultPlan` injected under the
+    router; ``supervised`` attaches the resilient supervisor; ``collect``
+    is called with the final router (for resilience reports)."""
     text = case["config"] if config_text is None else config_text
     router_mode, batch = MODES[mode]
     adaptive_config = AdaptiveConfig(**EAGER) if router_mode == "adaptive" else None
@@ -129,16 +165,32 @@ def run_case(case, mode, config_text=None):
             name: LoopbackDevice(name, tx_capacity=1 << 30)
             for name in device_names(case["config"])
         }
+        injector = None
+        if plan is not None:
+            from ..sim.faults import FaultInjector
+
+            injector = FaultInjector(plan)
+            devices = injector.wrap_devices(devices)
+        # Build in reference mode, wire faults, then compile the target
+        # mode — the compiler must see the fault wrappers.
         router = build_router(
             load_config(text, "<fuzz>"),
             devices=devices,
-            mode=router_mode,
-            batch=batch,
             adaptive_config=adaptive_config,
         )
-        _execute(router, devices, case["events"])
+        if injector is not None:
+            injector.prepare_router(router)
+        if router_mode != "reference":
+            router.set_mode(router_mode, batch=batch)
+        if supervised:
+            router.attach_supervisor()
+        router = _execute(
+            router, devices, case["events"], config_text=text, injector=injector
+        )
     except Exception as exc:  # noqa: BLE001 - the comparison IS the handling
         return ("error", [type(exc).__name__, str(exc)])
+    if collect is not None:
+        collect(router)
     return ("ok", observe(router, devices))
 
 

@@ -1,0 +1,210 @@
+"""Tests for the deterministic fault-injection layer (repro.sim.faults)."""
+
+import pytest
+
+from repro.elements import Router
+from repro.elements.devices import LoopbackDevice
+from repro.lang.build import parse_graph
+from repro.net.packet import Packet
+from repro.sim.faults import (
+    FaultError,
+    FaultInjector,
+    FaultPlan,
+    FaultyDevice,
+    InjectedFault,
+)
+
+PIPE = "f :: Idle; c :: Counter; q :: Queue(8); u :: Unqueue; d :: Discard; f -> c -> q -> u -> d;"
+
+
+class TestFaultPlan:
+    def test_json_round_trip(self):
+        plan = FaultPlan(
+            faults=[
+                {"kind": "device_flap", "device": "eth0", "at": 2, "ticks": 3},
+                {"kind": "corrupt_frame", "device": "eth0", "after": 4, "xor": 0x10},
+                {"kind": "element_error", "element": "chk", "after": 1, "count": 2},
+                {"kind": "cache_invalidate", "at": 1},
+            ],
+            seed=9,
+            name="trip",
+        )
+        again = FaultPlan.from_json(plan.to_json())
+        assert again.to_dict() == plan.to_dict()
+        assert again.name == "trip" and again.seed == 9
+        assert len(again) == 4
+
+    def test_save_load(self, tmp_path):
+        plan = FaultPlan(faults=[{"kind": "device_fail", "device": "eth1", "at": 0}])
+        path = tmp_path / "plan.json"
+        plan.save(path)
+        assert FaultPlan.load(path).to_dict() == plan.to_dict()
+
+    def test_seeded_deterministic(self):
+        kwargs = dict(devices=["eth0", "eth1"], elements=["chk", "rt"], ticks=12, events=48)
+        one = FaultPlan.seeded(5, **kwargs)
+        two = FaultPlan.seeded(5, **kwargs)
+        assert one.to_dict() == two.to_dict()
+        # Draws only from the offered names, and always attacks the cache.
+        assert set(one.device_names()) <= {"eth0", "eth1"}
+        assert set(one.element_names()) <= {"chk", "rt"}
+        kinds = {fault["kind"] for fault in one.faults}
+        assert "cache_invalidate" in kinds and "cache_corrupt" in kinds
+
+    def test_seeded_seeds_differ(self):
+        kwargs = dict(devices=["eth0", "eth1"], elements=["a", "b", "c"], ticks=12, events=48)
+        plans = {FaultPlan.seeded(seed, **kwargs).to_json() for seed in range(8)}
+        assert len(plans) > 1
+
+    @pytest.mark.parametrize(
+        "fault",
+        [
+            {"kind": "meteor_strike", "at": 0},
+            {"kind": "device_flap", "device": "eth0", "at": 1},  # missing ticks
+            {"kind": "cache_corrupt", "at": 1, "bogus": 2},  # unknown field
+            {"kind": "element_error", "element": "c", "after": -1},  # negative
+            {"kind": "corrupt_frame", "device": "e", "after": "soon"},  # non-int
+        ],
+    )
+    def test_validate_rejects(self, fault):
+        with pytest.raises(FaultError):
+            FaultPlan(faults=[fault])
+
+
+class TestFaultyDevice:
+    def _wrap(self, faults):
+        injector = FaultInjector(FaultPlan(faults=faults))
+        device = LoopbackDevice("eth0")
+        wrapped = injector.wrap_devices({"eth0": device})["eth0"]
+        assert isinstance(wrapped, FaultyDevice)
+        return injector, device, wrapped
+
+    def test_flap_window_delays_frames(self):
+        injector, device, wrapped = self._wrap(
+            [{"kind": "device_flap", "device": "eth0", "at": 1, "ticks": 2}]
+        )
+        wrapped.receive_frame(b"frame-a")
+        injector.tick()  # tick 0: up
+        assert wrapped.rx_dequeue() == b"frame-a"
+        wrapped.receive_frame(b"frame-b")
+        injector.tick()  # tick 1: down
+        assert wrapped.rx_dequeue() is None
+        assert wrapped.tx_room() == 0
+        assert wrapped.tx_enqueue(b"out") is False
+        injector.tick()  # tick 2: still down
+        assert wrapped.rx_dequeue() is None
+        injector.tick()  # tick 3: back up; the delayed frame drains
+        assert wrapped.rx_dequeue() == b"frame-b"
+        counts = injector.fault_counts()
+        assert counts["devices"]["eth0"]["down_polls"] == 2
+        assert counts["ticks"] == 4
+
+    def test_permanent_failure(self):
+        injector, device, wrapped = self._wrap(
+            [{"kind": "device_fail", "device": "eth0", "at": 1}]
+        )
+        wrapped.receive_frame(b"stranded")
+        for _ in range(5):
+            injector.tick()
+        assert wrapped.rx_dequeue() is None  # stranded forever
+        assert device.rx  # but still queued on the real hardware
+
+    def test_corruption_window(self):
+        injector, device, wrapped = self._wrap(
+            [{"kind": "corrupt_frame", "device": "eth0", "after": 0, "count": 1}]
+        )
+        wrapped.receive_frame(bytes([0x00, 0x41]))
+        wrapped.receive_frame(bytes([0x00, 0x41]))
+        first = wrapped.rx_dequeue()
+        second = wrapped.rx_dequeue()
+        assert first[0] == 0xFF and first[1] == 0x41  # default xor at offset 0
+        assert second == bytes([0x00, 0x41])
+        assert injector.fault_counts()["devices"]["eth0"]["corrupted_frames"] == 1
+
+    def test_unfaulted_devices_pass_through(self):
+        injector = FaultInjector(
+            FaultPlan(faults=[{"kind": "device_fail", "device": "eth9", "at": 0}])
+        )
+        device = LoopbackDevice("eth0")
+        assert injector.wrap_devices({"eth0": device})["eth0"] is device
+
+
+class TestElementFaults:
+    def _prepared(self, faults):
+        injector = FaultInjector(FaultPlan(faults=faults))
+        router = Router(parse_graph(PIPE))
+        injector.prepare_router(router)
+        return injector, router
+
+    def test_injected_error_window(self):
+        injector, router = self._prepared(
+            [{"kind": "element_error", "element": "c", "after": 1, "count": 1}]
+        )
+        router.push_packet("c", 0, Packet(b"one"))  # call 1: clean
+        with pytest.raises(InjectedFault) as excinfo:
+            router.push_packet("c", 0, Packet(b"two"))  # call 2: boom
+        assert excinfo.value.element_name == "c"
+        router.push_packet("c", 0, Packet(b"three"))  # window passed
+        counts = injector.fault_counts()["elements"]["c"]
+        assert counts == {"calls": 3, "errors_fired": 1}
+        assert router["c"].count == 2  # the faulted packet never counted
+
+    def test_prepare_is_idempotent(self):
+        injector, router = self._prepared(
+            [{"kind": "element_error", "element": "c", "after": 10}]
+        )
+        injector.prepare_router(router)  # second prepare must not re-wrap
+        router.push_packet("c", 0, Packet(b"x"))
+        assert injector.fault_counts()["elements"]["c"]["calls"] == 1
+
+    def test_router_marked_uncacheable(self):
+        _injector, router = self._prepared(
+            [{"kind": "element_error", "element": "c", "after": 0}]
+        )
+        assert router._fault_uncacheable
+        assert router["c"]._fault_wrapped
+        assert router.fault_injector is not None
+
+    def test_custom_message(self):
+        _injector, router = self._prepared(
+            [
+                {
+                    "kind": "element_error",
+                    "element": "c",
+                    "after": 0,
+                    "message": "simulated parity error",
+                }
+            ]
+        )
+        with pytest.raises(InjectedFault, match="simulated parity error"):
+            router.push_packet("c", 0, Packet(b"x"))
+
+    def test_counting_continues_across_routers(self):
+        """Hot-swap hands the injector a new router: the per-element
+        call counter is injector-owned, so the window does not reset."""
+        injector, router = self._prepared(
+            [{"kind": "element_error", "element": "c", "after": 1, "count": 1}]
+        )
+        router.push_packet("c", 0, Packet(b"one"))
+        second = Router(parse_graph(PIPE))
+        injector.prepare_router(second)
+        with pytest.raises(InjectedFault):
+            second.push_packet("c", 0, Packet(b"two"))
+
+
+class TestCacheFaults:
+    def test_tick_fires_cache_events(self):
+        from repro.runtime.codegen_cache import default_cache
+
+        cache = default_cache()
+        before = cache.invalidations
+        injector = FaultInjector(
+            FaultPlan(faults=[{"kind": "cache_invalidate", "at": 1}])
+        )
+        injector.tick()  # tick 0: nothing
+        assert cache.invalidations == before
+        injector.tick()  # tick 1: fires
+        assert cache.invalidations == before + 1
+        assert injector.cache_invalidations == 1
+        injector.tick()  # one-shot: no refire
+        assert cache.invalidations == before + 1
