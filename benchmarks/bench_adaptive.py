@@ -15,7 +15,7 @@ benchmark measures that bet on 90/10 skewed traffic:
 Modes:
 
 - ``reference``: the per-port interpreter, the semantic oracle;
-- ``fast``: the static compiled chains (``Router.set_mode("fast")``);
+- ``fast``: the static compiled chains (``ExecutionProfile.fast()``);
 - ``adaptive_cold``: the tiered engine from packet zero — profiling
   overhead and the tier-2 recompile land inside the measurement;
 - ``adaptive_warm``: the same engine after the hot chains promoted.
@@ -44,6 +44,7 @@ from repro.configs.firewall import dns5_packet, firewall_graph  # noqa: E402
 from repro.elements.devices import LoopbackDevice, PollDevice  # noqa: E402
 from repro.elements.runtime import Router  # noqa: E402
 from repro.net.headers import IP_PROTO_UDP, IPHeader, build_ether_udp_packet  # noqa: E402
+from repro.runtime import ExecutionProfile  # noqa: E402
 from repro.runtime.adaptive import AdaptiveConfig  # noqa: E402
 from repro.sim.testbed import HOST_ETHERS, Testbed, host_ip  # noqa: E402
 
@@ -107,12 +108,11 @@ def build_firewall(mode, adaptive_config=None):
         "eth0": LoopbackDevice("eth0", tx_capacity=1 << 30),
         "eth1": LoopbackDevice("eth1", tx_capacity=1 << 30),
     }
-    router = Router(
-        firewall_graph(),
-        devices=devices,
-        mode=mode,
-        adaptive_config=adaptive_config,
-    )
+    if mode == "adaptive":
+        profile = ExecutionProfile.tiered(config=adaptive_config)
+    else:
+        profile = ExecutionProfile(mode=mode)
+    router = Router(firewall_graph(), devices=devices, profile=profile)
     ether = b"\x00\x50\x56\x00\x00\x01" + b"\x00\x50\x56\x00\x00\x02" + b"\x08\x00"
     hot = ether + dns5_packet()
     cold = ether + _dns_query_packet()

@@ -5,7 +5,7 @@ compliant IP router (the Figure 10 configuration) and the §4 screened-
 subnet firewall — in three modes:
 
 - ``reference``: the per-port interpreter, the semantic oracle;
-- ``fast``: precompiled push/pull chains (``Router.set_mode("fast")``);
+- ``fast``: precompiled push/pull chains (``ExecutionProfile.fast()``);
 - ``fast_batched``: the same chains with burst batching.
 
 Results go to ``BENCH_fastpath.json`` so the perf trajectory has a
@@ -34,6 +34,7 @@ sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), ".."
 from repro.configs.firewall import dns5_packet, firewall_graph  # noqa: E402
 from repro.elements.devices import LoopbackDevice, PollDevice  # noqa: E402
 from repro.elements.runtime import Router  # noqa: E402
+from repro.runtime import ExecutionProfile  # noqa: E402
 from repro.sim.testbed import Testbed  # noqa: E402
 
 MODES = [("reference", False), ("fast", False), ("fast", True)]
@@ -56,7 +57,11 @@ def build_firewall(mode, batch):
         "eth0": LoopbackDevice("eth0", tx_capacity=1 << 30),
         "eth1": LoopbackDevice("eth1", tx_capacity=1 << 30),
     }
-    router = Router(firewall_graph(), devices=devices, mode=mode, batch=batch)
+    router = Router(
+        firewall_graph(),
+        devices=devices,
+        profile=ExecutionProfile(mode=mode, batch=batch),
+    )
     frame = b"\x00\x50\x56\x00\x00\x01" + b"\x00\x50\x56\x00\x00\x02" + b"\x08\x00" + dns5_packet()
 
     def frames(count):

@@ -358,6 +358,7 @@ def _fastpath_report(graph, adaptive=False, profile=False, supervised=False):
     section documents the installed boundaries and tier stacks)."""
     from ..elements.devices import LoopbackDevice
     from ..elements.runtime import Router
+    from ..runtime import ExecutionProfile
 
     class AutoDevices(dict):
         # The optimized config can name any hardware; every lookup
@@ -369,12 +370,14 @@ def _fastpath_report(graph, adaptive=False, profile=False, supervised=False):
             return self[name]
 
     if adaptive:
-        mode = "adaptive"
+        run_profile = ExecutionProfile.tiered()
     elif supervised:
-        mode = "fast"  # --supervised implies --fast
+        run_profile = ExecutionProfile.fast()  # --supervised implies --fast
     else:
-        mode = "reference"
-    router = Router(graph, devices=AutoDevices(), mode=mode)
+        run_profile = ExecutionProfile.reference()
+    if supervised:
+        run_profile = run_profile.with_supervision()
+    router = Router(graph, devices=AutoDevices(), profile=run_profile)
     if adaptive:
         compile_report = router.adaptive.tier1.report
         text = compile_report.format()
@@ -389,7 +392,7 @@ def _fastpath_report(graph, adaptive=False, profile=False, supervised=False):
         text = compile_report.format()
         section = compile_report.as_dict()
     if supervised:
-        resilience = router.attach_supervisor().report()
+        resilience = router.supervisor.report()
         text += "\n" + resilience.format()
         section["resilience"] = resilience.as_dict()
     return text, section
@@ -483,5 +486,13 @@ def fuzz_main(argv=None):
 def chaos_main(argv=None):
     """click-chaos CLI (lazy, like click-fuzz)."""
     from ..verify.chaos import main
+
+    return main(argv)
+
+
+def update_main(argv=None):
+    """click-update CLI (lazy, like click-fuzz): replay control-plane
+    updates against a live router and report how each installed."""
+    from ..control.cli import main
 
     return main(argv)

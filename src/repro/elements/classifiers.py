@@ -46,6 +46,63 @@ class _TreeClassifier(Element):
         self.configured_noutputs = self.tree.noutputs
         self.drops = 0
 
+    def matcher_cell(self):
+        """A one-slot list holding the compiled matcher for the current
+        tree.  The fast path binds the *cell* (not the function) into
+        generated code, so a control-plane rule patch swaps the matcher
+        under already-compiled chains without recompiling them."""
+        cell = getattr(self, "_matcher_cell", None)
+        if cell is None:
+            from ..classifier.compile import compiled_function_for
+
+            cell = self._matcher_cell = [compiled_function_for(self.tree)]
+        return cell
+
+    def check_rules(self, args):
+        """Compile and validate replacement rules without touching the
+        live tree: the control plane's dry-run half.  The new rules
+        must declare the same output count (changing the number of
+        outputs rewires the graph, which needs a hot-swap); bad rules
+        raise :class:`ConfigError`.  Returns the optimized tree for
+        :meth:`commit_rules`."""
+        if not args:
+            raise ConfigError("%s needs at least one pattern" % self.class_name)
+        try:
+            from ..classifier.optimize import optimize
+
+            tree = optimize(self.build_tree(args))
+        except ValueError as exc:
+            raise ConfigError("%s: %s" % (self.class_name, exc)) from exc
+        if tree.noutputs != self.configured_noutputs:
+            raise ConfigError(
+                "rule update changes %s's output count %d -> %d "
+                "(a wiring change needs a hot-swap)"
+                % (self.name, self.configured_noutputs, tree.noutputs)
+            )
+        # Warm the matcher memo now so commit_rules cannot fail on
+        # codegen: the staged-batch commit half must be infallible.
+        from ..classifier.compile import compiled_function_for
+
+        compiled_function_for(tree)
+        return tree
+
+    def commit_rules(self, tree):
+        """Install a tree prepared by :meth:`check_rules`, swapping the
+        compiled matcher under any live fast-path chains through the
+        matcher cell."""
+        self.tree = tree
+        cell = getattr(self, "_matcher_cell", None)
+        if cell is not None:
+            from ..classifier.compile import compiled_function_for
+
+            cell[0] = compiled_function_for(tree)
+
+    def update_rules(self, args):
+        """Replace the classification rules in place on a *live*
+        element — the control plane's pure-data patch.  A bad update
+        raises :class:`ConfigError` before anything is applied."""
+        self.commit_rules(self.check_rules(args))
+
     def push(self, port, packet):
         data = packet.data
         if self.router is not None and self.router.meter is not None:

@@ -18,15 +18,31 @@ can fail while the old router keeps serving: the new graph runs the
 ``check`` pass, a new router is built in reference mode, state is
 transferred (``take_state`` handlers must treat the old element as
 read-only — every stock handler copies), and the old router's execution
-mode — fast/adaptive, batch flavor, adaptive config, supervision — is
-recompiled onto the new router.  Only after all of that succeeds does
+profile — fast/adaptive, batch flavor, adaptive config, supervision —
+is recompiled onto the new router.  Only after all of that succeeds does
 phase two commit: the old router is retired.  Any failure raises
 :class:`HotswapError` and leaves the old router exactly as it was, still
 serving, queues and ARP tables intact.
+
+The swap is **scoped**: before recompiling, the graphs are diffed
+(:func:`repro.graph.diff.diff_graphs`, or an explicit ``delta`` from the
+control plane) and the old router's compiled fast paths are offered to
+the new compile as *donors* — every chain whose reachable elements are
+untouched by the delta is spliced in verbatim instead of re-emitted
+(see :meth:`FastPath._reuse_chain`).  ``hotswap`` returns a
+:class:`SwapResult` carrying the new router and a :class:`SwapReport`
+with per-phase timings and the recompiled-vs-reused chain counts; the
+result proxies attribute access to the router (with a
+``DeprecationWarning``) so pre-SwapResult callers keep working.
 """
 
 from __future__ import annotations
 
+import time
+import warnings
+from collections import OrderedDict
+
+from ..graph.diff import diff_graphs
 from .element import Element
 from .runtime import Router
 
@@ -34,6 +50,100 @@ from .runtime import Router
 class HotswapError(RuntimeError):
     """A hot-swap aborted before commit; the old router is untouched
     and still serving."""
+
+
+class SwapReport:
+    """What one configuration update did: its kind (``in-place`` data
+    patch, ``scoped-swap``, ``full-swap``, or ``no-op``), per-phase wall
+    times, and the recompiled-vs-reused chain accounting.  Shared by
+    :func:`hotswap` and :meth:`repro.control.ControlPlane.apply`."""
+
+    def __init__(self, kind, profile=None, delta=None):
+        self.kind = kind
+        self.profile = profile  # ExecutionProfile label (str) or None
+        self.delta = delta  # GraphDelta summary (str) or None
+        self.phases = OrderedDict()  # phase name -> seconds
+        self.chains_recompiled = 0
+        self.chains_reused = 0
+        self.elements_patched = 0
+        self.transferred = []  # element names that carried state over
+        self.cache_hit = False
+
+    @property
+    def total_seconds(self):
+        return sum(self.phases.values())
+
+    def as_dict(self):
+        return {
+            "kind": self.kind,
+            "profile": self.profile,
+            "delta": self.delta,
+            "phases": {name: round(value, 6) for name, value in self.phases.items()},
+            "total_seconds": round(self.total_seconds, 6),
+            "chains_recompiled": self.chains_recompiled,
+            "chains_reused": self.chains_reused,
+            "elements_patched": self.elements_patched,
+            "transferred": list(self.transferred),
+            "cache_hit": self.cache_hit,
+        }
+
+    def format(self):
+        parts = ["%s in %.2f ms" % (self.kind, self.total_seconds * 1e3)]
+        if self.delta:
+            parts.append(self.delta)
+        if self.kind == "in-place":
+            parts.append("%d element(s) patched" % self.elements_patched)
+        else:
+            parts.append(
+                "%d chain(s) recompiled, %d reused%s"
+                % (
+                    self.chains_recompiled,
+                    self.chains_reused,
+                    ", codegen-cache hit" if self.cache_hit else "",
+                )
+            )
+        if self.transferred:
+            parts.append("state carried for %d element(s)" % len(self.transferred))
+        if self.profile:
+            parts.append("profile %s" % self.profile)
+        if self.phases:
+            parts.append(
+                "phases: "
+                + ", ".join(
+                    "%s=%.2fms" % (name, value * 1e3)
+                    for name, value in self.phases.items()
+                )
+            )
+        return "; ".join(parts)
+
+    def __repr__(self):
+        return "SwapReport(%s)" % self.format()
+
+
+class SwapResult:
+    """What :func:`hotswap` returns: the new live router plus the
+    :class:`SwapReport` describing the swap.  Unknown attributes proxy
+    to ``.router`` with a ``DeprecationWarning`` so callers written
+    against the old router-returning signature keep working."""
+
+    __slots__ = ("router", "report")
+
+    def __init__(self, router, report):
+        self.router = router
+        self.report = report
+
+    def __getattr__(self, name):
+        router = self.router
+        warnings.warn(
+            "hotswap() returns a SwapResult; reading .%s off it is "
+            "deprecated; use result.router.%s" % (name, name),
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return getattr(router, name)
+
+    def __repr__(self):
+        return "SwapResult(router=%r, report=%r)" % (self.router, self.report)
 
 
 def _compatible(new_element, old_element):
@@ -52,18 +162,85 @@ def _compatible(new_element, old_element):
     return False
 
 
-def hotswap(old_router, new_graph, mode=None, batch=None, validate=True, **router_kwargs):
+def _live_fastpaths(router):
+    """Every compiled :class:`FastPath` the router currently holds —
+    the plain fast path plus the adaptive engine's tiers — for use as
+    scoped-swap reuse donors or for chain accounting."""
+    paths = []
+    if getattr(router, "fastpath", None) is not None:
+        paths.append(router.fastpath)
+    engine = getattr(router, "adaptive", None)
+    if engine is not None:
+        for path in (engine.tier1, engine.profiled, engine.tier2_fp):
+            if path is not None:
+                paths.append(path)
+    return paths
+
+
+def _chain_totals(router):
+    """``(recompiled, reused, cache_hit)`` summed over the router's
+    compiled fast paths.  A codegen-cache hit replays the whole module
+    without re-emitting anything, so its chains all count as reused."""
+    recompiled = reused = 0
+    cache_hit = False
+    for path in _live_fastpaths(router):
+        report = path.report
+        total = report.push_chains + report.pull_chains
+        if report.cache_hit:
+            cache_hit = True
+            reused += total
+        else:
+            reused += report.reused_chains
+            recompiled += total - report.reused_chains
+    return recompiled, reused, cache_hit
+
+
+def hotswap(old_router, new_graph, profile=None, mode=None, batch=None,
+            validate=True, delta=None, **router_kwargs):
     """Two-phase-commit hot-swap: build a Router from ``new_graph``,
     transferring state from ``old_router`` for same-named compatible
-    elements and carrying the old router's execution mode (and adaptive
-    config, batch flavor, and supervision) unless overridden by ``mode``
-    / ``batch``.  On success the old router is retired and the new
-    router returned; on any failure a :class:`HotswapError` is raised
-    and the old router keeps serving, untouched."""
+    elements and carrying the old router's
+    :class:`~repro.runtime.profile.ExecutionProfile` (mode, batch
+    flavor, adaptive config, supervision) unless ``profile`` overrides
+    it.  The swap is scoped by ``delta`` (computed via
+    :func:`~repro.graph.diff.diff_graphs` when not supplied): compiled
+    chains that cannot touch a changed element are spliced from the old
+    router's fast paths instead of recompiled.  On success the old
+    router is retired and a :class:`SwapResult` returned; on any
+    failure a :class:`HotswapError` is raised and the old router keeps
+    serving, untouched.  ``mode`` / ``batch`` are deprecated; use
+    ``profile``."""
+    if mode is not None or batch is not None:
+        warnings.warn(
+            "hotswap(mode=..., batch=...) is deprecated; use "
+            "hotswap(..., profile=ExecutionProfile(...))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if profile is not None:
+            raise ValueError("pass profile or legacy mode/batch, not both")
+        base = old_router.profile
+        try:
+            profile = base.with_mode(
+                mode if mode is not None else base.mode, batch=batch
+            )
+        except ValueError as exc:
+            # The legacy signature promised HotswapError on a bad mode,
+            # with the old router untouched.
+            raise HotswapError(
+                "invalid execution mode for hot-swap; old router still "
+                "serving: %s" % exc
+            ) from exc
+    if profile is None:
+        profile = old_router.profile
+
     if new_graph.element_classes:
         from ..core.flatten import flatten
 
         new_graph = flatten(new_graph)
+
+    report = SwapReport("full-swap", profile=profile.label)
+    started = time.perf_counter()
 
     # Phase 1a: validate.  Everything check would reject, the kernel
     # installer would have rejected before touching the live router.
@@ -76,18 +253,26 @@ def hotswap(old_router, new_graph, mode=None, batch=None, validate=True, **route
                 "new configuration failed check; old router still serving:\n%s"
                 % collector.format()
             )
+    report.phases["validate"] = time.perf_counter() - started
 
-    if mode is None:
-        mode = old_router.mode
-    if batch is None:
-        batch = getattr(old_router, "_batch", False)
+    # The delta scopes the swap: chains of the new compile that cannot
+    # touch a dirty element are spliced from the old router's compiled
+    # fast paths.  An explicit delta (the control plane's) wins; without
+    # one, diff the graphs here.
+    old_graph = getattr(old_router, "graph", None)
+    if delta is None and old_graph is not None:
+        delta = diff_graphs(old_graph, new_graph)
+    if delta is not None:
+        report.kind = "scoped-swap"
+        report.delta = delta.summary()
+
     router_kwargs.setdefault("devices", old_router.devices)
     router_kwargs.setdefault("meter", old_router.meter)
-    router_kwargs.setdefault("adaptive_config", old_router._adaptive_config)
 
     # Phase 1b: build (reference mode first — state transfer happens on
-    # plain wiring; the carried mode compiles afterwards, over the
+    # plain wiring; the carried profile compiles afterwards, over the
     # transferred state).
+    started = time.perf_counter()
     try:
         new_router = Router(new_graph, **router_kwargs)
     except Exception as exc:
@@ -95,6 +280,7 @@ def hotswap(old_router, new_graph, mode=None, batch=None, validate=True, **route
             "building the new router failed; old router still serving: %s: %s"
             % (type(exc).__name__, exc)
         ) from exc
+    report.phases["build"] = time.perf_counter() - started
 
     # Phase 1b': carry fault injection (chaos harness).  Wrappers must be
     # installed before the carried mode compiles so the compiler sees
@@ -107,6 +293,7 @@ def hotswap(old_router, new_graph, mode=None, batch=None, validate=True, **route
     # Phase 1c: transfer state.  Handlers read the old element and
     # mutate only the new one, so a failure here abandons the half-built
     # new router without having disturbed the old.
+    started = time.perf_counter()
     transferred = []
     for name, new_element in new_router.elements.items():
         old_element = old_router.find(name)
@@ -124,23 +311,40 @@ def hotswap(old_router, new_graph, mode=None, batch=None, validate=True, **route
             ) from exc
         if took:
             transferred.append(name)
+    report.phases["transfer"] = time.perf_counter() - started
+    report.transferred = transferred
 
-    # Phase 1d: recompile the carried execution mode.
+    # Phase 1d: recompile the carried execution profile, offering the
+    # old router's compiled fast paths as scoped-reuse donors.
+    started = time.perf_counter()
+    donors = _live_fastpaths(old_router)
+    if delta is not None and donors:
+        new_router._fastpath_reuse = {
+            "fastpaths": donors,
+            "dirty": delta.dirty_names(),
+        }
     try:
-        if mode != "reference":
-            new_router.set_mode(mode, batch=batch)
-        if old_router.supervisor is not None:
-            new_router.attach_supervisor(old_router.supervisor.config)
+        new_router.configure(profile)
     except Exception as exc:
         raise HotswapError(
-            "compiling the new router (mode=%r) failed; old router still "
-            "serving: %s: %s" % (mode, type(exc).__name__, exc)
+            "compiling the new router (profile=%s) failed; old router still "
+            "serving: %s: %s" % (profile.label, type(exc).__name__, exc)
         ) from exc
+    finally:
+        if getattr(new_router, "_fastpath_reuse", None) is not None:
+            new_router._fastpath_reuse = None
+    report.phases["compile"] = time.perf_counter() - started
+    recompiled, reused, cache_hit = _chain_totals(new_router)
+    report.chains_recompiled = recompiled
+    report.chains_reused = reused
+    report.cache_hit = cache_hit
 
     # Phase 2: commit.
+    started = time.perf_counter()
     new_router.hotswap_transferred = transferred
     old_router.retire()
-    return new_router
+    report.phases["commit"] = time.perf_counter() - started
+    return SwapResult(new_router, report)
 
 
 # -- take_state implementations for the stateful elements ---------------------

@@ -48,6 +48,40 @@ class _IPRouteTable(Element):
         self._build()
         self.no_route_drops = 0
 
+    def check_routes(self, args):
+        """Parse and validate a replacement route table without touching
+        the live one: the control plane's dry-run half.  The new table
+        must fit the existing wiring (no route may select an unwired
+        output — a wiring change needs a hot-swap); a bad table raises
+        :class:`ConfigError`.  Returns the parsed routes for
+        :meth:`commit_routes`."""
+        if not args:
+            raise ConfigError("%s needs at least one route" % self.class_name)
+        routes = [_parse_route(arg) for arg in args]
+        noutputs = len(getattr(self, "_output_ports", ()))
+        if noutputs:
+            for arg, route in zip(args, routes):
+                if not 0 <= route[3] < noutputs:
+                    raise ConfigError(
+                        "route %r selects output %d; element %s has %d "
+                        "output(s) (a wiring change needs a hot-swap)"
+                        % (arg, route[3], self.name, noutputs)
+                    )
+        return routes
+
+    def commit_routes(self, routes):
+        """Install routes prepared by :meth:`check_routes`.  Cannot
+        fail: the staged-batch commit half."""
+        self.routes = routes
+        self._build()
+
+    def update_routes(self, args):
+        """Replace the route table in place on a *live* element — the
+        control plane's pure-data patch.  A bad update raises
+        :class:`ConfigError` before anything is applied, leaving the
+        running table untouched."""
+        self.commit_routes(self.check_routes(args))
+
     def _build(self):
         raise NotImplementedError
 
@@ -80,9 +114,16 @@ class LookupIPRoute(_IPRouteTable):
         # Sort by decreasing prefix specificity so the first hit is the
         # longest match.
         self._ordered = sorted(self.routes, key=lambda r: bin(r[1]).count("1"), reverse=True)
-        # The table is immutable after configure, so results can be
-        # memoized per destination (bounded; traffic reuses few).
-        self._memo = {}
+        # Results are memoized per destination (bounded; traffic reuses
+        # few).  The dict's *identity* must survive rebuilds: the fast
+        # path binds self._memo.get straight into generated code, so a
+        # control-plane route patch clears in place instead of
+        # reassigning.
+        memo = getattr(self, "_memo", None)
+        if memo is None:
+            self._memo = {}
+        else:
+            memo.clear()
 
     def lookup_route(self, addr):
         value = addr.value if type(addr) is IPAddress else IPAddress(addr).value

@@ -15,6 +15,7 @@ configuration's private class table before resolving class names.
 
 from __future__ import annotations
 
+import warnings
 from collections import ChainMap
 
 from ..errors import ClickSemanticError
@@ -56,16 +57,20 @@ class Router:
         extra_classes=None,
         meter=None,
         devices=None,
-        mode="reference",
-        batch=False,
+        profile=None,
+        mode=None,
+        batch=None,
         adaptive_config=None,
-        supervised=False,
+        supervised=None,
         supervisor_config=None,
     ):
+        profile = self._fold_legacy_kwargs(
+            profile, mode, batch, adaptive_config, supervised, supervisor_config
+        )
         self.graph = graph
         self.meter = meter
         self.adaptive = None
-        self._adaptive_config = adaptive_config
+        self._adaptive_config = None
         self.supervisor = None
         self.fault_injector = None
         self.retired = False
@@ -86,10 +91,42 @@ class Router:
         self._mode = "reference"
         self._batch = False
         self._build()
-        if mode != "reference":
-            self.set_mode(mode, batch=batch)
-        if supervised:
-            self.attach_supervisor(supervisor_config)
+        if profile is not None:
+            self.configure(profile)
+
+    @staticmethod
+    def _fold_legacy_kwargs(profile, mode, batch, adaptive_config, supervised, supervisor_config):
+        """Fold the pre-profile constructor keywords into an
+        :class:`ExecutionProfile`, warning on their use."""
+        legacy = (
+            mode is not None
+            or batch is not None
+            or adaptive_config is not None
+            or supervised is not None
+            or supervisor_config is not None
+        )
+        if not legacy:
+            return profile
+        if profile is not None:
+            raise ValueError(
+                "pass either profile= or the legacy mode/batch/adaptive_config/"
+                "supervised/supervisor_config keywords, not both"
+            )
+        warnings.warn(
+            "Router(mode=..., batch=..., supervised=...) is deprecated; use "
+            "Router(profile=ExecutionProfile(...))",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        from ..runtime.profile import ExecutionProfile
+
+        return ExecutionProfile(
+            mode=mode if mode is not None else "reference",
+            batch=bool(batch) if batch and mode in ("fast", "adaptive") else False,
+            adaptive=adaptive_config,
+            supervised=bool(supervised),
+            supervisor=supervisor_config,
+        )
 
     # -- construction ---------------------------------------------------------
 
@@ -191,7 +228,49 @@ class Router:
         self.fastpath = FastPath(self, batch=batch, cache=default_cache())
         return self.fastpath
 
-    def set_mode(self, mode, batch=False):
+    @property
+    def profile(self):
+        """The :class:`~repro.runtime.profile.ExecutionProfile` this
+        router currently runs under (reconstructed from live state, so
+        it survives shims, hot-swaps, and supervisor demotions)."""
+        from ..runtime.profile import ExecutionProfile
+
+        supervisor = self.supervisor
+        return ExecutionProfile(
+            mode=self._mode,
+            batch=self._batch,
+            adaptive=self._adaptive_config,
+            supervised=supervisor is not None,
+            supervisor=supervisor.config if supervisor is not None else None,
+        )
+
+    def configure(self, profile=None):
+        """Apply an :class:`~repro.runtime.profile.ExecutionProfile`:
+        the execution tier (compiling on first use), batch flavor,
+        adaptive configuration, and supervision, as one declarative
+        switch.  ``None`` means the default reference profile.  Returns
+        ``self``."""
+        from ..runtime.profile import ExecutionProfile
+
+        if profile is None:
+            profile = ExecutionProfile()
+        if not profile.supervised and self.supervisor is not None:
+            self.supervisor.detach()
+        if (
+            self.adaptive is not None
+            and profile.adaptive is not self._adaptive_config
+        ):
+            # A changed adaptive config must rebuild the engine, not be
+            # silently ignored by the mode switch below.
+            self.adaptive.uninstall()
+            self.adaptive = None
+        self._adaptive_config = profile.adaptive
+        self._set_mode(profile.mode, batch=profile.batch)
+        if profile.supervised:
+            self._attach_supervisor(profile.supervisor)
+        return self
+
+    def _set_mode(self, mode, batch=False):
         """Switch between the reference interpreter, the compiled fast
         path, and the adaptive tiered engine; compiles on first use
         (and on batch-flavor change)."""
@@ -205,7 +284,9 @@ class Router:
         if supervisor is not None:
             supervisor_config = supervisor.config
             supervisor.detach()
-        if self.adaptive is not None and mode != "adaptive":
+        if self.adaptive is not None and (
+            mode != "adaptive" or self.adaptive.batch != bool(batch)
+        ):
             self.adaptive.uninstall()
             self.adaptive = None
         if mode == "reference":
@@ -228,10 +309,20 @@ class Router:
         self._mode = mode
         self._batch = bool(batch) if mode != "reference" else False
         if supervisor is not None:
-            self.attach_supervisor(supervisor_config)
+            self._attach_supervisor(supervisor_config)
         return self
 
-    def attach_supervisor(self, config=None):
+    def set_mode(self, mode, batch=False):
+        """Deprecated shim for :meth:`configure`."""
+        warnings.warn(
+            "Router.set_mode is deprecated; use "
+            "Router.configure(ExecutionProfile(mode=..., batch=...))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._set_mode(mode, batch=batch)
+
+    def _attach_supervisor(self, config=None):
         """Attach (or re-attach) supervised execution: error boundaries
         around every compiled chain entry, tiered demotion, circuit
         breakers, and the task watchdog.  Returns the supervisor."""
@@ -242,6 +333,17 @@ class Router:
         supervisor = Supervisor(self, config=config)
         supervisor.attach()
         return supervisor
+
+    def attach_supervisor(self, config=None):
+        """Deprecated shim for :meth:`configure` with a supervised
+        profile."""
+        warnings.warn(
+            "Router.attach_supervisor is deprecated; use "
+            "Router.configure(profile.with_supervision(...))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._attach_supervisor(config)
 
     def detach_supervisor(self):
         """Remove supervision, restoring the unwrapped ports."""

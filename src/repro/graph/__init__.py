@@ -1,5 +1,6 @@
 """Router-configuration graphs and the manipulations tools share."""
 
+from .diff import ElementChange, GraphDelta, diff_graphs
 from .flow import FlowCode, FlowError
 from .ports import (
     AGNOSTIC,
@@ -26,6 +27,9 @@ from .visitor import (
 )
 
 __all__ = [
+    "diff_graphs",
+    "ElementChange",
+    "GraphDelta",
     "FlowCode",
     "FlowError",
     "AGNOSTIC",

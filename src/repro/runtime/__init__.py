@@ -9,6 +9,7 @@ move Morpheus and the NetKAT compiler make at runtime scale.
 from .adaptive import AdaptiveConfig, AdaptiveEngine, ProfileReport
 from .codegen_cache import CodegenCache, default_cache
 from .fastpath import ChainPolicy, FastPath, FastPathError, FastPathReport
+from .profile import ExecutionProfile
 from .supervisor import ResilienceReport, Supervisor, SupervisorConfig, SupervisorError
 
 __all__ = [
@@ -17,6 +18,7 @@ __all__ = [
     "ChainPolicy",
     "CodegenCache",
     "default_cache",
+    "ExecutionProfile",
     "FastPath",
     "FastPathError",
     "FastPathReport",

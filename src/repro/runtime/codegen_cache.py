@@ -25,6 +25,11 @@ Recipes (recorded by :meth:`FastPath._bind`) are small tuples:
     intern cache probe)
 ``("matcher", name)``
     the compiled classifier match function for the element's tree
+    (generated fast-classifier classes, whose tree is class-baked)
+``("cell", name)``
+    the element's one-slot matcher cell (``matcher_cell()``) — bound
+    for live-patchable classifiers so a control-plane rule update swaps
+    the function under cached code
 ``("ip", raw)``
     the interned :class:`IPAddress` for a raw destination value
 ``("table", index)``
@@ -60,7 +65,7 @@ from collections import OrderedDict
 
 __all__ = ["CacheEntry", "CodegenCache", "default_cache"]
 
-_DISK_MAGIC = "repro-codegen-cache-v1"
+_DISK_MAGIC = "repro-codegen-cache-v2"
 _ENTRY_FIELDS = (
     "source",
     "names",
@@ -70,6 +75,11 @@ _ENTRY_FIELDS = (
     "report_fields",
     "inlined_elements",
     "chain_lines",
+    "chain_sources",
+    "chain_binds",
+    "chain_tables",
+    "next_index",
+    "bind_counter",
 )
 
 
@@ -97,6 +107,8 @@ def _resolve_spec(spec, fastpath, tables):
         raise KeyError("unknown const recipe %r" % (spec[1],))
     if kind == "matcher":
         return _classifier_matcher(router.elements[spec[1]])
+    if kind == "cell":
+        return router.elements[spec[1]].matcher_cell()
     if kind == "ip":
         return _intern_dest_ip(spec[1])
     if kind == "table":
@@ -137,6 +149,11 @@ class CacheEntry:
         "report_fields",
         "inlined_elements",
         "chain_lines",
+        "chain_sources",
+        "chain_binds",
+        "chain_tables",
+        "next_index",
+        "bind_counter",
     )
 
     @classmethod
@@ -154,6 +171,13 @@ class CacheEntry:
         entry.report_fields = {name: getattr(report, name) for name in _REPORT_FIELDS}
         entry.inlined_elements = set(report.inlined_elements)
         entry.chain_lines = dict(report.chain_lines)
+        # The per-chain compile units, so a replayed fast path can serve
+        # as a scoped hot-swap's reuse donor just like a fresh compile.
+        entry.chain_sources = dict(fastpath._chain_sources)
+        entry.chain_binds = dict(fastpath._chain_binds)
+        entry.chain_tables = dict(fastpath._chain_tables)
+        entry.next_index = fastpath._next_index
+        entry.bind_counter = fastpath._bind_counter
         return entry
 
     def replay(self, fastpath):
@@ -188,6 +212,11 @@ class CacheEntry:
                     table.append(None)
                 else:
                     table.append(port.push)
+        fastpath._chain_sources = dict(self.chain_sources)
+        fastpath._chain_binds = dict(self.chain_binds)
+        fastpath._chain_tables = dict(self.chain_tables)
+        fastpath._next_index = self.next_index
+        fastpath._bind_counter = self.bind_counter
         report = fastpath.report
         for name, value in self.report_fields.items():
             setattr(report, name, value)

@@ -257,6 +257,7 @@ class FastPathReport:
         self.chain_lines = {}  # "push name[port]" chain label -> generated lines
         self.guarded_branches = 0
         self.pruned_arms = 0
+        self.reused_chains = 0  # chains spliced verbatim from a donor compile
 
     def as_dict(self):
         return {
@@ -279,6 +280,7 @@ class FastPathReport:
             "chain_lines": dict(sorted(self.chain_lines.items())),
             "guarded_branches": self.guarded_branches,
             "pruned_arms": self.pruned_arms,
+            "reused_chains": self.reused_chains,
         }
 
     def to_json(self):
@@ -304,10 +306,11 @@ class FastPathReport:
             "  specialized: %d terminals and %d actions compiled in place, "
             "%d redundant elements elided"
             % (self.specialized_terminals, self.specialized_actions, self.elided_elements),
-            "  compile: %.1f ms%s (policy: %s%s)"
+            "  compile: %.1f ms%s%s (policy: %s%s)"
             % (
                 self.compile_seconds * 1e3,
                 ", codegen-cache hit" if self.cache_hit else "",
+                ", %d chains reused" % self.reused_chains if self.reused_chains else "",
                 self.policy,
                 ", %d guarded branches, %d pruned arms"
                 % (self.guarded_branches, self.pruned_arms)
@@ -453,6 +456,17 @@ class FastPath:
         self._ctx_counter = 0
         self._code = None  # compiled module code object (for the cache)
         self._names = None  # chain key -> (fn name, batch fn name)
+        # Per-chain compile units, kept so a later scoped hot-swap can
+        # splice this module's untouched chains into its own compile
+        # (see _reuse_chain): source lines, the _bN names each chain
+        # bound, and the jump tables it registered.
+        self._chain_sources = {}  # chain key -> [source line, ...]
+        self._chain_binds = {}  # chain key -> [_bN name, ...]
+        self._chain_tables = {}  # chain key -> [_jump_tables index, ...]
+        self._current_chain_binds = None
+        self._current_chain_tables = None
+        self._bind_counter = 0
+        self._next_index = 0  # first free chain-function index
         self.report = FastPathReport()
         self.report.batch = self.batch
         self.report.metered = self.metered
@@ -493,6 +507,13 @@ class FastPath:
         self._ctx_counter = 0
         self._code = None
         self._names = None
+        self._chain_sources = {}
+        self._chain_binds = {}
+        self._chain_tables = {}
+        self._current_chain_binds = None
+        self._current_chain_tables = None
+        self._bind_counter = 0
+        self._next_index = 0
         report = FastPathReport()
         report.batch = self.batch
         report.metered = self.metered
@@ -600,12 +621,26 @@ class FastPath:
         the same slot against a fresh router (see
         :mod:`repro.runtime.codegen_cache`); binding anything without a
         recipe makes this compile uncacheable."""
-        name = "_b%d" % len(self._bind_specs)
+        name = "_b%d" % self._bind_counter
+        self._bind_counter += 1
         self._namespace[name] = value
         self._bind_specs[name] = spec
         if spec is None:
             self._cacheable = False
+        if self._current_chain_binds is not None:
+            self._current_chain_binds.append(name)
         return name
+
+    def _register_jump_table(self, terminal, mode):
+        """A fresh terminal jump table (filled after exec), recorded
+        against the chain currently being emitted so a scoped hot-swap
+        can rebuild the table when it splices the chain."""
+        table = []
+        self._jump_tables.append((table, terminal, mode))
+        index = len(self._jump_tables) - 1
+        if self._current_chain_tables is not None:
+            self._current_chain_tables.append(index)
+        return table, index
 
     def _bind_policy(self, token):
         """Bind the live object behind a policy token."""
@@ -650,12 +685,22 @@ class FastPath:
         policy = self.policy
         cls = type(terminal)
         if cls.push is _TreeClassifier.push or cls.push is FastClassifierBase.push:
-            matcher = _classifier_matcher(terminal)
-            table = []
-            self._jump_tables.append((table, terminal, "plain"))
-            m = new_arg(matcher, ("matcher", terminal.name))
+            table, table_index = self._register_jump_table(terminal, "plain")
+            if cls.push is FastClassifierBase.push:
+                # Generated classes bake the tree at class level; a rule
+                # change arrives as a new class (structural), so the raw
+                # matcher function can be bound directly.
+                m = new_arg(_classifier_matcher(terminal), ("matcher", terminal.name))
+                match_expr = "%s(data)" % m
+            else:
+                # Live-patchable rules: bind the element's one-slot
+                # matcher cell, so a control-plane rule patch swaps the
+                # function under this chain without recompiling it (one
+                # extra subscript per packet, amortized by the probe).
+                m = new_arg(terminal.matcher_cell(), ("cell", terminal.name))
+                match_expr = "%s[0](data)" % m
             c = new_arg(terminal, ("elem", terminal.name))
-            jt = new_arg(table, ("table", len(self._jump_tables) - 1))
+            jt = new_arg(table, ("table", table_index))
             noutputs = terminal.noutputs
             nports = len(terminal._output_ports)
             order = [i for i in policy.branch_order(terminal, nports)]
@@ -710,7 +755,7 @@ class FastPath:
                     inner = pad + "    "
                     if miss is not None:
                         lines.append(inner + "%s()" % miss)
-                lines.append(inner + "out = %s(data)" % m)
+                lines.append(inner + "out = %s" % match_expr)
                 if note_name is not None:
                     lines.append(inner + "%s(out, data)" % note_name)
                 kw = "if"
@@ -733,11 +778,10 @@ class FastPath:
         if cls.push is _IPRouteTable.push:
             from ..elements.routing import LookupIPRoute
 
-            table = []
-            self._jump_tables.append((table, terminal, "checked"))
+            table, table_index = self._register_jump_table(terminal, "checked")
             lk = new_arg(terminal.lookup_route, ("attr", terminal.name, ("lookup_route",)))
             e = new_arg(terminal, ("elem", terminal.name))
-            jt = new_arg(table, ("table", len(self._jump_tables) - 1))
+            jt = new_arg(table, ("table", table_index))
             nports = len(terminal._output_ports)
             rm = ms = None
             if cls.lookup_route is LookupIPRoute.lookup_route:
@@ -1549,6 +1593,126 @@ class FastPath:
         report.inlined_elements.update(info.inlined)
         report.longest_chain = max(report.longest_chain, len(stages))
 
+    # -- scoped chain reuse ------------------------------------------------------
+
+    def _reuse_plan(self):
+        """The ``(donor fastpath, dirty name set)`` a scoped hot-swap
+        offered via ``router._fastpath_reuse``, or ``(None, None)`` when
+        no donor is compatible.  A donor must match this compile's batch
+        flavor and policy cache key, carry per-chain compile units, and
+        neither side may be metered or fault-wrapped (a wrapper lives on
+        element *instances*, which spliced code would bypass)."""
+        hint = getattr(self.router, "_fastpath_reuse", None)
+        if not hint or self.metered:
+            return None, None
+        if getattr(self.router, "_fault_uncacheable", False):
+            return None, None
+        try:
+            policy_key = self.policy.cache_key()
+        except Exception:  # noqa: BLE001 - an odd policy just declines reuse
+            return None, None
+        if policy_key is None:
+            return None, None
+        dirty = set(hint.get("dirty", ()))
+        for donor in hint.get("fastpaths", ()):
+            if donor is None or donor is self or donor.metered:
+                continue
+            if donor.batch != self.batch or not donor._chain_sources:
+                continue
+            if getattr(donor.router, "_fault_uncacheable", False):
+                continue
+            try:
+                if donor.policy.cache_key() != policy_key:
+                    continue
+            except Exception:  # noqa: BLE001
+                continue
+            return donor, dirty
+        return None, None
+
+    def _chain_closure(self, name, kind):
+        """Every element name the compiled chain anchored at ``name``
+        can touch: forward over push targets for push chains (dispatch
+        fusion and jump tables only ever reach downstream), backward
+        over pull sources for pull chains.  Neither crosses a push/pull
+        boundary (a Queue's other side has no target/source edge)."""
+        closure = set()
+        frontier = [name]
+        elements = self.router.elements
+        while frontier:
+            current = frontier.pop()
+            if current in closure:
+                continue
+            closure.add(current)
+            element = elements.get(current)
+            if element is None:
+                continue
+            if kind == "push":
+                for port in element._output_ports:
+                    if port.target is not None:
+                        frontier.append(port.target.name)
+            else:
+                for port in element._input_ports:
+                    if port.source is not None:
+                        frontier.append(port.source.name)
+        return closure
+
+    def _chain_reusable(self, key, donor, dirty, closures):
+        """May ``donor``'s compile of chain ``key`` be spliced verbatim?
+        Yes when the donor has its compile unit, every object it bound
+        has a replay recipe, and no element the chain can touch is in
+        the delta's dirty set (untouched closure ⇒ identical generated
+        code, only the bound objects need re-resolving)."""
+        if key not in donor.chains or key not in donor._chain_sources:
+            return False
+        binds = donor._chain_binds.get(key)
+        if binds is None or any(donor._bind_specs.get(name) is None for name in binds):
+            return False
+        kind, name, _port = key
+        closure = closures.get((kind, name))
+        if closure is None:
+            closure = closures[(kind, name)] = self._chain_closure(name, kind)
+        return not (closure & dirty)
+
+    def _reuse_chain(self, key, donor, lines, names):
+        """Splice one untouched chain from ``donor``'s module into this
+        compile: its source lines verbatim, its ``_bN`` bind slots
+        (re-resolved against this router before exec), and fresh jump
+        tables for the ones it registered.  Returns the ``(name, spec)``
+        bind slots the caller must resolve into the namespace."""
+        lines.extend(donor._chain_sources[key])
+        table_map = {}
+        for old_index in donor._chain_tables.get(key, ()):
+            _table, old_element, mode = donor._jump_tables[old_index]
+            table, new_index = self._register_jump_table(
+                self.router.elements[old_element.name], mode
+            )
+            table_map[old_index] = new_index
+        bind_names = list(donor._chain_binds[key])
+        reused_binds = []
+        for name in bind_names:
+            spec = donor._bind_specs[name]
+            if spec[0] == "table":
+                spec = ("table", table_map[spec[1]])
+            self._bind_specs[name] = spec
+            reused_binds.append((name, spec))
+        names[key] = donor._names[key]
+        info = donor.chains[key]
+        self.chains[key] = info
+        self._chain_sources[key] = donor._chain_sources[key]
+        self._chain_binds[key] = bind_names
+        self._chain_tables[key] = sorted(table_map.values())
+        report = self.report
+        report.reused_chains += 1
+        report.chain_lines["%s %s[%d]" % key] = info.lines
+        if info.kind == "push":
+            report.push_chains += 1
+        else:
+            report.pull_chains += 1
+        report.inlined_calls += len(info.inlined)
+        report.inlined_elements.update(info.inlined)
+        report.longest_chain = max(report.longest_chain, len(info.inlined) + 1)
+        return reused_binds
+
     def _compile(self):
         lines = [
             '"""Generated by repro.runtime.fastpath: one function per wired',
@@ -1556,29 +1720,62 @@ class FastPath:
             'Router.compile_fastpath().  Dump via router.fastpath.source."""',
         ]
         names = {}  # chain key -> (fn name, batch fn name)
+        donor, dirty = self._reuse_plan()
         index = 0
+        if donor is not None:
+            # Fresh chains number from the donor's watermark and bind
+            # slots continue from its counter, so spliced code (which
+            # keeps its original _push_N/_bN names) never collides.
+            index = donor._next_index
+            self._bind_counter = donor._bind_counter
+        closures = {}  # (kind, element name) -> touchable-name closure
+        reused_binds = []  # (_bN name, spec) to resolve before exec
         for element in self.router.elements.values():
             for port_index, port in enumerate(element._output_ports):
                 if port.target is None:
                     continue
-                names[("push", element.name, port_index)] = self._emit_push(
-                    lines, index, element, port_index
-                )
+                key = ("push", element.name, port_index)
+                if donor is not None and self._chain_reusable(key, donor, dirty, closures):
+                    reused_binds.extend(self._reuse_chain(key, donor, lines, names))
+                    continue
+                self._current_chain_binds = []
+                self._current_chain_tables = []
+                start = len(lines)
+                names[key] = self._emit_push(lines, index, element, port_index)
+                self._chain_sources[key] = lines[start:]
+                self._chain_binds[key] = self._current_chain_binds
+                self._chain_tables[key] = self._current_chain_tables
                 index += 1
             for port_index, port in enumerate(element._input_ports):
                 if port.source is None:
                     continue
-                names[("pull", element.name, port_index)] = self._emit_pull(
-                    lines, index, element, port_index
-                )
+                key = ("pull", element.name, port_index)
+                if donor is not None and self._chain_reusable(key, donor, dirty, closures):
+                    reused_binds.extend(self._reuse_chain(key, donor, lines, names))
+                    continue
+                self._current_chain_binds = []
+                self._current_chain_tables = []
+                start = len(lines)
+                names[key] = self._emit_pull(lines, index, element, port_index)
+                self._chain_sources[key] = lines[start:]
+                self._chain_binds[key] = self._current_chain_binds
+                self._chain_tables[key] = self._current_chain_tables
                 index += 1
             wired_outputs = sum(1 for p in element._output_ports if p.target is not None)
             if wired_outputs > 1:
                 self.report.branch_elements += 1
                 self.report.branch_ports += wired_outputs
+        self._current_chain_binds = None
+        self._current_chain_tables = None
+        self._next_index = index
         self.source = "\n".join(lines) + "\n"
         self.report.source_lines = self.source.count("\n")
         code = compile(self.source, "<fastpath>", "exec")
+        if reused_binds:
+            from .codegen_cache import _resolve_spec
+
+            for name, spec in reused_binds:
+                self._namespace[name] = _resolve_spec(spec, self, self._jump_tables)
         exec(code, self._namespace)  # noqa: S102 - code generated above
         self._code = code
         self._names = names

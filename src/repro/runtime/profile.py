@@ -1,0 +1,127 @@
+"""Execution profiles: one immutable value describing *how* a router
+runs.
+
+Five PRs grew the execution-mode surface one keyword at a time —
+``set_mode(mode, batch)``, ``compile_fastpath(batch)``,
+``attach_supervisor(config)``, ``hotswap(mode=, batch=,
+**router_kwargs)`` — until every harness had to thread four loose
+arguments through every layer.  :class:`ExecutionProfile` replaces the
+sprawl: a frozen dataclass carrying the mode, the batch flavor, the
+adaptive-engine configuration, and the supervision configuration, so a
+whole execution regime travels as a single value.  ``Router.configure``
+applies one; ``Router.profile`` reads the current one back; hot-swap and
+the control plane carry one across router generations.
+
+The legacy entry points (``Router.set_mode``,
+``Router.attach_supervisor``, the loose ``Router(mode=...)``
+constructor keywords) survive as thin shims that emit
+``DeprecationWarning`` — the test suite promotes those to errors, so
+in-tree code cannot regress onto them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from .adaptive import AdaptiveConfig
+from .supervisor import SupervisorConfig
+
+__all__ = ["ExecutionProfile"]
+
+MODES = ("reference", "fast", "adaptive")
+
+
+@dataclass(frozen=True)
+class ExecutionProfile:
+    """How a router executes: interpretation tier, batch flavor,
+    adaptive-engine tuning, and supervision.
+
+    Immutable and hashable-by-parts, so it can be carried across
+    hot-swaps, stored in reports, and compared for equality.  Use
+    :func:`dataclasses.replace` (or the ``with_*`` helpers) to derive
+    variants.
+    """
+
+    mode: str = "reference"
+    batch: bool = False
+    adaptive: AdaptiveConfig | None = None
+    supervised: bool = False
+    supervisor: SupervisorConfig | None = None
+
+    def __post_init__(self):
+        if self.mode not in MODES:
+            raise ValueError(
+                "mode must be one of %s, not %r" % ("/".join(MODES), self.mode)
+            )
+        if self.batch and self.mode == "reference":
+            raise ValueError("batch dispatch requires mode 'fast' or 'adaptive'")
+        if self.adaptive is not None and not isinstance(self.adaptive, AdaptiveConfig):
+            raise TypeError("adaptive must be an AdaptiveConfig or None")
+        if self.supervisor is not None:
+            if not isinstance(self.supervisor, SupervisorConfig):
+                raise TypeError("supervisor must be a SupervisorConfig or None")
+            # A supervision config implies supervision: normalize so
+            # profile equality never depends on a redundant flag.
+            object.__setattr__(self, "supervised", True)
+        object.__setattr__(self, "batch", bool(self.batch))
+        object.__setattr__(self, "supervised", bool(self.supervised))
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def reference(cls, **kwargs):
+        """The interpreting oracle."""
+        return cls(mode="reference", **kwargs)
+
+    @classmethod
+    def fast(cls, batch=False, **kwargs):
+        """The compiled fast path (optionally batched)."""
+        return cls(mode="fast", batch=batch, **kwargs)
+
+    @classmethod
+    def tiered(cls, config=None, batch=False, **kwargs):
+        """The adaptive tiered engine, optionally tuned by an
+        :class:`AdaptiveConfig`."""
+        return cls(mode="adaptive", adaptive=config, batch=batch, **kwargs)
+
+    # -- derivation --------------------------------------------------------
+
+    def with_supervision(self, config=None):
+        """This profile, supervised (optionally with an explicit
+        :class:`SupervisorConfig`)."""
+        return replace(self, supervised=True, supervisor=config)
+
+    def without_supervision(self):
+        return replace(self, supervised=False, supervisor=None)
+
+    def with_mode(self, mode, batch=None):
+        """This profile running under a different execution tier."""
+        batch = self.batch if batch is None else bool(batch)
+        if mode == "reference":
+            batch = False
+        return replace(self, mode=mode, batch=batch)
+
+    # -- presentation ------------------------------------------------------
+
+    @property
+    def label(self):
+        """A compact human-readable tag, e.g. ``adaptive+batch+supervised``."""
+        parts = [self.mode]
+        if self.batch:
+            parts.append("batch")
+        if self.supervised:
+            parts.append("supervised")
+        return "+".join(parts)
+
+    def as_dict(self):
+        """JSON-safe summary (configs by presence, not by value)."""
+        return {
+            "mode": self.mode,
+            "batch": self.batch,
+            "adaptive": self.adaptive is not None,
+            "supervised": self.supervised,
+            "supervisor": self.supervisor is not None,
+        }
+
+    def __str__(self):
+        return self.label

@@ -24,6 +24,7 @@ from ..core.toolchain import load_config, save_config
 from ..core.xform import PatternPair, xform
 from ..elements.devices import LoopbackDevice
 from ..elements.runtime import Router
+from ..runtime.profile import ExecutionProfile
 from ..net.headers import build_ether_udp_packet
 from . import fluid
 from .cpu import CycleMeter
@@ -164,20 +165,24 @@ class Testbed:
     # -- CPU measurement (Figures 8 and 9) ------------------------------------------
 
     def build_router(
-        self, graph, meter=None, mode="reference", batch=False, adaptive_config=None
+        self,
+        graph,
+        meter=None,
+        profile=None,
+        mode="reference",
+        batch=False,
+        adaptive_config=None,
     ):
+        if profile is None:
+            if mode == "adaptive":
+                profile = ExecutionProfile.tiered(config=adaptive_config, batch=batch)
+            else:
+                profile = ExecutionProfile(mode=mode, batch=batch)
         devices = {
             interface.device: LoopbackDevice(interface.device, tx_capacity=1 << 30)
             for interface in self.interfaces
         }
-        router = Router(
-            graph,
-            meter=meter,
-            devices=devices,
-            mode=mode,
-            batch=batch,
-            adaptive_config=adaptive_config,
-        )
+        router = Router(graph, meter=meter, devices=devices, profile=profile)
         self._seed_arp(router)
         return router, devices
 
@@ -187,17 +192,22 @@ class Testbed:
             if arpq is not None and hasattr(arpq, "insert"):
                 arpq.insert(host_ip(index), HOST_ETHERS[index])
 
-    def measure_cpu(self, variant, packets=2000, warmup=64, mode="reference", batch=False):
+    def measure_cpu(
+        self, variant, packets=2000, warmup=64, mode="reference", batch=False, profile=None
+    ):
         """Run the evaluation workload through the real router under the
         cycle meter; returns a CPUReport of ns/packet by category.
 
         ``mode="fast"`` measures under the compiled fast path — for a
         single packet the charges are identical to the reference
         interpreter's; ``batch=True`` additionally models how bursts
-        ride the branch predictor."""
+        ride the branch predictor.  ``profile`` overrides both with a
+        full :class:`~repro.runtime.profile.ExecutionProfile`."""
         graph = self.variant_graph(variant)
         meter = CycleMeter()
-        router, devices = self.build_router(graph, meter=meter, mode=mode, batch=batch)
+        router, devices = self.build_router(
+            graph, meter=meter, profile=profile, mode=mode, batch=batch
+        )
 
         # Warm the caches/predictors outside the measurement, as the
         # paper's 10-second runs amortize cold starts.

@@ -24,6 +24,10 @@ Events are small lists so cases round-trip through JSON repro files:
   transferring queue/ARP/counter state and carrying the execution mode;
   a valid differential event because the swap preserves observable state
   in every mode
+- ``["update"]`` / ``["update", CONFIG]`` — install the configuration as
+  an incremental control-plane update (:mod:`repro.control`): pure data
+  deltas patch tables in place, structural deltas run a delta-scoped
+  hot-swap; both must match a full rebuild bit for bit in every mode
 
 Cases may also carry a fault plan (see :mod:`repro.sim.faults` and
 :mod:`repro.verify.chaos`): ``run_case(..., plan=..., supervised=True)``
@@ -45,6 +49,7 @@ from ..core.toolchain import load_config, save_config
 from ..elements.devices import LoopbackDevice
 from ..elements.runtime import build_router
 from ..runtime.adaptive import AdaptiveConfig
+from ..runtime.profile import ExecutionProfile
 
 #: Mode label -> (Router mode, batch flavor).  ``batch`` is the batched
 #: fast path; a forced mid-run deopt rides in as a ``["deopt"]`` event.
@@ -60,6 +65,20 @@ MODES = OrderedDict(
 #: Eager promotion thresholds so small fuzz traces still cross the
 #: tier-1 -> tier-2 transition (mirrors the equivalence tests).
 EAGER = dict(threshold=48, sample=4, min_samples=12)
+
+
+def mode_profile(mode, supervised=False):
+    """The :class:`~repro.runtime.profile.ExecutionProfile` the oracle
+    runs a mode label under (eager adaptive thresholds included, so
+    short fuzz traces still cross the tier transition)."""
+    router_mode, batch = MODES[mode]
+    if router_mode == "adaptive":
+        profile = ExecutionProfile.tiered(config=AdaptiveConfig(**EAGER))
+    else:
+        profile = ExecutionProfile(mode=router_mode, batch=batch)
+    if supervised:
+        profile = profile.with_supervision()
+    return profile
 
 _DEVICE_CLASSES = ("PollDevice", "ToDevice")
 
@@ -127,7 +146,19 @@ def _execute(router, devices, events, config_text=None, injector=None):
 
             text = event[1] if len(event) > 1 else config_text
             if text is not None:
-                router = hotswap(router, load_config(text, "<hotswap>"))
+                router = hotswap(router, load_config(text, "<hotswap>")).router
+        elif kind == "update":
+            # An incremental control-plane update: routed in place or
+            # through a delta-scoped swap by ControlPlane.  A valid
+            # differential event because both installation paths must
+            # preserve observable state in every mode.
+            from ..control import ControlPlane
+
+            text = event[1] if len(event) > 1 else config_text
+            if text is not None:
+                plane = ControlPlane(router)
+                plane.apply(text)
+                router = plane.router
         else:
             raise ValueError("unknown fuzz event %r" % (kind,))
     return router
@@ -150,16 +181,28 @@ def observe(router, devices):
     return {"transmitted": transmitted, "counters": counters}
 
 
-def run_case(case, mode, config_text=None, plan=None, supervised=False, collect=None):
+def run_case(
+    case,
+    mode,
+    config_text=None,
+    plan=None,
+    supervised=False,
+    collect=None,
+    profile=None,
+):
     """Run one case under one mode; returns ``("ok", observation)`` or
     ``("error", [exception type name, message])``.  ``config_text``
     overrides the case's config (the optimized-axis text).  ``plan`` is
     an optional :class:`repro.sim.faults.FaultPlan` injected under the
     router; ``supervised`` attaches the resilient supervisor; ``collect``
-    is called with the final router (for resilience reports)."""
+    is called with the final router (for resilience reports).
+    ``profile`` overrides the mode-derived
+    :class:`~repro.runtime.profile.ExecutionProfile` outright."""
     text = case["config"] if config_text is None else config_text
-    router_mode, batch = MODES[mode]
-    adaptive_config = AdaptiveConfig(**EAGER) if router_mode == "adaptive" else None
+    if profile is None:
+        profile = mode_profile(mode, supervised=supervised)
+    elif supervised and not profile.supervised:
+        profile = profile.with_supervision()
     try:
         devices = {
             name: LoopbackDevice(name, tx_capacity=1 << 30)
@@ -171,19 +214,12 @@ def run_case(case, mode, config_text=None, plan=None, supervised=False, collect=
 
             injector = FaultInjector(plan)
             devices = injector.wrap_devices(devices)
-        # Build in reference mode, wire faults, then compile the target
-        # mode — the compiler must see the fault wrappers.
-        router = build_router(
-            load_config(text, "<fuzz>"),
-            devices=devices,
-            adaptive_config=adaptive_config,
-        )
+        # Build in reference mode, wire faults, then apply the target
+        # profile — the compiler must see the fault wrappers.
+        router = build_router(load_config(text, "<fuzz>"), devices=devices)
         if injector is not None:
             injector.prepare_router(router)
-        if router_mode != "reference":
-            router.set_mode(router_mode, batch=batch)
-        if supervised:
-            router.attach_supervisor()
+        router.configure(profile)
         router = _execute(
             router, devices, case["events"], config_text=text, injector=injector
         )

@@ -24,7 +24,7 @@ class TestHotswap:
         old = Router(parse_graph(self.BASE))
         for tag in (b"a", b"b", b"c"):
             old.push_packet("c", 0, Packet(tag))
-        new = hotswap_router(old, parse_graph(self.EXTENDED))
+        new = hotswap_router(old, parse_graph(self.EXTENDED)).router
         assert [new["q"].pull(0).data for _ in range(3)] == [b"a", b"b", b"c"]
         assert "q" in new.hotswap_transferred
 
@@ -32,7 +32,7 @@ class TestHotswap:
         old = Router(parse_graph(self.BASE))
         for _ in range(5):
             old.push_packet("c", 0, Packet(b"x"))
-        new = hotswap_router(old, parse_graph(self.EXTENDED))
+        new = hotswap_router(old, parse_graph(self.EXTENDED)).router
         assert new["c"].count == 5
 
     def test_excess_queue_contents_dropped_into_drop_counter(self):
@@ -40,7 +40,7 @@ class TestHotswap:
         for index in range(6):
             old.push_packet("c", 0, Packet(bytes([index])))
         small = self.BASE.replace("Queue(8)", "Queue(4)")
-        new = hotswap_router(old, parse_graph(small))
+        new = hotswap_router(old, parse_graph(small)).router
         assert len(new["q"]) == 4
         assert new["q"].drops == 2
 
@@ -55,7 +55,7 @@ class TestHotswap:
         old, devices = testbed.build_router(testbed.base_graph())
         old["arpq0"].insert("1.0.0.77", "00:11:22:33:44:55")
         optimized = load_config(save_config(devirtualize(testbed.base_graph())))
-        new = hotswap_router(old, optimized)
+        new = hotswap_router(old, optimized).router
         assert new["arpq0"].table[0x0100004D] == "00:11:22:33:44:55"
         assert new["arpq0"].devirtualized
 
@@ -63,14 +63,14 @@ class TestHotswap:
         old = Router(parse_graph(self.BASE))
         old.push_packet("c", 0, Packet(b"x"))
         renamed = self.BASE.replace("c :: Counter", "c2 :: Counter").replace("f -> c ", "f -> c2 ")
-        new = hotswap_router(old, parse_graph(renamed))
+        new = hotswap_router(old, parse_graph(renamed)).router
         assert new["c2"].count == 0
 
     def test_incompatible_classes_not_transferred(self):
         old = Router(parse_graph("f :: Idle; c :: Counter; f -> c -> Discard;"))
         old.push_packet("c", 0, Packet(b"x"))
         new_graph = parse_graph("f :: Idle; c :: Paint(1); f -> c -> Discard;")
-        new = hotswap_router(old, new_graph)
+        new = hotswap_router(old, new_graph).router
         assert "c" not in new.hotswap_transferred
 
 

@@ -1,15 +1,18 @@
 """Tests for the transactional (two-phase-commit) hot-swap: execution
-mode carry, rollback on every failure path, and the stateful edge cases
-(queue shrink under a compiled mode, ARP pending transfer under churn)."""
+profile carry, rollback on every failure path, the stateful edge cases
+(queue shrink under a compiled mode, ARP pending transfer under churn),
+and the SwapResult/SwapReport surface with its legacy attribute-proxy
+shim."""
 
 import pytest
 
-from repro.elements import HotswapError, Router, hotswap_router
+from repro.elements import HotswapError, Router, SwapReport, SwapResult, hotswap_router
 from repro.elements.hotswap import _counter_take_state
 from repro.elements.infrastructure import Counter
 from repro.lang.build import parse_graph
 from repro.net.headers import build_arp_reply
 from repro.net.packet import Packet
+from repro.runtime import ExecutionProfile
 from repro.runtime.adaptive import AdaptiveConfig
 
 BASE = (
@@ -27,11 +30,11 @@ ARP = (
 )
 
 
-class TestModeCarry:
+class TestProfileCarry:
     def test_fast_mode_carried_and_recompiled(self):
-        old = Router(parse_graph(BASE), mode="fast")
+        old = Router(parse_graph(BASE), profile=ExecutionProfile.fast())
         old.push_packet("c", 0, Packet(b"a"))
-        new = hotswap_router(old, parse_graph(EXTENDED))
+        new = hotswap_router(old, parse_graph(EXTENDED)).router
         assert new.mode == "fast"
         assert new.fastpath is not None and new.fastpath.installed
         assert old.retired
@@ -43,37 +46,89 @@ class TestModeCarry:
         assert len(new["q"]) == 2
 
     def test_batch_flavor_carried(self):
-        old = Router(parse_graph(BASE), mode="fast", batch=True)
-        new = hotswap_router(old, parse_graph(EXTENDED))
+        old = Router(parse_graph(BASE), profile=ExecutionProfile.fast(batch=True))
+        new = hotswap_router(old, parse_graph(EXTENDED)).router
         assert new.mode == "fast"
-        assert new._batch is True
+        assert new.profile == ExecutionProfile.fast(batch=True)
         assert new.fastpath.batch is True
 
     def test_adaptive_mode_and_config_carried(self):
         config = AdaptiveConfig(threshold=48, sample=4, min_samples=12)
-        old = Router(parse_graph(BASE), mode="adaptive", adaptive_config=config)
-        new = hotswap_router(old, parse_graph(EXTENDED))
+        old = Router(parse_graph(BASE), profile=ExecutionProfile.tiered(config=config))
+        new = hotswap_router(old, parse_graph(EXTENDED)).router
         assert new.mode == "adaptive"
         assert new.adaptive is not None
         assert new._adaptive_config is config
 
     def test_supervision_carried(self):
-        old = Router(parse_graph(BASE), mode="fast", supervised=True)
+        old = Router(
+            parse_graph(BASE), profile=ExecutionProfile.fast().with_supervision()
+        )
         config = old.supervisor.config
-        new = hotswap_router(old, parse_graph(EXTENDED))
+        new = hotswap_router(old, parse_graph(EXTENDED)).router
         assert new.supervisor is not None and new.supervisor.attached
         assert new.supervisor.config is config
         assert old.supervisor is None  # retire() detached the old one
 
-    def test_explicit_mode_override(self):
-        old = Router(parse_graph(BASE), mode="fast")
-        new = hotswap_router(old, parse_graph(EXTENDED), mode="reference")
+    def test_explicit_profile_override(self):
+        old = Router(parse_graph(BASE), profile=ExecutionProfile.fast())
+        new = hotswap_router(
+            old, parse_graph(EXTENDED), profile=ExecutionProfile.reference()
+        ).router
         assert new.mode == "reference"
 
     def test_retired_router_is_inert(self):
-        old = Router(parse_graph(BASE), mode="fast")
+        old = Router(parse_graph(BASE), profile=ExecutionProfile.fast())
         hotswap_router(old, parse_graph(EXTENDED))
         assert old.run_tasks(4) == 0
+
+
+class TestSwapResultSurface:
+    def test_result_carries_router_and_report(self):
+        old = Router(parse_graph(BASE), profile=ExecutionProfile.fast())
+        old.push_packet("c", 0, Packet(b"a"))
+        result = hotswap_router(old, parse_graph(EXTENDED))
+        assert isinstance(result, SwapResult)
+        assert isinstance(result.report, SwapReport)
+        assert result.router.mode == "fast"
+        report = result.report
+        # Same graph modulo one spliced element: the diff scopes the swap.
+        assert report.kind == "scoped-swap"
+        assert report.profile == "fast"
+        assert "c" in report.transferred
+        assert set(report.phases) == {
+            "validate",
+            "build",
+            "transfer",
+            "compile",
+            "commit",
+        }
+        assert report.total_seconds == pytest.approx(sum(report.phases.values()))
+        payload = report.as_dict()
+        assert payload["kind"] == "scoped-swap"
+        assert payload["chains_recompiled"] == report.chains_recompiled
+        assert "scoped-swap" in report.format()
+
+    def test_identical_swap_reuses_chains(self):
+        old = Router(parse_graph(BASE), profile=ExecutionProfile.fast())
+        result = hotswap_router(old, parse_graph(BASE))
+        report = result.report
+        assert report.chains_reused > 0
+
+    def test_legacy_attribute_proxy_warns(self):
+        old = Router(parse_graph(BASE), profile=ExecutionProfile.fast())
+        result = hotswap_router(old, parse_graph(EXTENDED))
+        with pytest.warns(DeprecationWarning, match="SwapResult"):
+            assert result.mode == "fast"
+        with pytest.warns(DeprecationWarning, match="SwapResult"):
+            result.push_packet("c", 0, Packet(b"x"))
+        assert result.router["c"].count == 1
+
+    def test_legacy_mode_kwarg_warns_and_works(self):
+        old = Router(parse_graph(BASE), profile=ExecutionProfile.fast())
+        with pytest.warns(DeprecationWarning, match="deprecated; use"):
+            result = hotswap_router(old, parse_graph(EXTENDED), mode="reference")
+        assert result.router.mode == "reference"
 
 
 class TestRollback:
@@ -84,7 +139,7 @@ class TestRollback:
         assert router["c"].count == before + 1
 
     def test_failed_check_leaves_old_serving(self):
-        old = Router(parse_graph(BASE), mode="fast")
+        old = Router(parse_graph(BASE), profile=ExecutionProfile.fast())
         old.push_packet("c", 0, Packet(b"x"))
         bad = parse_graph("f :: Idle; c :: Counter; f -> c;")  # unconnected output
         with pytest.raises(HotswapError, match="failed check"):
@@ -106,7 +161,7 @@ class TestRollback:
         self._serving(old)
 
     def test_failed_state_transfer_rolls_back(self):
-        old = Router(parse_graph(BASE), mode="fast")
+        old = Router(parse_graph(BASE), profile=ExecutionProfile.fast())
         for tag in (b"a", b"b"):
             old.push_packet("c", 0, Packet(tag))
 
@@ -124,22 +179,23 @@ class TestRollback:
         assert [p.data for p in list(old["q"]._deque)] == [b"a", b"b"]
         self._serving(old)
 
-    def test_invalid_mode_rolls_back(self):
+    def test_invalid_legacy_mode_rolls_back(self):
         old = Router(parse_graph(BASE))
         old.push_packet("c", 0, Packet(b"x"))
-        with pytest.raises(HotswapError, match="mode"):
-            hotswap_router(old, parse_graph(EXTENDED), mode="warp-speed")
+        with pytest.warns(DeprecationWarning, match="deprecated; use"):
+            with pytest.raises(HotswapError, match="mode"):
+                hotswap_router(old, parse_graph(EXTENDED), mode="warp-speed")
         assert not old.retired
         self._serving(old)
 
 
 class TestStatefulEdgeCases:
     def test_queue_shrink_drop_accounting_under_fast_mode(self):
-        old = Router(parse_graph(BASE), mode="fast")
+        old = Router(parse_graph(BASE), profile=ExecutionProfile.fast())
         for index in range(6):
             old.push_packet("c", 0, Packet(bytes([index])))
         small = BASE.replace("Queue(8)", "Queue(4)")
-        new = hotswap_router(old, parse_graph(small))
+        new = hotswap_router(old, parse_graph(small)).router
         assert new.mode == "fast"
         assert len(new["q"]) == 4
         assert new["q"].drops == 2
@@ -148,7 +204,7 @@ class TestStatefulEdgeCases:
         assert new["d"].count == 4
 
     def test_arp_pending_transferred_and_flushed_under_churn(self):
-        old = Router(parse_graph(ARP), mode="fast")
+        old = Router(parse_graph(ARP), profile=ExecutionProfile.fast())
         held = Packet(b"ip-payload")
         held.set_dest_ip_anno("1.0.0.99")
         old.push_packet("arpq", 0, held)  # unresolved: held + query emitted
@@ -157,7 +213,7 @@ class TestStatefulEdgeCases:
         # Churn on the old table right before the swap.
         old["arpq"].insert("1.0.0.50", "02:00:00:00:00:50")
 
-        new = hotswap_router(old, parse_graph(ARP))
+        new = hotswap_router(old, parse_graph(ARP)).router
         assert "arpq" in new.hotswap_transferred
         assert new["arpq"].table == old["arpq"].table
         held_lists = list(new["arpq"].pending.values())
@@ -181,11 +237,11 @@ class TestStatefulEdgeCases:
     def test_chained_swaps(self):
         """Swap twice (the optimize-then-extend workflow): state and
         mode survive both hops."""
-        first = Router(parse_graph(BASE), mode="fast")
+        first = Router(parse_graph(BASE), profile=ExecutionProfile.fast())
         for tag in (b"a", b"b", b"c"):
             first.push_packet("c", 0, Packet(tag))
-        second = hotswap_router(first, parse_graph(EXTENDED))
-        third = hotswap_router(second, parse_graph(BASE))
+        second = hotswap_router(first, parse_graph(EXTENDED)).router
+        third = hotswap_router(second, parse_graph(BASE)).router
         assert second.retired and not third.retired
         assert third.mode == "fast"
         assert third["c"].count == 3

@@ -13,6 +13,7 @@ import pytest
 from repro.configs.firewall import dns5_packet, firewall_graph
 from repro.elements.devices import LoopbackDevice
 from repro.elements.runtime import Router
+from repro.runtime import ExecutionProfile
 from repro.runtime.adaptive import AdaptiveConfig
 from repro.sim.testbed import VARIANTS, Testbed
 
@@ -118,7 +119,11 @@ def drive_firewall(mode, batch, count=256):
         "eth0": LoopbackDevice("eth0", tx_capacity=1 << 30),
         "eth1": LoopbackDevice("eth1", tx_capacity=1 << 30),
     }
-    router = Router(firewall_graph(), devices=devices, mode=mode, batch=batch)
+    router = Router(
+        firewall_graph(),
+        devices=devices,
+        profile=ExecutionProfile(mode=mode, batch=batch),
+    )
     frame = (
         b"\x00\x50\x56\x00\x00\x01"
         + b"\x00\x50\x56\x00\x00\x02"

@@ -131,11 +131,13 @@ class TestInstallUninstall:
         fastpath.uninstall()
         fastpath.uninstall()
 
-    def test_set_mode_switches_ports(self):
+    def test_configure_switches_ports(self):
+        from repro.runtime import ExecutionProfile
+
         _, (router, _) = build("simple")
-        router.set_mode("fast")
+        router.configure(ExecutionProfile.fast())
         assert router.fastpath.installed
-        router.set_mode("reference")
+        router.configure(ExecutionProfile.reference())
         assert not router.fastpath.installed
         assert not any(
             isinstance(port, FastOutputPort)

@@ -1,0 +1,102 @@
+"""Unit tests for ExecutionProfile (repro.runtime.profile): validation,
+derivation helpers, and the Router.configure/profile round trip."""
+
+import pytest
+
+from repro.elements import Router
+from repro.lang.build import parse_graph
+from repro.runtime import ExecutionProfile
+from repro.runtime.adaptive import AdaptiveConfig
+from repro.runtime.supervisor import SupervisorConfig
+
+PIPE = "f :: Idle; c :: Counter; q :: Queue(8); u :: Unqueue; d :: Discard; f -> c -> q -> u -> d;"
+
+
+class TestValue:
+    def test_defaults_are_reference(self):
+        profile = ExecutionProfile()
+        assert profile.mode == "reference"
+        assert not profile.batch and not profile.supervised
+        assert profile == ExecutionProfile.reference()
+
+    def test_constructors(self):
+        assert ExecutionProfile.fast().mode == "fast"
+        assert ExecutionProfile.fast(batch=True).batch is True
+        config = AdaptiveConfig(threshold=48, sample=4, min_samples=12)
+        tiered = ExecutionProfile.tiered(config=config)
+        assert tiered.mode == "adaptive" and tiered.adaptive is config
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            ExecutionProfile(mode="warp-speed")
+
+    def test_batch_requires_compiled_mode(self):
+        with pytest.raises(ValueError, match="batch"):
+            ExecutionProfile(mode="reference", batch=True)
+
+    def test_supervisor_config_implies_supervised(self):
+        profile = ExecutionProfile.fast(supervisor=SupervisorConfig())
+        assert profile.supervised is True
+
+    def test_with_helpers(self):
+        profile = ExecutionProfile.fast().with_supervision()
+        assert profile.supervised
+        assert profile.without_supervision() == ExecutionProfile.fast()
+        # with_mode keeps the batch flavor unless reference forces it off.
+        batched = ExecutionProfile.fast(batch=True)
+        assert batched.with_mode("adaptive").batch is True
+        assert batched.with_mode("reference").batch is False
+
+    def test_immutability_and_equality(self):
+        profile = ExecutionProfile.fast()
+        with pytest.raises(Exception):
+            profile.mode = "reference"
+        assert profile == ExecutionProfile(mode="fast")
+        assert profile != ExecutionProfile.reference()
+
+    def test_label_and_as_dict(self):
+        profile = ExecutionProfile.fast(batch=True).with_supervision()
+        assert profile.label == "fast+batch+supervised"
+        assert str(profile) == profile.label
+        payload = profile.as_dict()
+        assert payload == {
+            "mode": "fast",
+            "batch": True,
+            "adaptive": False,
+            "supervised": True,
+            "supervisor": False,
+        }
+
+
+class TestRouterRoundTrip:
+    def test_configure_then_read_back(self):
+        router = Router(parse_graph(PIPE))
+        assert router.profile == ExecutionProfile.reference()
+        router.configure(ExecutionProfile.fast(batch=True))
+        assert router.profile == ExecutionProfile.fast(batch=True)
+        assert router.fastpath.installed and router.fastpath.batch
+
+    def test_configure_adaptive_and_back(self):
+        config = AdaptiveConfig(threshold=48, sample=4, min_samples=12)
+        router = Router(parse_graph(PIPE), profile=ExecutionProfile.tiered(config=config))
+        assert router.mode == "adaptive"
+        assert router.profile.adaptive is config
+        router.configure(ExecutionProfile.reference())
+        assert router.mode == "reference"
+        assert router.adaptive is None
+
+    def test_configure_detaches_supervision_when_absent(self):
+        router = Router(
+            parse_graph(PIPE), profile=ExecutionProfile.fast().with_supervision()
+        )
+        assert router.supervisor is not None
+        router.configure(ExecutionProfile.fast())
+        assert router.supervisor is None
+
+    def test_configure_returns_router(self):
+        router = Router(parse_graph(PIPE))
+        assert router.configure(ExecutionProfile.fast()) is router
+
+    def test_legacy_profile_plus_kwargs_rejected(self):
+        with pytest.raises(ValueError, match="not both"):
+            Router(parse_graph(PIPE), profile=ExecutionProfile.fast(), mode="fast")

@@ -6,9 +6,10 @@ import json
 
 import pytest
 
-from repro.elements import Router
+from repro.elements import Router, hotswap_router
 from repro.elements.devices import LoopbackDevice
 from repro.lang.build import parse_graph
+from repro.runtime import ExecutionProfile
 from repro.runtime.fastpath import FastOutputPort
 from repro.runtime.supervisor import (
     SupervisedOutputPort,
@@ -38,10 +39,8 @@ def build(mode="fast", batch=False, faults=None, config=None):
     router = Router(parse_graph(PIPE), devices=devices)
     if injector is not None:
         injector.prepare_router(router)
-    if mode != "reference":
-        router.set_mode(mode, batch=batch)
-    supervisor = router.attach_supervisor(config)
-    return router, devices, supervisor
+    router.configure(ExecutionProfile(mode=mode, batch=batch).with_supervision(config))
+    return router, devices, router.supervisor
 
 
 def feed(devices, count, start=0):
@@ -166,12 +165,12 @@ class TestLifecycle:
 
     def test_supervision_survives_mode_change(self):
         router, devices, _supervisor = build(mode="fast")
-        router.set_mode("reference")
+        router.configure(router.profile.with_mode("reference"))
         assert router.supervisor is not None and router.supervisor.attached
         feed(devices, 2)
         router.run_tasks(2)
         assert len(devices["eth1"].transmitted) == 2
-        router.set_mode("fast")
+        router.configure(router.profile.with_mode("fast"))
         assert router.supervisor is not None
         feed(devices, 2, start=2)
         router.run_tasks(2)
@@ -265,11 +264,86 @@ class TestReport:
         text = report.format()
         assert "supervisor:" in text and label in text
 
-    def test_router_constructor_supervised_flag(self):
+    def test_router_constructor_supervised_profile(self):
         devices = {
             "eth0": LoopbackDevice("eth0"),
             "eth1": LoopbackDevice("eth1", tx_capacity=1 << 20),
         }
-        router = Router(parse_graph(PIPE), devices=devices, mode="fast", supervised=True)
+        router = Router(
+            parse_graph(PIPE),
+            devices=devices,
+            profile=ExecutionProfile.fast().with_supervision(),
+        )
         assert router.supervisor is not None
         assert router.supervisor.report().totals["chains"] > 0
+
+    def test_legacy_constructor_kwargs_warn_and_work(self):
+        devices = {
+            "eth0": LoopbackDevice("eth0"),
+            "eth1": LoopbackDevice("eth1", tx_capacity=1 << 20),
+        }
+        with pytest.warns(DeprecationWarning, match="deprecated; use"):
+            router = Router(
+                parse_graph(PIPE), devices=devices, mode="fast", supervised=True
+            )
+        assert router.supervisor is not None
+        # profile reads back the live supervisor's config object, so
+        # compare by the label, not by config identity.
+        assert router.profile.label == "fast+supervised"
+
+    def test_legacy_set_mode_and_attach_supervisor_warn(self):
+        devices = {
+            "eth0": LoopbackDevice("eth0"),
+            "eth1": LoopbackDevice("eth1", tx_capacity=1 << 20),
+        }
+        router = Router(parse_graph(PIPE), devices=devices)
+        with pytest.warns(DeprecationWarning, match="deprecated; use"):
+            router.set_mode("fast")
+        assert router.mode == "fast"
+        with pytest.warns(DeprecationWarning, match="deprecated; use"):
+            supervisor = router.attach_supervisor()
+        assert supervisor is router.supervisor is not None
+
+
+class TestSwapStorm:
+    """Regression guard for supervisor round-trips across hot-swap
+    generations: every generation must come up supervised, with working
+    guards and a live report, and the retired generation must be fully
+    detached."""
+
+    GRAPHS = (PIPE, PIPE.replace("Queue(8)", "Queue(16)"))
+
+    def test_supervisor_survives_a_swap_storm(self):
+        devices = {
+            "eth0": LoopbackDevice("eth0"),
+            "eth1": LoopbackDevice("eth1", tx_capacity=1 << 20),
+        }
+        router = Router(
+            parse_graph(PIPE),
+            devices=devices,
+            profile=ExecutionProfile.fast().with_supervision(),
+        )
+        config = router.supervisor.config
+        sent = 0
+        for generation in range(8):
+            previous = router
+            router = hotswap_router(
+                previous, parse_graph(self.GRAPHS[generation % 2])
+            ).router
+            # The new generation is supervised with the same config; the
+            # retired one is fully detached.
+            assert router.supervisor is not None and router.supervisor.attached
+            assert router.supervisor.config is config
+            assert router.supervisor.router is router
+            assert previous.supervisor is None
+            # Guards are live on the *new* generation's ports.
+            assert router.supervisor.guards
+            assert isinstance(router["src"]._output_ports[0], SupervisedOutputPort)
+            feed(devices, 2, start=sent)
+            sent += 2
+            router.run_tasks(3)
+            report = router.supervisor.report()
+            assert report.totals["chains"] > 0
+            assert report.totals["open_breakers"] == 0
+        assert len(devices["eth1"].transmitted) == sent
+        assert devices["eth1"].transmitted[0] == b"frame-00"
