@@ -133,6 +133,13 @@ class ControlPlane:
             ]
         )
 
+    def resolve(self, update):
+        """Public form of the update resolver: ``(delta,
+        new_graph_or_None)`` for a delta, graph, or text update.  The
+        sharded data plane resolves once and stages the same delta on
+        every shard."""
+        return self._resolve(update)
+
     def _resolve(self, update):
         """``(delta, new_graph_or_None)`` for any accepted update form.
         ``new_graph`` stays None for delta inputs until a structural
@@ -152,15 +159,16 @@ class ControlPlane:
             update = flatten(update)
         return diff_graphs(graph, update), update
 
-    def _try_patch(self, delta, diff_seconds):
-        """The in-place path: stage every changed element's new data
-        (all parsing and validation, no mutation), then commit the
-        whole batch.  Returns the report, or None when some element is
-        not data-patchable (caller falls back to the scoped swap).
-        A staging failure raises :class:`ControlPlaneError` with the
-        live router untouched."""
+    def stage_patch(self, delta):
+        """Phase one of the in-place path: parse and validate every
+        changed element's new data without mutating anything.  Returns
+        the staged batch for :meth:`commit_patch`, or None when some
+        element is not data-patchable (the update needs a hot-swap).
+        Raises :class:`ControlPlaneError` — live router untouched — on
+        a rejected table.  Split out of the old monolithic patch so a
+        multi-shard commit can stage on *every* shard before any shard
+        commits."""
         router = self._router
-        started = time.perf_counter()
         staged = []
         for change in delta.changed:
             element = router.elements.get(change.name)
@@ -181,8 +189,14 @@ class ControlPlane:
                     % (change.name, type(exc).__name__, exc)
                 ) from exc
             staged.append((element, kind, prepared, change))
-        stage_seconds = time.perf_counter() - started
+        return staged
 
+    def commit_patch(self, staged, delta):
+        """Phase two: install a batch staged by :meth:`stage_patch` —
+        commit the prepared tables, sync config strings and the live
+        graph, and deopt adaptive chains that speculated on the old
+        data.  Returns the ``"in-place"`` :class:`SwapReport`."""
+        router = self._router
         started = time.perf_counter()
         graph = router.graph
         for element, kind, prepared, change in staged:
@@ -205,10 +219,23 @@ class ControlPlane:
 
         report = SwapReport("in-place", profile=router.profile.label)
         report.delta = delta.summary()
-        report.phases["diff"] = diff_seconds
-        report.phases["stage"] = stage_seconds
         report.phases["patch"] = time.perf_counter() - started
         report.elements_patched = len(staged)
+        return report
+
+    def _try_patch(self, delta, diff_seconds):
+        """The in-place path: stage every changed element's new data,
+        then commit the whole batch.  Returns the report, or None when
+        the update is not patchable in place."""
+        started = time.perf_counter()
+        staged = self.stage_patch(delta)
+        if staged is None:
+            return None
+        stage_seconds = time.perf_counter() - started
+        report = self.commit_patch(staged, delta)
+        report.phases["diff"] = diff_seconds
+        report.phases["stage"] = stage_seconds
+        report.phases.move_to_end("patch")
         return report
 
     def _swap(self, delta, new_graph, diff_seconds, validate):

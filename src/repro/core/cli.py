@@ -288,6 +288,21 @@ def optimize_main(argv=None):
             help="attach the resilient supervisor to the compiled router "
             "(implies --fast) and include its resilience report",
         )
+        parser.add_argument(
+            "--workers",
+            type=int,
+            default=1,
+            metavar="N",
+            help="also bring up the optimized router as a sharded data "
+            "plane with N worker shards and print its shard report "
+            "(implies --fast)",
+        )
+        parser.add_argument(
+            "--shard-backend",
+            default="thread",
+            choices=("thread", "process"),
+            help="worker backend for --workers (default: %(default)s)",
+        )
 
     def preflight(args):
         if args.list_pipelines:
@@ -311,12 +326,21 @@ def optimize_main(argv=None):
     result = pipeline.run(graph)
     _write_output(args.output, save_config(result.graph))
     fastpath_section = None
-    if args.fast or args.adaptive or args.profile_report or args.supervised:
+    if (
+        args.fast
+        or args.adaptive
+        or args.profile_report
+        or args.supervised
+        or args.workers > 1
+    ):
         text, fastpath_section = _fastpath_report(
             result.graph,
             adaptive=args.adaptive or args.profile_report,
             profile=args.profile_report,
             supervised=args.supervised,
+            workers=args.workers,
+            shard_backend=args.shard_backend,
+            source_graph=graph,
         )
         sys.stderr.write(text + "\n")
     if args.report:
@@ -347,7 +371,15 @@ def _write_report_with_fastpath(dest, report, fastpath_section):
             handle.write(text)
 
 
-def _fastpath_report(graph, adaptive=False, profile=False, supervised=False):
+def _fastpath_report(
+    graph,
+    adaptive=False,
+    profile=False,
+    supervised=False,
+    workers=1,
+    shard_backend="thread",
+    source_graph=None,
+):
     """Instantiate the optimized graph (loopback devices stand in for
     whatever hardware the config names) and compile — but do not run —
     its fast path; returns ``(report text, report dict)``.  With
@@ -355,7 +387,12 @@ def _fastpath_report(graph, adaptive=False, profile=False, supervised=False):
     and ``profile`` appends its per-chain tier report.  ``supervised``
     attaches the resilient supervisor to the compiled router and appends
     its resilience report (all chains healthy at compile time — the
-    section documents the installed boundaries and tier stacks)."""
+    section documents the installed boundaries and tier stacks).
+    ``workers > 1`` additionally spins the graph up as a sharded data
+    plane (one compiled router per shard on ``shard_backend``) and
+    appends its shard report; ``source_graph`` — the pre-optimization
+    graph — supplies the device names, since the optimizers may rename
+    device element classes."""
     from ..elements.devices import LoopbackDevice
     from ..elements.runtime import Router
     from ..runtime import ExecutionProfile
@@ -395,6 +432,28 @@ def _fastpath_report(graph, adaptive=False, profile=False, supervised=False):
         resilience = router.supervisor.report()
         text += "\n" + resilience.format()
         section["resilience"] = resilience.as_dict()
+    if workers > 1:
+        from ..elements.runtime import build_router
+
+        devices = AutoDevices()
+        scan = graph if source_graph is None else source_graph
+        for decl in scan.elements.values():
+            if decl.class_name in ("PollDevice", "FromDevice", "ToDevice"):
+                devices.get(decl.config.split(",")[0].strip())
+        sharded = build_router(
+            graph,
+            devices=devices,
+            profile=run_profile.with_workers(workers, shard_backend),
+        )
+        try:
+            # One empty scheduler pass spins up (and compiles) every
+            # shard so the report documents a live plane.
+            sharded.run_tasks(1)
+            shard_report = sharded.report()
+            text += "\n" + shard_report.format()
+            section["shard"] = shard_report.as_dict()
+        finally:
+            sharded.close()
     return text, section
 
 

@@ -254,6 +254,11 @@ class Router:
 
         if profile is None:
             profile = ExecutionProfile()
+        if profile.workers > 1:
+            raise ValueError(
+                "a plain Router is single-shard; profiles with workers > 1 "
+                "need a ShardedRouter (use build_router, which dispatches)"
+            )
         if not profile.supervised and self.supervisor is not None:
             self.supervisor.detach()
         if (
@@ -491,9 +496,17 @@ class Router:
 
 
 def build_router(graph, **kwargs):
-    """Flatten ``graph`` if needed and build a Router from it."""
+    """Flatten ``graph`` if needed and build a router from it: a plain
+    :class:`Router`, or — when the profile carries ``workers > 1`` — a
+    :class:`~repro.runtime.shard.ShardedRouter` fanning the profile out
+    across hash-partitioned worker shards."""
     if graph.element_classes:
         from ..core.flatten import flatten
 
         graph = flatten(graph)
+    profile = kwargs.get("profile")
+    if profile is not None and getattr(profile, "workers", 1) > 1:
+        from ..runtime.shard import ShardedRouter
+
+        return ShardedRouter(graph, **kwargs)
     return Router(graph, **kwargs)

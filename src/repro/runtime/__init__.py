@@ -9,7 +9,9 @@ move Morpheus and the NetKAT compiler make at runtime scale.
 from .adaptive import AdaptiveConfig, AdaptiveEngine, ProfileReport
 from .codegen_cache import CodegenCache, default_cache
 from .fastpath import ChainPolicy, FastPath, FastPathError, FastPathReport
+from .flowhash import DEFAULT_SEED, FlowHasher, flow_key, shard_of
 from .profile import ExecutionProfile
+from .shard import ShardedRouter, ShardReport, SPSCQueue
 from .supervisor import ResilienceReport, Supervisor, SupervisorConfig, SupervisorError
 
 __all__ = [
@@ -18,12 +20,19 @@ __all__ = [
     "ChainPolicy",
     "CodegenCache",
     "default_cache",
+    "DEFAULT_SEED",
     "ExecutionProfile",
     "FastPath",
     "FastPathError",
     "FastPathReport",
+    "FlowHasher",
+    "flow_key",
     "ProfileReport",
     "ResilienceReport",
+    "shard_of",
+    "ShardedRouter",
+    "ShardReport",
+    "SPSCQueue",
     "Supervisor",
     "SupervisorConfig",
     "SupervisorError",

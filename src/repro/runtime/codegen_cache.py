@@ -61,6 +61,7 @@ raising.
 from __future__ import annotations
 
 import pickle
+import threading
 from collections import OrderedDict
 
 __all__ = ["CacheEntry", "CodegenCache", "default_cache"]
@@ -250,6 +251,10 @@ class CodegenCache:
         self.disk_hits = 0
         self.corrupt = 0
         self.invalidations = 0
+        # The default cache is process-wide and the sharded data plane's
+        # thread backend compiles (and adaptive engines recompile) on
+        # worker threads: every structural operation serializes here.
+        self._lock = threading.RLock()
 
     def key_for(self, router, batch, policy):
         """The cache key for compiling ``router`` under ``policy``, or
@@ -285,69 +290,75 @@ class CodegenCache:
     def lookup(self, key):
         if key is None:
             return None
-        entry = self._entries.get(key)
-        if entry is not None:
-            self._entries.move_to_end(key)
-            self.hits += 1
-            return entry
-        if self._disk:
-            entry = self._disk.pop(self._disk_key(key), None)
+        with self._lock:
+            entry = self._entries.get(key)
             if entry is not None:
-                # Promote (moving, so an eviction counts it once): later
-                # lookups go through the ordinary in-memory path.
-                self._entries[key] = entry
                 self._entries.move_to_end(key)
                 self.hits += 1
-                self.disk_hits += 1
                 return entry
-        self.misses += 1
-        return None
+            if self._disk:
+                entry = self._disk.pop(self._disk_key(key), None)
+                if entry is not None:
+                    # Promote (moving, so an eviction counts it once): later
+                    # lookups go through the ordinary in-memory path.
+                    self._entries[key] = entry
+                    self._entries.move_to_end(key)
+                    self.hits += 1
+                    self.disk_hits += 1
+                    return entry
+            self.misses += 1
+            return None
 
     def store(self, key, fastpath):
         if key is None or fastpath._code is None:
             return
-        self._entries[key] = CacheEntry.from_fastpath(fastpath)
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self._entries[key] = CacheEntry.from_fastpath(fastpath)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
 
     def evict(self, key):
         """Drop one corrupt entry (after a failed replay): the bad
         artifact must not be offered again, in memory or from disk."""
         if key is None:
             return
-        if self._entries.pop(key, None) is not None:
-            self.corrupt += 1
-        if self._disk.pop(self._disk_key(key), None) is not None:
-            self.corrupt += 1
+        with self._lock:
+            if self._entries.pop(key, None) is not None:
+                self.corrupt += 1
+            if self._disk.pop(self._disk_key(key), None) is not None:
+                self.corrupt += 1
 
     def invalidate(self):
         """Drop every entry but keep the hit/miss/corruption history
         (unlike :meth:`clear`) — the fault injector's cache fault."""
-        self._entries.clear()
-        self._disk.clear()
-        self.invalidations += 1
+        with self._lock:
+            self._entries.clear()
+            self._disk.clear()
+            self.invalidations += 1
 
     def corrupt_entries(self):
         """Deterministically mangle every cached entry's bind recipes
         (the fault injector's ``cache_corrupt`` fault): the next replay
         raises, exercising the evict-and-recompile fallback."""
-        corrupted = 0
-        for entry in list(self._entries.values()) + list(self._disk.values()):
-            entry.specs = {
-                name: ("injected-corruption",) for name in entry.specs
-            }
-            corrupted += 1
-        return corrupted
+        with self._lock:
+            corrupted = 0
+            for entry in list(self._entries.values()) + list(self._disk.values()):
+                entry.specs = {
+                    name: ("injected-corruption",) for name in entry.specs
+                }
+                corrupted += 1
+            return corrupted
 
     def clear(self):
-        self._entries.clear()
-        self._disk.clear()
-        self.hits = 0
-        self.misses = 0
-        self.disk_hits = 0
-        self.corrupt = 0
-        self.invalidations = 0
+        with self._lock:
+            self._entries.clear()
+            self._disk.clear()
+            self.hits = 0
+            self.misses = 0
+            self.disk_hits = 0
+            self.corrupt = 0
+            self.invalidations = 0
 
     def __len__(self):
         return len(self._entries)
@@ -369,12 +380,13 @@ class CodegenCache:
         """Persist every in-memory entry under its process-stable key.
         Code objects are not written — :meth:`load` recompiles from
         source, which is what lets it validate entries one by one."""
-        records = []
-        for key, entry in self._entries.items():
-            record = {"key": self._disk_key(key)}
-            for field in _ENTRY_FIELDS:
-                record[field] = getattr(entry, field)
-            records.append(record)
+        with self._lock:
+            records = []
+            for key, entry in self._entries.items():
+                record = {"key": self._disk_key(key)}
+                for field in _ENTRY_FIELDS:
+                    record[field] = getattr(entry, field)
+                records.append(record)
         with open(path, "wb") as handle:
             pickle.dump({"magic": _DISK_MAGIC, "records": records}, handle)
         return len(records)
@@ -394,13 +406,14 @@ class CodegenCache:
             self.corrupt += 1
             return 0
         loaded = 0
-        for record in payload.get("records", ()):
-            entry = self._validate_record(record)
-            if entry is None:
-                self.corrupt += 1
-                continue
-            self._disk[record["key"]] = entry
-            loaded += 1
+        with self._lock:
+            for record in payload.get("records", ()):
+                entry = self._validate_record(record)
+                if entry is None:
+                    self.corrupt += 1
+                    continue
+                self._disk[record["key"]] = entry
+                loaded += 1
         return loaded
 
     @staticmethod

@@ -29,6 +29,7 @@ from .supervisor import SupervisorConfig
 __all__ = ["ExecutionProfile"]
 
 MODES = ("reference", "fast", "adaptive")
+SHARD_BACKENDS = ("thread", "process")
 
 
 @dataclass(frozen=True)
@@ -47,6 +48,8 @@ class ExecutionProfile:
     adaptive: AdaptiveConfig | None = None
     supervised: bool = False
     supervisor: SupervisorConfig | None = None
+    workers: int = 1
+    shard_backend: str = "thread"
 
     def __post_init__(self):
         if self.mode not in MODES:
@@ -65,6 +68,15 @@ class ExecutionProfile:
             object.__setattr__(self, "supervised", True)
         object.__setattr__(self, "batch", bool(self.batch))
         object.__setattr__(self, "supervised", bool(self.supervised))
+        if not isinstance(self.workers, int) or isinstance(self.workers, bool):
+            raise TypeError("workers must be an int, not %r" % (self.workers,))
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1, not %d" % self.workers)
+        if self.shard_backend not in SHARD_BACKENDS:
+            raise ValueError(
+                "shard_backend must be one of %s, not %r"
+                % ("/".join(SHARD_BACKENDS), self.shard_backend)
+            )
 
     # -- constructors ------------------------------------------------------
 
@@ -101,6 +113,22 @@ class ExecutionProfile:
             batch = False
         return replace(self, mode=mode, batch=batch)
 
+    def with_workers(self, workers, backend=None):
+        """This profile sharded across ``workers`` data-plane shards
+        (``backend`` selects ``"thread"`` or ``"process"`` workers;
+        unspecified keeps the current backend)."""
+        if backend is None:
+            backend = self.shard_backend
+        return replace(self, workers=workers, shard_backend=backend)
+
+    def shard_local(self):
+        """The profile one shard runs under: identical execution tier,
+        batch flavor, and supervision, but single-shard — what the
+        sharded data plane hands each worker's inner router."""
+        if self.workers == 1 and self.shard_backend == "thread":
+            return self
+        return replace(self, workers=1, shard_backend="thread")
+
     # -- presentation ------------------------------------------------------
 
     @property
@@ -111,6 +139,11 @@ class ExecutionProfile:
             parts.append("batch")
         if self.supervised:
             parts.append("supervised")
+        if self.workers > 1:
+            tag = "shard%d" % self.workers
+            if self.shard_backend == "process":
+                tag += "proc"
+            parts.append(tag)
         return "+".join(parts)
 
     def as_dict(self):
@@ -121,6 +154,8 @@ class ExecutionProfile:
             "adaptive": self.adaptive is not None,
             "supervised": self.supervised,
             "supervisor": self.supervisor is not None,
+            "workers": self.workers,
+            "shard_backend": self.shard_backend,
         }
 
     def __str__(self):

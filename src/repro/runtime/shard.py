@@ -1,0 +1,1337 @@
+"""The sharded multi-worker data plane: N compiled routers behind an
+RSS-style flow-hash dispatcher.
+
+A :class:`ShardedRouter` partitions ingress traffic by flow key
+(:mod:`repro.runtime.flowhash`) across ``profile.workers`` shards, each
+owning a *full* router — built from the same configuration graph, run
+under the same shard-local :class:`~repro.runtime.profile.ExecutionProfile`
+(reference, fast, batch, adaptive, or supervised) — and reconciles the
+shards' transmitted frames, element counters, and CycleMeters back into
+one externally observable surface.
+
+Two backends, selected by ``profile.shard_backend``:
+
+- ``"thread"`` — in-process worker threads fed through bounded
+  :class:`SPSCQueue` handoff queues, with a barrier after every
+  scheduler batch.  Deterministic by construction (shard state merges
+  in shard order at quiescence), which is what the differential oracle
+  runs; parallel speedup is not the point here, equivalence is.
+- ``"process"`` — ``multiprocessing`` (spawn) workers, each building
+  its own router from the configuration *text* and rehydrating compiled
+  chains from the codegen cache's validated disk layer
+  (:meth:`~repro.runtime.codegen_cache.CodegenCache.save`), so the
+  compile is paid once.  Frame batches pipeline to the workers in
+  chunks so the parent's hashing/serialization overlaps shard
+  execution — this is the backend the 1→N scale curve measures.
+
+Ordering semantics: per-flow order is preserved (a flow maps to one
+shard; the handoff queues and per-shard routers are FIFO); cross-flow,
+cross-shard order is **not**.  The oracle therefore compares sharded
+output per-flow byte-identical plus per-device multiset-identical
+(:func:`repro.verify.oracle.sharded_transmit_difference`), never as one
+global sequence.
+
+Control-plane operations fan out to every shard: ARP inserts, epoch
+bumps, forced deopts, hot-swaps, and — via :meth:`ShardedRouter.apply_update`
+— incremental updates, which commit *transactionally*: a pure-data
+delta is staged on every shard (all parsing and validation, no
+mutation) and only then committed everywhere, so a rejected update
+leaves all shards serving the old tables; a structural delta hot-swaps
+shard by shard with rollback on failure.
+
+Worker faults: ``worker_crash`` faults (:mod:`repro.sim.faults`) kill a
+shard; recovery respawns it and replays the shard's command journal —
+every frame batch, scheduler run, transmit-window mirror, and control
+operation since birth — which, everything being deterministic,
+reconstructs byte-identical shard state (the device-fail analog with a
+supervisor-grade recovery story).
+
+Cross-worker safety notes (the audit the thread backend forced):
+``ELEMENT_CLASSES`` is a read-only registry after import; the dest-IP
+intern cache (:data:`repro.net.packet._DEST_IP_CACHE`) is only touched
+via single dict operations, which the GIL keeps atomic; the process-wide
+codegen cache now serializes mutation behind an RLock (adaptive tier-2
+recompiles can run on worker threads).  Shards share no mutable runtime
+state — each has its own elements, devices, meter, and engine.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import threading
+from collections import OrderedDict
+from dataclasses import replace
+
+from .flowhash import DEFAULT_SEED, FlowHasher
+from .profile import ExecutionProfile
+
+__all__ = ["SPSCQueue", "ShardReport", "ShardedRouter"]
+
+_DEVICE_CLASSES = ("PollDevice", "FromDevice", "ToDevice")
+#: Shard-local loopback devices never limit transmit on their own; the
+#: parent mirrors the real device's window into ``tx_capacity`` before
+#: every scheduler batch.
+_SHARD_TX_CAPACITY = 1 << 30
+
+
+class SPSCQueue:
+    """A bounded single-producer single-consumer handoff queue.
+
+    The parent (producer) enqueues command tuples; one worker
+    (consumer) drains them.  ``put`` blocks when the queue is full —
+    bounded capacity is the backpressure contract: a slow shard slows
+    the dispatcher instead of growing an unbounded backlog.
+    """
+
+    __slots__ = ("_items", "_capacity", "_lock", "_not_empty", "_not_full", "high_water")
+
+    def __init__(self, capacity=256):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1, not %r" % (capacity,))
+        self._items = []
+        self._capacity = capacity
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._not_full = threading.Condition(self._lock)
+        self.high_water = 0
+
+    def put(self, item):
+        with self._not_full:
+            while len(self._items) >= self._capacity:
+                self._not_full.wait()
+            self._items.append(item)
+            if len(self._items) > self.high_water:
+                self.high_water = len(self._items)
+            self._not_empty.notify()
+
+    def get(self):
+        with self._not_empty:
+            while not self._items:
+                self._not_empty.wait()
+            item = self._items.pop(0)
+            self._not_full.notify()
+            return item
+
+    def __len__(self):
+        with self._lock:
+            return len(self._items)
+
+
+def _device_names_of(graph, devices=None):
+    """The device names the shard mirrors, in deterministic flush
+    order.  When the plane was handed a ``devices`` dict its keys are
+    authoritative — element classes may have been renamed by the
+    optimizers (``Devirtualize@@td`` still binds ``eth1``), so scanning
+    declarations by class name only works on unoptimized graphs and is
+    kept as the fallback when no devices were attached."""
+    if devices:
+        return list(devices)
+    names = []
+    for decl in graph.elements.values():
+        if decl.class_name in _DEVICE_CLASSES:
+            name = decl.config.split(",")[0].strip()
+            if name and name not in names:
+                names.append(name)
+    return names
+
+
+def _meter_delta(current, previous):
+    """current - previous for two CycleMeter summaries (all fields are
+    monotonic counts, so the delta is well-defined)."""
+    delta = {}
+    for key, value in current.items():
+        if key == "dynamic":
+            prev = previous.get("dynamic", {})
+            delta[key] = {k: v - prev.get(k, 0) for k, v in value.items()}
+        else:
+            delta[key] = value - previous.get(key, 0)
+    return delta
+
+
+class ShardReport:
+    """What the sharded data plane did: dispatch balance, flushes,
+    crashes and journal replays, per-shard supervision summaries."""
+
+    def __init__(self):
+        self.workers = 0
+        self.backend = "thread"
+        self.seed = DEFAULT_SEED
+        self.dispatched = []
+        self.flushed = 0
+        self.runs = 0
+        self.updates = 0
+        self.crashes = 0
+        self.replays = 0
+        self.queue_high_water = []
+        self.supervisors = {}
+        self.meter = None
+
+    def as_dict(self):
+        data = {
+            "workers": self.workers,
+            "backend": self.backend,
+            "seed": self.seed,
+            "dispatched": list(self.dispatched),
+            "flushed": self.flushed,
+            "runs": self.runs,
+            "updates": self.updates,
+            "crashes": self.crashes,
+            "replays": self.replays,
+            "queue_high_water": list(self.queue_high_water),
+        }
+        if self.supervisors:
+            data["supervisors"] = dict(self.supervisors)
+        if self.meter is not None:
+            data["meter"] = self.meter
+        return data
+
+    def format(self):
+        lines = [
+            "sharded data plane: %d worker(s), %s backend, seed 0x%X"
+            % (self.workers, self.backend, self.seed),
+            "  dispatched per shard: %s" % (self.dispatched,),
+            "  flushed %d frame(s) over %d scheduler batch(es)"
+            % (self.flushed, self.runs),
+        ]
+        if self.crashes:
+            lines.append(
+                "  %d worker crash(es), %d journal replay(s)"
+                % (self.crashes, self.replays)
+            )
+        return "\n".join(lines)
+
+
+class _ThreadShard:
+    """One in-process shard: its router, devices, meter, worker thread,
+    and flush bookkeeping."""
+
+    __slots__ = (
+        "index",
+        "router",
+        "devices",
+        "meter",
+        "queue",
+        "thread",
+        "worked",
+        "error",
+        "flushed",
+        "meter_snapshot",
+    )
+
+    def __init__(self, index):
+        self.index = index
+        self.router = None
+        self.devices = None
+        self.meter = None
+        self.queue = SPSCQueue()
+        self.thread = None
+        self.worked = 0
+        self.error = None
+        self.flushed = {}
+        self.meter_snapshot = {}
+
+
+class _ProcessShard:
+    """One multiprocessing shard: its process handle, pipe, and the
+    parent-side mirror of its flush counters."""
+
+    __slots__ = ("index", "process", "conn", "worked", "flushed", "meter_snapshot")
+
+    def __init__(self, index):
+        self.index = index
+        self.process = None
+        self.conn = None
+        self.worked = 0
+        self.flushed = {}
+        self.meter_snapshot = {}
+
+    def recv(self):
+        try:
+            return self.conn.recv()
+        except (EOFError, ConnectionResetError, BrokenPipeError) as exc:
+            exitcode = self.process.exitcode if self.process is not None else None
+            raise RuntimeError(
+                "shard worker %d died mid-protocol (exit code %r); if this "
+                "happened at startup, the spawn backend re-imports __main__ "
+                "— entry scripts need an if __name__ == '__main__' guard"
+                % (self.index, exitcode)
+            ) from exc
+
+
+class _FanoutElementProxy:
+    """Stands in for a named element on a sharded router: control-plane
+    writes (ARP ``insert``) fan out to every shard's instance."""
+
+    __slots__ = ("_sharded", "_name")
+
+    def __init__(self, sharded, name):
+        self._sharded = sharded
+        self._name = name
+
+    @property
+    def name(self):
+        return self._name
+
+    def insert(self, ip, ether):
+        self._sharded._fanout_insert(self._name, ip, ether)
+
+    def __repr__(self):
+        return "<fanout %s across %d shard(s)>" % (
+            self._name,
+            self._sharded.workers,
+        )
+
+
+def _apply_shard_control(router, devices, cmd):
+    """Apply one journaled control command to a single shard's router;
+    returns the (possibly new) router.  Used both on the live path and
+    during crash-replay, so it must be deterministic."""
+    op = cmd[0]
+    if op == "insert":
+        element = router.find(cmd[1])
+        if element is not None and hasattr(element, "insert"):
+            element.insert(cmd[2], cmd[3])
+    elif op == "bump_epochs":
+        router.bump_arp_epochs()
+    elif op == "deopt":
+        router.force_deopt()
+    elif op == "configure":
+        router.configure(cmd[1].shard_local())
+    elif op == "mirror":
+        for name, capacity in cmd[1].items():
+            device = devices.get(name)
+            if device is not None and hasattr(device, "tx_capacity"):
+                device.tx_capacity = capacity
+    elif op == "hotswap":
+        from ..core.toolchain import load_config
+        from ..elements.hotswap import hotswap
+
+        router = hotswap(router, load_config(cmd[1], "<shard-hotswap>")).router
+    elif op == "update":
+        from ..control import ControlPlane
+
+        plane = ControlPlane(router)
+        plane.apply(cmd[1])
+        router = plane.router
+    else:
+        raise ValueError("unknown shard control command %r" % (op,))
+    return router
+
+
+def _process_shard_main(conn, config_text, profile, device_names, cache_path, metered=False):
+    """The multiprocessing worker: build one shard's router from the
+    configuration text (rehydrating compiled chains from the shipped
+    codegen-cache file) and serve the parent's command stream.  With
+    ``metered`` the shard runs under its own CycleMeter, whose summary
+    rides back on every ``collect`` for the parent to absorb."""
+    from ..core.toolchain import load_config
+    from ..elements.devices import LoopbackDevice
+    from ..elements.runtime import build_router
+    from .codegen_cache import default_cache
+
+    if cache_path:
+        try:
+            default_cache().load(cache_path)
+        except Exception:  # noqa: BLE001 - a bad cache file is survivable
+            pass
+    devices = OrderedDict(
+        (name, LoopbackDevice(name, tx_capacity=_SHARD_TX_CAPACITY))
+        for name in device_names
+    )
+    meter = None
+    if metered:
+        from ..sim.cpu import CycleMeter
+
+        meter = CycleMeter()
+    router = build_router(
+        load_config(config_text, "<shard>"),
+        devices=devices,
+        meter=meter,
+        profile=profile.shard_local(),
+    )
+    flushed = {name: 0 for name in device_names}
+    worked = 0
+    pending_error = None
+    staged = None  # (plane, staged batch, delta) between stage and commit
+    while True:
+        try:
+            cmd = conn.recv()
+        except (EOFError, OSError):
+            break
+        op = cmd[0]
+        try:
+            if op == "frames":
+                for name, frame in cmd[1]:
+                    devices[name].receive_frame(frame)
+            elif op == "run":
+                worked += router.run_tasks(cmd[1])
+            elif op == "mirror":
+                for name, capacity in cmd[1].items():
+                    devices[name].tx_capacity = capacity
+            elif op in ("insert", "bump_epochs", "deopt", "configure", "hotswap", "update"):
+                router = _apply_shard_control(router, devices, cmd)
+            elif op == "update_stage":
+                from ..control import ControlPlane, ControlPlaneError
+
+                plane = ControlPlane(router)
+                try:
+                    delta, _new_graph = plane.resolve(cmd[1])
+                    if delta.empty:
+                        conn.send(("staged", "empty"))
+                    elif delta.structural:
+                        conn.send(("staged", "structural"))
+                    else:
+                        batch = plane.stage_patch(delta)
+                        if batch is None:
+                            conn.send(("staged", "structural"))
+                        else:
+                            staged = (plane, batch, delta)
+                            conn.send(("staged", "ok"))
+                except ControlPlaneError as exc:
+                    staged = None
+                    conn.send(("staged", "rejected", str(exc)))
+            elif op == "update_commit":
+                plane, batch, delta = staged
+                plane.commit_patch(batch, delta)
+                router = plane.router
+                staged = None
+                conn.send(("committed",))
+            elif op == "update_abort":
+                staged = None
+            elif op == "set_flushed":
+                flushed = dict(cmd[1])
+            elif op == "sync":
+                conn.send(("synced", worked, pending_error))
+                worked = 0
+                pending_error = None
+            elif op == "collect":
+                fresh = {}
+                for name in device_names:
+                    frames = devices[name].transmitted
+                    start = flushed[name]
+                    if len(frames) > start:
+                        fresh[name] = frames[start:]
+                        flushed[name] = len(frames)
+                meter = router.meter.summary() if router.meter is not None else None
+                conn.send(("collected", fresh, meter))
+            elif op == "counters":
+                values = {}
+                for name, element in sorted(router.elements.items()):
+                    for handler, fn in sorted(element.read_handlers().items()):
+                        value = fn()
+                        if not isinstance(value, (int, float, str, bool, type(None))):
+                            value = repr(value)
+                        values["%s.%s" % (name, handler)] = value
+                conn.send(("counters", values))
+            elif op == "report":
+                supervisor = router.supervisor
+                conn.send(
+                    ("report", supervisor.report().as_dict() if supervisor else None)
+                )
+            elif op == "stop":
+                conn.send(("stopped",))
+                break
+        except Exception as exc:  # noqa: BLE001 - delivered at next sync
+            pending_error = (type(exc).__name__, str(exc))
+    conn.close()
+
+
+class ShardedRouter:
+    """Hash-sharded fan-out over N full routers.
+
+    Mirrors the single-router driving surface — ``run_tasks``,
+    ``find``/``insert`` fan-out, ``bump_arp_epochs``, ``force_deopt``,
+    ``configure``/``profile``, ``retire`` — plus the sharded extras:
+    :meth:`apply_update` (transactional control-plane commit across all
+    shards), :meth:`hotswap_all`, :meth:`crash_worker` (fault-injection
+    hook), :meth:`merged_counters`, and :meth:`report`.
+
+    Built by :func:`repro.elements.runtime.build_router` whenever the
+    profile carries ``workers > 1``; a plain ``Router`` refuses such a
+    profile.  Shards (and worker threads/processes) start lazily on the
+    first operation, so a fault injector can attach first.
+    """
+
+    is_sharded = True
+
+    def __init__(
+        self,
+        graph,
+        extra_classes=None,
+        meter=None,
+        devices=None,
+        profile=None,
+        hash_seed=DEFAULT_SEED,
+        journal=None,
+        chunk_frames=2048,
+    ):
+        from ..errors import ClickSemanticError
+
+        if graph.element_classes:
+            raise ClickSemanticError(
+                "sharded router requires a flattened configuration "
+                "(compound classes remain: %s)" % ", ".join(graph.element_classes)
+            )
+        self.graph = graph
+        self.meter = meter
+        self.devices = {} if devices is None else devices
+        self._extra_classes = extra_classes
+        self._profile = profile if profile is not None else ExecutionProfile()
+        self.hash_seed = int(hash_seed)
+        self.chunk_frames = int(chunk_frames)
+        self.fault_injector = None
+        self.retired = False
+        self._started = False
+        self._journal_flag = journal
+        self._journals = []
+        self._shards = []
+        self._device_names = _device_names_of(graph, self.devices)
+        self._dispatched = []
+        self._flushed_total = 0
+        self._runs = 0
+        self._updates = 0
+        self._crashes = 0
+        self._replays = 0
+        self._cache_path = None
+        self._final_report = None
+        self.hasher = FlowHasher(max(1, self._profile.workers), self.hash_seed)
+
+    # -- profile surface ---------------------------------------------------
+
+    @property
+    def workers(self):
+        return self._profile.workers
+
+    @property
+    def backend(self):
+        return self._profile.shard_backend
+
+    @property
+    def profile(self):
+        """The live :class:`ExecutionProfile`, workers and backend
+        included.  (Shards run its ``shard_local()`` derivation.)"""
+        if self._started and self.backend == "thread" and self._shards:
+            local = self._shards[0].router.profile
+            return replace(
+                local, workers=self.workers, shard_backend=self.backend
+            )
+        return self._profile
+
+    def configure(self, profile=None):
+        """Apply a profile across every shard.  The execution tier,
+        batch flavor, and supervision may change on a live plane;
+        ``workers`` and ``shard_backend`` are construction-time — once
+        the shards exist, changing them raises."""
+        if profile is None:
+            profile = ExecutionProfile()
+        if self._started and (
+            profile.workers != self.workers
+            or profile.shard_backend != self.backend
+        ):
+            raise ValueError(
+                "cannot reshard a live ShardedRouter (%d/%s -> %d/%s); "
+                "build a new one"
+                % (self.workers, self.backend, profile.workers, profile.shard_backend)
+            )
+        changed = profile != self._profile
+        self._profile = profile
+        self.hasher = FlowHasher(max(1, profile.workers), self.hash_seed)
+        if self._started and changed:
+            self._control(("configure", profile))
+        return self
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _ensure_started(self):
+        # retired wins over started: a control op on a closed plane must
+        # raise, never enqueue to stopped workers (which would deadlock
+        # at the next barrier).
+        if self.retired:
+            raise RuntimeError("this sharded router is retired")
+        if self._started:
+            return
+        # Best-effort early validation: names scanned off recognizable
+        # device declarations must resolve.  (Renamed device classes are
+        # caught later, by the shard-local build itself.)
+        for name in _device_names_of(self.graph):
+            if self.devices.get(name) is None:
+                from ..errors import ClickSemanticError
+
+                raise ClickSemanticError("no such device %r" % name)
+        self._started = True
+        journal = self._journal_flag
+        if journal is None:
+            journal = self.fault_injector is not None
+        self._journal_enabled = bool(journal)
+        self._journals = [[] for _ in range(self.workers)]
+        self._dispatched = [0] * self.workers
+        if self.backend == "thread":
+            self._start_thread_shards()
+        else:
+            self._start_process_shards()
+
+    def _journal_cmd(self, index, cmd):
+        if self._journal_enabled:
+            self._journals[index].append(cmd)
+
+    # -- thread backend ----------------------------------------------------
+
+    def _build_shard_router(self):
+        from ..elements.devices import LoopbackDevice
+        from ..elements.runtime import Router
+
+        devices = OrderedDict(
+            (name, LoopbackDevice(name, tx_capacity=_SHARD_TX_CAPACITY))
+            for name in self._device_names
+        )
+        meter = None
+        if self.meter is not None:
+            from ..sim.cpu import CycleMeter
+
+            meter = CycleMeter()
+        router = Router(
+            self.graph,
+            extra_classes=self._extra_classes,
+            meter=meter,
+            devices=devices,
+            profile=self._profile.shard_local(),
+        )
+        return router, devices, meter
+
+    def _start_thread_shards(self):
+        for index in range(self.workers):
+            shard = _ThreadShard(index)
+            shard.router, shard.devices, shard.meter = self._build_shard_router()
+            shard.flushed = {name: 0 for name in self._device_names}
+            shard.thread = threading.Thread(
+                target=self._thread_main,
+                args=(shard,),
+                name="shard-%d" % index,
+                daemon=True,
+            )
+            shard.thread.start()
+            self._shards.append(shard)
+
+    def _thread_main(self, shard):
+        queue = shard.queue
+        while True:
+            cmd = queue.get()
+            op = cmd[0]
+            if op == "stop":
+                break
+            try:
+                if op == "frames":
+                    devices = shard.devices
+                    for name, frame in cmd[1]:
+                        devices[name].receive_frame(frame)
+                elif op == "run":
+                    shard.worked += shard.router.run_tasks(cmd[1])
+                elif op == "sync":
+                    cmd[1].set()
+            except BaseException as exc:  # noqa: BLE001 - re-raised at the barrier
+                if shard.error is None:
+                    shard.error = exc
+                if op == "sync":
+                    cmd[1].set()
+
+    def _barrier(self):
+        """Quiesce every worker thread; re-raise the first shard error
+        (an unsupervised shard must fail exactly like an unsupervised
+        single router would)."""
+        events = []
+        for shard in self._shards:
+            event = threading.Event()
+            shard.queue.put(("sync", event))
+            events.append(event)
+        for event in events:
+            event.wait()
+        for shard in self._shards:
+            if shard.error is not None:
+                error, shard.error = shard.error, None
+                raise error
+
+    # -- process backend ---------------------------------------------------
+
+    def _start_process_shards(self):
+        import multiprocessing
+
+        if self._extra_classes:
+            raise ValueError(
+                "the process backend rebuilds shards from configuration "
+                "text and cannot ship extra_classes; use the thread backend"
+            )
+        from ..core.toolchain import save_config
+
+        config_text = save_config(self.graph)
+        self._cache_path = self._prewarm_cache()
+        ctx = multiprocessing.get_context("spawn")
+        for index in range(self.workers):
+            shard = _ProcessShard(index)
+            shard.flushed = {name: 0 for name in self._device_names}
+            parent_conn, child_conn = ctx.Pipe()
+            shard.process = ctx.Process(
+                target=_process_shard_main,
+                args=(
+                    child_conn,
+                    config_text,
+                    self._profile,
+                    list(self._device_names),
+                    self._cache_path,
+                    self.meter is not None,
+                ),
+                daemon=True,
+            )
+            shard.process.start()
+            child_conn.close()
+            shard.conn = parent_conn
+            self._shards.append(shard)
+
+    def _prewarm_cache(self):
+        """Compile the configuration once locally and write the codegen
+        cache's disk layer; workers rehydrate compiled chains from it
+        instead of paying compile/exec each."""
+        if self._profile.mode == "reference":
+            return None
+        try:
+            from .codegen_cache import default_cache
+
+            router, _devices, _meter = self._build_shard_router()
+            router.retire()
+            handle, path = tempfile.mkstemp(prefix="repro-shard-cache-", suffix=".bin")
+            os.close(handle)
+            default_cache().save(path)
+            return path
+        except Exception:  # noqa: BLE001 - prewarm is an optimization only
+            return None
+
+    def _sync_process(self):
+        for shard in self._shards:
+            shard.conn.send(("sync",))
+        worked = 0
+        for shard in self._shards:
+            reply = shard.recv()
+            worked += reply[1]
+            if reply[2] is not None:
+                raise RuntimeError(
+                    "shard %d: %s: %s" % (shard.index, reply[2][0], reply[2][1])
+                )
+        return worked
+
+    # -- driving -----------------------------------------------------------
+
+    def run_tasks(self, iterations=1):
+        """One sharded scheduler batch: mirror the real devices'
+        transmit windows into the shards, drain and hash-partition the
+        ingress rings, run every shard ``iterations`` passes, then
+        flush shard output back to the real devices in shard order."""
+        if self.retired:
+            return 0
+        self._ensure_started()
+        self._runs += 1
+        caps = self._mirror_caps()
+        batches = self._drain_and_partition()
+        if self.backend == "thread":
+            return self._run_thread(iterations, caps, batches)
+        return self._run_process(iterations, caps, batches)
+
+    def _mirror_caps(self):
+        """Per-shard transmit-capacity mirrors: a shard-local device may
+        hold at most (what it already holds) + (the real device's
+        current ring room) — a downed or full real device blocks the
+        shard's ToDevice exactly as it blocks the reference router's."""
+        caps = []
+        for shard_index in range(self.workers):
+            local = {}
+            for name in self._device_names:
+                device = self.devices.get(name)
+                room = device.tx_room() if device is not None else 0
+                held = self._shard_transmitted_len(shard_index, name)
+                local[name] = held + max(0, room)
+            caps.append(local)
+        return caps
+
+    def _shard_transmitted_len(self, index, name):
+        if self.backend == "thread":
+            return len(self._shards[index].devices[name].transmitted)
+        return self._shards[index].flushed[name]
+
+    def _drain_and_partition(self):
+        hasher = self.hasher
+        dispatched = self._dispatched
+        batches = [[] for _ in range(self.workers)]
+        for name in self._device_names:
+            device = self.devices.get(name)
+            if device is None:
+                continue
+            dequeue = device.rx_dequeue
+            while True:
+                frame = dequeue()
+                if frame is None:
+                    break
+                index = hasher(frame)
+                batches[index].append((name, frame))
+                dispatched[index] += 1
+        return batches
+
+    def _run_thread(self, iterations, caps, batches):
+        before = sum(shard.worked for shard in self._shards)
+        for index, shard in enumerate(self._shards):
+            mirror = ("mirror", caps[index])
+            self._journal_cmd(index, mirror)
+            for name, capacity in caps[index].items():
+                shard.devices[name].tx_capacity = capacity
+            if batches[index]:
+                frames = ("frames", batches[index])
+                self._journal_cmd(index, frames)
+                shard.queue.put(frames)
+            run = ("run", iterations)
+            self._journal_cmd(index, run)
+            shard.queue.put(run)
+        self._barrier()
+        self._flush_thread()
+        return max(0, sum(shard.worked for shard in self._shards) - before)
+
+    def _flush_thread(self):
+        flushed = 0
+        for shard in self._shards:
+            for name in self._device_names:
+                frames = shard.devices[name].transmitted
+                start = shard.flushed[name]
+                if len(frames) > start:
+                    self._deliver(name, frames[start:])
+                    flushed += len(frames) - start
+                    shard.flushed[name] = len(frames)
+            if shard.meter is not None and self.meter is not None:
+                summary = shard.meter.summary()
+                self.meter.absorb(_meter_delta(summary, shard.meter_snapshot))
+                shard.meter_snapshot = summary
+        self._flushed_total += flushed
+
+    def _deliver(self, name, frames):
+        """Append shard output to the real device.  ``tx_enqueue`` keeps
+        capacity/fault accounting honest; a refusal must still not lose
+        the frame (it already left a shard's ring), so it lands on the
+        transmitted list directly."""
+        device = self.devices.get(name)
+        for frame in frames:
+            if not device.tx_enqueue(frame):
+                device.transmitted.append(bytes(frame))
+
+    def _run_process(self, iterations, caps, batches):
+        from ..elements.devices import PollDevice
+
+        chunk = max(1, self.chunk_frames)
+        total = sum(len(batch) for batch in batches)
+        for index, shard in enumerate(self._shards):
+            mirror = ("mirror", caps[index])
+            self._journal_cmd(index, mirror)
+            shard.conn.send(mirror)
+        if total <= chunk:
+            for index, shard in enumerate(self._shards):
+                if batches[index]:
+                    frames = ("frames", batches[index])
+                    self._journal_cmd(index, frames)
+                    shard.conn.send(frames)
+                run = ("run", iterations)
+                self._journal_cmd(index, run)
+                shard.conn.send(run)
+        else:
+            # Pipeline: deliver each shard's frames in chunks with a
+            # partial run after each, so workers execute while the
+            # parent hashes and serializes the next chunk; a final full
+            # run guarantees at least ``iterations`` passes after the
+            # last frame arrives (the drain the caller sized).
+            per_shard_chunk = max(PollDevice.BURST, chunk // self.workers)
+            positions = [0] * self.workers
+            spent = [0] * self.workers
+            while True:
+                progressed = False
+                for index, shard in enumerate(self._shards):
+                    batch = batches[index]
+                    position = positions[index]
+                    if position >= len(batch):
+                        continue
+                    progressed = True
+                    part = batch[position : position + per_shard_chunk]
+                    positions[index] = position + len(part)
+                    frames = ("frames", part)
+                    self._journal_cmd(index, frames)
+                    shard.conn.send(frames)
+                    passes = len(part) // PollDevice.BURST + 1
+                    spent[index] += passes
+                    run = ("run", passes)
+                    self._journal_cmd(index, run)
+                    shard.conn.send(run)
+                if not progressed:
+                    break
+            for index, shard in enumerate(self._shards):
+                run = ("run", max(1, iterations))
+                self._journal_cmd(index, run)
+                shard.conn.send(run)
+        worked = self._sync_process()
+        self._flush_process()
+        return worked
+
+    def _flush_process(self):
+        flushed = 0
+        for shard in self._shards:
+            shard.conn.send(("collect",))
+        for shard in self._shards:
+            reply = shard.recv()
+            fresh, meter = reply[1], reply[2]
+            for name in self._device_names:
+                frames = fresh.get(name)
+                if frames:
+                    self._deliver(name, frames)
+                    shard.flushed[name] += len(frames)
+                    flushed += len(frames)
+            if meter is not None and self.meter is not None:
+                self.meter.absorb(_meter_delta(meter, shard.meter_snapshot))
+                shard.meter_snapshot = meter
+        self._flushed_total += flushed
+
+    # -- control-plane fan-out ---------------------------------------------
+
+    def _control(self, cmd):
+        """Fan one journaled control command out to every shard, at
+        quiescence."""
+        self._ensure_started()
+        if self.backend == "thread":
+            self._barrier()
+            for index, shard in enumerate(self._shards):
+                self._journal_cmd(index, cmd)
+                shard.router = _apply_shard_control(shard.router, shard.devices, cmd)
+        else:
+            for index, shard in enumerate(self._shards):
+                self._journal_cmd(index, cmd)
+                shard.conn.send(cmd)
+
+    def find(self, name):
+        """A fan-out proxy for the named element (None when the
+        configuration has no such element) — control writes through it
+        reach every shard."""
+        if name not in self.graph.elements:
+            return None
+        return _FanoutElementProxy(self, name)
+
+    def _fanout_insert(self, name, ip, ether):
+        self._control(("insert", name, ip, ether))
+
+    def bump_arp_epochs(self):
+        """Invalidate every shard's baked ARP header guards; returns the
+        per-shard element count (identical on every shard)."""
+        self._ensure_started()
+        bumped = sum(
+            1
+            for decl in self.graph.elements.values()
+            if decl.class_name == "ARPQuerier"
+        )
+        self._control(("bump_epochs",))
+        return bumped
+
+    def force_deopt(self, reason="forced"):
+        """Force every shard's adaptive engine back to tier 1; True when
+        the profile runs adaptively (mirrors ``Router.force_deopt``)."""
+        self._control(("deopt",))
+        return self._profile.mode == "adaptive"
+
+    def hotswap_all(self, new_graph):
+        """Hot-swap every shard to ``new_graph`` (text or graph).  Each
+        per-shard swap is transactional; a failure after some shards
+        swapped rolls the finished ones back to the old configuration.
+        Returns self (the sharded router's identity is stable)."""
+        from ..core.toolchain import load_config, save_config
+
+        if isinstance(new_graph, str):
+            text = new_graph
+        else:
+            text = save_config(new_graph)
+        self._ensure_started()
+        if self.backend != "thread":
+            self._control(("hotswap", text))
+            self._set_graph(text)
+            return self
+        self._barrier()
+        old_text = save_config(self.graph)
+        done = []
+        try:
+            for index, shard in enumerate(self._shards):
+                shard.router = _apply_shard_control(
+                    shard.router, shard.devices, ("hotswap", text)
+                )
+                done.append(index)
+        except Exception:
+            for index in done:
+                shard = self._shards[index]
+                shard.router = _apply_shard_control(
+                    shard.router, shard.devices, ("hotswap", old_text)
+                )
+            raise
+        for index in range(self.workers):
+            self._journal_cmd(index, ("hotswap", text))
+        self._set_graph(text)
+        return self
+
+    def _set_graph(self, text):
+        from ..core.toolchain import load_config
+
+        graph = load_config(text, "<shard-graph>")
+        if graph.element_classes:
+            from ..core.flatten import flatten
+
+            graph = flatten(graph)
+        self.graph = graph
+        self._device_names = _device_names_of(graph, self.devices)
+
+    def apply_update(self, update):
+        """Install one control-plane update on *every* shard
+        transactionally.
+
+        Pure-data deltas use two-phase commit: phase one stages the
+        parsed, validated new tables on every shard (no mutation);
+        only when every shard staged cleanly does phase two commit them
+        all — a rejection anywhere leaves every shard serving the old
+        tables.  Structural deltas hot-swap shard by shard with
+        rollback on failure.  Returns shard 0's
+        :class:`~repro.elements.hotswap.SwapReport`."""
+        self._ensure_started()
+        self._updates += 1
+        if self.backend == "process":
+            return self._apply_update_process(update)
+        from ..control import ControlPlane
+
+        self._barrier()
+        planes = [ControlPlane(shard.router) for shard in self._shards]
+        delta, new_graph = planes[0].resolve(update)
+        if delta.empty:
+            return planes[0].apply(delta)
+        text = self._update_text(update, delta, new_graph)
+        if not delta.structural:
+            staged = []
+            for plane in planes:
+                batch = plane.stage_patch(delta)
+                if batch is None:
+                    break
+                staged.append(batch)
+            if len(staged) == len(planes):
+                report = None
+                for plane, batch in zip(planes, staged):
+                    committed = plane.commit_patch(batch, delta)
+                    if report is None:
+                        report = committed
+                for index in range(self.workers):
+                    self._journal_cmd(index, ("update", text))
+                return report
+        # Structural (or not patchable in place): per-shard transactional
+        # swaps, rolled back together on failure.
+        from ..core.toolchain import save_config
+
+        old_text = save_config(self.graph)
+        done = []
+        report = None
+        try:
+            for index, plane in enumerate(planes):
+                committed = plane.apply(update)
+                done.append(index)
+                if report is None:
+                    report = committed
+        except Exception:
+            for index in done:
+                ControlPlane(planes[index].router).apply(old_text)
+                self._shards[index].router = planes[index].router
+            raise
+        for index, plane in enumerate(planes):
+            self._shards[index].router = plane.router
+        for index in range(self.workers):
+            self._journal_cmd(index, ("update", text))
+        self._set_graph(text)
+        return report
+
+    def _update_text(self, update, delta, new_graph):
+        """The update as configuration text (the journal's replayable
+        form), materializing the delta against the live graph when the
+        caller passed a bare GraphDelta."""
+        from ..core.toolchain import save_config
+
+        if isinstance(update, str):
+            return update
+        if new_graph is None:
+            new_graph = delta.apply_to(self.graph)
+        return save_config(new_graph)
+
+    def _apply_update_process(self, update):
+        from ..control import ControlPlaneError
+
+        delta = None
+        new_graph = None
+        if isinstance(update, str):
+            text = update
+        else:
+            from ..graph.diff import GraphDelta, diff_graphs
+
+            if isinstance(update, GraphDelta):
+                delta, new_graph = update, None
+            else:
+                delta, new_graph = diff_graphs(self.graph, update), update
+            text = self._update_text(update, delta, new_graph)
+        for shard in self._shards:
+            shard.conn.send(("update_stage", text))
+        verdicts = [shard.recv() for shard in self._shards]
+        rejected = [v for v in verdicts if v[1] == "rejected"]
+        if rejected:
+            for shard in self._shards:
+                shard.conn.send(("update_abort",))
+            raise ControlPlaneError(rejected[0][2])
+        if all(v[1] == "empty" for v in verdicts):
+            from ..elements.hotswap import SwapReport
+
+            return SwapReport("no-op", profile=self._profile.label)
+        if all(v[1] == "ok" for v in verdicts):
+            for shard in self._shards:
+                shard.conn.send(("update_commit",))
+            for shard in self._shards:
+                shard.recv()
+            for index in range(self.workers):
+                self._journal_cmd(index, ("update", text))
+            from ..elements.hotswap import SwapReport
+
+            report = SwapReport("in-place", profile=self._profile.label)
+            report.elements_patched = len(
+                delta.changed if delta is not None else ()
+            )
+            return report
+        # Structural somewhere: full per-shard apply (each shard's
+        # ControlPlane is transactional on its own).
+        for shard in self._shards:
+            shard.conn.send(("update_abort",))
+            shard.conn.send(("update", text))
+        self._sync_process()
+        for index in range(self.workers):
+            self._journal_cmd(index, ("update", text))
+        self._set_graph(text)
+        from ..elements.hotswap import SwapReport
+
+        return SwapReport("scoped-swap", profile=self._profile.label)
+
+    # -- worker faults -----------------------------------------------------
+
+    def crash_worker(self, index):
+        """Kill shard ``index`` and recover it: a fresh shard replays
+        the journal — every frame batch, scheduler run, transmit
+        mirror, and control op since birth — reconstructing
+        byte-identical state (everything in the pipeline is
+        deterministic).  The fault injector's ``worker_crash`` fault
+        calls this; a no-op index is ignored."""
+        self._ensure_started()
+        index = index % self.workers
+        if not self._journal_enabled:
+            raise RuntimeError(
+                "worker_crash needs the command journal; build the "
+                "ShardedRouter with journal=True or attach a fault injector "
+                "before the first operation"
+            )
+        self._crashes += 1
+        if self.backend == "thread":
+            self._crash_thread(index)
+        else:
+            self._crash_process(index)
+        self._replays += 1
+
+    def _crash_thread(self, index):
+        self._barrier()
+        shard = self._shards[index]
+        shard.queue.put(("stop",))
+        shard.thread.join(timeout=10)
+        shard.router, shard.devices, shard.meter = self._build_shard_router()
+        shard.worked = 0
+        shard.error = None
+        for cmd in self._journals[index]:
+            op = cmd[0]
+            if op == "frames":
+                for name, frame in cmd[1]:
+                    shard.devices[name].receive_frame(frame)
+            elif op == "run":
+                shard.router.run_tasks(cmd[1])
+            else:
+                shard.router = _apply_shard_control(shard.router, shard.devices, cmd)
+        # Replayed work was genuinely re-executed, but its meter charges
+        # were already absorbed before the crash: re-baseline so only
+        # post-recovery work flows to the parent meter.
+        if shard.meter is not None:
+            shard.meter_snapshot = shard.meter.summary()
+        shard.queue = SPSCQueue()
+        shard.thread = threading.Thread(
+            target=self._thread_main,
+            args=(shard,),
+            name="shard-%d" % index,
+            daemon=True,
+        )
+        shard.thread.start()
+
+    def _crash_process(self, index):
+        import multiprocessing
+
+        from ..core.toolchain import save_config
+
+        shard = self._shards[index]
+        try:
+            shard.process.terminate()
+            shard.process.join(timeout=10)
+            shard.conn.close()
+        except Exception:  # noqa: BLE001 - it crashed; cleanup is best effort
+            pass
+        ctx = multiprocessing.get_context("spawn")
+        parent_conn, child_conn = ctx.Pipe()
+        shard.process = ctx.Process(
+            target=_process_shard_main,
+            args=(
+                child_conn,
+                save_config(self.graph),
+                self._profile,
+                list(self._device_names),
+                self._cache_path,
+                self.meter is not None,
+            ),
+            daemon=True,
+        )
+        shard.process.start()
+        child_conn.close()
+        shard.conn = parent_conn
+        for cmd in self._journals[index]:
+            shard.conn.send(cmd)
+        # The parent already consumed everything it flushed before the
+        # crash; realign the worker's collect cursor so replayed frames
+        # are not delivered twice.
+        shard.conn.send(("set_flushed", dict(shard.flushed)))
+        shard.conn.send(("sync",))
+        reply = shard.recv()
+        if reply[2] is not None:
+            raise RuntimeError(
+                "shard %d replay failed: %s: %s" % (index, reply[2][0], reply[2][1])
+            )
+        shard.worked = 0
+        if shard.meter_snapshot or self.meter is not None:
+            shard.conn.send(("collect",))
+            collected = shard.recv()
+            # Drop the replayed frames (already flushed) and re-baseline
+            # the meter like the thread backend does.
+            if collected[2] is not None:
+                shard.meter_snapshot = collected[2]
+
+    # -- observability -----------------------------------------------------
+
+    def merged_counters(self):
+        """Every element read handler, reconciled across shards: numeric
+        values sum; non-numeric values report shard 0's."""
+        self._ensure_started()
+        if self.backend == "thread":
+            self._barrier()
+            per_shard = []
+            for shard in self._shards:
+                values = {}
+                for name, element in sorted(shard.router.elements.items()):
+                    for handler, fn in sorted(element.read_handlers().items()):
+                        value = fn()
+                        if not isinstance(value, (int, float, str, bool, type(None))):
+                            value = repr(value)
+                        values["%s.%s" % (name, handler)] = value
+                per_shard.append(values)
+        else:
+            per_shard = []
+            for shard in self._shards:
+                shard.conn.send(("counters",))
+            for shard in self._shards:
+                per_shard.append(shard.recv()[1])
+        merged = {}
+        for values in per_shard:
+            for key, value in values.items():
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    merged.setdefault(key, value)
+                else:
+                    merged[key] = merged.get(key, 0) + value
+        return merged
+
+    def report(self):
+        """A :class:`ShardReport` of the plane's lifetime so far (the
+        last one captured is returned after :meth:`close`)."""
+        if self.retired and self._final_report is not None:
+            return self._final_report
+        report = ShardReport()
+        report.workers = self.workers
+        report.backend = self.backend
+        report.seed = self.hash_seed
+        report.dispatched = list(self._dispatched) or [0] * self.workers
+        report.flushed = self._flushed_total
+        report.runs = self._runs
+        report.updates = self._updates
+        report.crashes = self._crashes
+        report.replays = self._replays
+        if self._started and self.backend == "thread":
+            self._barrier()
+            report.queue_high_water = [s.queue.high_water for s in self._shards]
+            for shard in self._shards:
+                supervisor = shard.router.supervisor
+                if supervisor is not None:
+                    report.supervisors["shard-%d" % shard.index] = (
+                        supervisor.report().as_dict()
+                    )
+        elif self._started:
+            for shard in self._shards:
+                shard.conn.send(("report",))
+            for shard in self._shards:
+                reply = shard.recv()
+                if reply[1] is not None:
+                    report.supervisors["shard-%d" % shard.index] = reply[1]
+        if self.meter is not None:
+            report.meter = self.meter.summary()
+        return report
+
+    # -- teardown ----------------------------------------------------------
+
+    def close(self):
+        """Stop every worker and release the plane.  Idempotent; the
+        final :class:`ShardReport` stays readable via :meth:`report`."""
+        if self.retired:
+            return
+        if self._started:
+            try:
+                self._final_report = self.report()
+            except Exception:  # noqa: BLE001 - teardown must not raise
+                self._final_report = None
+            if self.backend == "thread":
+                for shard in self._shards:
+                    shard.queue.put(("stop",))
+                for shard in self._shards:
+                    shard.thread.join(timeout=10)
+            else:
+                for shard in self._shards:
+                    try:
+                        shard.conn.send(("stop",))
+                        shard.recv()
+                    except Exception:  # noqa: BLE001
+                        pass
+                    try:
+                        shard.conn.close()
+                        shard.process.join(timeout=10)
+                        if shard.process.is_alive():
+                            shard.process.terminate()
+                    except Exception:  # noqa: BLE001
+                        pass
+        if self._cache_path:
+            try:
+                os.unlink(self._cache_path)
+            except OSError:
+                pass
+            self._cache_path = None
+        self.retired = True
+
+    def retire(self):
+        """Decommission (hot-swap parity with ``Router.retire``)."""
+        self.close()
+
+    def __del__(self):
+        try:
+            self.close()
+        except Exception:  # noqa: BLE001
+            pass

@@ -233,6 +233,49 @@ class CycleMeter:
         """A scheduler slot; per-packet scheduling is charged via
         rx_device above, so idle polls cost nothing here."""
 
+    # -- merging (the sharded data plane) -----------------------------------------
+
+    def summary(self):
+        """A flat snapshot of every monotonic count this meter holds —
+        the unit the sharded data plane reconciles: per-shard meters
+        snapshot, subtract, and :meth:`absorb` deltas into one parent
+        meter."""
+        return {
+            "rx_device": self.totals.rx_device,
+            "forwarding": self.totals.forwarding,
+            "tx_device": self.totals.tx_device,
+            "btb_hits": self.btb.hits,
+            "btb_misses": self.btb.misses,
+            "transfers": self.transfers,
+            "direct_transfers": self.direct_transfers,
+            "element_entries": self.element_entries,
+            "packets_seen": self._packets_seen,
+            "stall_cycles": self.stall_cycles,
+            "dynamic": dict(self.dynamic),
+        }
+
+    def absorb(self, summary):
+        """Merge another meter's :meth:`summary` (or a delta of two
+        summaries) into this one.  Pure count addition — associative
+        and commutative, so shards can be absorbed in any order and any
+        grouping and the totals agree.  The BTB's *prediction state*
+        (last target per site) deliberately does not merge: each shard
+        predicts against its own history, exactly as per-core BTBs do.
+        """
+        self.totals.rx_device += summary.get("rx_device", 0)
+        self.totals.forwarding += summary.get("forwarding", 0)
+        self.totals.tx_device += summary.get("tx_device", 0)
+        self.btb.hits += summary.get("btb_hits", 0)
+        self.btb.misses += summary.get("btb_misses", 0)
+        self.transfers += summary.get("transfers", 0)
+        self.direct_transfers += summary.get("direct_transfers", 0)
+        self.element_entries += summary.get("element_entries", 0)
+        self._packets_seen += summary.get("packets_seen", 0)
+        self.stall_cycles += summary.get("stall_cycles", 0)
+        for kind, amount in summary.get("dynamic", {}).items():
+            self.dynamic[kind] = self.dynamic.get(kind, 0) + amount
+        return self
+
     # -- reporting ----------------------------------------------------------------
 
     @property

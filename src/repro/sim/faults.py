@@ -46,6 +46,7 @@ FAULT_KINDS = {
     "element_error": (("element", "after"), {"count": 1, "message": None}),
     "cache_corrupt": (("at",), {}),
     "cache_invalidate": (("at",), {}),
+    "worker_crash": (("at",), {"worker": 0}),
 }
 
 
@@ -90,7 +91,7 @@ class FaultPlan:
                     continue
                 if field not in required and field not in optional:
                     raise FaultError("fault %d (%s): unknown field %r" % (index, kind, field))
-                if field in ("at", "ticks", "after", "count", "offset", "xor"):
+                if field in ("at", "ticks", "after", "count", "offset", "xor", "worker"):
                     if not isinstance(value, int) or value < 0:
                         raise FaultError(
                             "fault %d (%s): field %r must be a non-negative "
@@ -130,11 +131,19 @@ class FaultPlan:
     # -- generation --------------------------------------------------------
 
     @classmethod
-    def seeded(cls, seed, devices=(), elements=(), ticks=16, events=64):
+    def seeded(cls, seed, devices=(), elements=(), ticks=16, events=64, sharded=False):
         """A deterministic plan drawn from ``seed``: one device flap,
         maybe a frame-corruption window, one or two element faults, and
         a cache invalidation + corruption — scaled to a trace of about
-        ``ticks`` run events carrying about ``events`` packets."""
+        ``ticks`` run events carrying about ``events`` packets.
+
+        ``sharded=True`` draws a *shard-safe* plan for comparing
+        sharded against single-shard execution: element faults are
+        count-based ("the 12th packet through ``chk``"), and global
+        packet-entry order is exactly what sharding does not preserve —
+        so they come out, and a ``worker_crash`` (whose journal-replay
+        recovery is a deterministic no-op on the wire, and which plain
+        routers ignore entirely) goes in."""
         rng = random.Random(seed)
         devices = list(devices)
         elements = list(elements)
@@ -156,15 +165,24 @@ class FaultPlan:
                         "xor": 1 + rng.randrange(255),
                     }
                 )
-        for element in rng.sample(elements, min(len(elements), 1 + rng.randrange(2))):
+        if sharded:
             faults.append(
                 {
-                    "kind": "element_error",
-                    "element": element,
-                    "after": rng.randrange(max(1, events // 2)),
-                    "count": 1 + rng.randrange(4),
+                    "kind": "worker_crash",
+                    "at": rng.randrange(max(1, ticks)),
+                    "worker": rng.randrange(8),
                 }
             )
+        else:
+            for element in rng.sample(elements, min(len(elements), 1 + rng.randrange(2))):
+                faults.append(
+                    {
+                        "kind": "element_error",
+                        "element": element,
+                        "after": rng.randrange(max(1, events // 2)),
+                        "count": 1 + rng.randrange(4),
+                    }
+                )
         faults.append({"kind": "cache_invalidate", "at": rng.randrange(max(1, ticks))})
         faults.append({"kind": "cache_corrupt", "at": rng.randrange(max(1, ticks))})
         return cls(faults=faults, seed=seed, name="seeded-%s" % seed)
@@ -313,9 +331,12 @@ class FaultInjector:
         self.tick_count = 0
         self.cache_invalidations = 0
         self.cache_corruptions = 0
+        self.worker_crashes = 0
         self._devices = {}
         self._elements = {}
         self._cache_events = []  # (at, kind), unfired
+        self._worker_events = []  # (at, worker index), unfired
+        self._router = None
         for fault in self.plan.faults:
             kind = fault["kind"]
             if kind in ("device_flap", "device_fail", "corrupt_frame"):
@@ -343,6 +364,8 @@ class FaultInjector:
                 state.windows.append(
                     (fault["after"], fault.get("count", 1), fault.get("message"))
                 )
+            elif kind == "worker_crash":
+                self._worker_events.append((fault["at"], fault.get("worker", 0)))
             else:
                 self._cache_events.append((fault["at"], kind))
         for state in self._devices.values():
@@ -366,6 +389,19 @@ class FaultInjector:
         """Install element-fault wrappers on ``router`` (idempotent per
         router) and mark it uncacheable for the codegen cache.  Must run
         before the router compiles a fast path."""
+        self._router = router
+        if getattr(router, "is_sharded", False):
+            if self._elements:
+                # Element faults fire by *global* packet-entry count, an
+                # order sharding deliberately does not preserve — such a
+                # plan cannot be mode-invariant on a sharded plane.
+                raise FaultError(
+                    "element_error faults are count-ordered and cannot be "
+                    "applied to a sharded router; use a sharded-safe plan "
+                    "(FaultPlan.seeded(..., sharded=True))"
+                )
+            router.fault_injector = self
+            return []
         touched = []
         for name, state in self._elements.items():
             element = router.find(name)
@@ -410,6 +446,17 @@ class FaultInjector:
                         self.cache_invalidations += 1
                     else:
                         self.cache_corruptions += cache.corrupt_entries()
+            for at, worker in list(self._worker_events):
+                if at == now:
+                    self._worker_events.remove((at, worker))
+                    # Kill-and-recover one data-plane shard.  A plain
+                    # (single-shard) router has no workers to crash, so
+                    # the fault is a no-op there — which is what keeps a
+                    # sharded-safe plan mode-invariant.
+                    crash = getattr(self._router, "crash_worker", None)
+                    if crash is not None:
+                        crash(worker)
+                        self.worker_crashes += 1
 
     # -- observability -----------------------------------------------------
 
@@ -419,6 +466,7 @@ class FaultInjector:
             "ticks": self.tick_count,
             "cache_invalidations": self.cache_invalidations,
             "cache_corruptions": self.cache_corruptions,
+            "worker_crashes": self.worker_crashes,
             "devices": {
                 name: {
                     "down_polls": state.down_polls,

@@ -23,7 +23,7 @@ from ..core.pipeline import Pipeline
 from ..core.toolchain import load_config, save_config
 from ..core.xform import PatternPair, xform
 from ..elements.devices import LoopbackDevice
-from ..elements.runtime import Router
+from ..elements.runtime import build_router as build_runtime_router
 from ..runtime.profile import ExecutionProfile
 from ..net.headers import build_ether_udp_packet
 from . import fluid
@@ -182,7 +182,10 @@ class Testbed:
             interface.device: LoopbackDevice(interface.device, tx_capacity=1 << 30)
             for interface in self.interfaces
         }
-        router = Router(graph, meter=meter, devices=devices, profile=profile)
+        # The dispatcher: a profile carrying workers > 1 builds a
+        # ShardedRouter (whose find() fans the ARP seeding out to every
+        # shard); otherwise a plain Router.
+        router = build_runtime_router(graph, meter=meter, devices=devices, profile=profile)
         self._seed_arp(router)
         return router, devices
 
@@ -252,6 +255,20 @@ class Testbed:
     def mlffr(self, variant, packets=2000):
         cpu_ns = self.true_cpu_ns(variant, packets)
         return fluid.mlffr(cpu_ns, self.platform)
+
+    def sharded_mlffr(self, variant, workers, dispatch_ns=650.0, packets=2000):
+        """The fluid-model saturation rate of a sharded data plane:
+        ``workers`` shards divide the per-packet forwarding cost, but
+        every frame still crosses the single-threaded flow-hash
+        dispatcher — so the effective service time is
+        ``max(dispatch_ns, cpu_ns / workers)`` and the curve flattens
+        once the dispatcher, not the shards, is the bottleneck (the
+        MLFFR-style saturation shape ``bench_shard.py`` plots)."""
+        if workers < 1:
+            raise ValueError("workers must be >= 1, not %r" % (workers,))
+        cpu_ns = self.true_cpu_ns(variant, packets)
+        effective_ns = max(float(dispatch_ns), cpu_ns / workers) if workers > 1 else cpu_ns
+        return fluid.mlffr(effective_ns, self.platform)
 
 
 def figure9_reports(interface_count=2, packets=2000, variants=None):

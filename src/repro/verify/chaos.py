@@ -24,6 +24,16 @@ matching.
 Everything is deterministic: plans derive from ``--seed``, fault ticks
 advance once per ``["run"]`` trace event, and count-based faults hit
 the same packet in every mode.
+
+``shard-*`` modes pull the sharded data plane into the torture matrix.
+Two rules change with them: the plan must be *sharded-safe*
+(``FaultPlan.seeded(..., sharded=True)`` replaces count-ordered
+element errors — which a partitioned plane cannot order — with a
+``worker_crash`` fault, the device-failure analog that kills one shard
+worker mid-trace and forces a journal replay; ``worker_crash`` is a
+no-op on plain routers, so one plan stays valid for the whole matrix),
+and the wire check weakens to the sharding contract (per-flow
+byte-identical, per-device multiset-identical).
 """
 
 from __future__ import annotations
@@ -35,7 +45,15 @@ import time
 
 from ..sim.faults import FaultPlan
 from .genconfig import stock_cases
-from .oracle import MODES, device_names, first_transmit_difference, run_case
+from .oracle import (
+    MODES,
+    SHARD_MODES,
+    device_names,
+    first_transmit_difference,
+    overflow_drops,
+    run_case,
+    sharded_transmit_difference,
+)
 
 #: Element classes seeded plans never target: device drivers (their
 #: faults come from the device side of the plan) and sinks too trivial
@@ -60,9 +78,12 @@ def element_candidates(config_text):
     )
 
 
-def seeded_plan(case, seed):
+def seeded_plan(case, seed, sharded=False):
     """The deterministic fault plan for one case: drawn from ``seed``
-    and the case's own devices, elements, and trace shape."""
+    and the case's own devices, elements, and trace shape.  With
+    ``sharded=True`` the plan is sharded-safe (worker crashes instead
+    of count-ordered element errors) and remains valid — the crash is a
+    no-op — on plain routers."""
     events = case["events"]
     ticks = sum(1 for event in events if event[0] == "run")
     frames = sum(1 for event in events if event[0] == "frame")
@@ -72,6 +93,7 @@ def seeded_plan(case, seed):
         elements=element_candidates(case["config"]),
         ticks=max(1, ticks),
         events=max(1, frames),
+        sharded=sharded,
     )
 
 
@@ -83,10 +105,11 @@ def compare_chaos(case, plan, modes=None):
     (transmitted bytes differ), or ``"crash"`` (an exception escaped the
     supervisor in some mode); ``failures`` lists each violation;
     ``reports`` carries every mode's resilience report."""
-    modes = [m for m in (modes or list(MODES)) if m in MODES]
+    modes = [m for m in (modes or list(MODES)) if m in MODES or m in SHARD_MODES]
     if "reference" not in modes:
         modes = ["reference"] + modes
     failures = []
+    skips = []
     reports = {}
     reference = None
     for mode in modes:
@@ -94,7 +117,11 @@ def compare_chaos(case, plan, modes=None):
         status, payload = run_case(
             case, mode, plan=plan, supervised=True, collect=routers.append
         )
-        if routers and getattr(routers[-1], "supervisor", None) is not None:
+        if routers and getattr(routers[-1], "is_sharded", False):
+            # The sharded plane's report aggregates its shards'
+            # supervisors (plus crash/replay counts).
+            reports[mode] = routers[-1].report().as_dict()
+        elif routers and getattr(routers[-1], "supervisor", None) is not None:
             reports[mode] = routers[-1].supervisor.report().as_dict()
         if status == "error":
             failures.append(
@@ -110,10 +137,29 @@ def compare_chaos(case, plan, modes=None):
             continue
         if reference is None:
             continue  # reference crashed; already recorded
-        diff = first_transmit_difference(
-            reference["transmitted"], payload["transmitted"]
+        transmit_diff = (
+            sharded_transmit_difference
+            if mode in SHARD_MODES
+            else first_transmit_difference
         )
+        diff = transmit_diff(reference["transmitted"], payload["transmitted"])
         if diff is not None:
+            drops = max(
+                overflow_drops(reference["counters"]),
+                overflow_drops(payload["counters"]),
+            )
+            if mode in SHARD_MODES and drops:
+                # Out of the shard contract (see compare_case): per-shard
+                # queue copies scale aggregate capacity, so which packets
+                # overflow under fault pressure is load-dependent.
+                skips.append(
+                    {
+                        "mode": mode,
+                        "reason": "lossy-overflow: %d queue drop(s) (%s)"
+                        % (drops, diff),
+                    }
+                )
+                continue
             failures.append({"mode": mode, "kind": "transmitted", "detail": diff})
     if any(f["kind"] == "crash" for f in failures):
         status = "crash"
@@ -124,6 +170,7 @@ def compare_chaos(case, plan, modes=None):
     return {
         "status": status,
         "failures": failures,
+        "skips": skips,
         "reports": reports,
         "plan": plan.to_dict(),
     }
@@ -187,11 +234,11 @@ def _parser():
 
 def _parse_modes(spec):
     modes = [m.strip() for m in spec.split(",") if m.strip()]
-    unknown = [m for m in modes if m not in MODES]
+    unknown = [m for m in modes if m not in MODES and m not in SHARD_MODES]
     if unknown:
         raise SystemExit(
             "click-chaos: unknown mode(s) %s (choose from %s)"
-            % (", ".join(unknown), ", ".join(MODES))
+            % (", ".join(unknown), ", ".join(list(MODES) + list(SHARD_MODES)))
         )
     return modes
 
@@ -237,10 +284,14 @@ def main(argv=None):
     args = _parser().parse_args(argv)
     modes = _parse_modes(args.modes)
     cases = _cases(args)
+    sharded = any(mode in SHARD_MODES for mode in modes)
     if args.plan:
         plans = _load_plans(args.plan, cases)
     else:
-        plans = {case["name"]: seeded_plan(case, args.seed) for case in cases}
+        plans = {
+            case["name"]: seeded_plan(case, args.seed, sharded=sharded)
+            for case in cases
+        }
 
     started = time.time()
     records = []

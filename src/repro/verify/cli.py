@@ -27,7 +27,7 @@ import sys
 import time
 
 from .genconfig import generate_case, stock_cases
-from .oracle import MODES, compare_case
+from .oracle import MODES, SHARD_MODES, compare_case
 from .shrink import element_count, load_repro, shrink_case, write_repro
 
 
@@ -51,7 +51,8 @@ def _parser():
         "--modes",
         default=",".join(MODES),
         metavar="LIST",
-        help="comma-separated mode matrix (default: %(default)s)",
+        help="comma-separated mode matrix; shard-* labels run the "
+        "sharded data plane (default: %(default)s)",
     )
     parser.add_argument(
         "--events",
@@ -102,11 +103,11 @@ def _write_report(dest, payload):
 
 def _parse_modes(spec):
     modes = [m.strip() for m in spec.split(",") if m.strip()]
-    unknown = [m for m in modes if m not in MODES]
+    unknown = [m for m in modes if m not in MODES and m not in SHARD_MODES]
     if unknown:
         raise SystemExit(
             "click-fuzz: unknown mode(s) %s (choose from %s)"
-            % (", ".join(unknown), ", ".join(MODES))
+            % (", ".join(unknown), ", ".join(list(MODES) + list(SHARD_MODES)))
         )
     return modes
 
@@ -122,6 +123,12 @@ def _replay(args, modes):
         "elements": element_count(case),
         "events": len(case["events"]),
     }
+    if result.get("skips"):
+        record["skips"] = result["skips"]
+        print(
+            "click-fuzz: %s out of shard contract (%s)"
+            % (case["name"], result["skips"][0]["reason"])
+        )
     if result["status"] == "divergence":
         print(
             "click-fuzz: %s still diverges (%d way(s)); first: %s"
@@ -133,6 +140,8 @@ def _replay(args, modes):
         )
     elif result["status"] == "error":
         print("click-fuzz: %s errored: %s" % (case["name"], result.get("detail")))
+    elif result.get("skips"):
+        print("click-fuzz: %s agrees within the shard contract" % case["name"])
     else:
         print("click-fuzz: %s agrees across the matrix" % case["name"])
     if args.report:
@@ -163,10 +172,20 @@ def main(argv=None):
     records = []
     repro_files = []
     counts = {"ok": 0, "divergence": 0, "error": 0}
+    skipped = 0
     for case in _fuzz_cases(args):
         result = compare_case(case, modes=modes)
         counts[result["status"]] += 1
         record = {"name": case["name"], "status": result["status"]}
+        if result.get("skips"):
+            # Out-of-contract shard comparisons (lossy overflow): not
+            # divergences, but never silent either.
+            record["skips"] = result["skips"]
+            skipped += 1
+            print(
+                "click-fuzz: %s out of shard contract (%s)"
+                % (case["name"], result["skips"][0]["reason"])
+            )
         if result["status"] == "error":
             record["detail"] = result.get("detail")
         if result["status"] == "divergence":
@@ -189,11 +208,15 @@ def main(argv=None):
 
     summary = dict(counts)
     summary["cases"] = len(records)
+    summary["shard_contract_skips"] = skipped
     summary["seconds"] = round(time.time() - started, 3)
-    print(
+    line = (
         "click-fuzz: %(cases)d case(s): %(ok)d ok, %(divergence)d divergent, "
         "%(error)d errored in %(seconds).1fs" % summary
     )
+    if skipped:
+        line += " (%d outside the shard contract)" % skipped
+    print(line)
     if args.report:
         _write_report(
             args.report,

@@ -38,6 +38,11 @@ Within one graph the comparison is strict: transmitted bytes per device
 plus every element's read handlers (counters, drop reasons).  Across the
 optimized/unoptimized axis only transmitted bytes compare — the rewrites
 rename and merge elements, so handler sets legitimately differ.
+``shard-*`` modes (the same tiers fanned across a
+:class:`~repro.runtime.shard.ShardedRouter`) weaken the relation to the
+sharding contract: per-flow byte-identical sequences and per-device
+multiset equality (:func:`sharded_transmit_difference`), with counters
+exempt from the diff.
 """
 
 from __future__ import annotations
@@ -62,6 +67,14 @@ MODES = OrderedDict(
     ]
 )
 
+#: Sharded twins of every mode: the same execution tier fanned across
+#: worker shards on the deterministic thread backend.  The comparison
+#: contract changes with them — per-flow byte-identical, per-device
+#: multiset-identical, counters reconciled by summation rather than
+#: compared (see :func:`sharded_transmit_difference`).
+SHARD_WORKERS = 2
+SHARD_MODES = OrderedDict(("shard-%s" % label, label) for label in MODES)
+
 #: Eager promotion thresholds so small fuzz traces still cross the
 #: tier-1 -> tier-2 transition (mirrors the equivalence tests).
 EAGER = dict(threshold=48, sample=4, min_samples=12)
@@ -70,7 +83,12 @@ EAGER = dict(threshold=48, sample=4, min_samples=12)
 def mode_profile(mode, supervised=False):
     """The :class:`~repro.runtime.profile.ExecutionProfile` the oracle
     runs a mode label under (eager adaptive thresholds included, so
-    short fuzz traces still cross the tier transition)."""
+    short fuzz traces still cross the tier transition).  ``shard-*``
+    labels return the base mode's profile sharded across
+    :data:`SHARD_WORKERS` thread-backend workers."""
+    base = SHARD_MODES.get(mode)
+    if base is not None:
+        return mode_profile(base, supervised=supervised).with_workers(SHARD_WORKERS)
     router_mode, batch = MODES[mode]
     if router_mode == "adaptive":
         profile = ExecutionProfile.tiered(config=AdaptiveConfig(**EAGER))
@@ -142,23 +160,31 @@ def _execute(router, devices, events, config_text=None, injector=None):
         elif kind == "deopt":
             router.force_deopt()
         elif kind == "hotswap":
-            from ..elements.hotswap import hotswap
-
             text = event[1] if len(event) > 1 else config_text
             if text is not None:
-                router = hotswap(router, load_config(text, "<hotswap>")).router
+                if getattr(router, "is_sharded", False):
+                    # The sharded plane swaps every shard transactionally
+                    # and keeps its own identity.
+                    router.hotswap_all(text)
+                else:
+                    from ..elements.hotswap import hotswap
+
+                    router = hotswap(router, load_config(text, "<hotswap>")).router
         elif kind == "update":
             # An incremental control-plane update: routed in place or
             # through a delta-scoped swap by ControlPlane.  A valid
             # differential event because both installation paths must
             # preserve observable state in every mode.
-            from ..control import ControlPlane
-
             text = event[1] if len(event) > 1 else config_text
             if text is not None:
-                plane = ControlPlane(router)
-                plane.apply(text)
-                router = plane.router
+                if getattr(router, "is_sharded", False):
+                    router.apply_update(text)
+                else:
+                    from ..control import ControlPlane
+
+                    plane = ControlPlane(router)
+                    plane.apply(text)
+                    router = plane.router
         else:
             raise ValueError("unknown fuzz event %r" % (kind,))
     return router
@@ -166,18 +192,22 @@ def _execute(router, devices, events, config_text=None, injector=None):
 
 def observe(router, devices):
     """The externally visible state, as JSON-safe data: transmitted
-    frames (hex) per device and every element read handler."""
+    frames (hex) per device and every element read handler (a sharded
+    router reports its shards' handlers reconciled by summation)."""
     transmitted = {
         name: [bytes(frame).hex() for frame in device.transmitted]
         for name, device in sorted(devices.items())
     }
-    counters = {}
-    for name, element in sorted(router.elements.items()):
-        for handler_name, fn in sorted(element.read_handlers().items()):
-            value = fn()
-            if not isinstance(value, (int, float, str, bool, type(None))):
-                value = repr(value)
-            counters["%s.%s" % (name, handler_name)] = value
+    if getattr(router, "is_sharded", False):
+        counters = router.merged_counters()
+    else:
+        counters = {}
+        for name, element in sorted(router.elements.items()):
+            for handler_name, fn in sorted(element.read_handlers().items()):
+                value = fn()
+                if not isinstance(value, (int, float, str, bool, type(None))):
+                    value = repr(value)
+                counters["%s.%s" % (name, handler_name)] = value
     return {"transmitted": transmitted, "counters": counters}
 
 
@@ -203,6 +233,7 @@ def run_case(
         profile = mode_profile(mode, supervised=supervised)
     elif supervised and not profile.supervised:
         profile = profile.with_supervision()
+    router = None
     try:
         devices = {
             name: LoopbackDevice(name, tx_capacity=1 << 30)
@@ -214,20 +245,35 @@ def run_case(
 
             injector = FaultInjector(plan)
             devices = injector.wrap_devices(devices)
-        # Build in reference mode, wire faults, then apply the target
-        # profile — the compiler must see the fault wrappers.
-        router = build_router(load_config(text, "<fuzz>"), devices=devices)
-        if injector is not None:
-            injector.prepare_router(router)
-        router.configure(profile)
+        if profile.workers > 1:
+            # The sharded plane starts its workers lazily, so the fault
+            # injector attaches (enabling the crash-replay journal)
+            # before the first operation.
+            router = build_router(load_config(text, "<fuzz>"), devices=devices, profile=profile)
+            if injector is not None:
+                injector.prepare_router(router)
+        else:
+            # Build in reference mode, wire faults, then apply the target
+            # profile — the compiler must see the fault wrappers.
+            router = build_router(load_config(text, "<fuzz>"), devices=devices)
+            if injector is not None:
+                injector.prepare_router(router)
+            router.configure(profile)
         router = _execute(
             router, devices, case["events"], config_text=text, injector=injector
         )
     except Exception as exc:  # noqa: BLE001 - the comparison IS the handling
+        if router is not None and getattr(router, "is_sharded", False):
+            router.close()
         return ("error", [type(exc).__name__, str(exc)])
     if collect is not None:
         collect(router)
-    return ("ok", observe(router, devices))
+    observation = observe(router, devices)
+    if getattr(router, "is_sharded", False):
+        # Stop the worker threads; the final ShardReport stays readable
+        # through router.report() for collectors that held the router.
+        router.close()
+    return ("ok", observation)
 
 
 def first_transmit_difference(a, b):
@@ -251,13 +297,70 @@ def _first_counter_difference(a, b):
     return None
 
 
+def sharded_transmit_difference(a, b):
+    """The sharded comparison contract (a weaker relation than
+    byte-for-byte order): per device the transmitted *multiset* must
+    match, and per ``(device, flow)`` — keyed by
+    :func:`~repro.runtime.flowhash.output_flow_key` on the emitted
+    frame — the frame *sequence* must be byte-identical.  Cross-flow
+    interleaving is the one freedom sharding is allowed."""
+    from ..runtime.flowhash import output_flow_key
+
+    for device in sorted(set(a) | set(b)):
+        frames_a, frames_b = a.get(device, []), b.get(device, [])
+        if frames_a == frames_b:
+            continue
+        if sorted(frames_a) != sorted(frames_b):
+            return "%s: multiset differs (%d vs %d frames)" % (
+                device,
+                len(frames_a),
+                len(frames_b),
+            )
+        flows_a, flows_b = {}, {}
+        for hex_frame in frames_a:
+            flows_a.setdefault(output_flow_key(bytes.fromhex(hex_frame)), []).append(hex_frame)
+        for hex_frame in frames_b:
+            flows_b.setdefault(output_flow_key(bytes.fromhex(hex_frame)), []).append(hex_frame)
+        for flow in flows_a:
+            if flows_a[flow] != flows_b.get(flow):
+                return "%s: per-flow order differs for flow %r" % (device, flow)
+    return None
+
+
+def overflow_drops(counters):
+    """Total packets lost to queue overflow across the observation —
+    the sum of every ``*.drops`` read handler (Queue admission drops and
+    FrontDropQueue front drops)."""
+    return sum(
+        value
+        for key, value in counters.items()
+        if key.endswith(".drops") and isinstance(value, int)
+    )
+
+
 def compare_case(case, modes=None):
     """Run the full matrix for one case and diff it.
 
     Returns a JSON-safe dict: ``status`` is ``"ok"`` (matrix agrees),
     ``"divergence"`` (with a ``divergences`` list), or ``"error"``
-    (every run failed identically — the case itself is bad)."""
-    modes = [m for m in (modes or list(MODES)) if m in MODES]
+    (every run failed identically — the case itself is bad).
+
+    ``shard-*`` modes are compared under the flow-aware relation
+    (:func:`sharded_transmit_difference`) and their counters are not
+    diffed against the reference: shard reconciliation sums numeric
+    handlers, but order-dependent observables (BTB hit rates, adaptive
+    promotion sample counts) legitimately differ across a partition.
+
+    Traces that overflow a bounded queue are *out of contract* for the
+    shard modes: every shard owns a private copy of each queue, so
+    aggregate capacity — and therefore which packets drop under
+    pressure — scales with the worker count.  Like count-ordered
+    element faults, load-dependent loss is exactly what partitioning
+    does not preserve.  Such cases are reported under ``skips`` (axis,
+    mode, reason), never silently passed and never miscounted as
+    divergences; when no queue overflowed, a multiset mismatch is still
+    a real divergence."""
+    modes = [m for m in (modes or list(MODES)) if m in MODES or m in SHARD_MODES]
     if "reference" not in modes:
         modes = ["reference"] + modes
     axes = [("plain", None)]
@@ -272,6 +375,7 @@ def compare_case(case, modes=None):
             }
 
     divergences = []
+    skips = []
     references = {}
     for axis, text in axes:
         reference = run_case(case, "reference", config_text=text)
@@ -301,13 +405,34 @@ def compare_case(case, modes=None):
                         }
                     )
                 continue
-            diff = first_transmit_difference(
+            sharded = mode in SHARD_MODES
+            transmit_diff = (
+                sharded_transmit_difference if sharded else first_transmit_difference
+            )
+            diff = transmit_diff(
                 reference[1]["transmitted"], result[1]["transmitted"]
             )
             if diff is not None:
+                drops = max(
+                    overflow_drops(reference[1]["counters"]),
+                    overflow_drops(result[1]["counters"]),
+                )
+                if sharded and drops:
+                    skips.append(
+                        {
+                            "axis": axis,
+                            "mode": mode,
+                            "reason": "lossy-overflow: %d queue drop(s); "
+                            "aggregate capacity scales with shards (%s)"
+                            % (drops, diff),
+                        }
+                    )
+                    continue
                 divergences.append(
                     {"axis": axis, "mode": mode, "kind": "transmitted", "detail": diff}
                 )
+                continue
+            if sharded:
                 continue
             diff = _first_counter_difference(
                 reference[1]["counters"], result[1]["counters"]
@@ -346,15 +471,16 @@ def compare_case(case, modes=None):
                 )
 
     if divergences:
-        return {"status": "divergence", "divergences": divergences}
+        return {"status": "divergence", "divergences": divergences, "skips": skips}
     if all(reference[0] == "error" for reference in references.values()):
         detail = references["plain"][1]
         return {
             "status": "error",
             "detail": "%s: %s" % (detail[0], detail[1]),
             "divergences": [],
+            "skips": skips,
         }
-    return {"status": "ok", "divergences": []}
+    return {"status": "ok", "divergences": [], "skips": skips}
 
 
 def case_fails(case, modes=None):

@@ -65,6 +65,8 @@ class TestValue:
             "adaptive": False,
             "supervised": True,
             "supervisor": False,
+            "workers": 1,
+            "shard_backend": "thread",
         }
 
 

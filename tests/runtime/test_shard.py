@@ -1,0 +1,349 @@
+"""Unit and equivalence tests for the sharded data plane
+(repro.runtime.shard): SPSC handoff, profile plumbing, dispatch,
+transactional control fan-out, crash replay, and meter reconciliation."""
+
+import threading
+
+import pytest
+
+from repro.control import ControlPlaneError
+from repro.core.toolchain import save_config
+from repro.elements.devices import LoopbackDevice
+from repro.elements.runtime import Router, build_router
+from repro.errors import ClickSemanticError
+from repro.lang.build import parse_graph
+from repro.runtime import ExecutionProfile, ShardedRouter, SPSCQueue
+from repro.runtime.shard import ShardReport
+from repro.sim.cpu import CycleMeter
+from repro.sim.testbed import HOST_ETHERS, Testbed, host_ip
+from repro.verify.oracle import sharded_transmit_difference
+
+
+def sharded_testbed(workers, backend="thread", meter=None, journal=None, variant="base"):
+    """A live iprouter plane: ShardedRouter above 1 worker, seeded ARP."""
+    testbed = Testbed(2)
+    graph = testbed.variant_graph(variant)
+    devices = {
+        interface.device: LoopbackDevice(interface.device, tx_capacity=1 << 30)
+        for interface in testbed.interfaces
+    }
+    profile = ExecutionProfile.fast(batch=True)
+    if workers > 1:
+        profile = profile.with_workers(workers, backend)
+    router = build_router(graph, meter=meter, devices=devices, profile=profile)
+    if journal is not None and workers > 1:
+        router._journal_flag = journal
+    for index in range(2):
+        router.find("arpq%d" % index).insert(host_ip(index), HOST_ETHERS[index])
+    return testbed, router, devices
+
+
+def drive(testbed, router, devices, packets, offset=0):
+    frames = testbed.evaluation_frames(packets + offset)[offset:]
+    for name, frame in frames:
+        devices[name].receive_frame(frame)
+    router.run_tasks(packets // 8 + 16)
+
+
+def transmitted_hex(devices):
+    return {
+        name: [bytes(f).hex() for f in device.transmitted]
+        for name, device in sorted(devices.items())
+    }
+
+
+class TestSPSCQueue:
+    def test_fifo_order(self):
+        queue = SPSCQueue(capacity=8)
+        for i in range(5):
+            queue.put(i)
+        assert [queue.get() for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_high_water_tracks_peak(self):
+        queue = SPSCQueue(capacity=8)
+        for i in range(6):
+            queue.put(i)
+        for _ in range(6):
+            queue.get()
+        assert queue.high_water == 6
+        assert len(queue) == 0
+
+    def test_bounded_put_blocks_until_get(self):
+        queue = SPSCQueue(capacity=2)
+        queue.put("a")
+        queue.put("b")
+        done = threading.Event()
+
+        def producer():
+            queue.put("c")  # must block until the consumer drains one
+            done.set()
+
+        thread = threading.Thread(target=producer)
+        thread.start()
+        assert not done.wait(0.05)
+        assert queue.get() == "a"
+        assert done.wait(2.0)
+        thread.join()
+
+
+class TestProfilePlumbing:
+    def test_plain_router_refuses_workers(self):
+        graph = parse_graph(
+            "f :: Idle; c :: Counter; q :: Queue(8); u :: Unqueue; d :: Discard;"
+            " f -> c -> q -> u -> d;"
+        )
+        with pytest.raises(ValueError, match="ShardedRouter"):
+            Router(graph).configure(ExecutionProfile.fast().with_workers(2))
+
+    def test_build_router_dispatches_on_workers(self):
+        testbed, router, devices = sharded_testbed(2)
+        try:
+            assert router.is_sharded and isinstance(router, ShardedRouter)
+            assert router.workers == 2 and router.backend == "thread"
+        finally:
+            router.close()
+
+    def test_profile_round_trip(self):
+        testbed, router, devices = sharded_testbed(2)
+        try:
+            drive(testbed, router, devices, 16)
+            profile = router.profile
+            assert profile.workers == 2
+            assert profile.mode == "fast" and profile.batch
+        finally:
+            router.close()
+
+    def test_resharding_live_plane_raises(self):
+        testbed, router, devices = sharded_testbed(2)
+        try:
+            drive(testbed, router, devices, 16)
+            with pytest.raises(ValueError, match="reshard"):
+                router.configure(ExecutionProfile.fast().with_workers(4))
+        finally:
+            router.close()
+
+    def test_unflattened_graph_rejected(self):
+        graph = parse_graph(
+            "elementclass Box { input -> Counter -> output; }"
+            " f :: Idle; b :: Box; d :: Discard; f -> b -> d;"
+        )
+        with pytest.raises(ClickSemanticError, match="flatten"):
+            ShardedRouter(graph)
+
+
+class TestDispatchAndEquivalence:
+    def test_dispatch_counts_cover_all_frames(self):
+        testbed, router, devices = sharded_testbed(3)
+        try:
+            drive(testbed, router, devices, 120)
+            report = router.report()
+            assert sum(report.dispatched) == 120
+            assert len(report.dispatched) == 3
+            # The evaluation workload has enough flows for every shard.
+            assert all(count > 0 for count in report.dispatched)
+        finally:
+            router.close()
+
+    def test_thread_plane_matches_single_shard(self):
+        testbed, single, single_devices = sharded_testbed(1)
+        drive(testbed, single, single_devices, 200)
+        for workers in (2, 4):
+            testbed2, router, devices = sharded_testbed(workers)
+            try:
+                drive(testbed2, router, devices, 200)
+                diff = sharded_transmit_difference(
+                    transmitted_hex(single_devices), transmitted_hex(devices)
+                )
+                assert diff is None, "%d workers: %s" % (workers, diff)
+            finally:
+                router.close()
+
+    def test_fanout_insert_reaches_every_shard(self):
+        # Without the fan-out, shards missing the ARP entry would send
+        # ARP queries instead of forwarding — caught by equivalence
+        # above, pinpointed here: all data packets must be forwarded.
+        testbed, router, devices = sharded_testbed(4)
+        try:
+            drive(testbed, router, devices, 160)
+            total = sum(len(d.transmitted) for d in devices.values())
+            assert total == 160
+        finally:
+            router.close()
+
+    def test_find_unknown_element_is_none(self):
+        testbed, router, devices = sharded_testbed(2)
+        try:
+            assert router.find("nope") is None
+            assert router.find("arpq0") is not None
+        finally:
+            router.close()
+
+
+class TestControlFanout:
+    def test_update_inplace_commits_on_all_shards(self):
+        testbed, router, devices = sharded_testbed(2)
+        try:
+            drive(testbed, router, devices, 64)
+            text = save_config(router.graph)
+            old = router.graph.elements["rt"].config
+            new = text.replace(
+                old, "1.0.0.1/32 0, 2.0.0.1/32 0, 2.0.0.0/8 2, 1.0.0.0/8 1"
+            )
+            report = router.apply_update(new)
+            assert report.kind == "in-place"
+            drive(testbed, router, devices, 64, offset=64)
+            total = sum(len(d.transmitted) for d in devices.values())
+            assert total == 128
+            assert router.report().updates == 1
+        finally:
+            router.close()
+
+    def test_rejected_update_leaves_all_shards_intact(self):
+        testbed, router, devices = sharded_testbed(2)
+        try:
+            drive(testbed, router, devices, 64)
+            text = save_config(router.graph)
+            old = router.graph.elements["rt"].config
+            bad = text.replace(old, "999.999.0.1/24 0")
+            with pytest.raises(ControlPlaneError):
+                router.apply_update(bad)
+            # Every shard still runs the old table.
+            drive(testbed, router, devices, 64, offset=64)
+            total = sum(len(d.transmitted) for d in devices.values())
+            assert total == 128
+        finally:
+            router.close()
+
+    def test_hotswap_all_preserves_service(self):
+        testbed, router, devices = sharded_testbed(2)
+        try:
+            drive(testbed, router, devices, 64)
+            router.hotswap_all(save_config(router.graph))
+            drive(testbed, router, devices, 64, offset=64)
+            total = sum(len(d.transmitted) for d in devices.values())
+            assert total == 128
+        finally:
+            router.close()
+
+
+class TestCrashReplay:
+    def test_replay_rebuilds_identical_state(self):
+        testbed, router, devices = sharded_testbed(2, journal=True)
+        try:
+            drive(testbed, router, devices, 100)
+            before = transmitted_hex(devices)
+            router.crash_worker(1)
+            router.run_tasks(4)
+            assert transmitted_hex(devices) == before
+            drive(testbed, router, devices, 60, offset=100)
+            total = sum(len(d.transmitted) for d in devices.values())
+            assert total == 160
+            report = router.report()
+            assert report.crashes == 1 and report.replays == 1
+        finally:
+            router.close()
+
+    def test_crash_without_journal_raises(self):
+        testbed, router, devices = sharded_testbed(2, journal=False)
+        try:
+            drive(testbed, router, devices, 16)
+            with pytest.raises(RuntimeError, match="journal"):
+                router.crash_worker(0)
+        finally:
+            router.close()
+
+
+class TestReconciliation:
+    def test_meter_summary_absorb_is_associative(self):
+        meters = []
+        for packets in (40, 80):
+            testbed = Testbed(2)
+            meter = CycleMeter()
+            router, devices = testbed.build_router(
+                testbed.variant_graph("base"), meter=meter
+            )
+            drive(testbed, router, devices, packets)
+            meters.append(meter.summary())
+        a, b = meters
+        left = CycleMeter().absorb(a).absorb(b).summary()
+        right = CycleMeter().absorb(b).absorb(a).summary()
+        assert left == right
+        assert left["packets_seen"] == a["packets_seen"] + b["packets_seen"]
+
+    def test_parent_meter_absorbs_shard_work(self):
+        meter = CycleMeter()
+        testbed, router, devices = sharded_testbed(2, meter=meter)
+        try:
+            drive(testbed, router, devices, 80)
+        finally:
+            router.close()
+        summary = meter.summary()
+        assert summary["packets_seen"] >= 80
+        assert summary["forwarding"] > 0
+
+    def test_merged_counters_sum_numeric(self):
+        testbed, router, devices = sharded_testbed(2)
+        try:
+            drive(testbed, router, devices, 100)
+            counters = router.merged_counters()
+        finally:
+            router.close()
+        received = sum(
+            value
+            for key, value in counters.items()
+            if key.endswith(".received") and isinstance(value, int)
+        )
+        assert received == 100
+
+    def test_report_survives_close(self):
+        testbed, router, devices = sharded_testbed(2)
+        drive(testbed, router, devices, 40)
+        router.close()
+        report = router.report()
+        assert isinstance(report, ShardReport)
+        assert report.flushed == 40
+        payload = report.as_dict()
+        assert payload["workers"] == 2 and payload["backend"] == "thread"
+        assert "shard" in report.format()
+
+    def test_close_is_idempotent(self):
+        testbed, router, devices = sharded_testbed(2)
+        drive(testbed, router, devices, 8)
+        router.close()
+        router.close()
+        assert router.run_tasks(1) == 0  # scheduling a retired plane is a no-op
+        with pytest.raises(RuntimeError, match="retired"):
+            router.bump_arp_epochs()  # control ops are not
+
+
+class TestProcessBackend:
+    def test_process_plane_matches_single_shard(self):
+        testbed, single, single_devices = sharded_testbed(1)
+        drive(testbed, single, single_devices, 120)
+        testbed2, router, devices = sharded_testbed(2, backend="process")
+        try:
+            assert router.backend == "process"
+            drive(testbed2, router, devices, 120)
+            diff = sharded_transmit_difference(
+                transmitted_hex(single_devices), transmitted_hex(devices)
+            )
+            assert diff is None, diff
+            report = router.report()
+            assert report.backend == "process"
+            assert sum(report.dispatched) == 120
+        finally:
+            router.close()
+
+    def test_process_crash_replay(self):
+        testbed, router, devices = sharded_testbed(2, backend="process", journal=True)
+        try:
+            drive(testbed, router, devices, 80)
+            before = transmitted_hex(devices)
+            router.crash_worker(0)
+            router.run_tasks(4)
+            assert transmitted_hex(devices) == before
+            drive(testbed, router, devices, 40, offset=80)
+            total = sum(len(d.transmitted) for d in devices.values())
+            assert total == 120
+        finally:
+            router.close()
