@@ -110,6 +110,8 @@ def build_firewall(mode, adaptive_config=None):
     }
     if mode == "adaptive":
         profile = ExecutionProfile.tiered(config=adaptive_config)
+    elif mode == "fdd":
+        profile = ExecutionProfile.fdd(config=adaptive_config)
     else:
         profile = ExecutionProfile(mode=mode)
     router = Router(firewall_graph(), devices=devices, profile=profile)

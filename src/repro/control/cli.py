@@ -70,7 +70,7 @@ def main(argv=None):
     )
     parser.add_argument(
         "--mode",
-        choices=("reference", "fast", "adaptive"),
+        choices=("reference", "fast", "adaptive", "fdd"),
         default="fast",
         help="execution profile to run the router under (default: fast)",
     )

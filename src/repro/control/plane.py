@@ -209,13 +209,11 @@ class ControlPlane:
             if decl is not None:
                 decl.config = change.new_config
             if router.adaptive is not None:
-                # Tier-2 chains may have speculated on the old table
-                # (hot-route constants, guarded classifier arms); demote
-                # exactly the chains that can reach this element.
-                router.adaptive.deopt(
-                    "control-plane patch of %s" % change.name,
-                    element_name=change.name,
-                )
+                # Compiled chains may have baked in the old table
+                # (hot-route constants, guarded classifier arms, FDD
+                # diagrams); the engine demotes or rebuilds exactly the
+                # chains that can reach this element.
+                router.adaptive.on_table_patch(change.name, kind)
 
         report = SwapReport("in-place", profile=router.profile.label)
         report.delta = delta.summary()

@@ -277,10 +277,17 @@ def optimize_main(argv=None):
             "engine instead of the static fast path (implies --fast)",
         )
         parser.add_argument(
+            "--fdd",
+            action="store_true",
+            help="compile the optimized router under the forwarding-"
+            "decision-diagram engine (classifier trees fused into the "
+            "chains) and print its diagram report (implies --fast)",
+        )
+        parser.add_argument(
             "--profile-report",
             action="store_true",
-            help="with --adaptive: also print the engine's per-chain "
-            "tier/profile report to stderr",
+            help="with --adaptive/--fdd: also print the engine's "
+            "per-chain tier/profile report to stderr",
         )
         parser.add_argument(
             "--supervised",
@@ -329,13 +336,15 @@ def optimize_main(argv=None):
     if (
         args.fast
         or args.adaptive
+        or args.fdd
         or args.profile_report
         or args.supervised
         or args.workers > 1
     ):
         text, fastpath_section = _fastpath_report(
             result.graph,
-            adaptive=args.adaptive or args.profile_report,
+            adaptive=(args.adaptive or args.profile_report) and not args.fdd,
+            fdd=args.fdd,
             profile=args.profile_report,
             supervised=args.supervised,
             workers=args.workers,
@@ -371,9 +380,45 @@ def _write_report_with_fastpath(dest, report, fastpath_section):
             handle.write(text)
 
 
+def _format_diagram_report(report):
+    """Human-readable rendering of :meth:`FDDEngine.diagram_report`."""
+    lines = [
+        "forwarding decision diagrams (node budget %d):" % report["node_budget"]
+    ]
+    for name, info in sorted(report["diagrams"].items()):
+        lines.append(
+            "  %-24s %3d nodes, %3d paths, gate %d, %d shared loads"
+            % (name, info["nodes"], info["paths"], info["gate"], info["loads_saved"])
+        )
+    totals = report["totals"]
+    lines.append(
+        "  total: %d diagrams, %d nodes, %d paths, %d shared loads"
+        % (
+            totals["diagrams"],
+            totals["nodes"],
+            totals["paths"],
+            totals["loads_saved"],
+        )
+    )
+    if report["budget_fallbacks"]:
+        lines.append(
+            "  budget fallbacks (generic matcher): %s"
+            % ", ".join(report["budget_fallbacks"])
+        )
+    cache = report["codegen_cache"]
+    lines.append(
+        "  codegen cache: %d entries, %d hits, %d misses"
+        % (cache["entries"], cache["hits"], cache["misses"])
+    )
+    if report["rebuilds"]:
+        lines.append("  diagram rebuilds (rules patches): %d" % report["rebuilds"])
+    return "\n".join(lines)
+
+
 def _fastpath_report(
     graph,
     adaptive=False,
+    fdd=False,
     profile=False,
     supervised=False,
     workers=1,
@@ -406,7 +451,9 @@ def _fastpath_report(
                 self[name] = LoopbackDevice(name)
             return self[name]
 
-    if adaptive:
+    if fdd:
+        run_profile = ExecutionProfile.fdd()
+    elif adaptive:
         run_profile = ExecutionProfile.tiered()
     elif supervised:
         run_profile = ExecutionProfile.fast()  # --supervised implies --fast
@@ -415,13 +462,18 @@ def _fastpath_report(
     if supervised:
         run_profile = run_profile.with_supervision()
     router = Router(graph, devices=AutoDevices(), profile=run_profile)
-    if adaptive:
-        compile_report = router.adaptive.tier1.report
+    if adaptive or fdd:
+        engine = router.adaptive
+        compile_report = engine.tier1.report
         text = compile_report.format()
         if profile:
-            text += "\n" + router.adaptive.profile_report().format()
+            text += "\n" + engine.profile_report().format()
         section = compile_report.as_dict()
-        section["adaptive"] = router.adaptive.profile_report().as_dict()
+        section["adaptive"] = engine.profile_report().as_dict()
+        if fdd:
+            diagram = engine.diagram_report()
+            section["fdd"] = diagram
+            text += "\n" + _format_diagram_report(diagram)
     else:
         if router.fastpath is None:
             router.compile_fastpath()

@@ -279,9 +279,10 @@ class Router:
         """Switch between the reference interpreter, the compiled fast
         path, and the adaptive tiered engine; compiles on first use
         (and on batch-flavor change)."""
-        if mode not in ("reference", "fast", "adaptive"):
+        if mode not in ("reference", "fast", "adaptive", "fdd"):
             raise ValueError(
-                "mode must be 'reference', 'fast', or 'adaptive', not %r" % (mode,)
+                "mode must be 'reference', 'fast', 'adaptive', or 'fdd', "
+                "not %r" % (mode,)
             )
         # Mode changes swap port lists wholesale; supervision wraps the
         # current ports, so it must come off first and back on after.
@@ -290,20 +291,24 @@ class Router:
             supervisor_config = supervisor.config
             supervisor.detach()
         if self.adaptive is not None and (
-            mode != "adaptive" or self.adaptive.batch != bool(batch)
+            getattr(self.adaptive, "mode_label", "adaptive") != mode
+            or self.adaptive.batch != bool(batch)
         ):
             self.adaptive.uninstall()
             self.adaptive = None
         if mode == "reference":
             if self.fastpath is not None and self.fastpath.installed:
                 self.fastpath.uninstall()
-        elif mode == "adaptive":
-            from ..runtime.adaptive import AdaptiveEngine
-
+        elif mode in ("adaptive", "fdd"):
             if self.adaptive is None:
+                if mode == "fdd":
+                    from ..runtime.fdd import FDDEngine as engine_class
+                else:
+                    from ..runtime.adaptive import AdaptiveEngine as engine_class
+
                 if self.fastpath is not None and self.fastpath.installed:
                     self.fastpath.uninstall()
-                self.adaptive = AdaptiveEngine(
+                self.adaptive = engine_class(
                     self, config=self._adaptive_config, batch=batch
                 )
                 self.adaptive.install()

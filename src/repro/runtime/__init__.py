@@ -9,6 +9,7 @@ move Morpheus and the NetKAT compiler make at runtime scale.
 from .adaptive import AdaptiveConfig, AdaptiveEngine, ProfileReport
 from .codegen_cache import CodegenCache, default_cache
 from .fastpath import ChainPolicy, FastPath, FastPathError, FastPathReport
+from .fdd import DiagramPlan, FDDEngine, build_diagram
 from .flowhash import DEFAULT_SEED, FlowHasher, flow_key, shard_of
 from .profile import ExecutionProfile
 from .shard import ShardedRouter, ShardReport, SPSCQueue
@@ -17,11 +18,14 @@ from .supervisor import ResilienceReport, Supervisor, SupervisorConfig, Supervis
 __all__ = [
     "AdaptiveConfig",
     "AdaptiveEngine",
+    "build_diagram",
     "ChainPolicy",
     "CodegenCache",
     "default_cache",
     "DEFAULT_SEED",
+    "DiagramPlan",
     "ExecutionProfile",
+    "FDDEngine",
     "FastPath",
     "FastPathError",
     "FastPathReport",

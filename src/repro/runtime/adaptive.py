@@ -581,7 +581,7 @@ class ProfileReport:
     and deopt history, and the codegen cache's hit rate."""
 
     def __init__(self, engine):
-        self.mode = "adaptive"
+        self.mode = engine.mode_label
         self.metered = engine.metered
         self.config = engine.config.as_dict()
         self.chains = {
@@ -670,19 +670,26 @@ class AdaptiveEngine:
     and never instruments or promotes.
     """
 
+    #: What this engine calls itself in reports and the supervisor's
+    #: tier ladder; :class:`repro.runtime.fdd.FDDEngine` overrides both.
+    mode_label = "adaptive"
+    tier_label = "adaptive"
+
     def __init__(self, router, config=None, batch=False):
         self.router = router
         self.config = config if config is not None else AdaptiveConfig()
         self.batch = bool(batch)
         self.metered = router.meter is not None
         self.store = ProfileStore()
-        self.tier1 = FastPath(router, batch=self.batch, cache=default_cache())
+        self.tier1 = FastPath(
+            router, batch=self.batch, policy=self._tier1_policy(), cache=default_cache()
+        )
         self.profiled = None
         if not self.metered:
             self.profiled = FastPath(
                 router,
                 batch=self.batch,
-                policy=ProfilingPolicy(self.store),
+                policy=self._profiling_policy(),
                 cache=default_cache(),
             )
         self.tier2_fp = None
@@ -693,6 +700,20 @@ class AdaptiveEngine:
         self._decisions_cache = None
         self._reach_cache = {}
         self.installed = False
+
+    # -- policy factories (the FDD engine's override points) ---------------
+
+    def _tier1_policy(self):
+        """The plain tier-1 emission policy (None = the static one)."""
+        return None
+
+    def _profiling_policy(self):
+        """The instrumented tier-1 flavor's policy."""
+        return ProfilingPolicy(self.store)
+
+    def _optimized_policy(self, decisions):
+        """The tier-2 policy for one decisions bucket."""
+        return OptimizedPolicy(decisions, self)
 
     # -- installation ------------------------------------------------------
 
@@ -823,7 +844,7 @@ class AdaptiveEngine:
         self.tier2_fp = FastPath(
             self.router,
             batch=self.batch,
-            policy=OptimizedPolicy(decisions, self),
+            policy=self._optimized_policy(decisions),
             cache=default_cache(),
         )
         self.recompiles += 1
@@ -893,6 +914,15 @@ class AdaptiveEngine:
             state.seen = 0
             state.bursts = 0
             self._arm(state)
+
+    def on_table_patch(self, name, kind):
+        """A control-plane in-place table patch landed on element
+        ``name`` (``kind`` is ``"routes"`` or ``"rules"``).  The base
+        engine's compiled code reads live tables through bound cells
+        and memo dicts, so correctness needs only a deopt of the chains
+        whose *speculations* may now be stale.  The FDD engine
+        overrides this to also rebuild the affected diagrams."""
+        self.deopt("control-plane patch of %s" % name, element_name=name)
 
     # -- observability -----------------------------------------------------
 

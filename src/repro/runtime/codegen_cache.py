@@ -132,6 +132,10 @@ _REPORT_FIELDS = (
     "source_lines",
     "guarded_branches",
     "pruned_arms",
+    "fdd_diagrams",
+    "fdd_nodes",
+    "fdd_paths",
+    "fdd_tests_saved",
 )
 
 
@@ -364,14 +368,16 @@ class CodegenCache:
         return len(self._entries)
 
     def stats(self):
+        # Sorted keys: these land verbatim in serialized reports, and a
+        # stable order keeps FDD cache-key diffs comparable across runs.
         return {
-            "entries": len(self._entries),
-            "hits": self.hits,
-            "misses": self.misses,
+            "corrupt": self.corrupt,
             "disk_entries": len(self._disk),
             "disk_hits": self.disk_hits,
-            "corrupt": self.corrupt,
+            "entries": len(self._entries),
+            "hits": self.hits,
             "invalidations": self.invalidations,
+            "misses": self.misses,
         }
 
     # -- disk layer --------------------------------------------------------

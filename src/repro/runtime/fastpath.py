@@ -81,11 +81,27 @@ class ChainPolicy:
 
     profiling = False
     tag = "static"
+    #: True lets the emitter thread established facts (contents local,
+    #: minimum length, paint color, raw IP destination) across element
+    #: boundaries on *every* chain, not just guarded hot arms.  Off by
+    #: default so the static/profiled/optimized policies keep emitting
+    #: byte-identical source (and cache entries) to PR 2/3.
+    fuse_facts = False
 
     def cache_key(self):
         """Hashable component of the codegen-cache key.  Two policies
         with equal keys must emit identical source for the same graph."""
         return ("static",)
+
+    def reuse_key(self):
+        """Hashable key gating donor-chain reuse in scoped hot-swaps.
+        Defaults to :meth:`cache_key`.  Policies that fold live *table
+        contents* into their cache key (the FDD policies hash every
+        classifier tree) override this to drop the content digest: the
+        dirty-set closure already forces chains touching changed
+        content to recompile, so untouched chains may splice across a
+        content change."""
+        return self.cache_key()
 
     def branch_order(self, element, nports):
         """The order branch arms are emitted in (hottest first pays in
@@ -103,6 +119,15 @@ class ChainPolicy:
         ``("len", n)``, ``("slice", start, end, bytes, equal)``, or
         ``("masked", offset, width, mask, value, equal)`` — their
         conjunction must *imply* the matcher returns ``hot_out``."""
+        return None
+
+    def classifier_diagram(self, element):
+        """A prebuilt :class:`repro.runtime.fdd.DiagramPlan` to emit in
+        place of this classifier's matcher call + if/elif dispatch, or
+        None for the generic emission.  The plan inlines the element's
+        whole decision tree as nested byte tests (each field loaded at
+        most once per root-to-leaf path), so every arm — not just a
+        guarded hot one — dispatches without calling the matcher."""
         return None
 
     def route_constant(self, element):
@@ -258,6 +283,10 @@ class FastPathReport:
         self.guarded_branches = 0
         self.pruned_arms = 0
         self.reused_chains = 0  # chains spliced verbatim from a donor compile
+        self.fdd_diagrams = 0  # classifier terminals emitted as decision diagrams
+        self.fdd_nodes = 0  # expanded diagram nodes across those diagrams
+        self.fdd_paths = 0  # root-to-leaf paths across those diagrams
+        self.fdd_tests_saved = 0  # field loads the diagrams share along their paths
 
     def as_dict(self):
         return {
@@ -281,6 +310,10 @@ class FastPathReport:
             "guarded_branches": self.guarded_branches,
             "pruned_arms": self.pruned_arms,
             "reused_chains": self.reused_chains,
+            "fdd_diagrams": self.fdd_diagrams,
+            "fdd_nodes": self.fdd_nodes,
+            "fdd_paths": self.fdd_paths,
+            "fdd_tests_saved": self.fdd_tests_saved,
         }
 
     def to_json(self):
@@ -318,6 +351,12 @@ class FastPathReport:
                 else "",
             ),
         ]
+        if self.fdd_diagrams:
+            lines.append(
+                "  diagrams: %d classifiers compiled to decision diagrams "
+                "(%d nodes, %d paths, %d shared loads)"
+                % (self.fdd_diagrams, self.fdd_nodes, self.fdd_paths, self.fdd_tests_saved)
+            )
         if self.chain_lines:
             largest = sorted(
                 self.chain_lines.items(), key=lambda item: -item[1]
@@ -646,7 +685,7 @@ class FastPath:
         """Bind the live object behind a policy token."""
         return self.policy.resolve(token, self.router), ("policy", token)
 
-    def _terminal_spec(self, terminal, terminal_port, new_arg, stack=None, depth=0):
+    def _terminal_spec(self, terminal, terminal_port, new_arg, stack=None, depth=0, ctx=None):
         """Specialized dispatch for well-known terminal elements
         (unmetered chains only): a classifier terminal becomes its
         compiled matcher plus a jump table straight into the per-output
@@ -668,6 +707,13 @@ class FastPath:
         to Queue in a single stack frame.  Targets that cannot be fused
         (cycles, depth limit, unknown terminals) still dispatch through
         the table.
+
+        ``ctx`` carries upstream-established facts (see
+        :meth:`_action_segment`) into the terminal when the policy has
+        ``fuse_facts``: a classifier terminal reuses the live contents
+        local, and a route-table terminal downstream of CheckIPHeader
+        looks the route up from the raw destination integer without
+        touching the annotation.
         """
         if self.metered:
             return None
@@ -685,6 +731,11 @@ class FastPath:
         policy = self.policy
         cls = type(terminal)
         if cls.push is _TreeClassifier.push or cls.push is FastClassifierBase.push:
+            plan = policy.classifier_diagram(terminal)
+            if plan is not None:
+                return self._emit_classifier_diagram(
+                    terminal, plan, new_arg, stack, depth, ctx
+                )
             table, table_index = self._register_jump_table(terminal, "plain")
             if cls.push is FastClassifierBase.push:
                 # Generated classes bake the tree at class level; a rule
@@ -791,12 +842,26 @@ class FastPath:
                 # probe, and only misses take the memoizing full lookup.
                 rm = new_arg(terminal._memo.get, ("attr", terminal.name, ("_memo", "get")))
                 ms = new_arg(_MISS, ("const", "MISS"))
+            raw_dst = None
+            arm_facts = None
+            if policy.fuse_facts and ctx:
+                # Contents facts survive the route dispatch (it reads
+                # annotations only), but the raw-destination local stops
+                # describing the arm's packets once a gateway may
+                # overwrite the annotation — drop it from the arm view.
+                raw_dst = ctx.get("dst_raw")
+                arm_facts = {k: v for k, v in ctx.items() if k != "dst_raw"}
             order = [i for i in policy.branch_order(terminal, nports)]
             bodies = {}
             for i in order:
                 if policy.should_fuse(terminal, i):
                     bodies[i] = self._inline_push_body(
-                        terminal, i, new_arg, stack, depth + 1
+                        terminal,
+                        i,
+                        new_arg,
+                        stack,
+                        depth + 1,
+                        ctx=dict(arm_facts) if arm_facts else None,
                     )
                 else:
                     bodies[i] = None
@@ -810,16 +875,28 @@ class FastPath:
                 # dest-IP cache, so the hot flow's packets all carry this
                 # object.  A different object (same value or not) simply
                 # takes the generic lookup below — never wrong, only slow.
+                # With a live raw-destination local the guard compares
+                # the integer instead (the lookup depends only on the
+                # value, so value equality is just as sound and hits
+                # even for un-interned annotations).
                 hot_body = self._inline_push_body(
-                    terminal, hot_port, new_arg, stack, depth + 1
+                    terminal,
+                    hot_port,
+                    new_arg,
+                    stack,
+                    depth + 1,
+                    ctx=dict(arm_facts) if arm_facts else None,
                 )
                 if hot_body is not None and 0 <= hot_port < nports:
                     hot = (
-                        new_arg(_intern_dest_ip(raw), ("ip", raw)),
+                        new_arg(_intern_dest_ip(raw), ("ip", raw))
+                        if raw_dst is None
+                        else None,
                         new_arg(_intern_dest_ip(gw_value), ("ip", gw_value))
                         if gw_value is not None
                         else None,
                         hot_body,
+                        int(raw),
                     )
                     self.report.guarded_branches += 1
             note = policy.route_note(terminal)
@@ -830,11 +907,77 @@ class FastPath:
                 if miss_token is not None:
                     miss = new_arg(*self._bind_policy(miss_token))
 
+            def dispatch_tail(body, p2, var, exitstmt):
+                kw = "if"
+                for i in order:
+                    inline_body = bodies[i]
+                    if inline_body is None:
+                        continue
+                    body.append(p2 + "%s out == %d:" % (kw, i))
+                    body.extend(inline_body(var, p2 + "    ", exitstmt))
+                    kw = "elif"
+                if kw == "if":
+                    body += [
+                        p2 + "hop = %s[out] if 0 <= out < %d else None" % (jt, nports),
+                        p2 + "if hop is not None:",
+                        p2 + "    hop(%s)" % var,
+                    ]
+                else:
+                    body += [
+                        p2 + "else:",
+                        p2 + "    hop = %s[out] if 0 <= out < %d else None" % (jt, nports),
+                        p2 + "    if hop is not None:",
+                        p2 + "        hop(%s)" % var,
+                    ]
+                return body
+
+            if raw_dst is not None:
+
+                def emit(var, pad, exitstmt):
+                    # CheckIPHeader ran earlier in this same function:
+                    # the raw destination is live in a local and the
+                    # annotation is guaranteed set, so the lookup skips
+                    # the annotation load and its None check entirely.
+                    body = []
+                    inner = pad
+                    if hot is not None:
+                        _hot_ip, gw_name, hot_body, hot_raw = hot
+                        body.append(pad + "if %s == %d:" % (raw_dst, hot_raw))
+                        if gw_name is not None:
+                            body.append(pad + "    %s.dest_ip_anno = %s" % (var, gw_name))
+                        body.extend(hot_body(var, pad + "    ", exitstmt))
+                        body.append(pad + "else:")
+                        inner = pad + "    "
+                        if miss is not None:
+                            body.append(inner + "%s()" % miss)
+                    if note_name is not None:
+                        body.append(inner + "%s(%s)" % (note_name, raw_dst))
+                    if rm is not None:
+                        body += [
+                            inner + "route = %s(%s, %s)" % (rm, raw_dst, ms),
+                            inner + "if route is %s:" % ms,
+                            inner + "    route = %s(%s)" % (lk, raw_dst),
+                        ]
+                    else:
+                        body.append(inner + "route = %s(%s)" % (lk, raw_dst))
+                    body += [
+                        inner + "if route is None:",
+                        inner + "    %s.no_route_drops += 1" % e,
+                        inner + "else:",
+                        inner + "    gateway = route[0]",
+                        inner + "    if gateway is not None:",
+                        inner + "        %s.set_dest_ip_anno(gateway)" % var,
+                        inner + "    out = route[1]",
+                    ]
+                    return dispatch_tail(body, inner + "    ", var, exitstmt)
+
+                return emit
+
             def emit(var, pad, exitstmt):
                 body = [pad + "dst = %s.dest_ip_anno" % var]
                 inner = pad
                 if hot is not None:
-                    hot_name, gw_name, hot_body = hot
+                    hot_name, gw_name, hot_body, _hot_raw = hot
                     body.append(pad + "if dst is %s:" % hot_name)
                     if gw_name is not None:
                         body.append(pad + "    %s.dest_ip_anno = %s" % (var, gw_name))
@@ -865,29 +1008,7 @@ class FastPath:
                     pad + "            %s.set_dest_ip_anno(gateway)" % var,
                     pad + "        out = route[1]",
                 ]
-                p2 = pad + "        "
-                kw = "if"
-                for i in order:
-                    inline_body = bodies[i]
-                    if inline_body is None:
-                        continue
-                    body.append(p2 + "%s out == %d:" % (kw, i))
-                    body.extend(inline_body(var, p2 + "    ", exitstmt))
-                    kw = "elif"
-                if kw == "if":
-                    body += [
-                        p2 + "hop = %s[out] if 0 <= out < %d else None" % (jt, nports),
-                        p2 + "if hop is not None:",
-                        p2 + "    hop(%s)" % var,
-                    ]
-                else:
-                    body += [
-                        p2 + "else:",
-                        p2 + "    hop = %s[out] if 0 <= out < %d else None" % (jt, nports),
-                        p2 + "    if hop is not None:",
-                        p2 + "        hop(%s)" % var,
-                    ]
-                return body
+                return dispatch_tail(body, pad + "        ", var, exitstmt)
 
             return emit
         if cls.push is Queue.push:
@@ -913,6 +1034,116 @@ class FastPath:
 
             return emit
         return None
+
+    def _emit_classifier_diagram(self, terminal, plan, new_arg, stack, depth, ctx):
+        """Emit a classifier terminal as its forwarding decision
+        diagram: the element's whole tree inlined as nested byte tests
+        (see :mod:`repro.runtime.fdd`), with the fused per-output chain
+        bodies sitting at the leaves.  Packets shorter than the
+        diagram's length gate fall back to the compiled matcher, whose
+        zero-padding semantics the in-bounds inlined tests cannot
+        reproduce; everything longer never calls the matcher at all.
+
+        Leaf bodies are built *now* (each under its own fact dict —
+        contents local + the gate as minimum length), bounded per
+        output so a tree labelling many leaves with one port does not
+        replicate that port's chain arbitrarily; leaves past the bound,
+        pruned arms, and failure/out-of-range leaves dispatch through
+        the plain jump table exactly like the generic emission."""
+        from ..elements.classifiers import FastClassifierBase
+
+        policy = self.policy
+        table, table_index = self._register_jump_table(terminal, "plain")
+        cdata = ctx.get("data") if (policy.fuse_facts and ctx) else None
+        cmin = int(ctx.get("min_len", 0)) if cdata else 0
+        dvar = cdata if cdata else "data"
+        if type(terminal).push is FastClassifierBase.push:
+            m = new_arg(_classifier_matcher(terminal), ("matcher", terminal.name))
+            match_expr = "%s(%s)" % (m, dvar)
+        else:
+            m = new_arg(terminal.matcher_cell(), ("cell", terminal.name))
+            match_expr = "%s[0](%s)" % (m, dvar)
+        c = new_arg(terminal, ("elem", terminal.name))
+        jt = new_arg(table, ("table", table_index))
+        noutputs = terminal.noutputs
+        nports = len(terminal._output_ports)
+        note = policy.classifier_note(terminal)
+        note_name = new_arg(*self._bind_policy(note)) if note is not None else None
+        gate = plan.gate
+        base = dict(ctx) if cdata else {}
+        base["data"] = dvar
+        base["min_len"] = max(cmin, gate)
+        bodies = {}
+        pruned = set()
+        per_out = {}
+        for leaf_id, out in plan.leaves():
+            if out is None or out >= noutputs or not (0 <= out < nports):
+                continue
+            if not policy.should_fuse(terminal, out):
+                if out not in pruned:
+                    pruned.add(out)
+                    self.report.pruned_arms += 1
+                continue
+            if per_out.get(out, 0) >= 2:
+                continue
+            body = self._inline_push_body(
+                terminal, out, new_arg, stack, depth + 1, ctx=dict(base)
+            )
+            if body is None:
+                continue
+            per_out[out] = per_out.get(out, 0) + 1
+            bodies[leaf_id] = body
+        report = self.report
+        report.fdd_diagrams += 1
+        report.fdd_nodes += plan.nodes
+        report.fdd_paths += plan.paths
+        report.fdd_tests_saved += plan.loads_saved
+
+        def emit(var, pad, exitstmt):
+            lines = []
+            if cdata is None:
+                lines += [
+                    pad + "data = %s._data_cache" % var,
+                    pad + "if data is None:",
+                    pad + "    data = %s.data" % var,
+                ]
+
+            def leaf(leaf_id, out, lpad):
+                body = []
+                if note_name is not None:
+                    body.append(
+                        lpad
+                        + "%s(%s, %s)"
+                        % (note_name, "None" if out is None else out, dvar)
+                    )
+                if out is None or out >= noutputs:
+                    body.append(lpad + "%s.drops += 1" % c)
+                    return body
+                emitter = bodies.get(leaf_id)
+                if emitter is not None:
+                    return body + emitter(var, lpad, exitstmt)
+                body.append(lpad + "%s[%d](%s)" % (jt, out, var))
+                return body
+
+            if gate and cmin < gate:
+                lines.append(pad + "if len(%s) >= %d:" % (dvar, gate))
+                lines.extend(plan.emit(dvar, pad + "    ", leaf))
+                lines.append(pad + "else:")
+                fb = pad + "    "
+                lines.append(fb + "out = %s" % match_expr)
+                if note_name is not None:
+                    lines.append(fb + "%s(out, %s)" % (note_name, dvar))
+                lines += [
+                    fb + "if out is None or out >= %d:" % noutputs,
+                    fb + "    %s.drops += 1" % c,
+                    fb + "else:",
+                    fb + "    %s[out](%s)" % (jt, var),
+                ]
+            else:
+                lines.extend(plan.emit(dvar, pad, leaf))
+            return lines
+
+        return emit
 
     def _inline_push_body(self, element, port_index, new_arg, stack, depth, ctx=None):
         """Emitter for the full body of the push chain leaving
@@ -940,7 +1171,7 @@ class FastPath:
         pairs = [(stages[i].to_element, action) for i, action in enumerate(actions)]
         segments = self._compose_segments(pairs, new_arg, ctx=ctx)
         emit_terminal = self._terminal_spec(
-            terminal, terminal_port, new_arg, stack | {id(terminal)}, depth
+            terminal, terminal_port, new_arg, stack | {id(terminal)}, depth, ctx=ctx
         )
         if emit_terminal is None:
             t = new_arg(terminal.push, ("attr", terminal.name, ("push",)))
@@ -1043,6 +1274,17 @@ class FastPath:
                 if hot_raw is not None
                 else None
             )
+            if ctx is not None and self.policy.fuse_facts:
+                # The raw destination stays live in local ``d`` for any
+                # downstream route-table terminal in this same function
+                # (the contents facts survive too: only annotations and
+                # ip_header_offset change here).
+                ctx["dst_raw"] = "d"
+                # The verified header length stays live in local `hl`
+                # for as long as the contents facts hold.
+                ctx["ip_hl"] = "hl"
+
+            fast_lane = self.policy.fuse_facts
 
             def seg(var, pad, exitstmt):
                 if cvar:
@@ -1059,20 +1301,53 @@ class FastPath:
                     pad + "ln = len(c)",
                     pad + "if ln >= 20:",
                     pad + "    vi = c[0]",
-                    pad + "    hl = (vi & 15) * 4",
-                    pad + "    if vi >> 4 == 4 and hl >= 20 and ln >= hl:",
-                    pad + "        hdr = int.from_bytes(c[:hl], 'big')",
-                    pad + "        sh = hl * 8",
-                    pad + "        if hl <= (hdr >> (sh - 32)) & 0xFFFF <= ln and not hdr % 0xFFFF:",
-                    pad + "            s = (hdr >> (sh - 128)) & 0xFFFFFFFF",
-                    pad + "            if %s:" % src_test,
-                    pad + "                good = True",
-                    pad + "if not good:",
-                    pad + "    %s(%s)" % (f, var),
-                    pad + "    " + exitstmt,
-                    pad + "%s.ip_header_offset = 0" % var,
-                    pad + "d = (hdr >> (sh - 160)) & 0xFFFFFFFF",
                 ]
+                if fast_lane:
+                    # Split lane for the dominant no-options header
+                    # (version/ihl byte 0x45): every field offset is a
+                    # compile-time constant, so the extraction shifts
+                    # constant-fold and the destination is a plain mask.
+                    # Options-bearing headers take the generic lane.
+                    lines += [
+                        pad + "    if vi == 69:",
+                        pad + "        hl = 20",
+                        pad + "        hdr = int.from_bytes(c[:20], 'big')",
+                        pad + "        if 20 <= (hdr >> 128) & 0xFFFF <= ln and not hdr % 0xFFFF:",
+                        pad + "            s = (hdr >> 32) & 0xFFFFFFFF",
+                        pad + "            if %s:" % src_test,
+                        pad + "                good = True",
+                        pad + "                d = hdr & 0xFFFFFFFF",
+                        pad + "    else:",
+                        pad + "        hl = (vi & 15) * 4",
+                        pad + "        if vi >> 4 == 4 and hl >= 20 and ln >= hl:",
+                        pad + "            hdr = int.from_bytes(c[:hl], 'big')",
+                        pad + "            sh = hl * 8",
+                        pad + "            if hl <= (hdr >> (sh - 32)) & 0xFFFF <= ln and not hdr % 0xFFFF:",
+                        pad + "                s = (hdr >> (sh - 128)) & 0xFFFFFFFF",
+                        pad + "                if %s:" % src_test,
+                        pad + "                    good = True",
+                        pad + "                    d = (hdr >> (sh - 160)) & 0xFFFFFFFF",
+                        pad + "if not good:",
+                        pad + "    %s(%s)" % (f, var),
+                        pad + "    " + exitstmt,
+                        pad + "%s.ip_header_offset = 0" % var,
+                    ]
+                else:
+                    lines += [
+                        pad + "    hl = (vi & 15) * 4",
+                        pad + "    if vi >> 4 == 4 and hl >= 20 and ln >= hl:",
+                        pad + "        hdr = int.from_bytes(c[:hl], 'big')",
+                        pad + "        sh = hl * 8",
+                        pad + "        if hl <= (hdr >> (sh - 32)) & 0xFFFF <= ln and not hdr % 0xFFFF:",
+                        pad + "            s = (hdr >> (sh - 128)) & 0xFFFFFFFF",
+                        pad + "            if %s:" % src_test,
+                        pad + "                good = True",
+                        pad + "if not good:",
+                        pad + "    %s(%s)" % (f, var),
+                        pad + "    " + exitstmt,
+                        pad + "%s.ip_header_offset = 0" % var,
+                        pad + "d = (hdr >> (sh - 160)) & 0xFFFFFFFF",
+                    ]
                 if hot_ip is not None:
                     # The profiled hot destination skips the intern-cache
                     # probe: an equal raw value gets the same interned
@@ -1101,6 +1376,10 @@ class FastPath:
             return seg
         if fn is Paint.simple_action:
             color = element.color
+            if ctx is not None and self.policy.fuse_facts:
+                # The paint annotation is now a compile-time constant
+                # for the rest of this chain (nothing else writes it).
+                ctx["paint"] = color
 
             def seg(var, pad, exitstmt):
                 return [pad + "%s.paint = %d" % (var, color)]
@@ -1117,6 +1396,9 @@ class FastPath:
                 dst = "_d%d" % self._ctx_counter
                 ctx["data"] = dst
                 ctx["min_len"] = ctx["min_len"] - n
+                # The header-length local was measured against the old
+                # contents origin; it does not survive the re-slice.
+                ctx.pop("ip_hl", None)
 
                 def seg(var, pad, exitstmt, _src=src, _dst=dst):
                     return [
@@ -1178,9 +1460,29 @@ class FastPath:
 
             return seg
         if fn is FixIPSrc.simple_action:
-            if ctx:
+            data_var = None
+            if ctx and self.policy.fuse_facts:
+                data_var = ctx.get("data")
+            if ctx and data_var is None:
                 ctx.clear()
             a = new_arg(action, _method_spec(action))
+            if data_var is not None:
+                # Rewriting the source address keeps length, destination,
+                # and header shape intact, so every fact survives; the
+                # rare rewrite branch just re-syncs the contents local.
+
+                def seg(var, pad, exitstmt, _d=data_var):
+                    return [
+                        pad + "if %s.fix_ip_src_anno:" % var,
+                        pad + "    %s = %s(%s)" % (var, a, var),
+                        pad + "    if %s is None:" % var,
+                        pad + "        " + exitstmt,
+                        pad + "    %s = %s._data_cache" % (_d, var),
+                        pad + "    if %s is None:" % _d,
+                        pad + "        %s = %s.data" % (_d, var),
+                    ]
+
+                return seg
 
             def seg(var, pad, exitstmt):
                 return [
@@ -1192,9 +1494,27 @@ class FastPath:
 
             return seg
         if fn is IPGWOptions._process:
-            if ctx:
+            hl_var = None
+            fused = bool(ctx) and self.policy.fuse_facts
+            if fused:
+                hl_var = ctx.get("ip_hl")
+            if ctx and not fused:
                 ctx.clear()
             a = new_arg(action, _method_spec(action))
+            if hl_var is not None:
+                # _process never mutates the packet (it only walks the
+                # option bytes or diverts to output 1), so every fused
+                # fact survives — including the header length an
+                # upstream CheckIPHeader left live: options iff != 20.
+                def seg(var, pad, exitstmt):
+                    return [
+                        pad + "if %s != 20:" % hl_var,
+                        pad + "    %s = %s(%s)" % (var, a, var),
+                        pad + "    if %s is None:" % var,
+                        pad + "        " + exitstmt,
+                    ]
+
+                return seg
 
             def seg(var, pad, exitstmt):
                 return [
@@ -1207,21 +1527,35 @@ class FastPath:
 
             return seg
         if fn is DecIPTTL._decrement:
+            data_var = None
+            if ctx and self.policy.fuse_facts:
+                data_var = ctx.get("data")
             if ctx:
-                ctx.clear()
+                if data_var is not None:
+                    # The decrement pokes TTL/checksum bytes in place,
+                    # so the cached-contents local goes stale; lengths,
+                    # destination, and paint survive.
+                    ctx.pop("data", None)
+                else:
+                    ctx.clear()
             a = new_arg(action, _method_spec(action))
 
-            def seg(var, pad, exitstmt):
+            def seg(var, pad, exitstmt, _d=data_var):
                 # The live-TTL case fully in line: read the header words
                 # from the cached contents, fold the RFC 1624 update
                 # twice (the three-term sum fits in 18 bits, so two
                 # folds always suffice), and poke the changed bytes.
                 # TTL <= 1 takes the bound method, which counts, pushes
                 # the error output, and returns None.
-                return [
-                    pad + "c = %s._data_cache" % var,
-                    pad + "if c is None:",
-                    pad + "    c = %s.data" % var,
+                if _d is not None:
+                    head = [] if _d == "c" else [pad + "c = %s" % _d]
+                else:
+                    head = [
+                        pad + "c = %s._data_cache" % var,
+                        pad + "if c is None:",
+                        pad + "    c = %s.data" % var,
+                    ]
+                return head + [
                     pad + "ttl = c[8]",
                     pad + "if ttl <= 1:",
                     pad + "    %s = %s(%s)" % (var, a, var),
@@ -1257,8 +1591,29 @@ class FastPath:
 
             return seg
         if fn is PaintTee._tee:
-            a = new_arg(action, _method_spec(action))
             color = element.color
+            if ctx is not None and self.policy.fuse_facts and "paint" in ctx:
+                if ctx["paint"] != color:
+                    # An upstream Paint in this same chain proves the
+                    # tee never fires: the per-packet test disappears.
+                    self.report.elided_elements += 1
+
+                    def seg(var, pad, exitstmt):
+                        return []
+
+                    return seg
+                a = new_arg(action, _method_spec(action))
+
+                def seg(var, pad, exitstmt):
+                    # Known-equal paint: tee unconditionally.
+                    return [
+                        pad + "%s = %s(%s)" % (var, a, var),
+                        pad + "if %s is None:" % var,
+                        pad + "    " + exitstmt,
+                    ]
+
+                return seg
+            a = new_arg(action, _method_spec(action))
 
             def seg(var, pad, exitstmt):
                 return [
@@ -1445,9 +1800,10 @@ class FastPath:
                 return name
 
             pairs = [(stages[i].to_element, action) for i, action in enumerate(actions)]
-            segments = self._compose_segments(pairs, new_arg)
+            ctx = {} if self.policy.fuse_facts else None
+            segments = self._compose_segments(pairs, new_arg, ctx=ctx)
             emit_terminal = self._terminal_spec(
-                terminal, terminal_port, new_arg, frozenset({id(terminal)}), 0
+                terminal, terminal_port, new_arg, frozenset({id(terminal)}), 0, ctx=ctx
             )
             if emit_terminal is not None:
                 self.report.specialized_terminals += 1
@@ -1599,7 +1955,7 @@ class FastPath:
         """The ``(donor fastpath, dirty name set)`` a scoped hot-swap
         offered via ``router._fastpath_reuse``, or ``(None, None)`` when
         no donor is compatible.  A donor must match this compile's batch
-        flavor and policy cache key, carry per-chain compile units, and
+        flavor and policy reuse key, carry per-chain compile units, and
         neither side may be metered or fault-wrapped (a wrapper lives on
         element *instances*, which spliced code would bypass)."""
         hint = getattr(self.router, "_fastpath_reuse", None)
@@ -1608,7 +1964,7 @@ class FastPath:
         if getattr(self.router, "_fault_uncacheable", False):
             return None, None
         try:
-            policy_key = self.policy.cache_key()
+            policy_key = self.policy.reuse_key()
         except Exception:  # noqa: BLE001 - an odd policy just declines reuse
             return None, None
         if policy_key is None:
@@ -1622,7 +1978,7 @@ class FastPath:
             if getattr(donor.router, "_fault_uncacheable", False):
                 continue
             try:
-                if donor.policy.cache_key() != policy_key:
+                if donor.policy.reuse_key() != policy_key:
                     continue
             except Exception:  # noqa: BLE001
                 continue

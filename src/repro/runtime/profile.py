@@ -28,7 +28,7 @@ from .supervisor import SupervisorConfig
 
 __all__ = ["ExecutionProfile"]
 
-MODES = ("reference", "fast", "adaptive")
+MODES = ("reference", "fast", "adaptive", "fdd")
 SHARD_BACKENDS = ("thread", "process")
 
 
@@ -57,7 +57,9 @@ class ExecutionProfile:
                 "mode must be one of %s, not %r" % ("/".join(MODES), self.mode)
             )
         if self.batch and self.mode == "reference":
-            raise ValueError("batch dispatch requires mode 'fast' or 'adaptive'")
+            raise ValueError(
+                "batch dispatch requires mode 'fast', 'adaptive', or 'fdd'"
+            )
         if self.adaptive is not None and not isinstance(self.adaptive, AdaptiveConfig):
             raise TypeError("adaptive must be an AdaptiveConfig or None")
         if self.supervisor is not None:
@@ -95,6 +97,14 @@ class ExecutionProfile:
         """The adaptive tiered engine, optionally tuned by an
         :class:`AdaptiveConfig`."""
         return cls(mode="adaptive", adaptive=config, batch=batch, **kwargs)
+
+    @classmethod
+    def fdd(cls, config=None, batch=False, **kwargs):
+        """The forwarding-decision-diagram engine: the tiered engine
+        with classifier trees compiled into the chains as ordered
+        decision diagrams (``config`` tunes the shared adaptive
+        machinery)."""
+        return cls(mode="fdd", adaptive=config, batch=batch, **kwargs)
 
     # -- derivation --------------------------------------------------------
 

@@ -352,7 +352,10 @@ class Supervisor:
                     tiers = [("fast", _dynamic_push(port))]
                     if engine is not None and key in engine.states:
                         static = fastpath.function_for(key)
-                        tiers = [("adaptive", _dynamic_push(port)), ("fast", static)]
+                        tiers = [
+                            (getattr(engine, "tier_label", "adaptive"), _dynamic_push(port)),
+                            ("fast", static),
+                        ]
                     tiers.append(("reference", ref_outputs[index].push))
                     guard = _ChainGuard(self, key, tiers)
                     self.guards[key] = guard

@@ -176,6 +176,8 @@ class Testbed:
         if profile is None:
             if mode == "adaptive":
                 profile = ExecutionProfile.tiered(config=adaptive_config, batch=batch)
+            elif mode == "fdd":
+                profile = ExecutionProfile.fdd(config=adaptive_config, batch=batch)
             else:
                 profile = ExecutionProfile(mode=mode, batch=batch)
         devices = {

@@ -64,6 +64,7 @@ MODES = OrderedDict(
         ("fast", ("fast", False)),
         ("batch", ("fast", True)),
         ("adaptive", ("adaptive", False)),
+        ("fdd", ("fdd", False)),
     ]
 )
 
@@ -92,6 +93,8 @@ def mode_profile(mode, supervised=False):
     router_mode, batch = MODES[mode]
     if router_mode == "adaptive":
         profile = ExecutionProfile.tiered(config=AdaptiveConfig(**EAGER))
+    elif router_mode == "fdd":
+        profile = ExecutionProfile.fdd(config=AdaptiveConfig(**EAGER))
     else:
         profile = ExecutionProfile(mode=router_mode, batch=batch)
     if supervised:

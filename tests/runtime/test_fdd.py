@@ -1,0 +1,333 @@
+"""FDD mode (repro.runtime.fdd): diagram construction from classifier
+trees, plan emission, profile-ordered tests, the engine's tier
+lifecycle, control-plane repatching, and supervised demotion."""
+
+import pytest
+
+from repro.classifier.language import compile_patterns
+from repro.classifier.optimize import optimize
+from repro.runtime import ExecutionProfile
+from repro.runtime.adaptive import AdaptiveConfig
+from repro.runtime.fdd import (
+    DEFAULT_NODE_BUDGET,
+    FDDEngine,
+    build_diagram,
+    classifier_hot_path,
+    router_trees,
+    trees_digest,
+)
+from repro.sim.testbed import Testbed
+
+EAGER = dict(threshold=48, sample=4, min_samples=12)
+
+
+def _tree(patterns):
+    return optimize(compile_patterns(patterns))
+
+
+def _matcher(plan):
+    """Compile a plan into a callable the way the chain compiler does,
+    with leaves returning their output (None = drop)."""
+
+    def leaf(leaf_id, out, pad):
+        return [pad + "return %r" % (out,)]
+
+    lines = ["def match(data):"]
+    lines += plan.emit("data", "    ", leaf)
+    namespace = {}
+    exec("\n".join(lines), namespace)  # noqa: S102 - test harness
+    return namespace["match"]
+
+
+# -- ExecutionProfile.fdd (satellite: profile surface) -----------------------
+
+
+def test_profile_fdd_constructor_and_label():
+    profile = ExecutionProfile.fdd()
+    assert profile.mode == "fdd"
+    assert profile.label == "fdd"
+    assert ExecutionProfile.fdd(batch=True).label == "fdd+batch"
+    assert ExecutionProfile.fdd().with_supervision().label == "fdd+supervised"
+
+
+def test_profile_fdd_round_trips_as_dict():
+    profile = ExecutionProfile.fdd(config=AdaptiveConfig(**EAGER), batch=True)
+    summary = profile.as_dict()
+    assert summary["mode"] == "fdd"
+    assert summary["batch"] is True
+    assert summary["adaptive"] is True
+    rebuilt = ExecutionProfile(mode=summary["mode"], batch=summary["batch"])
+    assert rebuilt.label == profile.label
+
+
+def test_profile_rejects_unknown_mode():
+    with pytest.raises(ValueError):
+        ExecutionProfile(mode="fdd-turbo")
+
+
+# -- build_diagram -----------------------------------------------------------
+
+
+def test_constant_tree_is_single_leaf():
+    plan = build_diagram(_tree(["-"]))
+    assert plan.nodes == 0
+    assert plan.paths == 1
+    assert plan.gate == 0
+    assert plan.leaves() == [(0, 0)]
+
+
+def test_none_tree_has_no_plan():
+    assert build_diagram(None) is None
+
+
+def test_budget_fallback_returns_none():
+    tree = _tree(["12/0800", "12/0806", "-"])
+    assert build_diagram(tree, node_budget=0) is None
+    assert build_diagram(tree) is not None
+
+
+def test_gate_covers_every_load():
+    tree = _tree(["12/0800", "12/0806", "-"])
+    plan = build_diagram(tree)
+    # The widest read ends at byte 14; shorter packets must take the
+    # zero-padding matcher instead.
+    assert plan.gate == 14
+
+
+def test_shared_location_loads_once():
+    # Three full-word rules on the same word: the second and third tests
+    # reuse the first's local.
+    plan = build_diagram(_tree(["0/00000000", "0/00000001", "-"]))
+    assert plan.loads_saved >= 1
+    lines = plan.emit("data", "", lambda leaf_id, out, pad: [pad + "pass"])
+    loads = [line for line in lines if "= data[0:4]" in line]
+    assert len(loads) == 1
+
+
+def test_diagram_matches_tree_on_random_frames():
+    import random
+
+    rng = random.Random(7)
+    patterns = ["12/0800 23/11", "12/0800 23/06", "12/0806", "-"]
+    tree = _tree(patterns)
+    plan = build_diagram(tree)
+    match = _matcher(plan)
+    for _ in range(200):
+        length = rng.randrange(plan.gate, 40)
+        data = bytes(rng.randrange(256) for _ in range(length))
+        assert match(data) == tree.match(data)
+    # ...and on frames crafted to hit each rule.
+    ip = b"\x00" * 12 + b"\x08\x00" + b"\x00" * 9 + b"\x11" + b"\x00" * 10
+    arp = b"\x00" * 12 + b"\x08\x06" + b"\x00" * 20
+    assert match(ip) == tree.match(ip) == 0
+    assert match(arp) == tree.match(arp) == 2
+
+
+def test_hot_path_orients_the_fall_through():
+    tree = _tree(["12/0800", "12/0806", "-"])
+    arp = b"\x00" * 12 + b"\x08\x06" + b"\x00" * 6
+    hot_out = tree.match(arp)
+    path = classifier_hot_path(tree, hot_out, arp)
+    assert path  # the exemplar really reaches its output
+    plan = build_diagram(tree, hot_path=dict(path))
+    # The first leaf in emission order is the hot flow's: every test on
+    # the hot path emits with that side as the fall-through.
+    assert plan.leaves()[0][1] == hot_out
+    # Orientation never changes semantics.
+    match = _matcher(plan)
+    straight = _matcher(build_diagram(tree))
+    for data in (arp, b"\x00" * 12 + b"\x08\x00" + b"\x00" * 6, b"\xff" * 20):
+        assert match(data) == straight(data) == tree.match(data)
+
+
+def test_hot_path_rejects_wrong_output():
+    tree = _tree(["12/0800", "12/0806", "-"])
+    arp = b"\x00" * 12 + b"\x08\x06" + b"\x00" * 6
+    assert classifier_hot_path(tree, 0, arp) == ()
+    assert classifier_hot_path(tree, 2, None) == ()
+
+
+def test_trees_digest_tracks_content():
+    testbed = Testbed(2)
+    router, _ = testbed.build_router(testbed.variant_graph("base"))
+    trees = router_trees(router)
+    assert "c0" in trees and "c1" in trees
+    digest = trees_digest(trees)
+    assert digest == trees_digest(dict(trees))
+    assert digest != trees_digest({k: v for k, v in trees.items() if k != "c0"})
+
+
+# -- engine lifecycle --------------------------------------------------------
+
+
+def _fdd_testbed(packets=512, config=None, supervised=False):
+    testbed = Testbed(2)
+    profile = ExecutionProfile.fdd(config=config or AdaptiveConfig(**EAGER))
+    if supervised:
+        profile = profile.with_supervision()
+    router, devices = testbed.build_router(testbed.variant_graph("base"), profile=profile)
+    for device_name, frame in testbed.evaluation_frames(packets):
+        devices[device_name].receive_frame(frame)
+    router.run_tasks(packets)
+    return testbed, router, devices
+
+
+def test_fdd_engine_compiles_diagrams_and_promotes():
+    _, router, _ = _fdd_testbed()
+    engine = router.adaptive
+    assert isinstance(engine, FDDEngine)
+    report = engine.diagram_report()
+    assert report["mode"] == "fdd"
+    assert report["node_budget"] == DEFAULT_NODE_BUDGET
+    assert report["totals"]["diagrams"] == 2  # c0 and c1
+    assert report["budget_fallbacks"] == []
+    assert report["tier1"]["fdd_diagrams"] > 0
+    # The eager thresholds promote the hot chains; tier 2 re-emits the
+    # diagrams with profile-ordered tests.
+    chains = engine.profile_report().as_dict()["chains"]
+    assert any(chain["tier"] == 2 for chain in chains.values())
+    assert report["tier2"] is not None
+    assert report["tier2"]["fdd_diagrams"] > 0
+
+
+def test_fdd_forwards_identically_to_reference():
+    testbed = Testbed(2)
+    router, devices = testbed.build_router(testbed.variant_graph("base"))
+    for device_name, frame in testbed.evaluation_frames(512):
+        devices[device_name].receive_frame(frame)
+    router.run_tasks(512)
+    reference = {name: list(d.transmitted) for name, d in devices.items()}
+    _, _, devices = _fdd_testbed(512)
+    assert {name: list(d.transmitted) for name, d in devices.items()} == reference
+
+
+def test_profile_report_labels_fdd_mode():
+    _, router, _ = _fdd_testbed(64)
+    assert router.adaptive.profile_report().as_dict()["mode"] == "fdd"
+
+
+# -- control-plane patching --------------------------------------------------
+
+
+def _rules_of(router, name):
+    from repro.lang.lexer import split_config_args
+
+    return split_config_args(router.graph.elements[name].config)
+
+
+def test_rules_patch_repatches_in_place():
+    from repro.control import ControlPlane
+
+    testbed, router, devices = _fdd_testbed()
+    plane = ControlPlane(router)
+    engine = router.adaptive
+    before = sum(len(d.transmitted) for d in devices.values())
+    report = plane.update_rules("c0", _rules_of(router, "c0"))
+    assert report.kind == "in-place"
+    assert plane.router is router  # no new router generation
+    assert engine.diagram_rebuilds == 1
+    assert "diagram repatch of c0" in engine.profile_report().as_dict()["deopts"]
+    # The rebuilt diagrams keep forwarding.
+    for device_name, frame in testbed.evaluation_frames(128):
+        devices[device_name].receive_frame(frame)
+    router.run_tasks(128)
+    assert sum(len(d.transmitted) for d in devices.values()) > before
+
+
+def test_rules_patch_changes_live_dispatch():
+    """Narrowing c0 to ARP-only really drops the IP flow: the patched
+    tree is live inside the rebuilt diagrams, not just in the graph."""
+    from repro.control import ControlPlane
+
+    testbed, router, devices = _fdd_testbed()
+    plane = ControlPlane(router)
+    rules = _rules_of(router, "c0")
+    # Stock order: ARP request, ARP reply, IP, catch-all.  Point the IP
+    # arm at the catch-all pattern so IP traffic from eth0 is discarded.
+    narrowed = list(rules)
+    narrowed[2] = "12/0805"
+    report = plane.update_rules("c0", narrowed)
+    assert report.kind == "in-place"
+    before = sum(len(d.transmitted) for d in devices.values())
+    for device_name, frame in testbed.evaluation_frames(128):
+        devices[device_name].receive_frame(frame)
+    router.run_tasks(128)
+    # eth0's IP flow (even sequence numbers) no longer forwards; eth1's
+    # does — some but not all of the traffic gets through.
+    delta = sum(len(d.transmitted) for d in devices.values()) - before
+    assert 0 < delta < 128
+
+
+def test_route_patch_still_deopts():
+    from repro.control import ControlPlane
+    from repro.lang.lexer import split_config_args
+
+    _, router, _ = _fdd_testbed()
+    plane = ControlPlane(router)
+    routes = split_config_args(router.graph.elements["rt"].config)
+    plane.update_routes("rt", routes)
+    engine = router.adaptive
+    assert engine.diagram_rebuilds == 0  # compiled lookups read the live table
+    deopts = engine.profile_report().as_dict()["deopts"]
+    assert any("control-plane patch of rt" in reason for reason in deopts)
+
+
+def test_repatch_survives_supervision():
+    from repro.control import ControlPlane
+
+    testbed, router, devices = _fdd_testbed(supervised=True)
+    assert router.supervisor is not None
+    plane = ControlPlane(router)
+    plane.update_rules("c0", _rules_of(router, "c0"))
+    assert router.supervisor is not None  # reattached after the rebuild
+    before = sum(len(d.transmitted) for d in devices.values())
+    for device_name, frame in testbed.evaluation_frames(128):
+        devices[device_name].receive_frame(frame)
+    router.run_tasks(128)
+    assert sum(len(d.transmitted) for d in devices.values()) > before
+
+
+# -- supervised demotion -----------------------------------------------------
+
+
+def test_supervised_fdd_tier_ladder():
+    """Under supervision the dynamic tier is labelled fdd: a faulting
+    element demotes fdd -> fast -> reference, and the wire stays
+    byte-identical to an unsupervised reference run."""
+    from repro.elements import Router
+    from repro.elements.devices import LoopbackDevice
+    from repro.lang.build import parse_graph
+    from repro.sim.faults import FaultInjector, FaultPlan
+
+    pipe = (
+        "src :: PollDevice(eth0); c :: Counter; q :: Queue(8); "
+        "dst :: ToDevice(eth1); src -> c -> q -> dst;"
+    )
+
+    def build(mode, faults=None):
+        devices = {
+            "eth0": LoopbackDevice("eth0"),
+            "eth1": LoopbackDevice("eth1", tx_capacity=1 << 20),
+        }
+        injector = None
+        if faults:
+            injector = FaultInjector(FaultPlan(faults=faults))
+            devices = injector.wrap_devices(devices)
+        router = Router(parse_graph(pipe), devices=devices)
+        if injector is not None:
+            injector.prepare_router(router)
+        router.configure(ExecutionProfile(mode=mode).with_supervision())
+        return router, devices
+
+    faults = [{"kind": "element_error", "element": "c", "after": 0, "count": 2}]
+    router, devices = build("fdd", faults=faults)
+    guard = router.supervisor.guards[("push", "src", 0)]
+    assert [name for name, _fn in guard.tiers] == ["fdd", "fast", "reference"]
+    for index in range(4):
+        devices["eth0"].receive_frame(b"frame-%02d" % index)
+    router.run_tasks(4)
+    assert guard.errors == 2
+    assert guard.demotions == 2
+    assert guard.tier == "reference"
+    # The two faulted packets drop at the boundary; 3 and 4 forward.
+    assert len(devices["eth1"].transmitted) == 2
