@@ -1,0 +1,227 @@
+"""Autotuning benchmark: searched runtime knobs vs the shipped defaults.
+
+``repro.tune`` searches the runtime knob space (adaptive thresholds,
+FDD node budget, shard queue capacity, batch flavor) with the shipped
+constants seeded as candidate 0, so by construction the winner ties or
+beats the defaults on the cost model.  This benchmark pins that claim
+down, per workload and per execution regime:
+
+- **modeled**: the tuner's own scoreboard — MLFFR (fluid equilibrium)
+  and effective per-packet CPU cost, tuned vs default.  Deterministic,
+  machine-independent; these are the hard gates.
+- **measured**: best-of-N wall-clock pps on the warmed engine, default
+  profile vs tuned profile, same frames, byte-equivalence checked
+  first.  Noisy by nature; the check allows a small tolerance.
+
+Workloads are the tuner's own subjects (:mod:`repro.tune.workloads`):
+the Figure 10 IP router and the §4 firewall under 90/10 skew — the
+same traffic shape ``bench_adaptive.py`` and ``bench_fdd.py`` gate, so
+the checked-in adaptive/FDD baselines stay comparable.
+
+Results go to ``BENCH_tune.json``.  Runs standalone (no pytest):
+
+    python benchmarks/bench_tune.py              # full run
+    python benchmarks/bench_tune.py --quick      # CI smoke
+    python benchmarks/bench_tune.py --check      # validate output
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
+
+from repro.elements.devices import PollDevice  # noqa: E402
+from repro.runtime import ExecutionProfile  # noqa: E402
+from repro.tune import tune  # noqa: E402
+from repro.tune.workloads import workload  # noqa: E402
+
+SEED = 7
+WORKLOADS = ["iprouter", "firewall"]
+MODES = ["adaptive", "fdd"]
+#: Wall-clock is noisy; the modeled gates are exact, the measured gate
+#: only refuses a clear regression.
+MEASURED_TOLERANCE = 0.90
+
+
+def _profile(mode, tuned=None):
+    profile = ExecutionProfile.tiered() if mode == "adaptive" else ExecutionProfile.fdd()
+    if tuned is not None:
+        profile = profile.with_tuning(tuned)
+    return profile
+
+
+def check_equivalence(subject, mode, tuned, packets=512):
+    """Reference, default, and tuned profiles must forward the same
+    bytes before anything is timed."""
+    router, devices, frames = subject.build(ExecutionProfile.reference())
+    reference = subject.drive(router, devices, frames, packets)
+    for profile in (_profile(mode), _profile(mode, tuned)):
+        router, devices, frames = subject.build(profile)
+        if subject.drive(router, devices, frames, packets) != reference:
+            raise AssertionError(
+                "%s/%s output differs from reference" % (subject.name, mode)
+            )
+
+
+def measure(subject, profile, packets, reps, warmup=4096):
+    """Best-of-``reps`` warmed pps on fresh routers under ``profile``."""
+    best = None
+    for _ in range(reps):
+        router, devices, frames = subject.build(profile)
+        subject.drive(router, devices, frames, warmup)
+        for device_name, frame in frames(packets):
+            devices[device_name].receive_frame(frame)
+        start = time.perf_counter()
+        router.run_tasks(packets // PollDevice.BURST + 16)
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return packets / best
+
+
+def run(packets, reps, budget, quick):
+    results = {
+        "quick": quick,
+        "packets": packets,
+        "reps": reps,
+        "seed": SEED,
+        "budget": budget,
+        "configs": {},
+    }
+    for workload_name in WORKLOADS:
+        entry = {}
+        for mode in MODES:
+            tuned = tune(
+                workload_name, mode=mode, seed=SEED, budget=budget, validate=not quick
+            )
+            subject = workload(workload_name)
+            check_equivalence(subject, mode, tuned)
+            default_pps = measure(subject, _profile(mode), packets, reps)
+            tuned_pps = measure(subject, _profile(mode, tuned), packets, reps)
+            entry[mode] = {
+                "key": tuned.key,
+                "params": dict(tuned.params),
+                "modeled": {
+                    "mlffr_pps": round(tuned.score, 1),
+                    "baseline_mlffr_pps": round(tuned.baseline_score, 1),
+                    "speedup": round(tuned.speedup, 3),
+                    "effective_ns": round(tuned.search["effective_ns"], 1),
+                    "baseline_effective_ns": round(
+                        tuned.search["baseline_effective_ns"], 1
+                    ),
+                    "cpu_speedup": round(tuned.cpu_speedup, 3),
+                },
+                "measured": {
+                    "default_pps": round(default_pps, 1),
+                    "tuned_pps": round(tuned_pps, 1),
+                    "tuned_over_default": round(tuned_pps / default_pps, 3),
+                },
+            }
+            if tuned.validation:
+                entry[mode]["validation"] = tuned.validation
+            stats = entry[mode]
+            print(
+                "%-10s %-9s modeled %5.2fx mlffr  %5.2fx cpu   measured %5.2fx  (%s)"
+                % (
+                    workload_name,
+                    mode,
+                    stats["modeled"]["speedup"],
+                    stats["modeled"]["cpu_speedup"],
+                    stats["measured"]["tuned_over_default"],
+                    tuned.key,
+                )
+            )
+        results["configs"][workload_name] = entry
+    return results
+
+
+def check_file(path):
+    """Validate an existing results file: on every workload and regime
+    the tuned profile must tie or beat the defaults on the model (exact)
+    and stay within tolerance on the wall clock; full runs must also
+    carry a passing wire-identity validation."""
+    with open(path) as fh:
+        results = json.load(fh)
+    configs = results["configs"]
+    if sorted(configs) != sorted(WORKLOADS):
+        raise SystemExit("%s: expected workloads %s, got %s" % (path, WORKLOADS, sorted(configs)))
+    for workload_name, entry in configs.items():
+        for mode in MODES:
+            stats = entry[mode]
+            modeled = stats["modeled"]
+            if modeled["speedup"] < 1.0:
+                raise SystemExit(
+                    "%s: %s/%s tuned is modeled slower than the defaults (%.3fx)"
+                    % (path, workload_name, mode, modeled["speedup"])
+                )
+            if modeled["cpu_speedup"] < 1.0:
+                raise SystemExit(
+                    "%s: %s/%s tuned costs more CPU than the defaults (%.3fx)"
+                    % (path, workload_name, mode, modeled["cpu_speedup"])
+                )
+            measured = stats["measured"]
+            # Quick runs measure too few packets for the wall clock to
+            # mean anything; only full runs gate on it.
+            if (
+                not results.get("quick")
+                and measured["tuned_over_default"] < MEASURED_TOLERANCE
+            ):
+                raise SystemExit(
+                    "%s: %s/%s tuned regresses the wall clock (%.3fx < %.2f)"
+                    % (
+                        path,
+                        workload_name,
+                        mode,
+                        measured["tuned_over_default"],
+                        MEASURED_TOLERANCE,
+                    )
+                )
+            validation = stats.get("validation")
+            if validation is not None and not validation.get("wire_identical", False):
+                raise SystemExit(
+                    "%s: %s/%s tuned profile is not wire-identical"
+                    % (path, workload_name, mode)
+                )
+            if not results.get("quick") and validation is None:
+                raise SystemExit(
+                    "%s: %s/%s full run is missing its validation record"
+                    % (path, workload_name, mode)
+                )
+    print("%s: ok (%s)" % (path, ", ".join(sorted(configs))))
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="small run for CI smoke")
+    parser.add_argument("--reps", type=int, default=None, help="repetitions per profile")
+    parser.add_argument("--packets", type=int, default=None, help="timed packets per rep")
+    parser.add_argument("--budget", type=int, default=None, help="search candidates per tune")
+    parser.add_argument(
+        "--out",
+        default=os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_tune.json"),
+        help="result file (default: repo-root BENCH_tune.json)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="validate an existing --out file instead of measuring",
+    )
+    args = parser.parse_args(argv)
+    if args.check:
+        check_file(args.out)
+        return
+    packets = args.packets or (2000 if args.quick else 20000)
+    reps = args.reps or (2 if args.quick else 3)
+    budget = args.budget or (8 if args.quick else 24)
+    results = run(packets, reps, budget, args.quick)
+    with open(args.out, "w") as fh:
+        json.dump(results, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print("wrote %s" % os.path.abspath(args.out))
+
+
+if __name__ == "__main__":
+    main()

@@ -310,6 +310,14 @@ def optimize_main(argv=None):
             choices=("thread", "process"),
             help="worker backend for --workers (default: %(default)s)",
         )
+        parser.add_argument(
+            "--tuned",
+            default=None,
+            metavar="FILE",
+            help="apply a click-tune TunedProfile artifact to the "
+            "compiled router (implies the artifact's execution mode "
+            "unless --fast/--adaptive/--fdd is given)",
+        )
 
     def preflight(args):
         if args.list_pipelines:
@@ -332,6 +340,27 @@ def optimize_main(argv=None):
     pipeline = named_pipeline(args.pipeline, validate="check" if args.validate else None)
     result = pipeline.run(graph)
     _write_output(args.output, save_config(result.graph))
+    tuned = None
+    if args.tuned:
+        from ..tune import TunedProfile
+
+        tuned = TunedProfile.load(args.tuned)
+        if not (args.fast or args.adaptive or args.fdd):
+            # No explicit tier flag: run under the tier the artifact
+            # was searched for.
+            if tuned.mode == "adaptive":
+                args.adaptive = True
+            elif tuned.mode == "fdd":
+                args.fdd = True
+            else:
+                args.fast = True
+        fingerprints = (graph.fingerprint(), result.graph.fingerprint())
+        if tuned.graph_fingerprint not in fingerprints:
+            sys.stderr.write(
+                "warning: tuned profile %s was searched against graph "
+                "fingerprint %s, not this configuration's %s; applying "
+                "anyway\n" % (tuned.key, tuned.graph_fingerprint, fingerprints[0])
+            )
     fastpath_section = None
     if (
         args.fast
@@ -340,6 +369,7 @@ def optimize_main(argv=None):
         or args.profile_report
         or args.supervised
         or args.workers > 1
+        or tuned is not None
     ):
         text, fastpath_section = _fastpath_report(
             result.graph,
@@ -350,6 +380,7 @@ def optimize_main(argv=None):
             workers=args.workers,
             shard_backend=args.shard_backend,
             source_graph=graph,
+            tuned=tuned,
         )
         sys.stderr.write(text + "\n")
     if args.report:
@@ -424,6 +455,7 @@ def _fastpath_report(
     workers=1,
     shard_backend="thread",
     source_graph=None,
+    tuned=None,
 ):
     """Instantiate the optimized graph (loopback devices stand in for
     whatever hardware the config names) and compile — but do not run —
@@ -461,6 +493,8 @@ def _fastpath_report(
         run_profile = ExecutionProfile.reference()
     if supervised:
         run_profile = run_profile.with_supervision()
+    if tuned is not None:
+        run_profile = run_profile.with_tuning(tuned)
     router = Router(graph, devices=AutoDevices(), profile=run_profile)
     if adaptive or fdd:
         engine = router.adaptive
@@ -484,6 +518,18 @@ def _fastpath_report(
         resilience = router.supervisor.report()
         text += "\n" + resilience.format()
         section["resilience"] = resilience.as_dict()
+    if tuned is not None:
+        section["tuning"] = {
+            "key": tuned.key,
+            "workload": tuned.workload,
+            "mode": tuned.mode,
+            "params": dict(tuned.params),
+        }
+        text += "\ntuned profile %s (%s/%s) applied" % (
+            tuned.key,
+            tuned.workload,
+            tuned.mode,
+        )
     if workers > 1:
         from ..elements.runtime import build_router
 
@@ -605,5 +651,13 @@ def update_main(argv=None):
     """click-update CLI (lazy, like click-fuzz): replay control-plane
     updates against a live router and report how each installed."""
     from ..control.cli import main
+
+    return main(argv)
+
+
+def tune_main(argv=None):
+    """click-tune CLI (lazy, like click-fuzz): search the runtime knob
+    space for a workload and emit a TunedProfile artifact."""
+    from ..tune.cli import main
 
     return main(argv)

@@ -71,6 +71,14 @@ class Router:
         self.meter = meter
         self.adaptive = None
         self._adaptive_config = None
+        # Tuned-profile extras: node_budget feeds the FDD engine; the
+        # shard knobs are inert on a single router but must round-trip
+        # through .profile so a sharded plane's shard-local routers can
+        # reconstruct the full profile.
+        self._node_budget = None
+        self._queue_capacity = None
+        self._divide_capacity = False
+        self._chunk_frames = None
         self.supervisor = None
         self.fault_injector = None
         self.retired = False
@@ -242,6 +250,10 @@ class Router:
             adaptive=self._adaptive_config,
             supervised=supervisor is not None,
             supervisor=supervisor.config if supervisor is not None else None,
+            queue_capacity=self._queue_capacity,
+            divide_capacity=self._divide_capacity,
+            node_budget=self._node_budget,
+            chunk_frames=self._chunk_frames,
         )
 
     def configure(self, profile=None):
@@ -269,7 +281,20 @@ class Router:
             # silently ignored by the mode switch below.
             self.adaptive.uninstall()
             self.adaptive = None
+        if self.adaptive is not None and profile.mode == "fdd":
+            from ..runtime.fdd import DEFAULT_NODE_BUDGET
+
+            wanted = profile.node_budget or DEFAULT_NODE_BUDGET
+            if getattr(self.adaptive, "node_budget", wanted) != wanted:
+                # Same reasoning as above: a changed node budget must
+                # recompile the diagrams, not keep the old expansion.
+                self.adaptive.uninstall()
+                self.adaptive = None
         self._adaptive_config = profile.adaptive
+        self._node_budget = profile.node_budget
+        self._queue_capacity = profile.queue_capacity
+        self._divide_capacity = profile.divide_capacity
+        self._chunk_frames = profile.chunk_frames
         self._set_mode(profile.mode, batch=profile.batch)
         if profile.supervised:
             self._attach_supervisor(profile.supervisor)
@@ -301,15 +326,19 @@ class Router:
                 self.fastpath.uninstall()
         elif mode in ("adaptive", "fdd"):
             if self.adaptive is None:
+                engine_kwargs = {}
                 if mode == "fdd":
                     from ..runtime.fdd import FDDEngine as engine_class
+
+                    if self._node_budget is not None:
+                        engine_kwargs["node_budget"] = self._node_budget
                 else:
                     from ..runtime.adaptive import AdaptiveEngine as engine_class
 
                 if self.fastpath is not None and self.fastpath.installed:
                     self.fastpath.uninstall()
                 self.adaptive = engine_class(
-                    self, config=self._adaptive_config, batch=batch
+                    self, config=self._adaptive_config, batch=batch, **engine_kwargs
                 )
                 self.adaptive.install()
         else:

@@ -55,8 +55,22 @@ __all__ = [
     "ProfileReport",
     "ProfileStore",
     "ProfilingPolicy",
+    "TUNABLES",
     "build_decisions",
 ]
+
+#: Parameter-space declarations for the autotuner (:mod:`repro.tune`).
+#: Plain data — name, domain, default — so the tuner can build its
+#: ``Param`` objects without this module importing back into it.  The
+#: dotted names match the keys ``ExecutionProfile.with_tuning`` consumes.
+TUNABLES = (
+    {"name": "adaptive.threshold", "kind": "log_int", "low": 64, "high": 8192, "default": 512},
+    {"name": "adaptive.sample", "kind": "choice", "choices": [4, 8, 16, 32, 64, 128], "default": 16},
+    {"name": "adaptive.min_samples", "kind": "log_int", "low": 8, "high": 256, "default": 32},
+    {"name": "adaptive.guard_miss_limit", "kind": "log_int", "low": 256, "high": 65536, "default": 8192},
+    {"name": "adaptive.hot_fraction", "kind": "choice", "choices": [0.5, 0.6, 0.75, 0.9], "default": 0.5},
+    {"name": "adaptive.max_recompiles", "kind": "int", "low": 4, "high": 64, "default": 16},
+)
 
 
 class AdaptiveConfig:
@@ -94,6 +108,16 @@ class AdaptiveConfig:
             raise ValueError("sample must be a power of two, not %r" % (sample,))
         if threshold < 1:
             raise ValueError("threshold must be positive")
+        if min_samples < 1:
+            raise ValueError("min_samples must be positive, not %r" % (min_samples,))
+        if guard_miss_limit < 1:
+            raise ValueError(
+                "guard_miss_limit must be positive, not %r" % (guard_miss_limit,)
+            )
+        if max_recompiles < 1:
+            raise ValueError(
+                "max_recompiles must be positive, not %r" % (max_recompiles,)
+            )
         self.threshold = threshold
         self.sample = sample
         self.guard_miss_limit = guard_miss_limit

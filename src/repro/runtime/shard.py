@@ -66,9 +66,54 @@ from dataclasses import replace
 from .flowhash import DEFAULT_SEED, FlowHasher
 from .profile import ExecutionProfile
 
-__all__ = ["SPSCQueue", "ShardReport", "ShardedRouter"]
+__all__ = [
+    "DEFAULT_CHUNK_FRAMES",
+    "DEFAULT_QUEUE_CAPACITY",
+    "SPSCQueue",
+    "ShardReport",
+    "ShardedRouter",
+    "TUNABLES",
+    "divide_queue_capacities",
+]
+
+#: Default capacity of the bounded SPSC handoff queues (thread
+#: backend).  Overridable per plane via
+#: ``ExecutionProfile.with_workers(..., queue_capacity=...)``.
+DEFAULT_QUEUE_CAPACITY = 256
+
+#: Default frames per pipelined chunk on the process backend
+#: (``ExecutionProfile.chunk_frames`` or the ``chunk_frames``
+#: constructor keyword override it).
+DEFAULT_CHUNK_FRAMES = 2048
+
+#: Parameter-space declarations for the autotuner (:mod:`repro.tune`).
+#: ``shard.workers`` is declared here so the space covers the whole
+#: dispatch surface, but it is construction-time: the default search
+#: pins it to the target plane's worker count, and
+#: ``ExecutionProfile.with_tuning`` never applies it (use
+#: ``with_workers``).
+TUNABLES = (
+    {
+        "name": "shard.queue_capacity",
+        "kind": "choice",
+        "choices": [32, 64, 128, 256, 512, 1024, 2048],
+        "default": DEFAULT_QUEUE_CAPACITY,
+    },
+    {
+        "name": "shard.chunk_frames",
+        "kind": "log_int",
+        "low": 256,
+        "high": 8192,
+        "default": DEFAULT_CHUNK_FRAMES,
+    },
+    {"name": "shard.workers", "kind": "choice", "choices": [1, 2, 4, 8], "default": 1},
+)
 
 _DEVICE_CLASSES = ("PollDevice", "FromDevice", "ToDevice")
+
+#: Element classes whose single argument is a bounded packet-queue
+#: capacity — the queues ``divide_capacity`` splits across shards.
+_BOUNDED_QUEUE_CLASSES = ("Queue", "FrontDropQueue")
 #: Shard-local loopback devices never limit transmit on their own; the
 #: parent mirrors the real device's window into ``tx_capacity`` before
 #: every scheduler batch.
@@ -86,7 +131,7 @@ class SPSCQueue:
 
     __slots__ = ("_items", "_capacity", "_lock", "_not_empty", "_not_full", "high_water")
 
-    def __init__(self, capacity=256):
+    def __init__(self, capacity=DEFAULT_QUEUE_CAPACITY):
         if capacity < 1:
             raise ValueError("capacity must be >= 1, not %r" % (capacity,))
         self._items = []
@@ -134,6 +179,48 @@ def _device_names_of(graph, devices=None):
             if name and name not in names:
                 names.append(name)
     return names
+
+
+def divide_queue_capacities(graph, index, workers):
+    """Shard ``index``'s view of ``graph`` under divide-capacity mode:
+    every bounded queue's capacity is split across the ``workers``
+    shards — floor share each, remainder to the lowest indices — so the
+    plane's *aggregate* queue capacity matches the single-plane router
+    and load-dependent loss stays within the sharding contract.
+
+    Returns a fresh graph (text round trip; the caller's graph is the
+    undivided source of truth).  A queue whose capacity is below the
+    worker count cannot be divided without exceeding the single plane's
+    aggregate (every shard queue needs at least one slot), so that
+    raises.  Queue declarations whose argument is not a plain integer
+    are left alone — the shard build will report them exactly as a
+    single-plane build would.
+    """
+    if workers <= 1:
+        return graph
+    from ..core.toolchain import load_config, save_config
+    from ..elements.infrastructure import Queue
+
+    divided = load_config(save_config(graph), "<shard-divide>")
+    for decl in divided.elements.values():
+        if decl.class_name not in _BOUNDED_QUEUE_CLASSES:
+            continue
+        config = (decl.config or "").strip()
+        try:
+            capacity = int(config) if config else Queue.DEFAULT_CAPACITY
+        except ValueError:
+            continue
+        if capacity < workers:
+            from ..errors import ClickSemanticError
+
+            raise ClickSemanticError(
+                "divide_capacity cannot split %s(%d) across %d shards; "
+                "every bounded queue needs capacity >= the worker count"
+                % (decl.name, capacity, workers)
+            )
+        share = capacity // workers + (1 if index < capacity % workers else 0)
+        decl.config = str(share)
+    return divided
 
 
 def _meter_delta(current, previous):
@@ -219,12 +306,12 @@ class _ThreadShard:
         "meter_snapshot",
     )
 
-    def __init__(self, index):
+    def __init__(self, index, queue_capacity=DEFAULT_QUEUE_CAPACITY):
         self.index = index
         self.router = None
         self.devices = None
         self.meter = None
-        self.queue = SPSCQueue()
+        self.queue = SPSCQueue(queue_capacity)
         self.thread = None
         self.worked = 0
         self.error = None
@@ -283,10 +370,13 @@ class _FanoutElementProxy:
         )
 
 
-def _apply_shard_control(router, devices, cmd):
+def _apply_shard_control(router, devices, cmd, divider=None):
     """Apply one journaled control command to a single shard's router;
     returns the (possibly new) router.  Used both on the live path and
-    during crash-replay, so it must be deterministic."""
+    during crash-replay, so it must be deterministic.  ``divider`` is
+    the shard's divide-capacity transform (or None): journaled
+    configurations are always the *undivided* text, so every path that
+    materializes a graph on a shard runs it through the divider."""
     op = cmd[0]
     if op == "insert":
         element = router.find(cmd[1])
@@ -307,24 +397,37 @@ def _apply_shard_control(router, devices, cmd):
         from ..core.toolchain import load_config
         from ..elements.hotswap import hotswap
 
-        router = hotswap(router, load_config(cmd[1], "<shard-hotswap>")).router
+        new_graph = load_config(cmd[1], "<shard-hotswap>")
+        if divider is not None:
+            new_graph = divider(new_graph)
+        router = hotswap(router, new_graph).router
     elif op == "update":
         from ..control import ControlPlane
 
+        update = cmd[1]
+        if divider is not None:
+            from ..core.toolchain import load_config
+
+            update = divider(load_config(update, "<shard-update>"))
         plane = ControlPlane(router)
-        plane.apply(cmd[1])
+        plane.apply(update)
         router = plane.router
     else:
         raise ValueError("unknown shard control command %r" % (op,))
     return router
 
 
-def _process_shard_main(conn, config_text, profile, device_names, cache_path, metered=False):
+def _process_shard_main(
+    conn, config_text, profile, device_names, cache_path, metered=False, shard_index=0
+):
     """The multiprocessing worker: build one shard's router from the
     configuration text (rehydrating compiled chains from the shipped
     codegen-cache file) and serve the parent's command stream.  With
     ``metered`` the shard runs under its own CycleMeter, whose summary
-    rides back on every ``collect`` for the parent to absorb."""
+    rides back on every ``collect`` for the parent to absorb.  The
+    parent always ships *undivided* configuration text; under
+    divide-capacity mode the worker derives its own shard view from
+    ``shard_index`` and the profile's worker count."""
     from ..core.toolchain import load_config
     from ..elements.devices import LoopbackDevice
     from ..elements.runtime import build_router
@@ -344,8 +447,17 @@ def _process_shard_main(conn, config_text, profile, device_names, cache_path, me
         from ..sim.cpu import CycleMeter
 
         meter = CycleMeter()
+    divider = None
+    if profile.divide_capacity and profile.workers > 1:
+
+        def divider(graph, _index=shard_index, _workers=profile.workers):
+            return divide_queue_capacities(graph, _index, _workers)
+
+    graph = load_config(config_text, "<shard>")
+    if divider is not None:
+        graph = divider(graph)
     router = build_router(
-        load_config(config_text, "<shard>"),
+        graph,
         devices=devices,
         meter=meter,
         profile=profile.shard_local(),
@@ -370,13 +482,16 @@ def _process_shard_main(conn, config_text, profile, device_names, cache_path, me
                 for name, capacity in cmd[1].items():
                     devices[name].tx_capacity = capacity
             elif op in ("insert", "bump_epochs", "deopt", "configure", "hotswap", "update"):
-                router = _apply_shard_control(router, devices, cmd)
+                router = _apply_shard_control(router, devices, cmd, divider=divider)
             elif op == "update_stage":
                 from ..control import ControlPlane, ControlPlaneError
 
                 plane = ControlPlane(router)
                 try:
-                    delta, _new_graph = plane.resolve(cmd[1])
+                    update = cmd[1]
+                    if divider is not None:
+                        update = divider(load_config(update, "<shard-update>"))
+                    delta, _new_graph = plane.resolve(update)
                     if delta.empty:
                         conn.send(("staged", "empty"))
                     elif delta.structural:
@@ -464,7 +579,7 @@ class ShardedRouter:
         profile=None,
         hash_seed=DEFAULT_SEED,
         journal=None,
-        chunk_frames=2048,
+        chunk_frames=None,
     ):
         from ..errors import ClickSemanticError
 
@@ -479,7 +594,10 @@ class ShardedRouter:
         self._extra_classes = extra_classes
         self._profile = profile if profile is not None else ExecutionProfile()
         self.hash_seed = int(hash_seed)
+        if chunk_frames is None:
+            chunk_frames = self._profile.chunk_frames or DEFAULT_CHUNK_FRAMES
         self.chunk_frames = int(chunk_frames)
+        self._queue_capacity = self._profile.queue_capacity or DEFAULT_QUEUE_CAPACITY
         self.fault_injector = None
         self.retired = False
         self._started = False
@@ -534,6 +652,14 @@ class ShardedRouter:
                 "build a new one"
                 % (self.workers, self.backend, profile.workers, profile.shard_backend)
             )
+        if self._started and (
+            (profile.queue_capacity or DEFAULT_QUEUE_CAPACITY) != self._queue_capacity
+            or profile.divide_capacity != self._profile.divide_capacity
+        ):
+            raise ValueError(
+                "queue_capacity and divide_capacity are construction-time "
+                "on a ShardedRouter; build a new one"
+            )
         changed = profile != self._profile
         self._profile = profile
         self.hasher = FlowHasher(max(1, profile.workers), self.hash_seed)
@@ -575,9 +701,22 @@ class ShardedRouter:
         if self._journal_enabled:
             self._journals[index].append(cmd)
 
+    def _divider(self, index):
+        """Shard ``index``'s divide-capacity graph transform
+        (:func:`divide_queue_capacities` curried over this plane's
+        worker count), or None when divide-capacity mode is off."""
+        if not (self._profile.divide_capacity and self.workers > 1):
+            return None
+        workers = self.workers
+
+        def divide(graph, _index=index, _workers=workers):
+            return divide_queue_capacities(graph, _index, _workers)
+
+        return divide
+
     # -- thread backend ----------------------------------------------------
 
-    def _build_shard_router(self):
+    def _build_shard_router(self, index=0):
         from ..elements.devices import LoopbackDevice
         from ..elements.runtime import Router
 
@@ -590,8 +729,12 @@ class ShardedRouter:
             from ..sim.cpu import CycleMeter
 
             meter = CycleMeter()
+        graph = self.graph
+        divider = self._divider(index)
+        if divider is not None:
+            graph = divider(graph)
         router = Router(
-            self.graph,
+            graph,
             extra_classes=self._extra_classes,
             meter=meter,
             devices=devices,
@@ -601,8 +744,8 @@ class ShardedRouter:
 
     def _start_thread_shards(self):
         for index in range(self.workers):
-            shard = _ThreadShard(index)
-            shard.router, shard.devices, shard.meter = self._build_shard_router()
+            shard = _ThreadShard(index, self._queue_capacity)
+            shard.router, shard.devices, shard.meter = self._build_shard_router(index)
             shard.flushed = {name: 0 for name in self._device_names}
             shard.thread = threading.Thread(
                 target=self._thread_main,
@@ -679,6 +822,7 @@ class ShardedRouter:
                     list(self._device_names),
                     self._cache_path,
                     self.meter is not None,
+                    index,
                 ),
                 daemon=True,
             )
@@ -901,7 +1045,9 @@ class ShardedRouter:
             self._barrier()
             for index, shard in enumerate(self._shards):
                 self._journal_cmd(index, cmd)
-                shard.router = _apply_shard_control(shard.router, shard.devices, cmd)
+                shard.router = _apply_shard_control(
+                    shard.router, shard.devices, cmd, divider=self._divider(index)
+                )
         else:
             for index, shard in enumerate(self._shards):
                 self._journal_cmd(index, cmd)
@@ -958,14 +1104,20 @@ class ShardedRouter:
         try:
             for index, shard in enumerate(self._shards):
                 shard.router = _apply_shard_control(
-                    shard.router, shard.devices, ("hotswap", text)
+                    shard.router,
+                    shard.devices,
+                    ("hotswap", text),
+                    divider=self._divider(index),
                 )
                 done.append(index)
         except Exception:
             for index in done:
                 shard = self._shards[index]
                 shard.router = _apply_shard_control(
-                    shard.router, shard.devices, ("hotswap", old_text)
+                    shard.router,
+                    shard.devices,
+                    ("hotswap", old_text),
+                    divider=self._divider(index),
                 )
             raise
         for index in range(self.workers):
@@ -1002,6 +1154,8 @@ class ShardedRouter:
         from ..control import ControlPlane
 
         self._barrier()
+        if self._divider(0) is not None:
+            return self._apply_update_divided(update)
         planes = [ControlPlane(shard.router) for shard in self._shards]
         delta, new_graph = planes[0].resolve(update)
         if delta.empty:
@@ -1059,6 +1213,49 @@ class ShardedRouter:
         if new_graph is None:
             new_graph = delta.apply_to(self.graph)
         return save_config(new_graph)
+
+    def _apply_update_divided(self, update):
+        """Control-plane update under divide-capacity mode (thread
+        backend): the undivided update is the journaled source of truth,
+        but every shard must install its *divided* view, so the shared
+        in-place staging path (which would diff undivided capacities
+        against divided live queues) is skipped in favor of per-shard
+        transactional applies with divided rollback."""
+        from ..control import ControlPlane
+        from ..core.toolchain import load_config, save_config
+        from ..graph.diff import GraphDelta
+
+        if isinstance(update, str):
+            new_graph = load_config(update, "<shard-update>")
+        elif isinstance(update, GraphDelta):
+            new_graph = update.apply_to(self.graph)
+        else:
+            new_graph = update
+        text = save_config(new_graph)
+        old_text = save_config(self.graph)
+        planes = [ControlPlane(shard.router) for shard in self._shards]
+        done = []
+        report = None
+        try:
+            for index, plane in enumerate(planes):
+                committed = plane.apply(self._divider(index)(new_graph))
+                done.append(index)
+                if report is None:
+                    report = committed
+        except Exception:
+            old_graph = load_config(old_text, "<shard-rollback>")
+            for index in done:
+                ControlPlane(planes[index].router).apply(
+                    self._divider(index)(old_graph)
+                )
+                self._shards[index].router = planes[index].router
+            raise
+        for index, plane in enumerate(planes):
+            self._shards[index].router = plane.router
+        for index in range(self.workers):
+            self._journal_cmd(index, ("update", text))
+        self._set_graph(text)
+        return report
 
     def _apply_update_process(self, update):
         from ..control import ControlPlaneError
@@ -1143,7 +1340,7 @@ class ShardedRouter:
         shard = self._shards[index]
         shard.queue.put(("stop",))
         shard.thread.join(timeout=10)
-        shard.router, shard.devices, shard.meter = self._build_shard_router()
+        shard.router, shard.devices, shard.meter = self._build_shard_router(index)
         shard.worked = 0
         shard.error = None
         for cmd in self._journals[index]:
@@ -1154,13 +1351,15 @@ class ShardedRouter:
             elif op == "run":
                 shard.router.run_tasks(cmd[1])
             else:
-                shard.router = _apply_shard_control(shard.router, shard.devices, cmd)
+                shard.router = _apply_shard_control(
+                    shard.router, shard.devices, cmd, divider=self._divider(index)
+                )
         # Replayed work was genuinely re-executed, but its meter charges
         # were already absorbed before the crash: re-baseline so only
         # post-recovery work flows to the parent meter.
         if shard.meter is not None:
             shard.meter_snapshot = shard.meter.summary()
-        shard.queue = SPSCQueue()
+        shard.queue = SPSCQueue(self._queue_capacity)
         shard.thread = threading.Thread(
             target=self._thread_main,
             args=(shard,),
@@ -1192,6 +1391,7 @@ class ShardedRouter:
                 list(self._device_names),
                 self._cache_path,
                 self.meter is not None,
+                index,
             ),
             daemon=True,
         )

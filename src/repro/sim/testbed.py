@@ -238,10 +238,11 @@ class Testbed:
             )
         return meter.report(forwarded, clock_mhz=self.platform.clock_mhz)
 
-    def true_cpu_ns(self, variant, packets=2000):
+    def true_cpu_ns(self, variant, packets=2000, profile=None):
         """Meter-corrected per-packet cost plus platform PIO overhead —
-        the number the rate model consumes."""
-        report = self.measure_cpu(variant, packets)
+        the number the rate model consumes.  ``profile`` selects the
+        execution regime to meter (default: the reference interpreter)."""
+        report = self.measure_cpu(variant, packets, profile=profile)
         return report.true_total_ns + self.platform.pio_overhead_ns
 
     # -- rate experiments (Figures 10-13) ---------------------------------------------

@@ -1,0 +1,45 @@
+"""Parasol-style autotuning of the runtime's knobs.
+
+Every execution layer grew hand-picked constants — the adaptive
+engine's promotion thresholds, the FDD expansion budget, the shard
+queue capacity and chunk size, the supervisor's error budget — each
+defensible in isolation and never revisited together.  This package
+turns them into a declared, searchable parameter space:
+
+- :mod:`repro.tune.space` — ``Param``/``ParamSpace``: typed domains
+  (int / log-int / choice) with cross-parameter validity constraints,
+  assembled from the ``TUNABLES`` declarations the runtime modules
+  export next to their config classes.
+- :mod:`repro.tune.workloads` — the standard iprouter and firewall
+  workloads as tuning subjects (deterministic metered base cost,
+  classifier trees, skewed frame generators).
+- :mod:`repro.tune.objective` — a calibrated cost model mapping a knob
+  assignment to an effective per-packet cost, scored through the fluid
+  equilibrium solver (:func:`repro.sim.fluid.mlffr`) as the cheap
+  objective; finalists validate on the time-stepped simulator and a
+  byte-equivalence run against the reference interpreter.
+- :mod:`repro.tune.search` — the driver: seeded random sampling plus
+  successive halving, with the default assignment carried through every
+  rung so the tuned result never loses to the shipped constants.
+- :mod:`repro.tune.artifact` — ``TunedProfile``: the JSON artifact,
+  content-addressed to the graph fingerprint and workload, consumed by
+  ``ExecutionProfile.with_tuning`` and ``click-optimize --tuned``.
+"""
+
+from .artifact import TunedProfile
+from .objective import CostModel
+from .search import SearchReport, tune
+from .space import Param, ParamSpace, default_space
+from .workloads import WORKLOADS, Workload
+
+__all__ = [
+    "CostModel",
+    "Param",
+    "ParamSpace",
+    "SearchReport",
+    "TunedProfile",
+    "WORKLOADS",
+    "Workload",
+    "default_space",
+    "tune",
+]

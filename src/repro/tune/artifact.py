@@ -1,0 +1,157 @@
+"""The ``TunedProfile`` artifact: a searched knob assignment at rest.
+
+One JSON document records everything a consumer needs: the workload
+and graph fingerprint the search ran against (content addressing — a
+tuned profile silently applied to a different graph is a bug, so
+consumers compare fingerprints), the knob assignment itself, the
+modeled score, and the search/validation provenance.  It is consumed
+by :meth:`repro.runtime.ExecutionProfile.with_tuning` (which applies
+the ``params``) and by ``click-optimize --tuned``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+__all__ = ["TunedProfile"]
+
+VERSION = 1
+
+
+class TunedProfile:
+    """A searched knob assignment plus its provenance (see module
+    docstring).  ``params`` maps the dotted tunable names the runtime
+    modules declare to plain JSON-safe values."""
+
+    __slots__ = (
+        "workload",
+        "graph_fingerprint",
+        "mode",
+        "workers",
+        "supervised",
+        "params",
+        "score",
+        "baseline_score",
+        "search",
+        "validation",
+        "version",
+    )
+
+    def __init__(
+        self,
+        workload,
+        graph_fingerprint,
+        mode,
+        params,
+        score,
+        baseline_score=None,
+        workers=1,
+        supervised=False,
+        search=None,
+        validation=None,
+        version=VERSION,
+    ):
+        self.workload = workload
+        self.graph_fingerprint = graph_fingerprint
+        self.mode = mode
+        self.workers = int(workers)
+        self.supervised = bool(supervised)
+        self.params = dict(params)
+        self.score = score
+        self.baseline_score = baseline_score
+        self.search = dict(search) if search else {}
+        self.validation = dict(validation) if validation else {}
+        self.version = version
+
+    @property
+    def key(self):
+        """Content address: graph fingerprint + workload + execution
+        mode + the sorted assignment, hashed.  Two artifacts with the
+        same key tuned the same thing to the same point."""
+        canonical = "%s|%s|%s|%s" % (
+            self.graph_fingerprint,
+            self.workload,
+            self.mode,
+            json.dumps(self.params, sort_keys=True),
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+    @property
+    def speedup(self):
+        """Modeled tuned-over-default MLFFR ratio (None without a
+        baseline)."""
+        if not self.baseline_score:
+            return None
+        return self.score / self.baseline_score
+
+    @property
+    def cpu_speedup(self):
+        """Modeled default-over-tuned effective CPU cost ratio — the
+        discriminating number on I/O-bound platforms, where every
+        sub-knee candidate ties on MLFFR (None when the search did not
+        record effective costs)."""
+        effective = self.search.get("effective_ns")
+        baseline = self.search.get("baseline_effective_ns")
+        if not effective or not baseline:
+            return None
+        return baseline / effective
+
+    def as_dict(self):
+        """The artifact as a JSON-safe dict (the on-disk schema)."""
+        return {
+            "version": self.version,
+            "key": self.key,
+            "workload": self.workload,
+            "graph_fingerprint": self.graph_fingerprint,
+            "mode": self.mode,
+            "workers": self.workers,
+            "supervised": self.supervised,
+            "params": dict(self.params),
+            "score": self.score,
+            "baseline_score": self.baseline_score,
+            "search": dict(self.search),
+            "validation": dict(self.validation),
+        }
+
+    def to_json(self):
+        """Serialize (stable key order, human-diffable)."""
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_dict(cls, payload):
+        """Rehydrate from :meth:`as_dict` output; unknown keys are
+        ignored so newer writers stay readable."""
+        return cls(
+            payload["workload"],
+            payload["graph_fingerprint"],
+            payload["mode"],
+            payload["params"],
+            payload["score"],
+            baseline_score=payload.get("baseline_score"),
+            workers=payload.get("workers", 1),
+            supervised=payload.get("supervised", False),
+            search=payload.get("search"),
+            validation=payload.get("validation"),
+            version=payload.get("version", VERSION),
+        )
+
+    @classmethod
+    def from_json(cls, text):
+        """Rehydrate from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path):
+        """Write the artifact to ``path``; returns the path."""
+        with open(path, "w") as fh:
+            fh.write(self.to_json())
+        return path
+
+    @classmethod
+    def load(cls, path):
+        """Read an artifact from ``path``."""
+        with open(path) as fh:
+            return cls.from_json(fh.read())
+
+    def __repr__(self):
+        return "TunedProfile(%s/%s, key=%s)" % (self.workload, self.mode, self.key)

@@ -1,0 +1,140 @@
+"""``click-tune``: search the runtime knob space for a workload.
+
+Runs the Parasol-style search (:func:`repro.tune.search.tune`) against
+one of the standard workloads, prints the search report, and writes
+the :class:`~repro.tune.artifact.TunedProfile` JSON artifact that
+``click-optimize --tuned`` and ``ExecutionProfile.with_tuning``
+consume::
+
+    click-tune --workload iprouter --out tuned.json
+    click-tune --workload firewall --mode fdd --budget 32 --seed 7
+    click-optimize config.click --tuned tuned.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main"]
+
+
+def _build_parser():
+    from .workloads import WORKLOADS
+
+    parser = argparse.ArgumentParser(
+        prog="click-tune", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument(
+        "--workload",
+        choices=sorted(WORKLOADS),
+        default="iprouter",
+        help="tuning subject (default: iprouter)",
+    )
+    parser.add_argument(
+        "--mode",
+        choices=("fast", "adaptive", "fdd"),
+        default="adaptive",
+        help="execution tier to tune (default: adaptive)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="search seed (default: 0)")
+    parser.add_argument(
+        "--budget", type=int, default=24, help="candidate population size (default: 24)"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1, help="worker shards to model (default: 1)"
+    )
+    parser.add_argument(
+        "--supervised", action="store_true", help="tune under supervision"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small budget, no finalist validation (CI smoke)",
+    )
+    parser.add_argument("--out", default=None, help="write the TunedProfile JSON here")
+    parser.add_argument(
+        "--report", default=None, help="also write the human-readable report here"
+    )
+    return parser
+
+
+def _format_report(tuned):
+    """The human-readable search report for one artifact."""
+    lines = []
+    lines.append(
+        "tuned %s/%s (fingerprint %s, key %s)"
+        % (tuned.workload, tuned.mode, tuned.graph_fingerprint[:12], tuned.key)
+    )
+    search = tuned.search
+    lines.append(
+        "search: seed=%s budget=%s" % (search.get("seed"), search.get("budget"))
+    )
+    for rung in search.get("rungs", ()):
+        lines.append(
+            "  rung %-14s evaluated %3d -> kept %d"
+            % (rung["name"], rung["evaluated"], rung["kept"])
+        )
+    lines.append("params:")
+    for name in sorted(tuned.params):
+        lines.append("  %-26s %r" % (name, tuned.params[name]))
+    lines.append(
+        "modeled MLFFR: %.0f pps (default %.0f pps, %.2fx)"
+        % (tuned.score, tuned.baseline_score or 0.0, tuned.speedup or 1.0)
+    )
+    if tuned.cpu_speedup is not None:
+        lines.append(
+            "modeled CPU cost: %.1f ns/pkt (default %.1f, %.2fx headroom)"
+            % (
+                tuned.search.get("effective_ns", 0.0),
+                tuned.search.get("baseline_effective_ns", 0.0),
+                tuned.cpu_speedup,
+            )
+        )
+    validation = tuned.validation
+    if validation:
+        timestep = validation.get("timestep", {})
+        lines.append(
+            "validation: wire_identical=%s timestep loss_free=%s (%.0f of %.0f pps)"
+            % (
+                validation.get("wire_identical"),
+                timestep.get("loss_free"),
+                timestep.get("sent_pps", 0.0),
+                timestep.get("input_rate_pps", 0.0),
+            )
+        )
+    return "\n".join(lines)
+
+
+def main(argv=None):
+    """Entry point for ``click-tune``; returns a process exit code."""
+    from .search import tune
+
+    options = _build_parser().parse_args(argv)
+    budget = options.budget
+    validate = True
+    if options.quick:
+        budget = min(budget, 8)
+        validate = False
+    tuned = tune(
+        options.workload,
+        mode=options.mode,
+        seed=options.seed,
+        budget=budget,
+        workers=options.workers,
+        supervised=options.supervised,
+        validate=validate,
+    )
+    text = _format_report(tuned)
+    print(text)
+    if options.out:
+        tuned.save(options.out)
+        print("wrote %s" % options.out)
+    if options.report:
+        with open(options.report, "w") as fh:
+            fh.write(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

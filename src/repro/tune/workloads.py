@@ -1,0 +1,207 @@
+"""The standard tuning subjects: iprouter and firewall under skew.
+
+A :class:`Workload` bundles everything the tuner needs about one
+configuration: a graph (for the fingerprint the artifact is addressed
+by), a router builder taking an :class:`~repro.runtime.profile.ExecutionProfile`,
+a deterministic skewed frame generator (the same 90/10 split the
+adaptive benchmarks use), the metered reference per-packet cost the
+cost model calibrates against, and the live classifier trees the FDD
+term expands.  Everything here is deterministic — the cycle meter is a
+cost model, not a stopwatch — so the same seed always reproduces the
+same search.
+"""
+
+from __future__ import annotations
+
+from ..elements.devices import PollDevice
+
+__all__ = ["WORKLOADS", "Workload", "workload"]
+
+SKEW = 10  # 1 in SKEW packets takes the cold path (hot share 0.9)
+
+
+class Workload:
+    """One named tuning subject (see module docstring)."""
+
+    def __init__(self, name, graph_factory, builder, platform=None):
+        self.name = name
+        self._graph_factory = graph_factory
+        self._builder = builder
+        if platform is None:
+            from ..sim.platforms import P0
+
+            platform = P0
+        self.platform = platform
+        self.hot_share = 1.0 - 1.0 / SKEW
+        self._base_cpu_ns = None
+        self._trees = None
+
+    def graph(self):
+        """A fresh copy of the workload's configuration graph."""
+        return self._graph_factory()
+
+    def fingerprint(self):
+        """The graph's content fingerprint (artifact addressing)."""
+        return self.graph().fingerprint()
+
+    def build(self, profile, metered=False):
+        """``(router, devices, frames)`` running under ``profile``;
+        ``frames(count)`` yields the deterministic skewed workload as
+        ``(device_name, frame)`` pairs."""
+        return self._builder(profile, metered)
+
+    def drive(self, router, devices, frames, count):
+        """Feed ``count`` workload frames and run the router to
+        quiescence; returns the transmitted frames per device."""
+        for device_name, frame in frames(count):
+            devices[device_name].receive_frame(frame)
+        router.run_tasks(count // PollDevice.BURST + 16)
+        return {name: list(device.transmitted) for name, device in devices.items()}
+
+    def base_cpu_ns(self, packets=2000, warmup=64):
+        """Metered reference per-packet cost (ns), PIO overhead
+        included — the calibration anchor for the cost model.  Cached;
+        deterministic."""
+        if self._base_cpu_ns is None:
+            from ..runtime import ExecutionProfile
+
+            router, devices, frames = self.build(
+                ExecutionProfile.reference(), metered=True
+            )
+            self.drive(router, devices, frames, warmup)
+            router.meter.__init__()
+            sent_before = sum(len(d.transmitted) for d in devices.values())
+            self.drive(router, devices, frames, packets)
+            forwarded = sum(len(d.transmitted) for d in devices.values()) - sent_before
+            report = router.meter.report(
+                max(1, forwarded), clock_mhz=self.platform.clock_mhz
+            )
+            self._base_cpu_ns = report.true_total_ns + self.platform.pio_overhead_ns
+        return self._base_cpu_ns
+
+    def classifier_trees(self):
+        """``{name: tree}`` for the configuration's compilable
+        classifiers — what the FDD objective term expands under a
+        candidate node budget.  Cached."""
+        if self._trees is None:
+            from ..runtime import ExecutionProfile
+            from ..runtime.fdd import router_trees
+
+            router, _devices, _frames = self.build(ExecutionProfile.reference())
+            self._trees = router_trees(router)
+        return self._trees
+
+    def __repr__(self):
+        return "Workload(%s)" % self.name
+
+
+def _iprouter_builder(profile, metered=False):
+    from ..sim.testbed import HOST_ETHERS, Testbed, host_ip
+
+    testbed = Testbed(2)
+    meter = None
+    if metered:
+        from ..sim.cpu import CycleMeter
+
+        meter = CycleMeter()
+    router, devices = testbed.build_router(
+        testbed.variant_graph("base"), meter=meter, profile=profile
+    )
+
+    def frames(count):
+        from ..net.headers import build_ether_udp_packet
+
+        result = []
+        for seq in range(count):
+            rx = 1 if seq % SKEW == SKEW - 1 else 0
+            tx = (rx + 1) % 2
+            result.append(
+                (
+                    testbed.interfaces[rx].device,
+                    build_ether_udp_packet(
+                        HOST_ETHERS[rx],
+                        testbed.interfaces[rx].ether,
+                        host_ip(rx),
+                        host_ip(tx),
+                        src_port=1000 + seq % 7,
+                        dst_port=2000,
+                        payload=b"\x00" * 14,
+                        identification=seq & 0xFFFF,
+                    ),
+                )
+            )
+        return result
+
+    return router, devices, frames
+
+
+def _iprouter_graph():
+    from ..sim.testbed import Testbed
+
+    return Testbed(2).variant_graph("base")
+
+
+def _dns_query_packet():
+    from ..net.headers import IP_PROTO_UDP, IPHeader
+
+    ip = IPHeader(
+        src="10.0.0.99", dst="170.0.0.2", protocol=IP_PROTO_UDP, total_length=36
+    )
+    udp = (
+        (3456).to_bytes(2, "big")
+        + (53).to_bytes(2, "big")
+        + (16).to_bytes(2, "big")
+        + bytes(2)
+        + bytes(8)
+    )
+    return ip.pack() + udp
+
+
+def _firewall_builder(profile, metered=False):
+    from ..configs.firewall import dns5_packet, firewall_graph
+    from ..elements.devices import LoopbackDevice
+    from ..elements.runtime import Router
+
+    devices = {
+        "eth0": LoopbackDevice("eth0", tx_capacity=1 << 30),
+        "eth1": LoopbackDevice("eth1", tx_capacity=1 << 30),
+    }
+    meter = None
+    if metered:
+        from ..sim.cpu import CycleMeter
+
+        meter = CycleMeter()
+    router = Router(firewall_graph(), devices=devices, meter=meter, profile=profile)
+    ether = b"\x00\x50\x56\x00\x00\x01" + b"\x00\x50\x56\x00\x00\x02" + b"\x08\x00"
+    hot = ether + dns5_packet()
+    cold = ether + _dns_query_packet()
+
+    def frames(count):
+        return [
+            ("eth0", cold if seq % SKEW == SKEW - 1 else hot) for seq in range(count)
+        ]
+
+    return router, devices, frames
+
+
+def _firewall_graph():
+    from ..configs.firewall import firewall_graph
+
+    return firewall_graph()
+
+
+WORKLOADS = {
+    "iprouter": lambda: Workload("iprouter", _iprouter_graph, _iprouter_builder),
+    "firewall": lambda: Workload("firewall", _firewall_graph, _firewall_builder),
+}
+
+
+def workload(name):
+    """A fresh :class:`Workload` by name (``iprouter``/``firewall``)."""
+    try:
+        factory = WORKLOADS[name]
+    except KeyError:
+        raise ValueError(
+            "unknown workload %r (want one of %s)" % (name, "/".join(sorted(WORKLOADS)))
+        ) from None
+    return factory()

@@ -203,3 +203,49 @@ class TestShardedChaos:
             FaultInjector(
                 FaultPlan(faults=[{"kind": "worker_crash", "at": 1, "worker": -1}])
             )
+
+
+class TestDivideCapacity:
+    """The ``divide_capacity`` narrowing of the lossy-overflow carve-out
+    (docs/SHARDING.md): with each bounded queue's capacity split across
+    the shards, aggregate capacity matches the single plane, and — with
+    the overflowing flows balanced across shards — the lossy trace
+    becomes a *strict* equivalence, not a skip."""
+
+    def balanced_lossy_case(self, frames=8):
+        # sports 1000..1007 alternate shards under FlowHasher(2): even
+        # sports land on one shard, odd on the other.  The reference
+        # FrontDropQueue(4) keeps the last 4 arrivals {4,5,6,7}; the
+        # divided per-shard cap-2 queues keep {4,6} and {5,7} — the
+        # same multiset, so per-device output must agree exactly.
+        case = TestLossyOverflow().lossy_case(frames=frames)
+        return dict(case, name="lossy-pipeline-divided", divide_capacity=True)
+
+    def test_flows_are_balanced_across_shards(self):
+        from tests.runtime.test_flowhash import udp_frame
+
+        from repro.runtime.flowhash import FlowHasher
+
+        hasher = FlowHasher(2)
+        shards = [hasher(bytes(udp_frame(sport=1000 + i))) for i in range(8)]
+        assert shards.count(0) == 4 and shards.count(1) == 4
+        assert shards[::2] != shards[1::2]  # alternating, not clumped
+
+    def test_lossy_case_is_strict_equivalence(self):
+        result = compare_case(self.balanced_lossy_case(), modes=list(SHARD_MODES))
+        assert result["status"] == "ok", result["divergences"]
+        assert result["skips"] == [], "divide mode must not fall back to the carve-out"
+
+    def test_divided_plane_still_drops(self):
+        # The equivalence above is only meaningful if overflow really
+        # happened on the divided plane.
+        status, observation = run_case(self.balanced_lossy_case(), "shard-fast")
+        assert status == "ok"
+        assert overflow_drops(observation["counters"]) > 0
+
+    def test_undivided_carveout_still_applies(self):
+        # Without the opt-in, the same trace stays a documented skip.
+        case = TestLossyOverflow().lossy_case()
+        result = compare_case(case, modes=["shard-fast"])
+        assert result["status"] == "ok"
+        assert result["skips"] and "lossy-overflow" in result["skips"][0]["reason"]

@@ -31,6 +31,26 @@ def test_config_rejects_non_power_of_two_sample():
         AdaptiveConfig(sample=3)
 
 
+def test_config_rejects_non_positive_threshold():
+    with pytest.raises(ValueError):
+        AdaptiveConfig(threshold=0)
+
+
+def test_config_rejects_non_positive_min_samples():
+    with pytest.raises(ValueError):
+        AdaptiveConfig(min_samples=0)
+
+
+def test_config_rejects_non_positive_guard_miss_limit():
+    with pytest.raises(ValueError):
+        AdaptiveConfig(guard_miss_limit=0)
+
+
+def test_config_rejects_non_positive_max_recompiles():
+    with pytest.raises(ValueError):
+        AdaptiveConfig(max_recompiles=-1)
+
+
 def test_config_round_trips_as_dict():
     config = AdaptiveConfig(threshold=100, sample=8)
     assert config.as_dict()["threshold"] == 100

@@ -347,3 +347,94 @@ class TestProcessBackend:
             assert total == 120
         finally:
             router.close()
+
+
+class TestQueueCapacityKnob:
+    def test_spsc_capacity_from_profile(self):
+        """with_workers(queue_capacity=...) reaches the handoff queues."""
+        testbed = Testbed(2)
+        graph = testbed.variant_graph("base")
+        devices = {
+            interface.device: LoopbackDevice(interface.device, tx_capacity=1 << 30)
+            for interface in testbed.interfaces
+        }
+        profile = ExecutionProfile.fast(batch=True).with_workers(2, queue_capacity=8)
+        router = build_router(graph, devices=devices, profile=profile)
+        try:
+            drive(testbed, router, devices, 16)
+            assert [shard.queue._capacity for shard in router._shards] == [8, 8]
+        finally:
+            router.close()
+
+    def test_default_capacity_is_validated_default(self):
+        from repro.runtime.shard import DEFAULT_QUEUE_CAPACITY
+
+        assert DEFAULT_QUEUE_CAPACITY == 256
+        testbed, router, devices = sharded_testbed(2)
+        try:
+            drive(testbed, router, devices, 16)
+            capacities = {shard.queue._capacity for shard in router._shards}
+            assert capacities == {DEFAULT_QUEUE_CAPACITY}
+        finally:
+            router.close()
+
+    def test_live_capacity_change_raises(self):
+        testbed, router, devices = sharded_testbed(2)
+        try:
+            drive(testbed, router, devices, 16)
+            narrower = router.profile.with_workers(2, queue_capacity=4)
+            with pytest.raises(ValueError, match="construction-time"):
+                router.configure(narrower)
+        finally:
+            router.close()
+
+
+class TestDivideQueueCapacities:
+    from repro.runtime.shard import divide_queue_capacities
+
+    divide = staticmethod(divide_queue_capacities)
+    GRAPH = (
+        "src :: PollDevice(eth0); ctr :: Counter; q :: Queue(5); "
+        "dst :: ToDevice(eth1); src -> ctr -> q -> dst;"
+    )
+
+    def test_floor_share_remainder_to_low_indices(self):
+        graph = parse_graph(self.GRAPH, "<divide>")
+        shard0 = self.divide(graph, 0, 2)
+        shard1 = self.divide(graph, 1, 2)
+        assert shard0.elements["q"].config.strip() == "3"
+        assert shard1.elements["q"].config.strip() == "2"
+        # The caller's graph stays the undivided source of truth.
+        assert graph.elements["q"].config.strip() == "5"
+
+    def test_non_queue_elements_untouched(self):
+        graph = parse_graph(self.GRAPH, "<divide>")
+        shard0 = self.divide(graph, 0, 2)
+        assert (shard0.elements["ctr"].config or "").strip() == (
+            graph.elements["ctr"].config or ""
+        ).strip()
+        assert shard0.elements["src"].config.strip() == "eth0"
+
+    def test_single_worker_is_identity(self):
+        graph = parse_graph(self.GRAPH, "<divide>")
+        assert self.divide(graph, 0, 1) is graph
+
+    def test_capacity_below_workers_raises(self):
+        graph = parse_graph(
+            "src :: PollDevice(eth0); q :: Queue(1); dst :: ToDevice(eth1); "
+            "src -> q -> dst;",
+            "<divide>",
+        )
+        with pytest.raises(ClickSemanticError, match="divide_capacity"):
+            self.divide(graph, 0, 2)
+
+    def test_front_drop_queue_divides_too(self):
+        graph = parse_graph(
+            "src :: PollDevice(eth0); q :: FrontDropQueue(4); "
+            "dst :: ToDevice(eth1); src -> q -> dst;",
+            "<divide>",
+        )
+        shard0 = self.divide(graph, 0, 2)
+        shard1 = self.divide(graph, 1, 2)
+        assert shard0.elements["q"].config.strip() == "2"
+        assert shard1.elements["q"].config.strip() == "2"

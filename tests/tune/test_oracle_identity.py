@@ -1,0 +1,50 @@
+"""The tuning safety contract, proven by the differential oracle: a
+tuned profile may change *when* the runtime compiles, promotes, or
+recompiles, but never *what* leaves the wire.  Every stock fuzz case,
+every execution mode, byte-identical transmits against the defaults."""
+
+import pytest
+
+from repro.tune import tune
+from repro.verify.genconfig import stock_cases
+from repro.verify.oracle import MODES, mode_profile, run_case
+
+
+@pytest.fixture(scope="module")
+def tuned():
+    return tune("iprouter", mode="adaptive", seed=7, budget=8, validate=False)
+
+
+def transmits(case, mode, profile=None):
+    status, observation = run_case(case, mode, profile=profile)
+    assert status == "ok", observation
+    return observation["transmitted"]
+
+
+@pytest.mark.parametrize("mode", list(MODES))
+def test_tuned_profile_is_wire_identical(mode, tuned):
+    for case in stock_cases(events_count=48):
+        reference = transmits(case, mode)
+        profile = mode_profile(mode).with_tuning(tuned)
+        assert transmits(case, mode, profile=profile) == reference, (
+            "%s diverged under %s with tuned params %r"
+            % (case["name"], mode, tuned.params)
+        )
+
+
+def test_eager_params_cross_tier_transitions(tuned):
+    """Force the tuned knobs through the promote/deopt machinery: an
+    eagerized variant of the tuned assignment must still be invisible
+    on the wire even when short traces cross tier transitions."""
+    eager = dict(
+        tuned.params,
+        **{
+            "adaptive.threshold": 48,
+            "adaptive.sample": 4,
+            "adaptive.min_samples": 12,
+        },
+    )
+    for case in stock_cases(events_count=64):
+        reference = transmits(case, "adaptive")
+        profile = mode_profile("adaptive").with_tuning(eager)
+        assert transmits(case, "adaptive", profile=profile) == reference
