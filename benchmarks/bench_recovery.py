@@ -1,0 +1,369 @@
+"""Self-healing shard plane benchmark: detection latency, MTTR, and
+degraded-mode throughput.
+
+Measures the recovery layer (``repro.runtime.recovery``) above the
+4-worker thread-backend sharded IP router, three ways:
+
+- **detection latency** — scheduler runs between a worker kill and the
+  health seam noticing (heartbeat/watchdog/barrier).  Gated: every
+  kill must be detected within 2 runs;
+- **MTTR** — runs and wall-clock seconds from the kill to the shard
+  back up serving traffic (journal replay restart).  Gated: every
+  killed worker must be restarted with zero frames lost against a
+  no-fault twin;
+- **degraded throughput** — packets-per-second with one shard benched
+  (a poisoned journal under a one-restart budget) and its flows
+  re-steered to the three survivors via the rendezvous overlay,
+  relative to the healthy 4-worker plane.  Gated: the degraded plane
+  must keep >= 50% of healthy throughput, with nothing lost but the
+  armed poison frame itself.
+
+Results go to ``BENCH_recovery.json``.  Runs standalone (no pytest):
+
+    python benchmarks/bench_recovery.py              # full run
+    python benchmarks/bench_recovery.py --quick      # CI smoke
+    python benchmarks/bench_recovery.py --check      # validate output
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from bench_shard import sharded_frames  # noqa: E402
+from repro.elements.devices import PollDevice  # noqa: E402
+from repro.net.headers import build_ether_udp_packet  # noqa: E402
+from repro.runtime import ExecutionProfile, RecoveryConfig  # noqa: E402
+from repro.sim.testbed import HOST_ETHERS, Testbed, host_ip  # noqa: E402
+from repro.verify.chaos import _affected_predicate  # noqa: E402
+from repro.verify.oracle import degraded_transmit_difference  # noqa: E402
+
+WORKERS = 4
+BACKEND = "thread"
+GATE_DETECTION_RUNS = 2
+GATE_DEGRADED_RATIO = 0.5
+#: Upper bound on the healing loop, not a gate — a shard that is still
+#: down after this many runs counts as a failed recovery.
+MTTR_RUN_LIMIT = 64
+
+
+def build_plane(testbed, policy="buffer", **knobs):
+    knobs.setdefault("jitter", 0)
+    profile = (
+        ExecutionProfile.fast(batch=True)
+        .with_workers(WORKERS, BACKEND)
+        .with_recovery(config=RecoveryConfig(policy=policy, **knobs))
+    )
+    graph = testbed.variant_graph("all")
+    return testbed.build_router(graph, profile=profile)
+
+
+def feed(devices, frames):
+    for device_name, frame in frames:
+        devices[device_name].receive_frame(frame)
+
+
+def drive(router, devices, frames):
+    feed(devices, frames)
+    router.run_tasks(len(frames) // PollDevice.BURST + 16)
+
+
+def transmitted_hex(devices):
+    return {
+        name: [bytes(f).hex() for f in device.transmitted]
+        for name, device in sorted(devices.items())
+    }
+
+
+def measure_healing(testbed, packets):
+    """Kill workers 1, 2, 3 in turn under live traffic and time each
+    heal: runs-to-detect (from the manager's latency ledger) and
+    runs/seconds from kill to back-up (MTTR)."""
+    frames = sharded_frames(testbed, packets)
+    chunk = max(PollDevice.BURST, packets // 16)
+    chunks = [frames[i : i + chunk] for i in range(0, len(frames), chunk)]
+    router, devices = build_plane(testbed, policy="buffer")
+    heals = []
+    try:
+        manager = router._recovery
+        kill_before = {2: 1, 6: 2, 10: 3}  # chunk index -> worker to kill
+        for index, piece in enumerate(chunks):
+            worker = kill_before.get(index)
+            if worker is not None:
+                restarts_before = manager.restarts
+                router.kill_worker(worker)
+                start = time.perf_counter()
+                runs = 0
+                feed(devices, piece)
+                # A kill is only *noted*; detection happens at a health
+                # seam during a run — so loop until the restart landed,
+                # not merely until no shard is marked down.
+                while (
+                    manager.restarts <= restarts_before or manager.down_indices()
+                ) and runs < MTTR_RUN_LIMIT:
+                    router.run_tasks(1)
+                    runs += 1
+                heals.append(
+                    {
+                        "worker": worker,
+                        "mttr_runs": runs,
+                        "mttr_seconds": round(time.perf_counter() - start, 6),
+                        "healed": not manager.down_indices(),
+                    }
+                )
+                router.run_tasks(len(piece) // PollDevice.BURST + 4)
+            else:
+                drive(router, devices, piece)
+        router.run_tasks(16)
+        report = manager.report()
+        output = transmitted_hex(devices)
+    finally:
+        router.close()
+
+    reference_router, reference_devices = build_plane(testbed, policy="buffer")
+    try:
+        drive(reference_router, reference_devices, frames)
+        reference = transmitted_hex(reference_devices)
+    finally:
+        reference_router.close()
+    diff = degraded_transmit_difference(reference, output, affected=None)
+
+    return {
+        "kills": len(heals),
+        "heals": heals,
+        "detections": report.detections,
+        "restarts": report.restarts,
+        "detection_latency_runs": report.detection_latency_runs,
+        "max_detection_runs": max(report.detection_latency_runs or [0]),
+        "max_mttr_runs": max(h["mttr_runs"] for h in heals),
+        "max_mttr_seconds": max(h["mttr_seconds"] for h in heals),
+        "all_healed": all(h["healed"] for h in heals),
+        "lossless": diff is None,
+        "loss_detail": diff,
+    }
+
+
+def measure_wallclock(router, devices, testbed, packets, reps, warmup=256):
+    best = None
+    for _ in range(reps):
+        drive(router, devices, sharded_frames(testbed, warmup))
+        frames = sharded_frames(testbed, packets)
+        feed(devices, frames)
+        start = time.perf_counter()
+        router.run_tasks(packets // PollDevice.BURST + 16)
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return packets / best
+
+
+def poison_frame_for(testbed):
+    """A frame outside the benchmark workload's flow population (the
+    workload uses source ports 1000..1063): armed as poison it benches
+    exactly one shard, and no re-steered workload frame re-triggers it
+    on a survivor."""
+    rx, tx = 0, 1
+    return (
+        testbed.interfaces[rx].device,
+        build_ether_udp_packet(
+            HOST_ETHERS[rx],
+            testbed.interfaces[rx].ether,
+            host_ip(rx),
+            host_ip(tx),
+            src_port=9999,
+            dst_port=2000,
+            payload=b"\x00" * 14,
+            identification=0xBEEF,
+        ),
+    )
+
+
+def measure_degraded(testbed, packets, reps):
+    """Healthy 4-shard pps vs the same plane with one shard benched
+    and its flows re-steered to the survivors."""
+    router, devices = build_plane(testbed, policy="resteer")
+    try:
+        healthy_pps = measure_wallclock(router, devices, testbed, packets, reps)
+    finally:
+        router.close()
+
+    router, devices = build_plane(
+        testbed, policy="resteer", restart_budget=1, quarantine_limit=5
+    )
+    try:
+        manager = router._recovery
+        poison_name, poison_frame = poison_frame_for(testbed)
+        router.arm_poison(poison_frame)
+        devices[poison_name].receive_frame(poison_frame)
+        router.run_tasks(4)  # the home shard dies on the poison frame
+        router.run_tasks(4)  # replay re-dies; budget of 1 -> benched
+        benched = list(manager.benched_indices())
+        if len(benched) != 1:
+            raise AssertionError("expected one benched shard, got %r" % (benched,))
+        already = {
+            name: len(device.transmitted) for name, device in devices.items()
+        }
+        degraded_pps = measure_wallclock(router, devices, testbed, packets, reps)
+        report = manager.report()
+        output = {
+            name: [bytes(f).hex() for f in device.transmitted[already[name] :]]
+            for name, device in sorted(devices.items())
+        }
+        predicate = _affected_predicate(manager.affected_flows)
+    finally:
+        router.close()
+
+    # Loss check: the degraded run must transmit exactly what a healthy
+    # plane would for the same workload (the poison frame never entered
+    # this window), with re-homed flows held to the multiset bar.
+    reference_router, reference_devices = build_plane(testbed, policy="resteer")
+    try:
+        warm = sharded_frames(testbed, 256)
+        timed = sharded_frames(testbed, packets)
+        replayed = warm + timed
+        for _ in range(reps - 1):
+            replayed = replayed + warm + timed
+        drive(reference_router, reference_devices, replayed)
+        reference = transmitted_hex(reference_devices)
+    finally:
+        reference_router.close()
+    diff = degraded_transmit_difference(reference, output, affected=predicate)
+
+    return {
+        "healthy_pps": round(healthy_pps, 1),
+        "degraded_pps": round(degraded_pps, 1),
+        "ratio": round(degraded_pps / healthy_pps, 3),
+        "benched_shards": benched,
+        "survivors": WORKERS - len(benched),
+        "frames_resteered": report.frames_resteered,
+        "affected_flows": report.affected_flows,
+        "lossless": diff is None,
+        "loss_detail": diff,
+    }
+
+
+def run(packets, reps, quick):
+    results = {
+        "quick": quick,
+        "packets": packets,
+        "reps": reps,
+        "config": "iprouter-all",
+        "workers": WORKERS,
+        "backend": BACKEND,
+    }
+    testbed = Testbed(2)
+
+    healing = measure_healing(testbed, packets=min(packets, 2048))
+    print(
+        "healing    %d kill(s): detect <= %d run(s), MTTR <= %d run(s) "
+        "(%.1f ms worst), %s"
+        % (
+            healing["kills"],
+            healing["max_detection_runs"],
+            healing["max_mttr_runs"],
+            healing["max_mttr_seconds"] * 1e3,
+            "lossless" if healing["lossless"] else "LOSSY",
+        )
+    )
+    results["healing"] = healing
+
+    degraded = measure_degraded(testbed, packets, reps)
+    print(
+        "degraded   %d survivors %10.0f pps vs healthy %10.0f pps  (%.0f%%), "
+        "%d frame(s) re-steered, %s"
+        % (
+            degraded["survivors"],
+            degraded["degraded_pps"],
+            degraded["healthy_pps"],
+            degraded["ratio"] * 100,
+            degraded["frames_resteered"],
+            "lossless" if degraded["lossless"] else "LOSSY",
+        )
+    )
+    results["degraded"] = degraded
+    return results
+
+
+def check_file(path):
+    """Validate a results file: every kill detected within the run
+    budget and healed without loss; degraded throughput above the 50%
+    gate with nothing lost in re-steering."""
+    with open(path) as fh:
+        results = json.load(fh)
+    healing = results["healing"]
+    if healing["max_detection_runs"] > GATE_DETECTION_RUNS:
+        raise SystemExit(
+            "%s: worst detection latency %d run(s) exceeds the %d-run gate"
+            % (path, healing["max_detection_runs"], GATE_DETECTION_RUNS)
+        )
+    if not healing["all_healed"] or healing["restarts"] < healing["kills"]:
+        raise SystemExit(
+            "%s: %d kill(s) but only %d restart(s) healed"
+            % (path, healing["kills"], healing["restarts"])
+        )
+    if not healing["lossless"]:
+        raise SystemExit(
+            "%s: healing run lost frames: %s" % (path, healing["loss_detail"])
+        )
+    degraded = results["degraded"]
+    if degraded["ratio"] < GATE_DEGRADED_RATIO:
+        raise SystemExit(
+            "%s: degraded plane at %.0f%% of healthy throughput "
+            "(gate: >= %.0f%%)"
+            % (path, degraded["ratio"] * 100, GATE_DEGRADED_RATIO * 100)
+        )
+    if not degraded["lossless"]:
+        raise SystemExit(
+            "%s: degraded run lost frames: %s" % (path, degraded["loss_detail"])
+        )
+    if degraded["frames_resteered"] <= 0:
+        raise SystemExit("%s: degraded run never re-steered a frame" % path)
+    print(
+        "%s: ok (detect <= %d run(s), MTTR <= %.1f ms, degraded %.0f%% of "
+        "healthy, %d re-steered)"
+        % (
+            path,
+            healing["max_detection_runs"],
+            healing["max_mttr_seconds"] * 1e3,
+            degraded["ratio"] * 100,
+            degraded["frames_resteered"],
+        )
+    )
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="small run for CI smoke")
+    parser.add_argument("--reps", type=int, default=None, help="repetitions per point")
+    parser.add_argument("--packets", type=int, default=None, help="timed packets per rep")
+    parser.add_argument(
+        "--out",
+        default=os.path.join(
+            os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_recovery.json"
+        ),
+        help="result file (default: repo-root BENCH_recovery.json)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="validate an existing --out file instead of measuring",
+    )
+    args = parser.parse_args(argv)
+    if args.check:
+        check_file(args.out)
+        return
+    packets = args.packets or (2000 if args.quick else 8000)
+    reps = args.reps or (2 if args.quick else 3)
+    results = run(packets, reps, args.quick)
+    with open(args.out, "w") as fh:
+        json.dump(results, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print("wrote %s" % os.path.abspath(args.out))
+
+
+if __name__ == "__main__":
+    main()

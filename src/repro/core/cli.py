@@ -311,6 +311,15 @@ def optimize_main(argv=None):
             help="worker backend for --workers (default: %(default)s)",
         )
         parser.add_argument(
+            "--recovery",
+            default=None,
+            choices=("buffer", "resteer", "fail-fast"),
+            metavar="POLICY",
+            help="with --workers: attach the self-healing recovery "
+            "manager under this policy (buffer, resteer, fail-fast) and "
+            "include its recovery report in the shard section",
+        )
+        parser.add_argument(
             "--tuned",
             default=None,
             metavar="FILE",
@@ -379,6 +388,7 @@ def optimize_main(argv=None):
             supervised=args.supervised,
             workers=args.workers,
             shard_backend=args.shard_backend,
+            recovery=args.recovery,
             source_graph=graph,
             tuned=tuned,
         )
@@ -454,6 +464,7 @@ def _fastpath_report(
     supervised=False,
     workers=1,
     shard_backend="thread",
+    recovery=None,
     source_graph=None,
     tuned=None,
 ):
@@ -467,9 +478,11 @@ def _fastpath_report(
     section documents the installed boundaries and tier stacks).
     ``workers > 1`` additionally spins the graph up as a sharded data
     plane (one compiled router per shard on ``shard_backend``) and
-    appends its shard report; ``source_graph`` — the pre-optimization
-    graph — supplies the device names, since the optimizers may rename
-    device element classes."""
+    appends its shard report — with ``recovery`` set, the plane comes
+    up self-healing under that policy and the report carries the
+    recovery section; ``source_graph`` — the pre-optimization graph —
+    supplies the device names, since the optimizers may rename device
+    element classes."""
     from ..elements.devices import LoopbackDevice
     from ..elements.runtime import Router
     from ..runtime import ExecutionProfile
@@ -538,11 +551,10 @@ def _fastpath_report(
         for decl in scan.elements.values():
             if decl.class_name in ("PollDevice", "FromDevice", "ToDevice"):
                 devices.get(decl.config.split(",")[0].strip())
-        sharded = build_router(
-            graph,
-            devices=devices,
-            profile=run_profile.with_workers(workers, shard_backend),
-        )
+        shard_profile = run_profile.with_workers(workers, shard_backend)
+        if recovery is not None:
+            shard_profile = shard_profile.with_recovery(recovery)
+        sharded = build_router(graph, devices=devices, profile=shard_profile)
         try:
             # One empty scheduler pass spins up (and compiles) every
             # shard so the report documents a live plane.

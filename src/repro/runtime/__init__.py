@@ -10,8 +10,15 @@ from .adaptive import AdaptiveConfig, AdaptiveEngine, ProfileReport
 from .codegen_cache import CodegenCache, default_cache
 from .fastpath import ChainPolicy, FastPath, FastPathError, FastPathReport
 from .fdd import DiagramPlan, FDDEngine, build_diagram
-from .flowhash import DEFAULT_SEED, FlowHasher, flow_key, shard_of
+from .flowhash import DEFAULT_SEED, FlowHasher, flow_key, rendezvous_shard, shard_of
 from .profile import ExecutionProfile
+from .recovery import (
+    QuarantineRecord,
+    RecoveryConfig,
+    RecoveryError,
+    RecoveryManager,
+    RecoveryReport,
+)
 from .shard import ShardedRouter, ShardReport, SPSCQueue
 from .supervisor import ResilienceReport, Supervisor, SupervisorConfig, SupervisorError
 
@@ -32,6 +39,12 @@ __all__ = [
     "FlowHasher",
     "flow_key",
     "ProfileReport",
+    "QuarantineRecord",
+    "RecoveryConfig",
+    "RecoveryError",
+    "RecoveryManager",
+    "RecoveryReport",
+    "rendezvous_shard",
     "ResilienceReport",
     "shard_of",
     "ShardedRouter",

@@ -37,7 +37,14 @@ from __future__ import annotations
 
 import zlib
 
-__all__ = ["DEFAULT_SEED", "FlowHasher", "flow_key", "output_flow_key", "shard_of"]
+__all__ = [
+    "DEFAULT_SEED",
+    "FlowHasher",
+    "flow_key",
+    "output_flow_key",
+    "rendezvous_shard",
+    "shard_of",
+]
 
 #: The default hash seed — an arbitrary odd constant, fixed so every
 #: process (and every run) agrees on flow placement unless a caller
@@ -90,6 +97,40 @@ def shard_of(frame, shards, seed=DEFAULT_SEED):
     if shards <= 1:
         return 0
     return zlib.crc32(flow_key(frame), seed) % shards
+
+
+def rendezvous_shard(key, candidates, seed=DEFAULT_SEED):
+    """Highest-random-weight (rendezvous) shard selection among an
+    arbitrary *subset* of shards.
+
+    The degraded-mode overlay: while shard ``i`` is down, its flows are
+    re-homed onto the surviving ``candidates`` by scoring every
+    (flow key, candidate) pair and taking the maximum.  Rendezvous
+    hashing gives the two properties modular re-steering needs:
+
+    - **Stability.** A flow's re-home target depends only on the flow
+      key and the candidate set — not on arrival order or on which
+      parent process computes it — so re-steered traffic stays per-flow
+      sticky for as long as the candidate set holds.
+    - **Minimal disruption.** When a second shard dies (or one
+      recovers), only the flows scored onto the changed candidate move;
+      flows homed elsewhere keep their placement, unlike a modulo over
+      a shrunken count which reshuffles nearly everything.
+
+    ``candidates`` is any non-empty iterable of shard indices; ties on
+    the crc32 score break deterministically toward the lowest index.
+    """
+    best = None
+    best_score = -1
+    salted = zlib.crc32(bytes(key), seed)
+    for index in sorted(candidates):
+        score = zlib.crc32(index.to_bytes(4, "big"), salted)
+        if score > best_score:
+            best = index
+            best_score = score
+    if best is None:
+        raise ValueError("rendezvous_shard needs at least one candidate shard")
+    return best
 
 
 class FlowHasher:

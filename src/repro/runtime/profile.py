@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from .adaptive import AdaptiveConfig
+from .recovery import RecoveryConfig
 from .supervisor import SupervisorConfig
 
 __all__ = ["ExecutionProfile", "TUNABLES"]
@@ -70,6 +71,11 @@ class ExecutionProfile:
     #: Frames per pipelined chunk on the process shard backend; None
     #: means :data:`repro.runtime.shard.DEFAULT_CHUNK_FRAMES`.
     chunk_frames: int | None = None
+    #: Self-healing for the sharded plane: a
+    #: :class:`~repro.runtime.recovery.RecoveryConfig` turns on health
+    #: detection, automatic restart with backoff, and the degraded-mode
+    #: dispatch policy it names.  ``None`` keeps worker faults fatal.
+    recovery: RecoveryConfig | None = None
 
     def __post_init__(self):
         if self.mode not in MODES:
@@ -108,6 +114,8 @@ class ExecutionProfile:
             if value < 1:
                 raise ValueError("%s must be >= 1, not %d" % (name, value))
         object.__setattr__(self, "divide_capacity", bool(self.divide_capacity))
+        if self.recovery is not None and not isinstance(self.recovery, RecoveryConfig):
+            raise TypeError("recovery must be a RecoveryConfig or None")
 
     # -- constructors ------------------------------------------------------
 
@@ -173,6 +181,18 @@ class ExecutionProfile:
             divide_capacity=divide_capacity,
         )
 
+    def with_recovery(self, policy="resteer", config=None, **knobs):
+        """This profile with self-healing enabled on its sharded plane:
+        an explicit :class:`~repro.runtime.recovery.RecoveryConfig`, or
+        one built from ``policy`` and keyword knobs (``restart_budget``,
+        ``backoff_base``, ``heartbeat_timeout``, ...)."""
+        if config is None:
+            config = RecoveryConfig(policy=policy, **knobs)
+        return replace(self, recovery=config)
+
+    def without_recovery(self):
+        return replace(self, recovery=None)
+
     def with_tuning(self, tuned):
         """This profile with a searched knob assignment applied.
 
@@ -180,14 +200,16 @@ class ExecutionProfile:
         ``params`` mapping) or a raw params dict keyed by the dotted
         tunable names the runtime modules declare (``adaptive.*``,
         ``fdd.node_budget``, ``shard.queue_capacity``,
-        ``shard.chunk_frames``, ``supervisor.*``, ``batch``).  Unknown
-        keys are ignored so artifacts stay forward-compatible.
+        ``shard.chunk_frames``, ``supervisor.*``, ``recovery.*``,
+        ``batch``).  Unknown keys are ignored so artifacts stay
+        forward-compatible.
 
         Construction-time shape is never changed: ``shard.workers`` is
         reported by the tuner but must be applied via
         :meth:`with_workers`; ``batch`` is dropped in reference mode
         (where it is invalid); ``supervisor.*`` applies only when the
-        profile is supervised.
+        profile is supervised, and ``recovery.*`` only when a recovery
+        config is already attached (:meth:`with_recovery`).
         """
         params = getattr(tuned, "params", tuned)
         changes = {}
@@ -217,6 +239,15 @@ class ExecutionProfile:
             base = self.supervisor.as_dict() if self.supervisor is not None else {}
             base.update(supervisor_kwargs)
             changes["supervisor"] = SupervisorConfig(**base)
+        recovery_kwargs = {
+            key.split(".", 1)[1]: value
+            for key, value in params.items()
+            if key.startswith("recovery.")
+        }
+        if recovery_kwargs and self.recovery is not None:
+            base = self.recovery.as_dict()
+            base.update(recovery_kwargs)
+            changes["recovery"] = RecoveryConfig(**base)
         if not changes:
             return self
         return replace(self, **changes)
@@ -224,10 +255,12 @@ class ExecutionProfile:
     def shard_local(self):
         """The profile one shard runs under: identical execution tier,
         batch flavor, and supervision, but single-shard — what the
-        sharded data plane hands each worker's inner router."""
-        if self.workers == 1 and self.shard_backend == "thread":
+        sharded data plane hands each worker's inner router.  Recovery
+        is stripped: self-healing is a property of the *plane*, not of
+        any one shard's router."""
+        if self.workers == 1 and self.shard_backend == "thread" and self.recovery is None:
             return self
-        return replace(self, workers=1, shard_backend="thread")
+        return replace(self, workers=1, shard_backend="thread", recovery=None)
 
     # -- presentation ------------------------------------------------------
 
@@ -244,6 +277,8 @@ class ExecutionProfile:
             if self.shard_backend == "process":
                 tag += "proc"
             parts.append(tag)
+        if self.recovery is not None:
+            parts.append("heal-%s" % self.recovery.policy)
         return "+".join(parts)
 
     def as_dict(self):
@@ -260,6 +295,7 @@ class ExecutionProfile:
             "divide_capacity": self.divide_capacity,
             "node_budget": self.node_budget,
             "chunk_frames": self.chunk_frames,
+            "recovery": self.recovery.policy if self.recovery is not None else None,
         }
 
     def __str__(self):

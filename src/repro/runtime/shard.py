@@ -46,6 +46,22 @@ operation since birth — which, everything being deterministic,
 reconstructs byte-identical shard state (the device-fail analog with a
 supervisor-grade recovery story).
 
+Self-healing: when the profile carries a
+:class:`~repro.runtime.recovery.RecoveryConfig`, a
+:class:`~repro.runtime.recovery.RecoveryManager` closes the loop
+autonomously — liveness heartbeats (process backend) and barrier
+watchdog deadlines (thread backend) detect dead or hung workers without
+an operator, journal replay restarts them under seeded exponential
+backoff with a restart budget and poison-frame quarantine, and while a
+shard is down its flows follow the profile's recovery policy: buffered
+for redelivery, re-steered onto survivors through a rendezvous overlay,
+or failed fast.  The journal-then-send invariant makes this safe: every
+command is journaled *before* delivery is attempted, so a command
+refused by a dying worker is reconstructed by replay, never lost —
+and a down shard's partial output is never flushed (replay regenerates
+deterministic output, and the flush cursor delivers everything past it
+exactly once).
+
 Cross-worker safety notes (the audit the thread backend forced):
 ``ELEMENT_CLASSES`` is a read-only registry after import; the dest-IP
 intern cache (:data:`repro.net.packet._DEST_IP_CACHE`) is only touched
@@ -60,11 +76,15 @@ from __future__ import annotations
 import os
 import tempfile
 import threading
+import time as _time
 from collections import OrderedDict
 from dataclasses import replace
 
 from .flowhash import DEFAULT_SEED, FlowHasher
 from .profile import ExecutionProfile
+from .recovery import PoisonFrameError, RecoveryError, ReplayFrameError
+
+_monotonic = _time.monotonic
 
 __all__ = [
     "DEFAULT_CHUNK_FRAMES",
@@ -141,14 +161,29 @@ class SPSCQueue:
         self._not_full = threading.Condition(self._lock)
         self.high_water = 0
 
-    def put(self, item):
+    def put(self, item, timeout=None):
+        """Enqueue one item; blocks while full.  With ``timeout`` (in
+        seconds) returns False instead of blocking forever — the
+        recovery path's escape hatch when the consumer is dead or hung
+        and the queue will never drain."""
         with self._not_full:
-            while len(self._items) >= self._capacity:
-                self._not_full.wait()
+            if timeout is None:
+                while len(self._items) >= self._capacity:
+                    self._not_full.wait()
+            else:
+                deadline = _monotonic() + timeout
+                while len(self._items) >= self._capacity:
+                    remaining = deadline - _monotonic()
+                    if remaining <= 0 or not self._not_full.wait(remaining):
+                        if len(self._items) < self._capacity:
+                            break
+                        if deadline - _monotonic() <= 0:
+                            return False
             self._items.append(item)
             if len(self._items) > self.high_water:
                 self.high_water = len(self._items)
             self._not_empty.notify()
+            return True
 
     def get(self):
         with self._not_empty:
@@ -238,7 +273,8 @@ def _meter_delta(current, previous):
 
 class ShardReport:
     """What the sharded data plane did: dispatch balance, flushes,
-    crashes and journal replays, per-shard supervision summaries."""
+    crashes and journal replays, per-shard supervision summaries, and
+    (when self-healing is on) the recovery manager's summary."""
 
     def __init__(self):
         self.workers = 0
@@ -252,26 +288,34 @@ class ShardReport:
         self.replays = 0
         self.queue_high_water = []
         self.supervisors = {}
+        self.recovery = None
         self.meter = None
 
     def as_dict(self):
+        """JSON-safe summary with deterministic ordering — keys sorted,
+        list order stable — so chaos/CI artifacts diff cleanly (the PR 8
+        codegen-cache report convention)."""
         data = {
-            "workers": self.workers,
             "backend": self.backend,
-            "seed": self.seed,
+            "crashes": self.crashes,
             "dispatched": list(self.dispatched),
             "flushed": self.flushed,
-            "runs": self.runs,
-            "updates": self.updates,
-            "crashes": self.crashes,
-            "replays": self.replays,
             "queue_high_water": list(self.queue_high_water),
+            "replays": self.replays,
+            "runs": self.runs,
+            "seed": self.seed,
+            "updates": self.updates,
+            "workers": self.workers,
         }
         if self.supervisors:
-            data["supervisors"] = dict(self.supervisors)
+            data["supervisors"] = {
+                key: self.supervisors[key] for key in sorted(self.supervisors)
+            }
+        if self.recovery is not None:
+            data["recovery"] = self.recovery
         if self.meter is not None:
             data["meter"] = self.meter
-        return data
+        return {key: data[key] for key in sorted(data)}
 
     def format(self):
         lines = [
@@ -285,6 +329,20 @@ class ShardReport:
             lines.append(
                 "  %d worker crash(es), %d journal replay(s)"
                 % (self.crashes, self.replays)
+            )
+        if self.recovery is not None:
+            lines.append(
+                "  recovery (%s): %d detection(s), %d restart(s), "
+                "%d benched, %d re-steered, %d buffered, %d quarantined"
+                % (
+                    self.recovery.get("policy"),
+                    self.recovery.get("detections", 0),
+                    self.recovery.get("restarts", 0),
+                    len(self.recovery.get("benched", ())),
+                    self.recovery.get("frames_resteered", 0),
+                    self.recovery.get("frames_buffered", 0),
+                    len(self.recovery.get("quarantined", ())),
+                )
             )
         return "\n".join(lines)
 
@@ -304,6 +362,9 @@ class _ThreadShard:
         "error",
         "flushed",
         "meter_snapshot",
+        "dead",
+        "generation",
+        "poisons",
     )
 
     def __init__(self, index, queue_capacity=DEFAULT_QUEUE_CAPACITY):
@@ -317,6 +378,14 @@ class _ThreadShard:
         self.error = None
         self.flushed = {}
         self.meter_snapshot = {}
+        # Recovery bookkeeping: ``dead`` is set by the worker itself on
+        # a fatal error (or a ``die`` fault); ``generation`` fences off
+        # abandoned (hung) worker threads — a stale generation exits
+        # without touching rebuilt state; ``poisons`` is the armed
+        # kill-frame set the worker checks at frame delivery.
+        self.dead = False
+        self.generation = 0
+        self.poisons = set()
 
 
 class _ProcessShard:
@@ -466,6 +535,7 @@ def _process_shard_main(
     worked = 0
     pending_error = None
     staged = None  # (plane, staged batch, delta) between stage and commit
+    poisons = set()  # armed kill frames (worker_poison faults)
     while True:
         try:
             cmd = conn.recv()
@@ -475,9 +545,18 @@ def _process_shard_main(
         try:
             if op == "frames":
                 for name, frame in cmd[1]:
+                    if poisons and bytes(frame) in poisons:
+                        # A poison frame kills the worker the hard way:
+                        # no exception protocol, just a dead process for
+                        # the parent's health machinery to find.
+                        os._exit(3)
                     devices[name].receive_frame(frame)
             elif op == "run":
                 worked += router.run_tasks(cmd[1])
+            elif op == "poison":
+                poisons.add(bytes(cmd[1]))
+            elif op == "hang":
+                _time.sleep(cmd[1])
             elif op == "mirror":
                 for name, capacity in cmd[1].items():
                     devices[name].tx_capacity = capacity
@@ -613,6 +692,7 @@ class ShardedRouter:
         self._replays = 0
         self._cache_path = None
         self._final_report = None
+        self._recovery = None
         self.hasher = FlowHasher(max(1, self._profile.workers), self.hash_seed)
 
     # -- profile surface ---------------------------------------------------
@@ -632,7 +712,10 @@ class ShardedRouter:
         if self._started and self.backend == "thread" and self._shards:
             local = self._shards[0].router.profile
             return replace(
-                local, workers=self.workers, shard_backend=self.backend
+                local,
+                workers=self.workers,
+                shard_backend=self.backend,
+                recovery=self._profile.recovery,
             )
         return self._profile
 
@@ -686,9 +769,15 @@ class ShardedRouter:
 
                 raise ClickSemanticError("no such device %r" % name)
         self._started = True
+        if self._profile.recovery is not None:
+            from .recovery import RecoveryManager
+
+            self._recovery = RecoveryManager(self, self._profile.recovery)
         journal = self._journal_flag
         if journal is None:
-            journal = self.fault_injector is not None
+            # Self-healing needs the journal (replay is the restart
+            # mechanism), as does manual fault injection.
+            journal = self.fault_injector is not None or self._recovery is not None
         self._journal_enabled = bool(journal)
         self._journals = [[] for _ in range(self.workers)]
         self._dispatched = [0] * self.workers
@@ -747,89 +836,279 @@ class ShardedRouter:
             shard = _ThreadShard(index, self._queue_capacity)
             shard.router, shard.devices, shard.meter = self._build_shard_router(index)
             shard.flushed = {name: 0 for name in self._device_names}
-            shard.thread = threading.Thread(
-                target=self._thread_main,
-                args=(shard,),
-                name="shard-%d" % index,
-                daemon=True,
-            )
-            shard.thread.start()
+            self._spawn_thread_worker(shard)
             self._shards.append(shard)
 
-    def _thread_main(self, shard):
+    def _spawn_thread_worker(self, shard):
+        shard.thread = threading.Thread(
+            target=self._thread_main,
+            args=(shard, shard.generation),
+            name="shard-%d" % shard.index,
+            daemon=True,
+        )
+        shard.thread.start()
+
+    def _thread_main(self, shard, generation):
         queue = shard.queue
+        recovering = self._recovery is not None
         while True:
             cmd = queue.get()
+            if shard.generation != generation:
+                # This worker was abandoned by the watchdog and the
+                # shard rebuilt around it: exit without touching the
+                # fresh state (the command came off the stale queue).
+                break
             op = cmd[0]
             if op == "stop":
+                break
+            if op == "die":
+                # Fault injection: the worker "crashes" between
+                # commands, exactly as an OS kill would land for the
+                # process backend.
+                shard.dead = True
                 break
             try:
                 if op == "frames":
                     devices = shard.devices
+                    poisons = shard.poisons
                     for name, frame in cmd[1]:
+                        if poisons and bytes(frame) in poisons:
+                            raise PoisonFrameError(name, frame)
                         devices[name].receive_frame(frame)
                 elif op == "run":
-                    shard.worked += shard.router.run_tasks(cmd[1])
+                    worked = shard.router.run_tasks(cmd[1])
+                    if shard.generation == generation:
+                        shard.worked += worked
+                elif op == "hang":
+                    # Fault injection: stop making progress.  The
+                    # barrier's watchdog deadline fires, the shard is
+                    # rebuilt, and the generation fence retires this
+                    # thread when the sleep ends.
+                    _time.sleep(cmd[1])
+                elif op == "poison":
+                    shard.poisons.add(bytes(cmd[1]))
                 elif op == "sync":
                     cmd[1].set()
             except BaseException as exc:  # noqa: BLE001 - re-raised at the barrier
                 if shard.error is None:
                     shard.error = exc
+                if recovering:
+                    # Under recovery an escaped exception is worker
+                    # death, not a parked error: mark the shard down
+                    # and stop consuming.  Detection happens at the
+                    # next barrier.
+                    shard.dead = True
+                    if op == "sync":
+                        cmd[1].set()
+                    break
                 if op == "sync":
                     cmd[1].set()
+
+    def _queue_put(self, shard, cmd):
+        """Enqueue one command to a thread shard.  Without recovery
+        this is a plain (possibly blocking) put; with recovery a put
+        that cannot complete within the heartbeat window marks the
+        worker dead — its queue will never drain — and returns False.
+        Callers journal *before* putting, so a refused command is
+        recovered by replay, never lost."""
+        if self._recovery is None:
+            shard.queue.put(cmd)
+            return True
+        if shard.dead or not shard.thread.is_alive():
+            self._recovery.note_dead(shard.index, "worker thread died")
+            return False
+        if shard.queue.put(cmd, timeout=self._recovery.config.heartbeat_timeout):
+            return True
+        shard.generation += 1  # fence the stalled worker off
+        self._recovery.note_dead(shard.index, "handoff queue stalled")
+        return False
 
     def _barrier(self):
         """Quiesce every worker thread; re-raise the first shard error
         (an unsupervised shard must fail exactly like an unsupervised
-        single router would)."""
+        single router would).  Under recovery this is also the thread
+        backend's health seam: a worker that died is recorded instead
+        of raised, and one that stops progressing past the watchdog
+        deadline is abandoned behind the generation fence."""
+        recovery = self._recovery
         events = []
         for shard in self._shards:
+            if recovery is not None and recovery.is_down(shard.index):
+                events.append(None)
+                continue
             event = threading.Event()
-            shard.queue.put(("sync", event))
+            if not self._queue_put(shard, ("sync", event)):
+                events.append(None)
+                continue
             events.append(event)
-        for event in events:
-            event.wait()
+        if recovery is None:
+            for event in events:
+                event.wait()
+        else:
+            deadline = recovery.config.watchdog_timeout
+            for shard, event in zip(self._shards, events):
+                if event is None:
+                    continue
+                waited = 0.0
+                while not event.wait(0.05):
+                    if shard.dead or not shard.thread.is_alive():
+                        break
+                    waited += 0.05
+                    if waited >= deadline:
+                        # No progress within the watchdog window: hung.
+                        # Abandon the thread (the generation fence
+                        # retires it) and mark the shard down.
+                        shard.generation += 1
+                        shard.dead = True
+                        break
+        for shard in self._shards:
+            if recovery is not None and shard.dead and not recovery.is_down(shard.index):
+                reason = "worker hung past the watchdog deadline"
+                if shard.error is not None:
+                    reason = "%s: %s" % (type(shard.error).__name__, shard.error)
+                    shard.error = None
+                recovery.note_dead(shard.index, reason)
         for shard in self._shards:
             if shard.error is not None:
+                if recovery is not None and recovery.is_down(shard.index):
+                    shard.error = None
+                    continue
                 error, shard.error = shard.error, None
                 raise error
 
     # -- process backend ---------------------------------------------------
 
     def _start_process_shards(self):
-        import multiprocessing
-
         if self._extra_classes:
             raise ValueError(
                 "the process backend rebuilds shards from configuration "
                 "text and cannot ship extra_classes; use the thread backend"
             )
-        from ..core.toolchain import save_config
-
-        config_text = save_config(self.graph)
         self._cache_path = self._prewarm_cache()
-        ctx = multiprocessing.get_context("spawn")
         for index in range(self.workers):
             shard = _ProcessShard(index)
             shard.flushed = {name: 0 for name in self._device_names}
-            parent_conn, child_conn = ctx.Pipe()
-            shard.process = ctx.Process(
-                target=_process_shard_main,
-                args=(
-                    child_conn,
-                    config_text,
-                    self._profile,
-                    list(self._device_names),
-                    self._cache_path,
-                    self.meter is not None,
-                    index,
-                ),
-                daemon=True,
-            )
-            shard.process.start()
-            child_conn.close()
-            shard.conn = parent_conn
+            self._spawn_process_shard(shard)
             self._shards.append(shard)
+
+    def _spawn_process_shard(self, shard):
+        """Start (or restart) one process-backend worker, attaching a
+        fresh pipe.  The previous process, if any, must already be
+        reaped (:meth:`_reap_process`)."""
+        import multiprocessing
+
+        from ..core.toolchain import save_config
+
+        ctx = multiprocessing.get_context("spawn")
+        parent_conn, child_conn = ctx.Pipe()
+        shard.process = ctx.Process(
+            target=_process_shard_main,
+            args=(
+                child_conn,
+                save_config(self.graph),
+                self._profile,
+                list(self._device_names),
+                self._cache_path,
+                self.meter is not None,
+                shard.index,
+            ),
+            daemon=True,
+        )
+        shard.process.start()
+        child_conn.close()
+        shard.conn = parent_conn
+
+    def _reap_process(self, shard, kill=False):
+        """Join a dead (or doomed) worker with a timeout and close the
+        parent's pipe end, so crash/recover cycles leak neither child
+        processes nor file descriptors."""
+        process, conn = shard.process, shard.conn
+        if process is not None:
+            try:
+                if kill and process.is_alive():
+                    process.kill()
+                process.join(timeout=10)
+                if process.is_alive():
+                    process.kill()
+                    process.join(timeout=10)
+                process.close()
+            except Exception:  # noqa: BLE001 - it crashed; cleanup is best effort
+                pass
+            shard.process = None
+        if conn is not None:
+            try:
+                conn.close()
+            except Exception:  # noqa: BLE001
+                pass
+            shard.conn = None
+
+    def _poll_health(self):
+        """Heartbeat liveness sweep (process backend): a worker that
+        exited is detected here, before the batch dispatches."""
+        recovery = self._recovery
+        for shard in self._shards:
+            if recovery.is_down(shard.index):
+                continue
+            if shard.process is None or not shard.process.is_alive():
+                exitcode = shard.process.exitcode if shard.process else None
+                self._reap_process(shard)
+                recovery.note_dead(
+                    shard.index, "worker process exited (code %r)" % (exitcode,)
+                )
+
+    def _proc_send(self, shard, cmd):
+        """Send one command to a process shard; under recovery a broken
+        pipe marks the shard dead and returns False (the command is
+        journaled first, so replay covers it)."""
+        recovery = self._recovery
+        if recovery is None:
+            shard.conn.send(cmd)
+            return True
+        if recovery.is_down(shard.index):
+            return False
+        try:
+            shard.conn.send(cmd)
+            return True
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            exitcode = shard.process.exitcode if shard.process else None
+            self._reap_process(shard)
+            recovery.note_dead(
+                shard.index, "pipe to worker broke (exit code %r)" % (exitcode,)
+            )
+            return False
+
+    def _proc_recv(self, shard, timeout=None):
+        """Receive one protocol reply; under recovery a worker that
+        neither answers within the deadline (the heartbeat window by
+        default) nor exits is hung (reaped + marked dead), and a dead
+        pipe marks the shard dead.  Returns None when the shard went
+        down instead of answering."""
+        recovery = self._recovery
+        if recovery is None:
+            return shard.recv()
+        if timeout is None:
+            timeout = recovery.config.heartbeat_timeout
+        try:
+            while not shard.conn.poll(timeout):
+                if shard.process is None or not shard.process.is_alive():
+                    raise EOFError("worker exited mid-protocol")
+                # Alive but silent past the heartbeat window: hung.
+                exitcode = shard.process.exitcode
+                self._reap_process(shard, kill=True)
+                recovery.note_dead(
+                    shard.index,
+                    "worker hung past the heartbeat window (exit code %r)"
+                    % (exitcode,),
+                )
+                return None
+            return shard.conn.recv()
+        except (EOFError, ConnectionResetError, BrokenPipeError, OSError):
+            exitcode = shard.process.exitcode if shard.process else None
+            self._reap_process(shard)
+            recovery.note_dead(
+                shard.index, "worker died mid-protocol (exit code %r)" % (exitcode,)
+            )
+            return None
 
     def _prewarm_cache(self):
         """Compile the configuration once locally and write the codegen
@@ -850,13 +1129,30 @@ class ShardedRouter:
             return None
 
     def _sync_process(self):
+        recovery = self._recovery
+        pending = []
         for shard in self._shards:
-            shard.conn.send(("sync",))
+            if recovery is not None and recovery.is_down(shard.index):
+                continue
+            if self._proc_send(shard, ("sync",)):
+                pending.append(shard)
         worked = 0
-        for shard in self._shards:
-            reply = shard.recv()
+        for shard in pending:
+            reply = self._proc_recv(shard)
+            if reply is None:
+                continue  # went down instead of answering; noted
             worked += reply[1]
             if reply[2] is not None:
+                if recovery is not None:
+                    # A worker-side error under recovery is treated as
+                    # worker death: rebuild + replay clears it (or
+                    # attributes it to a poison frame).
+                    self._reap_process(shard, kill=True)
+                    recovery.note_dead(
+                        shard.index,
+                        "worker error: %s: %s" % (reply[2][0], reply[2][1]),
+                    )
+                    continue
                 raise RuntimeError(
                     "shard %d: %s: %s" % (shard.index, reply[2][0], reply[2][1])
                 )
@@ -873,6 +1169,13 @@ class ShardedRouter:
             return 0
         self._ensure_started()
         self._runs += 1
+        if self._recovery is not None:
+            if self.backend == "process":
+                self._poll_health()
+            # Restarts happen *before* this batch's dispatch, so a
+            # recovered shard re-homes its traffic (and drains its
+            # buffer) starting with this run.
+            self._recovery.on_run_start()
         caps = self._mirror_caps()
         batches = self._drain_and_partition()
         if self.backend == "thread":
@@ -903,6 +1206,12 @@ class ShardedRouter:
     def _drain_and_partition(self):
         hasher = self.hasher
         dispatched = self._dispatched
+        recovery = self._recovery
+        degraded = recovery is not None and (
+            recovery.down_indices()
+            or recovery.benched_indices()
+            or recovery.quarantined
+        )
         batches = [[] for _ in range(self.workers)]
         for name in self._device_names:
             device = self.devices.get(name)
@@ -914,13 +1223,55 @@ class ShardedRouter:
                 if frame is None:
                     break
                 index = hasher(frame)
+                if degraded:
+                    index = recovery.route_frame(index, name, frame)
+                    if index is None:
+                        continue  # buffered or dropped
                 batches[index].append((name, frame))
                 dispatched[index] += 1
         return batches
 
+    def _redispatch(self, buffered):
+        """Re-route a benched shard's buffered frames through the
+        degraded policy (they re-steer — the shard is never coming
+        back) and deliver them immediately.  Called by the recovery
+        manager from :meth:`RecoveryManager.bench`."""
+        recovery = self._recovery
+        batches = {}
+        for name, frame in buffered:
+            index = recovery.route_frame(self.hasher(frame), name, frame)
+            if index is None:
+                continue
+            batches.setdefault(index, []).append((name, frame))
+            self._dispatched[index] += 1
+        for index, batch in sorted(batches.items()):
+            self._send_frames(index, batch)
+
+    def _send_frames(self, index, batch):
+        """Journal-then-send one frame batch to a live shard."""
+        frames = ("frames", batch)
+        self._journal_cmd(index, frames)
+        if self.backend == "thread":
+            self._queue_put(self._shards[index], frames)
+        else:
+            self._proc_send(self._shards[index], frames)
+
+    def _deliver_buffered(self, index, buffered):
+        """A recovered shard's buffered frames, delivered in arrival
+        order (journaled — they are now part of the shard's history)."""
+        self._send_frames(index, list(buffered))
+        self._dispatched[index] += len(buffered)
+
     def _run_thread(self, iterations, caps, batches):
+        recovery = self._recovery
         before = sum(shard.worked for shard in self._shards)
         for index, shard in enumerate(self._shards):
+            if recovery is not None and recovery.is_down(index):
+                # A down shard gets no mirror/run commands (and no
+                # journal entries for them): nothing was dispatched to
+                # it this batch, so replay reconstructs it exactly up
+                # to its death point.
+                continue
             mirror = ("mirror", caps[index])
             self._journal_cmd(index, mirror)
             for name, capacity in caps[index].items():
@@ -928,17 +1279,25 @@ class ShardedRouter:
             if batches[index]:
                 frames = ("frames", batches[index])
                 self._journal_cmd(index, frames)
-                shard.queue.put(frames)
+                if not self._queue_put(shard, frames):
+                    continue
             run = ("run", iterations)
             self._journal_cmd(index, run)
-            shard.queue.put(run)
+            self._queue_put(shard, run)
         self._barrier()
         self._flush_thread()
         return max(0, sum(shard.worked for shard in self._shards) - before)
 
     def _flush_thread(self):
+        recovery = self._recovery
         flushed = 0
         for shard in self._shards:
+            if recovery is not None and recovery.is_down(shard.index):
+                # Never flush a down shard's partial output: the dying
+                # run may have stopped mid-batch, and replay regenerates
+                # deterministic output past the flush cursor exactly
+                # once.
+                continue
             for name in self._device_names:
                 frames = shard.devices[name].transmitted
                 start = shard.flushed[name]
@@ -965,21 +1324,27 @@ class ShardedRouter:
     def _run_process(self, iterations, caps, batches):
         from ..elements.devices import PollDevice
 
+        recovery = self._recovery
         chunk = max(1, self.chunk_frames)
         total = sum(len(batch) for batch in batches)
         for index, shard in enumerate(self._shards):
+            if recovery is not None and recovery.is_down(index):
+                continue
             mirror = ("mirror", caps[index])
             self._journal_cmd(index, mirror)
-            shard.conn.send(mirror)
+            self._proc_send(shard, mirror)
         if total <= chunk:
             for index, shard in enumerate(self._shards):
+                if recovery is not None and recovery.is_down(index):
+                    continue
                 if batches[index]:
                     frames = ("frames", batches[index])
                     self._journal_cmd(index, frames)
-                    shard.conn.send(frames)
+                    if not self._proc_send(shard, frames):
+                        continue
                 run = ("run", iterations)
                 self._journal_cmd(index, run)
-                shard.conn.send(run)
+                self._proc_send(shard, run)
         else:
             # Pipeline: deliver each shard's frames in chunks with a
             # partial run after each, so workers execute while the
@@ -996,33 +1361,52 @@ class ShardedRouter:
                     position = positions[index]
                     if position >= len(batch):
                         continue
+                    if recovery is not None and recovery.is_down(index):
+                        # Died mid-pipeline: the unsent remainder of its
+                        # batch was never journaled, so it re-routes
+                        # through the degraded policy instead of being
+                        # lost.
+                        positions[index] = len(batch)
+                        self._dispatched[index] -= len(batch) - position
+                        self._redispatch(batch[position:])
+                        continue
                     progressed = True
                     part = batch[position : position + per_shard_chunk]
                     positions[index] = position + len(part)
                     frames = ("frames", part)
                     self._journal_cmd(index, frames)
-                    shard.conn.send(frames)
+                    if not self._proc_send(shard, frames):
+                        continue
                     passes = len(part) // PollDevice.BURST + 1
                     spent[index] += passes
                     run = ("run", passes)
                     self._journal_cmd(index, run)
-                    shard.conn.send(run)
+                    self._proc_send(shard, run)
                 if not progressed:
                     break
             for index, shard in enumerate(self._shards):
+                if recovery is not None and recovery.is_down(index):
+                    continue
                 run = ("run", max(1, iterations))
                 self._journal_cmd(index, run)
-                shard.conn.send(run)
+                self._proc_send(shard, run)
         worked = self._sync_process()
         self._flush_process()
         return worked
 
     def _flush_process(self):
+        recovery = self._recovery
         flushed = 0
+        pending = []
         for shard in self._shards:
-            shard.conn.send(("collect",))
-        for shard in self._shards:
-            reply = shard.recv()
+            if recovery is not None and recovery.is_down(shard.index):
+                continue
+            if self._proc_send(shard, ("collect",)):
+                pending.append(shard)
+        for shard in pending:
+            reply = self._proc_recv(shard)
+            if reply is None:
+                continue
             fresh, meter = reply[1], reply[2]
             for name in self._device_names:
                 frames = fresh.get(name)
@@ -1039,19 +1423,28 @@ class ShardedRouter:
 
     def _control(self, cmd):
         """Fan one journaled control command out to every shard, at
-        quiescence."""
+        quiescence.  A down shard is journaled but not touched: the
+        command reaches it through replay when it comes back (counted
+        as a recommit)."""
         self._ensure_started()
+        recovery = self._recovery
         if self.backend == "thread":
             self._barrier()
             for index, shard in enumerate(self._shards):
                 self._journal_cmd(index, cmd)
+                if recovery is not None and recovery.is_down(index):
+                    recovery.note_recommitted()
+                    continue
                 shard.router = _apply_shard_control(
                     shard.router, shard.devices, cmd, divider=self._divider(index)
                 )
         else:
             for index, shard in enumerate(self._shards):
                 self._journal_cmd(index, cmd)
-                shard.conn.send(cmd)
+                if recovery is not None and recovery.is_down(index):
+                    recovery.note_recommitted()
+                    continue
+                self._proc_send(shard, cmd)
 
     def find(self, name):
         """A fan-out proxy for the named element (None when the
@@ -1100,28 +1493,31 @@ class ShardedRouter:
             return self
         self._barrier()
         old_text = save_config(self.graph)
+        live = self._live_shards()
         done = []
         try:
-            for index, shard in enumerate(self._shards):
+            for shard in live:
                 shard.router = _apply_shard_control(
                     shard.router,
                     shard.devices,
                     ("hotswap", text),
-                    divider=self._divider(index),
+                    divider=self._divider(shard.index),
                 )
-                done.append(index)
+                done.append(shard)
         except Exception:
-            for index in done:
-                shard = self._shards[index]
+            for shard in done:
                 shard.router = _apply_shard_control(
                     shard.router,
                     shard.devices,
                     ("hotswap", old_text),
-                    divider=self._divider(index),
+                    divider=self._divider(shard.index),
                 )
             raise
+        recovery = self._recovery
         for index in range(self.workers):
             self._journal_cmd(index, ("hotswap", text))
+            if recovery is not None and recovery.is_down(index):
+                recovery.note_recommitted()
         self._set_graph(text)
         return self
 
@@ -1156,7 +1552,8 @@ class ShardedRouter:
         self._barrier()
         if self._divider(0) is not None:
             return self._apply_update_divided(update)
-        planes = [ControlPlane(shard.router) for shard in self._shards]
+        live = self._live_shards()
+        planes = [ControlPlane(shard.router) for shard in live]
         delta, new_graph = planes[0].resolve(update)
         if delta.empty:
             return planes[0].apply(delta)
@@ -1169,13 +1566,13 @@ class ShardedRouter:
                     break
                 staged.append(batch)
             if len(staged) == len(planes):
+                self._fire_commit_hook()
                 report = None
                 for plane, batch in zip(planes, staged):
                     committed = plane.commit_patch(batch, delta)
                     if report is None:
                         report = committed
-                for index in range(self.workers):
-                    self._journal_cmd(index, ("update", text))
+                self._journal_update(text)
                 return report
         # Structural (or not patchable in place): per-shard transactional
         # swaps, rolled back together on failure.
@@ -1185,22 +1582,54 @@ class ShardedRouter:
         done = []
         report = None
         try:
-            for index, plane in enumerate(planes):
+            for position, plane in enumerate(planes):
                 committed = plane.apply(update)
-                done.append(index)
+                done.append(position)
                 if report is None:
                     report = committed
         except Exception:
-            for index in done:
-                ControlPlane(planes[index].router).apply(old_text)
-                self._shards[index].router = planes[index].router
+            for position in done:
+                ControlPlane(planes[position].router).apply(old_text)
+                live[position].router = planes[position].router
             raise
-        for index, plane in enumerate(planes):
-            self._shards[index].router = plane.router
-        for index in range(self.workers):
-            self._journal_cmd(index, ("update", text))
+        for position, plane in enumerate(planes):
+            live[position].router = plane.router
+        self._journal_update(text)
         self._set_graph(text)
         return report
+
+    def _live_shards(self):
+        """The shards an update can reach right now; raises when the
+        whole plane is down."""
+        recovery = self._recovery
+        if recovery is None:
+            return list(self._shards)
+        live = [
+            shard
+            for shard in self._shards
+            if not recovery.is_down(shard.index)
+        ]
+        if not live:
+            raise RecoveryError("every shard is down; nothing to update")
+        return live
+
+    def _journal_update(self, text):
+        """Journal a committed update to *every* shard — down shards
+        included, so replay re-commits it the moment they return."""
+        recovery = self._recovery
+        for index in range(self.workers):
+            self._journal_cmd(index, ("update", text))
+            if recovery is not None and recovery.is_down(index):
+                recovery.note_recommitted()
+
+    def _fire_commit_hook(self):
+        """The fault injector's window between "every shard staged"
+        and "first shard committed" — where a ``worker_kill`` with
+        ``phase="commit"`` lands."""
+        injector = self.fault_injector
+        hook = getattr(injector, "on_commit_phase", None)
+        if hook is not None:
+            hook(self._updates)
 
     def _update_text(self, update, delta, new_graph):
         """The update as configuration text (the journal's replayable
@@ -1233,33 +1662,34 @@ class ShardedRouter:
             new_graph = update
         text = save_config(new_graph)
         old_text = save_config(self.graph)
-        planes = [ControlPlane(shard.router) for shard in self._shards]
+        live = self._live_shards()
+        planes = [ControlPlane(shard.router) for shard in live]
         done = []
         report = None
         try:
-            for index, plane in enumerate(planes):
-                committed = plane.apply(self._divider(index)(new_graph))
-                done.append(index)
+            for position, plane in enumerate(planes):
+                committed = plane.apply(self._divider(live[position].index)(new_graph))
+                done.append(position)
                 if report is None:
                     report = committed
         except Exception:
             old_graph = load_config(old_text, "<shard-rollback>")
-            for index in done:
-                ControlPlane(planes[index].router).apply(
-                    self._divider(index)(old_graph)
+            for position in done:
+                ControlPlane(planes[position].router).apply(
+                    self._divider(live[position].index)(old_graph)
                 )
-                self._shards[index].router = planes[index].router
+                live[position].router = planes[position].router
             raise
-        for index, plane in enumerate(planes):
-            self._shards[index].router = plane.router
-        for index in range(self.workers):
-            self._journal_cmd(index, ("update", text))
+        for position, plane in enumerate(planes):
+            live[position].router = plane.router
+        self._journal_update(text)
         self._set_graph(text)
         return report
 
-    def _apply_update_process(self, update):
+    def _apply_update_process(self, update, _retry=False):
         from ..control import ControlPlaneError
 
+        recovery = self._recovery
         delta = None
         new_graph = None
         if isinstance(update, str):
@@ -1272,25 +1702,61 @@ class ShardedRouter:
             else:
                 delta, new_graph = diff_graphs(self.graph, update), update
             text = self._update_text(update, delta, new_graph)
-        for shard in self._shards:
-            shard.conn.send(("update_stage", text))
-        verdicts = [shard.recv() for shard in self._shards]
-        rejected = [v for v in verdicts if v[1] == "rejected"]
+        if recovery is not None:
+            self._poll_health()
+        live = self._live_shards()
+        prepare = recovery.config.prepare_timeout if recovery is not None else None
+        # Phase one: stage on every live shard, bounded by the prepare
+        # timeout — a worker that dies or hangs mid-stage must not wedge
+        # the whole plane's control path.
+        staged = []
+        verdicts = []
+        for shard in live:
+            if self._proc_send(shard, ("update_stage", text)):
+                staged.append(shard)
+        for shard in staged:
+            verdict = self._proc_recv(shard, timeout=prepare)
+            if verdict is not None:
+                verdicts.append((shard, verdict))
+        if recovery is not None and len(verdicts) < len(live):
+            # Someone died during stage: abort the survivors, bring the
+            # dead back (their journals have no trace of this update),
+            # and run the whole update once more on the full plane.
+            for shard, _verdict in verdicts:
+                self._proc_send(shard, ("update_abort",))
+            return self._retry_update_process(update, _retry)
+        rejected = [(s, v) for s, v in verdicts if v[1] == "rejected"]
         if rejected:
-            for shard in self._shards:
-                shard.conn.send(("update_abort",))
-            raise ControlPlaneError(rejected[0][2])
-        if all(v[1] == "empty" for v in verdicts):
+            for shard, _verdict in verdicts:
+                self._proc_send(shard, ("update_abort",))
+            raise ControlPlaneError(rejected[0][1][2])
+        if all(v[1] == "empty" for _s, v in verdicts):
             from ..elements.hotswap import SwapReport
 
             return SwapReport("no-op", profile=self._profile.label)
-        if all(v[1] == "ok" for v in verdicts):
-            for shard in self._shards:
-                shard.conn.send(("update_commit",))
-            for shard in self._shards:
-                shard.recv()
-            for index in range(self.workers):
-                self._journal_cmd(index, ("update", text))
+        if all(v[1] == "ok" for _s, v in verdicts):
+            self._fire_commit_hook()
+            committed = []
+            lost = False
+            for shard, _verdict in verdicts:
+                if self._proc_send(shard, ("update_commit",)):
+                    committed.append(shard)
+                else:
+                    lost = True
+            confirmed = []
+            for shard in committed:
+                if self._proc_recv(shard, timeout=prepare) is not None:
+                    confirmed.append(shard)
+                else:
+                    lost = True
+            if lost:
+                # Phase two broke: a worker died between stage and
+                # commit (or mid-commit).  Roll the confirmed survivors
+                # back to the old tables, restore the dead, and retry
+                # the update once against the whole plane.
+                self._rollback_committed(confirmed)
+                return self._retry_update_process(update, _retry)
+            self._journal_update(text)
             from ..elements.hotswap import SwapReport
 
             report = SwapReport("in-place", profile=self._profile.label)
@@ -1300,26 +1766,54 @@ class ShardedRouter:
             return report
         # Structural somewhere: full per-shard apply (each shard's
         # ControlPlane is transactional on its own).
-        for shard in self._shards:
-            shard.conn.send(("update_abort",))
-            shard.conn.send(("update", text))
+        for shard, _verdict in verdicts:
+            self._proc_send(shard, ("update_abort",))
+            self._proc_send(shard, ("update", text))
         self._sync_process()
-        for index in range(self.workers):
-            self._journal_cmd(index, ("update", text))
+        self._journal_update(text)
         self._set_graph(text)
         from ..elements.hotswap import SwapReport
 
         return SwapReport("scoped-swap", profile=self._profile.label)
 
+    def _rollback_committed(self, shards):
+        """Mid-commit failure: surviving shards that already committed
+        re-apply the *old* configuration, so every live shard serves
+        the same tables while the dead one recovers."""
+        from ..core.toolchain import save_config
+
+        old_text = save_config(self.graph)
+        pending = []
+        for shard in shards:
+            if self._proc_send(shard, ("update", old_text)):
+                pending.append(shard)
+        for shard in pending:
+            if self._proc_send(shard, ("sync",)):
+                self._proc_recv(shard)
+
+    def _retry_update_process(self, update, already_retried):
+        """Force the dead shards back up (no backoff — the control
+        plane is blocked on them) and re-run the update across the
+        whole plane, once."""
+        if self._recovery is None or already_retried:
+            raise RecoveryError(
+                "a worker died during a two-phase update and the retry "
+                "also failed; the plane is inconsistent"
+            )
+        for index in list(self._recovery.down_indices()):
+            self._recovery.attempt_restart(index, force=True)
+        return self._apply_update_process(update, _retry=True)
+
     # -- worker faults -----------------------------------------------------
 
     def crash_worker(self, index):
-        """Kill shard ``index`` and recover it: a fresh shard replays
-        the journal — every frame batch, scheduler run, transmit
-        mirror, and control op since birth — reconstructing
+        """Kill shard ``index`` and recover it *synchronously*: a fresh
+        shard replays the journal — every frame batch, scheduler run,
+        transmit mirror, and control op since birth — reconstructing
         byte-identical state (everything in the pipeline is
         deterministic).  The fault injector's ``worker_crash`` fault
-        calls this; a no-op index is ignored."""
+        calls this; contrast :meth:`kill_worker`, which only kills and
+        leaves detection and restart to the recovery manager."""
         self._ensure_started()
         index = index % self.workers
         if not self._journal_enabled:
@@ -1329,95 +1823,237 @@ class ShardedRouter:
                 "before the first operation"
             )
         self._crashes += 1
+        self._revive_shard(index)
+
+    def kill_worker(self, index):
+        """Kill shard ``index`` and walk away — the self-healing path's
+        entry point (``worker_kill`` faults).  Detection happens at the
+        next health seam; restart follows the backoff schedule.
+        Requires a recovery policy on the profile."""
+        self._ensure_started()
+        index = index % self.workers
+        if self._recovery is None:
+            raise RecoveryError(
+                "worker_kill needs a recovery policy on the profile "
+                "(ExecutionProfile.with_recovery); use worker_crash for "
+                "synchronous journal-replay recovery without one"
+            )
+        if self._recovery.is_down(index):
+            return
+        self._recovery.note_killed(index)
+        shard = self._shards[index]
         if self.backend == "thread":
-            self._crash_thread(index)
+            shard.queue.put(("die",), timeout=1.0)
+        elif shard.process is not None and shard.process.is_alive():
+            shard.process.kill()
+
+    def hang_worker(self, index, seconds=30.0):
+        """Wedge shard ``index`` (``worker_hang`` faults): the worker
+        sleeps instead of progressing, so the watchdog/heartbeat
+        machinery — not a crash — has to find it.  Not journaled: a
+        hang is transient wall-clock behavior, not shard history."""
+        self._ensure_started()
+        index = index % self.workers
+        if self._recovery is None:
+            raise RecoveryError(
+                "worker_hang needs a recovery policy on the profile "
+                "(ExecutionProfile.with_recovery)"
+            )
+        if self._recovery.is_down(index):
+            return
+        self._recovery.note_killed(index)
+        cmd = ("hang", float(seconds))
+        shard = self._shards[index]
+        if self.backend == "thread":
+            shard.queue.put(cmd, timeout=1.0)
         else:
-            self._crash_process(index)
+            self._proc_send(shard, cmd)
+
+    def arm_poison(self, frame):
+        """Arm a poison frame (``worker_poison`` faults) on every
+        shard: processing it kills the worker, deterministically —
+        journaled, so replay re-dies on it until quarantine strips it
+        and records the repro."""
+        self._ensure_started()
+        if not self._journal_enabled:
+            raise RuntimeError(
+                "worker_poison needs the command journal; attach a fault "
+                "injector or a recovery policy before the first operation"
+            )
+        data = bytes(frame)
+        cmd = ("poison", data)
+        if self.backend == "thread":
+            self._barrier()
+            for index, shard in enumerate(self._shards):
+                self._journal_cmd(index, cmd)
+                if self._recovery is not None and self._recovery.is_down(index):
+                    continue
+                shard.poisons.add(data)
+        else:
+            for index, shard in enumerate(self._shards):
+                self._journal_cmd(index, cmd)
+                if self._recovery is not None and self._recovery.is_down(index):
+                    continue
+                self._proc_send(shard, cmd)
+
+    # -- restart + journal replay ------------------------------------------
+
+    def _revive_shard(self, index, singly=False):
+        """Rebuild one shard and replay its journal.  The recovery
+        manager's restart mechanism (and ``crash_worker``'s recovery
+        half).  Raises :class:`ReplayFrameError` when the replay died
+        at an exactly attributed frame, so the caller can quarantine
+        it."""
+        if self.backend == "thread":
+            self._revive_thread(index)
+        else:
+            self._revive_process(index, singly=singly)
         self._replays += 1
 
-    def _crash_thread(self, index):
-        self._barrier()
+    def _revive_thread(self, index):
         shard = self._shards[index]
-        shard.queue.put(("stop",))
-        shard.thread.join(timeout=10)
+        # Retire whatever worker is attached — gracefully when alive
+        # (manual crash_worker), by the generation fence when hung.
+        shard.generation += 1
+        thread = shard.thread
+        if thread is not None and thread.is_alive():
+            shard.queue.put(("stop",), timeout=0.1)
+            thread.join(timeout=0.5 if self._recovery is not None else 10)
         shard.router, shard.devices, shard.meter = self._build_shard_router(index)
         shard.worked = 0
         shard.error = None
-        for cmd in self._journals[index]:
-            op = cmd[0]
-            if op == "frames":
-                for name, frame in cmd[1]:
-                    shard.devices[name].receive_frame(frame)
-            elif op == "run":
-                shard.router.run_tasks(cmd[1])
-            else:
-                shard.router = _apply_shard_control(
-                    shard.router, shard.devices, cmd, divider=self._divider(index)
-                )
+        shard.dead = False
+        shard.poisons = set()
+        self._replay_thread_journal(shard, index)
         # Replayed work was genuinely re-executed, but its meter charges
         # were already absorbed before the crash: re-baseline so only
-        # post-recovery work flows to the parent meter.
+        # post-recovery work flows to the parent meter.  The flush
+        # cursor (``shard.flushed``) is deliberately preserved: replay
+        # regenerated *all* output, and only frames past the cursor
+        # were never delivered.
         if shard.meter is not None:
             shard.meter_snapshot = shard.meter.summary()
         shard.queue = SPSCQueue(self._queue_capacity)
-        shard.thread = threading.Thread(
-            target=self._thread_main,
-            args=(shard,),
-            name="shard-%d" % index,
-            daemon=True,
-        )
-        shard.thread.start()
+        self._spawn_thread_worker(shard)
 
-    def _crash_process(self, index):
-        import multiprocessing
+    def _replay_thread_journal(self, shard, index):
+        """Re-execute the journal against the freshly built shard,
+        parent-side, attributing any death to the exact frame."""
+        divider = self._divider(index)
+        for position, cmd in enumerate(self._journals[index]):
+            op = cmd[0]
+            if op == "frames":
+                for fpos, (name, frame) in enumerate(cmd[1]):
+                    if shard.poisons and bytes(frame) in shard.poisons:
+                        raise ReplayFrameError(
+                            index, name, frame, (position, fpos),
+                            "armed poison frame",
+                        )
+                    try:
+                        shard.devices[name].receive_frame(frame)
+                    except Exception as exc:  # noqa: BLE001 - attributed
+                        raise ReplayFrameError(
+                            index, name, frame, (position, fpos),
+                            "%s: %s" % (type(exc).__name__, exc),
+                        ) from exc
+            elif op == "run":
+                shard.router.run_tasks(cmd[1])
+            elif op == "poison":
+                shard.poisons.add(bytes(cmd[1]))
+            else:
+                shard.router = _apply_shard_control(
+                    shard.router, shard.devices, cmd, divider=divider
+                )
 
-        from ..core.toolchain import save_config
-
+    def _revive_process(self, index, singly=False):
+        """Respawn a process shard and resend its journal.  The fast
+        path ships the whole journal and syncs once; ``singly`` replays
+        command by command — frames one at a time — so a killer frame
+        is attributed exactly (the slow path the manager falls back to
+        after an unattributed batch-replay death)."""
         shard = self._shards[index]
-        try:
-            shard.process.terminate()
-            shard.process.join(timeout=10)
-            shard.conn.close()
-        except Exception:  # noqa: BLE001 - it crashed; cleanup is best effort
-            pass
-        ctx = multiprocessing.get_context("spawn")
-        parent_conn, child_conn = ctx.Pipe()
-        shard.process = ctx.Process(
-            target=_process_shard_main,
-            args=(
-                child_conn,
-                save_config(self.graph),
-                self._profile,
-                list(self._device_names),
-                self._cache_path,
-                self.meter is not None,
-                index,
-            ),
-            daemon=True,
-        )
-        shard.process.start()
-        child_conn.close()
-        shard.conn = parent_conn
-        for cmd in self._journals[index]:
-            shard.conn.send(cmd)
+        self._reap_process(shard, kill=True)
+        self._spawn_process_shard(shard)
+        journal = self._journals[index]
+        if singly:
+            for position, cmd in enumerate(journal):
+                if cmd[0] == "frames":
+                    for fpos, (name, frame) in enumerate(cmd[1]):
+                        self._replay_send(
+                            shard, ("frames", [(name, frame)]),
+                            index, name, frame, (position, fpos),
+                        )
+                else:
+                    self._replay_send(shard, cmd, index, None, b"", (position, 0))
+        else:
+            for cmd in journal:
+                shard.conn.send(cmd)
         # The parent already consumed everything it flushed before the
         # crash; realign the worker's collect cursor so replayed frames
         # are not delivered twice.
         shard.conn.send(("set_flushed", dict(shard.flushed)))
         shard.conn.send(("sync",))
-        reply = shard.recv()
+        reply = self._replay_reply(shard)
         if reply[2] is not None:
             raise RuntimeError(
                 "shard %d replay failed: %s: %s" % (index, reply[2][0], reply[2][1])
             )
         shard.worked = 0
-        if shard.meter_snapshot or self.meter is not None:
-            shard.conn.send(("collect",))
-            collected = shard.recv()
-            # Drop the replayed frames (already flushed) and re-baseline
-            # the meter like the thread backend does.
-            if collected[2] is not None:
-                shard.meter_snapshot = collected[2]
+        # Deliver the replay's regenerated-but-unflushed output (the
+        # dying run's frames, which the parent never collected) and
+        # re-baseline the meter like the thread backend does.
+        shard.conn.send(("collect",))
+        collected = self._replay_reply(shard)
+        for name in self._device_names:
+            frames = collected[1].get(name)
+            if frames:
+                self._deliver(name, frames)
+                shard.flushed[name] += len(frames)
+                self._flushed_total += len(frames)
+        if collected[2] is not None:
+            shard.meter_snapshot = collected[2]
+
+    def _replay_send(self, shard, cmd, index, name, frame, position):
+        """One singly-replay step: send, sync, and convert any death
+        into a frame-attributed :class:`ReplayFrameError`."""
+        try:
+            shard.conn.send(cmd)
+            shard.conn.send(("sync",))
+            reply = self._replay_reply(shard)
+            if reply[2] is not None:
+                raise RuntimeError("%s: %s" % (reply[2][0], reply[2][1]))
+        except ReplayFrameError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - attributed below
+            if cmd[0] != "frames":
+                raise
+            raise ReplayFrameError(
+                index, name, frame, position, "%s: %s" % (type(exc).__name__, exc)
+            ) from exc
+
+    def _replay_reply(self, shard):
+        """Wait for a replay sync; bounded by the heartbeat window when
+        self-healing (a hung replay must not wedge the restart path),
+        blocking like the manual crash path otherwise."""
+        if self._recovery is None:
+            return shard.recv()
+        timeout = max(10.0, self._recovery.config.heartbeat_timeout * 4)
+        if not shard.conn.poll(timeout):
+            raise RuntimeError("shard %d replay hung" % shard.index)
+        return shard.conn.recv()
+
+    def _strip_journal_frame(self, index, position):
+        """Quarantine's surgical edit: remove one attributed frame from
+        the journal (dropping its command when emptied), so the next
+        replay runs clean."""
+        cmd_pos, frame_pos = position
+        journal = self._journals[index]
+        frames = list(journal[cmd_pos][1])
+        del frames[frame_pos]
+        if frames:
+            journal[cmd_pos] = ("frames", frames)
+        else:
+            del journal[cmd_pos]
 
     # -- observability -----------------------------------------------------
 
@@ -1425,10 +2061,13 @@ class ShardedRouter:
         """Every element read handler, reconciled across shards: numeric
         values sum; non-numeric values report shard 0's."""
         self._ensure_started()
+        recovery = self._recovery
         if self.backend == "thread":
             self._barrier()
             per_shard = []
             for shard in self._shards:
+                if recovery is not None and recovery.is_down(shard.index):
+                    continue
                 values = {}
                 for name, element in sorted(shard.router.elements.items()):
                     for handler, fn in sorted(element.read_handlers().items()):
@@ -1439,10 +2078,16 @@ class ShardedRouter:
                 per_shard.append(values)
         else:
             per_shard = []
+            pending = []
             for shard in self._shards:
-                shard.conn.send(("counters",))
-            for shard in self._shards:
-                per_shard.append(shard.recv()[1])
+                if recovery is not None and recovery.is_down(shard.index):
+                    continue
+                if self._proc_send(shard, ("counters",)):
+                    pending.append(shard)
+            for shard in pending:
+                reply = self._proc_recv(shard)
+                if reply is not None:
+                    per_shard.append(reply[1])
         merged = {}
         for values in per_shard:
             for key, value in values.items():
@@ -1467,22 +2112,31 @@ class ShardedRouter:
         report.updates = self._updates
         report.crashes = self._crashes
         report.replays = self._replays
+        recovery = self._recovery
         if self._started and self.backend == "thread":
             self._barrier()
             report.queue_high_water = [s.queue.high_water for s in self._shards]
             for shard in self._shards:
+                if recovery is not None and recovery.is_down(shard.index):
+                    continue
                 supervisor = shard.router.supervisor
                 if supervisor is not None:
                     report.supervisors["shard-%d" % shard.index] = (
                         supervisor.report().as_dict()
                     )
         elif self._started:
+            pending = []
             for shard in self._shards:
-                shard.conn.send(("report",))
-            for shard in self._shards:
-                reply = shard.recv()
-                if reply[1] is not None:
+                if recovery is not None and recovery.is_down(shard.index):
+                    continue
+                if self._proc_send(shard, ("report",)):
+                    pending.append(shard)
+            for shard in pending:
+                reply = self._proc_recv(shard)
+                if reply is not None and reply[1] is not None:
                     report.supervisors["shard-%d" % shard.index] = reply[1]
+        if recovery is not None:
+            report.recovery = recovery.report().as_dict()
         if self.meter is not None:
             report.meter = self.meter.summary()
         return report
@@ -1501,23 +2155,28 @@ class ShardedRouter:
                 self._final_report = None
             if self.backend == "thread":
                 for shard in self._shards:
-                    shard.queue.put(("stop",))
+                    shard.generation += 1  # fence off hung workers
+                    if shard.thread is not None and shard.thread.is_alive():
+                        try:
+                            shard.queue.put(("stop",), timeout=0.5)
+                        except Exception:  # noqa: BLE001
+                            pass
                 for shard in self._shards:
-                    shard.thread.join(timeout=10)
+                    if shard.thread is not None:
+                        # A hung worker never joins; it is a daemon
+                        # behind the generation fence, so don't wait.
+                        shard.thread.join(timeout=1 if shard.dead else 10)
             else:
                 for shard in self._shards:
-                    try:
-                        shard.conn.send(("stop",))
-                        shard.recv()
-                    except Exception:  # noqa: BLE001
-                        pass
-                    try:
-                        shard.conn.close()
-                        shard.process.join(timeout=10)
-                        if shard.process.is_alive():
-                            shard.process.terminate()
-                    except Exception:  # noqa: BLE001
-                        pass
+                    if shard.conn is not None and shard.process is not None:
+                        try:
+                            if shard.process.is_alive():
+                                shard.conn.send(("stop",))
+                                if shard.conn.poll(5):
+                                    shard.conn.recv()
+                        except Exception:  # noqa: BLE001
+                            pass
+                    self._reap_process(shard, kill=True)
         if self._cache_path:
             try:
                 os.unlink(self._cache_path)

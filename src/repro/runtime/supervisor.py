@@ -96,7 +96,7 @@ class SupervisorConfig:
         self.max_records = int(max_records)
 
     def as_dict(self):
-        return {name: getattr(self, name) for name in self.__slots__}
+        return {name: getattr(self, name) for name in sorted(self.__slots__)}
 
 
 class _ChainGuard:
@@ -546,15 +546,24 @@ class ResilienceReport:
         self.faults = injector.fault_counts() if injector is not None else None
 
     def as_dict(self):
-        return {
-            "mode": self.mode,
-            "config": self.config,
-            "chains": self.chains,
-            "totals": self.totals,
-            "task_errors": [list(item) for item in self.task_errors],
-            "watchdog_events": self.watchdog_events,
+        """JSON-safe summary with deterministic ordering — keys sorted,
+        chains in sorted-label order — so chaos/CI artifacts diff
+        cleanly (the PR 8 codegen-cache report convention)."""
+        data = {
+            "chains": {
+                label: {
+                    key: self.chains[label][key] for key in sorted(self.chains[label])
+                }
+                for label in sorted(self.chains)
+            },
+            "config": {key: self.config[key] for key in sorted(self.config)},
             "faults": self.faults,
+            "mode": self.mode,
+            "task_errors": [list(item) for item in self.task_errors],
+            "totals": {key: self.totals[key] for key in sorted(self.totals)},
+            "watchdog_events": self.watchdog_events,
         }
+        return {key: data[key] for key in sorted(data)}
 
     def to_json(self):
         return json.dumps(self.as_dict(), indent=2, sort_keys=True, default=str)

@@ -47,6 +47,14 @@ FAULT_KINDS = {
     "cache_corrupt": (("at",), {}),
     "cache_invalidate": (("at",), {}),
     "worker_crash": (("at",), {"worker": 0}),
+    # Self-healing faults (the recovery manager, not the injector, does
+    # the recovering).  ``worker_kill`` with phase="commit" lands inside
+    # the ``at``-th two-phase update's commit window instead of at a
+    # tick; ``worker_poison`` arms a frame (hex) whose processing kills
+    # whichever worker touches it, until quarantine strips it.
+    "worker_kill": (("at",), {"worker": 0, "phase": "tick"}),
+    "worker_hang": (("at",), {"worker": 0, "seconds": 30.0}),
+    "worker_poison": (("at", "frame"), {}),
 }
 
 
@@ -92,10 +100,38 @@ class FaultPlan:
                 if field not in required and field not in optional:
                     raise FaultError("fault %d (%s): unknown field %r" % (index, kind, field))
                 if field in ("at", "ticks", "after", "count", "offset", "xor", "worker"):
-                    if not isinstance(value, int) or value < 0:
+                    if not isinstance(value, int) or isinstance(value, bool) or value < 0:
                         raise FaultError(
                             "fault %d (%s): field %r must be a non-negative "
                             "integer, not %r" % (index, kind, field, value)
+                        )
+                elif field == "phase":
+                    if value not in ("tick", "commit"):
+                        raise FaultError(
+                            "fault %d (%s): phase must be 'tick' or 'commit', "
+                            "not %r" % (index, kind, value)
+                        )
+                elif field == "seconds":
+                    if (
+                        not isinstance(value, (int, float))
+                        or isinstance(value, bool)
+                        or not value > 0
+                    ):
+                        raise FaultError(
+                            "fault %d (%s): seconds must be a positive number, "
+                            "not %r" % (index, kind, value)
+                        )
+                elif field == "frame":
+                    bad = not isinstance(value, str) or not value
+                    if not bad:
+                        try:
+                            bytes.fromhex(value)
+                        except ValueError:
+                            bad = True
+                    if bad:
+                        raise FaultError(
+                            "fault %d (%s): frame must be a non-empty hex "
+                            "string, not %r" % (index, kind, value)
                         )
         return self
 
@@ -116,8 +152,23 @@ class FaultPlan:
         return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
 
     @classmethod
-    def from_json(cls, text):
-        return cls.from_dict(json.loads(text))
+    def from_json(cls, text, source="<json>"):
+        """Parse and *validate* a plan, attributing every failure to
+        ``source`` — a malformed plan must die here, with context, not
+        halfway through a chaos run."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise FaultError("%s: fault plan is not valid JSON: %s" % (source, exc)) from exc
+        if not isinstance(data, dict):
+            raise FaultError(
+                "%s: fault plan must be a JSON object, not %s"
+                % (source, type(data).__name__)
+            )
+        try:
+            return cls.from_dict(data)
+        except FaultError as exc:
+            raise FaultError("%s: %s" % (source, exc)) from exc
 
     def save(self, path):
         with open(path, "w") as handle:
@@ -126,7 +177,7 @@ class FaultPlan:
     @classmethod
     def load(cls, path):
         with open(path) as handle:
-            return cls.from_json(handle.read())
+            return cls.from_json(handle.read(), source=str(path))
 
     # -- generation --------------------------------------------------------
 
@@ -332,10 +383,15 @@ class FaultInjector:
         self.cache_invalidations = 0
         self.cache_corruptions = 0
         self.worker_crashes = 0
+        self.worker_kills = 0
+        self.worker_hangs = 0
+        self.worker_poisons = 0
         self._devices = {}
         self._elements = {}
         self._cache_events = []  # (at, kind), unfired
-        self._worker_events = []  # (at, worker index), unfired
+        self._worker_events = []  # (at, worker index), unfired worker_crash
+        self._recovery_events = []  # unfired tick-phase kill/hang/poison dicts
+        self._commit_events = []  # unfired phase="commit" worker_kill dicts
         self._router = None
         for fault in self.plan.faults:
             kind = fault["kind"]
@@ -366,6 +422,12 @@ class FaultInjector:
                 )
             elif kind == "worker_crash":
                 self._worker_events.append((fault["at"], fault.get("worker", 0)))
+            elif kind in ("worker_kill", "worker_hang", "worker_poison"):
+                event = dict(fault)
+                if kind == "worker_kill" and event.get("phase", "tick") == "commit":
+                    self._commit_events.append(event)
+                else:
+                    self._recovery_events.append(event)
             else:
                 self._cache_events.append((fault["at"], kind))
         for state in self._devices.values():
@@ -457,6 +519,45 @@ class FaultInjector:
                     if crash is not None:
                         crash(worker)
                         self.worker_crashes += 1
+            for event in list(self._recovery_events):
+                if event["at"] == now:
+                    self._recovery_events.remove(event)
+                    self._fire_recovery_event(event)
+
+    def _fire_recovery_event(self, event):
+        """Deliver one self-healing fault to the sharded router (a
+        plain router has none of these hooks, so the fault is a no-op
+        there and the plan stays mode-invariant)."""
+        router = self._router
+        kind = event["kind"]
+        if kind == "worker_kill":
+            kill = getattr(router, "kill_worker", None)
+            if kill is not None:
+                kill(event.get("worker", 0))
+                self.worker_kills += 1
+        elif kind == "worker_hang":
+            hang = getattr(router, "hang_worker", None)
+            if hang is not None:
+                hang(event.get("worker", 0), event.get("seconds", 30.0))
+                self.worker_hangs += 1
+        elif kind == "worker_poison":
+            arm = getattr(router, "arm_poison", None)
+            if arm is not None:
+                arm(bytes.fromhex(event["frame"]))
+                self.worker_poisons += 1
+
+    def on_commit_phase(self, update_number):
+        """The sharded router's window between "every shard staged" and
+        "first shard committed" during a two-phase update: fire any due
+        phase="commit" worker kills (``at`` counts committed updates,
+        1-based), so the mid-commit death path gets exercised."""
+        for event in list(self._commit_events):
+            if update_number >= event["at"]:
+                self._commit_events.remove(event)
+                kill = getattr(self._router, "kill_worker", None)
+                if kill is not None:
+                    kill(event.get("worker", 0))
+                    self.worker_kills += 1
 
     # -- observability -----------------------------------------------------
 
@@ -467,6 +568,9 @@ class FaultInjector:
             "cache_invalidations": self.cache_invalidations,
             "cache_corruptions": self.cache_corruptions,
             "worker_crashes": self.worker_crashes,
+            "worker_kills": self.worker_kills,
+            "worker_hangs": self.worker_hangs,
+            "worker_poisons": self.worker_poisons,
             "devices": {
                 name: {
                     "down_polls": state.down_polls,

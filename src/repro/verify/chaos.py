@@ -34,6 +34,19 @@ worker mid-trace and forces a journal replay; ``worker_crash`` is a
 no-op on plain routers, so one plan stays valid for the whole matrix),
 and the wire check weakens to the sharding contract (per-flow
 byte-identical, per-device multiset-identical).
+
+``--recovery`` switches to the *self-healing* harness
+(:mod:`repro.runtime.recovery`): instead of the mode matrix, each case
+runs three scripted outage scenarios — a ``crash-storm`` (repeated
+worker kills, one landing mid-commit inside a two-phase update), a
+``hang`` (a wedged worker the watchdog/heartbeat deadline must catch),
+and a ``crash-loop`` (a poison frame that kills its shard on every
+replay until quarantine strips it) — against the sharded plane under a
+recovery policy, with zero operator intervention.  The wire check is
+the degraded contract
+(:func:`repro.verify.oracle.degraded_transmit_difference`): no frame
+lost or duplicated, strict per-flow order except for flows the outage
+actually re-homed.
 """
 
 from __future__ import annotations
@@ -48,8 +61,10 @@ from .genconfig import stock_cases
 from .oracle import (
     MODES,
     SHARD_MODES,
+    degraded_transmit_difference,
     device_names,
     first_transmit_difference,
+    mode_profile,
     overflow_drops,
     run_case,
     sharded_transmit_difference,
@@ -176,6 +191,278 @@ def compare_chaos(case, plan, modes=None):
     }
 
 
+# -- self-healing (recovery) harness -------------------------------------------
+
+RECOVERY_PLAN_KINDS = ("crash-storm", "hang", "crash-loop")
+RECOVERY_WORKERS = 4
+#: Scheduler runs appended to every recovery trace so backoff restarts,
+#: buffered redelivery, and quarantine all complete inside the trace.
+_RECOVERY_DRAIN_RUNS = 12
+
+
+def _recovery_config(policy):
+    """The :class:`~repro.runtime.recovery.RecoveryConfig` recovery
+    scenarios run under: tight detection deadlines (the harness *wants*
+    hangs caught inside the trace) and a short backoff ceiling so every
+    restart lands within the appended drain runs."""
+    from ..runtime.recovery import RecoveryConfig
+
+    return RecoveryConfig(
+        policy=policy,
+        restart_budget=5,
+        backoff_base=1,
+        backoff_factor=2.0,
+        backoff_limit=4,
+        jitter=1,
+        watchdog_timeout=0.75,
+        heartbeat_timeout=2.0,
+        prepare_timeout=2.0,
+    )
+
+
+def recovery_trace(case):
+    """The case's trace adapted for recovery runs: one ``update`` event
+    (re-applying the case's own configuration) inserted at the midpoint
+    run, so a phase="commit" worker kill has a live two-phase commit to
+    land in, and trailing ``run`` drains appended so backoff restarts
+    and buffered redelivery finish inside the trace."""
+    events = [list(event) for event in case["events"]]
+    runs = sum(1 for event in events if event[0] == "run")
+    halfway, seen, insert_at = max(1, runs // 2), 0, len(events)
+    for position, event in enumerate(events):
+        if event[0] == "run":
+            seen += 1
+            if seen >= halfway:
+                insert_at = position + 1
+                break
+    events.insert(insert_at, ["update", case["config"]])
+    events.extend([["run", 1] for _ in range(_RECOVERY_DRAIN_RUNS)])
+    return events
+
+
+def recovery_plan(case, kind, seed, workers=RECOVERY_WORKERS):
+    """The deterministic fault plan for one self-healing scenario.
+
+    Returns ``(plan, poison_hex)``.  ``poison_hex`` is the armed frame
+    for ``crash-loop`` (None otherwise): quarantine drops it from the
+    degraded plane's traffic, so the healthy reference must drop it
+    from its trace too before the wire comparison.
+    """
+    import random
+
+    events = recovery_trace(case)
+    ticks = sum(1 for event in events if event[0] == "run")
+    rng = random.Random("%d/%s/%s" % (seed, kind, case["name"]))
+    active = max(4, ticks - _RECOVERY_DRAIN_RUNS)
+    if kind == "crash-storm":
+        spread = max(1, active // 4)
+        faults = [
+            {"kind": "worker_kill", "at": spread, "worker": 1 % workers},
+            {"kind": "worker_kill", "at": spread * 2, "worker": 2 % workers},
+            {"kind": "worker_kill", "at": spread * 3, "worker": 3 % workers},
+            # ``at`` counts committed updates (1-based): this one fires
+            # inside the inserted update's stage->commit window.
+            {"kind": "worker_kill", "at": 1, "phase": "commit", "worker": 0},
+        ]
+        return FaultPlan(faults, seed=seed, name="recovery-crash-storm"), None
+    if kind == "hang":
+        faults = [
+            {
+                "kind": "worker_hang",
+                "at": max(1, active // 3),
+                "worker": rng.randrange(workers),
+                "seconds": 30.0,
+            }
+        ]
+        return FaultPlan(faults, seed=seed, name="recovery-hang"), None
+    if kind == "crash-loop":
+        frames = [event[2] for event in events if event[0] == "frame"]
+        if not frames:
+            raise ValueError("case %r has no frame events to poison" % case["name"])
+        counts = {}
+        for hex_frame in frames:
+            counts[hex_frame] = counts.get(hex_frame, 0) + 1
+        singles = sorted(set(h for h in frames if counts[h] == 1))
+        poison = rng.choice(singles or sorted(set(frames)))
+        faults = [{"kind": "worker_poison", "at": 0, "frame": poison}]
+        return FaultPlan(faults, seed=seed, name="recovery-crash-loop"), poison
+    raise ValueError(
+        "unknown recovery plan kind %r (choose from %s)"
+        % (kind, ", ".join(RECOVERY_PLAN_KINDS))
+    )
+
+
+def _affected_predicate(affected_keys):
+    """A predicate over *output* flow keys
+    (:func:`~repro.runtime.flowhash.output_flow_key` tuples) matching
+    every flow whose *dispatch* key the recovery manager re-homed.
+
+    Dispatch keys are ``flow_key`` bytes; output groups refine them, so
+    the mapping is reconstructed per group kind.  Fragment groups lose
+    the original datagram's ports, so they match on the portless
+    10-byte prefix — conservative (may mark a sibling flow affected,
+    weakening its check to multiset-only) but never misses a flow that
+    really was re-homed.
+    """
+    keys = {bytes(key) for key in affected_keys}
+    prefixes = {key[:10] for key in keys if key[:1] == b"\x04"}
+
+    def predicate(flow):
+        kind = flow[0]
+        if kind == "ip":
+            key = b"\x04" + bytes((flow[1],)) + flow[2]
+            if len(flow) > 3:
+                key += flow[3]
+            return key in keys or key[:10] in prefixes
+        if kind == "frag":
+            return (b"\x04" + bytes((flow[2],)) + flow[1])[:10] in prefixes
+        if kind == "icmperr":
+            proto, addrs, ports = flow[1]
+            key = b"\x04" + bytes((proto,)) + addrs + ports
+            return key in keys or key[:10] in prefixes
+        return bytes(flow[1][:14]) in keys
+    return predicate
+
+
+def _recovery_shortfall(kind, checks):
+    """The scenario's own success bar, beyond the wire contract: did
+    the machinery under test actually fire?"""
+    if kind == "crash-storm":
+        if checks["detections"] < 3:
+            return "crash-storm: only %d worker death(s) detected (expected >= 3)" % checks["detections"]
+        if checks["restarts"] < 1:
+            return "crash-storm: no shard ever restarted"
+    elif kind == "hang":
+        if checks["detections"] < 1:
+            return "hang: the wedged worker was never detected"
+        if checks["restarts"] < 1:
+            return "hang: the wedged worker never restarted"
+    elif kind == "crash-loop":
+        if checks["quarantined"] < 1:
+            return "crash-loop: the poison frame was never quarantined"
+        if checks["restarts"] < 1:
+            return "crash-loop: the poisoned shard never came back"
+    return None
+
+
+def compare_recovery(case, kind, policy="resteer", backend="thread", seed=1, workers=RECOVERY_WORKERS):
+    """Run one self-healing scenario and check the degraded contract.
+
+    The faulted sharded plane (``workers`` shards on ``backend``, with
+    automatic recovery under ``policy``) must transmit the same frame
+    multiset as a *healthy* single-plane reference — byte-identical per
+    flow except where re-steering is allowed to break order — and the
+    scenario's recovery machinery (detection, restart, quarantine) must
+    actually have fired.  Zero operator intervention: nobody calls
+    ``crash_worker``; the recovery manager does all the healing.
+
+    Returns a JSON-safe dict shaped like :func:`compare_chaos` results,
+    plus ``kind``/``policy``/``backend``/``checks`` and the sharded
+    plane's full report.
+    """
+    if policy not in ("buffer", "resteer"):
+        raise ValueError(
+            "recovery scenarios need a non-fatal policy (buffer or resteer), not %r" % policy
+        )
+    plan, poison_hex = recovery_plan(case, kind, seed, workers=workers)
+    events = recovery_trace(case)
+    recovery_case = dict(case, events=events)
+    reference_case = dict(
+        case,
+        events=[
+            event
+            for event in events
+            if not (poison_hex is not None and event[0] == "frame" and event[2] == poison_hex)
+        ],
+    )
+    mode = "shard-%s" % backend
+    failures = []
+    skips = []
+    checks = {}
+    report = None
+
+    ref_status, reference = run_case(reference_case, "reference")
+    if ref_status == "error":
+        failures.append(
+            {"mode": "reference", "kind": "crash", "detail": "%s: %s" % (reference[0], reference[1])}
+        )
+
+    profile = (
+        mode_profile("fast")
+        .with_workers(workers, backend)
+        .with_recovery(config=_recovery_config(policy))
+    )
+    routers = []
+    status, payload = run_case(
+        recovery_case, "fast", plan=plan, profile=profile, collect=routers.append
+    )
+    affected = None
+    if routers:
+        router = routers[-1]
+        report = router.report().as_dict()
+        manager = getattr(router, "_recovery", None)
+        if manager is not None and manager.affected_flows:
+            affected = _affected_predicate(manager.affected_flows)
+    if status == "error":
+        failures.append(
+            {"mode": mode, "kind": "crash", "detail": "%s: %s" % (payload[0], payload[1])}
+        )
+    elif ref_status == "ok":
+        diff = degraded_transmit_difference(
+            reference["transmitted"], payload["transmitted"], affected=affected
+        )
+        if diff is not None:
+            drops = max(
+                overflow_drops(reference["counters"]),
+                overflow_drops(payload["counters"]),
+            )
+            if drops:
+                # Same escape hatch as compare_chaos: per-shard queue
+                # copies make overflow membership load-dependent.
+                skips.append(
+                    {
+                        "mode": mode,
+                        "reason": "lossy-overflow: %d queue drop(s) (%s)" % (drops, diff),
+                    }
+                )
+            else:
+                failures.append({"mode": mode, "kind": "transmitted", "detail": diff})
+
+    if report is not None:
+        recovery_report = report.get("recovery") or {}
+        checks = {
+            "detections": recovery_report.get("detections", 0),
+            "restarts": recovery_report.get("restarts", 0),
+            "restart_attempts": recovery_report.get("restart_attempts", 0),
+            "benched": len(recovery_report.get("benched", [])),
+            "quarantined": len(recovery_report.get("quarantined", [])),
+            "frames_resteered": recovery_report.get("frames_resteered", 0),
+            "frames_buffered": recovery_report.get("frames_buffered", 0),
+            "updates_recommitted": recovery_report.get("updates_recommitted", 0),
+        }
+        if not any(f["kind"] == "crash" for f in failures):
+            shortfall = _recovery_shortfall(kind, checks)
+            if shortfall:
+                failures.append({"mode": mode, "kind": "recovery", "detail": shortfall})
+    if any(f["kind"] == "crash" for f in failures):
+        status = "crash"
+    elif failures:
+        status = "divergence"
+    else:
+        status = "ok"
+    return {
+        "status": status,
+        "kind": kind,
+        "policy": policy,
+        "backend": backend,
+        "failures": failures,
+        "skips": skips,
+        "checks": checks,
+        "report": report,
+        "plan": plan.to_dict(),
+    }
+
+
 # -- CLI -----------------------------------------------------------------------
 
 _CONFIG_CHOICES = ("iprouter", "firewall", "both")
@@ -229,6 +516,29 @@ def _parser():
         metavar="FILE",
         help="write the JSON run report here (- for stderr)",
     )
+    parser.add_argument(
+        "--recovery",
+        default=None,
+        choices=("buffer", "resteer", "both"),
+        metavar="POLICY",
+        help="run the self-healing harness instead of the mode matrix: "
+        "crash-storm/hang/crash-loop scenarios against the sharded plane "
+        "under this recovery policy (buffer, resteer, or both); --modes "
+        "is ignored in this mode",
+    )
+    parser.add_argument(
+        "--recovery-backend",
+        default="thread",
+        choices=("thread", "process", "both"),
+        help="shard backend(s) the recovery scenarios run on "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--recovery-kinds",
+        default=",".join(RECOVERY_PLAN_KINDS),
+        metavar="LIST",
+        help="comma-separated recovery scenarios (default: %(default)s)",
+    )
     return parser
 
 
@@ -278,12 +588,101 @@ def _write_json(dest, payload):
             handle.write(text)
 
 
+def _recovery_main(args, cases):
+    """The --recovery branch: every case x scenario x policy x backend,
+    each checked against the degraded contract with zero operator
+    intervention."""
+    policies = ("buffer", "resteer") if args.recovery == "both" else (args.recovery,)
+    backends = (
+        ("thread", "process")
+        if args.recovery_backend == "both"
+        else (args.recovery_backend,)
+    )
+    kinds = [k.strip() for k in args.recovery_kinds.split(",") if k.strip()]
+    unknown = [k for k in kinds if k not in RECOVERY_PLAN_KINDS]
+    if unknown:
+        raise SystemExit(
+            "click-chaos: unknown recovery scenario(s) %s (choose from %s)"
+            % (", ".join(unknown), ", ".join(RECOVERY_PLAN_KINDS))
+        )
+    started = time.time()
+    records = []
+    counts = {"ok": 0, "divergence": 0, "crash": 0}
+    for case in cases:
+        for kind in kinds:
+            for policy in policies:
+                for backend in backends:
+                    result = compare_recovery(
+                        case, kind, policy=policy, backend=backend, seed=args.seed
+                    )
+                    counts[result["status"]] += 1
+                    records.append({"name": case["name"], **result})
+                    label = "%s/%s/%s/%s" % (case["name"], kind, policy, backend)
+                    if result["status"] == "ok":
+                        checks = result["checks"]
+                        print(
+                            "click-chaos: %s healed: %d detection(s), "
+                            "%d restart(s), %d benched, %d quarantined"
+                            % (
+                                label,
+                                checks.get("detections", 0),
+                                checks.get("restarts", 0),
+                                checks.get("benched", 0),
+                                checks.get("quarantined", 0),
+                            )
+                        )
+                    else:
+                        print(
+                            "click-chaos: %s %s: %s"
+                            % (
+                                label,
+                                result["status"].upper(),
+                                result["failures"][0]["detail"],
+                            )
+                        )
+    summary = dict(counts)
+    summary["scenarios"] = len(records)
+    summary["seconds"] = round(time.time() - started, 3)
+    print(
+        "click-chaos: %(scenarios)d recovery scenario(s): %(ok)d healed, "
+        "%(divergence)d divergent, %(crash)d crashed in %(seconds).1fs" % summary
+    )
+    if args.plan_out:
+        _write_json(
+            args.plan_out,
+            {
+                "seed": args.seed,
+                "plans": {
+                    "%s/%s/%s/%s"
+                    % (r["name"], r["kind"], r["policy"], r["backend"]): r["plan"]
+                    for r in records
+                },
+            },
+        )
+    if args.report:
+        _write_json(
+            args.report,
+            {
+                "seed": args.seed,
+                "config": args.config,
+                "recovery": args.recovery,
+                "backends": list(backends),
+                "kinds": list(kinds),
+                "summary": summary,
+                "scenarios": records,
+            },
+        )
+    return 0 if not (counts["divergence"] or counts["crash"]) else 1
+
+
 def main(argv=None):
     """The ``click-chaos`` entry point; returns the process exit status
     (0 resilient, 1 crash or divergence, 2 usage error via argparse)."""
     args = _parser().parse_args(argv)
-    modes = _parse_modes(args.modes)
     cases = _cases(args)
+    if args.recovery:
+        return _recovery_main(args, cases)
+    modes = _parse_modes(args.modes)
     sharded = any(mode in SHARD_MODES for mode in modes)
     if args.plan:
         plans = _load_plans(args.plan, cases)

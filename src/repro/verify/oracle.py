@@ -335,6 +335,65 @@ def sharded_transmit_difference(a, b):
     return None
 
 
+def degraded_transmit_difference(a, b, affected=None):
+    """The degraded-mode wire contract
+    (:mod:`repro.runtime.recovery`): ``a`` is the healthy reference
+    observation, ``b`` the observation of a plane that lost (and
+    possibly recovered) shards under a non-fatal recovery policy.
+
+    Per device the transmitted *multiset* must still match exactly —
+    degraded mode may delay or re-home frames but never lose or
+    duplicate them.  Per ``(device, flow)`` the sequence must be
+    byte-identical for every flow that was *not* affected by the
+    outage; an affected flow (one that was re-steered, or buffered and
+    redelivered) is only held to the multiset guarantee, because its
+    order is preserved *from the re-home point*, not across it.
+
+    ``affected`` is a predicate over the emitted frame's
+    :func:`~repro.runtime.flowhash.output_flow_key` (or a set of such
+    keys); ``None`` means no flow may reorder — the ``buffer`` policy's
+    strict contract.
+    """
+    from ..runtime.flowhash import output_flow_key
+
+    if affected is None:
+        predicate = lambda flow: False  # noqa: E731 - strict contract
+    elif callable(affected):
+        predicate = affected
+    else:
+        keys = set(affected)
+        predicate = keys.__contains__
+    for device in sorted(set(a) | set(b)):
+        frames_a, frames_b = a.get(device, []), b.get(device, [])
+        if frames_a == frames_b:
+            continue
+        if sorted(frames_a) != sorted(frames_b):
+            return "%s: multiset differs (%d vs %d frames) - degraded mode lost or duplicated frames" % (
+                device,
+                len(frames_a),
+                len(frames_b),
+            )
+        flows_a, flows_b = {}, {}
+        for hex_frame in frames_a:
+            flows_a.setdefault(output_flow_key(bytes.fromhex(hex_frame)), []).append(hex_frame)
+        for hex_frame in frames_b:
+            flows_b.setdefault(output_flow_key(bytes.fromhex(hex_frame)), []).append(hex_frame)
+        for flow in flows_a:
+            if flows_a[flow] == flows_b.get(flow):
+                continue
+            if predicate(flow):
+                # Affected flow: order may break at the re-home point,
+                # but its per-device multiset must survive.
+                if sorted(flows_a[flow]) != sorted(flows_b.get(flow, [])):
+                    return "%s: affected flow %r lost frames" % (device, flow)
+                continue
+            return "%s: per-flow order differs for unaffected flow %r" % (
+                device,
+                flow,
+            )
+    return None
+
+
 def overflow_drops(counters):
     """Total packets lost to queue overflow across the observation —
     the sum of every ``*.drops`` read handler (Queue admission drops and

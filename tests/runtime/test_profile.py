@@ -71,6 +71,7 @@ class TestValue:
             "divide_capacity": False,
             "node_budget": None,
             "chunk_frames": None,
+            "recovery": None,
         }
 
 

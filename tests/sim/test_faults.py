@@ -208,3 +208,80 @@ class TestCacheFaults:
         assert injector.cache_invalidations == 1
         injector.tick()  # one-shot: no refire
         assert cache.invalidations == before + 1
+
+
+class TestWorkerFaultValidation:
+    """The self-healing fault kinds (worker_kill / worker_hang /
+    worker_poison) and the file-attributed loading errors that guard
+    them."""
+
+    @pytest.mark.parametrize(
+        "fault",
+        [
+            {"kind": "worker_kill", "at": 1},
+            {"kind": "worker_kill", "at": 2, "worker": 3, "phase": "commit"},
+            {"kind": "worker_hang", "at": 1, "seconds": 0.5},
+            {"kind": "worker_poison", "at": 0, "frame": "deadbeef"},
+        ],
+    )
+    def test_valid_worker_faults(self, fault):
+        assert len(FaultPlan(faults=[fault])) == 1
+
+    @pytest.mark.parametrize(
+        "fault",
+        [
+            {"kind": "worker_kill"},  # missing at
+            {"kind": "worker_kill", "at": 1, "phase": "sideways"},
+            {"kind": "worker_kill", "at": 1, "worker": True},  # bool != int
+            {"kind": "worker_hang", "at": 1, "seconds": 0},
+            {"kind": "worker_hang", "at": 1, "seconds": True},
+            {"kind": "worker_poison", "at": 0},  # missing frame
+            {"kind": "worker_poison", "at": 0, "frame": ""},
+            {"kind": "worker_poison", "at": 0, "frame": "not-hex"},
+            {"kind": "worker_poison", "at": 0, "frame": 42},
+        ],
+    )
+    def test_invalid_worker_faults(self, fault):
+        with pytest.raises(FaultError):
+            FaultPlan(faults=[fault])
+
+
+class TestPlanLoadingErrors:
+    """FaultPlan.load / from_json must fail *at the boundary*, with the
+    file attributed — never halfway through a chaos run."""
+
+    def test_load_unknown_kind_names_file(self, tmp_path):
+        path = tmp_path / "bad-kind.json"
+        path.write_text('{"faults": [{"kind": "meteor_strike", "at": 0}]}')
+        with pytest.raises(FaultError) as excinfo:
+            FaultPlan.load(path)
+        message = str(excinfo.value)
+        assert "bad-kind.json" in message and "meteor_strike" in message
+
+    def test_load_missing_field_names_file(self, tmp_path):
+        path = tmp_path / "missing.json"
+        path.write_text('{"faults": [{"kind": "worker_poison", "at": 0}]}')
+        with pytest.raises(FaultError) as excinfo:
+            FaultPlan.load(path)
+        message = str(excinfo.value)
+        assert "missing.json" in message and "frame" in message
+
+    def test_load_invalid_json_names_file(self, tmp_path):
+        path = tmp_path / "mangled.json"
+        path.write_text('{"faults": [')
+        with pytest.raises(FaultError) as excinfo:
+            FaultPlan.load(path)
+        assert "mangled.json" in str(excinfo.value)
+
+    def test_load_non_object_names_file(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(FaultError) as excinfo:
+            FaultPlan.load(path)
+        message = str(excinfo.value)
+        assert "list.json" in message and "object" in message
+
+    def test_from_json_default_source(self):
+        with pytest.raises(FaultError) as excinfo:
+            FaultPlan.from_json("not json at all")
+        assert "<json>" in str(excinfo.value)
